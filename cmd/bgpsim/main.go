@@ -1,0 +1,186 @@
+// Command bgpsim generates the paper's incident scenarios from the
+// built-in Internet simulator. It can write the baseline routing table
+// (MRT TABLE_DUMP_V2), write the incident's event stream (text/.evb/
+// .mrt), or replay baseline+events live over real BGP sessions into a
+// running rexd collector.
+//
+// Examples:
+//
+//	bgpsim -scenario leak -events leak.events -rib baseline.mrt
+//	bgpsim -scenario med -duration 2s -events med.evb
+//	bgpsim -scenario flap -flaps 30 -replay 127.0.0.1:1790
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/netip"
+	"os"
+	"sort"
+	"time"
+
+	"rex/internal/bgp"
+	"rex/internal/bgp/fsm"
+	"rex/internal/event"
+	"rex/internal/rib"
+	"rex/internal/sim"
+	"rex/internal/streamfile"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bgpsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bgpsim", flag.ContinueOnError)
+	var (
+		scenario = fs.String("scenario", "", "leak, flap, med, reset")
+		events   = fs.String("events", "", "write the event stream here")
+		ribOut   = fs.String("rib", "", "write the baseline RIB (MRT table dump) here")
+		replay   = fs.String("replay", "", "replay live into a collector at host:port")
+		flaps    = fs.Int("flaps", 20, "flap count (scenario flap)")
+		cycles   = fs.Int("cycles", 2, "leak cycles (scenario leak)")
+		duration = fs.Duration("duration", time.Second, "oscillation duration (scenario med)")
+		localAS  = fs.Uint("as", 25, "AS number for replayed sessions")
+		gap      = fs.Duration("gap", 0, "fixed delay between replayed updates (0 = full speed)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *scenario == "" {
+		return fmt.Errorf("-scenario is required")
+	}
+	sc, err := buildScenario(*scenario, *flaps, *cycles, *duration)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "scenario %s: %d baseline routes, %d events, %d affected prefixes\n",
+		sc.Name, len(sc.Baseline), len(sc.Events), len(sc.MovedPrefixes))
+
+	if *ribOut != "" {
+		if err := writeBaseline(*ribOut, sc, time.Now()); err != nil {
+			return err
+		}
+	}
+	if *events != "" {
+		if err := streamfile.WriteEvents(*events, sc.Events); err != nil {
+			return err
+		}
+	}
+	if *replay != "" {
+		return replayLive(*replay, uint32(*localAS), sc, *gap)
+	}
+	return nil
+}
+
+func buildScenario(name string, flaps, cycles int, duration time.Duration) (*sim.Scenario, error) {
+	start := time.Now().Add(-time.Hour).Truncate(time.Second)
+	switch name {
+	case "leak":
+		b := sim.Berkeley(sim.BerkeleyConfig{Misconfigured: true})
+		return sim.PeerLeakScenario(b, cycles, start), nil
+	case "flap":
+		is := sim.ISPAnon(sim.ISPAnonConfig{})
+		return sim.CustomerFlapScenario(is, flaps, time.Minute, start), nil
+	case "med":
+		is := sim.ISPAnon(sim.ISPAnonConfig{})
+		return sim.MEDOscillationScenario(is, duration, 0, 0, start), nil
+	case "reset":
+		is := sim.ISPAnon(sim.ISPAnonConfig{})
+		baseline := is.BaselineRoutes()
+		return sim.SessionResetScenario(is.Site, baseline, is.Tier1s[0], 30*time.Second, start), nil
+	default:
+		return nil, fmt.Errorf("unknown scenario %q", name)
+	}
+}
+
+func writeBaseline(path string, sc *sim.Scenario, now time.Time) error {
+	return streamfile.WriteRIB(path, baselineRIB(sc, now), netip.MustParseAddr("10.255.0.1"), now)
+}
+
+// replayLive opens one BGP session per distinct router in the scenario
+// and plays the baseline announcements followed by the incident's events
+// in order.
+func replayLive(addr string, localAS uint32, sc *sim.Scenario, gap time.Duration) error {
+	sessions := map[netip.Addr]*fsm.Session{}
+	defer func() {
+		for _, s := range sessions {
+			s.Close()
+		}
+	}()
+	sessionFor := func(router netip.Addr) (*fsm.Session, error) {
+		if s, ok := sessions[router]; ok {
+			return s, nil
+		}
+		s, err := fsm.Dial(addr, fsm.Config{LocalAS: localAS, LocalID: router})
+		if err != nil {
+			return nil, fmt.Errorf("dial for router %v: %w", router, err)
+		}
+		sessions[router] = s
+		return s, nil
+	}
+
+	send := func(router netip.Addr, upd *bgp.Update) error {
+		s, err := sessionFor(router)
+		if err != nil {
+			return err
+		}
+		if err := s.Send(upd); err != nil {
+			return err
+		}
+		if gap > 0 {
+			time.Sleep(gap)
+		}
+		return nil
+	}
+
+	// Baseline first.
+	for _, r := range sc.Baseline {
+		upd := &bgp.Update{Attrs: r.Attrs, NLRI: []netip.Prefix{r.Prefix}}
+		if err := send(r.Attachment.RouterAddr, upd); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "replayed %d baseline routes over %d sessions\n", len(sc.Baseline), len(sessions))
+
+	ordered := append(event.Stream(nil), sc.Events...)
+	ordered.SortByTime()
+	for i := range ordered {
+		e := &ordered[i]
+		upd := &bgp.Update{}
+		switch e.Type {
+		case event.Announce:
+			upd.Attrs = e.Attrs
+			upd.NLRI = []netip.Prefix{e.Prefix}
+		case event.Withdraw:
+			upd.Withdrawn = []netip.Prefix{e.Prefix}
+		}
+		if err := send(e.Peer, upd); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "replayed %d events\n", len(ordered))
+	return nil
+}
+
+// baselineRIB converts the scenario baseline to rib routes sorted for a
+// table dump.
+func baselineRIB(sc *sim.Scenario, now time.Time) []*rib.Route {
+	out := make([]*rib.Route, 0, len(sc.Baseline))
+	for _, r := range sc.Baseline {
+		out = append(out, r.RIBRoute(now))
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Prefix != out[j].Prefix {
+			if out[i].Prefix.Addr() != out[j].Prefix.Addr() {
+				return out[i].Prefix.Addr().Less(out[j].Prefix.Addr())
+			}
+			return out[i].Prefix.Bits() < out[j].Prefix.Bits()
+		}
+		return out[i].Peer.Less(out[j].Peer)
+	})
+	return out
+}

@@ -1,0 +1,184 @@
+// Command rexd is the collector daemon: the Route Explorer role from the
+// paper's §II. It listens for passive IBGP sessions from a site's BGP
+// edge routers (or a simulator replay), maintains an Adj-RIB-In per peer,
+// appends the withdrawal-augmented event stream to a file, and
+// periodically scans the stream with the spike+churn anomaly pipeline,
+// printing alerts. On shutdown (SIGINT/SIGTERM or -run-for) it prints a
+// TAMP picture of the current routing state.
+//
+// Example:
+//
+//	rexd -listen 127.0.0.1:1790 -as 25 -id 10.255.0.1 -out site.events &
+//	bgpsim -scenario leak -replay 127.0.0.1:1790
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"rex/internal/collector"
+	"rex/internal/core"
+	"rex/internal/core/tamp"
+	"rex/internal/event"
+	"rex/internal/viz"
+
+	"net/netip"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rexd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("rexd", flag.ContinueOnError)
+	var (
+		listen   = fs.String("listen", "127.0.0.1:1790", "address to accept IBGP sessions on")
+		localAS  = fs.Uint("as", 25, "local AS number")
+		localID  = fs.String("id", "10.255.0.1", "local BGP identifier")
+		out      = fs.String("out", "", "append the augmented event stream to this file (text format)")
+		scanEach = fs.Duration("scan-every", 30*time.Second, "anomaly-scan interval (0 disables)")
+		maxPfx   = fs.Int("max-prefixes", 0, "tear a peer down (CEASE) past this many prefixes (0 = unlimited)")
+		runFor   = fs.Duration("run-for", 0, "exit after this long (0 = until signal)")
+		site     = fs.String("site", "site", "site name for the final TAMP picture")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	id, err := netip.ParseAddr(*localID)
+	if err != nil {
+		return fmt.Errorf("bad -id: %w", err)
+	}
+
+	var sink *eventSink
+	if *out != "" {
+		sink, err = newEventSink(*out)
+		if err != nil {
+			return err
+		}
+		defer sink.Close()
+	}
+	pipeline := core.NewPipeline(core.Config{}, 2_000_000)
+	handler := func(e event.Event) {
+		pipeline.Ingest(e)
+		if sink != nil {
+			sink.Write(e)
+		}
+	}
+
+	c := collector.New(collector.Config{
+		LocalAS:               uint32(*localAS),
+		LocalID:               id,
+		WithdrawOnSessionLoss: true,
+		MaxPrefixes:           *maxPfx,
+	}, handler)
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("rexd: listening on %s (AS%d, id %s)\n", ln.Addr(), *localAS, id)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- c.Serve(ln) }()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	var timeout <-chan time.Time
+	if *runFor > 0 {
+		timer := time.NewTimer(*runFor)
+		defer timer.Stop()
+		timeout = timer.C
+	}
+	var ticker *time.Ticker
+	var tick <-chan time.Time
+	if *scanEach > 0 {
+		ticker = time.NewTicker(*scanEach)
+		defer ticker.Stop()
+		tick = ticker.C
+	}
+
+loop:
+	for {
+		select {
+		case <-tick:
+			for _, a := range pipeline.Scan() {
+				fmt.Printf("rexd: ALERT %s\n", a.Summary())
+				for _, f := range a.Findings {
+					fmt.Printf("rexd:   policy: %v\n", f)
+				}
+			}
+			fmt.Printf("rexd: %d peers, %d routes, %d buffered events\n",
+				len(c.Peers()), c.NumRoutes(), pipeline.Buffered())
+		case <-stop:
+			break loop
+		case <-timeout:
+			break loop
+		case err := <-serveErr:
+			if err != nil {
+				return err
+			}
+			break loop
+		}
+	}
+
+	// Final picture of the site's routing as collected.
+	g := tamp.New(*site)
+	for _, r := range c.Routes() {
+		g.AddRoute(tamp.RouteEntry{
+			Router:  r.Peer.String(),
+			Nexthop: r.Attrs.Nexthop,
+			ASPath:  r.Attrs.ASPath.ASNs(),
+			Prefix:  r.Prefix,
+		})
+	}
+	if g.TotalPrefixes() > 0 {
+		fmt.Println("rexd: final TAMP picture:")
+		fmt.Print(viz.ASCII(g.Snapshot(tamp.PruneOptions{KeepDepth: 3})))
+	}
+	return c.Close()
+}
+
+// eventSink appends events to a text file, serialized across the
+// collector's peer goroutines.
+type eventSink struct {
+	mu  sync.Mutex
+	f   *os.File
+	bw  *bufio.Writer
+	buf []byte
+}
+
+func newEventSink(path string) (*eventSink, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &eventSink{f: f, bw: bufio.NewWriterSize(f, 1<<16)}, nil
+}
+
+func (s *eventSink) Write(e event.Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	buf, err := event.AppendText(s.buf[:0], &e)
+	if err != nil {
+		return
+	}
+	s.buf = buf
+	_, _ = s.bw.Write(buf)
+}
+
+func (s *eventSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.bw.Flush(); err != nil {
+		return err
+	}
+	return s.f.Close()
+}

@@ -1,0 +1,96 @@
+// Command stemming runs the Stemming anomaly-detection algorithm over an
+// event stream file (text, binary, or MRT updates) and reports the
+// strongly correlated components it finds, strongest first. With -rate it
+// also prints the Figure-8-style event-rate chart and detected spikes.
+//
+// Examples:
+//
+//	stemming -in spike.events
+//	stemming -in updates.mrt -max 3
+//	stemming -in week.evb -rate -bucket 1m
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rex/internal/core/stemming"
+	"rex/internal/event"
+	"rex/internal/streamfile"
+	"rex/internal/viz"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "stemming:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("stemming", flag.ContinueOnError)
+	var (
+		in       = fs.String("in", "", "event stream file (text/.evb/.mrt)")
+		max      = fs.Int("max", 8, "maximum components to extract")
+		minScore = fs.Float64("min-score", 0, "minimum component score (default 2)")
+		showRate = fs.Bool("rate", false, "print the event-rate chart and spikes")
+		bucket   = fs.Duration("bucket", time.Minute, "rate bucket width")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("-in is required")
+	}
+	s, err := streamfile.ReadEvents(*in)
+	if err != nil {
+		return err
+	}
+	first, last, ok := s.TimeRange()
+	if !ok {
+		return fmt.Errorf("%s: no events", *in)
+	}
+	fmt.Printf("%d events, %v .. %v (%v)\n", len(s), first.Format(time.RFC3339), last.Format(time.RFC3339), last.Sub(first))
+
+	if *showRate {
+		rs := event.Rate(s, *bucket)
+		fmt.Printf("\nevent rate (bucket %v, grass %.0f/bucket):\n", *bucket, rs.Grass())
+		fmt.Print(viz.RateASCII(rs.Counts, 10))
+		for _, sp := range rs.Spikes(8) {
+			fmt.Printf("spike: %v .. %v, %d events (peak %d/bucket)\n",
+				sp.Start.Format(time.RFC3339), sp.End.Format(time.RFC3339), sp.Total, sp.Peak)
+		}
+	}
+
+	comps := stemming.Analyze(s, stemming.Config{MaxComponents: *max, MinScore: *minScore})
+	if len(comps) == 0 {
+		fmt.Println("\nno strongly correlated components")
+		return nil
+	}
+	fmt.Printf("\n%d component(s):\n", len(comps))
+	for i, c := range comps {
+		fmt.Printf("\n#%d  stem %v  (score %.0f, %d matching sequences)\n", i+1, c.Stem, c.Score, c.Count)
+		fmt.Printf("    subsequence:")
+		for _, tok := range c.Subsequence {
+			fmt.Printf(" %v", tok)
+		}
+		fmt.Println()
+		fmt.Printf("    %d events on %d prefixes, %v .. %v\n",
+			c.NumEvents(), len(c.Prefixes), c.First.Format(time.RFC3339), c.Last.Format(time.RFC3339))
+		limit := len(c.Prefixes)
+		if limit > 8 {
+			limit = 8
+		}
+		fmt.Printf("    prefixes:")
+		for _, p := range c.Prefixes[:limit] {
+			fmt.Printf(" %v", p)
+		}
+		if len(c.Prefixes) > limit {
+			fmt.Printf(" … (+%d)", len(c.Prefixes)-limit)
+		}
+		fmt.Println()
+	}
+	return nil
+}

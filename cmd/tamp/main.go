@@ -1,0 +1,140 @@
+// Command tamp renders TAMP pictures ("one picture says 1,000,000
+// routes"): it loads a routing table from an MRT TABLE_DUMP_V2 snapshot
+// or generates one of the built-in paper scenarios, prunes it, and writes
+// ASCII, Graphviz DOT, or SVG.
+//
+// Examples:
+//
+//	tamp -scenario berkeley-misconfig                 # Figure 2 (ASCII)
+//	tamp -scenario berkeley-misconfig -keep-depth 3   # Figure 5
+//	tamp -scenario berkeley -community 2152:65297     # Figure 6
+//	tamp -rib table.mrt -format svg -o picture.svg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rex/internal/bgp"
+	"rex/internal/core/tamp"
+	"rex/internal/sim"
+	"rex/internal/streamfile"
+	"rex/internal/viz"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tamp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tamp", flag.ContinueOnError)
+	var (
+		ribPath   = fs.String("rib", "", "MRT TABLE_DUMP_V2 snapshot to load")
+		scenario  = fs.String("scenario", "", "built-in scenario: berkeley, berkeley-misconfig, ispanon")
+		format    = fs.String("format", "ascii", "output format: ascii, dot, svg")
+		threshold = fs.Float64("threshold", tamp.DefaultThreshold, "prune edges below this fraction of total prefixes")
+		keepDepth = fs.Int("keep-depth", 0, "hierarchical pruning: always keep edges within this depth of the root")
+		community = fs.String("community", "", "map only routes tagged with this community (asn:value)")
+		site      = fs.String("site", "", "site name for the root node (default per source)")
+		out       = fs.String("o", "", "output file (default stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var filter *bgp.Community
+	if *community != "" {
+		c, err := bgp.ParseCommunity(*community)
+		if err != nil {
+			return err
+		}
+		filter = &c
+	}
+
+	g, err := buildGraph(*ribPath, *scenario, *site, filter)
+	if err != nil {
+		return err
+	}
+	pic := g.Snapshot(tamp.PruneOptions{Threshold: *threshold, KeepDepth: *keepDepth})
+
+	var rendered string
+	switch *format {
+	case "ascii":
+		rendered = viz.ASCII(pic)
+	case "dot":
+		rendered = viz.DOT(pic, viz.DOTOptions{ShowPercent: true})
+	case "svg":
+		rendered = viz.SVG(pic)
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+	if *out == "" {
+		_, err := fmt.Print(rendered)
+		return err
+	}
+	return os.WriteFile(*out, []byte(rendered), 0o644)
+}
+
+func buildGraph(ribPath, scenario, site string, filter *bgp.Community) (*tamp.Graph, error) {
+	switch {
+	case ribPath != "":
+		routes, err := streamfile.ReadRIB(ribPath)
+		if err != nil {
+			return nil, err
+		}
+		if site == "" {
+			site = "rib"
+		}
+		g := tamp.New(site)
+		for _, r := range routes {
+			if filter != nil && !r.Attrs.HasCommunity(*filter) {
+				continue
+			}
+			g.AddRoute(tamp.RouteEntry{
+				Router:  r.Peer.String(),
+				Nexthop: r.Attrs.Nexthop,
+				ASPath:  r.Attrs.ASPath.ASNs(),
+				Prefix:  r.Prefix,
+			})
+		}
+		return g, nil
+	case scenario != "":
+		routes, name, err := scenarioRoutes(scenario)
+		if err != nil {
+			return nil, err
+		}
+		if site == "" {
+			site = name
+		}
+		g := tamp.New(site)
+		for _, r := range routes {
+			if filter != nil && !r.Attrs.HasCommunity(*filter) {
+				continue
+			}
+			g.AddRoute(r.TAMPEntry())
+		}
+		return g, nil
+	default:
+		return nil, fmt.Errorf("one of -rib or -scenario is required")
+	}
+}
+
+func scenarioRoutes(name string) ([]sim.SiteRoute, string, error) {
+	switch name {
+	case "berkeley":
+		b := sim.Berkeley(sim.BerkeleyConfig{})
+		return b.BaselineRoutes(), "berkeley", nil
+	case "berkeley-misconfig":
+		b := sim.Berkeley(sim.BerkeleyConfig{Misconfigured: true})
+		return b.BaselineRoutes(), "berkeley", nil
+	case "ispanon":
+		is := sim.ISPAnon(sim.ISPAnonConfig{})
+		return is.BaselineRoutes(), "isp-anon", nil
+	default:
+		return nil, "", fmt.Errorf("unknown scenario %q", name)
+	}
+}

@@ -1,0 +1,101 @@
+package rex_test
+
+import (
+	"fmt"
+	"time"
+
+	"rex"
+	"rex/internal/bgp"
+)
+
+// ExampleNewTAMP reproduces the paper's Figure 1: two routers' trees
+// merge into one graph whose shared edge carries the prefix set union.
+func ExampleNewTAMP() {
+	g := rex.NewTAMP("site")
+	nexthopA := rex.MustAddr("10.0.0.65")
+	for _, p := range []string{"1.2.1.0/24", "1.2.2.0/24", "1.2.3.0/24"} {
+		g.AddRoute(rex.RouteEntry{Router: "X", Nexthop: nexthopA, ASPath: []uint32{1}, Prefix: rex.MustPrefix(p)})
+	}
+	for _, p := range []string{"1.2.2.0/24", "1.2.3.0/24", "1.2.4.0/24"} {
+		g.AddRoute(rex.RouteEntry{Router: "Y", Nexthop: nexthopA, ASPath: []uint32{1}, Prefix: rex.MustPrefix(p)})
+	}
+	pic := g.Snapshot(rex.PruneOptions{Threshold: -1})
+	fmt.Println("total prefixes:", pic.Total)
+	fmt.Print(rex.ASCII(pic))
+	// Output:
+	// total prefixes: 4
+	// site (4 prefixes)
+	// ├── X — 3 (75%)
+	// │   └── 10.0.0.65 — 3 (75%)
+	// │       └── AS1 — 4 (100%)
+	// └── Y — 3 (75%)
+	//     └── 10.0.0.65 — 3 (75%) …
+}
+
+// ExampleStemming finds the problem location of a withdrawal spike.
+func ExampleStemming() {
+	t0 := time.Date(2003, 8, 1, 10, 0, 0, 0, time.UTC)
+	var spike rex.Stream
+	for i := 0; i < 8; i++ {
+		spike = append(spike, rex.Event{
+			Time: t0.Add(time.Duration(i) * time.Second),
+			Type: rex.Withdraw,
+			Peer: rex.MustAddr("128.32.1.3"),
+			Attrs: &bgp.PathAttrs{
+				ASPath:  bgp.Sequence(11423, 209, uint32(7000+i)),
+				Nexthop: rex.MustAddr("128.32.0.66"),
+			},
+			Prefix: rex.MustPrefix(fmt.Sprintf("12.%d.41.0/24", i+1)),
+		})
+	}
+	components := rex.Stemming(spike, rex.StemmingConfig{})
+	fmt.Println("problem location:", components[0].Stem)
+	// Output:
+	// problem location: AS11423—AS209
+}
+
+// ExampleAnimate plays an incident back as a fixed-duration animation.
+func ExampleAnimate() {
+	t0 := time.Date(2002, 7, 1, 0, 0, 0, 0, time.UTC)
+	base := []rex.RouteEntry{{
+		Router:  "10.0.0.1",
+		Nexthop: rex.MustAddr("10.3.4.5"),
+		ASPath:  []uint32{2},
+		Prefix:  rex.MustPrefix("4.5.0.0/16"),
+	}}
+	attrs := &bgp.PathAttrs{ASPath: bgp.Sequence(2), Nexthop: rex.MustAddr("10.3.4.5")}
+	events := rex.Stream{
+		{Time: t0, Type: rex.Withdraw, Peer: rex.MustAddr("10.0.0.1"),
+			Prefix: rex.MustPrefix("4.5.0.0/16"), Attrs: attrs},
+		{Time: t0.Add(time.Minute), Type: rex.Announce, Peer: rex.MustAddr("10.0.0.1"),
+			Prefix: rex.MustPrefix("4.5.0.0/16"), Attrs: attrs},
+	}
+	anim := rex.Animate("isp", base, events, rex.AnimationConfig{})
+	fmt.Println("frames:", anim.NumFrames)
+	fmt.Println("changed frames:", len(anim.Frames))
+	// Output:
+	// frames: 750
+	// changed frames: 2
+}
+
+// ExampleOriginConflicts flags a hijacked prefix by its multiple origins.
+func ExampleOriginConflicts() {
+	t0 := time.Date(2003, 8, 1, 0, 0, 0, 0, time.UTC)
+	mk := func(asns ...uint32) rex.Event {
+		return rex.Event{
+			Time: t0, Type: rex.Announce,
+			Peer:   rex.MustAddr("10.0.0.1"),
+			Prefix: rex.MustPrefix("20.1.0.0/16"),
+			Attrs:  &bgp.PathAttrs{ASPath: bgp.Sequence(asns...)},
+		}
+	}
+	conflicts := rex.OriginConflicts(rex.Stream{
+		mk(11423, 209, 5000), // the rightful origin
+		mk(11423, 666),       // the hijack
+	})
+	for _, c := range conflicts {
+		fmt.Printf("%v announced by AS%d and AS%d\n", c.Prefix, c.Origins[0], c.Origins[1])
+	}
+	// Output:
+	// 20.1.0.0/16 announced by AS666 and AS5000
+}

@@ -1,0 +1,75 @@
+// Campus load-balance audit: the paper's Berkeley case studies §IV-A/B/C
+// on the simulated campus.
+//
+//  1. Figure 2 — the default TAMP picture reveals the misconfigured
+//     commodity split (78% vs 5% instead of 50/50).
+//  2. Figure 5 — hierarchical pruning exposes a 2-prefix backdoor to AT&T
+//     that the default threshold hides.
+//  3. Figure 6 — mapping only the routes tagged 2152:65297 shows the
+//     community is mis-tagged (68% of it is KDDI, not Los Nettos).
+//  4. §III-D.2 — traffic weighting: the same prefix counts can hide a
+//     very different byte split.
+//
+// Run: go run ./examples/campus-loadbalance
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+
+	"rex"
+	"rex/internal/core/tamp"
+	"rex/internal/sim"
+	"rex/internal/traffic"
+)
+
+func main() {
+	site := sim.Berkeley(sim.BerkeleyConfig{Misconfigured: true})
+	baseline := site.BaselineRoutes()
+	g := sim.TAMPGraph("berkeley", baseline)
+	total := g.TotalPrefixes()
+
+	fmt.Println("== 1. Load balancing unbalanced (Figure 2) ==")
+	fmt.Print(rex.ASCII(g.Snapshot(rex.PruneOptions{})))
+	r3 := tamp.RouterNode("128.32.1.3")
+	w66 := g.Weight(r3, tamp.NexthopNode(sim.BerkeleyNexthop66))
+	w70 := g.Weight(r3, tamp.NexthopNode(sim.BerkeleyNexthop70))
+	fmt.Printf("\nrate limiter split: %.0f%% via .66 vs %.0f%% via .70 — intended 50/50!\n\n",
+		100*float64(w66)/float64(total), 100*float64(w70)/float64(total))
+
+	fmt.Println("== 2. Backdoor routes (Figure 5, hierarchical pruning) ==")
+	hier := g.Snapshot(rex.PruneOptions{KeepDepth: 3})
+	fmt.Print(rex.ASCII(hier))
+	if e, ok := hier.Edge(tamp.NexthopNode(sim.BerkeleyNexthop157), tamp.ASNode(sim.ASATT)); ok {
+		fmt.Printf("\nbackdoor: router 128.32.1.222 carries %d prefixes straight to AT&T\n\n", e.Weight)
+	}
+
+	fmt.Println("== 3. Community mis-tagging (Figure 6) ==")
+	tagged := site.MistagRoutes()
+	sub := sim.TAMPGraph("community 2152:65297", tagged)
+	fmt.Print(rex.ASCII(sub.Snapshot(rex.PruneOptions{Threshold: -1})))
+	ln := sub.Weight(tamp.ASNode(sim.ASCalREN), tamp.ASNode(sim.ASLosNettos))
+	kd := sub.Weight(tamp.ASNode(sim.ASCalREN), tamp.ASNode(sim.ASKDDI))
+	fmt.Printf("\nonly %.0f%% of tagged prefixes are from Los Nettos; %.0f%% are KDDI — a tagging error\n\n",
+		100*float64(ln)/float64(ln+kd), 100*float64(kd)/float64(ln+kd))
+
+	fmt.Println("== 4. Prefix balance vs traffic balance (§III-D.2) ==")
+	// Zipf traffic over the unique prefixes: elephants and mice.
+	seen := map[netip.Prefix]bool{}
+	var all []netip.Prefix
+	for _, r := range baseline {
+		if !seen[r.Prefix] {
+			seen[r.Prefix] = true
+			all = append(all, r.Prefix)
+		}
+	}
+	vol := traffic.GenerateZipf(all, 10_000_000_000, 1.8, rand.New(rand.NewSource(42)))
+	b66 := traffic.EdgeVolume(g, r3, tamp.NexthopNode(sim.BerkeleyNexthop66), vol)
+	b70 := traffic.EdgeVolume(g, r3, tamp.NexthopNode(sim.BerkeleyNexthop70), vol)
+	fmt.Printf("prefix split .66/.70: %d / %d prefixes (%.1fx)\n", w66, w70, float64(w66)/float64(w70))
+	fmt.Printf("byte   split .66/.70: %.1f / %.1f GB (%.1fx) — the elephants decide\n",
+		float64(b66)/1e9, float64(b70)/1e9, float64(b66)/float64(b70))
+	fmt.Printf("elephants: %d of %d prefixes carry 90%% of traffic\n",
+		len(vol.Elephants(0.9)), len(all))
+}

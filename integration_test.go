@@ -1,0 +1,200 @@
+package rex_test
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// buildTools compiles the command-line tools once per test binary run.
+var buildTools = sync.OnceValues(func() (map[string]string, error) {
+	dir, err := os.MkdirTemp("", "rex-tools-")
+	if err != nil {
+		return nil, err
+	}
+	tools := map[string]string{}
+	for _, name := range []string{"tamp", "stemming", "bgpsim", "rexd", "experiments", "animate"} {
+		bin := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			return nil, fmt.Errorf("build %s: %v\n%s", name, err, out)
+		}
+		tools[name] = bin
+	}
+	return tools, nil
+})
+
+func tool(t *testing.T, name string) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("integration test: skipped in -short mode")
+	}
+	tools, err := buildTools()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tools[name]
+}
+
+func runTool(t *testing.T, name string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(tool(t, name), args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+	}
+	return string(out)
+}
+
+// TestCLIGenerateAnalyzeRender drives the offline pipeline: bgpsim writes
+// an incident's RIB + events; tamp renders the picture; stemming analyzes
+// the stream.
+func TestCLIGenerateAnalyzeRender(t *testing.T) {
+	dir := t.TempDir()
+	events := filepath.Join(dir, "leak.events")
+	table := filepath.Join(dir, "baseline.mrt")
+
+	out := runTool(t, "bgpsim", "-scenario", "leak", "-events", events, "-rib", table)
+	if !strings.Contains(out, "scenario peer-leak") {
+		t.Fatalf("bgpsim output: %s", out)
+	}
+
+	// Render the baseline RIB.
+	pic := runTool(t, "tamp", "-rib", table, "-site", "berkeley")
+	for _, want := range []string{"berkeley", "AS11423", "AS209", "128.32.1.3"} {
+		if !strings.Contains(pic, want) {
+			t.Errorf("tamp ascii missing %q:\n%s", want, pic)
+		}
+	}
+	// DOT and SVG outputs, and hierarchical pruning exposing the
+	// backdoor router.
+	dot := runTool(t, "tamp", "-rib", table, "-format", "dot")
+	if !strings.Contains(dot, "digraph") {
+		t.Error("no digraph in DOT output")
+	}
+	hier := runTool(t, "tamp", "-rib", table, "-keep-depth", "3")
+	if !strings.Contains(hier, "128.32.1.222") {
+		t.Error("hierarchical pruning did not keep the backdoor router")
+	}
+	// Community subset (Figure 6).
+	subset := runTool(t, "tamp", "-rib", table, "-community", "2152:65297", "-threshold", "-1")
+	if !strings.Contains(subset, "AS2516") || !strings.Contains(subset, "AS226") {
+		t.Errorf("community subset wrong:\n%s", subset)
+	}
+
+	// Analyze the incident stream.
+	analysis := runTool(t, "stemming", "-in", events, "-rate", "-max", "2")
+	for _, want := range []string{"component(s):", "stem", "event rate"} {
+		if !strings.Contains(analysis, want) {
+			t.Errorf("stemming output missing %q:\n%s", want, analysis)
+		}
+	}
+
+	// Render animation frames of the incident.
+	frames := filepath.Join(dir, "frames")
+	out = runTool(t, "animate", "-rib", table, "-in", events,
+		"-o", frames, "-every", "250", "-select", "AS11423->AS209", "-site", "berkeley")
+	if !strings.Contains(out, "frames in") {
+		t.Fatalf("animate output: %s", out)
+	}
+	entries, err := os.ReadDir(frames)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("no frames written: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(frames, entries[0].Name()))
+	if err != nil || !strings.Contains(string(data), "prefixes over time") {
+		t.Error("frame missing the selected-edge plot")
+	}
+}
+
+// TestCLISVGOutputFile checks -o writes a file.
+func TestCLISVGOutputFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "pic.svg")
+	runTool(t, "tamp", "-scenario", "berkeley-misconfig", "-format", "svg", "-o", out)
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "<svg") {
+		t.Error("not an SVG")
+	}
+}
+
+// TestCLILiveReplay runs rexd and feeds it a scenario over real BGP
+// sessions via bgpsim, then checks the captured stream analyzes.
+func TestCLILiveReplay(t *testing.T) {
+	dir := t.TempDir()
+	eventsOut := filepath.Join(dir, "live.events")
+
+	// Pick a free port.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	rexd := exec.Command(tool(t, "rexd"),
+		"-listen", addr, "-out", eventsOut, "-scan-every", "0", "-run-for", "6s")
+	rexdOut, err := os.Create(filepath.Join(dir, "rexd.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rexd.Stdout, rexd.Stderr = rexdOut, rexdOut
+	if err := rexd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = rexd.Process.Kill()
+		_, _ = rexd.Process.Wait()
+	}()
+
+	// Wait for the listener.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		conn, err := net.Dial("tcp", addr)
+		if err == nil {
+			conn.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("rexd never listened")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	runTool(t, "bgpsim", "-scenario", "med", "-duration", "100ms", "-replay", addr)
+
+	// Wait for rexd's -run-for exit so the event file is flushed and
+	// complete.
+	if err := rexd.Wait(); err != nil {
+		t.Fatalf("rexd: %v", err)
+	}
+	st, err := os.Stat(eventsOut)
+	if err != nil || st.Size() == 0 {
+		t.Fatalf("no events captured: %v", err)
+	}
+
+	analysis := runTool(t, "stemming", "-in", eventsOut, "-max", "1")
+	if !strings.Contains(analysis, "4.5.0.0/16") {
+		t.Errorf("live capture analysis missing the MED prefix:\n%s", analysis)
+	}
+}
+
+// TestCLIExperimentsQuickSubset runs one figure through the experiments
+// harness.
+func TestCLIExperimentsQuickSubset(t *testing.T) {
+	out := runTool(t, "experiments", "-quick", "-only", "fig1,fig4,fig6")
+	for _, want := range []string{"Figure 1", "**4**", "AS11423—AS209", "KDDI **68%**"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("experiments output missing %q", want)
+		}
+	}
+}

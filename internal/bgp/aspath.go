@@ -1,0 +1,243 @@
+package bgp
+
+import (
+	"slices"
+	"strconv"
+	"strings"
+)
+
+// SegmentType identifies the kind of an AS_PATH segment (RFC 4271 §4.3).
+type SegmentType uint8
+
+// AS_PATH segment types.
+const (
+	SegmentSet      SegmentType = 1
+	SegmentSequence SegmentType = 2
+)
+
+// PathSegment is one segment of an AS_PATH attribute: either an ordered
+// AS_SEQUENCE or an unordered AS_SET.
+type PathSegment struct {
+	Type SegmentType
+	ASNs []uint32
+}
+
+// ASPath is an ordered list of path segments. The common case is a single
+// AS_SEQUENCE segment.
+type ASPath []PathSegment
+
+// Sequence builds an ASPath consisting of a single AS_SEQUENCE with the
+// given ASNs. An empty argument list yields an empty (zero-segment) path,
+// as announced for locally originated routes.
+func Sequence(asns ...uint32) ASPath {
+	if len(asns) == 0 {
+		return nil
+	}
+	return ASPath{{Type: SegmentSequence, ASNs: slices.Clone(asns)}}
+}
+
+// Length returns the AS-path length used by the BGP decision process:
+// each AS in a sequence counts 1, each AS_SET counts 1 total (RFC 4271
+// §9.1.2.2(a) as commonly implemented).
+func (p ASPath) Length() int {
+	n := 0
+	for _, seg := range p {
+		switch seg.Type {
+		case SegmentSet:
+			n++
+		default:
+			n += len(seg.ASNs)
+		}
+	}
+	return n
+}
+
+// ASNs returns every ASN on the path in order, flattening AS_SETs in their
+// stored order. The returned slice is freshly allocated.
+func (p ASPath) ASNs() []uint32 {
+	out := make([]uint32, 0, p.Length())
+	for _, seg := range p {
+		out = append(out, seg.ASNs...)
+	}
+	return out
+}
+
+// First returns the leftmost (nearest) ASN, or 0 if the path is empty.
+func (p ASPath) First() uint32 {
+	for _, seg := range p {
+		if len(seg.ASNs) > 0 {
+			return seg.ASNs[0]
+		}
+	}
+	return 0
+}
+
+// OriginAS returns the rightmost ASN (the route's originating AS), or 0 if
+// the path is empty.
+func (p ASPath) OriginAS() uint32 {
+	for i := len(p) - 1; i >= 0; i-- {
+		if n := len(p[i].ASNs); n > 0 {
+			return p[i].ASNs[n-1]
+		}
+	}
+	return 0
+}
+
+// Contains reports whether asn appears anywhere on the path. BGP's loop
+// detection rejects routes whose AS_PATH contains the local AS.
+func (p ASPath) Contains(asn uint32) bool {
+	for _, seg := range p {
+		if slices.Contains(seg.ASNs, asn) {
+			return true
+		}
+	}
+	return false
+}
+
+// Prepend returns a new path with asn prepended, merging into a leading
+// AS_SEQUENCE when one exists. The receiver is not modified.
+func (p ASPath) Prepend(asn uint32) ASPath {
+	if len(p) > 0 && p[0].Type == SegmentSequence {
+		seg := PathSegment{
+			Type: SegmentSequence,
+			ASNs: make([]uint32, 0, len(p[0].ASNs)+1),
+		}
+		seg.ASNs = append(append(seg.ASNs, asn), p[0].ASNs...)
+		out := make(ASPath, 0, len(p))
+		out = append(out, seg)
+		return append(out, p[1:]...)
+	}
+	out := make(ASPath, 0, len(p)+1)
+	out = append(out, PathSegment{Type: SegmentSequence, ASNs: []uint32{asn}})
+	return append(out, p...)
+}
+
+// Clone returns a deep copy of the path.
+func (p ASPath) Clone() ASPath {
+	if p == nil {
+		return nil
+	}
+	out := make(ASPath, len(p))
+	for i, seg := range p {
+		out[i] = PathSegment{Type: seg.Type, ASNs: slices.Clone(seg.ASNs)}
+	}
+	return out
+}
+
+// Equal reports whether two paths are identical segment by segment.
+func (p ASPath) Equal(q ASPath) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i].Type != q[i].Type || !slices.Equal(p[i].ASNs, q[i].ASNs) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the path in the usual CLI form: sequences as
+// space-separated ASNs, sets in braces ("11423 209 {7018 1239}").
+func (p ASPath) String() string {
+	var b strings.Builder
+	for i, seg := range p {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		if seg.Type == SegmentSet {
+			b.WriteByte('{')
+		}
+		for j, asn := range seg.ASNs {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(strconv.FormatUint(uint64(asn), 10))
+		}
+		if seg.Type == SegmentSet {
+			b.WriteByte('}')
+		}
+	}
+	return b.String()
+}
+
+// ParseASPath parses the String form: space-separated ASNs with AS_SETs in
+// braces. An empty string yields an empty path.
+func ParseASPath(s string) (ASPath, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var (
+		path   ASPath
+		curSeq []uint32
+	)
+	flushSeq := func() {
+		if len(curSeq) > 0 {
+			path = append(path, PathSegment{Type: SegmentSequence, ASNs: curSeq})
+			curSeq = nil
+		}
+	}
+	i := 0
+	for i < len(s) {
+		switch {
+		case s[i] == ' ':
+			i++
+		case s[i] == '{':
+			flushSeq()
+			end := strings.IndexByte(s[i:], '}')
+			if end < 0 {
+				return nil, errUnterminatedSet(s)
+			}
+			inner := s[i+1 : i+end]
+			var set []uint32
+			for _, f := range strings.Fields(inner) {
+				asn, err := strconv.ParseUint(f, 10, 32)
+				if err != nil {
+					return nil, errBadASN(f)
+				}
+				set = append(set, uint32(asn))
+			}
+			if len(set) == 0 {
+				return nil, errEmptySet(s)
+			}
+			path = append(path, PathSegment{Type: SegmentSet, ASNs: set})
+			i += end + 1
+		default:
+			end := i
+			for end < len(s) && s[end] != ' ' && s[end] != '{' {
+				end++
+			}
+			asn, err := strconv.ParseUint(s[i:end], 10, 32)
+			if err != nil {
+				return nil, errBadASN(s[i:end])
+			}
+			curSeq = append(curSeq, uint32(asn))
+			i = end
+		}
+	}
+	flushSeq()
+	return path, nil
+}
+
+func errUnterminatedSet(s string) error {
+	return &ASPathParseError{Input: s, Reason: "unterminated AS_SET"}
+}
+
+func errEmptySet(s string) error {
+	return &ASPathParseError{Input: s, Reason: "empty AS_SET"}
+}
+
+func errBadASN(tok string) error {
+	return &ASPathParseError{Input: tok, Reason: "invalid ASN"}
+}
+
+// ASPathParseError reports a malformed textual AS path.
+type ASPathParseError struct {
+	Input  string
+	Reason string
+}
+
+func (e *ASPathParseError) Error() string {
+	return "parse as-path " + strconv.Quote(e.Input) + ": " + e.Reason
+}

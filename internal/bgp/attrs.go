@@ -1,0 +1,407 @@
+package bgp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+	"slices"
+	"sort"
+	"strings"
+)
+
+// Path attribute type codes (RFC 4271 §4.3, RFC 1997).
+const (
+	attrOrigin          = 1
+	attrASPath          = 2
+	attrNexthop         = 3
+	attrMED             = 4
+	attrLocalPref       = 5
+	attrAtomicAggregate = 6
+	attrAggregator      = 7
+	attrCommunities     = 8
+	attrOriginatorID    = 9
+	attrClusterList     = 10
+)
+
+// Path attribute flag bits.
+const (
+	flagOptional   = 0x80
+	flagTransitive = 0x40
+	flagExtLength  = 0x10
+)
+
+// PathAttrs carries the decoded path attributes of a route or UPDATE.
+//
+// MED and LOCAL_PREF are optional on the wire; the Has fields distinguish
+// "absent" from "present with value 0", which matters to the decision
+// process (a missing MED is compared as 0 by default but the distinction
+// is preserved for policy and diagnosis).
+type PathAttrs struct {
+	Origin          Origin
+	ASPath          ASPath
+	Nexthop         netip.Addr
+	MED             uint32
+	HasMED          bool
+	LocalPref       uint32
+	HasLocalPref    bool
+	AtomicAggregate bool
+	Aggregator      *Aggregator
+	Communities     []Community
+	// OriginatorID and ClusterList are the route-reflection attributes
+	// (RFC 4456): the reflected route's original injector and the cluster
+	// path it traversed. Reflectors use them for loop prevention.
+	OriginatorID netip.Addr
+	ClusterList  []netip.Addr
+}
+
+// Clone returns a deep copy of the attributes.
+func (a *PathAttrs) Clone() *PathAttrs {
+	if a == nil {
+		return nil
+	}
+	out := *a
+	out.ASPath = a.ASPath.Clone()
+	out.Communities = slices.Clone(a.Communities)
+	out.ClusterList = slices.Clone(a.ClusterList)
+	if a.Aggregator != nil {
+		agg := *a.Aggregator
+		out.Aggregator = &agg
+	}
+	return &out
+}
+
+// HasCommunity reports whether c is attached to the route.
+func (a *PathAttrs) HasCommunity(c Community) bool {
+	return a != nil && slices.Contains(a.Communities, c)
+}
+
+// AddCommunity attaches c if not already present, keeping the list sorted
+// so attribute comparison and wire encoding are deterministic.
+func (a *PathAttrs) AddCommunity(c Community) {
+	if a.HasCommunity(c) {
+		return
+	}
+	a.Communities = append(a.Communities, c)
+	sort.Slice(a.Communities, func(i, j int) bool { return a.Communities[i] < a.Communities[j] })
+}
+
+// Equal reports whether two attribute sets are semantically identical.
+func (a *PathAttrs) Equal(b *PathAttrs) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Origin != b.Origin ||
+		a.Nexthop != b.Nexthop ||
+		a.HasMED != b.HasMED || (a.HasMED && a.MED != b.MED) ||
+		a.HasLocalPref != b.HasLocalPref || (a.HasLocalPref && a.LocalPref != b.LocalPref) ||
+		a.AtomicAggregate != b.AtomicAggregate {
+		return false
+	}
+	if (a.Aggregator == nil) != (b.Aggregator == nil) {
+		return false
+	}
+	if a.Aggregator != nil && *a.Aggregator != *b.Aggregator {
+		return false
+	}
+	if a.OriginatorID != b.OriginatorID || !slices.Equal(a.ClusterList, b.ClusterList) {
+		return false
+	}
+	return a.ASPath.Equal(b.ASPath) && slices.Equal(a.Communities, b.Communities)
+}
+
+// String renders the attributes compactly for logs and event streams.
+func (a *PathAttrs) String() string {
+	if a == nil {
+		return "<nil attrs>"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "nexthop=%v aspath=[%v] origin=%v", a.Nexthop, a.ASPath, a.Origin)
+	if a.HasMED {
+		fmt.Fprintf(&b, " med=%d", a.MED)
+	}
+	if a.HasLocalPref {
+		fmt.Fprintf(&b, " localpref=%d", a.LocalPref)
+	}
+	if len(a.Communities) > 0 {
+		b.WriteString(" communities=")
+		for i, c := range a.Communities {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(c.String())
+		}
+	}
+	return b.String()
+}
+
+// appendAttr appends one encoded path attribute, using the extended-length
+// form only when required.
+func appendAttr(dst []byte, flags, code byte, body []byte) []byte {
+	if len(body) > 255 {
+		flags |= flagExtLength
+		dst = append(dst, flags, code, byte(len(body)>>8), byte(len(body)))
+	} else {
+		dst = append(dst, flags, code, byte(len(body)))
+	}
+	return append(dst, body...)
+}
+
+// marshalAttrs encodes the attributes in the canonical (ascending type
+// code) order. fourByteAS selects 4-octet ASN encoding in AS_PATH and
+// AGGREGATOR, as negotiated by the RFC 6793 capability.
+func (a *PathAttrs) marshalAttrs(fourByteAS bool) ([]byte, error) {
+	if a == nil {
+		return nil, nil
+	}
+	if !a.Origin.Valid() {
+		return nil, fmt.Errorf("marshal attrs: invalid origin %d", a.Origin)
+	}
+	var dst []byte
+	dst = appendAttr(dst, flagTransitive, attrOrigin, []byte{byte(a.Origin)})
+
+	asBody, err := marshalASPath(a.ASPath, fourByteAS)
+	if err != nil {
+		return nil, err
+	}
+	dst = appendAttr(dst, flagTransitive, attrASPath, asBody)
+
+	if a.Nexthop.IsValid() {
+		if !a.Nexthop.Is4() {
+			return nil, fmt.Errorf("marshal attrs: NEXT_HOP %v is not IPv4", a.Nexthop)
+		}
+		nh := a.Nexthop.As4()
+		dst = appendAttr(dst, flagTransitive, attrNexthop, nh[:])
+	}
+	if a.HasMED {
+		var med [4]byte
+		binary.BigEndian.PutUint32(med[:], a.MED)
+		dst = appendAttr(dst, flagOptional, attrMED, med[:])
+	}
+	if a.HasLocalPref {
+		var lp [4]byte
+		binary.BigEndian.PutUint32(lp[:], a.LocalPref)
+		dst = appendAttr(dst, flagTransitive, attrLocalPref, lp[:])
+	}
+	if a.AtomicAggregate {
+		dst = appendAttr(dst, flagTransitive, attrAtomicAggregate, nil)
+	}
+	if a.Aggregator != nil {
+		if !a.Aggregator.Addr.Is4() {
+			return nil, fmt.Errorf("marshal attrs: aggregator addr %v is not IPv4", a.Aggregator.Addr)
+		}
+		addr := a.Aggregator.Addr.As4()
+		var body []byte
+		if fourByteAS {
+			body = binary.BigEndian.AppendUint32(body, a.Aggregator.AS)
+		} else {
+			body = binary.BigEndian.AppendUint16(body, uint16(a.Aggregator.AS))
+		}
+		body = append(body, addr[:]...)
+		dst = appendAttr(dst, flagOptional|flagTransitive, attrAggregator, body)
+	}
+	if len(a.Communities) > 0 {
+		body := make([]byte, 0, 4*len(a.Communities))
+		for _, c := range a.Communities {
+			body = binary.BigEndian.AppendUint32(body, uint32(c))
+		}
+		dst = appendAttr(dst, flagOptional|flagTransitive, attrCommunities, body)
+	}
+	if a.OriginatorID.IsValid() {
+		if !a.OriginatorID.Is4() {
+			return nil, fmt.Errorf("marshal attrs: ORIGINATOR_ID %v is not IPv4", a.OriginatorID)
+		}
+		id := a.OriginatorID.As4()
+		dst = appendAttr(dst, flagOptional, attrOriginatorID, id[:])
+	}
+	if len(a.ClusterList) > 0 {
+		body := make([]byte, 0, 4*len(a.ClusterList))
+		for _, c := range a.ClusterList {
+			if !c.Is4() {
+				return nil, fmt.Errorf("marshal attrs: CLUSTER_LIST entry %v is not IPv4", c)
+			}
+			c4 := c.As4()
+			body = append(body, c4[:]...)
+		}
+		dst = appendAttr(dst, flagOptional, attrClusterList, body)
+	}
+	return dst, nil
+}
+
+func marshalASPath(p ASPath, fourByteAS bool) ([]byte, error) {
+	var dst []byte
+	for _, seg := range p {
+		if len(seg.ASNs) == 0 {
+			return nil, fmt.Errorf("marshal as-path: empty segment")
+		}
+		if len(seg.ASNs) > 255 {
+			return nil, fmt.Errorf("marshal as-path: segment of %d ASNs exceeds 255", len(seg.ASNs))
+		}
+		dst = append(dst, byte(seg.Type), byte(len(seg.ASNs)))
+		for _, asn := range seg.ASNs {
+			if fourByteAS {
+				dst = binary.BigEndian.AppendUint32(dst, asn)
+			} else {
+				if asn > 0xFFFF {
+					return nil, fmt.Errorf("marshal as-path: ASN %d needs 4-octet encoding", asn)
+				}
+				dst = binary.BigEndian.AppendUint16(dst, uint16(asn))
+			}
+		}
+	}
+	return dst, nil
+}
+
+func unmarshalASPath(b []byte, fourByteAS bool) (ASPath, error) {
+	asnLen := 2
+	if fourByteAS {
+		asnLen = 4
+	}
+	var path ASPath
+	for len(b) > 0 {
+		if len(b) < 2 {
+			return nil, fmt.Errorf("as-path: truncated segment header")
+		}
+		segType := SegmentType(b[0])
+		if segType != SegmentSet && segType != SegmentSequence {
+			return nil, fmt.Errorf("as-path: unknown segment type %d", segType)
+		}
+		count := int(b[1])
+		b = b[2:]
+		if len(b) < count*asnLen {
+			return nil, fmt.Errorf("as-path: truncated segment body")
+		}
+		asns := make([]uint32, count)
+		for i := 0; i < count; i++ {
+			if fourByteAS {
+				asns[i] = binary.BigEndian.Uint32(b[i*4:])
+			} else {
+				asns[i] = uint32(binary.BigEndian.Uint16(b[i*2:]))
+			}
+		}
+		path = append(path, PathSegment{Type: segType, ASNs: asns})
+		b = b[count*asnLen:]
+	}
+	return path, nil
+}
+
+// unmarshalAttrs decodes a path attribute block. Unknown optional
+// attributes are skipped (the collector's job is observation, not
+// validation); unknown well-known attributes are an error.
+func unmarshalAttrs(b []byte, fourByteAS bool) (*PathAttrs, error) {
+	a := &PathAttrs{}
+	for len(b) > 0 {
+		if len(b) < 3 {
+			return nil, fmt.Errorf("attrs: truncated attribute header")
+		}
+		flags, code := b[0], b[1]
+		var bodyLen, hdrLen int
+		if flags&flagExtLength != 0 {
+			if len(b) < 4 {
+				return nil, fmt.Errorf("attrs: truncated extended-length header")
+			}
+			bodyLen = int(binary.BigEndian.Uint16(b[2:4]))
+			hdrLen = 4
+		} else {
+			bodyLen = int(b[2])
+			hdrLen = 3
+		}
+		if len(b) < hdrLen+bodyLen {
+			return nil, fmt.Errorf("attrs: attribute %d body truncated", code)
+		}
+		body := b[hdrLen : hdrLen+bodyLen]
+		b = b[hdrLen+bodyLen:]
+
+		switch code {
+		case attrOrigin:
+			if bodyLen != 1 {
+				return nil, fmt.Errorf("attrs: ORIGIN length %d", bodyLen)
+			}
+			a.Origin = Origin(body[0])
+			if !a.Origin.Valid() {
+				return nil, fmt.Errorf("attrs: invalid ORIGIN %d", body[0])
+			}
+		case attrASPath:
+			path, err := unmarshalASPath(body, fourByteAS)
+			if err != nil {
+				return nil, err
+			}
+			a.ASPath = path
+		case attrNexthop:
+			if bodyLen != 4 {
+				return nil, fmt.Errorf("attrs: NEXT_HOP length %d", bodyLen)
+			}
+			a.Nexthop = netip.AddrFrom4([4]byte(body))
+		case attrMED:
+			if bodyLen != 4 {
+				return nil, fmt.Errorf("attrs: MED length %d", bodyLen)
+			}
+			a.MED = binary.BigEndian.Uint32(body)
+			a.HasMED = true
+		case attrLocalPref:
+			if bodyLen != 4 {
+				return nil, fmt.Errorf("attrs: LOCAL_PREF length %d", bodyLen)
+			}
+			a.LocalPref = binary.BigEndian.Uint32(body)
+			a.HasLocalPref = true
+		case attrAtomicAggregate:
+			a.AtomicAggregate = true
+		case attrAggregator:
+			want := 6
+			if fourByteAS {
+				want = 8
+			}
+			if bodyLen != want {
+				return nil, fmt.Errorf("attrs: AGGREGATOR length %d (want %d)", bodyLen, want)
+			}
+			agg := Aggregator{}
+			if fourByteAS {
+				agg.AS = binary.BigEndian.Uint32(body)
+				agg.Addr = netip.AddrFrom4([4]byte(body[4:]))
+			} else {
+				agg.AS = uint32(binary.BigEndian.Uint16(body))
+				agg.Addr = netip.AddrFrom4([4]byte(body[2:]))
+			}
+			a.Aggregator = &agg
+		case attrCommunities:
+			if bodyLen%4 != 0 {
+				return nil, fmt.Errorf("attrs: COMMUNITIES length %d not a multiple of 4", bodyLen)
+			}
+			a.Communities = make([]Community, 0, bodyLen/4)
+			for i := 0; i < bodyLen; i += 4 {
+				a.Communities = append(a.Communities, Community(binary.BigEndian.Uint32(body[i:])))
+			}
+		case attrOriginatorID:
+			if bodyLen != 4 {
+				return nil, fmt.Errorf("attrs: ORIGINATOR_ID length %d", bodyLen)
+			}
+			a.OriginatorID = netip.AddrFrom4([4]byte(body))
+		case attrClusterList:
+			if bodyLen%4 != 0 || bodyLen == 0 {
+				return nil, fmt.Errorf("attrs: CLUSTER_LIST length %d", bodyLen)
+			}
+			a.ClusterList = make([]netip.Addr, 0, bodyLen/4)
+			for i := 0; i < bodyLen; i += 4 {
+				a.ClusterList = append(a.ClusterList, netip.AddrFrom4([4]byte(body[i:i+4])))
+			}
+		default:
+			if flags&flagOptional == 0 {
+				return nil, fmt.Errorf("attrs: unrecognized well-known attribute %d", code)
+			}
+			// Unknown optional attribute: skip.
+		}
+	}
+	return a, nil
+}
+
+// MarshalAttrs encodes a path attribute block (the UPDATE "Path
+// Attributes" field) for external consumers such as the event-stream
+// binary codec and the MRT writer.
+func MarshalAttrs(a *PathAttrs, fourByteAS bool) ([]byte, error) {
+	return a.marshalAttrs(fourByteAS)
+}
+
+// UnmarshalAttrs decodes a path attribute block produced by MarshalAttrs
+// or read from an UPDATE/MRT record.
+func UnmarshalAttrs(b []byte, fourByteAS bool) (*PathAttrs, error) {
+	return unmarshalAttrs(b, fourByteAS)
+}

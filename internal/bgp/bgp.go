@@ -1,0 +1,102 @@
+// Package bgp implements the BGP-4 message model and wire codec (RFC 4271)
+// used throughout the repository: path attributes, UPDATE/OPEN/KEEPALIVE/
+// NOTIFICATION messages, and prefix (NLRI) encoding.
+//
+// The codec is deliberately self-contained and allocation-conscious: it is
+// the substrate under the collector (passive IBGP peering), the MRT
+// reader/writer, and the simulator's live replay mode.
+package bgp
+
+import (
+	"fmt"
+	"net/netip"
+	"strconv"
+	"strings"
+)
+
+// Version is the BGP protocol version implemented by this package.
+const Version = 4
+
+// Origin is the ORIGIN path attribute value (RFC 4271 §5.1.1).
+type Origin uint8
+
+// Origin values. Wire values start at zero per the RFC, so this enum
+// intentionally keeps the zero value meaningful (IGP is the common default).
+const (
+	OriginIGP        Origin = 0
+	OriginEGP        Origin = 1
+	OriginIncomplete Origin = 2
+)
+
+// String returns the conventional short name ("i", "e", "?") used by
+// router CLIs.
+func (o Origin) String() string {
+	switch o {
+	case OriginIGP:
+		return "i"
+	case OriginEGP:
+		return "e"
+	case OriginIncomplete:
+		return "?"
+	default:
+		return "origin(" + strconv.Itoa(int(o)) + ")"
+	}
+}
+
+// Valid reports whether o is one of the three defined origin codes.
+func (o Origin) Valid() bool { return o <= OriginIncomplete }
+
+// Community is a BGP community attribute value (RFC 1997): a 32-bit tag
+// conventionally written as "asn:value".
+type Community uint32
+
+// MakeCommunity builds a community from its conventional asn:value parts.
+func MakeCommunity(asn, value uint16) Community {
+	return Community(uint32(asn)<<16 | uint32(value))
+}
+
+// ASN returns the high 16 bits of the community.
+func (c Community) ASN() uint16 { return uint16(c >> 16) }
+
+// Value returns the low 16 bits of the community.
+func (c Community) Value() uint16 { return uint16(c) }
+
+// String renders the community in the conventional "asn:value" form.
+func (c Community) String() string {
+	return strconv.Itoa(int(c.ASN())) + ":" + strconv.Itoa(int(c.Value()))
+}
+
+// ParseCommunity parses the "asn:value" form produced by String.
+func ParseCommunity(s string) (Community, error) {
+	a, v, ok := strings.Cut(s, ":")
+	if !ok {
+		return 0, fmt.Errorf("community %q: want asn:value", s)
+	}
+	asn, err := strconv.ParseUint(a, 10, 16)
+	if err != nil {
+		return 0, fmt.Errorf("community %q: asn: %w", s, err)
+	}
+	val, err := strconv.ParseUint(v, 10, 16)
+	if err != nil {
+		return 0, fmt.Errorf("community %q: value: %w", s, err)
+	}
+	return MakeCommunity(uint16(asn), uint16(val)), nil
+}
+
+// Aggregator is the AGGREGATOR path attribute (RFC 4271 §5.1.7).
+type Aggregator struct {
+	AS   uint32
+	Addr netip.Addr
+}
+
+// String renders the aggregator as "as:addr".
+func (a Aggregator) String() string {
+	return strconv.FormatUint(uint64(a.AS), 10) + ":" + a.Addr.String()
+}
+
+// Well-known community values (RFC 1997 §2).
+const (
+	CommunityNoExport          Community = 0xFFFFFF01
+	CommunityNoAdvertise       Community = 0xFFFFFF02
+	CommunityNoExportSubconfed Community = 0xFFFFFF03
+)

@@ -1,0 +1,582 @@
+package bgp
+
+import (
+	"bytes"
+	"net/netip"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCommunityRoundTrip(t *testing.T) {
+	tests := []struct {
+		asn, val uint16
+		want     string
+	}{
+		{11423, 65350, "11423:65350"},
+		{2152, 65297, "2152:65297"},
+		{0, 0, "0:0"},
+		{65535, 65535, "65535:65535"},
+	}
+	for _, tt := range tests {
+		c := MakeCommunity(tt.asn, tt.val)
+		if got := c.String(); got != tt.want {
+			t.Errorf("MakeCommunity(%d,%d).String() = %q, want %q", tt.asn, tt.val, got, tt.want)
+		}
+		back, err := ParseCommunity(tt.want)
+		if err != nil {
+			t.Fatalf("ParseCommunity(%q): %v", tt.want, err)
+		}
+		if back != c {
+			t.Errorf("ParseCommunity(%q) = %v, want %v", tt.want, back, c)
+		}
+		if c.ASN() != tt.asn || c.Value() != tt.val {
+			t.Errorf("community %v parts = %d:%d, want %d:%d", c, c.ASN(), c.Value(), tt.asn, tt.val)
+		}
+	}
+}
+
+func TestParseCommunityErrors(t *testing.T) {
+	for _, s := range []string{"", "11423", "x:1", "1:x", "70000:1", "1:70000"} {
+		if _, err := ParseCommunity(s); err == nil {
+			t.Errorf("ParseCommunity(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestCommunityQuickRoundTrip(t *testing.T) {
+	f := func(asn, val uint16) bool {
+		c := MakeCommunity(asn, val)
+		back, err := ParseCommunity(c.String())
+		return err == nil && back == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestASPathBasics(t *testing.T) {
+	p := Sequence(11423, 209, 701, 1299, 5713)
+	if got := p.Length(); got != 5 {
+		t.Errorf("Length = %d, want 5", got)
+	}
+	if got := p.First(); got != 11423 {
+		t.Errorf("First = %d, want 11423", got)
+	}
+	if got := p.OriginAS(); got != 5713 {
+		t.Errorf("OriginAS = %d, want 5713", got)
+	}
+	if !p.Contains(701) || p.Contains(7018) {
+		t.Errorf("Contains wrong: 701 in %v, 7018 not in %v", p, p)
+	}
+	if got := p.String(); got != "11423 209 701 1299 5713" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestASPathEmptyPath(t *testing.T) {
+	var p ASPath
+	if p.Length() != 0 || p.First() != 0 || p.OriginAS() != 0 || p.Contains(1) {
+		t.Errorf("empty path misbehaves: %v", p)
+	}
+	if p.String() != "" {
+		t.Errorf("empty path String = %q", p.String())
+	}
+	if Sequence() != nil {
+		t.Error("Sequence() should be nil")
+	}
+}
+
+func TestASPathSetLength(t *testing.T) {
+	p := ASPath{
+		{Type: SegmentSequence, ASNs: []uint32{1, 2}},
+		{Type: SegmentSet, ASNs: []uint32{3, 4, 5}},
+	}
+	if got := p.Length(); got != 3 {
+		t.Errorf("Length with AS_SET = %d, want 3 (set counts 1)", got)
+	}
+	if got := p.OriginAS(); got != 5 {
+		t.Errorf("OriginAS = %d, want 5", got)
+	}
+	if got := p.String(); got != "1 2 {3 4 5}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestASPathPrepend(t *testing.T) {
+	p := Sequence(209, 701)
+	q := p.Prepend(11423)
+	if got := q.String(); got != "11423 209 701" {
+		t.Errorf("Prepend = %q", got)
+	}
+	if got := p.String(); got != "209 701" {
+		t.Errorf("Prepend mutated receiver: %q", got)
+	}
+	// Prepend to a path starting with an AS_SET creates a new sequence.
+	set := ASPath{{Type: SegmentSet, ASNs: []uint32{3, 4}}}
+	r := set.Prepend(1)
+	if got := r.String(); got != "1 {3 4}" {
+		t.Errorf("Prepend to set = %q", got)
+	}
+	var empty ASPath
+	if got := empty.Prepend(7).String(); got != "7" {
+		t.Errorf("Prepend to empty = %q", got)
+	}
+}
+
+func TestASPathCloneIndependence(t *testing.T) {
+	p := Sequence(1, 2, 3)
+	q := p.Clone()
+	q[0].ASNs[0] = 99
+	if p[0].ASNs[0] != 1 {
+		t.Error("Clone shares storage with original")
+	}
+	if !p.Equal(p.Clone()) {
+		t.Error("Clone not Equal to original")
+	}
+}
+
+func TestParseASPath(t *testing.T) {
+	tests := []struct {
+		in   string
+		want string
+	}{
+		{"11423 209 701", "11423 209 701"},
+		{"  11423   209 ", "11423 209"},
+		{"1 2 {3 4} 5", "1 2 {3 4} 5"},
+		{"{7 8}", "{7 8}"},
+		{"", ""},
+	}
+	for _, tt := range tests {
+		p, err := ParseASPath(tt.in)
+		if err != nil {
+			t.Fatalf("ParseASPath(%q): %v", tt.in, err)
+		}
+		if got := p.String(); got != tt.want {
+			t.Errorf("ParseASPath(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+	for _, bad := range []string{"1 2 {3", "{}", "abc", "1 -2"} {
+		if _, err := ParseASPath(bad); err == nil {
+			t.Errorf("ParseASPath(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestParseASPathRoundTripQuick(t *testing.T) {
+	f := func(asns []uint32) bool {
+		if len(asns) == 0 {
+			return true
+		}
+		p := Sequence(asns...)
+		back, err := ParseASPath(p.String())
+		return err == nil && back.Equal(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func mustPrefix(t *testing.T, s string) netip.Prefix {
+	t.Helper()
+	p, err := netip.ParsePrefix(s)
+	if err != nil {
+		t.Fatalf("ParsePrefix(%q): %v", s, err)
+	}
+	return p
+}
+
+func TestWirePrefixRoundTrip(t *testing.T) {
+	for _, s := range []string{
+		"0.0.0.0/0", "10.0.0.0/8", "128.32.0.0/16", "192.96.10.0/24",
+		"62.80.64.0/20", "212.22.132.0/23", "1.2.3.4/32",
+	} {
+		p := mustPrefix(t, s)
+		wire, err := appendWirePrefix(nil, p)
+		if err != nil {
+			t.Fatalf("encode %v: %v", p, err)
+		}
+		back, n, err := decodeWirePrefix(wire)
+		if err != nil {
+			t.Fatalf("decode %v: %v", p, err)
+		}
+		if n != len(wire) || back != p {
+			t.Errorf("round trip %v -> %v (consumed %d of %d)", p, back, n, len(wire))
+		}
+	}
+}
+
+func TestWirePrefixMasksHostBits(t *testing.T) {
+	// A sloppy sender can leave host bits set; the decoder must zero them.
+	wire := []byte{24, 1, 2, 3}
+	p, _, err := decodeWirePrefix(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.String() != "1.2.3.0/24" {
+		t.Errorf("decoded %v", p)
+	}
+	// /20 with bits set past the mask inside the third byte.
+	wire = []byte{20, 62, 80, 0x4F}
+	p, _, err = decodeWirePrefix(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.String() != "62.80.64.0/20" {
+		t.Errorf("decoded %v, want 62.80.64.0/20", p)
+	}
+}
+
+func TestWirePrefixErrors(t *testing.T) {
+	if _, _, err := decodeWirePrefix(nil); err == nil {
+		t.Error("decode empty succeeded")
+	}
+	if _, _, err := decodeWirePrefix([]byte{33, 1, 2, 3, 4, 5}); err == nil {
+		t.Error("decode /33 succeeded")
+	}
+	if _, _, err := decodeWirePrefix([]byte{24, 1, 2}); err == nil {
+		t.Error("decode truncated succeeded")
+	}
+	v6 := netip.MustParsePrefix("2001:db8::/32")
+	if _, err := appendWirePrefix(nil, v6); err == nil {
+		t.Error("encode IPv6 succeeded, want error")
+	}
+}
+
+func TestWirePrefixQuick(t *testing.T) {
+	f := func(a, b, c, d byte, bitsRaw uint8) bool {
+		bits := int(bitsRaw % 33)
+		p := netip.PrefixFrom(netip.AddrFrom4([4]byte{a, b, c, d}), bits).Masked()
+		wire, err := appendWirePrefix(nil, p)
+		if err != nil {
+			return false
+		}
+		back, n, err := decodeWirePrefix(wire)
+		return err == nil && n == len(wire) && back == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func testAttrs(t *testing.T) *PathAttrs {
+	t.Helper()
+	return &PathAttrs{
+		Origin:       OriginIGP,
+		ASPath:       Sequence(11423, 209, 701, 1299, 5713),
+		Nexthop:      netip.MustParseAddr("128.32.0.70"),
+		MED:          50,
+		HasMED:       true,
+		LocalPref:    80,
+		HasLocalPref: true,
+		Communities:  []Community{MakeCommunity(11423, 65350), MakeCommunity(2152, 65297)},
+	}
+}
+
+func TestUpdateRoundTrip(t *testing.T) {
+	for _, fourByte := range []bool{false, true} {
+		u := &Update{
+			Withdrawn: []netip.Prefix{mustPrefix(t, "192.96.10.0/24"), mustPrefix(t, "12.2.41.0/24")},
+			Attrs:     testAttrs(t),
+			NLRI:      []netip.Prefix{mustPrefix(t, "62.80.64.0/20")},
+		}
+		wire, err := Marshal(u, fourByte)
+		if err != nil {
+			t.Fatalf("Marshal(fourByte=%v): %v", fourByte, err)
+		}
+		msg, err := Unmarshal(wire, fourByte)
+		if err != nil {
+			t.Fatalf("Unmarshal(fourByte=%v): %v", fourByte, err)
+		}
+		back, ok := msg.(*Update)
+		if !ok {
+			t.Fatalf("Unmarshal returned %T", msg)
+		}
+		if len(back.Withdrawn) != 2 || back.Withdrawn[0] != u.Withdrawn[0] || back.Withdrawn[1] != u.Withdrawn[1] {
+			t.Errorf("withdrawn = %v", back.Withdrawn)
+		}
+		if len(back.NLRI) != 1 || back.NLRI[0] != u.NLRI[0] {
+			t.Errorf("nlri = %v", back.NLRI)
+		}
+		if !back.Attrs.Equal(u.Attrs) {
+			t.Errorf("attrs mismatch:\n got %v\nwant %v", back.Attrs, u.Attrs)
+		}
+	}
+}
+
+func TestUpdateWithdrawOnly(t *testing.T) {
+	u := &Update{Withdrawn: []netip.Prefix{mustPrefix(t, "10.1.0.0/16")}}
+	wire, err := Marshal(u, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := Unmarshal(wire, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := msg.(*Update)
+	if back.Attrs != nil || len(back.NLRI) != 0 || len(back.Withdrawn) != 1 {
+		t.Errorf("got %+v", back)
+	}
+}
+
+func TestUpdateFourByteASRequired(t *testing.T) {
+	u := &Update{
+		Attrs: &PathAttrs{
+			Origin:  OriginIGP,
+			ASPath:  Sequence(400000, 209),
+			Nexthop: netip.MustParseAddr("10.0.0.1"),
+		},
+		NLRI: []netip.Prefix{mustPrefix(t, "10.1.0.0/16")},
+	}
+	if _, err := Marshal(u, false); err == nil {
+		t.Error("marshal 4-byte ASN in 2-byte session succeeded")
+	}
+	wire, err := Marshal(u, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := Unmarshal(wire, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := msg.(*Update).Attrs.ASPath.First(); got != 400000 {
+		t.Errorf("first ASN = %d", got)
+	}
+}
+
+func TestUpdateAggregatorAndAtomic(t *testing.T) {
+	u := &Update{
+		Attrs: &PathAttrs{
+			Origin:          OriginIncomplete,
+			ASPath:          Sequence(209),
+			Nexthop:         netip.MustParseAddr("10.0.0.1"),
+			AtomicAggregate: true,
+			Aggregator:      &Aggregator{AS: 209, Addr: netip.MustParseAddr("10.9.9.9")},
+		},
+		NLRI: []netip.Prefix{mustPrefix(t, "10.0.0.0/8")},
+	}
+	for _, fourByte := range []bool{false, true} {
+		wire, err := Marshal(u, fourByte)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msg, err := Unmarshal(wire, fourByte)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back := msg.(*Update)
+		if !back.Attrs.AtomicAggregate {
+			t.Error("lost ATOMIC_AGGREGATE")
+		}
+		if back.Attrs.Aggregator == nil || *back.Attrs.Aggregator != *u.Attrs.Aggregator {
+			t.Errorf("aggregator = %v", back.Attrs.Aggregator)
+		}
+	}
+}
+
+func TestOpenRoundTrip(t *testing.T) {
+	o := &Open{AS: 11423, HoldTime: 180, BGPID: netip.MustParseAddr("128.32.1.3"), FourByteAS: true}
+	wire, err := Marshal(o, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := Unmarshal(wire, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, ok := msg.(*Open)
+	if !ok {
+		t.Fatalf("got %T", msg)
+	}
+	if back.AS != 11423 || back.HoldTime != 180 || back.BGPID != o.BGPID || !back.FourByteAS {
+		t.Errorf("open = %+v", back)
+	}
+}
+
+func TestOpenLargeASN(t *testing.T) {
+	o := &Open{AS: 396982, HoldTime: 90, BGPID: netip.MustParseAddr("1.1.1.1"), FourByteAS: true}
+	wire, err := Marshal(o, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := mustUnmarshal(t, wire).(*Open)
+	if back.AS != 396982 {
+		t.Errorf("AS = %d, want 396982 (via capability)", back.AS)
+	}
+	// Without the capability a large ASN cannot be encoded.
+	o.FourByteAS = false
+	if _, err := Marshal(o, false); err == nil {
+		t.Error("marshal large ASN without capability succeeded")
+	}
+}
+
+func mustUnmarshal(t *testing.T, wire []byte) Message {
+	t.Helper()
+	msg, err := Unmarshal(wire, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return msg
+}
+
+func TestKeepaliveAndNotification(t *testing.T) {
+	wire, err := Marshal(Keepalive{}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wire) != 19 {
+		t.Errorf("keepalive length = %d, want 19", len(wire))
+	}
+	if _, ok := mustUnmarshal(t, wire).(Keepalive); !ok {
+		t.Error("keepalive round trip failed")
+	}
+
+	n := &Notification{Code: NotifCease, Subcode: 1, Data: []byte("max-prefix")}
+	wire, err = Marshal(n, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := mustUnmarshal(t, wire).(*Notification)
+	if back.Code != NotifCease || back.Subcode != 1 || string(back.Data) != "max-prefix" {
+		t.Errorf("notification = %+v", back)
+	}
+	if !strings.Contains(back.Error(), "code 6") {
+		t.Errorf("Error() = %q", back.Error())
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal([]byte{1, 2, 3}, false); err == nil {
+		t.Error("short message succeeded")
+	}
+	wire, _ := Marshal(Keepalive{}, false)
+	bad := append([]byte(nil), wire...)
+	bad[0] = 0x00
+	if _, err := Unmarshal(bad, false); err == nil {
+		t.Error("bad marker succeeded")
+	}
+	bad = append([]byte(nil), wire...)
+	bad[18] = 99
+	if _, err := Unmarshal(bad, false); err == nil {
+		t.Error("unknown type succeeded")
+	}
+	bad = append([]byte(nil), wire...)
+	bad[17] = 200 // header length disagrees with buffer
+	if _, err := Unmarshal(bad, false); err == nil {
+		t.Error("length mismatch succeeded")
+	}
+}
+
+func TestReadWriteMessage(t *testing.T) {
+	var buf bytes.Buffer
+	u := &Update{Attrs: testAttrs(t), NLRI: []netip.Prefix{mustPrefix(t, "10.0.0.0/8")}}
+	if err := WriteMessage(&buf, u, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMessage(&buf, Keepalive{}, true); err != nil {
+		t.Fatal(err)
+	}
+	msg1, err := ReadMessage(&buf, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg1.Type() != TypeUpdate {
+		t.Errorf("first message type = %v", msg1.Type())
+	}
+	msg2, err := ReadMessage(&buf, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg2.Type() != TypeKeepalive {
+		t.Errorf("second message type = %v", msg2.Type())
+	}
+	if _, err := ReadMessage(&buf, true); err == nil {
+		t.Error("read past end succeeded")
+	}
+}
+
+func TestAttrsHelpers(t *testing.T) {
+	a := &PathAttrs{}
+	c := MakeCommunity(11423, 65300)
+	a.AddCommunity(c)
+	a.AddCommunity(c)
+	if len(a.Communities) != 1 {
+		t.Errorf("duplicate AddCommunity: %v", a.Communities)
+	}
+	a.AddCommunity(MakeCommunity(1, 1))
+	if a.Communities[0] != MakeCommunity(1, 1) {
+		t.Errorf("communities not sorted: %v", a.Communities)
+	}
+	if !a.HasCommunity(c) {
+		t.Error("HasCommunity lost a community")
+	}
+	clone := a.Clone()
+	clone.AddCommunity(MakeCommunity(9, 9))
+	if len(a.Communities) != 2 {
+		t.Error("Clone shares community storage")
+	}
+	var nilAttrs *PathAttrs
+	if nilAttrs.HasCommunity(c) {
+		t.Error("nil HasCommunity true")
+	}
+	if nilAttrs.Clone() != nil {
+		t.Error("nil Clone not nil")
+	}
+	if nilAttrs.String() == "" {
+		t.Error("nil String empty")
+	}
+}
+
+func TestOriginString(t *testing.T) {
+	if OriginIGP.String() != "i" || OriginEGP.String() != "e" || OriginIncomplete.String() != "?" {
+		t.Error("origin strings wrong")
+	}
+	if Origin(7).Valid() {
+		t.Error("Origin(7) valid")
+	}
+}
+
+func TestReflectionAttrsRoundTrip(t *testing.T) {
+	u := &Update{
+		Attrs: &PathAttrs{
+			Origin:       OriginIGP,
+			ASPath:       Sequence(300, 400),
+			Nexthop:      netip.MustParseAddr("9.9.9.9"),
+			OriginatorID: netip.MustParseAddr("2.0.0.11"),
+			ClusterList: []netip.Addr{
+				netip.MustParseAddr("2.0.0.1"),
+				netip.MustParseAddr("2.0.0.2"),
+			},
+		},
+		NLRI: []netip.Prefix{netip.MustParsePrefix("10.1.0.0/16")},
+	}
+	wire, err := Marshal(u, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(wire, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := back.(*Update).Attrs
+	if got.OriginatorID != u.Attrs.OriginatorID {
+		t.Errorf("ORIGINATOR_ID = %v", got.OriginatorID)
+	}
+	if len(got.ClusterList) != 2 || got.ClusterList[0] != u.Attrs.ClusterList[0] {
+		t.Errorf("CLUSTER_LIST = %v", got.ClusterList)
+	}
+	if !got.Equal(u.Attrs) {
+		t.Error("Equal fails on reflection attributes")
+	}
+	// Clone is deep.
+	clone := u.Attrs.Clone()
+	clone.ClusterList[0] = netip.MustParseAddr("8.8.8.8")
+	if u.Attrs.ClusterList[0] != netip.MustParseAddr("2.0.0.1") {
+		t.Error("Clone shares ClusterList")
+	}
+	// Equal distinguishes them.
+	if u.Attrs.Equal(clone) {
+		t.Error("Equal missed ClusterList difference")
+	}
+}

@@ -1,0 +1,324 @@
+// Package fsm implements a BGP session state machine over a net.Conn: the
+// OPEN exchange with capability negotiation (4-octet AS), keepalive and
+// hold timers, UPDATE delivery, and orderly NOTIFICATION shutdown. It is
+// the live-protocol layer under the collector (passive IBGP peering, as
+// REX does in the paper) and the simulator's replay mode.
+//
+// The TCP-level Connect/Active states of RFC 4271 are outside this
+// package: callers bring a connected net.Conn (from Dial or a listener)
+// and Establish drives OpenSent → OpenConfirm → Established.
+package fsm
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rex/internal/bgp"
+)
+
+// State is the session state.
+type State int32
+
+// Session states.
+const (
+	StateIdle State = iota + 1
+	StateOpenSent
+	StateOpenConfirm
+	StateEstablished
+	StateClosed
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case StateIdle:
+		return "Idle"
+	case StateOpenSent:
+		return "OpenSent"
+	case StateOpenConfirm:
+		return "OpenConfirm"
+	case StateEstablished:
+		return "Established"
+	case StateClosed:
+		return "Closed"
+	default:
+		return "State(?)"
+	}
+}
+
+// Config parameterizes a session.
+type Config struct {
+	LocalAS uint32
+	LocalID netip.Addr
+	// HoldTime is proposed in OPEN; the effective value is the minimum of
+	// both sides (default 90s). Zero on both sides disables keepalives.
+	HoldTime time.Duration
+	// ExpectAS, when non-zero, rejects peers with a different AS.
+	ExpectAS uint32
+}
+
+// DefaultHoldTime is used when Config.HoldTime is zero.
+const DefaultHoldTime = 90 * time.Second
+
+// Session is an established BGP session. Updates arrive on Updates();
+// Close sends a CEASE and tears the session down. All methods are safe
+// for concurrent use.
+type Session struct {
+	conn  net.Conn
+	cfg   Config
+	state atomic.Int32
+
+	peerOpen   *bgp.Open
+	fourByteAS bool
+	holdTime   time.Duration
+
+	updates chan *bgp.Update
+	sendMu  sync.Mutex
+
+	closeOnce sync.Once
+	done      chan struct{}
+	wg        sync.WaitGroup
+
+	errMu sync.Mutex
+	err   error
+}
+
+// ErrSessionClosed is returned by Send after the session has closed.
+var ErrSessionClosed = errors.New("bgp session closed")
+
+// Establish runs the OPEN/KEEPALIVE handshake on conn and starts the
+// session goroutines. On handshake failure the conn is closed.
+func Establish(conn net.Conn, cfg Config) (*Session, error) {
+	if cfg.HoldTime == 0 {
+		cfg.HoldTime = DefaultHoldTime
+	}
+	s := &Session{
+		conn:    conn,
+		cfg:     cfg,
+		updates: make(chan *bgp.Update, 1),
+		done:    make(chan struct{}),
+	}
+	s.state.Store(int32(StateIdle))
+
+	open := &bgp.Open{
+		AS:         cfg.LocalAS,
+		HoldTime:   uint16(cfg.HoldTime / time.Second),
+		BGPID:      cfg.LocalID,
+		FourByteAS: true,
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	_ = conn.SetDeadline(deadline)
+	if err := bgp.WriteMessage(conn, open, false); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("send OPEN: %w", err)
+	}
+	s.state.Store(int32(StateOpenSent))
+
+	msg, err := bgp.ReadMessage(conn, false)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("read peer OPEN: %w", err)
+	}
+	peerOpen, ok := msg.(*bgp.Open)
+	if !ok {
+		s.notifyAndClose(bgp.NotifFSMError, 0)
+		return nil, fmt.Errorf("expected OPEN, got %v", msg.Type())
+	}
+	if cfg.ExpectAS != 0 && peerOpen.AS != cfg.ExpectAS {
+		s.notifyAndClose(bgp.NotifOpenError, 2 /* bad peer AS */)
+		return nil, fmt.Errorf("peer AS %d, want %d", peerOpen.AS, cfg.ExpectAS)
+	}
+	s.peerOpen = peerOpen
+	s.fourByteAS = peerOpen.FourByteAS // we always offer it
+	s.holdTime = cfg.HoldTime
+	if peer := time.Duration(peerOpen.HoldTime) * time.Second; peer < s.holdTime {
+		s.holdTime = peer
+	}
+	if err := bgp.WriteMessage(conn, bgp.Keepalive{}, s.fourByteAS); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("send KEEPALIVE: %w", err)
+	}
+	s.state.Store(int32(StateOpenConfirm))
+
+	msg, err = bgp.ReadMessage(conn, s.fourByteAS)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("read peer KEEPALIVE: %w", err)
+	}
+	if _, ok := msg.(bgp.Keepalive); !ok {
+		if n, isNotif := msg.(*bgp.Notification); isNotif {
+			conn.Close()
+			return nil, n
+		}
+		s.notifyAndClose(bgp.NotifFSMError, 0)
+		return nil, fmt.Errorf("expected KEEPALIVE, got %v", msg.Type())
+	}
+	_ = conn.SetDeadline(time.Time{})
+	s.state.Store(int32(StateEstablished))
+
+	s.wg.Add(2)
+	go s.readLoop()
+	go s.keepaliveLoop()
+	return s, nil
+}
+
+func (s *Session) notifyAndClose(code, subcode uint8) {
+	_ = bgp.WriteMessage(s.conn, &bgp.Notification{Code: code, Subcode: subcode}, false)
+	s.conn.Close()
+}
+
+// State returns the current session state.
+func (s *Session) State() State { return State(s.state.Load()) }
+
+// PeerAS returns the peer's AS number (after Establish).
+func (s *Session) PeerAS() uint32 { return s.peerOpen.AS }
+
+// PeerID returns the peer's BGP identifier.
+func (s *Session) PeerID() netip.Addr { return s.peerOpen.BGPID }
+
+// FourByteAS reports whether the session negotiated 4-octet ASNs.
+func (s *Session) FourByteAS() bool { return s.fourByteAS }
+
+// HoldTime returns the negotiated hold time.
+func (s *Session) HoldTime() time.Duration { return s.holdTime }
+
+// Updates returns the channel of received UPDATE messages. It is closed
+// when the session ends; check Err for the reason.
+func (s *Session) Updates() <-chan *bgp.Update { return s.updates }
+
+// Done is closed when the session has fully shut down.
+func (s *Session) Done() <-chan struct{} { return s.done }
+
+// Err returns why the session ended (nil while running or after a clean
+// local Close).
+func (s *Session) Err() error {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.err
+}
+
+func (s *Session) setErr(err error) {
+	s.errMu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.errMu.Unlock()
+}
+
+// Send transmits an UPDATE.
+func (s *Session) Send(u *bgp.Update) error {
+	if s.State() != StateEstablished {
+		return ErrSessionClosed
+	}
+	s.sendMu.Lock()
+	defer s.sendMu.Unlock()
+	if err := bgp.WriteMessage(s.conn, u, s.fourByteAS); err != nil {
+		return fmt.Errorf("send UPDATE: %w", err)
+	}
+	return nil
+}
+
+// Close sends a CEASE notification and shuts the session down, waiting
+// for the internal goroutines to exit.
+func (s *Session) Close() error {
+	s.shutdown(nil, true)
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Session) shutdown(reason error, sendCease bool) {
+	s.closeOnce.Do(func() {
+		s.setErr(reason)
+		s.state.Store(int32(StateClosed))
+		if sendCease {
+			s.sendMu.Lock()
+			_ = bgp.WriteMessage(s.conn, &bgp.Notification{Code: bgp.NotifCease}, s.fourByteAS)
+			s.sendMu.Unlock()
+		}
+		s.conn.Close()
+		close(s.done)
+	})
+}
+
+func (s *Session) readLoop() {
+	defer s.wg.Done()
+	defer close(s.updates)
+	for {
+		if s.holdTime > 0 {
+			_ = s.conn.SetReadDeadline(time.Now().Add(s.holdTime))
+		}
+		msg, err := bgp.ReadMessage(s.conn, s.fourByteAS)
+		if err != nil {
+			if s.State() == StateClosed {
+				s.shutdown(nil, false)
+				return
+			}
+			var nerr net.Error
+			if errors.As(err, &nerr) && nerr.Timeout() {
+				err = fmt.Errorf("hold timer expired after %v", s.holdTime)
+				s.sendMu.Lock()
+				_ = bgp.WriteMessage(s.conn, &bgp.Notification{Code: bgp.NotifHoldTimerExpired}, s.fourByteAS)
+				s.sendMu.Unlock()
+			}
+			s.shutdown(err, false)
+			return
+		}
+		switch m := msg.(type) {
+		case *bgp.Update:
+			select {
+			case s.updates <- m:
+			case <-s.done:
+				return
+			}
+		case bgp.Keepalive:
+			// Hold timer already reset by the successful read.
+		case *bgp.Notification:
+			s.shutdown(m, false)
+			return
+		default:
+			s.sendMu.Lock()
+			_ = bgp.WriteMessage(s.conn, &bgp.Notification{Code: bgp.NotifFSMError}, s.fourByteAS)
+			s.sendMu.Unlock()
+			s.shutdown(fmt.Errorf("unexpected %v in Established", msg.Type()), false)
+			return
+		}
+	}
+}
+
+func (s *Session) keepaliveLoop() {
+	defer s.wg.Done()
+	if s.holdTime <= 0 {
+		return
+	}
+	interval := s.holdTime / 3
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			s.sendMu.Lock()
+			err := bgp.WriteMessage(s.conn, bgp.Keepalive{}, s.fourByteAS)
+			s.sendMu.Unlock()
+			if err != nil && s.State() == StateEstablished {
+				s.shutdown(fmt.Errorf("send keepalive: %w", err), false)
+				return
+			}
+		case <-s.done:
+			return
+		}
+	}
+}
+
+// Dial connects to addr and establishes a session.
+func Dial(addr string, cfg Config) (*Session, error) {
+	conn, err := net.DialTimeout("tcp", addr, 15*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return Establish(conn, cfg)
+}

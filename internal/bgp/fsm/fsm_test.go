@@ -1,0 +1,254 @@
+package fsm
+
+import (
+	"errors"
+	"net"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"rex/internal/bgp"
+)
+
+// pipe returns two connected TCP loopback conns (net.Pipe is synchronous
+// and would deadlock the simultaneous OPEN exchange).
+func pipe(t *testing.T) (net.Conn, net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type res struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- res{c, err}
+	}()
+	dialer, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := <-ch
+	if accepted.err != nil {
+		t.Fatal(accepted.err)
+	}
+	t.Cleanup(func() {
+		dialer.Close()
+		accepted.c.Close()
+	})
+	return dialer, accepted.c
+}
+
+// establishPair brings up both ends of a session concurrently.
+func establishPair(t *testing.T, cfgA, cfgB Config) (*Session, *Session) {
+	t.Helper()
+	connA, connB := pipe(t)
+	type res struct {
+		s   *Session
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		s, err := Establish(connB, cfgB)
+		ch <- res{s, err}
+	}()
+	sa, err := Establish(connA, cfgA)
+	if err != nil {
+		t.Fatalf("establish A: %v", err)
+	}
+	rb := <-ch
+	if rb.err != nil {
+		t.Fatalf("establish B: %v", rb.err)
+	}
+	t.Cleanup(func() {
+		sa.Close()
+		rb.s.Close()
+	})
+	return sa, rb.s
+}
+
+func cfg(as uint32, id string) Config {
+	return Config{LocalAS: as, LocalID: netip.MustParseAddr(id)}
+}
+
+func TestEstablishAndExchange(t *testing.T) {
+	a, b := establishPair(t, cfg(65001, "10.0.0.1"), cfg(65002, "10.0.0.2"))
+	if a.State() != StateEstablished || b.State() != StateEstablished {
+		t.Fatalf("states = %v / %v", a.State(), b.State())
+	}
+	if a.PeerAS() != 65002 || b.PeerAS() != 65001 {
+		t.Errorf("peer AS = %d / %d", a.PeerAS(), b.PeerAS())
+	}
+	if a.PeerID() != netip.MustParseAddr("10.0.0.2") {
+		t.Errorf("peer ID = %v", a.PeerID())
+	}
+	if !a.FourByteAS() || !b.FourByteAS() {
+		t.Error("4-octet AS not negotiated")
+	}
+
+	u := &bgp.Update{
+		Attrs: &bgp.PathAttrs{
+			Origin:  bgp.OriginIGP,
+			ASPath:  bgp.Sequence(65001, 400000),
+			Nexthop: netip.MustParseAddr("10.0.0.1"),
+		},
+		NLRI: []netip.Prefix{netip.MustParsePrefix("10.1.0.0/16")},
+	}
+	if err := a.Send(u); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-b.Updates():
+		if got == nil {
+			t.Fatal("updates channel closed")
+		}
+		if len(got.NLRI) != 1 || got.NLRI[0] != u.NLRI[0] {
+			t.Errorf("NLRI = %v", got.NLRI)
+		}
+		if got.Attrs.ASPath.ASNs()[1] != 400000 {
+			t.Errorf("4-byte ASN lost: %v", got.Attrs.ASPath)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("update not delivered")
+	}
+}
+
+func TestCloseSendsCeaseAndPeerSees(t *testing.T) {
+	a, b := establishPair(t, cfg(65001, "10.0.0.1"), cfg(65002, "10.0.0.2"))
+	a.Close()
+	select {
+	case <-b.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("peer did not observe close")
+	}
+	var notif *bgp.Notification
+	if !errors.As(b.Err(), &notif) || notif.Code != bgp.NotifCease {
+		t.Errorf("peer err = %v, want CEASE notification", b.Err())
+	}
+	// Send after close fails.
+	if err := a.Send(&bgp.Update{}); !errors.Is(err, ErrSessionClosed) {
+		t.Errorf("Send after close = %v", err)
+	}
+	// Double close is safe.
+	a.Close()
+}
+
+func TestHoldTimerExpiry(t *testing.T) {
+	connA, connB := pipe(t)
+	// A raw peer that completes the handshake but never sends keepalives.
+	go func() {
+		open := &bgp.Open{AS: 65002, HoldTime: 1, BGPID: netip.MustParseAddr("10.0.0.2"), FourByteAS: true}
+		_ = bgp.WriteMessage(connB, open, false)
+		_, _ = bgp.ReadMessage(connB, false) // their OPEN
+		_ = bgp.WriteMessage(connB, bgp.Keepalive{}, true)
+		_, _ = bgp.ReadMessage(connB, true) // their KEEPALIVE
+		// ... then silence. Drain whatever arrives so TCP stays open.
+		for {
+			if _, err := bgp.ReadMessage(connB, true); err != nil {
+				return
+			}
+		}
+	}()
+	s, err := Establish(connA, cfg(65001, "10.0.0.1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.HoldTime() != time.Second {
+		t.Fatalf("negotiated hold = %v, want peer's 1s", s.HoldTime())
+	}
+	select {
+	case <-s.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("hold timer never expired")
+	}
+	if err := s.Err(); err == nil || !strings.Contains(err.Error(), "hold timer") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestExpectASMismatch(t *testing.T) {
+	connA, connB := pipe(t)
+	go func() {
+		open := &bgp.Open{AS: 65099, HoldTime: 90, BGPID: netip.MustParseAddr("10.0.0.2"), FourByteAS: true}
+		_ = bgp.WriteMessage(connB, open, false)
+		_, _ = bgp.ReadMessage(connB, false)
+		// Expect a NOTIFICATION back.
+		msg, err := bgp.ReadMessage(connB, false)
+		if err == nil {
+			if n, ok := msg.(*bgp.Notification); !ok || n.Code != bgp.NotifOpenError {
+				t.Errorf("raw peer got %v, want OPEN error", msg)
+			}
+		}
+	}()
+	c := cfg(65001, "10.0.0.1")
+	c.ExpectAS = 65002
+	if _, err := Establish(connA, c); err == nil || !strings.Contains(err.Error(), "peer AS") {
+		t.Fatalf("err = %v, want AS mismatch", err)
+	}
+}
+
+func TestPeerNotificationClosesSession(t *testing.T) {
+	a, b := establishPair(t, cfg(65001, "10.0.0.1"), cfg(65002, "10.0.0.2"))
+	// Inject a NOTIFICATION from a's side manually.
+	a.sendMu.Lock()
+	err := bgp.WriteMessage(a.conn, &bgp.Notification{Code: bgp.NotifCease, Subcode: 4}, a.fourByteAS)
+	a.sendMu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-b.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("notification did not close peer")
+	}
+	var notif *bgp.Notification
+	if !errors.As(b.Err(), &notif) || notif.Subcode != 4 {
+		t.Errorf("err = %v", b.Err())
+	}
+}
+
+func TestUpdatesChannelClosedAfterShutdown(t *testing.T) {
+	a, b := establishPair(t, cfg(65001, "10.0.0.1"), cfg(65002, "10.0.0.2"))
+	a.Close()
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case _, ok := <-b.Updates():
+			if !ok {
+				return // closed as expected
+			}
+		case <-deadline:
+			t.Fatal("updates channel never closed")
+		}
+	}
+}
+
+func TestDialRefused(t *testing.T) {
+	// A port that nothing listens on: Dial must fail fast.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	if _, err := Dial(addr, cfg(65001, "10.0.0.1")); err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	for s, want := range map[State]string{
+		StateIdle: "Idle", StateOpenSent: "OpenSent", StateOpenConfirm: "OpenConfirm",
+		StateEstablished: "Established", StateClosed: "Closed",
+	} {
+		if s.String() != want {
+			t.Errorf("%d = %q", s, s.String())
+		}
+	}
+}

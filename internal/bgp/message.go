@@ -1,0 +1,362 @@
+package bgp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net/netip"
+)
+
+// MessageType identifies a BGP message (RFC 4271 §4.1).
+type MessageType uint8
+
+// BGP message types.
+const (
+	TypeOpen         MessageType = 1
+	TypeUpdate       MessageType = 2
+	TypeNotification MessageType = 3
+	TypeKeepalive    MessageType = 4
+)
+
+// String returns the RFC name of the message type.
+func (t MessageType) String() string {
+	switch t {
+	case TypeOpen:
+		return "OPEN"
+	case TypeUpdate:
+		return "UPDATE"
+	case TypeNotification:
+		return "NOTIFICATION"
+	case TypeKeepalive:
+		return "KEEPALIVE"
+	default:
+		return fmt.Sprintf("TYPE(%d)", uint8(t))
+	}
+}
+
+// Wire size limits (RFC 4271 §4.1).
+const (
+	headerLen  = 19
+	MaxMsgLen  = 4096
+	markerByte = 0xFF
+)
+
+// Message is any decodable BGP message.
+type Message interface {
+	// Type returns the message's wire type.
+	Type() MessageType
+	// marshalBody appends the message body (everything after the common
+	// header) to dst.
+	marshalBody(dst []byte, fourByteAS bool) ([]byte, error)
+}
+
+// Capability codes used in OPEN optional parameters.
+const (
+	capFourByteAS = 65 // RFC 6793
+)
+
+// Open is the BGP OPEN message.
+type Open struct {
+	// AS is the sender's autonomous system number. ASNs above 65535 are
+	// carried via the 4-octet capability with AS_TRANS on the wire.
+	AS       uint32
+	HoldTime uint16
+	BGPID    netip.Addr
+	// FourByteAS advertises the RFC 6793 capability.
+	FourByteAS bool
+}
+
+// asTrans is the 2-octet placeholder for a 4-octet ASN (RFC 6793).
+const asTrans = 23456
+
+// Type implements Message.
+func (*Open) Type() MessageType { return TypeOpen }
+
+func (o *Open) marshalBody(dst []byte, _ bool) ([]byte, error) {
+	if !o.BGPID.Is4() {
+		return nil, fmt.Errorf("marshal OPEN: BGP identifier %v is not IPv4", o.BGPID)
+	}
+	wireAS := o.AS
+	if wireAS > 0xFFFF {
+		if !o.FourByteAS {
+			return nil, fmt.Errorf("marshal OPEN: AS %d requires the 4-octet capability", o.AS)
+		}
+		wireAS = asTrans
+	}
+	dst = append(dst, Version)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(wireAS))
+	dst = binary.BigEndian.AppendUint16(dst, o.HoldTime)
+	id := o.BGPID.As4()
+	dst = append(dst, id[:]...)
+	if !o.FourByteAS {
+		return append(dst, 0), nil // no optional parameters
+	}
+	// One optional parameter: capabilities (type 2), containing the
+	// 4-octet-AS capability with the real ASN.
+	capBody := binary.BigEndian.AppendUint32(nil, o.AS)
+	capTLV := append([]byte{capFourByteAS, byte(len(capBody))}, capBody...)
+	param := append([]byte{2, byte(len(capTLV))}, capTLV...)
+	dst = append(dst, byte(len(param)))
+	return append(dst, param...), nil
+}
+
+func unmarshalOpen(b []byte) (*Open, error) {
+	if len(b) < 10 {
+		return nil, fmt.Errorf("OPEN: body too short (%d bytes)", len(b))
+	}
+	if b[0] != Version {
+		return nil, fmt.Errorf("OPEN: unsupported version %d", b[0])
+	}
+	o := &Open{
+		AS:       uint32(binary.BigEndian.Uint16(b[1:3])),
+		HoldTime: binary.BigEndian.Uint16(b[3:5]),
+		BGPID:    netip.AddrFrom4([4]byte(b[5:9])),
+	}
+	optLen := int(b[9])
+	opts := b[10:]
+	if len(opts) != optLen {
+		return nil, fmt.Errorf("OPEN: optional parameter length %d, have %d bytes", optLen, len(opts))
+	}
+	for len(opts) > 0 {
+		if len(opts) < 2 {
+			return nil, errors.New("OPEN: truncated optional parameter")
+		}
+		pType, pLen := opts[0], int(opts[1])
+		if len(opts) < 2+pLen {
+			return nil, errors.New("OPEN: truncated optional parameter body")
+		}
+		body := opts[2 : 2+pLen]
+		opts = opts[2+pLen:]
+		if pType != 2 { // not capabilities; ignore
+			continue
+		}
+		for len(body) > 0 {
+			if len(body) < 2 {
+				return nil, errors.New("OPEN: truncated capability")
+			}
+			cCode, cLen := body[0], int(body[1])
+			if len(body) < 2+cLen {
+				return nil, errors.New("OPEN: truncated capability body")
+			}
+			if cCode == capFourByteAS {
+				if cLen != 4 {
+					return nil, fmt.Errorf("OPEN: 4-octet-AS capability length %d", cLen)
+				}
+				o.FourByteAS = true
+				o.AS = binary.BigEndian.Uint32(body[2:6])
+			}
+			body = body[2+cLen:]
+		}
+	}
+	return o, nil
+}
+
+// Update is the BGP UPDATE message: withdrawn routes, path attributes, and
+// the NLRI the attributes apply to.
+type Update struct {
+	Withdrawn []netip.Prefix
+	Attrs     *PathAttrs
+	NLRI      []netip.Prefix
+}
+
+// Type implements Message.
+func (*Update) Type() MessageType { return TypeUpdate }
+
+func (u *Update) marshalBody(dst []byte, fourByteAS bool) ([]byte, error) {
+	var wd []byte
+	var err error
+	for _, p := range u.Withdrawn {
+		if wd, err = appendWirePrefix(wd, p); err != nil {
+			return nil, fmt.Errorf("UPDATE withdrawn: %w", err)
+		}
+	}
+	if len(wd) > 0xFFFF {
+		return nil, fmt.Errorf("UPDATE: withdrawn routes block %d bytes exceeds 65535", len(wd))
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(wd)))
+	dst = append(dst, wd...)
+
+	var attrs []byte
+	if u.Attrs != nil && len(u.NLRI) > 0 {
+		if attrs, err = u.Attrs.marshalAttrs(fourByteAS); err != nil {
+			return nil, fmt.Errorf("UPDATE: %w", err)
+		}
+	}
+	if len(attrs) > 0xFFFF {
+		return nil, fmt.Errorf("UPDATE: attribute block %d bytes exceeds 65535", len(attrs))
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(attrs)))
+	dst = append(dst, attrs...)
+
+	for _, p := range u.NLRI {
+		if dst, err = appendWirePrefix(dst, p); err != nil {
+			return nil, fmt.Errorf("UPDATE NLRI: %w", err)
+		}
+	}
+	return dst, nil
+}
+
+func unmarshalUpdate(b []byte, fourByteAS bool) (*Update, error) {
+	if len(b) < 2 {
+		return nil, errors.New("UPDATE: truncated withdrawn length")
+	}
+	wdLen := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	if len(b) < wdLen {
+		return nil, errors.New("UPDATE: truncated withdrawn routes")
+	}
+	u := &Update{}
+	var err error
+	if wdLen > 0 {
+		if u.Withdrawn, err = decodeWirePrefixes(b[:wdLen]); err != nil {
+			return nil, fmt.Errorf("UPDATE withdrawn: %w", err)
+		}
+	}
+	b = b[wdLen:]
+	if len(b) < 2 {
+		return nil, errors.New("UPDATE: truncated attribute length")
+	}
+	attrLen := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	if len(b) < attrLen {
+		return nil, errors.New("UPDATE: truncated path attributes")
+	}
+	if attrLen > 0 {
+		if u.Attrs, err = unmarshalAttrs(b[:attrLen], fourByteAS); err != nil {
+			return nil, fmt.Errorf("UPDATE: %w", err)
+		}
+	}
+	b = b[attrLen:]
+	if len(b) > 0 {
+		if u.NLRI, err = decodeWirePrefixes(b); err != nil {
+			return nil, fmt.Errorf("UPDATE NLRI: %w", err)
+		}
+	}
+	if len(u.NLRI) > 0 && u.Attrs == nil {
+		return nil, errors.New("UPDATE: NLRI present without path attributes")
+	}
+	return u, nil
+}
+
+// Keepalive is the (empty) BGP KEEPALIVE message.
+type Keepalive struct{}
+
+// Type implements Message.
+func (Keepalive) Type() MessageType { return TypeKeepalive }
+
+func (Keepalive) marshalBody(dst []byte, _ bool) ([]byte, error) { return dst, nil }
+
+// Notification is the BGP NOTIFICATION message, sent before closing a
+// session on error.
+type Notification struct {
+	Code    uint8
+	Subcode uint8
+	Data    []byte
+}
+
+// NOTIFICATION error codes (RFC 4271 §4.5).
+const (
+	NotifMessageHeaderError = 1
+	NotifOpenError          = 2
+	NotifUpdateError        = 3
+	NotifHoldTimerExpired   = 4
+	NotifFSMError           = 5
+	NotifCease              = 6
+)
+
+// Type implements Message.
+func (*Notification) Type() MessageType { return TypeNotification }
+
+func (n *Notification) marshalBody(dst []byte, _ bool) ([]byte, error) {
+	dst = append(dst, n.Code, n.Subcode)
+	return append(dst, n.Data...), nil
+}
+
+// Error makes Notification usable as an error describing why a peer closed
+// the session.
+func (n *Notification) Error() string {
+	return fmt.Sprintf("bgp notification: code %d subcode %d", n.Code, n.Subcode)
+}
+
+// Marshal encodes msg with the 19-byte common header. fourByteAS must
+// reflect the session's negotiated RFC 6793 capability.
+func Marshal(msg Message, fourByteAS bool) ([]byte, error) {
+	buf := make([]byte, headerLen, headerLen+64)
+	for i := 0; i < 16; i++ {
+		buf[i] = markerByte
+	}
+	buf[18] = byte(msg.Type())
+	buf, err := msg.marshalBody(buf, fourByteAS)
+	if err != nil {
+		return nil, err
+	}
+	if len(buf) > MaxMsgLen {
+		return nil, fmt.Errorf("marshal %v: %d bytes exceeds max message size %d", msg.Type(), len(buf), MaxMsgLen)
+	}
+	binary.BigEndian.PutUint16(buf[16:18], uint16(len(buf)))
+	return buf, nil
+}
+
+// Unmarshal decodes one complete wire message (header included).
+func Unmarshal(b []byte, fourByteAS bool) (Message, error) {
+	if len(b) < headerLen {
+		return nil, fmt.Errorf("message: %d bytes shorter than header", len(b))
+	}
+	for i := 0; i < 16; i++ {
+		if b[i] != markerByte {
+			return nil, errors.New("message: bad marker")
+		}
+	}
+	length := int(binary.BigEndian.Uint16(b[16:18]))
+	if length != len(b) {
+		return nil, fmt.Errorf("message: header length %d, have %d bytes", length, len(b))
+	}
+	body := b[headerLen:]
+	switch MessageType(b[18]) {
+	case TypeOpen:
+		return unmarshalOpen(body)
+	case TypeUpdate:
+		return unmarshalUpdate(body, fourByteAS)
+	case TypeKeepalive:
+		if len(body) != 0 {
+			return nil, errors.New("KEEPALIVE: unexpected body")
+		}
+		return Keepalive{}, nil
+	case TypeNotification:
+		if len(body) < 2 {
+			return nil, errors.New("NOTIFICATION: body too short")
+		}
+		return &Notification{Code: body[0], Subcode: body[1], Data: append([]byte(nil), body[2:]...)}, nil
+	default:
+		return nil, fmt.Errorf("message: unknown type %d", b[18])
+	}
+}
+
+// ReadMessage reads and decodes exactly one message from r.
+func ReadMessage(r io.Reader, fourByteAS bool) (Message, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	length := int(binary.BigEndian.Uint16(hdr[16:18]))
+	if length < headerLen || length > MaxMsgLen {
+		return nil, fmt.Errorf("message: invalid length %d", length)
+	}
+	buf := make([]byte, length)
+	copy(buf, hdr[:])
+	if _, err := io.ReadFull(r, buf[headerLen:]); err != nil {
+		return nil, fmt.Errorf("message body: %w", err)
+	}
+	return Unmarshal(buf, fourByteAS)
+}
+
+// WriteMessage encodes and writes msg to w.
+func WriteMessage(w io.Writer, msg Message, fourByteAS bool) error {
+	buf, err := Marshal(msg, fourByteAS)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}

@@ -1,0 +1,67 @@
+package bgp
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// Prefix wire encoding (RFC 4271 §4.3, "2-tuples of the form <length,
+// prefix>"): one length octet followed by ceil(length/8) address octets.
+// This codec handles IPv4 NLRI; the rest of the repository uses
+// netip.Prefix throughout so the event and RIB layers are family-agnostic.
+
+// appendWirePrefix appends the wire form of p to dst.
+func appendWirePrefix(dst []byte, p netip.Prefix) ([]byte, error) {
+	if !p.IsValid() {
+		return dst, fmt.Errorf("encode prefix: invalid prefix %v", p)
+	}
+	addr := p.Addr()
+	if !addr.Is4() {
+		return dst, fmt.Errorf("encode prefix %v: only IPv4 NLRI supported on the wire", p)
+	}
+	bits := p.Bits()
+	dst = append(dst, byte(bits))
+	a4 := addr.As4()
+	dst = append(dst, a4[:(bits+7)/8]...)
+	return dst, nil
+}
+
+// decodeWirePrefix decodes one wire prefix from b, returning the prefix and
+// the number of bytes consumed.
+func decodeWirePrefix(b []byte) (netip.Prefix, int, error) {
+	if len(b) < 1 {
+		return netip.Prefix{}, 0, fmt.Errorf("decode prefix: empty input")
+	}
+	bits := int(b[0])
+	if bits > 32 {
+		return netip.Prefix{}, 0, fmt.Errorf("decode prefix: length %d > 32", bits)
+	}
+	n := (bits + 7) / 8
+	if len(b) < 1+n {
+		return netip.Prefix{}, 0, fmt.Errorf("decode prefix: truncated (%d bytes, need %d)", len(b)-1, n)
+	}
+	var a4 [4]byte
+	copy(a4[:], b[1:1+n])
+	// Zero any host bits the sender left set so equal prefixes compare equal.
+	if bits < 32 {
+		mask := ^uint32(0) << (32 - bits)
+		v := uint32(a4[0])<<24 | uint32(a4[1])<<16 | uint32(a4[2])<<8 | uint32(a4[3])
+		v &= mask
+		a4 = [4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)}
+	}
+	return netip.PrefixFrom(netip.AddrFrom4(a4), bits), 1 + n, nil
+}
+
+// decodeWirePrefixes decodes a run of wire prefixes filling exactly b.
+func decodeWirePrefixes(b []byte) ([]netip.Prefix, error) {
+	var out []netip.Prefix
+	for len(b) > 0 {
+		p, n, err := decodeWirePrefix(b)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+		b = b[n:]
+	}
+	return out, nil
+}

@@ -1,0 +1,92 @@
+package bgp
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+// TestUnmarshalNeverPanics feeds adversarial bytes to the decoder: any
+// input must produce an error or a message, never a panic or an
+// out-of-range read.
+func TestUnmarshalNeverPanics(t *testing.T) {
+	f := func(seed int64, sizeRaw uint16, fourByte bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		size := int(sizeRaw % 512)
+		buf := make([]byte, size)
+		rng.Read(buf)
+		_, _ = Unmarshal(buf, fourByte)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestUnmarshalValidHeaderRandomBody stresses the per-type body parsers:
+// a well-formed header with garbage body must error out cleanly.
+func TestUnmarshalValidHeaderRandomBody(t *testing.T) {
+	f := func(seed int64, bodyLenRaw uint16, msgType uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		bodyLen := int(bodyLenRaw % 256)
+		buf := make([]byte, 19+bodyLen)
+		for i := 0; i < 16; i++ {
+			buf[i] = 0xFF
+		}
+		buf[16] = byte(len(buf) >> 8)
+		buf[17] = byte(len(buf))
+		buf[18] = msgType%5 + 1
+		rng.Read(buf[19:])
+		_, _ = Unmarshal(buf, seed%2 == 0)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAttrsRoundTripQuick round-trips randomized attribute sets through
+// the wire codec.
+func TestAttrsRoundTripQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := &PathAttrs{
+			Origin: Origin(rng.Intn(3)),
+		}
+		pathLen := rng.Intn(6) + 1
+		asns := make([]uint32, pathLen)
+		for i := range asns {
+			asns[i] = uint32(rng.Intn(1 << 20)) // exercises 4-byte ASNs
+		}
+		a.ASPath = Sequence(asns...)
+		a.Nexthop = randAddr(rng)
+		if rng.Intn(2) == 0 {
+			a.HasMED, a.MED = true, rng.Uint32()
+		}
+		if rng.Intn(2) == 0 {
+			a.HasLocalPref, a.LocalPref = true, rng.Uint32()
+		}
+		for i := 0; i < rng.Intn(4); i++ {
+			a.AddCommunity(MakeCommunity(uint16(rng.Intn(1<<16)), uint16(rng.Intn(1<<16))))
+		}
+		wire, err := MarshalAttrs(a, true)
+		if err != nil {
+			return false
+		}
+		back, err := UnmarshalAttrs(wire, true)
+		if err != nil {
+			return false
+		}
+		return back.Equal(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randAddr(rng *rand.Rand) netip.Addr {
+	var a [4]byte
+	rng.Read(a[:])
+	return netip.AddrFrom4(a)
+}

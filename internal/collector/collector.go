@@ -1,0 +1,271 @@
+// Package collector implements the paper's data-collection methodology
+// (§II), the role the Packet Design Route Explorer plays: it passively
+// IBGP-peers with a site's BGP edge routers (or an ISP's route
+// reflectors), maintains an Adj-RIB-In per peer, and emits the *augmented
+// event stream* — announcements as-is, and withdrawals carrying the path
+// attributes of the route being withdrawn, recovered from the Adj-RIB-In,
+// because "BGP UPDATE messages by themselves are not sufficient for
+// analysis".
+package collector
+
+import (
+	"errors"
+	"net"
+	"net/netip"
+	"sort"
+	"sync"
+	"time"
+
+	"rex/internal/bgp"
+	"rex/internal/bgp/fsm"
+	"rex/internal/event"
+	"rex/internal/rib"
+)
+
+// Handler receives each event as it is produced. Handlers are invoked
+// from per-peer goroutines and must be safe for concurrent use; events
+// from one peer arrive in order.
+type Handler func(event.Event)
+
+// Config parameterizes the collector.
+type Config struct {
+	LocalAS  uint32
+	LocalID  netip.Addr
+	HoldTime time.Duration
+	// ExpectAS, when non-zero, only accepts IBGP peers from that AS.
+	ExpectAS uint32
+	// Now is the clock (default time.Now); injectable for tests.
+	Now func() time.Time
+	// WithdrawOnSessionLoss emits augmented withdrawals for every route
+	// in a peer's Adj-RIB-In when its session drops (default true via
+	// New).
+	WithdrawOnSessionLoss bool
+	// MaxPrefixes, when positive, tears a peer's session down with a
+	// CEASE notification once its Adj-RIB-In exceeds the limit — the
+	// maximum-prefix protection from the paper's introduction (ISP-B's
+	// routers "would not be overwhelmed" by ISP-A's leak).
+	MaxPrefixes int
+}
+
+// Collector accepts IBGP sessions and emits the augmented event stream.
+type Collector struct {
+	cfg     Config
+	handler Handler
+
+	mu    sync.Mutex
+	peers map[netip.Addr]*peerState
+	ln    net.Listener
+
+	closed  chan struct{}
+	closeMu sync.Once
+	wg      sync.WaitGroup
+}
+
+type peerState struct {
+	session *fsm.Session
+	adj     *rib.AdjRibIn
+}
+
+// New builds a collector delivering events to handler.
+func New(cfg Config, handler Handler) *Collector {
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Collector{
+		cfg:     cfg,
+		handler: handler,
+		peers:   make(map[netip.Addr]*peerState),
+		closed:  make(chan struct{}),
+	}
+}
+
+// Serve accepts sessions on ln until Close. It returns nil after Close;
+// other accept errors are returned as-is.
+func (c *Collector) Serve(ln net.Listener) error {
+	c.mu.Lock()
+	c.ln = ln
+	c.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-c.closed:
+				return nil
+			default:
+				return err
+			}
+		}
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			c.handleConn(conn)
+		}()
+	}
+}
+
+func (c *Collector) handleConn(conn net.Conn) {
+	sess, err := fsm.Establish(conn, fsm.Config{
+		LocalAS:  c.cfg.LocalAS,
+		LocalID:  c.cfg.LocalID,
+		HoldTime: c.cfg.HoldTime,
+		ExpectAS: c.cfg.ExpectAS,
+	})
+	if err != nil {
+		return
+	}
+	peerAddr := sess.PeerID()
+	ps := &peerState{session: sess, adj: rib.NewAdjRibIn(peerAddr)}
+	c.mu.Lock()
+	if old, dup := c.peers[peerAddr]; dup {
+		// Session replacement: drop the old one silently.
+		go old.session.Close()
+	}
+	c.peers[peerAddr] = ps
+	c.mu.Unlock()
+
+	for u := range sess.Updates() {
+		c.processUpdate(ps, u)
+		if c.cfg.MaxPrefixes > 0 && ps.adj.Len() > c.cfg.MaxPrefixes {
+			// Pull the plug exactly as ISP-B did: CEASE, session down.
+			sess.Close()
+			break
+		}
+	}
+	// Session over.
+	c.mu.Lock()
+	if c.peers[peerAddr] == ps {
+		delete(c.peers, peerAddr)
+	}
+	c.mu.Unlock()
+	if c.cfg.WithdrawOnSessionLoss {
+		now := c.cfg.Now()
+		for _, r := range ps.adj.Clear() {
+			c.emit(event.Event{
+				Time: now, Type: event.Withdraw,
+				Peer: peerAddr, Prefix: r.Prefix, Attrs: r.Attrs,
+			})
+		}
+	}
+	sess.Close()
+}
+
+// processUpdate turns one UPDATE into augmented events, updating the
+// peer's Adj-RIB-In. This is the paper's core collection trick: explicit
+// withdrawals carry no attributes on the wire, so we attach the ones we
+// remembered.
+func (c *Collector) processUpdate(ps *peerState, u *bgp.Update) {
+	now := c.cfg.Now()
+	peer := ps.adj.Peer()
+	for _, p := range u.Withdrawn {
+		old := ps.adj.Withdraw(p)
+		ev := event.Event{Time: now, Type: event.Withdraw, Peer: peer, Prefix: p}
+		if old != nil {
+			ev.Attrs = old.Attrs
+		}
+		c.emit(ev)
+	}
+	if u.Attrs == nil {
+		return
+	}
+	for _, p := range u.NLRI {
+		ps.adj.Update(p, u.Attrs, false, peer, now)
+		c.emit(event.Event{Time: now, Type: event.Announce, Peer: peer, Prefix: p, Attrs: u.Attrs})
+	}
+}
+
+func (c *Collector) emit(e event.Event) {
+	if c.handler != nil {
+		c.handler(e)
+	}
+}
+
+// Peers returns the addresses of currently connected peers, sorted.
+func (c *Collector) Peers() []netip.Addr {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]netip.Addr, 0, len(c.peers))
+	for a := range c.peers {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Routes snapshots every peer's Adj-RIB-In (the input to a TAMP picture
+// of the site's current routing).
+func (c *Collector) Routes() []*rib.Route {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []*rib.Route
+	for _, ps := range c.peers {
+		out = append(out, ps.adj.Routes()...)
+	}
+	return out
+}
+
+// NumRoutes returns the total routes held across peers.
+func (c *Collector) NumRoutes() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, ps := range c.peers {
+		n += ps.adj.Len()
+	}
+	return n
+}
+
+// Close stops accepting, closes all sessions, and waits for handlers to
+// drain.
+func (c *Collector) Close() error {
+	c.closeMu.Do(func() { close(c.closed) })
+	c.mu.Lock()
+	ln := c.ln
+	sessions := make([]*fsm.Session, 0, len(c.peers))
+	for _, ps := range c.peers {
+		sessions = append(sessions, ps.session)
+	}
+	c.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, s := range sessions {
+		s.Close()
+	}
+	c.wg.Wait()
+	return nil
+}
+
+// Recorder is a concurrency-safe event accumulator, handy as a Handler.
+type Recorder struct {
+	mu     sync.Mutex
+	events event.Stream
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Handle appends the event; pass it as the collector's Handler.
+func (r *Recorder) Handle(e event.Event) {
+	r.mu.Lock()
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}
+
+// Events returns a copy of everything recorded so far.
+func (r *Recorder) Events() event.Stream {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(event.Stream, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// ErrClosed reports the collector has been closed.
+var ErrClosed = errors.New("collector closed")

@@ -1,0 +1,248 @@
+package collector
+
+import (
+	"errors"
+	"net"
+	"net/netip"
+	"testing"
+	"time"
+
+	"rex/internal/bgp"
+	"rex/internal/bgp/fsm"
+	"rex/internal/event"
+)
+
+var fixedNow = time.Date(2003, 8, 1, 12, 0, 0, 0, time.UTC)
+
+func startCollector(t *testing.T) (*Collector, *Recorder, string) {
+	t.Helper()
+	rec := NewRecorder()
+	c := New(Config{
+		LocalAS:               25,
+		LocalID:               netip.MustParseAddr("10.255.0.1"),
+		HoldTime:              30 * time.Second,
+		Now:                   func() time.Time { return fixedNow },
+		WithdrawOnSessionLoss: true,
+	}, rec.Handle)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		if err := c.Serve(ln); err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	}()
+	t.Cleanup(func() { c.Close() })
+	return c, rec, ln.Addr().String()
+}
+
+func dialRouter(t *testing.T, addr, routerID string) *fsm.Session {
+	t.Helper()
+	s, err := fsm.Dial(addr, fsm.Config{
+		LocalAS: 25,
+		LocalID: netip.MustParseAddr(routerID),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func attrs(nexthop string, asns ...uint32) *bgp.PathAttrs {
+	return &bgp.PathAttrs{
+		Origin:  bgp.OriginIGP,
+		ASPath:  bgp.Sequence(asns...),
+		Nexthop: netip.MustParseAddr(nexthop),
+	}
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+func TestAugmentedWithdrawals(t *testing.T) {
+	c, rec, addr := startCollector(t)
+	router := dialRouter(t, addr, "128.32.1.3")
+
+	a := attrs("128.32.0.70", 11423, 209, 701, 1299, 5713)
+	prefix := netip.MustParsePrefix("192.96.10.0/24")
+	if err := router.Send(&bgp.Update{Attrs: a, NLRI: []netip.Prefix{prefix}}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "announce event", func() bool { return rec.Len() >= 1 })
+
+	// A bare withdrawal on the wire...
+	if err := router.Send(&bgp.Update{Withdrawn: []netip.Prefix{prefix}}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "withdraw event", func() bool { return rec.Len() >= 2 })
+
+	events := rec.Events()
+	if events[0].Type != event.Announce || !events[0].Attrs.Equal(a) {
+		t.Errorf("announce event = %v", &events[0])
+	}
+	w := events[1]
+	if w.Type != event.Withdraw || w.Prefix != prefix {
+		t.Fatalf("withdraw event = %v", &w)
+	}
+	// ...emerges augmented with the attributes it withdrew.
+	if w.Attrs == nil || !w.Attrs.Equal(a) {
+		t.Errorf("withdrawal not augmented: %v", w.Attrs)
+	}
+	if w.Peer != netip.MustParseAddr("128.32.1.3") {
+		t.Errorf("peer = %v", w.Peer)
+	}
+	if !w.Time.Equal(fixedNow) {
+		t.Errorf("time = %v", w.Time)
+	}
+	if c.NumRoutes() != 0 {
+		t.Errorf("NumRoutes = %d after withdrawal", c.NumRoutes())
+	}
+}
+
+func TestSpuriousWithdrawalHasNoAttrs(t *testing.T) {
+	_, rec, addr := startCollector(t)
+	router := dialRouter(t, addr, "128.32.1.3")
+	if err := router.Send(&bgp.Update{Withdrawn: []netip.Prefix{netip.MustParsePrefix("10.0.0.0/8")}}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "event", func() bool { return rec.Len() >= 1 })
+	if e := rec.Events()[0]; e.Attrs != nil {
+		t.Errorf("spurious withdrawal has attrs: %v", e.Attrs)
+	}
+}
+
+func TestImplicitReplaceKeepsRIBSize(t *testing.T) {
+	c, rec, addr := startCollector(t)
+	router := dialRouter(t, addr, "128.32.1.3")
+	prefix := netip.MustParsePrefix("10.1.0.0/16")
+	if err := router.Send(&bgp.Update{Attrs: attrs("10.0.0.9", 1, 2), NLRI: []netip.Prefix{prefix}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := router.Send(&bgp.Update{Attrs: attrs("10.0.0.9", 1, 3), NLRI: []netip.Prefix{prefix}}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "two announces", func() bool { return rec.Len() >= 2 })
+	if got := c.NumRoutes(); got != 1 {
+		t.Errorf("NumRoutes = %d, want 1 (implicit replace)", got)
+	}
+	events := rec.Events()
+	if events[1].Attrs.ASPath.String() != "1 3" {
+		t.Errorf("second announce path = %v", events[1].Attrs.ASPath)
+	}
+}
+
+func TestSessionLossEmitsWithdrawals(t *testing.T) {
+	c, rec, addr := startCollector(t)
+	router := dialRouter(t, addr, "128.32.1.200")
+	for i := 0; i < 3; i++ {
+		p := netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(i + 1), 0, 0}), 16)
+		if err := router.Send(&bgp.Update{Attrs: attrs("10.0.0.9", 1, uint32(100+i)), NLRI: []netip.Prefix{p}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "3 announces", func() bool { return rec.Len() >= 3 })
+	waitFor(t, "peer registered", func() bool { return len(c.Peers()) == 1 })
+	router.Close()
+	waitFor(t, "session-loss withdrawals", func() bool { return rec.Len() >= 6 })
+	events := rec.Events()
+	var withdrawals int
+	for _, e := range events[3:] {
+		if e.Type == event.Withdraw && e.Attrs != nil {
+			withdrawals++
+		}
+	}
+	if withdrawals != 3 {
+		t.Errorf("augmented session-loss withdrawals = %d, want 3", withdrawals)
+	}
+	waitFor(t, "peer gone", func() bool { return len(c.Peers()) == 0 })
+}
+
+func TestMultiplePeersAndRoutesSnapshot(t *testing.T) {
+	c, rec, addr := startCollector(t)
+	r1 := dialRouter(t, addr, "128.32.1.3")
+	r2 := dialRouter(t, addr, "128.32.1.200")
+	if err := r1.Send(&bgp.Update{Attrs: attrs("10.0.0.66", 11423, 209), NLRI: []netip.Prefix{netip.MustParsePrefix("10.1.0.0/16")}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.Send(&bgp.Update{Attrs: attrs("10.0.0.90", 11423, 209), NLRI: []netip.Prefix{netip.MustParsePrefix("10.1.0.0/16")}}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "two events", func() bool { return rec.Len() >= 2 })
+	peers := c.Peers()
+	if len(peers) != 2 || peers[0] != netip.MustParseAddr("128.32.1.3") {
+		t.Fatalf("peers = %v", peers)
+	}
+	routes := c.Routes()
+	if len(routes) != 2 {
+		t.Fatalf("routes = %d", len(routes))
+	}
+	// The same prefix is held independently per peer (set-union later in
+	// TAMP).
+	if routes[0].Prefix != routes[1].Prefix {
+		t.Errorf("prefixes differ: %v %v", routes[0].Prefix, routes[1].Prefix)
+	}
+}
+
+func TestRecorderCopies(t *testing.T) {
+	rec := NewRecorder()
+	rec.Handle(event.Event{Type: event.Announce, Peer: netip.MustParseAddr("10.0.0.1"), Prefix: netip.MustParsePrefix("10.0.0.0/8")})
+	events := rec.Events()
+	events[0].Type = event.Withdraw
+	if rec.Events()[0].Type != event.Announce {
+		t.Error("Events exposes internal storage")
+	}
+}
+
+func TestMaxPrefixTearsSessionDown(t *testing.T) {
+	rec := NewRecorder()
+	c := New(Config{
+		LocalAS:     25,
+		LocalID:     netip.MustParseAddr("10.255.0.1"),
+		Now:         func() time.Time { return fixedNow },
+		MaxPrefixes: 5,
+	}, rec.Handle)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = c.Serve(ln) }()
+	t.Cleanup(func() { c.Close() })
+
+	router := dialRouter(t, ln.Addr().String(), "128.32.1.3")
+	// Leak more prefixes than the limit.
+	for i := 0; i < 10; i++ {
+		p := netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(i + 1), 0, 0}), 16)
+		if err := router.Send(&bgp.Update{Attrs: attrs("10.0.0.9", 1, uint32(100+i)), NLRI: []netip.Prefix{p}}); err != nil {
+			break // session may already be closing
+		}
+	}
+	// The collector must CEASE the session.
+	select {
+	case <-router.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("session survived max-prefix violation")
+	}
+	var notif *bgp.Notification
+	if err := router.Err(); err != nil {
+		if !errorsAs(err, &notif) || notif.Code != bgp.NotifCease {
+			t.Errorf("err = %v, want CEASE", err)
+		}
+	}
+	waitFor(t, "peer gone", func() bool { return len(c.Peers()) == 0 })
+}
+
+// errorsAs is a tiny local wrapper to keep the imports flat.
+func errorsAs(err error, target *(*bgp.Notification)) bool {
+	return errors.As(err, target)
+}

@@ -1,0 +1,279 @@
+// Package core ties the paper's pieces into the real-time anomaly
+// pipeline: event-rate analysis finds spikes (short-timescale anomalies:
+// session resets, leaks, peering loss), Stemming decomposes both the
+// spikes and the residual low-grade churn (long-timescale anomalies:
+// persistent oscillations, flaky links) into correlated components, and
+// each component is correlated against router policies (§III-D.1) and IGP
+// changes (§III-D.3). The events of each alert can be handed to TAMP to
+// animate the incident — the only coupling between the two algorithms the
+// paper describes.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"rex/internal/core/stemming"
+	"rex/internal/core/tamp"
+	"rex/internal/event"
+	"rex/internal/igp"
+	"rex/internal/policy"
+)
+
+// AlertKind distinguishes how an incident surfaced.
+type AlertKind uint8
+
+// Alert kinds.
+const (
+	// AlertSpike: a surge of events above the rate baseline.
+	AlertSpike AlertKind = iota + 1
+	// AlertChurn: no surge, but a strong correlation in the low-grade
+	// "grass" (paper §IV-E/F).
+	AlertChurn
+)
+
+// String names the kind.
+func (k AlertKind) String() string {
+	switch k {
+	case AlertSpike:
+		return "spike"
+	case AlertChurn:
+		return "churn"
+	default:
+		return "alert(?)"
+	}
+}
+
+// Alert is one detected incident.
+type Alert struct {
+	Kind       AlertKind
+	Start, End time.Time
+	// EventCount is the number of events in the alert window.
+	EventCount int
+	// Components are the correlated components, strongest first.
+	Components []stemming.Component
+	// Findings correlate the strongest component with router policies.
+	Findings []policy.Finding
+	// IGPChanges are link-state changes inside the window.
+	IGPChanges []igp.Change
+	// RelatedIGP narrows IGPChanges to routers that own a BGP nexthop
+	// appearing in the strongest component — the automated version of the
+	// paper's manual §III-D.3 drill-down.
+	RelatedIGP []igp.Change
+	// Events is the window's event slice (TAMP animation input).
+	Events event.Stream
+}
+
+// Summary renders a one-line description.
+func (a *Alert) Summary() string {
+	if len(a.Components) == 0 {
+		return fmt.Sprintf("%v of %d events (no strong correlation)", a.Kind, a.EventCount)
+	}
+	c := &a.Components[0]
+	return fmt.Sprintf("%v of %d events: %d component(s), strongest at %v (%d prefixes, %d events)",
+		a.Kind, a.EventCount, len(a.Components), c.Stem, len(c.Prefixes), c.NumEvents())
+}
+
+// Config tunes the detector. The zero value is usable.
+type Config struct {
+	// SpikeBucket is the rate-series bucket (default 1 minute).
+	SpikeBucket time.Duration
+	// SpikeK is the MAD multiplier for spike detection (default 8).
+	SpikeK float64
+	// ChurnMinEvents is the minimum component size for a churn alert
+	// (default 50): smaller residual correlations are treated as noise.
+	ChurnMinEvents int
+	// Stemming configures the decomposition.
+	Stemming stemming.Config
+	// Configs are router configurations for policy correlation.
+	Configs []*policy.Config
+	// LSDB, when set, contributes IGP changes to alerts.
+	LSDB *igp.LSDB
+}
+
+func (c Config) withDefaults() Config {
+	if c.SpikeBucket <= 0 {
+		c.SpikeBucket = time.Minute
+	}
+	if c.SpikeK <= 0 {
+		c.SpikeK = 8
+	}
+	if c.ChurnMinEvents <= 0 {
+		c.ChurnMinEvents = 50
+	}
+	return c
+}
+
+// Detector runs the scan over event windows.
+type Detector struct {
+	cfg Config
+}
+
+// NewDetector builds a detector.
+func NewDetector(cfg Config) *Detector {
+	return &Detector{cfg: cfg.withDefaults()}
+}
+
+// Scan analyzes a stream and returns alerts: one per rate spike, plus
+// churn alerts for strong correlations in the residual events. The stream
+// need not be sorted.
+func (d *Detector) Scan(s event.Stream) []Alert {
+	if len(s) == 0 {
+		return nil
+	}
+	rate := event.Rate(s, d.cfg.SpikeBucket)
+	spikes := rate.Spikes(d.cfg.SpikeK)
+
+	var alerts []Alert
+	inSpike := make([]bool, len(s))
+	for _, sp := range spikes {
+		var window event.Stream
+		for i := range s {
+			if !s[i].Time.Before(sp.Start) && s[i].Time.Before(sp.End) {
+				window = append(window, s[i])
+				inSpike[i] = true
+			}
+		}
+		alerts = append(alerts, d.analyzeWindow(AlertSpike, sp.Start, sp.End, window))
+	}
+
+	// Residual churn: what remains after spikes are cut out.
+	residual := make(event.Stream, 0, len(s))
+	for i := range s {
+		if !inSpike[i] {
+			residual = append(residual, s[i])
+		}
+	}
+	if len(residual) >= d.cfg.ChurnMinEvents {
+		first, last, _ := residual.TimeRange()
+		churn := d.analyzeWindow(AlertChurn, first, last.Add(time.Nanosecond), residual)
+		// Keep only components big enough to matter.
+		var kept []stemming.Component
+		for _, c := range churn.Components {
+			if c.NumEvents() >= d.cfg.ChurnMinEvents {
+				kept = append(kept, c)
+			}
+		}
+		churn.Components = kept
+		if len(kept) > 0 {
+			churn.Findings = d.correlate(&kept[0], residual)
+			alerts = append(alerts, churn)
+		}
+	}
+	return alerts
+}
+
+func (d *Detector) analyzeWindow(kind AlertKind, start, end time.Time, window event.Stream) Alert {
+	a := Alert{
+		Kind: kind, Start: start, End: end,
+		EventCount: len(window),
+		Events:     window,
+	}
+	a.Components = stemming.Analyze(window, d.cfg.Stemming)
+	if len(a.Components) > 0 {
+		a.Findings = d.correlate(&a.Components[0], window)
+	}
+	if d.cfg.LSDB != nil {
+		a.IGPChanges = d.cfg.LSDB.Changes(start, end)
+		if len(a.Components) > 0 {
+			a.RelatedIGP = relatedIGPChanges(&a.Components[0], window, a.IGPChanges, d.cfg.LSDB)
+		}
+	}
+	return a
+}
+
+// relatedIGPChanges keeps the changes whose router owns a nexthop used by
+// the component's events.
+func relatedIGPChanges(c *stemming.Component, window event.Stream, changes []igp.Change, lsdb *igp.LSDB) []igp.Change {
+	owners := map[string]bool{}
+	for _, idx := range c.EventIndexes {
+		if idx < 0 || idx >= len(window) {
+			continue
+		}
+		nh := window[idx].Nexthop()
+		if !nh.IsValid() {
+			continue
+		}
+		if router, ok := lsdb.Owner(nh); ok {
+			owners[router] = true
+		}
+	}
+	if len(owners) == 0 {
+		return nil
+	}
+	var out []igp.Change
+	for _, ch := range changes {
+		if owners[ch.Router] {
+			out = append(out, ch)
+		}
+	}
+	return out
+}
+
+func (d *Detector) correlate(c *stemming.Component, window event.Stream) []policy.Finding {
+	if len(d.cfg.Configs) == 0 {
+		return nil
+	}
+	return policy.Correlate(c, window, d.cfg.Configs)
+}
+
+// Animate renders an alert's events as a TAMP animation over the given
+// baseline routing state.
+func (a *Alert) Animate(site string, baseline []tamp.RouteEntry, cfg tamp.AnimationConfig) *tamp.Animation {
+	return tamp.Animate(site, baseline, a.Events, cfg)
+}
+
+// Pipeline buffers a live event feed (e.g. from the collector) and scans
+// it on demand. It is safe for concurrent use.
+type Pipeline struct {
+	detector *Detector
+
+	mu  sync.Mutex
+	buf event.Stream
+	// maxBuffered bounds memory; oldest events are dropped first.
+	maxBuffered int
+}
+
+// NewPipeline builds a pipeline keeping at most maxBuffered events
+// (default 1,000,000 — roughly the paper's largest analyzed window).
+func NewPipeline(cfg Config, maxBuffered int) *Pipeline {
+	if maxBuffered <= 0 {
+		maxBuffered = 1_000_000
+	}
+	return &Pipeline{detector: NewDetector(cfg), maxBuffered: maxBuffered}
+}
+
+// Ingest appends one event (usable directly as a collector.Handler).
+func (p *Pipeline) Ingest(e event.Event) {
+	p.mu.Lock()
+	p.buf = append(p.buf, e)
+	if len(p.buf) > p.maxBuffered {
+		drop := len(p.buf) - p.maxBuffered
+		p.buf = append(event.Stream(nil), p.buf[drop:]...)
+	}
+	p.mu.Unlock()
+}
+
+// Buffered returns the number of buffered events.
+func (p *Pipeline) Buffered() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.buf)
+}
+
+// Scan analyzes the current buffer.
+func (p *Pipeline) Scan() []Alert {
+	p.mu.Lock()
+	snapshot := make(event.Stream, len(p.buf))
+	copy(snapshot, p.buf)
+	p.mu.Unlock()
+	return p.detector.Scan(snapshot)
+}
+
+// Reset clears the buffer (e.g. after acting on a scan).
+func (p *Pipeline) Reset() {
+	p.mu.Lock()
+	p.buf = nil
+	p.mu.Unlock()
+}

@@ -1,0 +1,315 @@
+package core
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"rex/internal/bgp"
+	"rex/internal/core/stemming"
+	"rex/internal/core/tamp"
+	"rex/internal/event"
+	"rex/internal/igp"
+	"rex/internal/policy"
+	"rex/internal/sim"
+)
+
+var t0 = time.Date(2002, 7, 1, 0, 0, 0, 0, time.UTC)
+
+// mixedStream builds: background noise over 2 hours, one session-reset
+// spike at minute 30, and continuous low-grade customer flapping.
+func mixedStream(t *testing.T) (event.Stream, *sim.ISPAnonSite, event.Stream) {
+	t.Helper()
+	// Proportions matter: the reset spike must tower over the rate
+	// baseline while each customer flap (~15 events at this fleet size)
+	// stays inside the grass variance — the paper's §IV-E setting.
+	is := sim.ISPAnon(sim.ISPAnonConfig{
+		PoPs: 2, RRsPerPoP: 1, Tier1Peers: 3,
+		CustomerStubs: 60, PrefixesPerStub: 5,
+	})
+	baseline := is.BaselineRoutes()
+
+	noise := sim.NoiseStream(baseline, 3000, 2*time.Hour, t0, 11)
+	reset := sim.SessionResetScenario(is.Site, baseline, is.Tier1s[0], 20*time.Second, t0.Add(30*time.Minute))
+	flap := sim.CustomerFlapScenario(is, 60, 2*time.Minute, t0)
+
+	all := append(event.Stream{}, noise...)
+	all = append(all, reset.Events...)
+	all = append(all, flap.Events...)
+	all.SortByTime()
+	return all, is, reset.Events
+}
+
+func TestScanFindsSpikeAndChurn(t *testing.T) {
+	s, _, resetEvents := mixedStream(t)
+	d := NewDetector(Config{})
+	alerts := d.Scan(s)
+	if len(alerts) == 0 {
+		t.Fatal("no alerts")
+	}
+	var spike, churn *Alert
+	for i := range alerts {
+		switch alerts[i].Kind {
+		case AlertSpike:
+			if spike == nil || alerts[i].EventCount > spike.EventCount {
+				spike = &alerts[i]
+			}
+		case AlertChurn:
+			churn = &alerts[i]
+		}
+	}
+	if spike == nil {
+		t.Fatal("session reset produced no spike alert")
+	}
+	if churn == nil {
+		t.Fatal("customer flapping produced no churn alert")
+	}
+	// The spike window holds most of the reset events.
+	if spike.EventCount < len(resetEvents)/2 {
+		t.Errorf("spike captured %d of %d reset events", spike.EventCount, len(resetEvents))
+	}
+	if len(spike.Components) == 0 {
+		t.Fatal("spike has no components")
+	}
+	// The churn alert's strongest component is the flapping customer.
+	top := churn.Components[0]
+	found := false
+	for _, p := range top.Prefixes {
+		if p == sim.FlapPrefix {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("churn top component prefixes = %v, want %v", top.Prefixes, sim.FlapPrefix)
+	}
+	if !strings.Contains(churn.Summary(), "churn") {
+		t.Errorf("summary = %q", churn.Summary())
+	}
+}
+
+func TestScanEmptyAndQuiet(t *testing.T) {
+	d := NewDetector(Config{})
+	if got := d.Scan(nil); got != nil {
+		t.Errorf("alerts on empty stream: %v", got)
+	}
+	// A tiny quiet stream: no spike, too small for churn.
+	quiet := event.Stream{
+		{Time: t0, Type: event.Announce, Peer: netip.MustParseAddr("10.0.0.1"), Prefix: netip.MustParsePrefix("10.0.0.0/8")},
+	}
+	if got := d.Scan(quiet); len(got) != 0 {
+		t.Errorf("alerts on quiet stream: %v", got)
+	}
+}
+
+func TestAlertPolicyCorrelation(t *testing.T) {
+	cfgText := `hostname edge3
+router bgp 25
+ neighbor 128.32.0.66 remote-as 11423
+ neighbor 128.32.0.66 route-map IN in
+!
+ip community-list standard ISP permit 11423:65350
+route-map IN permit 10
+ match community ISP
+ set local-preference 80
+`
+	rcfg, err := policy.Parse(strings.NewReader(cfgText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A spike of withdrawals all tagged with the ISP community.
+	var s event.Stream
+	attrs := &bgp.PathAttrs{
+		Origin:      bgp.OriginIGP,
+		ASPath:      bgp.Sequence(11423, 209, 701),
+		Nexthop:     netip.MustParseAddr("128.32.0.66"),
+		Communities: []bgp.Community{bgp.MakeCommunity(11423, 65350)},
+	}
+	for i := 0; i < 400; i++ {
+		s = append(s, event.Event{
+			Time: t0.Add(time.Duration(i) * 100 * time.Millisecond),
+			Type: event.Withdraw, Peer: netip.MustParseAddr("128.32.1.3"),
+			Prefix: netip.PrefixFrom(netip.AddrFrom4([4]byte{20, byte(i / 250), byte(i % 250), 0}), 24),
+			Attrs:  attrs,
+		})
+	}
+	// Some calm before and after so the spike stands out.
+	for i := 0; i < 30; i++ {
+		s = append(s, event.Event{
+			Time: t0.Add(-time.Hour + time.Duration(i)*2*time.Minute),
+			Type: event.Announce, Peer: netip.MustParseAddr("128.32.1.200"),
+			Prefix: netip.MustParsePrefix("10.9.0.0/16"),
+			Attrs:  &bgp.PathAttrs{ASPath: bgp.Sequence(11423), Nexthop: netip.MustParseAddr("128.32.0.90")},
+		})
+	}
+	s.SortByTime()
+	d := NewDetector(Config{Configs: []*policy.Config{rcfg}})
+	alerts := d.Scan(s)
+	var spike *Alert
+	for i := range alerts {
+		if alerts[i].Kind == AlertSpike {
+			spike = &alerts[i]
+		}
+	}
+	if spike == nil {
+		t.Fatal("no spike alert")
+	}
+	if len(spike.Findings) == 0 {
+		t.Fatal("no policy findings")
+	}
+	f := spike.Findings[0]
+	if f.Policy.Community != bgp.MakeCommunity(11423, 65350) || f.Policy.LocalPref == nil || *f.Policy.LocalPref != 80 {
+		t.Errorf("finding = %+v", f)
+	}
+}
+
+func TestAlertIGPCorrelation(t *testing.T) {
+	lsdb := igp.NewLSDB()
+	lsdb.Install(igp.LSA{Origin: "a", Seq: 1, Time: t0.Add(-time.Hour), Links: []igp.Link{{To: "b", Metric: 1}}})
+	lsdb.Install(igp.LSA{Origin: "b", Seq: 1, Time: t0.Add(-time.Hour), Links: []igp.Link{{To: "a", Metric: 1}}})
+	// A metric change right inside the upcoming spike window.
+	lsdb.Install(igp.LSA{Origin: "a", Seq: 2, Time: t0.Add(10 * time.Second), Links: []igp.Link{{To: "b", Metric: 100}}})
+
+	var s event.Stream
+	for i := 0; i < 300; i++ {
+		s = append(s, event.Event{
+			Time: t0.Add(time.Duration(i) * 100 * time.Millisecond),
+			Type: event.Withdraw, Peer: netip.MustParseAddr("10.0.0.1"),
+			Prefix: netip.PrefixFrom(netip.AddrFrom4([4]byte{20, byte(i / 250), byte(i % 250), 0}), 24),
+			Attrs:  &bgp.PathAttrs{ASPath: bgp.Sequence(1, 2), Nexthop: netip.MustParseAddr("10.0.0.9")},
+		})
+	}
+	for i := 0; i < 30; i++ {
+		s = append(s, event.Event{
+			Time: t0.Add(-time.Hour + time.Duration(i)*2*time.Minute),
+			Type: event.Announce, Peer: netip.MustParseAddr("10.0.0.2"),
+			Prefix: netip.MustParsePrefix("10.9.0.0/16"),
+			Attrs:  &bgp.PathAttrs{ASPath: bgp.Sequence(3), Nexthop: netip.MustParseAddr("10.0.0.8")},
+		})
+	}
+	s.SortByTime()
+	d := NewDetector(Config{LSDB: lsdb})
+	alerts := d.Scan(s)
+	var spike *Alert
+	for i := range alerts {
+		if alerts[i].Kind == AlertSpike {
+			spike = &alerts[i]
+		}
+	}
+	if spike == nil {
+		t.Fatal("no spike")
+	}
+	if len(spike.IGPChanges) != 1 || spike.IGPChanges[0].Router != "a" {
+		t.Errorf("IGP changes = %v", spike.IGPChanges)
+	}
+}
+
+func TestAlertAnimate(t *testing.T) {
+	s, is, _ := mixedStream(t)
+	d := NewDetector(Config{})
+	alerts := d.Scan(s)
+	if len(alerts) == 0 {
+		t.Fatal("no alerts")
+	}
+	var base []tamp.RouteEntry
+	for _, r := range is.BaselineRoutes() {
+		base = append(base, r.TAMPEntry())
+	}
+	anim := alerts[0].Animate(is.Name, base, tamp.AnimationConfig{})
+	if anim.NumFrames == 0 || len(anim.Frames) == 0 {
+		t.Errorf("animation frames = %d/%d", anim.NumFrames, len(anim.Frames))
+	}
+}
+
+func TestPipelineBufferAndScan(t *testing.T) {
+	p := NewPipeline(Config{ChurnMinEvents: 10, Stemming: stemming.Config{}}, 100)
+	for i := 0; i < 150; i++ {
+		p.Ingest(event.Event{
+			Time: t0.Add(time.Duration(i) * time.Second),
+			Type: event.Withdraw, Peer: netip.MustParseAddr("10.0.0.1"),
+			Prefix: netip.MustParsePrefix("4.5.0.0/16"),
+			Attrs:  &bgp.PathAttrs{ASPath: bgp.Sequence(2, 9), Nexthop: netip.MustParseAddr("10.3.4.5")},
+		})
+	}
+	if p.Buffered() != 100 {
+		t.Errorf("Buffered = %d, want 100 (cap)", p.Buffered())
+	}
+	alerts := p.Scan()
+	if len(alerts) == 0 {
+		t.Fatal("no alerts from pipeline")
+	}
+	if alerts[0].Components[0].Prefixes[0] != netip.MustParsePrefix("4.5.0.0/16") {
+		t.Errorf("component = %+v", alerts[0].Components[0])
+	}
+	p.Reset()
+	if p.Buffered() != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestAlertKindString(t *testing.T) {
+	if AlertSpike.String() != "spike" || AlertChurn.String() != "churn" {
+		t.Error("kind strings")
+	}
+	a := Alert{Kind: AlertSpike, EventCount: 5}
+	if !strings.Contains(a.Summary(), "no strong correlation") {
+		t.Errorf("summary = %q", a.Summary())
+	}
+}
+
+func TestRelatedIGPChanges(t *testing.T) {
+	lsdb := igp.NewLSDB()
+	// Router "edge-a" owns the nexthop network 10.0.0.0/24; "far" owns
+	// something unrelated.
+	lsdb.Install(igp.LSA{Origin: "edge-a", Seq: 1, Time: t0.Add(-time.Hour),
+		Links:    []igp.Link{{To: "far", Metric: 1}},
+		Networks: []netip.Prefix{netip.MustParsePrefix("10.0.0.0/24")}})
+	lsdb.Install(igp.LSA{Origin: "far", Seq: 1, Time: t0.Add(-time.Hour),
+		Links:    []igp.Link{{To: "edge-a", Metric: 1}},
+		Networks: []netip.Prefix{netip.MustParsePrefix("172.16.0.0/24")}})
+	// Both routers change during the incident window.
+	lsdb.Install(igp.LSA{Origin: "edge-a", Seq: 2, Time: t0.Add(5 * time.Second),
+		Links:    []igp.Link{{To: "far", Metric: 50}},
+		Networks: []netip.Prefix{netip.MustParsePrefix("10.0.0.0/24")}})
+	lsdb.Install(igp.LSA{Origin: "far", Seq: 2, Time: t0.Add(6 * time.Second),
+		Links:    []igp.Link{{To: "edge-a", Metric: 50}},
+		Networks: []netip.Prefix{netip.MustParsePrefix("172.16.0.0/24")}})
+
+	var s event.Stream
+	for i := 0; i < 300; i++ {
+		s = append(s, event.Event{
+			Time: t0.Add(time.Duration(i) * 100 * time.Millisecond),
+			Type: event.Withdraw, Peer: netip.MustParseAddr("10.1.1.1"),
+			Prefix: netip.PrefixFrom(netip.AddrFrom4([4]byte{20, byte(i / 250), byte(i % 250), 0}), 24),
+			// Nexthop inside edge-a's network.
+			Attrs: &bgp.PathAttrs{ASPath: bgp.Sequence(1, 2), Nexthop: netip.MustParseAddr("10.0.0.9")},
+		})
+	}
+	for i := 0; i < 30; i++ {
+		s = append(s, event.Event{
+			Time: t0.Add(-time.Hour + time.Duration(i)*2*time.Minute),
+			Type: event.Announce, Peer: netip.MustParseAddr("10.1.1.2"),
+			Prefix: netip.MustParsePrefix("10.9.0.0/16"),
+			Attrs:  &bgp.PathAttrs{ASPath: bgp.Sequence(3), Nexthop: netip.MustParseAddr("172.16.9.9")},
+		})
+	}
+	s.SortByTime()
+	d := NewDetector(Config{LSDB: lsdb})
+	var spike *Alert
+	for _, a := range d.Scan(s) {
+		if a.Kind == AlertSpike {
+			spike = &a
+			break
+		}
+	}
+	if spike == nil {
+		t.Fatal("no spike")
+	}
+	if len(spike.IGPChanges) != 2 {
+		t.Fatalf("IGP changes in window = %d, want 2", len(spike.IGPChanges))
+	}
+	// Only edge-a's change relates to the component's nexthop.
+	if len(spike.RelatedIGP) != 1 || spike.RelatedIGP[0].Router != "edge-a" {
+		t.Errorf("RelatedIGP = %v", spike.RelatedIGP)
+	}
+}

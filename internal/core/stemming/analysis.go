@@ -1,0 +1,319 @@
+package stemming
+
+import (
+	"encoding/binary"
+	"net/netip"
+	"sort"
+
+	"rex/internal/event"
+)
+
+// Token IDs pack a kind (top 2 bits) and an intern-table index (low 30
+// bits) into a uint32, so sequences are flat []uint32 and sub-sequence
+// keys are compact byte strings.
+const (
+	kindShift        = 30
+	idxMask   uint32 = (1 << kindShift) - 1
+	idBytes          = 4
+)
+
+func packID(k Kind, idx uint32) uint32 { return uint32(k-1)<<kindShift | idx }
+
+func unpackID(id uint32) (Kind, uint32) { return Kind(id>>kindShift) + 1, id & idxMask }
+
+// interner assigns dense IDs to peers, nexthops, ASNs and prefixes.
+type interner struct {
+	peerIDs map[netip.Addr]uint32
+	nhIDs   map[netip.Addr]uint32
+	asIDs   map[uint32]uint32
+	pfxIDs  map[netip.Prefix]uint32
+	peers   []netip.Addr
+	nhs     []netip.Addr
+	asns    []uint32
+	pfxs    []netip.Prefix
+}
+
+func newInterner() *interner {
+	return &interner{
+		peerIDs: make(map[netip.Addr]uint32),
+		nhIDs:   make(map[netip.Addr]uint32),
+		asIDs:   make(map[uint32]uint32),
+		pfxIDs:  make(map[netip.Prefix]uint32),
+	}
+}
+
+func (in *interner) peer(a netip.Addr) uint32 {
+	id, ok := in.peerIDs[a]
+	if !ok {
+		id = packID(KindPeer, uint32(len(in.peers)))
+		in.peerIDs[a] = id
+		in.peers = append(in.peers, a)
+	}
+	return id
+}
+
+func (in *interner) nexthop(a netip.Addr) uint32 {
+	id, ok := in.nhIDs[a]
+	if !ok {
+		id = packID(KindNexthop, uint32(len(in.nhs)))
+		in.nhIDs[a] = id
+		in.nhs = append(in.nhs, a)
+	}
+	return id
+}
+
+func (in *interner) as(asn uint32) uint32 {
+	id, ok := in.asIDs[asn]
+	if !ok {
+		id = packID(KindAS, uint32(len(in.asns)))
+		in.asIDs[asn] = id
+		in.asns = append(in.asns, asn)
+	}
+	return id
+}
+
+func (in *interner) prefix(p netip.Prefix) uint32 {
+	id, ok := in.pfxIDs[p]
+	if !ok {
+		id = packID(KindPrefix, uint32(len(in.pfxs)))
+		in.pfxIDs[p] = id
+		in.pfxs = append(in.pfxs, p)
+	}
+	return id
+}
+
+// token decodes an ID back to display form.
+func (in *interner) token(id uint32) Token {
+	kind, idx := unpackID(id)
+	t := Token{Kind: kind}
+	switch kind {
+	case KindPeer:
+		t.Addr = in.peers[idx]
+	case KindNexthop:
+		t.Addr = in.nhs[idx]
+	case KindAS:
+		t.AS = in.asns[idx]
+	case KindPrefix:
+		t.Prefix = in.pfxs[idx]
+	}
+	return t
+}
+
+type analysis struct {
+	cfg    Config
+	stream event.Stream
+	in     *interner
+
+	seqs     [][]uint32 // per-event token sequence
+	seqBytes [][]byte   // big-endian byte form of seqs, for key slicing
+	weights  []float64
+	prefixID []uint32 // interned prefix per event
+	alive    []bool
+	liveN    int
+
+	counts         map[string]float64
+	eventsByPrefix map[uint32][]int
+}
+
+func newAnalysis(s event.Stream, cfg Config) *analysis {
+	a := &analysis{
+		cfg:            cfg,
+		stream:         s,
+		in:             newInterner(),
+		seqs:           make([][]uint32, len(s)),
+		seqBytes:       make([][]byte, len(s)),
+		weights:        make([]float64, len(s)),
+		prefixID:       make([]uint32, len(s)),
+		alive:          make([]bool, len(s)),
+		liveN:          len(s),
+		counts:         make(map[string]float64, len(s)*8),
+		eventsByPrefix: make(map[uint32][]int, len(s)/2),
+	}
+	for i := range s {
+		e := &s[i]
+		seq := make([]uint32, 0, 8)
+		seq = append(seq, a.in.peer(e.Peer))
+		if e.Attrs != nil {
+			if e.Attrs.Nexthop.IsValid() {
+				seq = append(seq, a.in.nexthop(e.Attrs.Nexthop))
+			}
+			for _, segASN := range e.Attrs.ASPath.ASNs() {
+				seq = append(seq, a.in.as(segASN))
+			}
+		}
+		pid := a.in.prefix(e.Prefix)
+		seq = append(seq, pid)
+		a.seqs[i] = seq
+		a.seqBytes[i] = encodeSeq(seq)
+		a.prefixID[i] = pid
+		a.alive[i] = true
+		w := 1.0
+		if cfg.Weight != nil {
+			w = cfg.Weight(e)
+		}
+		a.weights[i] = w
+		a.eventsByPrefix[pid] = append(a.eventsByPrefix[pid], i)
+		a.addCounts(i, w)
+	}
+	return a
+}
+
+func encodeSeq(seq []uint32) []byte {
+	b := make([]byte, len(seq)*idBytes)
+	for i, id := range seq {
+		binary.BigEndian.PutUint32(b[i*idBytes:], id)
+	}
+	return b
+}
+
+// addCounts adds (or, with negative w, removes) every sub-sequence of
+// event i of length >= 2 tokens.
+func (a *analysis) addCounts(i int, w float64) {
+	seq := a.seqs[i]
+	raw := a.seqBytes[i]
+	maxLen := len(seq)
+	if a.cfg.MaxSubseqLen > 1 && a.cfg.MaxSubseqLen < maxLen {
+		maxLen = a.cfg.MaxSubseqLen
+	}
+	for start := 0; start < len(seq)-1; start++ {
+		end := start + maxLen
+		if end > len(seq) {
+			end = len(seq)
+		}
+		for stop := start + 2; stop <= end; stop++ {
+			key := string(raw[start*idBytes : stop*idBytes])
+			n := a.counts[key] + w
+			if n <= 1e-9 {
+				delete(a.counts, key)
+			} else {
+				a.counts[key] = n
+			}
+		}
+	}
+}
+
+// best scans the count table for the top-scoring sub-sequence.
+func (a *analysis) best() (key string, score float64, count float64, ok bool) {
+	for k, c := range a.counts {
+		if c < a.cfg.MinCount {
+			continue
+		}
+		length := len(k) / idBytes
+		s := a.cfg.Score(c, length)
+		switch {
+		case !ok || s > score:
+			key, score, count, ok = k, s, c, true
+		case s == score:
+			// Deterministic tie-break: longer wins, then smaller key.
+			if len(k) > len(key) || (len(k) == len(key) && k < key) {
+				key, count = k, c
+			}
+		}
+	}
+	return key, score, count, ok
+}
+
+// extract removes and returns the strongest component of the remaining
+// stream.
+func (a *analysis) extract() (Component, bool) {
+	if a.liveN < a.cfg.MinEvents {
+		return Component{}, false
+	}
+	key, score, count, ok := a.best()
+	if !ok || score < a.cfg.MinScore {
+		return Component{}, false
+	}
+	want := decodeKey(key)
+
+	// P: prefixes of live events whose sequence contains s', in
+	// first-appearance order.
+	var prefixIDs []uint32
+	seenPfx := make(map[uint32]struct{}, 16)
+	for i, seq := range a.seqs {
+		if !a.alive[i] {
+			continue
+		}
+		if seqContains(seq, want) {
+			pid := a.prefixID[i]
+			if _, dup := seenPfx[pid]; !dup {
+				seenPfx[pid] = struct{}{}
+				prefixIDs = append(prefixIDs, pid)
+			}
+		}
+	}
+	if len(prefixIDs) == 0 {
+		return Component{}, false
+	}
+
+	// E: every live event touching a prefix in P.
+	var eventIdx []int
+	for _, pid := range prefixIDs {
+		for _, i := range a.eventsByPrefix[pid] {
+			if a.alive[i] {
+				eventIdx = append(eventIdx, i)
+			}
+		}
+	}
+	sort.Ints(eventIdx)
+	for _, i := range eventIdx {
+		a.alive[i] = false
+		a.liveN--
+		a.addCounts(i, -a.weights[i])
+	}
+
+	comp := Component{
+		Score:    score,
+		Count:    int(count + 0.5),
+		Prefixes: make([]netip.Prefix, len(prefixIDs)),
+	}
+	comp.Subsequence = make([]Token, len(want))
+	for i, id := range want {
+		comp.Subsequence[i] = a.in.token(id)
+	}
+	comp.Stem = Stem{
+		From: comp.Subsequence[len(want)-2],
+		To:   comp.Subsequence[len(want)-1],
+	}
+	for i, pid := range prefixIDs {
+		_, idx := unpackID(pid)
+		comp.Prefixes[i] = a.in.pfxs[idx]
+	}
+	comp.EventIndexes = eventIdx
+	comp.First = a.stream[eventIdx[0]].Time
+	comp.Last = comp.First
+	for _, i := range eventIdx {
+		t := a.stream[i].Time
+		if t.Before(comp.First) {
+			comp.First = t
+		}
+		if t.After(comp.Last) {
+			comp.Last = t
+		}
+	}
+	return comp, true
+}
+
+func decodeKey(key string) []uint32 {
+	out := make([]uint32, len(key)/idBytes)
+	for i := range out {
+		out[i] = binary.BigEndian.Uint32([]byte(key[i*idBytes : (i+1)*idBytes]))
+	}
+	return out
+}
+
+// seqContains reports whether want occurs as a contiguous run in seq.
+func seqContains(seq, want []uint32) bool {
+	if len(want) == 0 || len(want) > len(seq) {
+		return false
+	}
+outer:
+	for i := 0; i+len(want) <= len(seq); i++ {
+		for j, id := range want {
+			if seq[i+j] != id {
+				continue outer
+			}
+		}
+		return true
+	}
+	return false
+}

@@ -1,0 +1,190 @@
+// Package stemming implements the paper's Stemming algorithm (§III-B):
+// statistical anomaly detection over a BGP event stream.
+//
+// Each event e — an announcement or withdrawal from peer x for prefix p
+// with nexthop h and AS path a1…an — is expressed as the sequence
+//
+//	c = x h a1 … an p
+//
+// The algorithm counts every contiguous sub-sequence of every c, ranks
+// them, and picks the strongest sub-sequence s'. The last adjacent pair of
+// s' is the *stem* — the inferred problem location. The prefixes P whose
+// sequences contain s' and the events E touching those prefixes form one
+// strongly correlated *component* of the stream. Removing E and repeating
+// decomposes the stream into its constituent incidents.
+//
+// Ranking detail: the paper ranks sub-sequences "in descending order of
+// their counts", but raw counts always rank single elements highest (every
+// sequence containing "x h a1 a2" also contains "a1"), which admits no
+// stem. We therefore score s by count(s)·(len(s)−1) — occurrences times
+// edges covered — which reproduces both behaviours the paper describes for
+// Figure 4: it prefers 11423-209 (8 events × 1 edge) over any singleton,
+// and when a failure sits one hop deeper it prefers the longer
+// 11423-209-7018 over the more frequent but shorter 11423-209. Count-only
+// and count×length scoring remain available for ablation.
+package stemming
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"rex/internal/event"
+)
+
+// Kind classifies a sequence token.
+type Kind uint8
+
+// Token kinds, in sequence-position order.
+const (
+	KindPeer Kind = iota + 1
+	KindNexthop
+	KindAS
+	KindPrefix
+)
+
+// Token is one element of an event's sequence form, in display form.
+type Token struct {
+	Kind Kind
+	// Addr is set for KindPeer and KindNexthop.
+	Addr netip.Addr
+	// AS is set for KindAS.
+	AS uint32
+	// Prefix is set for KindPrefix.
+	Prefix netip.Prefix
+}
+
+// String renders the token for reports.
+func (t Token) String() string {
+	switch t.Kind {
+	case KindPeer:
+		return "peer:" + t.Addr.String()
+	case KindNexthop:
+		return "nexthop:" + t.Addr.String()
+	case KindAS:
+		return fmt.Sprintf("AS%d", t.AS)
+	case KindPrefix:
+		return t.Prefix.String()
+	default:
+		return "?"
+	}
+}
+
+// Stem is the inferred problem location: the last pair of adjacent
+// elements of the strongest sub-sequence.
+type Stem struct {
+	From Token
+	To   Token
+}
+
+// String renders the stem as "from—to".
+func (s Stem) String() string { return s.From.String() + "—" + s.To.String() }
+
+// Component is one strongly correlated set of routing changes extracted
+// from the stream.
+type Component struct {
+	// Stem is the problem location.
+	Stem Stem
+	// Subsequence is the full strongest sub-sequence s'.
+	Subsequence []Token
+	// Score is the ranking score of s' (see package doc).
+	Score float64
+	// Count is the number of event sequences containing s'.
+	Count int
+	// Prefixes is the affected prefix set P, in first-appearance order.
+	Prefixes []netip.Prefix
+	// EventIndexes are indexes into the analyzed stream of the events E
+	// composing this component, ascending.
+	EventIndexes []int
+	// First and Last bound the component's events in time.
+	First, Last time.Time
+}
+
+// NumEvents returns len(EventIndexes).
+func (c *Component) NumEvents() int { return len(c.EventIndexes) }
+
+// ScoreFunc ranks a sub-sequence given its occurrence count (fractional
+// when Weight is set) and its token length.
+type ScoreFunc func(count float64, length int) float64
+
+// Score functions. ScoreCountEdges is the default (see package doc);
+// ScoreCountOnly and ScoreCountLen exist for the ablation benches.
+var (
+	ScoreCountEdges ScoreFunc = func(count float64, length int) float64 { return count * float64(length-1) }
+	ScoreCountOnly  ScoreFunc = func(count float64, _ int) float64 { return count }
+	ScoreCountLen   ScoreFunc = func(count float64, length int) float64 { return count * float64(length) }
+)
+
+// Config tunes the analysis. The zero value is ready to use.
+type Config struct {
+	// MaxComponents bounds the recursive decomposition (default 8).
+	MaxComponents int
+	// MinScore stops the decomposition when the strongest remaining
+	// sub-sequence scores below it (default 2).
+	MinScore float64
+	// MinCount is the minimum occurrence count (weighted sum when Weight
+	// is set) for a sub-sequence to anchor a component; below it events
+	// are uncorrelated noise (default 2, so a lone event never forms a
+	// component).
+	MinCount float64
+	// MinEvents stops the decomposition when fewer events remain
+	// (default 2).
+	MinEvents int
+	// MaxSubseqLen caps the sub-sequence length considered; 0 means
+	// unlimited. Sequences are short (peer + nexthop + AS path + prefix),
+	// so the cap mainly bounds pathological prepending.
+	MaxSubseqLen int
+	// Score ranks sub-sequences (default ScoreCountEdges).
+	Score ScoreFunc
+	// Weight, when set, weights each event's contribution to sub-sequence
+	// counts (e.g. by traffic volume tied to its prefix, §III-D.2).
+	// Counts become Σweight instead of occurrence counts.
+	Weight func(e *event.Event) float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxComponents <= 0 {
+		c.MaxComponents = 8
+	}
+	if c.MinScore <= 0 {
+		c.MinScore = 2
+	}
+	if c.MinCount <= 0 {
+		c.MinCount = 2
+	}
+	if c.MinEvents <= 0 {
+		c.MinEvents = 2
+	}
+	if c.Score == nil {
+		c.Score = ScoreCountEdges
+	}
+	return c
+}
+
+// Analyze decomposes the stream into its strongly correlated components,
+// strongest first. The input stream is not modified.
+func Analyze(s event.Stream, cfg Config) []Component {
+	cfg = cfg.withDefaults()
+	a := newAnalysis(s, cfg)
+	var out []Component
+	for len(out) < cfg.MaxComponents {
+		comp, ok := a.extract()
+		if !ok {
+			break
+		}
+		out = append(out, comp)
+	}
+	return out
+}
+
+// Top returns only the strongest component, or ok=false when the stream
+// has no correlation above the configured minimum.
+func Top(s event.Stream, cfg Config) (Component, bool) {
+	cfg = cfg.withDefaults()
+	cfg.MaxComponents = 1
+	comps := Analyze(s, cfg)
+	if len(comps) == 0 {
+		return Component{}, false
+	}
+	return comps[0], true
+}

@@ -1,0 +1,453 @@
+package stemming
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+
+	"rex/internal/bgp"
+	"rex/internal/event"
+)
+
+var t0 = time.Date(2003, 8, 1, 10, 0, 0, 0, time.UTC)
+
+func mkEvent(typ event.Type, i int, peer, nexthop, prefix string, asns ...uint32) event.Event {
+	e := event.Event{
+		Time:   t0.Add(time.Duration(i) * time.Second),
+		Type:   typ,
+		Peer:   netip.MustParseAddr(peer),
+		Prefix: netip.MustParsePrefix(prefix),
+	}
+	e.Attrs = &bgp.PathAttrs{
+		Origin: bgp.OriginIGP,
+		ASPath: bgp.Sequence(asns...),
+	}
+	if nexthop != "" {
+		e.Attrs.Nexthop = netip.MustParseAddr(nexthop)
+	}
+	return e
+}
+
+// figure4Stream is the exact event spike listing of the paper's Figure 4.
+func figure4Stream() event.Stream {
+	w := func(i int, peer, nh, prefix string, asns ...uint32) event.Event {
+		return mkEvent(event.Withdraw, i, peer, nh, prefix, asns...)
+	}
+	return event.Stream{
+		w(0, "128.32.1.3", "128.32.0.70", "192.96.10.0/24", 11423, 209, 701, 1299, 5713),
+		w(1, "128.32.1.3", "128.32.0.66", "207.191.23.0/24", 11423, 11422, 209, 4519),
+		w(2, "128.32.1.200", "128.32.0.90", "192.96.10.0/24", 11423, 209, 701, 1299, 5713),
+		w(3, "128.32.1.200", "128.32.0.90", "212.22.132.0/23", 11423, 209, 1239, 3228, 21408),
+		w(4, "128.32.1.3", "128.32.0.66", "203.14.156.0/24", 11423, 209, 701, 705),
+		w(5, "128.32.1.3", "128.32.0.66", "209.5.188.0/24", 11423, 11422, 209, 1239, 3602),
+		w(6, "128.32.1.3", "128.32.0.66", "12.2.41.0/24", 11423, 209, 7018, 13606),
+		w(7, "128.32.1.3", "128.32.0.66", "12.96.77.0/24", 11423, 209, 7018, 13606),
+		w(8, "128.32.1.3", "128.32.0.66", "62.80.64.0/20", 11423, 209, 1239, 5400, 15410),
+		w(9, "128.32.1.200", "128.32.0.90", "62.80.64.0/20", 11423, 209, 1239, 5400, 15410),
+	}
+}
+
+func TestFigure4Stem(t *testing.T) {
+	// The paper: 8 of the 10 withdrawals share 11423-209, whose last edge
+	// is the failure location.
+	comp, ok := Top(figure4Stream(), Config{})
+	if !ok {
+		t.Fatal("no component found")
+	}
+	if comp.Stem.From.Kind != KindAS || comp.Stem.From.AS != 11423 {
+		t.Errorf("stem.From = %v, want AS11423", comp.Stem.From)
+	}
+	if comp.Stem.To.Kind != KindAS || comp.Stem.To.AS != 209 {
+		t.Errorf("stem.To = %v, want AS209", comp.Stem.To)
+	}
+	if comp.Stem.String() != "AS11423—AS209" {
+		t.Errorf("stem = %v", comp.Stem)
+	}
+}
+
+func TestFigure4FailureOneHopDown(t *testing.T) {
+	// "If the failure was one hop down between 209 and 7018, the common
+	// portion would be 11423-209-7018, and the last edge, 209-7018, is
+	// the failure location." Build a spike where most paths share
+	// 11423-209-7018 and check the deeper stem wins over the more
+	// frequent 11423-209.
+	var s event.Stream
+	for i := 0; i < 8; i++ {
+		prefix := netip.PrefixFrom(netip.AddrFrom4([4]byte{12, byte(i), 41, 0}), 24).String()
+		s = append(s, mkEvent(event.Withdraw, i, "128.32.1.3", "128.32.0.66", prefix,
+			11423, 209, 7018, uint32(13600+i)))
+	}
+	// Two paths through 209 that do not continue to 7018.
+	s = append(s,
+		mkEvent(event.Withdraw, 8, "128.32.1.3", "128.32.0.66", "203.14.156.0/24", 11423, 209, 701, 705),
+		mkEvent(event.Withdraw, 9, "128.32.1.3", "128.32.0.66", "192.96.10.0/24", 11423, 209, 701, 5713),
+	)
+	comp, ok := Top(s, Config{})
+	if !ok {
+		t.Fatal("no component")
+	}
+	if comp.Stem.From.AS != 209 || comp.Stem.To.AS != 7018 {
+		t.Errorf("stem = %v, want AS209—AS7018", comp.Stem)
+	}
+}
+
+func TestSingleFailureComponent(t *testing.T) {
+	// 100 prefixes withdrawn through a common failing edge 1-2 with
+	// diverse tails: every event belongs to one component with stem 1-2.
+	var s event.Stream
+	for i := 0; i < 100; i++ {
+		prefix := netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(i), 0, 0}), 16).String()
+		s = append(s, mkEvent(event.Withdraw, i, "10.0.0.1", "10.0.0.9", prefix,
+			1, 2, uint32(100+i%7), uint32(1000+i)))
+	}
+	comps := Analyze(s, Config{})
+	if len(comps) == 0 {
+		t.Fatal("no components")
+	}
+	c := comps[0]
+	if c.NumEvents() != 100 || len(c.Prefixes) != 100 {
+		t.Errorf("component has %d events / %d prefixes, want 100/100", c.NumEvents(), len(c.Prefixes))
+	}
+	// The strongest sub-sequence runs peer,nexthop,1,2 — its last pair is
+	// located at the deepest shared edge.
+	last := c.Subsequence[len(c.Subsequence)-1]
+	if last.Kind != KindAS || last.AS != 2 {
+		t.Errorf("subsequence ends at %v, want AS2", last)
+	}
+	if c.First != t0 || c.Last != t0.Add(99*time.Second) {
+		t.Errorf("time range %v..%v", c.First, c.Last)
+	}
+}
+
+func TestTwoIncidentsSeparate(t *testing.T) {
+	var s event.Stream
+	// Incident A: 50 withdrawals behind edge 100-200.
+	for i := 0; i < 50; i++ {
+		prefix := netip.PrefixFrom(netip.AddrFrom4([4]byte{20, byte(i), 0, 0}), 16).String()
+		s = append(s, mkEvent(event.Withdraw, i, "10.0.0.1", "10.0.0.9", prefix, 100, 200, uint32(300+i)))
+	}
+	// Incident B: 20 announcements behind edge 400-500 from another peer.
+	for i := 0; i < 20; i++ {
+		prefix := netip.PrefixFrom(netip.AddrFrom4([4]byte{30, byte(i), 0, 0}), 16).String()
+		s = append(s, mkEvent(event.Announce, 100+i, "10.0.0.2", "10.0.0.8", prefix, 400, 500, uint32(600+i)))
+	}
+	comps := Analyze(s, Config{})
+	if len(comps) < 2 {
+		t.Fatalf("components = %d, want >= 2", len(comps))
+	}
+	if comps[0].NumEvents() != 50 || comps[1].NumEvents() != 20 {
+		t.Errorf("component sizes = %d, %d", comps[0].NumEvents(), comps[1].NumEvents())
+	}
+	if comps[0].Score <= comps[1].Score {
+		t.Errorf("components not strongest-first: %v <= %v", comps[0].Score, comps[1].Score)
+	}
+	// Disjoint event sets covering both incidents.
+	seen := map[int]bool{}
+	for _, c := range comps {
+		for _, i := range c.EventIndexes {
+			if seen[i] {
+				t.Fatalf("event %d in two components", i)
+			}
+			seen[i] = true
+		}
+	}
+}
+
+func TestTemporalIndependence(t *testing.T) {
+	// Stemming is a correlation, not a causality, technique: shuffling
+	// the stream must not change what is found (paper §III-B).
+	var s event.Stream
+	for i := 0; i < 40; i++ {
+		prefix := netip.PrefixFrom(netip.AddrFrom4([4]byte{20, byte(i), 0, 0}), 16).String()
+		s = append(s, mkEvent(event.Withdraw, i, "10.0.0.1", "10.0.0.9", prefix, 100, 200, uint32(300+i)))
+	}
+	for i := 0; i < 15; i++ {
+		prefix := netip.PrefixFrom(netip.AddrFrom4([4]byte{30, byte(i), 0, 0}), 16).String()
+		s = append(s, mkEvent(event.Announce, 100+i, "10.0.0.2", "10.0.0.8", prefix, 400, 500))
+	}
+	base := Analyze(s, Config{})
+
+	shuffled := append(event.Stream(nil), s...)
+	rng := rand.New(rand.NewSource(99))
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	got := Analyze(shuffled, Config{})
+
+	if len(got) != len(base) {
+		t.Fatalf("component count changed: %d vs %d", len(got), len(base))
+	}
+	for i := range base {
+		if got[i].Stem != base[i].Stem || got[i].Score != base[i].Score || got[i].NumEvents() != base[i].NumEvents() {
+			t.Errorf("component %d changed: %+v vs %+v", i, got[i].Stem, base[i].Stem)
+		}
+	}
+}
+
+func TestLowGradeChurnFoundInLongWindow(t *testing.T) {
+	// Paper §IV-E: a persistent oscillation whose event rate is "in the
+	// grass" still dominates the correlation over a long window, even
+	// among noisier one-off events.
+	rng := rand.New(rand.NewSource(5))
+	var s event.Stream
+	// 300 noise events: unique prefixes, unique tails.
+	for i := 0; i < 300; i++ {
+		prefix := netip.PrefixFrom(netip.AddrFrom4([4]byte{40, byte(i / 250), byte(i % 250), 0}), 24).String()
+		s = append(s, mkEvent(event.Type(1+i%2), i, "10.0.0.3", "10.0.0.7", prefix,
+			uint32(rng.Intn(5)+700), uint32(rng.Intn(30000)+1000), uint32(rng.Intn(30000)+40000)))
+	}
+	// One prefix flapping 120 times through the same customer edge.
+	for i := 0; i < 120; i++ {
+		typ := event.Announce
+		if i%2 == 1 {
+			typ = event.Withdraw
+		}
+		s = append(s, mkEvent(typ, 1000+i, "10.0.0.1", "1.0.0.1", "4.5.0.0/16", 65001, 65002))
+	}
+	comp, ok := Top(s, Config{})
+	if !ok {
+		t.Fatal("no component")
+	}
+	if len(comp.Prefixes) != 1 || comp.Prefixes[0].String() != "4.5.0.0/16" {
+		t.Errorf("top component prefixes = %v, want [4.5.0.0/16]", comp.Prefixes)
+	}
+	if comp.NumEvents() != 120 {
+		t.Errorf("top component events = %d, want 120", comp.NumEvents())
+	}
+}
+
+func TestWeightedStemmingPrefersElephants(t *testing.T) {
+	elephant := netip.MustParsePrefix("4.5.0.0/16")
+	var s event.Stream
+	// 10 events on the elephant prefix.
+	for i := 0; i < 10; i++ {
+		s = append(s, mkEvent(event.Withdraw, i, "10.0.0.1", "10.0.0.9", elephant.String(), 100, 200))
+	}
+	// 60 events on mice behind a different edge.
+	for i := 0; i < 60; i++ {
+		prefix := netip.PrefixFrom(netip.AddrFrom4([4]byte{30, byte(i), 0, 0}), 16).String()
+		s = append(s, mkEvent(event.Withdraw, 100+i, "10.0.0.2", "10.0.0.8", prefix, 400, 500, uint32(600+i)))
+	}
+	// Unweighted: the mice incident dominates by volume.
+	comp, ok := Top(s, Config{})
+	if !ok || comp.Stem.To.AS != 500 {
+		t.Fatalf("unweighted top = %v ok=%v, want AS400—AS500", comp.Stem, ok)
+	}
+	// Weighted by traffic: the elephant wins.
+	weight := func(e *event.Event) float64 {
+		if e.Prefix == elephant {
+			return 100
+		}
+		return 1
+	}
+	comp, ok = Top(s, Config{Weight: weight})
+	if !ok {
+		t.Fatal("weighted Top found nothing")
+	}
+	// The single heavy prefix anchors the strongest sub-sequence; its
+	// component is exactly the elephant's events.
+	if len(comp.Prefixes) != 1 || comp.Prefixes[0] != elephant {
+		t.Fatalf("weighted top prefixes = %v, want [%v]", comp.Prefixes, elephant)
+	}
+	if comp.NumEvents() != 10 {
+		t.Errorf("weighted top events = %d, want 10", comp.NumEvents())
+	}
+}
+
+func TestNoiseOnlyNoComponents(t *testing.T) {
+	// Events sharing nothing of length >= 2 more than once yield nothing.
+	var s event.Stream
+	for i := 0; i < 10; i++ {
+		prefix := netip.PrefixFrom(netip.AddrFrom4([4]byte{50, byte(i), 0, 0}), 16).String()
+		s = append(s, mkEvent(event.Withdraw, i,
+			netip.AddrFrom4([4]byte{10, 0, 0, byte(i + 1)}).String(), "",
+			prefix, uint32(1000+i), uint32(2000+i)))
+	}
+	if comps := Analyze(s, Config{}); len(comps) != 0 {
+		t.Errorf("noise produced components: %+v", comps)
+	}
+}
+
+func TestEmptyAndTinyStreams(t *testing.T) {
+	if comps := Analyze(nil, Config{}); len(comps) != 0 {
+		t.Error("nil stream produced components")
+	}
+	one := event.Stream{mkEvent(event.Withdraw, 0, "10.0.0.1", "10.0.0.9", "10.0.0.0/8", 1, 2, 3)}
+	if comps := Analyze(one, Config{}); len(comps) != 0 {
+		t.Error("single event produced a component")
+	}
+	if _, ok := Top(nil, Config{}); ok {
+		t.Error("Top on nil ok")
+	}
+}
+
+func TestEventsWithoutAttrs(t *testing.T) {
+	// Spurious withdrawals carry no attributes: sequence is peer,prefix.
+	var s event.Stream
+	for i := 0; i < 5; i++ {
+		s = append(s, event.Event{
+			Time: t0, Type: event.Withdraw,
+			Peer:   netip.MustParseAddr("10.0.0.1"),
+			Prefix: netip.MustParsePrefix("10.0.0.0/8"),
+		})
+	}
+	comp, ok := Top(s, Config{})
+	if !ok {
+		t.Fatal("no component from repeated bare withdrawals")
+	}
+	if comp.Stem.From.Kind != KindPeer || comp.Stem.To.Kind != KindPrefix {
+		t.Errorf("stem = %v", comp.Stem)
+	}
+	if comp.Count != 5 {
+		t.Errorf("count = %d", comp.Count)
+	}
+}
+
+func TestMaxComponentsAndMaxSubseqLen(t *testing.T) {
+	// Five incidents behind five distinct peers, so the groups do not
+	// correlate with each other at the peer level.
+	var s event.Stream
+	for g := 0; g < 5; g++ {
+		peer := netip.AddrFrom4([4]byte{10, 0, 0, byte(g + 1)}).String()
+		nh := netip.AddrFrom4([4]byte{10, 0, 9, byte(g + 1)}).String()
+		for i := 0; i < 10; i++ {
+			prefix := netip.PrefixFrom(netip.AddrFrom4([4]byte{byte(60 + g), byte(i), 0, 0}), 16).String()
+			s = append(s, mkEvent(event.Withdraw, g*100+i, peer, nh, prefix,
+				uint32(100*g+1), uint32(100*g+2), uint32(1000+g*50+i)))
+		}
+	}
+	if comps := Analyze(s, Config{MaxComponents: 2}); len(comps) != 2 {
+		t.Errorf("MaxComponents=2 gave %d components", len(comps))
+	}
+	// A length cap still finds the incidents (shorter anchors).
+	comps := Analyze(s, Config{MaxSubseqLen: 2})
+	if len(comps) == 0 {
+		t.Error("MaxSubseqLen=2 found nothing")
+	}
+	for _, c := range comps {
+		if len(c.Subsequence) > 2 {
+			t.Errorf("subsequence longer than cap: %v", c.Subsequence)
+		}
+	}
+}
+
+func TestScoreAblation(t *testing.T) {
+	s := figure4Stream()
+	// Count-only scoring ranks... whatever it ranks; it must at least
+	// run and produce deterministic output.
+	c1, ok1 := Top(s, Config{Score: ScoreCountOnly})
+	c2, ok2 := Top(s, Config{Score: ScoreCountOnly})
+	if !ok1 || !ok2 || c1.Stem != c2.Stem {
+		t.Errorf("count-only nondeterministic: %v vs %v", c1.Stem, c2.Stem)
+	}
+	c3, ok := Top(s, Config{Score: ScoreCountLen})
+	if !ok {
+		t.Fatal("count*len found nothing")
+	}
+	if c3.Score <= 0 {
+		t.Errorf("score = %v", c3.Score)
+	}
+}
+
+func TestComponentInvariants(t *testing.T) {
+	// Components partition a subset of the stream: indexes valid,
+	// ascending, disjoint; every component event's prefix is in the
+	// component's prefix set.
+	rng := rand.New(rand.NewSource(31))
+	var s event.Stream
+	for i := 0; i < 400; i++ {
+		prefix := netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(rng.Intn(20)), 0, 0}), 16).String()
+		s = append(s, mkEvent(event.Type(1+rng.Intn(2)), i, "10.0.0.1", "10.0.0.9", prefix,
+			uint32(rng.Intn(3)+1), uint32(rng.Intn(3)+10), uint32(rng.Intn(50)+100)))
+	}
+	comps := Analyze(s, Config{MaxComponents: 50})
+	seen := map[int]bool{}
+	for ci, c := range comps {
+		pset := map[netip.Prefix]bool{}
+		for _, p := range c.Prefixes {
+			pset[p] = true
+		}
+		prev := -1
+		for _, idx := range c.EventIndexes {
+			if idx < 0 || idx >= len(s) {
+				t.Fatalf("component %d: index %d out of range", ci, idx)
+			}
+			if idx <= prev {
+				t.Fatalf("component %d: indexes not ascending", ci)
+			}
+			prev = idx
+			if seen[idx] {
+				t.Fatalf("component %d: event %d reused", ci, idx)
+			}
+			seen[idx] = true
+			if !pset[s[idx].Prefix] {
+				t.Fatalf("component %d: event %d prefix %v not in prefix set", ci, idx, s[idx].Prefix)
+			}
+		}
+		if !c.First.Before(c.Last) && !c.First.Equal(c.Last) {
+			t.Fatalf("component %d: time range inverted", ci)
+		}
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	tok := Token{Kind: KindAS, AS: 209}
+	if tok.String() != "AS209" {
+		t.Errorf("AS token = %q", tok.String())
+	}
+	tok = Token{Kind: KindPeer, Addr: netip.MustParseAddr("10.0.0.1")}
+	if tok.String() != "peer:10.0.0.1" {
+		t.Errorf("peer token = %q", tok.String())
+	}
+	tok = Token{Kind: KindNexthop, Addr: netip.MustParseAddr("10.0.0.9")}
+	if tok.String() != "nexthop:10.0.0.9" {
+		t.Errorf("nexthop token = %q", tok.String())
+	}
+	tok = Token{Kind: KindPrefix, Prefix: netip.MustParsePrefix("10.0.0.0/8")}
+	if tok.String() != "10.0.0.0/8" {
+		t.Errorf("prefix token = %q", tok.String())
+	}
+	if (Token{}).String() != "?" {
+		t.Error("zero token string")
+	}
+}
+
+// TestScoreAblationLocalizationDepth demonstrates why count-only ranking
+// (the paper's literal wording) is insufficient: with many events sharing
+// a deep path, count-only anchors at the most frequent *pair* (shallow),
+// while count×edges walks to the deepest strongly shared portion — the
+// behaviour the paper's Figure 4 narrative requires.
+func TestScoreAblationLocalizationDepth(t *testing.T) {
+	var s event.Stream
+	// 20 withdrawals share peer,nh,1,2,3 then diverge.
+	for i := 0; i < 20; i++ {
+		prefix := netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(i), 0, 0}), 16).String()
+		s = append(s, mkEvent(event.Withdraw, i, "10.0.0.1", "10.0.0.9", prefix,
+			1, 2, 3, uint32(100+i)))
+	}
+	// 5 more via the same peer/nexthop but a different first AS, so the
+	// peer-nexthop pair is the most *frequent* subsequence (25 > 20).
+	for i := 0; i < 5; i++ {
+		prefix := netip.PrefixFrom(netip.AddrFrom4([4]byte{11, byte(i), 0, 0}), 16).String()
+		s = append(s, mkEvent(event.Withdraw, 100+i, "10.0.0.1", "10.0.0.9", prefix,
+			7, uint32(200+i)))
+	}
+
+	shallow, ok := Top(s, Config{Score: ScoreCountOnly})
+	if !ok {
+		t.Fatal("count-only found nothing")
+	}
+	if len(shallow.Subsequence) != 2 {
+		t.Fatalf("count-only subsequence length = %d, want 2 (the frequent pair)", len(shallow.Subsequence))
+	}
+	deep, ok := Top(s, Config{Score: ScoreCountEdges})
+	if !ok {
+		t.Fatal("count-edges found nothing")
+	}
+	if len(deep.Subsequence) < 5 {
+		t.Fatalf("count-edges subsequence = %v, want the deep shared path", deep.Subsequence)
+	}
+	last := deep.Subsequence[len(deep.Subsequence)-1]
+	if last.Kind != KindAS || last.AS != 3 {
+		t.Errorf("count-edges stem ends at %v, want AS3 (deepest shared)", last)
+	}
+}

@@ -1,0 +1,397 @@
+package tamp
+
+import (
+	"net/netip"
+	"sort"
+	"time"
+
+	"rex/internal/event"
+)
+
+// Animation defaults: the paper fixes play time at 30 seconds of 25
+// frames/second regardless of the actual event time range, consolidating
+// many routing changes per frame.
+const (
+	DefaultPlayDuration = 30 * time.Second
+	DefaultFPS          = 25
+)
+
+// EdgeColor is the visual state of an edge in one animation frame.
+type EdgeColor uint8
+
+// Edge colors, as in the paper's Figure 3 legend.
+const (
+	// ColorBlack: not changing.
+	ColorBlack EdgeColor = iota + 1
+	// ColorBlue: the edge is losing prefixes.
+	ColorBlue
+	// ColorGreen: the edge is gaining prefixes.
+	ColorGreen
+	// ColorYellow: the prefix count is flapping too fast to animate
+	// (both gains and losses within one frame).
+	ColorYellow
+)
+
+// String names the color.
+func (c EdgeColor) String() string {
+	switch c {
+	case ColorBlack:
+		return "black"
+	case ColorBlue:
+		return "blue"
+	case ColorGreen:
+		return "green"
+	case ColorYellow:
+		return "yellow"
+	default:
+		return "color(?)"
+	}
+}
+
+// EdgeFrameState is the state of one edge at the end of a frame.
+type EdgeFrameState struct {
+	Edge EdgeRef
+	// Count is the unique-prefix weight at frame end.
+	Count int
+	// MaxEver is the gray-shadow value: the largest weight the edge ever
+	// carried.
+	MaxEver int
+	// Ups and Downs count unique-weight transitions within the frame.
+	Ups, Downs int
+	Color      EdgeColor
+}
+
+// Frame consolidates the routing changes of one animation time slice.
+// Frames with no changes are omitted from Animation.Frames.
+type Frame struct {
+	// Index is the frame's position in 0..NumFrames-1.
+	Index int
+	// Time is the event-stream time at the end of the frame (the
+	// animation clock).
+	Time    time.Time
+	Changes []EdgeFrameState
+}
+
+// AnimationConfig tunes Animate. The zero value uses the paper's defaults.
+type AnimationConfig struct {
+	PlayDuration time.Duration
+	FPS          int
+}
+
+func (c AnimationConfig) frames() int {
+	d := c.PlayDuration
+	if d <= 0 {
+		d = DefaultPlayDuration
+	}
+	fps := c.FPS
+	if fps <= 0 {
+		fps = DefaultFPS
+	}
+	return int(d.Seconds() * float64(fps))
+}
+
+// Animation is a rendered TAMP animation: an initial edge state plus the
+// non-empty frames.
+type Animation struct {
+	Site string
+	// Start and End bound the event stream's actual time range (which the
+	// paper notes can span seconds to days, always played back in
+	// PlayDuration).
+	Start, End   time.Time
+	PlayDuration time.Duration
+	FPS          int
+	NumFrames    int
+	// Initial is the edge state before the first event (all black).
+	Initial []EdgeFrameState
+	Frames  []Frame
+	// Graph is the final graph state after every event, usable for a
+	// closing Snapshot.
+	Graph *Graph
+}
+
+// FrameTime returns the event-stream time at the end of frame i.
+func (a *Animation) FrameTime(i int) time.Time {
+	if a.NumFrames == 0 {
+		return a.Start
+	}
+	span := a.End.Sub(a.Start)
+	return a.Start.Add(span * time.Duration(i+1) / time.Duration(a.NumFrames))
+}
+
+// EdgeSeries reconstructs the per-frame unique-prefix count of one edge —
+// the plot beside the animation controls in the paper's Figure 3. The
+// returned slice has NumFrames+1 entries; entry 0 is the initial state.
+func (a *Animation) EdgeSeries(ref EdgeRef) []int {
+	series := make([]int, a.NumFrames+1)
+	cur := 0
+	for _, st := range a.Initial {
+		if st.Edge == ref {
+			cur = st.Count
+			break
+		}
+	}
+	series[0] = cur
+	next := 1
+	for _, f := range a.Frames {
+		for ; next <= f.Index; next++ {
+			series[next] = cur
+		}
+		for _, ch := range f.Changes {
+			if ch.Edge == ref {
+				cur = ch.Count
+				break
+			}
+		}
+		series[f.Index+1] = cur
+		next = f.Index + 2
+	}
+	for ; next <= a.NumFrames; next++ {
+		series[next] = cur
+	}
+	return series
+}
+
+// StateAt reconstructs the full edge state at the end of frame idx. idx -1
+// returns the initial state. Edges changed in exactly frame idx keep that
+// frame's color and transition counts; all others are black. The result is
+// sorted deterministically.
+func (a *Animation) StateAt(idx int) []EdgeFrameState {
+	state := make(map[EdgeRef]EdgeFrameState, len(a.Initial))
+	for _, st := range a.Initial {
+		state[st.Edge] = st
+	}
+	for _, f := range a.Frames {
+		if f.Index > idx {
+			break
+		}
+		for _, ch := range f.Changes {
+			if f.Index < idx {
+				ch.Color = ColorBlack
+				ch.Ups, ch.Downs = 0, 0
+			}
+			state[ch.Edge] = ch
+		}
+	}
+	out := make([]EdgeFrameState, 0, len(state))
+	for _, st := range state {
+		if st.Count == 0 && st.Color == ColorBlack {
+			continue // long-gone edge
+		}
+		out = append(out, st)
+	}
+	sortStates(out)
+	return out
+}
+
+// EntryFromEvent converts an event to the RouteEntry chain it denotes.
+func EntryFromEvent(e *event.Event) RouteEntry {
+	r := RouteEntry{Router: e.Peer.String(), Prefix: e.Prefix}
+	if e.Attrs != nil {
+		r.Nexthop = e.Attrs.Nexthop
+		r.ASPath = e.Attrs.ASPath.ASNs()
+	}
+	return r
+}
+
+type routeKey struct {
+	router string
+	prefix netip.Prefix
+}
+
+type frameStat struct {
+	start      int
+	ups, downs int
+}
+
+// Animate builds a TAMP animation: base is the RIB state before the
+// events; events are applied in time order with per-frame consolidation.
+func Animate(site string, base []RouteEntry, events event.Stream, cfg AnimationConfig) *Animation {
+	return NewAnimator(site, base).Run(events, cfg)
+}
+
+// Animator holds a prepared baseline routing state. Separating
+// preparation from Run matches the paper's measurement setup ("we do not
+// include time to rebuild the data structures"): build the Animator once,
+// then Run times only event tracking and frame generation. Run consumes
+// the Animator; build a fresh one per animation.
+type Animator struct {
+	site    string
+	g       *Graph
+	current map[routeKey]RouteEntry
+	used    bool
+}
+
+// NewAnimator ingests the baseline RIB state.
+func NewAnimator(site string, base []RouteEntry) *Animator {
+	g := New(site)
+	current := make(map[routeKey]RouteEntry, len(base))
+	for _, r := range base {
+		key := routeKey{router: r.Router, prefix: r.Prefix}
+		if old, ok := current[key]; ok {
+			g.RemoveRoute(old)
+		}
+		g.AddRoute(r)
+		current[key] = r
+	}
+	return &Animator{site: site, g: g, current: current}
+}
+
+// Run tracks the events and produces the animation. It must be called at
+// most once; it panics on reuse (the graph state has been consumed).
+func (a *Animator) Run(events event.Stream, cfg AnimationConfig) *Animation {
+	if a.used {
+		panic("tamp: Animator.Run called twice")
+	}
+	a.used = true
+	nframes := cfg.frames()
+	g := a.g
+	current := a.current
+
+	anim := &Animation{
+		Site:         a.site,
+		PlayDuration: cfg.PlayDuration,
+		FPS:          cfg.FPS,
+		Graph:        g,
+	}
+	if anim.PlayDuration <= 0 {
+		anim.PlayDuration = DefaultPlayDuration
+	}
+	if anim.FPS <= 0 {
+		anim.FPS = DefaultFPS
+	}
+
+	// Initial edge state, deterministic order.
+	for _, e := range g.edges {
+		if len(e.prefixes) == 0 {
+			continue
+		}
+		anim.Initial = append(anim.Initial, EdgeFrameState{
+			Edge:    g.edgeRef(e),
+			Count:   len(e.prefixes),
+			MaxEver: e.maxEver,
+			Color:   ColorBlack,
+		})
+	}
+	sortStates(anim.Initial)
+
+	if len(events) == 0 {
+		return anim
+	}
+	ordered := append(event.Stream(nil), events...)
+	ordered.SortByTime()
+	anim.Start = ordered[0].Time
+	anim.End = ordered[len(ordered)-1].Time
+	span := anim.End.Sub(anim.Start)
+	if span <= 0 {
+		nframes = 1
+	}
+	anim.NumFrames = nframes
+
+	dirty := make(map[*edgeState]*frameStat)
+	g.onEdgeChange = func(e *edgeState, delta int) {
+		st, ok := dirty[e]
+		if !ok {
+			st = &frameStat{start: len(e.prefixes) - delta}
+			dirty[e] = st
+		}
+		if delta > 0 {
+			st.ups++
+		} else {
+			st.downs++
+		}
+	}
+
+	flush := func(frameIdx int) {
+		if len(dirty) == 0 {
+			return
+		}
+		f := Frame{Index: frameIdx, Time: anim.FrameTime(frameIdx)}
+		for e, st := range dirty {
+			end := len(e.prefixes)
+			state := EdgeFrameState{
+				Edge:    g.edgeRef(e),
+				Count:   end,
+				MaxEver: e.maxEver,
+				Ups:     st.ups,
+				Downs:   st.downs,
+			}
+			switch {
+			case st.ups > 0 && st.downs > 0:
+				state.Color = ColorYellow
+			case end > st.start:
+				state.Color = ColorGreen
+			case end < st.start:
+				state.Color = ColorBlue
+			default:
+				state.Color = ColorBlack
+			}
+			f.Changes = append(f.Changes, state)
+			delete(dirty, e)
+		}
+		sortStates(f.Changes)
+		anim.Frames = append(anim.Frames, f)
+	}
+
+	frameOf := func(t time.Time) int {
+		if span <= 0 {
+			return 0
+		}
+		idx := int(int64(t.Sub(anim.Start)) * int64(nframes) / int64(span))
+		if idx >= nframes {
+			idx = nframes - 1
+		}
+		return idx
+	}
+
+	curFrame := 0
+	for i := range ordered {
+		e := &ordered[i]
+		if f := frameOf(e.Time); f != curFrame {
+			flush(curFrame)
+			curFrame = f
+		}
+		key := routeKey{router: e.Peer.String(), prefix: e.Prefix}
+		switch e.Type {
+		case event.Announce:
+			entry := EntryFromEvent(e)
+			if old, ok := current[key]; ok {
+				if entryEqual(old, entry) {
+					continue // duplicate announcement: no routing change
+				}
+				g.ReplaceRoute(old, entry)
+			} else {
+				g.AddRoute(entry)
+			}
+			current[key] = entry
+		case event.Withdraw:
+			if old, ok := current[key]; ok {
+				g.RemoveRoute(old)
+				delete(current, key)
+			}
+		}
+	}
+	flush(curFrame)
+	g.onEdgeChange = nil
+	return anim
+}
+
+func entryEqual(a, b RouteEntry) bool {
+	if a.Router != b.Router || a.Nexthop != b.Nexthop || a.Prefix != b.Prefix || len(a.ASPath) != len(b.ASPath) {
+		return false
+	}
+	for i := range a.ASPath {
+		if a.ASPath[i] != b.ASPath[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sortStates(states []EdgeFrameState) {
+	sort.Slice(states, func(i, j int) bool {
+		if states[i].Edge.From != states[j].Edge.From {
+			return nodeLess(states[i].Edge.From, states[j].Edge.From)
+		}
+		return nodeLess(states[i].Edge.To, states[j].Edge.To)
+	})
+}

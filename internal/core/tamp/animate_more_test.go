@@ -1,0 +1,187 @@
+package tamp
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+
+	"rex/internal/bgp"
+	"rex/internal/event"
+)
+
+func TestReplaceRouteDiffsEdges(t *testing.T) {
+	g := New("site")
+	old := entry("X", "10.0.0.1", "10.1.0.0/16", 1, 2, 3)
+	g.AddRoute(old)
+
+	var changes []string
+	g.onEdgeChange = func(e *edgeState, delta int) {
+		sign := "+"
+		if delta < 0 {
+			sign = "-"
+		}
+		changes = append(changes, sign+g.edgeRef(e).String())
+	}
+	// Same head (router, nexthop, AS1), new tail.
+	new := entry("X", "10.0.0.1", "10.1.0.0/16", 1, 4)
+	g.ReplaceRoute(old, new)
+	g.onEdgeChange = nil
+
+	// Shared edges (root->X, X->nh, nh->AS1) must not appear.
+	for _, c := range changes {
+		switch c {
+		case "+site->X", "-site->X", "+X->10.0.0.1", "-X->10.0.0.1", "+10.0.0.1->AS1", "-10.0.0.1->AS1":
+			t.Errorf("stable edge transitioned: %s", c)
+		}
+	}
+	// The diverging edges did change.
+	if g.Weight(ASNode(1), ASNode(2)) != 0 || g.Weight(ASNode(1), ASNode(4)) != 1 {
+		t.Errorf("replacement weights wrong: %d %d",
+			g.Weight(ASNode(1), ASNode(2)), g.Weight(ASNode(1), ASNode(4)))
+	}
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+	// Replacing across prefixes falls back to remove+add.
+	otherPrefix := entry("X", "10.0.0.1", "10.2.0.0/16", 1, 4)
+	g.ReplaceRoute(new, otherPrefix)
+	if g.TotalPrefixes() != 1 || g.Weight(ASNode(1), ASNode(4)) != 1 {
+		t.Errorf("cross-prefix replace wrong: total=%d", g.TotalPrefixes())
+	}
+}
+
+func TestAnimatorRunTwicePanics(t *testing.T) {
+	an := NewAnimator("site", nil)
+	an.Run(nil, AnimationConfig{})
+	defer func() {
+		if recover() == nil {
+			t.Error("second Run did not panic")
+		}
+	}()
+	an.Run(nil, AnimationConfig{})
+}
+
+func TestStateAtReconstruction(t *testing.T) {
+	base := []RouteEntry{entry("r1", "10.0.0.1", "10.1.0.0/16", 1)}
+	events := event.Stream{
+		animEvent(event.Withdraw, 0, "10.0.0.9", "10.0.0.1", "10.1.0.0/16", 1),
+		animEvent(event.Announce, 10*time.Second, "10.0.0.9", "10.0.0.1", "10.2.0.0/16", 1),
+		animEvent(event.Announce, 29*time.Second, "10.0.0.9", "10.0.0.1", "10.3.0.0/16", 1),
+	}
+	anim := Animate("site", base, events, AnimationConfig{})
+	// Initial state (-1): only the base edges, all black.
+	initial := anim.StateAt(-1)
+	for _, st := range initial {
+		if st.Color != ColorBlack {
+			t.Errorf("initial state colored: %+v", st)
+		}
+	}
+	// The withdraw of an unknown route is a no-op, so the first change
+	// frame is the 10s announcement; state there holds one prefix.
+	mid := anim.StateAt(anim.Frames[0].Index)
+	edge := EdgeRef{From: RouterNode("10.0.0.9"), To: NexthopNode(netip.MustParseAddr("10.0.0.1"))}
+	st := findEdge(t, mid, edge)
+	if st.Count != 1 {
+		t.Errorf("mid count = %d, want 1 (one prefix announced)", st.Count)
+	}
+	// Earlier frames' colors are neutralized in a later StateAt.
+	last := anim.StateAt(anim.NumFrames - 1)
+	st = findEdge(t, last, edge)
+	if st.Count != 2 {
+		t.Errorf("final count = %d, want 2", st.Count)
+	}
+}
+
+// TestAnimationFinalStateMatchesFreshGraph: after playing a random event
+// stream, the animator's graph must equal a graph built directly from the
+// surviving routes — add/remove/replace bookkeeping cannot drift.
+func TestAnimationFinalStateMatchesFreshGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 20; trial++ {
+		var base []RouteEntry
+		baseN := rng.Intn(10)
+		for i := 0; i < baseN; i++ {
+			base = append(base, randomEntry(rng))
+		}
+		var events event.Stream
+		for i := 0; i < 120; i++ {
+			re := randomEntry(rng)
+			typ := event.Announce
+			if rng.Intn(3) == 0 {
+				typ = event.Withdraw
+			}
+			events = append(events, event.Event{
+				Time:   animT0.Add(time.Duration(i) * time.Second),
+				Type:   typ,
+				Peer:   netip.MustParseAddr(re.Router),
+				Prefix: re.Prefix,
+				Attrs: &bgp.PathAttrs{
+					Origin:  bgp.OriginIGP,
+					ASPath:  bgp.Sequence(re.ASPath...),
+					Nexthop: re.Nexthop,
+				},
+			})
+		}
+		anim := Animate("site", base, events, AnimationConfig{})
+		if err := anim.Graph.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+
+		// Replay the same logic with a plain map to get the surviving
+		// route set.
+		type key struct {
+			router string
+			prefix netip.Prefix
+		}
+		current := map[key]RouteEntry{}
+		for _, r := range base {
+			current[key{r.Router, r.Prefix}] = r
+		}
+		for i := range events {
+			e := &events[i]
+			k := key{e.Peer.String(), e.Prefix}
+			if e.Type == event.Announce {
+				current[k] = EntryFromEvent(e)
+			} else {
+				delete(current, k)
+			}
+		}
+		fresh := New("site")
+		for _, r := range current {
+			fresh.AddRoute(r)
+		}
+		if fresh.TotalPrefixes() != anim.Graph.TotalPrefixes() {
+			t.Fatalf("trial %d: totals %d vs %d", trial, fresh.TotalPrefixes(), anim.Graph.TotalPrefixes())
+		}
+		if fresh.NumEdges() != anim.Graph.NumEdges() {
+			t.Fatalf("trial %d: edges %d vs %d", trial, fresh.NumEdges(), anim.Graph.NumEdges())
+		}
+		// Spot-check a snapshot compares equal edge by edge.
+		a := fresh.Snapshot(PruneOptions{Threshold: -1, IncludePrefixLeaves: true})
+		b := anim.Graph.Snapshot(PruneOptions{Threshold: -1, IncludePrefixLeaves: true})
+		if len(a.Edges) != len(b.Edges) {
+			t.Fatalf("trial %d: snapshot edges %d vs %d", trial, len(a.Edges), len(b.Edges))
+		}
+		for i := range a.Edges {
+			if a.Edges[i].From != b.Edges[i].From || a.Edges[i].To != b.Edges[i].To || a.Edges[i].Weight != b.Edges[i].Weight {
+				t.Fatalf("trial %d: edge %d differs: %+v vs %+v", trial, i, a.Edges[i], b.Edges[i])
+			}
+		}
+	}
+}
+
+func randomEntry(rng *rand.Rand) RouteEntry {
+	routers := []string{"10.0.0.9", "10.0.0.8"}
+	pathLen := rng.Intn(3) + 1
+	path := make([]uint32, pathLen)
+	for i := range path {
+		path[i] = uint32(rng.Intn(4) + 1)
+	}
+	return RouteEntry{
+		Router:  routers[rng.Intn(len(routers))],
+		Nexthop: netip.AddrFrom4([4]byte{10, 0, 0, byte(rng.Intn(2) + 1)}),
+		ASPath:  path,
+		Prefix:  netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(rng.Intn(4) + 1), 0, 0}), 16),
+	}
+}

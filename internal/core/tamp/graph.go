@@ -1,0 +1,385 @@
+// Package tamp implements the paper's TAMP algorithm (Threshold And Merge
+// Prefixes, §III-A): a visualization of the large-scale structure of a set
+// of BGP routes "as the routers see it".
+//
+// Each route contributes a chain root → router → nexthop → AS₁ → … → ASₙ →
+// prefix. Chains from all routers merge into one graph; an edge's weight
+// is the number of *unique* prefixes carried over it (set union across
+// routers, not a sum — see the paper's Figure 1(c)). Pruning then keeps
+// only the heavily used parts: a flat fractional threshold (default 5% of
+// total prefixes) or hierarchical pruning that always keeps the elements
+// close to the operator's own domain.
+//
+// The same graph maintains per-edge prefix reference counts so routes can
+// be removed as well as added, which is what the animation engine
+// (animate.go) uses to track a live event stream.
+package tamp
+
+import (
+	"fmt"
+	"net/netip"
+	"strconv"
+)
+
+// NodeKind classifies a TAMP graph node.
+type NodeKind uint8
+
+// Node kinds in root-to-leaf order.
+const (
+	KindRoot NodeKind = iota + 1
+	KindRouter
+	KindNexthop
+	KindAS
+	KindPrefix
+)
+
+// NodeID identifies a node: a kind plus its display name. NodeIDs are
+// comparable and usable as map keys.
+type NodeID struct {
+	Kind NodeKind
+	Name string
+}
+
+// String renders the node name as drawn in pictures.
+func (n NodeID) String() string {
+	if n.Kind == KindAS {
+		return "AS" + n.Name
+	}
+	return n.Name
+}
+
+// Node constructors.
+func RootNode(site string) NodeID     { return NodeID{Kind: KindRoot, Name: site} }
+func RouterNode(name string) NodeID   { return NodeID{Kind: KindRouter, Name: name} }
+func NexthopNode(a netip.Addr) NodeID { return NodeID{Kind: KindNexthop, Name: a.String()} }
+func ASNode(asn uint32) NodeID {
+	return NodeID{Kind: KindAS, Name: strconv.FormatUint(uint64(asn), 10)}
+}
+func PrefixNode(p netip.Prefix) NodeID { return NodeID{Kind: KindPrefix, Name: p.String()} }
+
+// RouteEntry is TAMP's input: one RIB entry of one router.
+type RouteEntry struct {
+	// Router names the BGP edge router (or route reflector) whose RIB the
+	// entry belongs to.
+	Router string
+	// Nexthop is the route's BGP nexthop. An invalid Addr omits the
+	// nexthop hop from the chain.
+	Nexthop netip.Addr
+	// ASPath is the flattened AS path.
+	ASPath []uint32
+	Prefix netip.Prefix
+}
+
+// EdgeRef identifies an edge of the (merged) TAMP graph.
+type EdgeRef struct {
+	From NodeID
+	To   NodeID
+}
+
+// String renders "from->to".
+func (e EdgeRef) String() string { return e.From.String() + "->" + e.To.String() }
+
+type edgeState struct {
+	from, to uint32
+	// prefixes maps interned prefix → number of routes carrying it over
+	// this edge. Unique-prefix weight is len(prefixes).
+	prefixes map[uint32]int32
+	// maxEver is the largest unique-prefix weight the edge has carried —
+	// the gray shadow in animations.
+	maxEver int
+}
+
+// Graph is the merged TAMP graph for one site. It is not safe for
+// concurrent use.
+type Graph struct {
+	site string
+
+	nodeIdx   map[NodeID]uint32
+	nodeByIdx []NodeID
+
+	pfxIdx   map[netip.Prefix]uint32
+	pfxByIdx []netip.Prefix
+	// pfxTotal refcounts routes per prefix across the whole graph; its
+	// length is the unique-prefix total that thresholds are relative to.
+	pfxTotal map[uint32]int32
+
+	edges map[uint64]*edgeState
+	out   map[uint32][]uint32
+
+	// onEdgeChange, when set, observes every unique-weight transition of
+	// an edge (the animation engine's hook). delta is +1 or -1.
+	onEdgeChange func(e *edgeState, delta int)
+
+	chainBuf []uint32 // scratch for route chains
+}
+
+// New returns an empty graph whose root represents the named site.
+func New(site string) *Graph {
+	g := &Graph{
+		site:     site,
+		nodeIdx:  make(map[NodeID]uint32),
+		pfxIdx:   make(map[netip.Prefix]uint32),
+		pfxTotal: make(map[uint32]int32),
+		edges:    make(map[uint64]*edgeState),
+		out:      make(map[uint32][]uint32),
+	}
+	g.node(RootNode(site)) // index 0
+	return g
+}
+
+// Site returns the site name given to New.
+func (g *Graph) Site() string { return g.site }
+
+func (g *Graph) node(id NodeID) uint32 {
+	idx, ok := g.nodeIdx[id]
+	if !ok {
+		idx = uint32(len(g.nodeByIdx))
+		g.nodeIdx[id] = idx
+		g.nodeByIdx = append(g.nodeByIdx, id)
+	}
+	return idx
+}
+
+func (g *Graph) prefix(p netip.Prefix) uint32 {
+	idx, ok := g.pfxIdx[p]
+	if !ok {
+		idx = uint32(len(g.pfxByIdx))
+		g.pfxIdx[p] = idx
+		g.pfxByIdx = append(g.pfxByIdx, p)
+	}
+	return idx
+}
+
+func edgeKey(from, to uint32) uint64 { return uint64(from)<<32 | uint64(to) }
+
+func (g *Graph) edge(from, to uint32) *edgeState {
+	k := edgeKey(from, to)
+	e, ok := g.edges[k]
+	if !ok {
+		e = &edgeState{from: from, to: to, prefixes: make(map[uint32]int32)}
+		g.edges[k] = e
+		g.out[from] = append(g.out[from], to)
+	}
+	return e
+}
+
+// chain computes the node-index chain of a route, collapsing consecutive
+// duplicate ASes (path prepending) so prepended paths do not create
+// self-edges.
+func (g *Graph) chain(r RouteEntry) []uint32 {
+	buf := g.chainBuf[:0]
+	buf = append(buf, 0) // root
+	buf = append(buf, g.node(RouterNode(r.Router)))
+	if r.Nexthop.IsValid() {
+		buf = append(buf, g.node(NexthopNode(r.Nexthop)))
+	}
+	prev := uint32(0)
+	havePrev := false
+	for _, asn := range r.ASPath {
+		if havePrev && asn == prev {
+			continue
+		}
+		buf = append(buf, g.node(ASNode(asn)))
+		prev, havePrev = asn, true
+	}
+	buf = append(buf, g.node(PrefixNode(r.Prefix)))
+	g.chainBuf = buf
+	return buf
+}
+
+// AddRoute merges one route into the graph.
+func (g *Graph) AddRoute(r RouteEntry) {
+	chain := g.chain(r)
+	pid := g.prefix(r.Prefix)
+	g.pfxTotal[pid]++
+	for i := 0; i+1 < len(chain); i++ {
+		e := g.edge(chain[i], chain[i+1])
+		e.prefixes[pid]++
+		if e.prefixes[pid] == 1 { // unique weight grew
+			if w := len(e.prefixes); w > e.maxEver {
+				e.maxEver = w
+			}
+			if g.onEdgeChange != nil {
+				g.onEdgeChange(e, +1)
+			}
+		}
+	}
+}
+
+// RemoveRoute removes a route previously added with AddRoute. Removing a
+// route that is not present corrupts nothing but may leave stray counts;
+// callers (the animator's RIB shadow) only remove what they added.
+func (g *Graph) RemoveRoute(r RouteEntry) {
+	chain := g.chain(r)
+	pid, ok := g.pfxIdx[r.Prefix]
+	if !ok {
+		return
+	}
+	if g.pfxTotal[pid] > 0 {
+		g.pfxTotal[pid]--
+		if g.pfxTotal[pid] == 0 {
+			delete(g.pfxTotal, pid)
+		}
+	}
+	for i := 0; i+1 < len(chain); i++ {
+		e, ok := g.edges[edgeKey(chain[i], chain[i+1])]
+		if !ok {
+			continue
+		}
+		if n := e.prefixes[pid]; n > 1 {
+			e.prefixes[pid] = n - 1
+		} else if n == 1 {
+			delete(e.prefixes, pid)
+			if g.onEdgeChange != nil {
+				g.onEdgeChange(e, -1)
+			}
+		}
+	}
+}
+
+// ReplaceRoute atomically replaces old with new for the same prefix: only
+// the edges that differ between the two chains see membership changes, so
+// the unchanged head of the path (typically root→router→nexthop) is not
+// reported as a transition to the animation hook.
+func (g *Graph) ReplaceRoute(old, new RouteEntry) {
+	if old.Prefix != new.Prefix {
+		g.RemoveRoute(old)
+		g.AddRoute(new)
+		return
+	}
+	oldChain := append([]uint32(nil), g.chain(old)...)
+	newChain := append([]uint32(nil), g.chain(new)...)
+	pid := g.prefix(new.Prefix)
+
+	type edgePair struct{ from, to uint32 }
+	oldEdges := make([]edgePair, 0, len(oldChain)-1)
+	for i := 0; i+1 < len(oldChain); i++ {
+		oldEdges = append(oldEdges, edgePair{oldChain[i], oldChain[i+1]})
+	}
+	matched := make([]bool, len(oldEdges))
+	for i := 0; i+1 < len(newChain); i++ {
+		pair := edgePair{newChain[i], newChain[i+1]}
+		reused := false
+		for j, oe := range oldEdges {
+			if !matched[j] && oe == pair {
+				matched[j] = true
+				reused = true
+				break
+			}
+		}
+		if !reused {
+			e := g.edge(pair.from, pair.to)
+			e.prefixes[pid]++
+			if e.prefixes[pid] == 1 {
+				if w := len(e.prefixes); w > e.maxEver {
+					e.maxEver = w
+				}
+				if g.onEdgeChange != nil {
+					g.onEdgeChange(e, +1)
+				}
+			}
+		}
+	}
+	for j, oe := range oldEdges {
+		if matched[j] {
+			continue
+		}
+		e, ok := g.edges[edgeKey(oe.from, oe.to)]
+		if !ok {
+			continue
+		}
+		if n := e.prefixes[pid]; n > 1 {
+			e.prefixes[pid] = n - 1
+		} else if n == 1 {
+			delete(e.prefixes, pid)
+			if g.onEdgeChange != nil {
+				g.onEdgeChange(e, -1)
+			}
+		}
+	}
+}
+
+// TotalPrefixes returns the number of unique prefixes currently in the
+// graph — the base that fractional pruning thresholds refer to.
+func (g *Graph) TotalPrefixes() int { return len(g.pfxTotal) }
+
+// NumEdges returns the number of edges that currently carry at least one
+// prefix.
+func (g *Graph) NumEdges() int {
+	n := 0
+	for _, e := range g.edges {
+		if len(e.prefixes) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Weight returns the unique-prefix count on the edge from→to (0 if the
+// edge does not exist).
+func (g *Graph) Weight(from, to NodeID) int {
+	fi, ok := g.nodeIdx[from]
+	if !ok {
+		return 0
+	}
+	ti, ok := g.nodeIdx[to]
+	if !ok {
+		return 0
+	}
+	e, ok := g.edges[edgeKey(fi, ti)]
+	if !ok {
+		return 0
+	}
+	return len(e.prefixes)
+}
+
+// EdgePrefixes returns the unique prefixes currently carried on the edge,
+// in no particular order. Nil if the edge does not exist or is empty.
+func (g *Graph) EdgePrefixes(from, to NodeID) []netip.Prefix {
+	fi, ok := g.nodeIdx[from]
+	if !ok {
+		return nil
+	}
+	ti, ok := g.nodeIdx[to]
+	if !ok {
+		return nil
+	}
+	e, ok := g.edges[edgeKey(fi, ti)]
+	if !ok || len(e.prefixes) == 0 {
+		return nil
+	}
+	out := make([]netip.Prefix, 0, len(e.prefixes))
+	for pid := range e.prefixes {
+		out = append(out, g.pfxByIdx[pid])
+	}
+	return out
+}
+
+func (g *Graph) edgeRef(e *edgeState) EdgeRef {
+	return EdgeRef{From: g.nodeByIdx[e.from], To: g.nodeByIdx[e.to]}
+}
+
+// Validate checks internal consistency (used by property tests): every
+// edge refcount positive, maxEver >= current weight, adjacency covers
+// exactly the live edges.
+func (g *Graph) Validate() error {
+	for k, e := range g.edges {
+		if edgeKey(e.from, e.to) != k {
+			return fmt.Errorf("edge key mismatch for %v", g.edgeRef(e))
+		}
+		for pid, n := range e.prefixes {
+			if n <= 0 {
+				return fmt.Errorf("edge %v: prefix %v refcount %d", g.edgeRef(e), g.pfxByIdx[pid], n)
+			}
+		}
+		if len(e.prefixes) > e.maxEver {
+			return fmt.Errorf("edge %v: weight %d exceeds maxEver %d", g.edgeRef(e), len(e.prefixes), e.maxEver)
+		}
+	}
+	for pid, n := range g.pfxTotal {
+		if n <= 0 {
+			return fmt.Errorf("prefix %v total refcount %d", g.pfxByIdx[pid], n)
+		}
+	}
+	return nil
+}

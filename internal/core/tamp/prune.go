@@ -1,0 +1,204 @@
+package tamp
+
+import "sort"
+
+// DefaultThreshold is the paper's default pruning fraction: edges and
+// nodes carrying less than 5% of total prefixes are pruned.
+const DefaultThreshold = 0.05
+
+// PruneOptions controls Snapshot pruning.
+type PruneOptions struct {
+	// Threshold is the fraction of total prefixes below which an edge is
+	// pruned (default DefaultThreshold). Zero means the default; negative
+	// disables threshold pruning entirely.
+	Threshold float64
+	// KeepDepth implements hierarchical pruning: edges whose source node
+	// lies at depth < KeepDepth from the root are always kept, regardless
+	// of weight. The paper's Figure 5 keeps all peers, nexthops and
+	// neighbor ASes (KeepDepth 3) and prunes the rest at 5%.
+	KeepDepth int
+	// IncludePrefixLeaves keeps per-prefix leaf nodes. By default they
+	// are dropped before thresholding: pictures aggregate at the AS
+	// level, as in the paper's figures.
+	IncludePrefixLeaves bool
+}
+
+// PictureNode is a surviving node of a pruned snapshot.
+type PictureNode struct {
+	ID    NodeID
+	Depth int
+}
+
+// PictureEdge is a surviving edge of a pruned snapshot.
+type PictureEdge struct {
+	From   NodeID
+	To     NodeID
+	Weight int
+	// Fraction is Weight over the graph's total prefixes at snapshot
+	// time.
+	Fraction float64
+	// MaxEver is the largest weight the edge has carried (gray shadow).
+	MaxEver int
+	// Depth is the source node's distance from the root.
+	Depth int
+}
+
+// Picture is a pruned, renderable snapshot of a TAMP graph. Nodes and
+// edges are sorted (depth, then name) for deterministic output.
+type Picture struct {
+	Site  string
+	Total int
+	Nodes []PictureNode
+	Edges []PictureEdge
+}
+
+// Edge returns the picture edge from→to, if present.
+func (p *Picture) Edge(from, to NodeID) (PictureEdge, bool) {
+	for _, e := range p.Edges {
+		if e.From == from && e.To == to {
+			return e, true
+		}
+	}
+	return PictureEdge{}, false
+}
+
+// HasNode reports whether the node survived pruning.
+func (p *Picture) HasNode(id NodeID) bool {
+	for _, n := range p.Nodes {
+		if n.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Snapshot prunes the graph per opts and returns the surviving picture.
+//
+// Pruning proceeds as the paper describes: compute each edge's
+// unique-prefix weight, drop edges below the (depth-staged) threshold,
+// then keep only what is still reachable from the root.
+func (g *Graph) Snapshot(opts PruneOptions) *Picture {
+	threshold := opts.Threshold
+	if threshold == 0 {
+		threshold = DefaultThreshold
+	}
+	if threshold < 0 {
+		threshold = 0
+	}
+	total := g.TotalPrefixes()
+	minWeight := threshold * float64(total)
+
+	depth := g.depths()
+
+	// Keep edges that pass the weight test (or are within KeepDepth).
+	type liveEdge struct {
+		e *edgeState
+		d int
+	}
+	var kept []liveEdge
+	for _, e := range g.edges {
+		w := len(e.prefixes)
+		if w == 0 {
+			continue
+		}
+		if !opts.IncludePrefixLeaves && g.nodeByIdx[e.to].Kind == KindPrefix {
+			continue
+		}
+		d, ok := depth[e.from]
+		if !ok {
+			continue
+		}
+		if d >= opts.KeepDepth && float64(w) < minWeight {
+			continue
+		}
+		kept = append(kept, liveEdge{e: e, d: d})
+	}
+
+	// Reachability over kept edges from the root.
+	adj := make(map[uint32][]liveEdge, len(kept))
+	for _, le := range kept {
+		adj[le.e.from] = append(adj[le.e.from], le)
+	}
+	reach := map[uint32]int{0: 0}
+	queue := []uint32{0}
+	var edges []PictureEdge
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, le := range adj[n] {
+			w := len(le.e.prefixes)
+			frac := 0.0
+			if total > 0 {
+				frac = float64(w) / float64(total)
+			}
+			edges = append(edges, PictureEdge{
+				From:     g.nodeByIdx[le.e.from],
+				To:       g.nodeByIdx[le.e.to],
+				Weight:   w,
+				Fraction: frac,
+				MaxEver:  le.e.maxEver,
+				Depth:    reach[n],
+			})
+			if _, seen := reach[le.e.to]; !seen {
+				reach[le.e.to] = reach[n] + 1
+				queue = append(queue, le.e.to)
+			}
+		}
+	}
+
+	nodes := make([]PictureNode, 0, len(reach))
+	for idx, d := range reach {
+		nodes = append(nodes, PictureNode{ID: g.nodeByIdx[idx], Depth: d})
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		if nodes[i].Depth != nodes[j].Depth {
+			return nodes[i].Depth < nodes[j].Depth
+		}
+		if nodes[i].ID.Kind != nodes[j].ID.Kind {
+			return nodes[i].ID.Kind < nodes[j].ID.Kind
+		}
+		return nodes[i].ID.Name < nodes[j].ID.Name
+	})
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].Depth != edges[j].Depth {
+			return edges[i].Depth < edges[j].Depth
+		}
+		if edges[i].From != edges[j].From {
+			return nodeLess(edges[i].From, edges[j].From)
+		}
+		if edges[i].Weight != edges[j].Weight {
+			return edges[i].Weight > edges[j].Weight
+		}
+		return nodeLess(edges[i].To, edges[j].To)
+	})
+	return &Picture{Site: g.site, Total: total, Nodes: nodes, Edges: edges}
+}
+
+func nodeLess(a, b NodeID) bool {
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	return a.Name < b.Name
+}
+
+// depths returns each node's minimum distance from the root over edges
+// that currently carry prefixes.
+func (g *Graph) depths() map[uint32]int {
+	depth := map[uint32]int{0: 0}
+	queue := []uint32{0}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, to := range g.out[n] {
+			e := g.edges[edgeKey(n, to)]
+			if e == nil || len(e.prefixes) == 0 {
+				continue
+			}
+			if _, seen := depth[to]; !seen {
+				depth[to] = depth[n] + 1
+				queue = append(queue, to)
+			}
+		}
+	}
+	return depth
+}

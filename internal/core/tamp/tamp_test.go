@@ -1,0 +1,452 @@
+package tamp
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"rex/internal/bgp"
+	"rex/internal/event"
+)
+
+func entry(router, nexthop, prefix string, asns ...uint32) RouteEntry {
+	r := RouteEntry{Router: router, ASPath: asns, Prefix: netip.MustParsePrefix(prefix)}
+	if nexthop != "" {
+		r.Nexthop = netip.MustParseAddr(nexthop)
+	}
+	return r
+}
+
+// TestFigure1Construction mirrors the paper's Figure 1: two routers whose
+// trees merge; the NexthopA-AS1 edge weight is the size of the prefix set
+// union (4), not the sum (6).
+func TestFigure1Construction(t *testing.T) {
+	g := New("site")
+	// Router X: 3 prefixes via NexthopA, AS1.
+	for _, p := range []string{"1.2.1.0/24", "1.2.2.0/24", "1.2.3.0/24"} {
+		g.AddRoute(entry("X", "10.0.0.65", p, 1))
+	}
+	// Router Y: 3 prefixes via the same nexthop and AS, one overlapping
+	// pair with X.
+	for _, p := range []string{"1.2.2.0/24", "1.2.3.0/24", "1.2.4.0/24"} {
+		g.AddRoute(entry("Y", "10.0.0.65", p, 1))
+	}
+	nexthopA := NexthopNode(netip.MustParseAddr("10.0.0.65"))
+	if w := g.Weight(nexthopA, ASNode(1)); w != 4 {
+		t.Errorf("NexthopA-AS1 weight = %d, want 4 (set union)", w)
+	}
+	// Per-router edges carry each router's own counts.
+	if w := g.Weight(RouterNode("X"), nexthopA); w != 3 {
+		t.Errorf("X-NexthopA weight = %d, want 3", w)
+	}
+	if w := g.Weight(RouterNode("Y"), nexthopA); w != 3 {
+		t.Errorf("Y-NexthopA weight = %d, want 3", w)
+	}
+	if got := g.TotalPrefixes(); got != 4 {
+		t.Errorf("TotalPrefixes = %d, want 4", got)
+	}
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrependingCollapses(t *testing.T) {
+	g := New("site")
+	g.AddRoute(entry("X", "10.0.0.1", "10.0.0.0/8", 7, 7, 7, 9))
+	if w := g.Weight(ASNode(7), ASNode(7)); w != 0 {
+		t.Errorf("self edge weight = %d", w)
+	}
+	if w := g.Weight(ASNode(7), ASNode(9)); w != 1 {
+		t.Errorf("7->9 weight = %d", w)
+	}
+}
+
+func TestAddRemoveSymmetric(t *testing.T) {
+	g := New("site")
+	entries := []RouteEntry{
+		entry("X", "10.0.0.1", "10.1.0.0/16", 1, 2, 3),
+		entry("X", "10.0.0.1", "10.2.0.0/16", 1, 2),
+		entry("Y", "10.0.0.2", "10.1.0.0/16", 1, 4),
+	}
+	for _, r := range entries {
+		g.AddRoute(r)
+	}
+	if g.TotalPrefixes() != 2 || g.NumEdges() == 0 {
+		t.Fatalf("after add: %d prefixes, %d edges", g.TotalPrefixes(), g.NumEdges())
+	}
+	for _, r := range entries {
+		g.RemoveRoute(r)
+	}
+	if g.TotalPrefixes() != 0 || g.NumEdges() != 0 {
+		t.Errorf("after remove: %d prefixes, %d edges", g.TotalPrefixes(), g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+	// Removing an unknown route is harmless.
+	g.RemoveRoute(entry("Z", "10.0.0.3", "10.9.0.0/16", 9))
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGraphQuickAddRemove(t *testing.T) {
+	// Random add/remove interleavings keep the graph internally
+	// consistent and end empty when everything added is removed.
+	f := func(seed int64, opsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ops := int(opsRaw%100) + 1
+		g := New("site")
+		var added []RouteEntry
+		for i := 0; i < ops; i++ {
+			if len(added) > 0 && rng.Intn(3) == 0 {
+				j := rng.Intn(len(added))
+				g.RemoveRoute(added[j])
+				added = append(added[:j], added[j+1:]...)
+			} else {
+				r := entry(
+					[]string{"X", "Y", "Z"}[rng.Intn(3)],
+					netip.AddrFrom4([4]byte{10, 0, 0, byte(rng.Intn(3) + 1)}).String(),
+					netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(rng.Intn(8)), 0, 0}), 16).String(),
+					uint32(rng.Intn(3)+1), uint32(rng.Intn(3)+10),
+				)
+				g.AddRoute(r)
+				added = append(added, r)
+			}
+			if err := g.Validate(); err != nil {
+				return false
+			}
+		}
+		for _, r := range added {
+			g.RemoveRoute(r)
+		}
+		return g.Validate() == nil && g.NumEdges() == 0 && g.TotalPrefixes() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// berkeleyLike builds a small campus-shaped graph: most prefixes via a
+// commodity branch, a few via a research branch, two via a backdoor.
+func berkeleyLike() *Graph {
+	g := New("berkeley")
+	commodity := func(i int) string {
+		return netip.PrefixFrom(netip.AddrFrom4([4]byte{20, byte(i / 250), byte(i % 250), 0}), 24).String()
+	}
+	for i := 0; i < 80; i++ {
+		g.AddRoute(entry("128.32.1.3", "128.32.0.66", commodity(i), 11423, 209, 701))
+	}
+	for i := 80; i < 92; i++ {
+		g.AddRoute(entry("128.32.1.200", "128.32.0.90", commodity(i), 11423, 11537))
+	}
+	// Backdoor: 2 prefixes via a different router and AT&T.
+	g.AddRoute(entry("128.32.1.222", "169.229.0.157", "12.1.1.0/24", 7018))
+	g.AddRoute(entry("128.32.1.222", "169.229.0.157", "12.1.2.0/24", 7018))
+	return g
+}
+
+func TestSnapshotDefaultThresholdPrunesBackdoor(t *testing.T) {
+	g := berkeleyLike()
+	pic := g.Snapshot(PruneOptions{})
+	if pic.Total != 94 {
+		t.Fatalf("Total = %d", pic.Total)
+	}
+	// The 80-prefix commodity edge survives with its fraction.
+	e, ok := pic.Edge(NexthopNode(netip.MustParseAddr("128.32.0.66")), ASNode(11423))
+	if !ok {
+		t.Fatal("commodity edge pruned")
+	}
+	if e.Weight != 80 || e.Fraction < 0.84 || e.Fraction > 0.86 {
+		t.Errorf("commodity edge = %+v", e)
+	}
+	// The 2-prefix backdoor is below 5% of 94 (4.7) and pruned.
+	if pic.HasNode(RouterNode("128.32.1.222")) {
+		t.Error("backdoor router survived default pruning")
+	}
+	// Research branch (12 prefixes, ~12.8%) survives.
+	if !pic.HasNode(ASNode(11537)) {
+		t.Error("research branch pruned")
+	}
+}
+
+func TestSnapshotHierarchicalKeepsBackdoor(t *testing.T) {
+	// Paper §IV-B / Figure 5: hierarchical pruning shows all peers,
+	// nexthops and neighbor ASes regardless of weight.
+	g := berkeleyLike()
+	pic := g.Snapshot(PruneOptions{KeepDepth: 3})
+	if !pic.HasNode(RouterNode("128.32.1.222")) {
+		t.Fatal("backdoor router pruned despite KeepDepth")
+	}
+	if !pic.HasNode(ASNode(7018)) {
+		t.Error("backdoor neighbor AS pruned despite KeepDepth=3")
+	}
+	e, ok := pic.Edge(NexthopNode(netip.MustParseAddr("169.229.0.157")), ASNode(7018))
+	if !ok || e.Weight != 2 {
+		t.Errorf("backdoor edge = %+v ok=%v", e, ok)
+	}
+	// Deeper, light edges are still pruned: 701 sits at depth 4.
+	if pic.HasNode(ASNode(701)) != true {
+		// 80 prefixes ≥ 5%: AS701 should actually survive on weight.
+		t.Error("heavy deep edge pruned")
+	}
+}
+
+func TestSnapshotPrefixLeaves(t *testing.T) {
+	g := New("site")
+	g.AddRoute(entry("X", "10.0.0.1", "10.1.0.0/16", 1))
+	g.AddRoute(entry("X", "10.0.0.1", "10.2.0.0/16", 1))
+	pic := g.Snapshot(PruneOptions{Threshold: -1})
+	for _, n := range pic.Nodes {
+		if n.ID.Kind == KindPrefix {
+			t.Fatalf("prefix leaf %v present by default", n.ID)
+		}
+	}
+	pic = g.Snapshot(PruneOptions{Threshold: -1, IncludePrefixLeaves: true})
+	if !pic.HasNode(PrefixNode(netip.MustParsePrefix("10.1.0.0/16"))) {
+		t.Error("prefix leaf missing with IncludePrefixLeaves")
+	}
+}
+
+func TestSnapshotDeterministicOrder(t *testing.T) {
+	g := berkeleyLike()
+	a := g.Snapshot(PruneOptions{KeepDepth: 3})
+	b := g.Snapshot(PruneOptions{KeepDepth: 3})
+	if len(a.Nodes) != len(b.Nodes) || len(a.Edges) != len(b.Edges) {
+		t.Fatal("snapshot sizes differ")
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i] != b.Nodes[i] {
+			t.Fatalf("node order differs at %d", i)
+		}
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatalf("edge order differs at %d", i)
+		}
+	}
+	// Depths ascend.
+	for i := 1; i < len(a.Nodes); i++ {
+		if a.Nodes[i].Depth < a.Nodes[i-1].Depth {
+			t.Fatal("nodes not depth-sorted")
+		}
+	}
+}
+
+func TestEdgePrefixes(t *testing.T) {
+	g := New("site")
+	g.AddRoute(entry("X", "10.0.0.1", "10.1.0.0/16", 1))
+	g.AddRoute(entry("X", "10.0.0.1", "10.2.0.0/16", 1))
+	got := g.EdgePrefixes(RouterNode("X"), NexthopNode(netip.MustParseAddr("10.0.0.1")))
+	if len(got) != 2 {
+		t.Errorf("EdgePrefixes = %v", got)
+	}
+	if g.EdgePrefixes(RouterNode("Q"), ASNode(1)) != nil {
+		t.Error("unknown edge returned prefixes")
+	}
+}
+
+var animT0 = time.Date(2002, 7, 1, 0, 0, 0, 0, time.UTC)
+
+func animEvent(typ event.Type, offset time.Duration, peer, nexthop, prefix string, asns ...uint32) event.Event {
+	e := event.Event{
+		Time:   animT0.Add(offset),
+		Type:   typ,
+		Peer:   netip.MustParseAddr(peer),
+		Prefix: netip.MustParsePrefix(prefix),
+	}
+	e.Attrs = &bgp.PathAttrs{Origin: bgp.OriginIGP, ASPath: bgp.Sequence(asns...)}
+	if nexthop != "" {
+		e.Attrs.Nexthop = netip.MustParseAddr(nexthop)
+	}
+	return e
+}
+
+func TestAnimateGainLoss(t *testing.T) {
+	base := []RouteEntry{entry("10.0.0.1", "10.3.4.5", "4.5.0.0/16", 2, 9)}
+	events := event.Stream{
+		animEvent(event.Withdraw, 0, "10.0.0.1", "10.3.4.5", "4.5.0.0/16", 2, 9),
+		animEvent(event.Announce, 29*time.Second, "10.0.0.1", "10.3.4.5", "4.5.0.0/16", 2, 9),
+	}
+	anim := Animate("isp", base, events, AnimationConfig{})
+	if anim.NumFrames != 750 {
+		t.Errorf("NumFrames = %d, want 750 (30s x 25fps)", anim.NumFrames)
+	}
+	if len(anim.Initial) == 0 {
+		t.Fatal("no initial state")
+	}
+	edge := EdgeRef{From: RouterNode("10.0.0.1"), To: NexthopNode(netip.MustParseAddr("10.3.4.5"))}
+	if len(anim.Frames) != 2 {
+		t.Fatalf("frames = %d, want 2 (loss, gain)", len(anim.Frames))
+	}
+	first, last := anim.Frames[0], anim.Frames[1]
+	fs := findEdge(t, first.Changes, edge)
+	if fs.Color != ColorBlue || fs.Count != 0 || fs.MaxEver != 1 {
+		t.Errorf("loss frame = %+v", fs)
+	}
+	ls := findEdge(t, last.Changes, edge)
+	if ls.Color != ColorGreen || ls.Count != 1 {
+		t.Errorf("gain frame = %+v", ls)
+	}
+	series := anim.EdgeSeries(edge)
+	if len(series) != anim.NumFrames+1 {
+		t.Fatalf("series length = %d", len(series))
+	}
+	if series[0] != 1 || series[1] != 0 || series[anim.NumFrames] != 1 {
+		t.Errorf("series endpoints = %d,%d,...,%d", series[0], series[1], series[anim.NumFrames])
+	}
+}
+
+func TestAnimateYellowFlapping(t *testing.T) {
+	// The paper's §IV-F MED oscillation: flapping faster than a frame
+	// renders yellow.
+	base := []RouteEntry{entry("core1-b", "10.3.4.5", "4.5.0.0/16", 2)}
+	// 4000 transitions over 100ms: ~7.5 per 30s/750-frame slice, far too
+	// fast to animate one by one.
+	var events event.Stream
+	for i := 0; i < 4000; i++ {
+		typ := event.Announce
+		if i%2 == 1 {
+			typ = event.Withdraw
+		}
+		events = append(events, animEvent(typ, time.Duration(i)*25*time.Microsecond, "10.9.9.9", "10.3.4.5", "4.5.0.0/16", 2))
+	}
+	// Events come from peer 10.9.9.9; base route from core1-b stays. The
+	// flapping edge is 10.9.9.9 -> nexthop.
+	anim := Animate("isp", base, events, AnimationConfig{})
+	edge := EdgeRef{From: RouterNode("10.9.9.9"), To: NexthopNode(netip.MustParseAddr("10.3.4.5"))}
+	sawYellow := false
+	for _, f := range anim.Frames {
+		for _, ch := range f.Changes {
+			if ch.Edge == edge && ch.Color == ColorYellow {
+				sawYellow = true
+				if ch.Ups == 0 || ch.Downs == 0 {
+					t.Errorf("yellow without both directions: %+v", ch)
+				}
+			}
+		}
+	}
+	if !sawYellow {
+		t.Error("fast flap never rendered yellow")
+	}
+}
+
+func TestAnimateImplicitReplacementMovesPrefix(t *testing.T) {
+	// A prefix moving from one path to another (paper Figure 7): the old
+	// path loses it (blue), the new path gains it (green).
+	base := []RouteEntry{entry("128.32.1.3", "128.32.0.66", "20.1.0.0/16", 11423, 209)}
+	events := event.Stream{
+		animEvent(event.Announce, time.Second, "128.32.1.3", "128.32.0.66", "20.1.0.0/16", 11423, 11422, 2152, 3356),
+	}
+	anim := Animate("berkeley", base, events, AnimationConfig{})
+	if len(anim.Frames) != 1 {
+		t.Fatalf("frames = %d", len(anim.Frames))
+	}
+	oldEdge := findEdge(t, anim.Frames[0].Changes, EdgeRef{From: ASNode(11423), To: ASNode(209)})
+	if oldEdge.Color != ColorBlue {
+		t.Errorf("old path edge = %+v, want blue", oldEdge)
+	}
+	newEdge := findEdge(t, anim.Frames[0].Changes, EdgeRef{From: ASNode(11423), To: ASNode(11422)})
+	if newEdge.Color != ColorGreen {
+		t.Errorf("new path edge = %+v, want green", newEdge)
+	}
+	// The router->nexthop edge kept its single prefix: it is not dirty.
+	for _, ch := range anim.Frames[0].Changes {
+		if ch.Edge == (EdgeRef{From: RouterNode("128.32.1.3"), To: NexthopNode(netip.MustParseAddr("128.32.0.66"))}) {
+			t.Errorf("stable edge reported changed: %+v", ch)
+		}
+	}
+}
+
+func TestAnimateIdenticalReannounceIsQuiet(t *testing.T) {
+	base := []RouteEntry{entry("10.0.0.1", "10.0.0.9", "10.1.0.0/16", 1, 2)}
+	events := event.Stream{
+		animEvent(event.Announce, time.Second, "10.0.0.1", "10.0.0.9", "10.1.0.0/16", 1, 2),
+	}
+	anim := Animate("site", base, events, AnimationConfig{})
+	if len(anim.Frames) != 0 {
+		t.Errorf("identical re-announce produced frames: %+v", anim.Frames)
+	}
+}
+
+func TestAnimateEmptyAndSingleInstant(t *testing.T) {
+	anim := Animate("site", nil, nil, AnimationConfig{})
+	if anim.NumFrames != 0 || len(anim.Frames) != 0 {
+		t.Errorf("empty animation: %+v", anim)
+	}
+	// All events at the same instant collapse to one frame.
+	events := event.Stream{
+		animEvent(event.Announce, 0, "10.0.0.1", "10.0.0.9", "10.1.0.0/16", 1),
+		animEvent(event.Announce, 0, "10.0.0.1", "10.0.0.9", "10.2.0.0/16", 1),
+	}
+	anim = Animate("site", nil, events, AnimationConfig{})
+	if anim.NumFrames != 1 || len(anim.Frames) != 1 {
+		t.Fatalf("instant animation frames = %d/%d", anim.NumFrames, len(anim.Frames))
+	}
+	if got := anim.Frames[0].Changes; len(got) == 0 {
+		t.Error("no changes in instant frame")
+	}
+}
+
+func TestAnimateWithdrawUnknownIgnored(t *testing.T) {
+	events := event.Stream{
+		animEvent(event.Withdraw, 0, "10.0.0.1", "10.0.0.9", "10.1.0.0/16", 1),
+		animEvent(event.Withdraw, time.Second, "10.0.0.1", "10.0.0.9", "10.1.0.0/16", 1),
+	}
+	anim := Animate("site", nil, events, AnimationConfig{})
+	if len(anim.Frames) != 0 {
+		t.Errorf("withdraw of unknown produced frames: %+v", anim.Frames)
+	}
+	if err := anim.Graph.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEntryFromEvent(t *testing.T) {
+	e := animEvent(event.Announce, 0, "10.0.0.1", "10.0.0.9", "10.1.0.0/16", 1, 2)
+	r := EntryFromEvent(&e)
+	if r.Router != "10.0.0.1" || r.Prefix.String() != "10.1.0.0/16" || len(r.ASPath) != 2 {
+		t.Errorf("EntryFromEvent = %+v", r)
+	}
+	bare := event.Event{Peer: netip.MustParseAddr("10.0.0.1"), Prefix: netip.MustParsePrefix("10.0.0.0/8")}
+	r = EntryFromEvent(&bare)
+	if r.Nexthop.IsValid() || r.ASPath != nil {
+		t.Errorf("bare EntryFromEvent = %+v", r)
+	}
+}
+
+func TestNodeIDStrings(t *testing.T) {
+	if ASNode(209).String() != "AS209" {
+		t.Error("AS node string")
+	}
+	if RouterNode("r1").String() != "r1" {
+		t.Error("router node string")
+	}
+	ref := EdgeRef{From: ASNode(1), To: ASNode(2)}
+	if ref.String() != "AS1->AS2" {
+		t.Errorf("edge ref = %q", ref.String())
+	}
+}
+
+func findEdge(t *testing.T, states []EdgeFrameState, ref EdgeRef) EdgeFrameState {
+	t.Helper()
+	for _, s := range states {
+		if s.Edge == ref {
+			return s
+		}
+	}
+	t.Fatalf("edge %v not found in %v", ref, states)
+	return EdgeFrameState{}
+}
+
+func TestEdgeColorString(t *testing.T) {
+	for c, want := range map[EdgeColor]string{
+		ColorBlack: "black", ColorBlue: "blue", ColorGreen: "green", ColorYellow: "yellow",
+	} {
+		if c.String() != want {
+			t.Errorf("%d = %q", c, c.String())
+		}
+	}
+}

@@ -1,0 +1,297 @@
+package event
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net/netip"
+	"strconv"
+	"strings"
+	"time"
+
+	"rex/internal/bgp"
+)
+
+// Text codec. One event per line, a key/value dialect of the paper's
+// Figure 4 listing:
+//
+//	W 2003-08-01T10:00:00.000000Z 128.32.1.3 NEXT_HOP 128.32.0.70 ASPATH "11423 209 701" LP 80 MED 10 COMM 11423:65350,11423:65300 PREFIX 192.96.10.0/24
+//
+// Fields after the peer address are optional except PREFIX, which is
+// always last.
+
+const textTimeLayout = "2006-01-02T15:04:05.000000Z07:00"
+
+// AppendText appends the textual form of e (with trailing newline) to dst.
+func AppendText(dst []byte, e *Event) ([]byte, error) {
+	if e.Type != Announce && e.Type != Withdraw {
+		return nil, fmt.Errorf("encode event: invalid type %d", e.Type)
+	}
+	if !e.Prefix.IsValid() {
+		return nil, fmt.Errorf("encode event: invalid prefix")
+	}
+	dst = append(dst, e.Type.String()...)
+	dst = append(dst, ' ')
+	dst = e.Time.UTC().AppendFormat(dst, textTimeLayout)
+	dst = append(dst, ' ')
+	dst = append(dst, e.Peer.String()...)
+	if a := e.Attrs; a != nil {
+		if a.Nexthop.IsValid() {
+			dst = append(dst, " NEXT_HOP "...)
+			dst = append(dst, a.Nexthop.String()...)
+		}
+		dst = append(dst, " ASPATH \""...)
+		dst = append(dst, a.ASPath.String()...)
+		dst = append(dst, '"')
+		if a.HasLocalPref {
+			dst = append(dst, " LP "...)
+			dst = strconv.AppendUint(dst, uint64(a.LocalPref), 10)
+		}
+		if a.HasMED {
+			dst = append(dst, " MED "...)
+			dst = strconv.AppendUint(dst, uint64(a.MED), 10)
+		}
+		if len(a.Communities) > 0 {
+			dst = append(dst, " COMM "...)
+			for i, c := range a.Communities {
+				if i > 0 {
+					dst = append(dst, ',')
+				}
+				dst = append(dst, c.String()...)
+			}
+		}
+	}
+	dst = append(dst, " PREFIX "...)
+	dst = append(dst, e.Prefix.String()...)
+	return append(dst, '\n'), nil
+}
+
+// ParseText parses one line produced by AppendText.
+func ParseText(line string) (Event, error) {
+	line = strings.TrimSpace(line)
+	var e Event
+	fields := strings.Fields(line)
+	if len(fields) < 5 {
+		return e, fmt.Errorf("parse event: %d fields in %q", len(fields), line)
+	}
+	switch fields[0] {
+	case "A":
+		e.Type = Announce
+	case "W":
+		e.Type = Withdraw
+	default:
+		return e, fmt.Errorf("parse event: bad type %q", fields[0])
+	}
+	t, err := time.Parse(textTimeLayout, fields[1])
+	if err != nil {
+		return e, fmt.Errorf("parse event time: %w", err)
+	}
+	e.Time = t
+	if e.Peer, err = netip.ParseAddr(fields[2]); err != nil {
+		return e, fmt.Errorf("parse event peer: %w", err)
+	}
+
+	// The AS path is quoted and may contain spaces; re-split around it.
+	rest := strings.Join(fields[3:], " ")
+	attrs := &bgp.PathAttrs{}
+	hasAttrs := false
+	if i := strings.Index(rest, `ASPATH "`); i >= 0 {
+		j := strings.Index(rest[i+8:], `"`)
+		if j < 0 {
+			return e, errors.New("parse event: unterminated ASPATH")
+		}
+		pathStr := rest[i+8 : i+8+j]
+		if attrs.ASPath, err = bgp.ParseASPath(pathStr); err != nil {
+			return e, err
+		}
+		hasAttrs = true
+		rest = rest[:i] + rest[i+8+j+1:]
+	}
+	toks := strings.Fields(rest)
+	for i := 0; i < len(toks); i++ {
+		key := toks[i]
+		if i+1 >= len(toks) {
+			return e, fmt.Errorf("parse event: dangling key %q", key)
+		}
+		val := toks[i+1]
+		i++
+		switch key {
+		case "NEXT_HOP":
+			if attrs.Nexthop, err = netip.ParseAddr(val); err != nil {
+				return e, fmt.Errorf("parse event nexthop: %w", err)
+			}
+			hasAttrs = true
+		case "LP":
+			lp, err := strconv.ParseUint(val, 10, 32)
+			if err != nil {
+				return e, fmt.Errorf("parse event LP: %w", err)
+			}
+			attrs.LocalPref, attrs.HasLocalPref = uint32(lp), true
+			hasAttrs = true
+		case "MED":
+			med, err := strconv.ParseUint(val, 10, 32)
+			if err != nil {
+				return e, fmt.Errorf("parse event MED: %w", err)
+			}
+			attrs.MED, attrs.HasMED = uint32(med), true
+			hasAttrs = true
+		case "COMM":
+			for _, cs := range strings.Split(val, ",") {
+				c, err := bgp.ParseCommunity(cs)
+				if err != nil {
+					return e, err
+				}
+				attrs.Communities = append(attrs.Communities, c)
+			}
+			hasAttrs = true
+		case "PREFIX":
+			if e.Prefix, err = netip.ParsePrefix(val); err != nil {
+				return e, fmt.Errorf("parse event prefix: %w", err)
+			}
+		default:
+			return e, fmt.Errorf("parse event: unknown key %q", key)
+		}
+	}
+	if !e.Prefix.IsValid() {
+		return e, errors.New("parse event: missing PREFIX")
+	}
+	if hasAttrs {
+		e.Attrs = attrs
+	}
+	return e, nil
+}
+
+// WriteText writes the stream in text form.
+func WriteText(w io.Writer, s Stream) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var buf []byte
+	for i := range s {
+		var err error
+		buf, err = AppendText(buf[:0], &s[i])
+		if err != nil {
+			return fmt.Errorf("event %d: %w", i, err)
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText reads a whole text stream. Blank lines and lines starting with
+// '#' are skipped.
+func ReadText(r io.Reader) (Stream, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	var out Stream
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		e, err := ParseText(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		out = append(out, e)
+	}
+	return out, sc.Err()
+}
+
+// Binary codec: a compact record stream for large event files.
+//
+//	magic "REXEV1\n" once, then per event:
+//	  type(1) unixnano(8) peer(4) prefixbits(1) prefixaddr(4) attrlen(2) attrs
+//
+// Attributes use the BGP wire attribute encoding with 4-octet ASNs.
+
+var binaryMagic = []byte("REXEV1\n")
+
+// WriteBinary writes the stream in binary form.
+func WriteBinary(w io.Writer, s Stream) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(binaryMagic); err != nil {
+		return err
+	}
+	var hdr [20]byte
+	for i := range s {
+		e := &s[i]
+		if !e.Peer.Is4() || !e.Prefix.Addr().Is4() {
+			return fmt.Errorf("event %d: binary codec requires IPv4 peer and prefix", i)
+		}
+		attrs, err := bgp.MarshalAttrs(e.Attrs, true)
+		if err != nil {
+			return fmt.Errorf("event %d: %w", i, err)
+		}
+		if len(attrs) > 0xFFFF {
+			return fmt.Errorf("event %d: attribute block too large", i)
+		}
+		hdr[0] = byte(e.Type)
+		binary.BigEndian.PutUint64(hdr[1:9], uint64(e.Time.UnixNano()))
+		peer := e.Peer.As4()
+		copy(hdr[9:13], peer[:])
+		hdr[13] = byte(e.Prefix.Bits())
+		addr := e.Prefix.Addr().As4()
+		copy(hdr[14:18], addr[:])
+		binary.BigEndian.PutUint16(hdr[18:20], uint16(len(attrs)))
+		if _, err := bw.Write(hdr[:]); err != nil {
+			return err
+		}
+		if _, err := bw.Write(attrs); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary reads a whole binary stream produced by WriteBinary.
+func ReadBinary(r io.Reader) (Stream, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	magic := make([]byte, len(binaryMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("event stream magic: %w", err)
+	}
+	if string(magic) != string(binaryMagic) {
+		return nil, errors.New("event stream: bad magic")
+	}
+	var out Stream
+	var hdr [20]byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return nil, fmt.Errorf("event %d header: %w", len(out), err)
+		}
+		e := Event{
+			Type: Type(hdr[0]),
+			Time: time.Unix(0, int64(binary.BigEndian.Uint64(hdr[1:9]))).UTC(),
+			Peer: netip.AddrFrom4([4]byte(hdr[9:13])),
+		}
+		if e.Type != Announce && e.Type != Withdraw {
+			return nil, fmt.Errorf("event %d: invalid type %d", len(out), hdr[0])
+		}
+		bits := int(hdr[13])
+		if bits > 32 {
+			return nil, fmt.Errorf("event %d: invalid prefix length %d", len(out), bits)
+		}
+		e.Prefix = netip.PrefixFrom(netip.AddrFrom4([4]byte(hdr[14:18])), bits)
+		attrLen := int(binary.BigEndian.Uint16(hdr[18:20]))
+		if attrLen > 0 {
+			buf := make([]byte, attrLen)
+			if _, err := io.ReadFull(br, buf); err != nil {
+				return nil, fmt.Errorf("event %d attrs: %w", len(out), err)
+			}
+			attrs, err := bgp.UnmarshalAttrs(buf, true)
+			if err != nil {
+				return nil, fmt.Errorf("event %d: %w", len(out), err)
+			}
+			e.Attrs = attrs
+		}
+		out = append(out, e)
+	}
+}

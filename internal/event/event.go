@@ -1,0 +1,168 @@
+// Package event defines the BGP event stream that drives the paper's
+// algorithms: BGP UPDATE messages flattened to one event per prefix, with
+// withdrawals *augmented* by the path attributes of the route being
+// withdrawn (recovered from the collector's per-peer Adj-RIB-In, paper
+// §II). The package also provides text and binary stream codecs and the
+// event-rate analysis behind Figure 8 (spike and low-grade "grass"
+// detection).
+package event
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"time"
+
+	"rex/internal/bgp"
+)
+
+// Type distinguishes announcements from withdrawals.
+type Type uint8
+
+// Event types.
+const (
+	Announce Type = 1
+	Withdraw Type = 2
+)
+
+// String returns "A" or "W", the prefix letters used in the paper's
+// Figure 4 listing.
+func (t Type) String() string {
+	switch t {
+	case Announce:
+		return "A"
+	case Withdraw:
+		return "W"
+	default:
+		return "?"
+	}
+}
+
+// Event is one BGP routing event: a route announcement or withdrawal from
+// a peer for a prefix. For withdrawals, Attrs carries the attributes of
+// the route that was withdrawn — BGP itself does not put them on the wire;
+// the collector recovers them from its Adj-RIB-In.
+type Event struct {
+	Time   time.Time
+	Type   Type
+	Peer   netip.Addr
+	Prefix netip.Prefix
+	Attrs  *bgp.PathAttrs
+}
+
+// Nexthop returns the event's BGP nexthop (zero Addr if attributes are
+// missing).
+func (e *Event) Nexthop() netip.Addr {
+	if e.Attrs == nil {
+		return netip.Addr{}
+	}
+	return e.Attrs.Nexthop
+}
+
+// ASPath returns the event's AS path (nil if attributes are missing).
+func (e *Event) ASPath() bgp.ASPath {
+	if e.Attrs == nil {
+		return nil
+	}
+	return e.Attrs.ASPath
+}
+
+// String renders the event in the Figure 4 style.
+func (e *Event) String() string {
+	return fmt.Sprintf("%s %v NEXT_HOP: %v ASPATH: %v PREFIX: %v",
+		e.Type, e.Peer, e.Nexthop(), e.ASPath(), e.Prefix)
+}
+
+// Stream is an ordered sequence of events. Events are conventionally
+// time-ordered but the analysis algorithms do not depend on it (Stemming
+// is temporally independent by design, paper §III-B).
+type Stream []Event
+
+// TimeRange returns the first and last event timestamps. ok is false for
+// an empty stream.
+func (s Stream) TimeRange() (first, last time.Time, ok bool) {
+	if len(s) == 0 {
+		return time.Time{}, time.Time{}, false
+	}
+	first, last = s[0].Time, s[0].Time
+	for _, e := range s[1:] {
+		if e.Time.Before(first) {
+			first = e.Time
+		}
+		if e.Time.After(last) {
+			last = e.Time
+		}
+	}
+	return first, last, true
+}
+
+// Window returns the sub-stream of events with from <= Time < to,
+// preserving order.
+func (s Stream) Window(from, to time.Time) Stream {
+	out := make(Stream, 0, len(s)/4)
+	for _, e := range s {
+		if !e.Time.Before(from) && e.Time.Before(to) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// SortByTime sorts the stream in place by timestamp (stable, so events
+// sharing a timestamp keep their relative order).
+func (s Stream) SortByTime() {
+	sort.SliceStable(s, func(i, j int) bool { return s[i].Time.Before(s[j].Time) })
+}
+
+// Prefixes returns the distinct prefixes appearing in the stream, in first
+// appearance order.
+func (s Stream) Prefixes() []netip.Prefix {
+	seen := make(map[netip.Prefix]struct{}, 64)
+	var out []netip.Prefix
+	for _, e := range s {
+		if _, ok := seen[e.Prefix]; !ok {
+			seen[e.Prefix] = struct{}{}
+			out = append(out, e.Prefix)
+		}
+	}
+	return out
+}
+
+// FilterPrefixes returns the events whose prefix is in the given set.
+func (s Stream) FilterPrefixes(set map[netip.Prefix]struct{}) Stream {
+	out := make(Stream, 0, len(s)/4)
+	for _, e := range s {
+		if _, ok := set[e.Prefix]; ok {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Augment fills in missing withdrawal attributes offline, the way the
+// collector does live: each withdrawal without attributes receives the
+// attributes of the last announcement seen for the same (peer, prefix)
+// pair. Use after reading a wire-faithful source such as an MRT update
+// file. The input is not modified; the result shares attribute pointers.
+func Augment(s Stream) Stream {
+	type key struct {
+		peer   netip.Addr
+		prefix netip.Prefix
+	}
+	last := make(map[key]*bgp.PathAttrs, len(s)/4)
+	out := make(Stream, len(s))
+	for i, e := range s {
+		k := key{peer: e.Peer, prefix: e.Prefix}
+		switch e.Type {
+		case Announce:
+			last[k] = e.Attrs
+		case Withdraw:
+			if e.Attrs == nil {
+				e.Attrs = last[k]
+			}
+			delete(last, k)
+		}
+		out[i] = e
+	}
+	return out
+}

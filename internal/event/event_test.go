@@ -1,0 +1,300 @@
+package event
+
+import (
+	"bytes"
+	"math/rand"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"rex/internal/bgp"
+)
+
+var t0 = time.Date(2003, 8, 1, 10, 0, 0, 0, time.UTC)
+
+func mkEvent(typ Type, offset time.Duration, peer, prefix string, asns ...uint32) Event {
+	return Event{
+		Time:   t0.Add(offset),
+		Type:   typ,
+		Peer:   netip.MustParseAddr(peer),
+		Prefix: netip.MustParsePrefix(prefix),
+		Attrs: &bgp.PathAttrs{
+			Origin:  bgp.OriginIGP,
+			ASPath:  bgp.Sequence(asns...),
+			Nexthop: netip.MustParseAddr("128.32.0.70"),
+		},
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := mkEvent(Withdraw, 0, "128.32.1.3", "192.96.10.0/24", 11423, 209, 701, 1299, 5713)
+	s := e.String()
+	for _, want := range []string{"W ", "128.32.1.3", "128.32.0.70", "11423 209 701 1299 5713", "192.96.10.0/24"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String %q missing %q", s, want)
+		}
+	}
+	bare := Event{Type: Announce}
+	if bare.Nexthop().IsValid() || bare.ASPath() != nil {
+		t.Error("nil-attrs accessors")
+	}
+	if Type(9).String() != "?" {
+		t.Error("unknown type string")
+	}
+}
+
+func TestStreamTimeRangeAndWindow(t *testing.T) {
+	s := Stream{
+		mkEvent(Announce, 2*time.Minute, "10.0.0.1", "10.1.0.0/16", 1),
+		mkEvent(Announce, 0, "10.0.0.1", "10.2.0.0/16", 1),
+		mkEvent(Withdraw, 5*time.Minute, "10.0.0.1", "10.1.0.0/16", 1),
+	}
+	first, last, ok := s.TimeRange()
+	if !ok || !first.Equal(t0) || !last.Equal(t0.Add(5*time.Minute)) {
+		t.Errorf("TimeRange = %v..%v ok=%v", first, last, ok)
+	}
+	w := s.Window(t0, t0.Add(5*time.Minute))
+	if len(w) != 2 {
+		t.Errorf("Window = %d events", len(w))
+	}
+	var empty Stream
+	if _, _, ok := empty.TimeRange(); ok {
+		t.Error("empty TimeRange ok")
+	}
+}
+
+func TestStreamSortAndPrefixes(t *testing.T) {
+	s := Stream{
+		mkEvent(Announce, 3*time.Minute, "10.0.0.1", "10.2.0.0/16", 1),
+		mkEvent(Announce, 1*time.Minute, "10.0.0.1", "10.1.0.0/16", 1),
+		mkEvent(Withdraw, 2*time.Minute, "10.0.0.1", "10.2.0.0/16", 1),
+	}
+	s.SortByTime()
+	if !s[0].Time.Equal(t0.Add(time.Minute)) || s[2].Type != Announce {
+		t.Errorf("sort wrong: %v", s)
+	}
+	prefixes := s.Prefixes()
+	if len(prefixes) != 2 || prefixes[0].String() != "10.1.0.0/16" {
+		t.Errorf("Prefixes = %v", prefixes)
+	}
+	set := map[netip.Prefix]struct{}{netip.MustParsePrefix("10.2.0.0/16"): {}}
+	if got := s.FilterPrefixes(set); len(got) != 2 {
+		t.Errorf("FilterPrefixes = %d", len(got))
+	}
+}
+
+func fullAttrsEvent() Event {
+	e := mkEvent(Announce, 0, "128.32.1.200", "62.80.64.0/20", 11423, 209, 1239, 5400, 15410)
+	e.Attrs.HasLocalPref, e.Attrs.LocalPref = true, 80
+	e.Attrs.HasMED, e.Attrs.MED = true, 10
+	e.Attrs.Communities = []bgp.Community{bgp.MakeCommunity(11423, 65300), bgp.MakeCommunity(11423, 65350)}
+	return e
+}
+
+func TestTextCodecRoundTrip(t *testing.T) {
+	events := Stream{
+		fullAttrsEvent(),
+		mkEvent(Withdraw, time.Second, "128.32.1.3", "192.96.10.0/24", 11423, 209, 701, 1299, 5713),
+		{Time: t0, Type: Withdraw, Peer: netip.MustParseAddr("10.0.0.1"), Prefix: netip.MustParsePrefix("10.0.0.0/8")}, // no attrs
+	}
+	var buf bytes.Buffer
+	if err := WriteText(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireStreamsEqual(t, events, back)
+}
+
+func TestTextCodecSkipsComments(t *testing.T) {
+	text := "# comment\n\nA 2003-08-01T10:00:00.000000Z 10.0.0.1 NEXT_HOP 10.0.0.9 ASPATH \"1 2\" PREFIX 10.0.0.0/8\n"
+	s, err := ReadText(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 1 || s[0].Attrs.ASPath.String() != "1 2" {
+		t.Errorf("got %v", s)
+	}
+}
+
+func TestParseTextErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"X 2003-08-01T10:00:00.000000Z 10.0.0.1 PREFIX 10.0.0.0/8 Z 1",
+		"A not-a-time 10.0.0.1 NEXT_HOP 10.0.0.9 PREFIX 10.0.0.0/8",
+		"A 2003-08-01T10:00:00.000000Z nope NEXT_HOP 10.0.0.9 PREFIX 10.0.0.0/8",
+		`A 2003-08-01T10:00:00.000000Z 10.0.0.1 ASPATH "1 2 PREFIX 10.0.0.0/8`,
+		"A 2003-08-01T10:00:00.000000Z 10.0.0.1 NEXT_HOP 10.0.0.9 LP x PREFIX 10.0.0.0/8",
+		"A 2003-08-01T10:00:00.000000Z 10.0.0.1 NEXT_HOP 10.0.0.9 BOGUS 1 PREFIX 10.0.0.0/8",
+		"A 2003-08-01T10:00:00.000000Z 10.0.0.1 NEXT_HOP 10.0.0.9 MED 1",
+		"A 2003-08-01T10:00:00.000000Z 10.0.0.1 NEXT_HOP 10.0.0.9 PREFIX",
+	}
+	for _, line := range bad {
+		if _, err := ParseText(line); err == nil {
+			t.Errorf("ParseText(%q) succeeded", line)
+		}
+	}
+}
+
+func TestBinaryCodecRoundTrip(t *testing.T) {
+	events := Stream{
+		fullAttrsEvent(),
+		mkEvent(Withdraw, 123456*time.Microsecond, "128.32.1.3", "192.96.10.0/24", 11423, 209),
+		{Time: t0, Type: Withdraw, Peer: netip.MustParseAddr("10.0.0.1"), Prefix: netip.MustParsePrefix("10.0.0.0/8")},
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireStreamsEqual(t, events, back)
+}
+
+func TestBinaryCodecErrors(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("garbage!")); err == nil {
+		t.Error("bad magic succeeded")
+	}
+	if _, err := ReadBinary(strings.NewReader("")); err == nil {
+		t.Error("empty input succeeded")
+	}
+	// Truncated record.
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, Stream{fullAttrsEvent()}); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-3]
+	if _, err := ReadBinary(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated record succeeded")
+	}
+}
+
+func TestBinaryCodecLargeStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	events := make(Stream, 5000)
+	for i := range events {
+		typ := Announce
+		if rng.Intn(3) == 0 {
+			typ = Withdraw
+		}
+		events[i] = mkEvent(typ, time.Duration(i)*time.Second,
+			"10.0.0.1", netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(rng.Intn(255)), byte(rng.Intn(255)), 0}), 24).String(),
+			uint32(rng.Intn(60000)+1), uint32(rng.Intn(60000)+1))
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(events) {
+		t.Fatalf("len = %d, want %d", len(back), len(events))
+	}
+	// Spot-check a few.
+	for _, i := range []int{0, 1234, 4999} {
+		if !back[i].Time.Equal(events[i].Time) || back[i].Prefix != events[i].Prefix || !back[i].Attrs.Equal(events[i].Attrs) {
+			t.Errorf("event %d mismatch", i)
+		}
+	}
+}
+
+func requireStreamsEqual(t *testing.T, want, got Stream) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("stream length = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if !g.Time.Equal(w.Time) || g.Type != w.Type || g.Peer != w.Peer || g.Prefix != w.Prefix {
+			t.Errorf("event %d header mismatch:\n got %v\nwant %v", i, g, w)
+		}
+		if (g.Attrs == nil) != (w.Attrs == nil) {
+			t.Errorf("event %d attrs presence mismatch", i)
+			continue
+		}
+		if w.Attrs != nil && !g.Attrs.Equal(w.Attrs) {
+			t.Errorf("event %d attrs:\n got %v\nwant %v", i, g.Attrs, w.Attrs)
+		}
+	}
+}
+
+func TestRateBucketsAndGrass(t *testing.T) {
+	var s Stream
+	// 10 buckets of 1/minute "grass", plus a 100-event spike in bucket 5.
+	for i := 0; i < 10; i++ {
+		s = append(s, mkEvent(Announce, time.Duration(i)*time.Minute, "10.0.0.1", "10.1.0.0/16", 1))
+	}
+	for i := 0; i < 100; i++ {
+		s = append(s, mkEvent(Withdraw, 5*time.Minute+time.Duration(i)*100*time.Millisecond, "10.0.0.1", "10.2.0.0/16", 1))
+	}
+	rs := Rate(s, time.Minute)
+	if len(rs.Counts) != 10 {
+		t.Fatalf("buckets = %d", len(rs.Counts))
+	}
+	if rs.Counts[5] != 101 {
+		t.Errorf("spike bucket = %d", rs.Counts[5])
+	}
+	if g := rs.Grass(); g != 1 {
+		t.Errorf("Grass = %v", g)
+	}
+	spikes := rs.Spikes(5)
+	if len(spikes) != 1 {
+		t.Fatalf("spikes = %v", spikes)
+	}
+	if spikes[0].Total != 101 || spikes[0].Peak != 101 {
+		t.Errorf("spike = %+v", spikes[0])
+	}
+	if !spikes[0].Start.Equal(t0.Add(5 * time.Minute)) {
+		t.Errorf("spike start = %v", spikes[0].Start)
+	}
+}
+
+func TestRateMultiBucketSpikeAndTail(t *testing.T) {
+	var s Stream
+	for i := 0; i < 20; i++ {
+		s = append(s, mkEvent(Announce, time.Duration(i)*time.Minute, "10.0.0.1", "10.1.0.0/16", 1))
+	}
+	// Spike spanning the final two buckets (tests close-out at end).
+	for i := 0; i < 50; i++ {
+		s = append(s, mkEvent(Withdraw, 18*time.Minute+time.Duration(i)*2*time.Second, "10.0.0.1", "10.2.0.0/16", 1))
+	}
+	rs := Rate(s, time.Minute)
+	spikes := rs.Spikes(5)
+	if len(spikes) != 1 {
+		t.Fatalf("spikes = %+v", spikes)
+	}
+	if spikes[0].Total != 52 { // 50 spike + 2 grass events inside
+		t.Errorf("spike total = %d", spikes[0].Total)
+	}
+}
+
+func TestRateEmptyAndDefaults(t *testing.T) {
+	rs := Rate(nil, 0)
+	if len(rs.Counts) != 0 || rs.Grass() != 0 || rs.Spikes(5) != nil {
+		t.Errorf("empty rate misbehaves: %+v", rs)
+	}
+	// Flat series yields no spikes (MAD 0 path).
+	var s Stream
+	for i := 0; i < 5; i++ {
+		s = append(s, mkEvent(Announce, time.Duration(i)*time.Minute, "10.0.0.1", "10.1.0.0/16", 1))
+	}
+	if got := Rate(s, time.Minute).Spikes(5); len(got) != 0 {
+		t.Errorf("flat series spikes = %v", got)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := median([]int{3, 1, 2}); m != 2 {
+		t.Errorf("odd median = %v", m)
+	}
+	if m := median([]int{4, 1, 2, 3}); m != 2.5 {
+		t.Errorf("even median = %v", m)
+	}
+}

@@ -1,0 +1,65 @@
+package event
+
+import (
+	"net/netip"
+	"sort"
+)
+
+// OriginConflict records a prefix announced with more than one origin AS
+// within a stream — the multiple-origin-AS (MOAS) signature of the route
+// hijacking anomaly class from the paper's introduction ("a BGP router
+// announces reachability to prefixes it does not own").
+type OriginConflict struct {
+	Prefix netip.Prefix
+	// Origins are the distinct origin ASes observed, ascending.
+	Origins []uint32
+	// Events counts the announcements involved.
+	Events int
+}
+
+// OriginConflicts scans announcements and returns every prefix with
+// conflicting origins, sorted by prefix. Withdrawals and events without
+// an AS path are ignored.
+func OriginConflicts(s Stream) []OriginConflict {
+	type stat struct {
+		origins map[uint32]struct{}
+		events  int
+	}
+	byPrefix := map[netip.Prefix]*stat{}
+	for i := range s {
+		e := &s[i]
+		if e.Type != Announce || e.Attrs == nil {
+			continue
+		}
+		origin := e.Attrs.ASPath.OriginAS()
+		if origin == 0 {
+			continue
+		}
+		st := byPrefix[e.Prefix]
+		if st == nil {
+			st = &stat{origins: make(map[uint32]struct{}, 2)}
+			byPrefix[e.Prefix] = st
+		}
+		st.origins[origin] = struct{}{}
+		st.events++
+	}
+	var out []OriginConflict
+	for p, st := range byPrefix {
+		if len(st.origins) < 2 {
+			continue
+		}
+		c := OriginConflict{Prefix: p, Events: st.events}
+		for o := range st.origins {
+			c.Origins = append(c.Origins, o)
+		}
+		sort.Slice(c.Origins, func(i, j int) bool { return c.Origins[i] < c.Origins[j] })
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Prefix.Addr() != out[j].Prefix.Addr() {
+			return out[i].Prefix.Addr().Less(out[j].Prefix.Addr())
+		}
+		return out[i].Prefix.Bits() < out[j].Prefix.Bits()
+	})
+	return out
+}

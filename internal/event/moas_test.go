@@ -1,0 +1,46 @@
+package event
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+)
+
+func TestOriginConflicts(t *testing.T) {
+	mk := func(typ Type, prefix string, asns ...uint32) Event {
+		e := mkEvent(typ, 0, "10.0.0.1", prefix, asns...)
+		return e
+	}
+	s := Stream{
+		mk(Announce, "20.1.0.0/16", 11423, 209, 5000), // true origin
+		mk(Announce, "20.1.0.0/16", 11423, 666),       // hijack!
+		mk(Announce, "20.1.0.0/16", 11423, 209, 5000), // back
+		mk(Announce, "20.2.0.0/16", 11423, 209, 5001), // consistent
+		mk(Withdraw, "20.3.0.0/16", 11423, 777),       // withdrawal ignored
+		mk(Announce, "20.3.0.0/16", 11423, 888),
+	}
+	conflicts := OriginConflicts(s)
+	if len(conflicts) != 1 {
+		t.Fatalf("conflicts = %+v", conflicts)
+	}
+	c := conflicts[0]
+	if c.Prefix.String() != "20.1.0.0/16" || c.Events != 3 {
+		t.Errorf("conflict = %+v", c)
+	}
+	if len(c.Origins) != 2 || c.Origins[0] != 666 || c.Origins[1] != 5000 {
+		t.Errorf("origins = %v", c.Origins)
+	}
+}
+
+func TestOriginConflictsIgnoresBare(t *testing.T) {
+	s := Stream{
+		{Time: time.Now(), Type: Announce, Peer: netip.MustParseAddr("10.0.0.1"),
+			Prefix: netip.MustParsePrefix("20.1.0.0/16")}, // no attrs
+	}
+	if got := OriginConflicts(s); got != nil {
+		t.Errorf("bare announce conflicted: %v", got)
+	}
+	if got := OriginConflicts(nil); got != nil {
+		t.Errorf("nil stream: %v", got)
+	}
+}

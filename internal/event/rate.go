@@ -1,0 +1,123 @@
+package event
+
+import (
+	"sort"
+	"time"
+)
+
+// RateSeries is a bucketed event-count time series — the data behind the
+// paper's Figure 8 ("BGP event rate at ISP-Anon").
+type RateSeries struct {
+	Start  time.Time
+	Bucket time.Duration
+	Counts []int
+}
+
+// Rate buckets the stream into fixed-width intervals starting at the first
+// event's time. The stream need not be sorted.
+func Rate(s Stream, bucket time.Duration) RateSeries {
+	if bucket <= 0 {
+		bucket = time.Minute
+	}
+	first, last, ok := s.TimeRange()
+	if !ok {
+		return RateSeries{Bucket: bucket}
+	}
+	n := int(last.Sub(first)/bucket) + 1
+	rs := RateSeries{Start: first, Bucket: bucket, Counts: make([]int, n)}
+	for _, e := range s {
+		idx := int(e.Time.Sub(first) / bucket)
+		if idx >= 0 && idx < n {
+			rs.Counts[idx]++
+		}
+	}
+	return rs
+}
+
+// BucketTime returns the start time of bucket i.
+func (rs RateSeries) BucketTime(i int) time.Time {
+	return rs.Start.Add(time.Duration(i) * rs.Bucket)
+}
+
+// Grass returns the series' baseline churn level: the median bucket count.
+// The paper's §IV-E problem lived "in the grass" — below any spike
+// threshold but persistent.
+func (rs RateSeries) Grass() float64 {
+	if len(rs.Counts) == 0 {
+		return 0
+	}
+	return median(rs.Counts)
+}
+
+// Spike is a maximal run of buckets whose count exceeds a threshold.
+type Spike struct {
+	Start time.Time
+	End   time.Time // exclusive: start of the first bucket after the run
+	// Total is the number of events inside the spike.
+	Total int
+	// Peak is the largest single-bucket count.
+	Peak int
+}
+
+// Spikes finds runs of buckets whose count exceeds median + k·MAD (median
+// absolute deviation), the robust threshold that tolerates heavy-tailed
+// BGP churn. A k around 5–10 flags only the paper-scale surges. When the
+// series is perfectly flat (MAD 0) a bucket must exceed twice the median
+// to count.
+func (rs RateSeries) Spikes(k float64) []Spike {
+	if len(rs.Counts) == 0 {
+		return nil
+	}
+	med := median(rs.Counts)
+	devs := make([]int, len(rs.Counts))
+	for i, c := range rs.Counts {
+		d := float64(c) - med
+		if d < 0 {
+			d = -d
+		}
+		devs[i] = int(d)
+	}
+	mad := median(devs)
+	threshold := med + k*mad
+	if mad == 0 {
+		threshold = 2*med + 1
+	}
+
+	var spikes []Spike
+	inSpike := false
+	var cur Spike
+	for i, c := range rs.Counts {
+		if float64(c) > threshold {
+			if !inSpike {
+				inSpike = true
+				cur = Spike{Start: rs.BucketTime(i)}
+			}
+			cur.Total += c
+			if c > cur.Peak {
+				cur.Peak = c
+			}
+			cur.End = rs.BucketTime(i + 1)
+		} else if inSpike {
+			spikes = append(spikes, cur)
+			inSpike = false
+		}
+	}
+	if inSpike {
+		spikes = append(spikes, cur)
+	}
+	return spikes
+}
+
+func median(xs []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]int, len(xs))
+	copy(sorted, xs)
+	sort.Ints(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		return float64(sorted[mid])
+	}
+	return float64(sorted[mid-1]+sorted[mid]) / 2
+}

@@ -1,0 +1,343 @@
+// Package igp implements the interior-routing substrate the paper's
+// system consumes (§II, §III-D.3): an OSPF-flavored link-state database of
+// router LSAs, shortest-path-first computation (Dijkstra), cost queries
+// from a router to a BGP nexthop address, and a change log so IGP events
+// can be correlated with BGP incidents after Stemming localizes one.
+package igp
+
+import (
+	"container/heap"
+	"fmt"
+	"net/netip"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Link is one adjacency advertised in a router LSA.
+type Link struct {
+	// To names the neighboring router.
+	To string
+	// Metric is the link cost (OSPF-style; lower is better).
+	Metric uint32
+}
+
+// LSA is a router link-state advertisement: the router's adjacencies plus
+// the stub networks (prefixes) directly attached to it. A BGP nexthop
+// address resolves to the router advertising the covering network.
+type LSA struct {
+	// Origin is the advertising router.
+	Origin string
+	// Seq orders LSAs from the same origin; higher replaces lower.
+	Seq uint64
+	// Links are the router's adjacencies.
+	Links []Link
+	// Networks are the prefixes attached to the router.
+	Networks []netip.Prefix
+	// Time is when the LSA was generated.
+	Time time.Time
+}
+
+// ChangeKind classifies an LSDB change.
+type ChangeKind uint8
+
+// LSDB change kinds.
+const (
+	ChangeNewRouter ChangeKind = iota + 1
+	ChangeLinks
+	ChangeNetworks
+	ChangeRefresh
+)
+
+// String names the change kind.
+func (k ChangeKind) String() string {
+	switch k {
+	case ChangeNewRouter:
+		return "new-router"
+	case ChangeLinks:
+		return "links-changed"
+	case ChangeNetworks:
+		return "networks-changed"
+	case ChangeRefresh:
+		return "refresh"
+	default:
+		return "change(?)"
+	}
+}
+
+// Change is one entry of the LSDB change log.
+type Change struct {
+	Time   time.Time
+	Router string
+	Kind   ChangeKind
+	Detail string
+}
+
+// LSDB is the link-state database. It is safe for concurrent use.
+type LSDB struct {
+	mu      sync.RWMutex
+	lsas    map[string]LSA
+	log     []Change
+	version uint64
+
+	// spfCache memoizes SPF per source for the current version.
+	spfCache map[string]map[string]uint32
+	// netOwner caches prefix → advertising router for the current
+	// version.
+	netOwner map[netip.Prefix]string
+}
+
+// NewLSDB returns an empty database.
+func NewLSDB() *LSDB {
+	return &LSDB{
+		lsas:     make(map[string]LSA),
+		spfCache: make(map[string]map[string]uint32),
+		netOwner: make(map[netip.Prefix]string),
+	}
+}
+
+// Install inserts or refreshes an LSA. Older sequence numbers than the
+// installed copy are ignored (returns false). Topology-affecting changes
+// are appended to the change log and invalidate SPF caches.
+func (db *LSDB) Install(lsa LSA) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	old, exists := db.lsas[lsa.Origin]
+	if exists && lsa.Seq <= old.Seq {
+		return false
+	}
+	db.lsas[lsa.Origin] = lsa
+	kind := ChangeRefresh
+	detail := ""
+	switch {
+	case !exists:
+		kind = ChangeNewRouter
+		detail = fmt.Sprintf("%d links, %d networks", len(lsa.Links), len(lsa.Networks))
+	case !linksEqual(old.Links, lsa.Links):
+		kind = ChangeLinks
+		detail = diffLinks(old.Links, lsa.Links)
+	case !networksEqual(old.Networks, lsa.Networks):
+		kind = ChangeNetworks
+		detail = fmt.Sprintf("%d -> %d networks", len(old.Networks), len(lsa.Networks))
+	}
+	if kind != ChangeRefresh {
+		db.version++
+		db.spfCache = make(map[string]map[string]uint32)
+		db.netOwner = make(map[netip.Prefix]string)
+		db.log = append(db.log, Change{Time: lsa.Time, Router: lsa.Origin, Kind: kind, Detail: detail})
+	}
+	return true
+}
+
+// Remove withdraws a router's LSA (router death).
+func (db *LSDB) Remove(router string, now time.Time) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.lsas[router]; !ok {
+		return
+	}
+	delete(db.lsas, router)
+	db.version++
+	db.spfCache = make(map[string]map[string]uint32)
+	db.netOwner = make(map[netip.Prefix]string)
+	db.log = append(db.log, Change{Time: now, Router: router, Kind: ChangeLinks, Detail: "router removed"})
+}
+
+// Routers returns the advertising routers, sorted.
+func (db *LSDB) Routers() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.lsas))
+	for r := range db.lsas {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SPF computes shortest-path costs from source to every reachable router.
+// A link is used only if both endpoints advertise it (two-way
+// connectivity check), as real link-state protocols require.
+func (db *LSDB) SPF(source string) map[string]uint32 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.spfLocked(source)
+}
+
+func (db *LSDB) spfLocked(source string) map[string]uint32 {
+	if cached, ok := db.spfCache[source]; ok {
+		return cached
+	}
+	dist := map[string]uint32{}
+	if _, ok := db.lsas[source]; !ok {
+		db.spfCache[source] = dist
+		return dist
+	}
+	pq := &costHeap{{router: source, cost: 0}}
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(costItem)
+		if _, done := dist[item.router]; done {
+			continue
+		}
+		dist[item.router] = item.cost
+		lsa := db.lsas[item.router]
+		for _, l := range lsa.Links {
+			if _, done := dist[l.To]; done {
+				continue
+			}
+			if !db.twoWayLocked(item.router, l.To) {
+				continue
+			}
+			heap.Push(pq, costItem{router: l.To, cost: item.cost + l.Metric})
+		}
+	}
+	db.spfCache[source] = dist
+	return dist
+}
+
+func (db *LSDB) twoWayLocked(a, b string) bool {
+	lsa, ok := db.lsas[b]
+	if !ok {
+		return false
+	}
+	for _, l := range lsa.Links {
+		if l.To == a {
+			return true
+		}
+	}
+	return false
+}
+
+// CostTo returns source's IGP cost to reach addr: the SPF cost to the
+// router advertising the longest-prefix network covering addr. ok=false
+// means unreachable or unknown.
+func (db *LSDB) CostTo(source string, addr netip.Addr) (uint32, bool) {
+	db.mu.Lock()
+	owner, bits := "", -1
+	for r, lsa := range db.lsas {
+		for _, n := range lsa.Networks {
+			if n.Contains(addr) && n.Bits() > bits {
+				owner, bits = r, n.Bits()
+			}
+		}
+	}
+	if owner == "" {
+		db.mu.Unlock()
+		return 0, false
+	}
+	dist := db.spfLocked(source)
+	db.mu.Unlock()
+	cost, ok := dist[owner]
+	return cost, ok
+}
+
+// CostFunc returns a closure suitable for rib.Decision.IGPCost.
+func (db *LSDB) CostFunc(source string) func(netip.Addr) (uint32, bool) {
+	return func(nexthop netip.Addr) (uint32, bool) {
+		return db.CostTo(source, nexthop)
+	}
+}
+
+// Changes returns the change-log entries with from <= Time < to — the
+// low-volume IGP event stream the paper correlates with BGP incidents
+// after the fact (§III-D.3).
+func (db *LSDB) Changes(from, to time.Time) []Change {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []Change
+	for _, c := range db.log {
+		if !c.Time.Before(from) && c.Time.Before(to) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func linksEqual(a, b []Link) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func networksEqual(a, b []netip.Prefix) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func diffLinks(old, new []Link) string {
+	oldSet := make(map[Link]bool, len(old))
+	for _, l := range old {
+		oldSet[l] = true
+	}
+	newSet := make(map[Link]bool, len(new))
+	for _, l := range new {
+		newSet[l] = true
+	}
+	var added, removed, changed int
+	for l := range newSet {
+		if !oldSet[l] {
+			added++
+		}
+	}
+	for l := range oldSet {
+		if !newSet[l] {
+			removed++
+		}
+	}
+	_ = changed
+	return fmt.Sprintf("+%d/-%d links", added, removed)
+}
+
+type costItem struct {
+	router string
+	cost   uint32
+}
+
+type costHeap []costItem
+
+func (h costHeap) Len() int      { return len(h) }
+func (h costHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h costHeap) Less(i, j int) bool {
+	if h[i].cost != h[j].cost {
+		return h[i].cost < h[j].cost
+	}
+	return h[i].router < h[j].router
+}
+func (h *costHeap) Push(x any) { *h = append(*h, x.(costItem)) }
+func (h *costHeap) Pop() any {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}
+
+// Owner returns the router advertising the longest-prefix network
+// covering addr — how a BGP nexthop maps to the IGP node responsible for
+// it.
+func (db *LSDB) Owner(addr netip.Addr) (string, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	owner, bits := "", -1
+	for r, lsa := range db.lsas {
+		for _, n := range lsa.Networks {
+			if n.Contains(addr) && n.Bits() > bits {
+				owner, bits = r, n.Bits()
+			}
+		}
+	}
+	return owner, owner != ""
+}

@@ -1,0 +1,193 @@
+package igp
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2003, 8, 1, 0, 0, 0, 0, time.UTC)
+
+// diamond builds a 4-router topology:
+//
+//	a --1-- b --1-- d     (a-d via b costs 2)
+//	a --2-- c --2-- d     (a-d via c costs 4)
+//
+// d owns 10.9.0.0/16.
+func diamond() *LSDB {
+	db := NewLSDB()
+	db.Install(LSA{Origin: "a", Seq: 1, Time: t0, Links: []Link{{To: "b", Metric: 1}, {To: "c", Metric: 2}}})
+	db.Install(LSA{Origin: "b", Seq: 1, Time: t0, Links: []Link{{To: "a", Metric: 1}, {To: "d", Metric: 1}}})
+	db.Install(LSA{Origin: "c", Seq: 1, Time: t0, Links: []Link{{To: "a", Metric: 2}, {To: "d", Metric: 2}}})
+	db.Install(LSA{Origin: "d", Seq: 1, Time: t0,
+		Links:    []Link{{To: "b", Metric: 1}, {To: "c", Metric: 2}},
+		Networks: []netip.Prefix{netip.MustParsePrefix("10.9.0.0/16")}})
+	return db
+}
+
+func TestSPFShortestPaths(t *testing.T) {
+	db := diamond()
+	dist := db.SPF("a")
+	want := map[string]uint32{"a": 0, "b": 1, "c": 2, "d": 2}
+	for r, w := range want {
+		if dist[r] != w {
+			t.Errorf("dist[%s] = %d, want %d", r, dist[r], w)
+		}
+	}
+}
+
+func TestSPFUnknownSource(t *testing.T) {
+	db := diamond()
+	if dist := db.SPF("zz"); len(dist) != 0 {
+		t.Errorf("unknown source dist = %v", dist)
+	}
+}
+
+func TestTwoWayConnectivityCheck(t *testing.T) {
+	db := NewLSDB()
+	// a advertises a link to b, but b does not advertise back: unusable.
+	db.Install(LSA{Origin: "a", Seq: 1, Time: t0, Links: []Link{{To: "b", Metric: 1}}})
+	db.Install(LSA{Origin: "b", Seq: 1, Time: t0})
+	dist := db.SPF("a")
+	if _, ok := dist["b"]; ok {
+		t.Error("one-way link used by SPF")
+	}
+}
+
+func TestCostToNexthop(t *testing.T) {
+	db := diamond()
+	cost, ok := db.CostTo("a", netip.MustParseAddr("10.9.3.4"))
+	if !ok || cost != 2 {
+		t.Errorf("CostTo = %d ok=%v, want 2", cost, ok)
+	}
+	if _, ok := db.CostTo("a", netip.MustParseAddr("172.16.0.1")); ok {
+		t.Error("unknown address reachable")
+	}
+	// Longest prefix wins: b owns a more specific network.
+	db.Install(LSA{Origin: "b", Seq: 2, Time: t0,
+		Links:    []Link{{To: "a", Metric: 1}, {To: "d", Metric: 1}},
+		Networks: []netip.Prefix{netip.MustParsePrefix("10.9.3.0/24")}})
+	cost, ok = db.CostTo("a", netip.MustParseAddr("10.9.3.4"))
+	if !ok || cost != 1 {
+		t.Errorf("longest-prefix CostTo = %d ok=%v, want 1", cost, ok)
+	}
+	// CostFunc closure matches.
+	f := db.CostFunc("a")
+	if c, ok := f(netip.MustParseAddr("10.9.3.4")); !ok || c != 1 {
+		t.Errorf("CostFunc = %d ok=%v", c, ok)
+	}
+}
+
+func TestMetricChangeShiftsPath(t *testing.T) {
+	db := diamond()
+	// Raise a-b metric: the c path becomes best.
+	db.Install(LSA{Origin: "a", Seq: 2, Time: t0.Add(time.Minute),
+		Links: []Link{{To: "b", Metric: 10}, {To: "c", Metric: 2}}})
+	db.Install(LSA{Origin: "b", Seq: 2, Time: t0.Add(time.Minute),
+		Links: []Link{{To: "a", Metric: 10}, {To: "d", Metric: 1}}})
+	dist := db.SPF("a")
+	if dist["d"] != 4 {
+		t.Errorf("after metric change dist[d] = %d, want 4 (via c)", dist["d"])
+	}
+}
+
+func TestInstallSequenceOrdering(t *testing.T) {
+	db := diamond()
+	// Stale sequence is rejected.
+	if db.Install(LSA{Origin: "a", Seq: 1, Time: t0, Links: nil}) {
+		t.Error("stale LSA accepted")
+	}
+	// Equal content at a higher seq is just a refresh: no change entry.
+	before := len(db.Changes(t0.Add(-time.Hour), t0.Add(time.Hour)))
+	db.Install(LSA{Origin: "a", Seq: 5, Time: t0.Add(time.Second),
+		Links: []Link{{To: "b", Metric: 1}, {To: "c", Metric: 2}}})
+	after := len(db.Changes(t0.Add(-time.Hour), t0.Add(time.Hour)))
+	if after != before {
+		t.Errorf("refresh logged a change: %d -> %d", before, after)
+	}
+}
+
+func TestChangeLogAndCorrelationWindow(t *testing.T) {
+	db := diamond()
+	// A link-metric change at t0+10m, inside a BGP incident window.
+	db.Install(LSA{Origin: "b", Seq: 2, Time: t0.Add(10 * time.Minute),
+		Links: []Link{{To: "a", Metric: 50}, {To: "d", Metric: 1}}})
+	changes := db.Changes(t0.Add(5*time.Minute), t0.Add(15*time.Minute))
+	if len(changes) != 1 {
+		t.Fatalf("changes = %v", changes)
+	}
+	c := changes[0]
+	if c.Router != "b" || c.Kind != ChangeLinks {
+		t.Errorf("change = %+v", c)
+	}
+	// Outside the window: nothing.
+	if got := db.Changes(t0.Add(20*time.Minute), t0.Add(30*time.Minute)); len(got) != 0 {
+		t.Errorf("out-of-window changes = %v", got)
+	}
+	// Initial installs are logged as new routers.
+	initial := db.Changes(t0.Add(-time.Second), t0.Add(time.Second))
+	if len(initial) != 4 || initial[0].Kind != ChangeNewRouter {
+		t.Errorf("initial changes = %v", initial)
+	}
+}
+
+func TestRemoveRouter(t *testing.T) {
+	db := diamond()
+	db.Remove("b", t0.Add(time.Minute))
+	dist := db.SPF("a")
+	if dist["d"] != 4 {
+		t.Errorf("after removing b, dist[d] = %d, want 4 (via c)", dist["d"])
+	}
+	// Removing again is a no-op.
+	db.Remove("b", t0.Add(2*time.Minute))
+	changes := db.Changes(t0.Add(30*time.Second), t0.Add(3*time.Minute))
+	if len(changes) != 1 {
+		t.Errorf("remove changes = %v", changes)
+	}
+	routers := db.Routers()
+	if len(routers) != 3 || routers[0] != "a" {
+		t.Errorf("Routers = %v", routers)
+	}
+}
+
+func TestNetworksChangeLogged(t *testing.T) {
+	db := diamond()
+	db.Install(LSA{Origin: "d", Seq: 2, Time: t0.Add(time.Minute),
+		Links:    []Link{{To: "b", Metric: 1}, {To: "c", Metric: 2}},
+		Networks: []netip.Prefix{netip.MustParsePrefix("10.9.0.0/16"), netip.MustParsePrefix("10.10.0.0/16")}})
+	changes := db.Changes(t0.Add(30*time.Second), t0.Add(2*time.Minute))
+	if len(changes) != 1 || changes[0].Kind != ChangeNetworks {
+		t.Errorf("changes = %v", changes)
+	}
+}
+
+func TestChangeKindStrings(t *testing.T) {
+	for k, want := range map[ChangeKind]string{
+		ChangeNewRouter: "new-router",
+		ChangeLinks:     "links-changed",
+		ChangeNetworks:  "networks-changed",
+		ChangeRefresh:   "refresh",
+	} {
+		if k.String() != want {
+			t.Errorf("%d = %q", k, k.String())
+		}
+	}
+}
+
+func TestSPFCacheInvalidation(t *testing.T) {
+	db := diamond()
+	first := db.SPF("a")
+	if first["d"] != 2 {
+		t.Fatalf("dist[d] = %d", first["d"])
+	}
+	// Cached result is returned for repeated queries.
+	if again := db.SPF("a"); again["d"] != 2 {
+		t.Fatal("cache broken")
+	}
+	// Topology change invalidates.
+	db.Install(LSA{Origin: "b", Seq: 2, Time: t0.Add(time.Second),
+		Links: []Link{{To: "a", Metric: 1}, {To: "d", Metric: 100}}})
+	if dist := db.SPF("a"); dist["d"] != 4 {
+		t.Errorf("after change dist[d] = %d, want 4", dist["d"])
+	}
+}

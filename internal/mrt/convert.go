@@ -1,0 +1,166 @@
+package mrt
+
+import (
+	"fmt"
+	"io"
+	"net/netip"
+	"sort"
+	"time"
+
+	"rex/internal/bgp"
+	"rex/internal/event"
+	"rex/internal/rib"
+)
+
+// WriteTableDump writes a complete TABLE_DUMP_V2 snapshot of the routes:
+// one peer index built from the routes' peers, then one RIB record per
+// prefix.
+func WriteTableDump(w io.Writer, routes []*rib.Route, collectorID netip.Addr, ts time.Time) error {
+	mw := NewWriter(w)
+	// Build the peer table.
+	peerIdx := map[netip.Addr]uint16{}
+	var table PeerIndexTable
+	table.CollectorID = collectorID
+	table.ViewName = "rex"
+	for _, r := range routes {
+		if _, ok := peerIdx[r.Peer]; !ok {
+			peerIdx[r.Peer] = uint16(len(table.Peers))
+			table.Peers = append(table.Peers, Peer{BGPID: r.PeerRouterID, Addr: r.Peer, AS: 0})
+		}
+	}
+	if err := mw.WritePeerIndexTable(table, ts); err != nil {
+		return err
+	}
+	// Group routes by prefix, deterministic order.
+	byPrefix := map[netip.Prefix][]*rib.Route{}
+	var prefixes []netip.Prefix
+	for _, r := range routes {
+		if _, ok := byPrefix[r.Prefix]; !ok {
+			prefixes = append(prefixes, r.Prefix)
+		}
+		byPrefix[r.Prefix] = append(byPrefix[r.Prefix], r)
+	}
+	sort.Slice(prefixes, func(i, j int) bool {
+		if prefixes[i].Addr() != prefixes[j].Addr() {
+			return prefixes[i].Addr().Less(prefixes[j].Addr())
+		}
+		return prefixes[i].Bits() < prefixes[j].Bits()
+	})
+	for seq, p := range prefixes {
+		e := RIBEntry{Seq: uint32(seq), Prefix: p}
+		for _, r := range byPrefix[p] {
+			e.Entries = append(e.Entries, RIBPeerEntry{
+				PeerIndex:    peerIdx[r.Peer],
+				OriginatedAt: r.LearnedAt,
+				Attrs:        r.Attrs,
+			})
+		}
+		if err := mw.WriteRIBEntry(e, ts); err != nil {
+			return err
+		}
+	}
+	return mw.Flush()
+}
+
+// ReadTableDump reads a TABLE_DUMP_V2 snapshot back into routes.
+func ReadTableDump(r io.Reader) ([]*rib.Route, error) {
+	mr := NewReader(r)
+	var table *PeerIndexTable
+	var out []*rib.Route
+	for {
+		rec, err := mr.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch v := rec.(type) {
+		case *PeerIndexTable:
+			table = v
+		case *RIBEntry:
+			if table == nil {
+				return nil, fmt.Errorf("mrt: RIB entry before peer index table")
+			}
+			for _, pe := range v.Entries {
+				if int(pe.PeerIndex) >= len(table.Peers) {
+					return nil, fmt.Errorf("mrt: peer index %d out of range", pe.PeerIndex)
+				}
+				peer := table.Peers[pe.PeerIndex]
+				out = append(out, &rib.Route{
+					Prefix:       v.Prefix,
+					Peer:         peer.Addr,
+					PeerRouterID: peer.BGPID,
+					Attrs:        pe.Attrs,
+					LearnedAt:    pe.OriginatedAt,
+				})
+			}
+		}
+	}
+}
+
+// WriteUpdates writes an event stream as BGP4MP_ET update records. The
+// wire format cannot carry withdrawal attributes — withdrawals are
+// written bare, exactly as a router would have sent them; use
+// event.Augment after reading to restore them.
+func WriteUpdates(w io.Writer, s event.Stream, localAS uint32, localAddr netip.Addr) error {
+	mw := NewWriter(w)
+	for i := range s {
+		e := &s[i]
+		var upd bgp.Update
+		switch e.Type {
+		case event.Announce:
+			upd.Attrs = e.Attrs
+			upd.NLRI = []netip.Prefix{e.Prefix}
+		case event.Withdraw:
+			upd.Withdrawn = []netip.Prefix{e.Prefix}
+		default:
+			return fmt.Errorf("event %d: invalid type %d", i, e.Type)
+		}
+		m := Message{
+			Time: e.Time,
+			// IBGP collection: the peer shares our AS.
+			PeerAS:    localAS,
+			LocalAS:   localAS,
+			PeerAddr:  e.Peer,
+			LocalAddr: localAddr,
+			Msg:       &upd,
+			AS4:       true,
+		}
+		if err := mw.WriteMessage(m); err != nil {
+			return fmt.Errorf("event %d: %w", i, err)
+		}
+	}
+	return mw.Flush()
+}
+
+// ReadUpdates reads BGP4MP update records into an event stream (one event
+// per withdrawn/announced prefix). Withdrawals come back without
+// attributes; pass the result through event.Augment.
+func ReadUpdates(r io.Reader) (event.Stream, error) {
+	mr := NewReader(r)
+	var out event.Stream
+	for {
+		rec, err := mr.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		m, ok := rec.(*Message)
+		if !ok {
+			continue
+		}
+		upd, ok := m.Msg.(*bgp.Update)
+		if !ok {
+			continue
+		}
+		for _, p := range upd.Withdrawn {
+			out = append(out, event.Event{Time: m.Time, Type: event.Withdraw, Peer: m.PeerAddr, Prefix: p})
+		}
+		for _, p := range upd.NLRI {
+			out = append(out, event.Event{Time: m.Time, Type: event.Announce, Peer: m.PeerAddr, Prefix: p, Attrs: upd.Attrs})
+		}
+	}
+}

@@ -1,0 +1,400 @@
+// Package mrt reads and writes MRT routing-information export format
+// (RFC 6396): TABLE_DUMP_V2 RIB snapshots (PEER_INDEX_TABLE +
+// RIB_IPV4_UNICAST) and BGP4MP update records, including the extended-
+// timestamp variant. It bridges this repository to the archive format
+// used by RouteViews/RIPE-style collectors: RIB dumps become TAMP input,
+// update files become event streams (augment withdrawals with
+// event.Augment afterwards).
+package mrt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net/netip"
+	"time"
+
+	"rex/internal/bgp"
+)
+
+// MRT type and subtype codes used here.
+const (
+	typeTableDumpV2 = 13
+	typeBGP4MP      = 16
+	typeBGP4MPET    = 17
+
+	subtypePeerIndexTable = 1
+	subtypeRIBIPv4Unicast = 2
+
+	subtypeBGP4MPMessage    = 1
+	subtypeBGP4MPMessageAS4 = 4
+)
+
+// PeerIndexTable is the TABLE_DUMP_V2 peer index: the collector identity
+// and the peers whose RIB entries follow.
+type PeerIndexTable struct {
+	CollectorID netip.Addr
+	ViewName    string
+	Peers       []Peer
+}
+
+// Peer is one peer-index entry.
+type Peer struct {
+	BGPID netip.Addr
+	Addr  netip.Addr
+	AS    uint32
+}
+
+// RIBEntry is one RIB_IPV4_UNICAST record: a prefix and the per-peer
+// routes to it.
+type RIBEntry struct {
+	Seq     uint32
+	Prefix  netip.Prefix
+	Entries []RIBPeerEntry
+}
+
+// RIBPeerEntry is one peer's route within a RIBEntry.
+type RIBPeerEntry struct {
+	PeerIndex    uint16
+	OriginatedAt time.Time
+	Attrs        *bgp.PathAttrs
+}
+
+// Message is a BGP4MP(_ET) record: one BGP message with peer context.
+type Message struct {
+	Time      time.Time
+	PeerAS    uint32
+	LocalAS   uint32
+	PeerAddr  netip.Addr
+	LocalAddr netip.Addr
+	Msg       bgp.Message
+	// AS4 reports whether the record used 4-octet ASN encoding.
+	AS4 bool
+}
+
+// Writer emits MRT records.
+type Writer struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: bufio.NewWriterSize(w, 1<<16)} }
+
+// Flush flushes buffered records.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+func (w *Writer) record(ts time.Time, mrtType, subtype uint16, body []byte, microseconds bool) error {
+	if w.err != nil {
+		return w.err
+	}
+	var hdr [12]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(ts.Unix()))
+	binary.BigEndian.PutUint16(hdr[4:6], mrtType)
+	binary.BigEndian.PutUint16(hdr[6:8], subtype)
+	length := len(body)
+	if microseconds {
+		length += 4
+	}
+	binary.BigEndian.PutUint32(hdr[8:12], uint32(length))
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		w.err = err
+		return err
+	}
+	if microseconds {
+		var us [4]byte
+		binary.BigEndian.PutUint32(us[:], uint32(ts.Nanosecond()/1000))
+		if _, err := w.w.Write(us[:]); err != nil {
+			w.err = err
+			return err
+		}
+	}
+	if _, err := w.w.Write(body); err != nil {
+		w.err = err
+		return err
+	}
+	return nil
+}
+
+// WritePeerIndexTable writes the peer index that subsequent RIB entries
+// reference by position.
+func (w *Writer) WritePeerIndexTable(t PeerIndexTable, ts time.Time) error {
+	body := make([]byte, 0, 16+12*len(t.Peers))
+	body = appendAddr4(body, t.CollectorID)
+	body = binary.BigEndian.AppendUint16(body, uint16(len(t.ViewName)))
+	body = append(body, t.ViewName...)
+	body = binary.BigEndian.AppendUint16(body, uint16(len(t.Peers)))
+	for _, p := range t.Peers {
+		body = append(body, 0x02) // IPv4 peer, 4-octet AS
+		body = appendAddr4(body, p.BGPID)
+		body = appendAddr4(body, p.Addr)
+		body = binary.BigEndian.AppendUint32(body, p.AS)
+	}
+	return w.record(ts, typeTableDumpV2, subtypePeerIndexTable, body, false)
+}
+
+// WriteRIBEntry writes one RIB_IPV4_UNICAST record.
+func (w *Writer) WriteRIBEntry(e RIBEntry, ts time.Time) error {
+	body := make([]byte, 0, 64)
+	body = binary.BigEndian.AppendUint32(body, e.Seq)
+	var err error
+	body, err = appendMRTPrefix(body, e.Prefix)
+	if err != nil {
+		return err
+	}
+	body = binary.BigEndian.AppendUint16(body, uint16(len(e.Entries)))
+	for _, pe := range e.Entries {
+		attrs, err := bgp.MarshalAttrs(pe.Attrs, true) // TABLE_DUMP_V2 is always AS4
+		if err != nil {
+			return fmt.Errorf("mrt rib entry %v: %w", e.Prefix, err)
+		}
+		body = binary.BigEndian.AppendUint16(body, pe.PeerIndex)
+		body = binary.BigEndian.AppendUint32(body, uint32(pe.OriginatedAt.Unix()))
+		body = binary.BigEndian.AppendUint16(body, uint16(len(attrs)))
+		body = append(body, attrs...)
+	}
+	return w.record(ts, typeTableDumpV2, subtypeRIBIPv4Unicast, body, false)
+}
+
+// WriteMessage writes a BGP4MP_ET record (AS4 when m.AS4).
+func (w *Writer) WriteMessage(m Message) error {
+	subtype := uint16(subtypeBGP4MPMessage)
+	body := make([]byte, 0, 64)
+	if m.AS4 {
+		subtype = subtypeBGP4MPMessageAS4
+		body = binary.BigEndian.AppendUint32(body, m.PeerAS)
+		body = binary.BigEndian.AppendUint32(body, m.LocalAS)
+	} else {
+		if m.PeerAS > 0xFFFF || m.LocalAS > 0xFFFF {
+			return fmt.Errorf("mrt: ASN needs AS4 record")
+		}
+		body = binary.BigEndian.AppendUint16(body, uint16(m.PeerAS))
+		body = binary.BigEndian.AppendUint16(body, uint16(m.LocalAS))
+	}
+	body = binary.BigEndian.AppendUint16(body, 0) // ifindex
+	body = binary.BigEndian.AppendUint16(body, 1) // AFI IPv4
+	body = appendAddr4(body, m.PeerAddr)
+	body = appendAddr4(body, m.LocalAddr)
+	wire, err := bgp.Marshal(m.Msg, m.AS4)
+	if err != nil {
+		return err
+	}
+	body = append(body, wire...)
+	return w.record(m.Time, typeBGP4MPET, subtype, body, true)
+}
+
+// Reader decodes MRT records. Next returns *PeerIndexTable, *RIBEntry or
+// *Message, and io.EOF at end of stream. Unknown record types are
+// skipped.
+type Reader struct {
+	r *bufio.Reader
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader { return &Reader{r: bufio.NewReaderSize(r, 1<<16)} }
+
+// Next returns the next known record.
+func (r *Reader) Next() (any, error) {
+	for {
+		var hdr [12]byte
+		if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil, fmt.Errorf("mrt: truncated header: %w", err)
+			}
+			return nil, err
+		}
+		ts := time.Unix(int64(binary.BigEndian.Uint32(hdr[0:4])), 0).UTC()
+		mrtType := binary.BigEndian.Uint16(hdr[4:6])
+		subtype := binary.BigEndian.Uint16(hdr[6:8])
+		length := binary.BigEndian.Uint32(hdr[8:12])
+		if length > 1<<24 {
+			return nil, fmt.Errorf("mrt: implausible record length %d", length)
+		}
+		body := make([]byte, length)
+		if _, err := io.ReadFull(r.r, body); err != nil {
+			return nil, fmt.Errorf("mrt: truncated body: %w", err)
+		}
+		if mrtType == typeBGP4MPET {
+			if len(body) < 4 {
+				return nil, errors.New("mrt: ET record too short")
+			}
+			ts = ts.Add(time.Duration(binary.BigEndian.Uint32(body[:4])) * time.Microsecond)
+			body = body[4:]
+			mrtType = typeBGP4MP
+		}
+		switch {
+		case mrtType == typeTableDumpV2 && subtype == subtypePeerIndexTable:
+			return parsePeerIndexTable(body)
+		case mrtType == typeTableDumpV2 && subtype == subtypeRIBIPv4Unicast:
+			return parseRIBEntry(body)
+		case mrtType == typeBGP4MP && (subtype == subtypeBGP4MPMessage || subtype == subtypeBGP4MPMessageAS4):
+			return parseMessage(body, ts, subtype == subtypeBGP4MPMessageAS4)
+		default:
+			// Unknown record: skip.
+		}
+	}
+}
+
+func parsePeerIndexTable(b []byte) (*PeerIndexTable, error) {
+	if len(b) < 8 {
+		return nil, errors.New("mrt: short peer index table")
+	}
+	t := &PeerIndexTable{CollectorID: netip.AddrFrom4([4]byte(b[0:4]))}
+	nameLen := int(binary.BigEndian.Uint16(b[4:6]))
+	b = b[6:]
+	if len(b) < nameLen+2 {
+		return nil, errors.New("mrt: truncated view name")
+	}
+	t.ViewName = string(b[:nameLen])
+	b = b[nameLen:]
+	count := int(binary.BigEndian.Uint16(b[:2]))
+	b = b[2:]
+	for i := 0; i < count; i++ {
+		if len(b) < 1 {
+			return nil, errors.New("mrt: truncated peer entry")
+		}
+		peerType := b[0]
+		b = b[1:]
+		ipLen, asLen := 4, 2
+		if peerType&0x01 != 0 {
+			ipLen = 16
+		}
+		if peerType&0x02 != 0 {
+			asLen = 4
+		}
+		need := 4 + ipLen + asLen
+		if len(b) < need {
+			return nil, errors.New("mrt: truncated peer entry body")
+		}
+		p := Peer{BGPID: netip.AddrFrom4([4]byte(b[0:4]))}
+		if ipLen == 4 {
+			p.Addr = netip.AddrFrom4([4]byte(b[4:8]))
+		} else {
+			p.Addr = netip.AddrFrom16([16]byte(b[4:20]))
+		}
+		if asLen == 2 {
+			p.AS = uint32(binary.BigEndian.Uint16(b[4+ipLen:]))
+		} else {
+			p.AS = binary.BigEndian.Uint32(b[4+ipLen:])
+		}
+		b = b[need:]
+		t.Peers = append(t.Peers, p)
+	}
+	return t, nil
+}
+
+func parseRIBEntry(b []byte) (*RIBEntry, error) {
+	if len(b) < 5 {
+		return nil, errors.New("mrt: short RIB entry")
+	}
+	e := &RIBEntry{Seq: binary.BigEndian.Uint32(b[0:4])}
+	prefix, n, err := decodeMRTPrefix(b[4:])
+	if err != nil {
+		return nil, err
+	}
+	e.Prefix = prefix
+	b = b[4+n:]
+	if len(b) < 2 {
+		return nil, errors.New("mrt: truncated RIB entry count")
+	}
+	count := int(binary.BigEndian.Uint16(b[:2]))
+	b = b[2:]
+	for i := 0; i < count; i++ {
+		if len(b) < 8 {
+			return nil, errors.New("mrt: truncated RIB peer entry")
+		}
+		pe := RIBPeerEntry{
+			PeerIndex:    binary.BigEndian.Uint16(b[0:2]),
+			OriginatedAt: time.Unix(int64(binary.BigEndian.Uint32(b[2:6])), 0).UTC(),
+		}
+		attrLen := int(binary.BigEndian.Uint16(b[6:8]))
+		b = b[8:]
+		if len(b) < attrLen {
+			return nil, errors.New("mrt: truncated RIB attributes")
+		}
+		attrs, err := bgp.UnmarshalAttrs(b[:attrLen], true)
+		if err != nil {
+			return nil, fmt.Errorf("mrt rib attrs: %w", err)
+		}
+		pe.Attrs = attrs
+		b = b[attrLen:]
+		e.Entries = append(e.Entries, pe)
+	}
+	return e, nil
+}
+
+func parseMessage(b []byte, ts time.Time, as4 bool) (*Message, error) {
+	asLen := 2
+	if as4 {
+		asLen = 4
+	}
+	need := asLen*2 + 4 + 8
+	if len(b) < need {
+		return nil, errors.New("mrt: short BGP4MP record")
+	}
+	m := &Message{Time: ts, AS4: as4}
+	if as4 {
+		m.PeerAS = binary.BigEndian.Uint32(b[0:4])
+		m.LocalAS = binary.BigEndian.Uint32(b[4:8])
+	} else {
+		m.PeerAS = uint32(binary.BigEndian.Uint16(b[0:2]))
+		m.LocalAS = uint32(binary.BigEndian.Uint16(b[2:4]))
+	}
+	b = b[asLen*2:]
+	afi := binary.BigEndian.Uint16(b[2:4])
+	if afi != 1 {
+		return nil, fmt.Errorf("mrt: unsupported AFI %d", afi)
+	}
+	b = b[4:]
+	m.PeerAddr = netip.AddrFrom4([4]byte(b[0:4]))
+	m.LocalAddr = netip.AddrFrom4([4]byte(b[4:8]))
+	b = b[8:]
+	msg, err := bgp.Unmarshal(b, as4)
+	if err != nil {
+		return nil, fmt.Errorf("mrt bgp message: %w", err)
+	}
+	m.Msg = msg
+	return m, nil
+}
+
+func appendAddr4(b []byte, a netip.Addr) []byte {
+	if !a.Is4() {
+		return append(b, 0, 0, 0, 0)
+	}
+	v := a.As4()
+	return append(b, v[:]...)
+}
+
+func appendMRTPrefix(b []byte, p netip.Prefix) ([]byte, error) {
+	if !p.Addr().Is4() {
+		return nil, fmt.Errorf("mrt: IPv4 prefixes only, got %v", p)
+	}
+	bits := p.Bits()
+	b = append(b, byte(bits))
+	a := p.Addr().As4()
+	return append(b, a[:(bits+7)/8]...), nil
+}
+
+func decodeMRTPrefix(b []byte) (netip.Prefix, int, error) {
+	if len(b) < 1 {
+		return netip.Prefix{}, 0, errors.New("mrt: empty prefix")
+	}
+	bits := int(b[0])
+	if bits > 32 {
+		return netip.Prefix{}, 0, fmt.Errorf("mrt: prefix length %d", bits)
+	}
+	n := (bits + 7) / 8
+	if len(b) < 1+n {
+		return netip.Prefix{}, 0, errors.New("mrt: truncated prefix")
+	}
+	var a [4]byte
+	copy(a[:], b[1:1+n])
+	return netip.PrefixFrom(netip.AddrFrom4(a), bits).Masked(), 1 + n, nil
+}

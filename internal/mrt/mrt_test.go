@@ -1,0 +1,220 @@
+package mrt
+
+import (
+	"bytes"
+	"io"
+	"net/netip"
+	"testing"
+	"time"
+
+	"rex/internal/bgp"
+	"rex/internal/event"
+	"rex/internal/rib"
+)
+
+var t0 = time.Date(2003, 8, 1, 10, 0, 0, 0, time.UTC)
+
+func sampleRoutes() []*rib.Route {
+	mk := func(prefix, peer, nexthop string, asns ...uint32) *rib.Route {
+		return &rib.Route{
+			Prefix:       netip.MustParsePrefix(prefix),
+			Peer:         netip.MustParseAddr(peer),
+			PeerRouterID: netip.MustParseAddr(peer),
+			Attrs: &bgp.PathAttrs{
+				Origin:      bgp.OriginIGP,
+				ASPath:      bgp.Sequence(asns...),
+				Nexthop:     netip.MustParseAddr(nexthop),
+				Communities: []bgp.Community{bgp.MakeCommunity(11423, 65350)},
+			},
+			LearnedAt: t0,
+		}
+	}
+	return []*rib.Route{
+		mk("192.96.10.0/24", "128.32.1.3", "128.32.0.70", 11423, 209, 701),
+		mk("192.96.10.0/24", "128.32.1.200", "128.32.0.90", 11423, 209, 701),
+		mk("12.2.41.0/24", "128.32.1.3", "128.32.0.66", 11423, 209, 7018, 400000),
+	}
+}
+
+func TestTableDumpRoundTrip(t *testing.T) {
+	routes := sampleRoutes()
+	var buf bytes.Buffer
+	if err := WriteTableDump(&buf, routes, netip.MustParseAddr("10.255.0.1"), t0); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTableDump(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(routes) {
+		t.Fatalf("routes = %d, want %d", len(back), len(routes))
+	}
+	// Table dumps sort by prefix; match by (prefix, peer).
+	find := func(prefix, peer string) *rib.Route {
+		for _, r := range back {
+			if r.Prefix.String() == prefix && r.Peer.String() == peer {
+				return r
+			}
+		}
+		t.Fatalf("route %s via %s missing", prefix, peer)
+		return nil
+	}
+	r := find("12.2.41.0/24", "128.32.1.3")
+	if r.Attrs.ASPath.String() != "11423 209 7018 400000" {
+		t.Errorf("as path = %v (4-byte ASN must survive)", r.Attrs.ASPath)
+	}
+	if !r.LearnedAt.Equal(t0) {
+		t.Errorf("originated = %v", r.LearnedAt)
+	}
+	r = find("192.96.10.0/24", "128.32.1.200")
+	if !r.Attrs.HasCommunity(bgp.MakeCommunity(11423, 65350)) {
+		t.Error("community lost")
+	}
+}
+
+func TestUpdatesRoundTripWithAugment(t *testing.T) {
+	attrs := &bgp.PathAttrs{
+		Origin:  bgp.OriginIGP,
+		ASPath:  bgp.Sequence(11423, 209, 5713),
+		Nexthop: netip.MustParseAddr("128.32.0.70"),
+	}
+	s := event.Stream{
+		{Time: t0, Type: event.Announce, Peer: netip.MustParseAddr("128.32.1.3"),
+			Prefix: netip.MustParsePrefix("192.96.10.0/24"), Attrs: attrs},
+		{Time: t0.Add(time.Second + 123456*time.Microsecond), Type: event.Withdraw,
+			Peer:   netip.MustParseAddr("128.32.1.3"),
+			Prefix: netip.MustParsePrefix("192.96.10.0/24"), Attrs: attrs},
+	}
+	var buf bytes.Buffer
+	if err := WriteUpdates(&buf, s, 25, netip.MustParseAddr("10.255.0.1")); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadUpdates(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 {
+		t.Fatalf("events = %d", len(back))
+	}
+	// Wire-faithful: the withdrawal lost its attributes...
+	if back[1].Attrs != nil {
+		t.Error("withdrawal attrs survived the wire (should not)")
+	}
+	// ...with microsecond timestamps intact...
+	if !back[1].Time.Equal(s[1].Time.Truncate(time.Microsecond)) {
+		t.Errorf("time = %v, want %v", back[1].Time, s[1].Time)
+	}
+	// ...and Augment restores them.
+	aug := event.Augment(back)
+	if aug[1].Attrs == nil || !aug[1].Attrs.Equal(attrs) {
+		t.Errorf("augment failed: %v", aug[1].Attrs)
+	}
+}
+
+func TestReaderSkipsUnknownRecords(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	// An OSPF record (type 11) we do not parse.
+	if err := w.record(t0, 11, 0, []byte{1, 2, 3}, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WritePeerIndexTable(PeerIndexTable{
+		CollectorID: netip.MustParseAddr("10.0.0.1"),
+		ViewName:    "v",
+		Peers:       []Peer{{BGPID: netip.MustParseAddr("1.1.1.1"), Addr: netip.MustParseAddr("1.1.1.1"), AS: 65000}},
+	}, t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	rec, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, ok := rec.(*PeerIndexTable)
+	if !ok || table.ViewName != "v" || table.Peers[0].AS != 65000 {
+		t.Errorf("rec = %#v", rec)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("err = %v, want EOF", err)
+	}
+}
+
+func TestReaderErrors(t *testing.T) {
+	// Truncated header.
+	if _, err := NewReader(bytes.NewReader([]byte{1, 2, 3})).Next(); err == nil || err == io.EOF {
+		t.Errorf("truncated header err = %v", err)
+	}
+	// Truncated body.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WritePeerIndexTable(PeerIndexTable{CollectorID: netip.MustParseAddr("10.0.0.1")}, t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-2]
+	if _, err := NewReader(bytes.NewReader(trunc)).Next(); err == nil {
+		t.Error("truncated body succeeded")
+	}
+	// Empty stream is clean EOF.
+	if _, err := NewReader(bytes.NewReader(nil)).Next(); err != io.EOF {
+		t.Errorf("empty err = %v", err)
+	}
+}
+
+func TestRIBEntryBeforePeerTable(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	err := w.WriteRIBEntry(RIBEntry{
+		Seq:    0,
+		Prefix: netip.MustParsePrefix("10.0.0.0/8"),
+		Entries: []RIBPeerEntry{{
+			PeerIndex:    0,
+			OriginatedAt: t0,
+			Attrs:        &bgp.PathAttrs{Origin: bgp.OriginIGP, ASPath: bgp.Sequence(1), Nexthop: netip.MustParseAddr("10.0.0.1")},
+		}},
+	}, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadTableDump(&buf); err == nil {
+		t.Error("RIB entry before peer table succeeded")
+	}
+}
+
+func TestMessageAS2Encoding(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	m := Message{
+		Time: t0, PeerAS: 11423, LocalAS: 25,
+		PeerAddr: netip.MustParseAddr("128.32.1.3"), LocalAddr: netip.MustParseAddr("10.255.0.1"),
+		Msg: &bgp.Update{Withdrawn: []netip.Prefix{netip.MustParsePrefix("10.0.0.0/8")}},
+		AS4: false,
+	}
+	if err := w.WriteMessage(m); err != nil {
+		t.Fatal(err)
+	}
+	// 4-byte ASN in an AS2 record fails.
+	m.PeerAS = 400000
+	if err := w.WriteMessage(m); err == nil {
+		t.Error("AS2 record with 4-byte ASN succeeded")
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := NewReader(&buf).Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, ok := rec.(*Message)
+	if !ok || back.AS4 || back.PeerAS != 11423 {
+		t.Errorf("rec = %#v", rec)
+	}
+}

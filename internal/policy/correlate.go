@@ -1,0 +1,73 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+
+	"rex/internal/bgp"
+	"rex/internal/core/stemming"
+	"rex/internal/event"
+)
+
+// Finding ties a Stemming component to a configured policy: "the routes in
+// this component carry community X, and router R's route-map M seq S acts
+// on X (e.g. sets local-preference 80)". This is the §III-D.1 correlation
+// that explained Berkeley's rate-limiter failover.
+type Finding struct {
+	Policy CommunityPolicy
+	// Events is how many of the component's events carry the community.
+	Events int
+}
+
+// String renders the finding for reports.
+func (f Finding) String() string {
+	action := "permit"
+	if !f.Policy.Permit {
+		action = "deny"
+	}
+	s := fmt.Sprintf("%d events tagged %v match route-map %s seq %d (%s) on %s",
+		f.Events, f.Policy.Community, f.Policy.RouteMap, f.Policy.Seq, action, f.Policy.Router)
+	if f.Policy.LocalPref != nil {
+		s += fmt.Sprintf(", set local-preference %d", *f.Policy.LocalPref)
+	}
+	return s
+}
+
+// Correlate matches the component's community tags against the policies
+// extracted from the given configurations, strongest (most events) first.
+func Correlate(comp *stemming.Component, s event.Stream, configs []*Config) []Finding {
+	commCount := make(map[bgp.Community]int)
+	for _, idx := range comp.EventIndexes {
+		if idx < 0 || idx >= len(s) {
+			continue
+		}
+		attrs := s[idx].Attrs
+		if attrs == nil {
+			continue
+		}
+		for _, c := range attrs.Communities {
+			commCount[c]++
+		}
+	}
+	if len(commCount) == 0 {
+		return nil
+	}
+	var out []Finding
+	for _, cfg := range configs {
+		for _, cp := range cfg.CommunityPolicies() {
+			if n := commCount[cp.Community]; n > 0 {
+				out = append(out, Finding{Policy: cp, Events: n})
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Events != out[j].Events {
+			return out[i].Events > out[j].Events
+		}
+		if out[i].Policy.Router != out[j].Policy.Router {
+			return out[i].Policy.Router < out[j].Policy.Router
+		}
+		return out[i].Policy.Seq < out[j].Policy.Seq
+	})
+	return out
+}

@@ -1,0 +1,294 @@
+package policy
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/netip"
+	"sort"
+	"strconv"
+	"strings"
+
+	"rex/internal/bgp"
+)
+
+// Parse reads a router configuration in the compact IOS-like dialect:
+//
+//	hostname edge1
+//	router bgp 25
+//	 bgp router-id 128.32.1.3
+//	 neighbor 128.32.0.66 remote-as 11423
+//	 neighbor 128.32.0.66 route-map CALREN-IN in
+//	 neighbor 128.32.0.66 maximum-prefix 15000
+//	!
+//	ip prefix-list COMMODITY seq 5 permit 0.0.0.0/1 le 32
+//	ip community-list standard ISP permit 11423:65350
+//	!
+//	route-map CALREN-IN permit 10
+//	 match community ISP
+//	 set local-preference 80
+//	route-map CALREN-IN permit 20
+//	 match ip address prefix-list COMMODITY
+//
+// Lines starting with '!' are comments/section breaks. Unknown statements
+// are an error: configurations are ground truth in this system, so silent
+// skips would hide test bugs.
+func Parse(r io.Reader) (*Config, error) {
+	cfg := NewConfig()
+	sc := bufio.NewScanner(r)
+	var curEntry *MapEntry // open route-map entry for match/set lines
+	inBGP := false
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), " \t")
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "!") {
+			continue
+		}
+		indented := line != trimmed
+		fields := strings.Fields(trimmed)
+
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("config line %d (%q): %s", lineNo, trimmed, fmt.Sprintf(format, args...))
+		}
+
+		switch {
+		case fields[0] == "hostname" && len(fields) == 2:
+			cfg.Hostname = fields[1]
+			inBGP, curEntry = false, nil
+
+		case fields[0] == "router" && len(fields) == 3 && fields[1] == "bgp":
+			asn, err := strconv.ParseUint(fields[2], 10, 32)
+			if err != nil {
+				return nil, fail("bad ASN: %v", err)
+			}
+			cfg.LocalAS = uint32(asn)
+			inBGP, curEntry = true, nil
+
+		case indented && inBGP && fields[0] == "bgp" && len(fields) == 3 && fields[1] == "router-id":
+			id, err := netip.ParseAddr(fields[2])
+			if err != nil {
+				return nil, fail("bad router-id: %v", err)
+			}
+			cfg.RouterID = id
+
+		case indented && inBGP && fields[0] == "neighbor":
+			if err := parseNeighbor(cfg, fields); err != nil {
+				return nil, fail("%v", err)
+			}
+
+		case fields[0] == "ip" && len(fields) >= 2 && fields[1] == "prefix-list":
+			if err := parsePrefixList(cfg, fields); err != nil {
+				return nil, fail("%v", err)
+			}
+			inBGP, curEntry = false, nil
+
+		case fields[0] == "ip" && len(fields) >= 2 && fields[1] == "community-list":
+			if err := parseCommunityList(cfg, fields); err != nil {
+				return nil, fail("%v", err)
+			}
+			inBGP, curEntry = false, nil
+
+		case fields[0] == "route-map" && len(fields) == 4:
+			permit := fields[2] == "permit"
+			if !permit && fields[2] != "deny" {
+				return nil, fail("want permit or deny")
+			}
+			seq, err := strconv.Atoi(fields[3])
+			if err != nil {
+				return nil, fail("bad sequence: %v", err)
+			}
+			rm := cfg.RouteMaps[fields[1]]
+			if rm == nil {
+				rm = &RouteMap{Name: fields[1]}
+				cfg.RouteMaps[fields[1]] = rm
+			}
+			rm.Entries = append(rm.Entries, MapEntry{Seq: seq, Permit: permit})
+			curEntry = &rm.Entries[len(rm.Entries)-1]
+			inBGP = false
+
+		case indented && curEntry != nil && fields[0] == "match":
+			if err := parseMatch(curEntry, fields); err != nil {
+				return nil, fail("%v", err)
+			}
+
+		case indented && curEntry != nil && fields[0] == "set":
+			if err := parseSet(curEntry, fields); err != nil {
+				return nil, fail("%v", err)
+			}
+
+		default:
+			return nil, fail("unrecognized statement")
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, rm := range cfg.RouteMaps {
+		sort.SliceStable(rm.Entries, func(i, j int) bool { return rm.Entries[i].Seq < rm.Entries[j].Seq })
+	}
+	return cfg, nil
+}
+
+func parseNeighbor(cfg *Config, fields []string) error {
+	if len(fields) < 4 {
+		return fmt.Errorf("short neighbor statement")
+	}
+	addr, err := netip.ParseAddr(fields[1])
+	if err != nil {
+		return fmt.Errorf("bad neighbor address: %w", err)
+	}
+	n := cfg.Neighbors[addr]
+	if n == nil {
+		n = &Neighbor{Addr: addr}
+		cfg.Neighbors[addr] = n
+	}
+	switch fields[2] {
+	case "remote-as":
+		asn, err := strconv.ParseUint(fields[3], 10, 32)
+		if err != nil {
+			return fmt.Errorf("bad remote-as: %w", err)
+		}
+		n.RemoteAS = uint32(asn)
+	case "route-map":
+		if len(fields) != 5 {
+			return fmt.Errorf("neighbor route-map wants NAME in|out")
+		}
+		switch fields[4] {
+		case "in":
+			n.RouteMapIn = fields[3]
+		case "out":
+			n.RouteMapOut = fields[3]
+		default:
+			return fmt.Errorf("route-map direction %q", fields[4])
+		}
+	case "maximum-prefix":
+		limit, err := strconv.Atoi(fields[3])
+		if err != nil || limit <= 0 {
+			return fmt.Errorf("bad maximum-prefix %q", fields[3])
+		}
+		n.MaxPrefix = limit
+	default:
+		return fmt.Errorf("unknown neighbor attribute %q", fields[2])
+	}
+	return nil
+}
+
+// ip prefix-list NAME seq N permit|deny PREFIX [ge N] [le N]
+func parsePrefixList(cfg *Config, fields []string) error {
+	if len(fields) < 7 || fields[3] != "seq" {
+		return fmt.Errorf("want: ip prefix-list NAME seq N permit|deny PREFIX [ge N] [le N]")
+	}
+	name := fields[2]
+	seq, err := strconv.Atoi(fields[4])
+	if err != nil {
+		return fmt.Errorf("bad seq: %w", err)
+	}
+	rule := PrefixRule{Seq: seq}
+	switch fields[5] {
+	case "permit":
+		rule.Permit = true
+	case "deny":
+	default:
+		return fmt.Errorf("want permit or deny, got %q", fields[5])
+	}
+	rule.Prefix, err = netip.ParsePrefix(fields[6])
+	if err != nil {
+		return fmt.Errorf("bad prefix: %w", err)
+	}
+	rest := fields[7:]
+	for len(rest) >= 2 {
+		v, err := strconv.Atoi(rest[1])
+		if err != nil || v < 0 || v > 32 {
+			return fmt.Errorf("bad %s length %q", rest[0], rest[1])
+		}
+		switch rest[0] {
+		case "ge":
+			rule.Ge = v
+		case "le":
+			rule.Le = v
+		default:
+			return fmt.Errorf("unknown prefix-list option %q", rest[0])
+		}
+		rest = rest[2:]
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("trailing tokens %v", rest)
+	}
+	pl := cfg.PrefixLists[name]
+	if pl == nil {
+		pl = &PrefixList{Name: name}
+		cfg.PrefixLists[name] = pl
+	}
+	pl.Rules = append(pl.Rules, rule)
+	sort.SliceStable(pl.Rules, func(i, j int) bool { return pl.Rules[i].Seq < pl.Rules[j].Seq })
+	return nil
+}
+
+// ip community-list standard NAME permit COMM [COMM...]
+func parseCommunityList(cfg *Config, fields []string) error {
+	if len(fields) < 6 || fields[2] != "standard" || fields[4] != "permit" {
+		return fmt.Errorf("want: ip community-list standard NAME permit COMM...")
+	}
+	name := fields[3]
+	cl := cfg.CommunityLists[name]
+	if cl == nil {
+		cl = &CommunityList{Name: name}
+		cfg.CommunityLists[name] = cl
+	}
+	for _, s := range fields[5:] {
+		c, err := bgp.ParseCommunity(s)
+		if err != nil {
+			return err
+		}
+		cl.Permit = append(cl.Permit, c)
+	}
+	return nil
+}
+
+func parseMatch(e *MapEntry, fields []string) error {
+	switch {
+	case len(fields) == 3 && fields[1] == "community":
+		e.MatchCommunityList = fields[2]
+	case len(fields) == 5 && fields[1] == "ip" && fields[2] == "address" && fields[3] == "prefix-list":
+		e.MatchPrefixList = fields[4]
+	default:
+		return fmt.Errorf("unknown match %v", fields[1:])
+	}
+	return nil
+}
+
+func parseSet(e *MapEntry, fields []string) error {
+	switch {
+	case len(fields) == 3 && fields[1] == "local-preference":
+		v, err := strconv.ParseUint(fields[2], 10, 32)
+		if err != nil {
+			return fmt.Errorf("bad local-preference: %w", err)
+		}
+		lp := uint32(v)
+		e.SetLocalPref = &lp
+	case len(fields) == 3 && fields[1] == "metric":
+		v, err := strconv.ParseUint(fields[2], 10, 32)
+		if err != nil {
+			return fmt.Errorf("bad metric: %w", err)
+		}
+		med := uint32(v)
+		e.SetMED = &med
+	case len(fields) >= 3 && fields[1] == "community":
+		rest := fields[2:]
+		if rest[len(rest)-1] == "additive" {
+			rest = rest[:len(rest)-1]
+		}
+		for _, s := range rest {
+			c, err := bgp.ParseCommunity(s)
+			if err != nil {
+				return err
+			}
+			e.AddCommunities = append(e.AddCommunities, c)
+		}
+	default:
+		return fmt.Errorf("unknown set %v", fields[1:])
+	}
+	return nil
+}

@@ -1,0 +1,273 @@
+// Package policy implements the router-configuration substrate of
+// §III-D.1: a parser for a compact IOS-like configuration dialect, the
+// policy objects it defines (prefix-lists, community-lists, route-maps,
+// per-neighbor policies including maximum-prefix), application of those
+// policies to routes, and correlation of Stemming components with the
+// policies that explain them — the paper's "retrieve the configuration
+// files ... and correlate their policies with BGP events" step.
+package policy
+
+import (
+	"net/netip"
+	"sort"
+
+	"rex/internal/bgp"
+)
+
+// PrefixRule is one entry of a prefix-list.
+type PrefixRule struct {
+	Seq    int
+	Permit bool
+	Prefix netip.Prefix
+	// Ge and Le bound the matched mask length ("ge 24 le 32"); zero means
+	// exact-length match for that side.
+	Ge, Le int
+}
+
+// Matches reports whether p matches the rule: p must be covered by
+// rule.Prefix and its length must satisfy the ge/le bounds.
+func (r PrefixRule) Matches(p netip.Prefix) bool {
+	if !r.Prefix.Contains(p.Addr()) || p.Bits() < r.Prefix.Bits() {
+		return false
+	}
+	lo, hi := r.Prefix.Bits(), r.Prefix.Bits()
+	if r.Ge > 0 {
+		lo = r.Ge
+	}
+	if r.Le > 0 {
+		hi = r.Le
+	} else if r.Ge > 0 {
+		hi = 32
+	}
+	return p.Bits() >= lo && p.Bits() <= hi
+}
+
+// PrefixList is an ordered prefix filter; first matching rule wins,
+// default deny.
+type PrefixList struct {
+	Name  string
+	Rules []PrefixRule
+}
+
+// Permits reports whether the list permits p.
+func (l *PrefixList) Permits(p netip.Prefix) bool {
+	for _, r := range l.Rules {
+		if r.Matches(p) {
+			return r.Permit
+		}
+	}
+	return false
+}
+
+// CommunityList is a named set of community values; a route matches when
+// it carries any permitted community.
+type CommunityList struct {
+	Name   string
+	Permit []bgp.Community
+}
+
+// Matches reports whether attrs carries any permitted community.
+func (l *CommunityList) Matches(attrs *bgp.PathAttrs) bool {
+	for _, c := range l.Permit {
+		if attrs.HasCommunity(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// MapEntry is one sequence of a route-map.
+type MapEntry struct {
+	Seq    int
+	Permit bool
+	// MatchCommunityList, when non-empty, requires the route to match the
+	// named community-list.
+	MatchCommunityList string
+	// MatchPrefixList, when non-empty, requires the prefix to match the
+	// named prefix-list.
+	MatchPrefixList string
+	// SetLocalPref, SetMED and AddCommunities are applied on permit.
+	SetLocalPref   *uint32
+	SetMED         *uint32
+	AddCommunities []bgp.Community
+}
+
+// RouteMap is an ordered list of match/set entries; first matching entry
+// decides, default deny (as in IOS).
+type RouteMap struct {
+	Name    string
+	Entries []MapEntry
+}
+
+// Neighbor is the per-neighbor BGP policy.
+type Neighbor struct {
+	Addr     netip.Addr
+	RemoteAS uint32
+	// RouteMapIn and RouteMapOut name the route-maps applied to received
+	// and advertised routes.
+	RouteMapIn  string
+	RouteMapOut string
+	// MaxPrefix, when positive, is the maximum-prefix limit: the session
+	// is torn down when the neighbor announces more prefixes (the
+	// ISP-A/ISP-B leak incident in the paper's introduction).
+	MaxPrefix int
+}
+
+// Config is one router's parsed configuration.
+type Config struct {
+	Hostname       string
+	LocalAS        uint32
+	RouterID       netip.Addr
+	Neighbors      map[netip.Addr]*Neighbor
+	PrefixLists    map[string]*PrefixList
+	CommunityLists map[string]*CommunityList
+	RouteMaps      map[string]*RouteMap
+}
+
+// NewConfig returns an empty configuration.
+func NewConfig() *Config {
+	return &Config{
+		Neighbors:      make(map[netip.Addr]*Neighbor),
+		PrefixLists:    make(map[string]*PrefixList),
+		CommunityLists: make(map[string]*CommunityList),
+		RouteMaps:      make(map[string]*RouteMap),
+	}
+}
+
+// Decision is the outcome of applying a route-map.
+type Decision struct {
+	Permitted bool
+	// Attrs is the (possibly modified) attribute set; nil when denied.
+	Attrs *bgp.PathAttrs
+	// MatchedSeq is the sequence number of the deciding entry, -1 when no
+	// entry matched (implicit deny).
+	MatchedSeq int
+}
+
+// Apply runs the route-map over a route. The input attrs are not
+// modified; set actions operate on a clone.
+func (c *Config) Apply(mapName string, prefix netip.Prefix, attrs *bgp.PathAttrs) Decision {
+	rm, ok := c.RouteMaps[mapName]
+	if !ok {
+		// Referencing a missing route-map behaves as permit-all, matching
+		// common router behaviour for unresolved references.
+		return Decision{Permitted: true, Attrs: attrs, MatchedSeq: -1}
+	}
+	for _, e := range rm.Entries {
+		if !c.entryMatches(e, prefix, attrs) {
+			continue
+		}
+		if !e.Permit {
+			return Decision{Permitted: false, MatchedSeq: e.Seq}
+		}
+		out := attrs
+		if e.SetLocalPref != nil || e.SetMED != nil || len(e.AddCommunities) > 0 {
+			out = attrs.Clone()
+			if e.SetLocalPref != nil {
+				out.LocalPref, out.HasLocalPref = *e.SetLocalPref, true
+			}
+			if e.SetMED != nil {
+				out.MED, out.HasMED = *e.SetMED, true
+			}
+			for _, comm := range e.AddCommunities {
+				out.AddCommunity(comm)
+			}
+		}
+		return Decision{Permitted: true, Attrs: out, MatchedSeq: e.Seq}
+	}
+	return Decision{Permitted: false, MatchedSeq: -1}
+}
+
+func (c *Config) entryMatches(e MapEntry, prefix netip.Prefix, attrs *bgp.PathAttrs) bool {
+	if e.MatchCommunityList != "" {
+		cl, ok := c.CommunityLists[e.MatchCommunityList]
+		if !ok || !cl.Matches(attrs) {
+			return false
+		}
+	}
+	if e.MatchPrefixList != "" {
+		pl, ok := c.PrefixLists[e.MatchPrefixList]
+		if !ok || !pl.Permits(prefix) {
+			return false
+		}
+	}
+	return true
+}
+
+// ApplyIn applies the inbound policy of the given neighbor.
+func (c *Config) ApplyIn(neighbor netip.Addr, prefix netip.Prefix, attrs *bgp.PathAttrs) Decision {
+	n, ok := c.Neighbors[neighbor]
+	if !ok || n.RouteMapIn == "" {
+		return Decision{Permitted: true, Attrs: attrs, MatchedSeq: -1}
+	}
+	return c.Apply(n.RouteMapIn, prefix, attrs)
+}
+
+// ApplyOut applies the outbound policy of the given neighbor.
+func (c *Config) ApplyOut(neighbor netip.Addr, prefix netip.Prefix, attrs *bgp.PathAttrs) Decision {
+	n, ok := c.Neighbors[neighbor]
+	if !ok || n.RouteMapOut == "" {
+		return Decision{Permitted: true, Attrs: attrs, MatchedSeq: -1}
+	}
+	return c.Apply(n.RouteMapOut, prefix, attrs)
+}
+
+// ExceedsMaxPrefix reports whether count trips the neighbor's
+// maximum-prefix limit.
+func (c *Config) ExceedsMaxPrefix(neighbor netip.Addr, count int) bool {
+	n, ok := c.Neighbors[neighbor]
+	return ok && n.MaxPrefix > 0 && count > n.MaxPrefix
+}
+
+// CommunityPolicies returns, for every community referenced by the
+// config's route-maps via community-lists, the policy actions tied to it.
+// This is the index the Stemming correlation uses.
+func (c *Config) CommunityPolicies() []CommunityPolicy {
+	var out []CommunityPolicy
+	for _, rm := range c.RouteMaps {
+		for _, e := range rm.Entries {
+			if e.MatchCommunityList == "" {
+				continue
+			}
+			cl, ok := c.CommunityLists[e.MatchCommunityList]
+			if !ok {
+				continue
+			}
+			for _, comm := range cl.Permit {
+				cp := CommunityPolicy{
+					Router:    c.Hostname,
+					RouteMap:  rm.Name,
+					Seq:       e.Seq,
+					Community: comm,
+					Permit:    e.Permit,
+				}
+				if e.SetLocalPref != nil {
+					lp := *e.SetLocalPref
+					cp.LocalPref = &lp
+				}
+				out = append(out, cp)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Community != out[j].Community {
+			return out[i].Community < out[j].Community
+		}
+		if out[i].RouteMap != out[j].RouteMap {
+			return out[i].RouteMap < out[j].RouteMap
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
+
+// CommunityPolicy records one community→action binding extracted from a
+// configuration.
+type CommunityPolicy struct {
+	Router    string
+	RouteMap  string
+	Seq       int
+	Community bgp.Community
+	Permit    bool
+	LocalPref *uint32
+}

@@ -1,0 +1,287 @@
+package policy
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"rex/internal/bgp"
+	"rex/internal/core/stemming"
+	"rex/internal/event"
+)
+
+// berkeleyConfig is the paper's §III-D.1 example: router 128.32.1.3
+// assigns LOCAL_PREF 80 to ISP routes tagged 11423:65350 from CalREN.
+const berkeleyConfig = `
+hostname edge3
+router bgp 25
+ bgp router-id 128.32.1.3
+ neighbor 128.32.0.66 remote-as 11423
+ neighbor 128.32.0.66 route-map CALREN-IN in
+ neighbor 128.32.0.66 maximum-prefix 15000
+!
+ip prefix-list COMMODITY seq 5 permit 0.0.0.0/1 le 32
+ip prefix-list COMMODITY seq 10 permit 128.0.0.0/1 le 32
+ip community-list standard ISP-ROUTES permit 11423:65350
+ip community-list standard I2-ROUTES permit 11423:65300
+!
+route-map CALREN-IN permit 10
+ match community ISP-ROUTES
+ set local-preference 80
+route-map CALREN-IN deny 20
+ match community I2-ROUTES
+route-map CALREN-IN permit 30
+ match ip address prefix-list COMMODITY
+ set local-preference 70
+ set community 25:100 additive
+`
+
+func parseTestConfig(t *testing.T, text string) *Config {
+	t.Helper()
+	cfg, err := Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+func ispAttrs(comms ...bgp.Community) *bgp.PathAttrs {
+	return &bgp.PathAttrs{
+		Origin:      bgp.OriginIGP,
+		ASPath:      bgp.Sequence(11423, 209),
+		Nexthop:     netip.MustParseAddr("128.32.0.66"),
+		Communities: comms,
+	}
+}
+
+func TestParseBasics(t *testing.T) {
+	cfg := parseTestConfig(t, berkeleyConfig)
+	if cfg.Hostname != "edge3" || cfg.LocalAS != 25 {
+		t.Errorf("hostname=%q as=%d", cfg.Hostname, cfg.LocalAS)
+	}
+	if cfg.RouterID != netip.MustParseAddr("128.32.1.3") {
+		t.Errorf("router-id = %v", cfg.RouterID)
+	}
+	n := cfg.Neighbors[netip.MustParseAddr("128.32.0.66")]
+	if n == nil {
+		t.Fatal("neighbor missing")
+	}
+	if n.RemoteAS != 11423 || n.RouteMapIn != "CALREN-IN" || n.MaxPrefix != 15000 {
+		t.Errorf("neighbor = %+v", n)
+	}
+	if len(cfg.PrefixLists["COMMODITY"].Rules) != 2 {
+		t.Error("prefix list rules")
+	}
+	if len(cfg.RouteMaps["CALREN-IN"].Entries) != 3 {
+		t.Error("route map entries")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"bogus statement here",
+		"router bgp notanumber",
+		"route-map X allow 10",
+		"route-map X permit ten",
+		"ip prefix-list L seq 5 permit nope",
+		"ip prefix-list L seq x permit 0.0.0.0/0",
+		"ip community-list standard L deny 1:2",
+		"ip community-list standard L permit 1:x",
+		"router bgp 25\n neighbor nope remote-as 1",
+		"router bgp 25\n neighbor 10.0.0.1 remote-as x",
+		"router bgp 25\n neighbor 10.0.0.1 route-map X sideways",
+		"router bgp 25\n neighbor 10.0.0.1 maximum-prefix -5",
+		"router bgp 25\n bgp router-id nope",
+		"route-map X permit 10\n match nonsense Y",
+		"route-map X permit 10\n set nonsense 5",
+		"route-map X permit 10\n set local-preference x",
+		"ip prefix-list L seq 5 permit 0.0.0.0/0 ge 40",
+		"ip prefix-list L seq 5 permit 0.0.0.0/0 dangling",
+	}
+	for _, text := range bad {
+		if _, err := Parse(strings.NewReader(text)); err == nil {
+			t.Errorf("Parse(%q) succeeded", text)
+		}
+	}
+}
+
+func TestApplyCommunityMatch(t *testing.T) {
+	cfg := parseTestConfig(t, berkeleyConfig)
+	prefix := netip.MustParsePrefix("12.2.41.0/24")
+
+	// ISP-tagged route gets local-pref 80.
+	d := cfg.ApplyIn(netip.MustParseAddr("128.32.0.66"), prefix, ispAttrs(bgp.MakeCommunity(11423, 65350)))
+	if !d.Permitted || d.MatchedSeq != 10 {
+		t.Fatalf("decision = %+v", d)
+	}
+	if !d.Attrs.HasLocalPref || d.Attrs.LocalPref != 80 {
+		t.Errorf("local-pref = %+v", d.Attrs)
+	}
+
+	// I2-tagged route is denied at seq 20.
+	d = cfg.ApplyIn(netip.MustParseAddr("128.32.0.66"), prefix, ispAttrs(bgp.MakeCommunity(11423, 65300)))
+	if d.Permitted || d.MatchedSeq != 20 {
+		t.Errorf("decision = %+v", d)
+	}
+
+	// Untagged commodity route falls to seq 30: LP 70 plus a community.
+	d = cfg.ApplyIn(netip.MustParseAddr("128.32.0.66"), prefix, ispAttrs())
+	if !d.Permitted || d.MatchedSeq != 30 || d.Attrs.LocalPref != 70 {
+		t.Fatalf("decision = %+v", d)
+	}
+	if !d.Attrs.HasCommunity(bgp.MakeCommunity(25, 100)) {
+		t.Error("set community missing")
+	}
+	// Set actions clone: the input attrs are untouched.
+	orig := ispAttrs()
+	cfg.ApplyIn(netip.MustParseAddr("128.32.0.66"), prefix, orig)
+	if orig.HasLocalPref || len(orig.Communities) != 0 {
+		t.Error("Apply modified input attrs")
+	}
+}
+
+func TestApplyDefaults(t *testing.T) {
+	cfg := parseTestConfig(t, berkeleyConfig)
+	attrs := ispAttrs()
+	// Unknown neighbor: permit unchanged.
+	d := cfg.ApplyIn(netip.MustParseAddr("9.9.9.9"), netip.MustParsePrefix("10.0.0.0/8"), attrs)
+	if !d.Permitted || d.Attrs != attrs {
+		t.Errorf("unknown neighbor = %+v", d)
+	}
+	// Missing route-map reference: permit-all.
+	d = cfg.Apply("NO-SUCH-MAP", netip.MustParsePrefix("10.0.0.0/8"), attrs)
+	if !d.Permitted || d.MatchedSeq != -1 {
+		t.Errorf("missing map = %+v", d)
+	}
+	// Outbound with no map configured: permit.
+	d = cfg.ApplyOut(netip.MustParseAddr("128.32.0.66"), netip.MustParsePrefix("10.0.0.0/8"), attrs)
+	if !d.Permitted {
+		t.Errorf("no out map = %+v", d)
+	}
+}
+
+func TestImplicitDeny(t *testing.T) {
+	text := `route-map STRICT permit 10
+ match community NO-SUCH-LIST
+`
+	cfg := parseTestConfig(t, text)
+	d := cfg.Apply("STRICT", netip.MustParsePrefix("10.0.0.0/8"), ispAttrs())
+	if d.Permitted || d.MatchedSeq != -1 {
+		t.Errorf("implicit deny = %+v", d)
+	}
+}
+
+func TestPrefixRuleGeLe(t *testing.T) {
+	rule := PrefixRule{Permit: true, Prefix: netip.MustParsePrefix("10.0.0.0/8"), Ge: 16, Le: 24}
+	cases := map[string]bool{
+		"10.1.0.0/16":   true,
+		"10.1.1.0/24":   true,
+		"10.0.0.0/8":    false, // shorter than ge
+		"10.1.1.128/25": false, // longer than le
+		"11.0.0.0/16":   false, // outside
+	}
+	for s, want := range cases {
+		if got := rule.Matches(netip.MustParsePrefix(s)); got != want {
+			t.Errorf("Matches(%s) = %v, want %v", s, got, want)
+		}
+	}
+	// Exact match when no ge/le.
+	exact := PrefixRule{Permit: true, Prefix: netip.MustParsePrefix("10.0.0.0/8")}
+	if !exact.Matches(netip.MustParsePrefix("10.0.0.0/8")) || exact.Matches(netip.MustParsePrefix("10.1.0.0/16")) {
+		t.Error("exact-length matching wrong")
+	}
+	// ge without le allows up to /32.
+	geOnly := PrefixRule{Permit: true, Prefix: netip.MustParsePrefix("10.0.0.0/8"), Ge: 24}
+	if !geOnly.Matches(netip.MustParsePrefix("10.1.1.1/32")) || geOnly.Matches(netip.MustParsePrefix("10.1.0.0/16")) {
+		t.Error("ge-only matching wrong")
+	}
+}
+
+func TestPrefixListFirstMatchWins(t *testing.T) {
+	text := `ip prefix-list L seq 10 deny 10.1.0.0/16
+ip prefix-list L seq 20 permit 10.0.0.0/8 le 32
+`
+	cfg := parseTestConfig(t, text)
+	pl := cfg.PrefixLists["L"]
+	if pl.Permits(netip.MustParsePrefix("10.1.0.0/16")) {
+		t.Error("deny rule skipped")
+	}
+	if !pl.Permits(netip.MustParsePrefix("10.2.0.0/16")) {
+		t.Error("permit rule skipped")
+	}
+	if pl.Permits(netip.MustParsePrefix("11.0.0.0/8")) {
+		t.Error("default deny skipped")
+	}
+}
+
+func TestMaxPrefix(t *testing.T) {
+	cfg := parseTestConfig(t, berkeleyConfig)
+	nbr := netip.MustParseAddr("128.32.0.66")
+	if cfg.ExceedsMaxPrefix(nbr, 15000) {
+		t.Error("at-limit trips")
+	}
+	if !cfg.ExceedsMaxPrefix(nbr, 15001) {
+		t.Error("over-limit does not trip")
+	}
+	if cfg.ExceedsMaxPrefix(netip.MustParseAddr("9.9.9.9"), 1<<20) {
+		t.Error("unknown neighbor trips")
+	}
+}
+
+func TestCommunityPolicies(t *testing.T) {
+	cfg := parseTestConfig(t, berkeleyConfig)
+	cps := cfg.CommunityPolicies()
+	if len(cps) != 2 {
+		t.Fatalf("policies = %+v", cps)
+	}
+	// Sorted by community: 11423:65300 (deny) before 11423:65350 (LP 80).
+	if cps[0].Community != bgp.MakeCommunity(11423, 65300) || cps[0].Permit {
+		t.Errorf("first policy = %+v", cps[0])
+	}
+	if cps[1].Community != bgp.MakeCommunity(11423, 65350) || cps[1].LocalPref == nil || *cps[1].LocalPref != 80 {
+		t.Errorf("second policy = %+v", cps[1])
+	}
+}
+
+func TestCorrelate(t *testing.T) {
+	cfg := parseTestConfig(t, berkeleyConfig)
+	t0 := time.Date(2003, 8, 1, 0, 0, 0, 0, time.UTC)
+	mk := func(i int, comm bgp.Community) event.Event {
+		return event.Event{
+			Time: t0.Add(time.Duration(i) * time.Second), Type: event.Withdraw,
+			Peer:   netip.MustParseAddr("128.32.1.3"),
+			Prefix: netip.MustParsePrefix("12.2.41.0/24"),
+			Attrs:  ispAttrs(comm),
+		}
+	}
+	s := event.Stream{
+		mk(0, bgp.MakeCommunity(11423, 65350)),
+		mk(1, bgp.MakeCommunity(11423, 65350)),
+		mk(2, bgp.MakeCommunity(11423, 65300)),
+	}
+	comp := &stemming.Component{EventIndexes: []int{0, 1, 2}}
+	findings := Correlate(comp, s, []*Config{cfg})
+	if len(findings) != 2 {
+		t.Fatalf("findings = %+v", findings)
+	}
+	if findings[0].Events != 2 || findings[0].Policy.Community != bgp.MakeCommunity(11423, 65350) {
+		t.Errorf("top finding = %+v", findings[0])
+	}
+	if !strings.Contains(findings[0].String(), "set local-preference 80") {
+		t.Errorf("finding string = %q", findings[0].String())
+	}
+	if !strings.Contains(findings[1].String(), "(deny)") {
+		t.Errorf("deny finding string = %q", findings[1].String())
+	}
+	// No communities: no findings.
+	bare := event.Stream{mk(0, bgp.MakeCommunity(11423, 65350))}
+	bare[0].Attrs = &bgp.PathAttrs{}
+	if got := Correlate(&stemming.Component{EventIndexes: []int{0}}, bare, []*Config{cfg}); got != nil {
+		t.Errorf("bare correlate = %+v", got)
+	}
+	// Out-of-range indexes are ignored.
+	if got := Correlate(&stemming.Component{EventIndexes: []int{99}}, s, []*Config{cfg}); got != nil {
+		t.Errorf("oob correlate = %+v", got)
+	}
+}

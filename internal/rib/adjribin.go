@@ -1,0 +1,97 @@
+package rib
+
+import (
+	"net/netip"
+	"sort"
+	"time"
+
+	"rex/internal/bgp"
+)
+
+// AdjRibIn stores the routes heard from one peer, keyed by prefix. It is
+// the structure the paper's collector keeps per peer so that an explicit
+// withdrawal — which carries no attributes on the wire — can be augmented
+// with the attributes of the route being withdrawn (paper §II).
+//
+// AdjRibIn is not safe for concurrent use; the collector serializes
+// per-peer message processing.
+type AdjRibIn struct {
+	peer   netip.Addr
+	routes map[netip.Prefix]*Route
+}
+
+// NewAdjRibIn returns an empty Adj-RIB-In for the given peer.
+func NewAdjRibIn(peer netip.Addr) *AdjRibIn {
+	return &AdjRibIn{peer: peer, routes: make(map[netip.Prefix]*Route)}
+}
+
+// Peer returns the peer this RIB belongs to.
+func (rib *AdjRibIn) Peer() netip.Addr { return rib.peer }
+
+// Len returns the number of prefixes currently held.
+func (rib *AdjRibIn) Len() int { return len(rib.routes) }
+
+// Update installs (or replaces) the route for prefix with the given
+// attributes and returns the previous route, if any. A replacement is an
+// implicit withdrawal of the previous route; the caller uses the returned
+// route to emit the withdrawal-augmented event.
+func (rib *AdjRibIn) Update(prefix netip.Prefix, attrs *bgp.PathAttrs, ebgp bool, routerID netip.Addr, now time.Time) *Route {
+	old := rib.routes[prefix]
+	rib.routes[prefix] = &Route{
+		Prefix:       prefix,
+		Peer:         rib.peer,
+		PeerRouterID: routerID,
+		Attrs:        attrs,
+		EBGP:         ebgp,
+		LearnedAt:    now,
+	}
+	return old
+}
+
+// Withdraw removes the route for prefix and returns it. It returns nil if
+// the peer never announced the prefix (a spurious withdrawal).
+func (rib *AdjRibIn) Withdraw(prefix netip.Prefix) *Route {
+	old, ok := rib.routes[prefix]
+	if !ok {
+		return nil
+	}
+	delete(rib.routes, prefix)
+	return old
+}
+
+// Get returns the current route for prefix, or nil.
+func (rib *AdjRibIn) Get(prefix netip.Prefix) *Route { return rib.routes[prefix] }
+
+// Clear drops every route (session reset) and returns the routes that were
+// present, sorted by prefix for deterministic withdrawal event order.
+func (rib *AdjRibIn) Clear() []*Route {
+	out := rib.Routes()
+	rib.routes = make(map[netip.Prefix]*Route)
+	return out
+}
+
+// Routes returns all routes sorted by prefix.
+func (rib *AdjRibIn) Routes() []*Route {
+	out := make([]*Route, 0, len(rib.routes))
+	for _, r := range rib.routes {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := out[i].Prefix, out[j].Prefix
+		if pi.Addr() != pj.Addr() {
+			return pi.Addr().Less(pj.Addr())
+		}
+		return pi.Bits() < pj.Bits()
+	})
+	return out
+}
+
+// Walk calls fn for every route in unspecified order, stopping early if fn
+// returns false.
+func (rib *AdjRibIn) Walk(fn func(*Route) bool) {
+	for _, r := range rib.routes {
+		if !fn(r) {
+			return
+		}
+	}
+}

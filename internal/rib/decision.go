@@ -1,0 +1,197 @@
+package rib
+
+import "net/netip"
+
+// Step identifies which rule of the BGP decision process selected the best
+// route, for diagnostics ("why did the router prefer this path?").
+type Step int
+
+// Decision process steps, in evaluation order.
+const (
+	StepNone Step = iota
+	StepOnlyRoute
+	StepLocalPref
+	StepASPathLen
+	StepOrigin
+	StepMED
+	StepEBGP
+	StepIGPCost
+	StepRouterID
+	StepPeerAddr
+)
+
+// String names the step for reports.
+func (s Step) String() string {
+	switch s {
+	case StepNone:
+		return "none"
+	case StepOnlyRoute:
+		return "only-route"
+	case StepLocalPref:
+		return "local-pref"
+	case StepASPathLen:
+		return "as-path-length"
+	case StepOrigin:
+		return "origin"
+	case StepMED:
+		return "med"
+	case StepEBGP:
+		return "ebgp-over-ibgp"
+	case StepIGPCost:
+		return "igp-cost"
+	case StepRouterID:
+		return "router-id"
+	case StepPeerAddr:
+		return "peer-addr"
+	default:
+		return "step(?)"
+	}
+}
+
+// Decision configures the BGP best-path selection.
+type Decision struct {
+	// IGPCost returns the interior cost to reach a BGP nexthop. ok=false
+	// marks the nexthop unreachable, excluding the route entirely. A nil
+	// IGPCost treats every nexthop as reachable at cost 0.
+	IGPCost func(nexthop netip.Addr) (cost uint32, ok bool)
+	// AlwaysCompareMED compares MED across different neighbor ASes
+	// (cisco's "bgp always-compare-med"). The default — per-neighbor-AS
+	// comparison only — is what denies MED a total ordering and enables
+	// the persistent oscillation of RFC 3345 / paper §IV-F.
+	AlwaysCompareMED bool
+}
+
+// Best runs the decision process over candidates and returns the selected
+// route plus the step that decided. It returns (nil, StepNone) when no
+// candidate is usable (empty input or all nexthops unreachable).
+func (d Decision) Best(candidates []*Route) (*Route, Step) {
+	live := make([]*Route, 0, len(candidates))
+	for _, r := range candidates {
+		if r == nil {
+			continue
+		}
+		if d.IGPCost != nil {
+			if _, ok := d.IGPCost(r.Nexthop()); !ok {
+				continue
+			}
+		}
+		live = append(live, r)
+	}
+	switch len(live) {
+	case 0:
+		return nil, StepNone
+	case 1:
+		return live[0], StepOnlyRoute
+	}
+
+	// Step 1: highest LOCAL_PREF.
+	live, decided := filterMax(live, func(r *Route) int64 { return int64(r.LocalPref()) })
+	if decided {
+		return live[0], StepLocalPref
+	}
+	// Step 2: shortest AS path.
+	live, decided = filterMin(live, func(r *Route) int64 { return int64(r.Attrs.ASPath.Length()) })
+	if decided {
+		return live[0], StepASPathLen
+	}
+	// Step 3: lowest origin (IGP < EGP < INCOMPLETE).
+	live, decided = filterMin(live, func(r *Route) int64 { return int64(r.Attrs.Origin) })
+	if decided {
+		return live[0], StepOrigin
+	}
+	// Step 4: MED. Only routes from the same neighboring AS compete,
+	// unless AlwaysCompareMED. This group-wise elimination has no total
+	// order across groups: which routes survive depends on what else is
+	// visible, so hiding routes (e.g. behind route reflectors) can flip
+	// the outcome — the root cause of persistent MED oscillation.
+	live = d.medFilter(live)
+	if len(live) == 1 {
+		return live[0], StepMED
+	}
+	// Step 5: eBGP over iBGP.
+	live, decided = filterMax(live, func(r *Route) int64 {
+		if r.EBGP {
+			return 1
+		}
+		return 0
+	})
+	if decided {
+		return live[0], StepEBGP
+	}
+	// Step 6: lowest IGP cost to nexthop.
+	if d.IGPCost != nil {
+		live, decided = filterMin(live, func(r *Route) int64 {
+			cost, _ := d.IGPCost(r.Nexthop())
+			return int64(cost)
+		})
+		if decided {
+			return live[0], StepIGPCost
+		}
+	}
+	// Step 7: lowest peer router ID.
+	live, decided = filterMin(live, func(r *Route) int64 { return addrKey(r.PeerRouterID) })
+	if decided {
+		return live[0], StepRouterID
+	}
+	// Step 8: lowest peer address.
+	live, _ = filterMin(live, func(r *Route) int64 { return addrKey(r.Peer) })
+	return live[0], StepPeerAddr
+}
+
+// medFilter eliminates, within each neighbor-AS group, every route whose
+// MED exceeds the group minimum. With AlwaysCompareMED all routes form one
+// group.
+func (d Decision) medFilter(live []*Route) []*Route {
+	groupMin := make(map[uint32]uint32, 4)
+	key := func(r *Route) uint32 {
+		if d.AlwaysCompareMED {
+			return 0
+		}
+		return r.NeighborAS()
+	}
+	for _, r := range live {
+		k := key(r)
+		if cur, ok := groupMin[k]; !ok || r.MED() < cur {
+			groupMin[k] = r.MED()
+		}
+	}
+	out := live[:0]
+	for _, r := range live {
+		if r.MED() == groupMin[key(r)] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// filterMax keeps the routes maximizing key; decided is true when exactly
+// one survives.
+func filterMax(live []*Route, key func(*Route) int64) ([]*Route, bool) {
+	best := key(live[0])
+	for _, r := range live[1:] {
+		if k := key(r); k > best {
+			best = k
+		}
+	}
+	out := live[:0]
+	for _, r := range live {
+		if key(r) == best {
+			out = append(out, r)
+		}
+	}
+	return out, len(out) == 1
+}
+
+func filterMin(live []*Route, key func(*Route) int64) ([]*Route, bool) {
+	return filterMax(live, func(r *Route) int64 { return -key(r) })
+}
+
+// addrKey maps an address to an ordered integer key. IPv4 addresses map to
+// their 32-bit value; invalid addresses sort last.
+func addrKey(a netip.Addr) int64 {
+	if !a.Is4() {
+		return int64(1) << 40
+	}
+	b := a.As4()
+	return int64(uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3]))
+}

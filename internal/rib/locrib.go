@@ -1,0 +1,209 @@
+package rib
+
+import (
+	"net/netip"
+	"sort"
+)
+
+// BestChange records a best-route transition for one prefix, as produced
+// by Loc-RIB mutations. Old and New may each be nil (new prefix, or prefix
+// lost entirely).
+type BestChange struct {
+	Prefix netip.Prefix
+	Old    *Route
+	New    *Route
+	// Step is the decision step that selected New (StepNone when New is
+	// nil).
+	Step Step
+}
+
+// LocRib holds all candidate routes per prefix and maintains the best
+// route under a Decision. It is the routing table of one simulated router.
+// LocRib is not safe for concurrent use.
+type LocRib struct {
+	decision Decision
+	prefixes map[netip.Prefix]*prefixEntry
+	numRtes  int
+}
+
+type prefixEntry struct {
+	routes []*Route // one per peer
+	best   *Route
+	step   Step
+}
+
+// NewLocRib returns an empty Loc-RIB using the given decision
+// configuration.
+func NewLocRib(d Decision) *LocRib {
+	return &LocRib{decision: d, prefixes: make(map[netip.Prefix]*prefixEntry)}
+}
+
+// Update installs route (replacing any prior route from the same peer for
+// the same prefix) and returns the best-route change, if any.
+func (l *LocRib) Update(route *Route) (BestChange, bool) {
+	e := l.prefixes[route.Prefix]
+	if e == nil {
+		e = &prefixEntry{}
+		l.prefixes[route.Prefix] = e
+	}
+	replaced := false
+	for i, r := range e.routes {
+		if r.Peer == route.Peer {
+			e.routes[i] = route
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		e.routes = append(e.routes, route)
+		l.numRtes++
+	}
+	return l.reselect(route.Prefix, e)
+}
+
+// Withdraw removes the route for prefix heard from peer and returns the
+// best-route change, if any. Withdrawing an unknown route is a no-op.
+func (l *LocRib) Withdraw(peer netip.Addr, prefix netip.Prefix) (BestChange, bool) {
+	e := l.prefixes[prefix]
+	if e == nil {
+		return BestChange{}, false
+	}
+	found := false
+	for i, r := range e.routes {
+		if r.Peer == peer {
+			e.routes = append(e.routes[:i], e.routes[i+1:]...)
+			l.numRtes--
+			found = true
+			break
+		}
+	}
+	if !found {
+		return BestChange{}, false
+	}
+	change, changed := l.reselect(prefix, e)
+	if len(e.routes) == 0 {
+		delete(l.prefixes, prefix)
+	}
+	return change, changed
+}
+
+// RemovePeer drops every route learned from peer (session loss) and
+// returns all resulting best changes sorted by prefix.
+func (l *LocRib) RemovePeer(peer netip.Addr) []BestChange {
+	var changes []BestChange
+	for prefix, e := range l.prefixes {
+		for i, r := range e.routes {
+			if r.Peer == peer {
+				e.routes = append(e.routes[:i], e.routes[i+1:]...)
+				l.numRtes--
+				if change, ok := l.reselect(prefix, e); ok {
+					changes = append(changes, change)
+				}
+				if len(e.routes) == 0 {
+					delete(l.prefixes, prefix)
+				}
+				break
+			}
+		}
+	}
+	sortChanges(changes)
+	return changes
+}
+
+// Reevaluate recomputes the best route for every prefix (after an IGP cost
+// change, for example) and returns the changes sorted by prefix.
+func (l *LocRib) Reevaluate() []BestChange {
+	var changes []BestChange
+	for prefix, e := range l.prefixes {
+		if change, ok := l.reselect(prefix, e); ok {
+			changes = append(changes, change)
+		}
+	}
+	sortChanges(changes)
+	return changes
+}
+
+func (l *LocRib) reselect(prefix netip.Prefix, e *prefixEntry) (BestChange, bool) {
+	old := e.best
+	best, step := l.decision.Best(e.routes)
+	e.best, e.step = best, step
+	if sameRoute(old, best) {
+		return BestChange{}, false
+	}
+	return BestChange{Prefix: prefix, Old: old, New: best, Step: step}, true
+}
+
+// sameRoute reports whether the two routes are the same announcement:
+// identical peer and attributes.
+func sameRoute(a, b *Route) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return a.Peer == b.Peer && a.Attrs.Equal(b.Attrs)
+}
+
+// Best returns the current best route for prefix and the step that
+// selected it.
+func (l *LocRib) Best(prefix netip.Prefix) (*Route, Step) {
+	e := l.prefixes[prefix]
+	if e == nil {
+		return nil, StepNone
+	}
+	return e.best, e.step
+}
+
+// Routes returns every candidate route for prefix (nil if unknown).
+func (l *LocRib) Routes(prefix netip.Prefix) []*Route {
+	e := l.prefixes[prefix]
+	if e == nil {
+		return nil
+	}
+	out := make([]*Route, len(e.routes))
+	copy(out, e.routes)
+	return out
+}
+
+// BestRoutes returns the best route of every prefix, sorted by prefix.
+func (l *LocRib) BestRoutes() []*Route {
+	out := make([]*Route, 0, len(l.prefixes))
+	for _, e := range l.prefixes {
+		if e.best != nil {
+			out = append(out, e.best)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return prefixLess(out[i].Prefix, out[j].Prefix) })
+	return out
+}
+
+// AllRoutes returns every candidate route across all prefixes, sorted by
+// prefix then peer.
+func (l *LocRib) AllRoutes() []*Route {
+	out := make([]*Route, 0, l.numRtes)
+	for _, e := range l.prefixes {
+		out = append(out, e.routes...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Prefix != out[j].Prefix {
+			return prefixLess(out[i].Prefix, out[j].Prefix)
+		}
+		return out[i].Peer.Less(out[j].Peer)
+	})
+	return out
+}
+
+// NumPrefixes returns the number of prefixes with at least one route.
+func (l *LocRib) NumPrefixes() int { return len(l.prefixes) }
+
+// NumRoutes returns the total number of candidate routes.
+func (l *LocRib) NumRoutes() int { return l.numRtes }
+
+func prefixLess(a, b netip.Prefix) bool {
+	if a.Addr() != b.Addr() {
+		return a.Addr().Less(b.Addr())
+	}
+	return a.Bits() < b.Bits()
+}
+
+func sortChanges(changes []BestChange) {
+	sort.Slice(changes, func(i, j int) bool { return prefixLess(changes[i].Prefix, changes[j].Prefix) })
+}

@@ -1,0 +1,563 @@
+package rib
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"rex/internal/bgp"
+)
+
+var testTime = time.Date(2003, 8, 1, 0, 0, 0, 0, time.UTC)
+
+func mkAttrs(nexthop string, asns ...uint32) *bgp.PathAttrs {
+	return &bgp.PathAttrs{
+		Origin:  bgp.OriginIGP,
+		ASPath:  bgp.Sequence(asns...),
+		Nexthop: netip.MustParseAddr(nexthop),
+	}
+}
+
+func mkRoute(prefix, peer, nexthop string, asns ...uint32) *Route {
+	return &Route{
+		Prefix:       netip.MustParsePrefix(prefix),
+		Peer:         netip.MustParseAddr(peer),
+		PeerRouterID: netip.MustParseAddr(peer),
+		Attrs:        mkAttrs(nexthop, asns...),
+		LearnedAt:    testTime,
+	}
+}
+
+func TestAdjRibInAugmentsWithdrawals(t *testing.T) {
+	peer := netip.MustParseAddr("128.32.1.3")
+	rib := NewAdjRibIn(peer)
+	if rib.Peer() != peer {
+		t.Errorf("Peer = %v", rib.Peer())
+	}
+	prefix := netip.MustParsePrefix("192.96.10.0/24")
+	attrs := mkAttrs("128.32.0.70", 11423, 209, 701, 1299, 5713)
+
+	if old := rib.Update(prefix, attrs, false, peer, testTime); old != nil {
+		t.Errorf("first update returned old route %v", old)
+	}
+	if rib.Len() != 1 {
+		t.Errorf("Len = %d", rib.Len())
+	}
+
+	// Implicit withdrawal: replacement returns the previous route.
+	attrs2 := mkAttrs("128.32.0.66", 11423, 11422, 209, 4519)
+	old := rib.Update(prefix, attrs2, false, peer, testTime)
+	if old == nil || !old.Attrs.Equal(attrs) {
+		t.Fatalf("replacement old = %v", old)
+	}
+
+	// Explicit withdrawal: we recover the attributes being withdrawn.
+	old = rib.Withdraw(prefix)
+	if old == nil || !old.Attrs.Equal(attrs2) {
+		t.Fatalf("withdraw old = %v", old)
+	}
+	if rib.Len() != 0 {
+		t.Errorf("Len after withdraw = %d", rib.Len())
+	}
+	// Spurious withdrawal.
+	if old := rib.Withdraw(prefix); old != nil {
+		t.Errorf("spurious withdraw returned %v", old)
+	}
+}
+
+func TestAdjRibInClearSorted(t *testing.T) {
+	peer := netip.MustParseAddr("10.0.0.1")
+	rib := NewAdjRibIn(peer)
+	for _, s := range []string{"10.2.0.0/16", "10.1.0.0/16", "10.1.0.0/24"} {
+		rib.Update(netip.MustParsePrefix(s), mkAttrs("10.0.0.9", 1), false, peer, testTime)
+	}
+	routes := rib.Clear()
+	if len(routes) != 3 {
+		t.Fatalf("Clear returned %d routes", len(routes))
+	}
+	want := []string{"10.1.0.0/16", "10.1.0.0/24", "10.2.0.0/16"}
+	for i, w := range want {
+		if routes[i].Prefix.String() != w {
+			t.Errorf("routes[%d] = %v, want %s", i, routes[i].Prefix, w)
+		}
+	}
+	if rib.Len() != 0 {
+		t.Errorf("Len after Clear = %d", rib.Len())
+	}
+}
+
+func TestAdjRibInWalkEarlyStop(t *testing.T) {
+	peer := netip.MustParseAddr("10.0.0.1")
+	rib := NewAdjRibIn(peer)
+	for _, s := range []string{"10.1.0.0/16", "10.2.0.0/16", "10.3.0.0/16"} {
+		rib.Update(netip.MustParsePrefix(s), mkAttrs("10.0.0.9", 1), false, peer, testTime)
+	}
+	n := 0
+	rib.Walk(func(*Route) bool { n++; return n < 2 })
+	if n != 2 {
+		t.Errorf("Walk visited %d, want 2", n)
+	}
+}
+
+func TestDecisionLocalPref(t *testing.T) {
+	a := mkRoute("10.0.0.0/8", "1.1.1.1", "10.0.0.1", 100, 200)
+	a.Attrs.HasLocalPref, a.Attrs.LocalPref = true, 80
+	b := mkRoute("10.0.0.0/8", "2.2.2.2", "10.0.0.2", 100, 200, 300)
+	b.Attrs.HasLocalPref, b.Attrs.LocalPref = true, 120
+	best, step := Decision{}.Best([]*Route{a, b})
+	if best != b || step != StepLocalPref {
+		t.Errorf("best=%v step=%v, want b via local-pref", best, step)
+	}
+}
+
+func TestDecisionDefaultLocalPref(t *testing.T) {
+	// Absent LOCAL_PREF counts as 100.
+	a := mkRoute("10.0.0.0/8", "1.1.1.1", "10.0.0.1", 100)
+	b := mkRoute("10.0.0.0/8", "2.2.2.2", "10.0.0.2", 100)
+	b.Attrs.HasLocalPref, b.Attrs.LocalPref = true, 99
+	best, step := Decision{}.Best([]*Route{a, b})
+	if best != a || step != StepLocalPref {
+		t.Errorf("best=%v step=%v, want a (default 100 beats 99)", best, step)
+	}
+}
+
+func TestDecisionASPathLen(t *testing.T) {
+	a := mkRoute("10.0.0.0/8", "1.1.1.1", "10.0.0.1", 100, 200, 300)
+	b := mkRoute("10.0.0.0/8", "2.2.2.2", "10.0.0.2", 100, 200)
+	best, step := Decision{}.Best([]*Route{a, b})
+	if best != b || step != StepASPathLen {
+		t.Errorf("best=%v step=%v", best, step)
+	}
+}
+
+func TestDecisionOrigin(t *testing.T) {
+	a := mkRoute("10.0.0.0/8", "1.1.1.1", "10.0.0.1", 100, 200)
+	a.Attrs.Origin = bgp.OriginIncomplete
+	b := mkRoute("10.0.0.0/8", "2.2.2.2", "10.0.0.2", 100, 300)
+	b.Attrs.Origin = bgp.OriginIGP
+	best, step := Decision{}.Best([]*Route{a, b})
+	if best != b || step != StepOrigin {
+		t.Errorf("best=%v step=%v", best, step)
+	}
+}
+
+func TestDecisionMEDSameNeighborAS(t *testing.T) {
+	a := mkRoute("10.0.0.0/8", "1.1.1.1", "10.0.0.1", 100, 200)
+	a.Attrs.HasMED, a.Attrs.MED = true, 50
+	b := mkRoute("10.0.0.0/8", "2.2.2.2", "10.0.0.2", 100, 300)
+	b.Attrs.HasMED, b.Attrs.MED = true, 10
+	best, step := Decision{}.Best([]*Route{a, b})
+	if best != b || step != StepMED {
+		t.Errorf("best=%v step=%v", best, step)
+	}
+}
+
+func TestDecisionMEDDifferentNeighborASNotCompared(t *testing.T) {
+	// Same length, different neighbor AS: MED must NOT discriminate, so
+	// the decision falls through to router ID.
+	a := mkRoute("10.0.0.0/8", "1.1.1.1", "10.0.0.1", 100, 200)
+	a.Attrs.HasMED, a.Attrs.MED = true, 500
+	b := mkRoute("10.0.0.0/8", "2.2.2.2", "10.0.0.2", 300, 400)
+	b.Attrs.HasMED, b.Attrs.MED = true, 10
+	best, step := Decision{}.Best([]*Route{a, b})
+	if best != a || step != StepRouterID {
+		t.Errorf("best=%v step=%v, want a via router-id", best, step)
+	}
+	// With always-compare-med the lower MED wins regardless of AS.
+	best, step = Decision{AlwaysCompareMED: true}.Best([]*Route{a, b})
+	if best != b || step != StepMED {
+		t.Errorf("always-compare: best=%v step=%v", best, step)
+	}
+}
+
+func TestDecisionMEDLacksTotalOrdering(t *testing.T) {
+	// The RFC 3345 ingredient: whether route A survives can depend on the
+	// presence of an unrelated route C from A's neighbor AS. A beats B on
+	// router ID when C is absent; C's lower MED eliminates A when C is
+	// visible, flipping the winner to B.
+	a := mkRoute("4.5.0.0/16", "1.1.1.1", "10.0.0.1", 200, 900) // AS2-ish, MED 50
+	a.Attrs.HasMED, a.Attrs.MED = true, 50
+	b := mkRoute("4.5.0.0/16", "2.2.2.2", "10.0.0.2", 100, 900) // AS1, no MED
+	c := mkRoute("4.5.0.0/16", "3.3.3.3", "10.0.0.3", 200, 901) // AS2, MED 10
+	c.Attrs.HasMED, c.Attrs.MED = true, 10
+	c.Attrs.HasLocalPref, c.Attrs.LocalPref = true, 90 // make c itself unattractive overall
+
+	bestWithoutC, _ := Decision{}.Best([]*Route{a, b})
+	if bestWithoutC != a {
+		t.Fatalf("without c best = %v, want a", bestWithoutC)
+	}
+	// c has lower local-pref, so it is eliminated at step 1 and cannot
+	// shadow a. Raise its local-pref to default to let the MED rule bite.
+	c.Attrs.HasLocalPref = false
+	bestWithC, _ := Decision{}.Best([]*Route{a, b, c})
+	if bestWithC != b {
+		t.Fatalf("with c best = %v, want b (a killed by c's MED, c loses router-id)", bestWithC)
+	}
+}
+
+func TestDecisionEBGPOverIBGP(t *testing.T) {
+	a := mkRoute("10.0.0.0/8", "1.1.1.1", "10.0.0.1", 100, 200)
+	b := mkRoute("10.0.0.0/8", "2.2.2.2", "10.0.0.2", 100, 300)
+	b.EBGP = true
+	best, step := Decision{}.Best([]*Route{a, b})
+	if best != b || step != StepEBGP {
+		t.Errorf("best=%v step=%v", best, step)
+	}
+}
+
+func TestDecisionIGPCost(t *testing.T) {
+	a := mkRoute("10.0.0.0/8", "1.1.1.1", "10.0.0.1", 100, 200)
+	b := mkRoute("10.0.0.0/8", "2.2.2.2", "10.0.0.2", 100, 300)
+	costs := map[netip.Addr]uint32{
+		netip.MustParseAddr("10.0.0.1"): 20,
+		netip.MustParseAddr("10.0.0.2"): 5,
+	}
+	d := Decision{IGPCost: func(nh netip.Addr) (uint32, bool) {
+		c, ok := costs[nh]
+		return c, ok
+	}}
+	best, step := d.Best([]*Route{a, b})
+	if best != b || step != StepIGPCost {
+		t.Errorf("best=%v step=%v", best, step)
+	}
+	// Unreachable nexthop excludes the route entirely.
+	delete(costs, netip.MustParseAddr("10.0.0.2"))
+	best, step = d.Best([]*Route{a, b})
+	if best != a || step != StepOnlyRoute {
+		t.Errorf("after unreachable: best=%v step=%v", best, step)
+	}
+	delete(costs, netip.MustParseAddr("10.0.0.1"))
+	if best, step = d.Best([]*Route{a, b}); best != nil || step != StepNone {
+		t.Errorf("all unreachable: best=%v step=%v", best, step)
+	}
+}
+
+func TestDecisionTiebreakers(t *testing.T) {
+	a := mkRoute("10.0.0.0/8", "2.2.2.2", "10.0.0.1", 100, 200)
+	b := mkRoute("10.0.0.0/8", "1.1.1.1", "10.0.0.2", 100, 300)
+	best, step := Decision{}.Best([]*Route{a, b})
+	if best != b || step != StepRouterID {
+		t.Errorf("best=%v step=%v", best, step)
+	}
+	// Same router ID, different peer address → peer-addr tiebreak.
+	a.PeerRouterID = netip.MustParseAddr("9.9.9.9")
+	b.PeerRouterID = netip.MustParseAddr("9.9.9.9")
+	best, step = Decision{}.Best([]*Route{a, b})
+	if best != b || step != StepPeerAddr {
+		t.Errorf("best=%v step=%v", best, step)
+	}
+}
+
+func TestDecisionEmptyAndNil(t *testing.T) {
+	if best, step := (Decision{}).Best(nil); best != nil || step != StepNone {
+		t.Errorf("empty: %v %v", best, step)
+	}
+	if best, step := (Decision{}).Best([]*Route{nil}); best != nil || step != StepNone {
+		t.Errorf("nil route: %v %v", best, step)
+	}
+}
+
+func TestDecisionPermutationInvariant(t *testing.T) {
+	// The staged elimination must not depend on candidate order.
+	routes := []*Route{
+		mkRoute("10.0.0.0/8", "1.1.1.1", "10.0.0.1", 100, 200),
+		mkRoute("10.0.0.0/8", "2.2.2.2", "10.0.0.2", 100, 300),
+		mkRoute("10.0.0.0/8", "3.3.3.3", "10.0.0.3", 200, 300),
+		mkRoute("10.0.0.0/8", "4.4.4.4", "10.0.0.4", 100, 500),
+	}
+	routes[0].Attrs.HasMED, routes[0].Attrs.MED = true, 30
+	routes[1].Attrs.HasMED, routes[1].Attrs.MED = true, 10
+	routes[3].EBGP = true
+
+	want, _ := Decision{}.Best(routes)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 50; i++ {
+		shuffled := append([]*Route(nil), routes...)
+		rng.Shuffle(len(shuffled), func(a, b int) { shuffled[a], shuffled[b] = shuffled[b], shuffled[a] })
+		got, _ := Decision{}.Best(shuffled)
+		if got != want {
+			t.Fatalf("permutation %d changed best: %v vs %v", i, got, want)
+		}
+	}
+}
+
+func TestDecisionBestIsCandidateQuick(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n%6) + 1
+		routes := make([]*Route, count)
+		for i := range routes {
+			peer := netip.AddrFrom4([4]byte{10, 0, byte(i), byte(rng.Intn(250) + 1)})
+			r := &Route{
+				Prefix:       netip.MustParsePrefix("10.0.0.0/8"),
+				Peer:         peer,
+				PeerRouterID: peer,
+				Attrs: &bgp.PathAttrs{
+					Origin:  bgp.Origin(rng.Intn(3)),
+					ASPath:  bgp.Sequence(uint32(rng.Intn(3)+100), uint32(rng.Intn(1000))),
+					Nexthop: netip.AddrFrom4([4]byte{10, 9, byte(i), 1}),
+				},
+				EBGP: rng.Intn(2) == 0,
+			}
+			if rng.Intn(2) == 0 {
+				r.Attrs.HasMED, r.Attrs.MED = true, uint32(rng.Intn(100))
+			}
+			routes[i] = r
+		}
+		best, step := Decision{}.Best(routes)
+		if best == nil || step == StepNone {
+			return false
+		}
+		for _, r := range routes {
+			if r == best {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLocRibUpdateWithdraw(t *testing.T) {
+	l := NewLocRib(Decision{})
+	a := mkRoute("10.0.0.0/8", "1.1.1.1", "10.0.0.1", 100, 200)
+	change, ok := l.Update(a)
+	if !ok || change.New != a || change.Old != nil {
+		t.Fatalf("first update change=%+v ok=%v", change, ok)
+	}
+	// Worse route from another peer: no best change.
+	b := mkRoute("10.0.0.0/8", "2.2.2.2", "10.0.0.2", 100, 200, 300)
+	if _, ok := l.Update(b); ok {
+		t.Error("worse route changed best")
+	}
+	if l.NumRoutes() != 2 || l.NumPrefixes() != 1 {
+		t.Errorf("counts = %d routes / %d prefixes", l.NumRoutes(), l.NumPrefixes())
+	}
+	// Withdraw the best: failover to b.
+	change, ok = l.Withdraw(a.Peer, a.Prefix)
+	if !ok || change.New != b || change.Old != a {
+		t.Fatalf("withdraw change=%+v ok=%v", change, ok)
+	}
+	// Withdraw last: prefix disappears.
+	change, ok = l.Withdraw(b.Peer, b.Prefix)
+	if !ok || change.New != nil {
+		t.Fatalf("final withdraw change=%+v ok=%v", change, ok)
+	}
+	if l.NumPrefixes() != 0 || l.NumRoutes() != 0 {
+		t.Errorf("counts after drain = %d/%d", l.NumRoutes(), l.NumPrefixes())
+	}
+	// Withdrawing unknown is a no-op.
+	if _, ok := l.Withdraw(b.Peer, b.Prefix); ok {
+		t.Error("withdraw of unknown changed best")
+	}
+}
+
+func TestLocRibImplicitReplace(t *testing.T) {
+	l := NewLocRib(Decision{})
+	a := mkRoute("10.0.0.0/8", "1.1.1.1", "10.0.0.1", 100, 200)
+	l.Update(a)
+	// Same peer re-announces with a longer path; still only route.
+	a2 := mkRoute("10.0.0.0/8", "1.1.1.1", "10.0.0.1", 100, 200, 300)
+	change, ok := l.Update(a2)
+	if !ok || change.New != a2 {
+		t.Fatalf("replace change=%+v ok=%v", change, ok)
+	}
+	if l.NumRoutes() != 1 {
+		t.Errorf("NumRoutes = %d after implicit replace", l.NumRoutes())
+	}
+	// Re-announcing identical attributes is not a best change.
+	a3 := mkRoute("10.0.0.0/8", "1.1.1.1", "10.0.0.1", 100, 200, 300)
+	if _, ok := l.Update(a3); ok {
+		t.Error("identical re-announce reported a change")
+	}
+}
+
+func TestLocRibRemovePeer(t *testing.T) {
+	l := NewLocRib(Decision{})
+	for _, s := range []string{"10.1.0.0/16", "10.2.0.0/16"} {
+		l.Update(mkRoute(s, "1.1.1.1", "10.0.0.1", 100, 200))
+		l.Update(mkRoute(s, "2.2.2.2", "10.0.0.2", 100, 200, 300))
+	}
+	changes := l.RemovePeer(netip.MustParseAddr("1.1.1.1"))
+	if len(changes) != 2 {
+		t.Fatalf("RemovePeer changes = %d", len(changes))
+	}
+	if changes[0].Prefix.String() != "10.1.0.0/16" || changes[1].Prefix.String() != "10.2.0.0/16" {
+		t.Errorf("changes unsorted: %v, %v", changes[0].Prefix, changes[1].Prefix)
+	}
+	for _, c := range changes {
+		if c.New == nil || c.New.Peer != netip.MustParseAddr("2.2.2.2") {
+			t.Errorf("failover missing: %+v", c)
+		}
+	}
+	if l.NumRoutes() != 2 {
+		t.Errorf("NumRoutes = %d", l.NumRoutes())
+	}
+}
+
+func TestLocRibReevaluateOnIGPChange(t *testing.T) {
+	costs := map[netip.Addr]uint32{
+		netip.MustParseAddr("10.0.0.1"): 5,
+		netip.MustParseAddr("10.0.0.2"): 10,
+	}
+	l := NewLocRib(Decision{IGPCost: func(nh netip.Addr) (uint32, bool) {
+		c, ok := costs[nh]
+		return c, ok
+	}})
+	a := mkRoute("10.0.0.0/8", "1.1.1.1", "10.0.0.1", 100, 200)
+	b := mkRoute("10.0.0.0/8", "2.2.2.2", "10.0.0.2", 100, 300)
+	l.Update(a)
+	l.Update(b)
+	if best, _ := l.Best(a.Prefix); best != a {
+		t.Fatalf("initial best = %v", best)
+	}
+	// IGP link metric change: nexthop .1 becomes expensive.
+	costs[netip.MustParseAddr("10.0.0.1")] = 100
+	changes := l.Reevaluate()
+	if len(changes) != 1 || changes[0].New != b || changes[0].Step != StepIGPCost {
+		t.Fatalf("reevaluate changes = %+v", changes)
+	}
+}
+
+func TestLocRibAccessors(t *testing.T) {
+	l := NewLocRib(Decision{})
+	if best, step := l.Best(netip.MustParsePrefix("10.0.0.0/8")); best != nil || step != StepNone {
+		t.Error("Best on empty rib")
+	}
+	if l.Routes(netip.MustParsePrefix("10.0.0.0/8")) != nil {
+		t.Error("Routes on empty rib")
+	}
+	l.Update(mkRoute("10.2.0.0/16", "1.1.1.1", "10.0.0.1", 100))
+	l.Update(mkRoute("10.1.0.0/16", "1.1.1.1", "10.0.0.1", 100))
+	l.Update(mkRoute("10.1.0.0/16", "2.2.2.2", "10.0.0.2", 100, 200))
+	best := l.BestRoutes()
+	if len(best) != 2 || best[0].Prefix.String() != "10.1.0.0/16" {
+		t.Errorf("BestRoutes = %v", best)
+	}
+	all := l.AllRoutes()
+	if len(all) != 3 || all[0].Prefix.String() != "10.1.0.0/16" || !all[0].Peer.Less(all[1].Peer) {
+		t.Errorf("AllRoutes = %v", all)
+	}
+	// Returned slice is a copy.
+	rs := l.Routes(netip.MustParsePrefix("10.1.0.0/16"))
+	rs[0] = nil
+	if l.Routes(netip.MustParsePrefix("10.1.0.0/16"))[0] == nil {
+		t.Error("Routes exposes internal storage")
+	}
+}
+
+func TestRouteHelpers(t *testing.T) {
+	r := mkRoute("10.0.0.0/8", "1.1.1.1", "10.0.0.1", 209, 701)
+	if r.LocalPref() != DefaultLocalPref {
+		t.Errorf("default LocalPref = %d", r.LocalPref())
+	}
+	if r.MED() != 0 {
+		t.Errorf("default MED = %d", r.MED())
+	}
+	if r.NeighborAS() != 209 {
+		t.Errorf("NeighborAS = %d", r.NeighborAS())
+	}
+	if r.Nexthop() != netip.MustParseAddr("10.0.0.1") {
+		t.Errorf("Nexthop = %v", r.Nexthop())
+	}
+	clone := r.Clone()
+	clone.Attrs.LocalPref, clone.Attrs.HasLocalPref = 50, true
+	if r.Attrs.HasLocalPref {
+		t.Error("Clone shares attrs")
+	}
+	var nilRoute *Route
+	if nilRoute.Clone() != nil {
+		t.Error("nil Clone")
+	}
+	bare := &Route{Prefix: netip.MustParsePrefix("10.0.0.0/8")}
+	if bare.NeighborAS() != 0 || bare.Nexthop().IsValid() {
+		t.Error("nil-attrs helpers")
+	}
+	if r.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+// TestLocRibRandomOpsInvariants drives the Loc-RIB with random
+// update/withdraw/remove-peer sequences and checks the bookkeeping
+// invariants after every step.
+func TestLocRibRandomOpsInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	peers := []netip.Addr{
+		netip.MustParseAddr("1.1.1.1"),
+		netip.MustParseAddr("2.2.2.2"),
+		netip.MustParseAddr("3.3.3.3"),
+	}
+	prefixes := []netip.Prefix{
+		netip.MustParsePrefix("10.1.0.0/16"),
+		netip.MustParsePrefix("10.2.0.0/16"),
+		netip.MustParsePrefix("10.3.0.0/16"),
+		netip.MustParsePrefix("10.4.0.0/16"),
+	}
+	l := NewLocRib(Decision{})
+	shadow := map[netip.Prefix]map[netip.Addr]bool{}
+	for step := 0; step < 500; step++ {
+		switch rng.Intn(5) {
+		case 0, 1, 2: // update
+			peer := peers[rng.Intn(len(peers))]
+			prefix := prefixes[rng.Intn(len(prefixes))]
+			r := mkRoute(prefix.String(), peer.String(), "10.0.0.9",
+				uint32(rng.Intn(3)+1), uint32(rng.Intn(100)+10))
+			l.Update(r)
+			if shadow[prefix] == nil {
+				shadow[prefix] = map[netip.Addr]bool{}
+			}
+			shadow[prefix][peer] = true
+		case 3: // withdraw
+			peer := peers[rng.Intn(len(peers))]
+			prefix := prefixes[rng.Intn(len(prefixes))]
+			l.Withdraw(peer, prefix)
+			if shadow[prefix] != nil {
+				delete(shadow[prefix], peer)
+			}
+		case 4: // remove peer
+			peer := peers[rng.Intn(len(peers))]
+			l.RemovePeer(peer)
+			for _, m := range shadow {
+				delete(m, peer)
+			}
+		}
+		// Invariants: route count matches the shadow; every prefix's best
+		// is one of its candidates; prefixes with no routes report none.
+		want := 0
+		for prefix, m := range shadow {
+			want += len(m)
+			best, step := l.Best(prefix)
+			routes := l.Routes(prefix)
+			if len(m) == 0 {
+				if best != nil {
+					t.Fatalf("step %d: best for empty prefix %v", step, prefix)
+				}
+				continue
+			}
+			if len(routes) != len(m) {
+				t.Fatalf("step %d: %v candidates = %d, want %d", step, prefix, len(routes), len(m))
+			}
+			if best == nil {
+				t.Fatalf("step %d: no best for %v with %d candidates", step, prefix, len(m))
+			}
+			found := false
+			for _, r := range routes {
+				if r == best {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("step %d: best not among candidates", step)
+			}
+			_ = step
+		}
+		if l.NumRoutes() != want {
+			t.Fatalf("step %d: NumRoutes = %d, want %d", step, l.NumRoutes(), want)
+		}
+	}
+}

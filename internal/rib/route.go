@@ -1,0 +1,84 @@
+// Package rib implements BGP routing information bases: the per-peer
+// Adj-RIB-In the collector uses to augment withdrawals with their original
+// path attributes (paper §II), and a Loc-RIB with the full BGP decision
+// process (used by the simulator's routers, including the per-neighbor-AS
+// MED comparison whose lack of total ordering produces the persistent
+// oscillation of paper §IV-F / RFC 3345).
+package rib
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"rex/internal/bgp"
+)
+
+// Route is one BGP route: a prefix plus the path attributes it was heard
+// with, tagged with the peer it came from.
+type Route struct {
+	Prefix netip.Prefix
+	// Peer is the address of the BGP peer the route was learned from.
+	Peer netip.Addr
+	// PeerRouterID is the peer's BGP identifier, used as a decision
+	// tiebreaker.
+	PeerRouterID netip.Addr
+	Attrs        *bgp.PathAttrs
+	// EBGP records whether the route was learned over an external session;
+	// eBGP routes are preferred over iBGP at step 5 of the decision.
+	EBGP bool
+	// LearnedAt is when the route was (last) installed.
+	LearnedAt time.Time
+}
+
+// Clone returns a deep copy of the route.
+func (r *Route) Clone() *Route {
+	if r == nil {
+		return nil
+	}
+	out := *r
+	out.Attrs = r.Attrs.Clone()
+	return &out
+}
+
+// LocalPref returns the route's LOCAL_PREF, defaulting to DefaultLocalPref
+// when the attribute is absent.
+func (r *Route) LocalPref() uint32 {
+	if r.Attrs != nil && r.Attrs.HasLocalPref {
+		return r.Attrs.LocalPref
+	}
+	return DefaultLocalPref
+}
+
+// MED returns the route's MULTI_EXIT_DISC, defaulting to 0 when absent.
+func (r *Route) MED() uint32 {
+	if r.Attrs != nil && r.Attrs.HasMED {
+		return r.Attrs.MED
+	}
+	return 0
+}
+
+// NeighborAS returns the first AS on the path: the neighboring AS whose
+// routes compete under the MED rule. Zero for locally originated routes.
+func (r *Route) NeighborAS() uint32 {
+	if r.Attrs == nil {
+		return 0
+	}
+	return r.Attrs.ASPath.First()
+}
+
+// Nexthop returns the route's NEXT_HOP, or the zero Addr if unset.
+func (r *Route) Nexthop() netip.Addr {
+	if r.Attrs == nil {
+		return netip.Addr{}
+	}
+	return r.Attrs.Nexthop
+}
+
+// String renders the route in a compact single-line form.
+func (r *Route) String() string {
+	return fmt.Sprintf("%v via %v (%v)", r.Prefix, r.Peer, r.Attrs)
+}
+
+// DefaultLocalPref is the LOCAL_PREF assumed when the attribute is absent.
+const DefaultLocalPref = 100

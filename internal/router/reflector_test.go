@@ -1,0 +1,161 @@
+package router
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"rex/internal/bgp"
+)
+
+// TestRouteReflection: RR with two clients; a route injected by client 1
+// is reflected to client 2 with ORIGINATOR_ID and CLUSTER_LIST stamped.
+func TestRouteReflection(t *testing.T) {
+	client1 := netip.MustParseAddr("2.0.0.11")
+	client2 := netip.MustParseAddr("2.0.0.12")
+	_, rrAddr := startRouter(t, Config{
+		AS: 200, RouterID: netip.MustParseAddr("2.0.0.1"),
+		RouteReflector: true,
+		Clients:        []netip.Addr{client1, client2},
+	})
+	s1, err := dialRaw(rrAddr, 200, client1.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s1.Close()
+	s2, err := dialRaw(rrAddr, 200, client2.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+
+	err = s1.Send(&bgp.Update{
+		Attrs: &bgp.PathAttrs{
+			Origin: bgp.OriginIGP, ASPath: bgp.Sequence(300, 400),
+			Nexthop: netip.MustParseAddr("9.9.9.9"),
+		},
+		NLRI: []netip.Prefix{netip.MustParsePrefix("10.1.0.0/16")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case u := <-s2.Updates():
+		if u == nil {
+			t.Fatal("client2 channel closed")
+		}
+		if u.Attrs.OriginatorID != client1 {
+			t.Errorf("ORIGINATOR_ID = %v, want %v", u.Attrs.OriginatorID, client1)
+		}
+		if len(u.Attrs.ClusterList) != 1 || u.Attrs.ClusterList[0] != netip.MustParseAddr("2.0.0.1") {
+			t.Errorf("CLUSTER_LIST = %v", u.Attrs.ClusterList)
+		}
+		// iBGP reflection leaves path and nexthop alone.
+		if u.Attrs.ASPath.String() != "300 400" || u.Attrs.Nexthop != netip.MustParseAddr("9.9.9.9") {
+			t.Errorf("reflected attrs = %v", u.Attrs)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("client2 never received the reflection")
+	}
+	// The injector does not get its own route back.
+	select {
+	case u := <-s1.Updates():
+		t.Fatalf("route reflected back to injector: %v", u)
+	case <-time.After(300 * time.Millisecond):
+	}
+}
+
+// TestNonClientToClientOnly: a route from a non-client iBGP peer reaches
+// clients but not other non-clients.
+func TestNonClientToClientOnly(t *testing.T) {
+	client := netip.MustParseAddr("2.0.0.11")
+	nonClientA := netip.MustParseAddr("2.0.0.21")
+	nonClientB := netip.MustParseAddr("2.0.0.22")
+	_, rrAddr := startRouter(t, Config{
+		AS: 200, RouterID: netip.MustParseAddr("2.0.0.1"),
+		RouteReflector: true,
+		Clients:        []netip.Addr{client},
+	})
+	sc, err := dialRaw(rrAddr, 200, client.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	sa, err := dialRaw(rrAddr, 200, nonClientA.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sa.Close()
+	sb, err := dialRaw(rrAddr, 200, nonClientB.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sb.Close()
+
+	err = sa.Send(&bgp.Update{
+		Attrs: &bgp.PathAttrs{
+			Origin: bgp.OriginIGP, ASPath: bgp.Sequence(300),
+			Nexthop: netip.MustParseAddr("9.9.9.9"),
+		},
+		NLRI: []netip.Prefix{netip.MustParsePrefix("10.2.0.0/16")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case u := <-sc.Updates():
+		if u == nil || u.Attrs.OriginatorID != nonClientA {
+			t.Fatalf("client reflection wrong: %v", u)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("client never received non-client route")
+	}
+	select {
+	case u := <-sb.Updates():
+		t.Fatalf("non-client received non-client route: %v", u)
+	case <-time.After(300 * time.Millisecond):
+	}
+}
+
+// TestClusterLoopRejected: a route carrying the RR's own cluster ID in
+// CLUSTER_LIST is dropped.
+func TestClusterLoopRejected(t *testing.T) {
+	client := netip.MustParseAddr("2.0.0.11")
+	rr, rrAddr := startRouter(t, Config{
+		AS: 200, RouterID: netip.MustParseAddr("2.0.0.1"),
+		RouteReflector: true,
+		Clients:        []netip.Addr{client},
+	})
+	s, err := dialRaw(rrAddr, 200, client.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// Looped route.
+	err = s.Send(&bgp.Update{
+		Attrs: &bgp.PathAttrs{
+			Origin: bgp.OriginIGP, ASPath: bgp.Sequence(300),
+			Nexthop:     netip.MustParseAddr("9.9.9.9"),
+			ClusterList: []netip.Addr{netip.MustParseAddr("2.0.0.1")},
+		},
+		NLRI: []netip.Prefix{netip.MustParsePrefix("10.3.0.0/16")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clean route as a fence.
+	err = s.Send(&bgp.Update{
+		Attrs: &bgp.PathAttrs{
+			Origin: bgp.OriginIGP, ASPath: bgp.Sequence(300),
+			Nexthop: netip.MustParseAddr("9.9.9.9"),
+		},
+		NLRI: []netip.Prefix{netip.MustParsePrefix("10.4.0.0/16")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, "clean route", func() bool { return rr.NumRoutes() == 1 })
+	if best, _ := rr.Best(netip.MustParsePrefix("10.3.0.0/16")); best != nil {
+		t.Error("cluster-looped route installed")
+	}
+}

@@ -1,0 +1,421 @@
+// Package router implements a working BGP speaker on top of the
+// repository's substrates: live sessions (bgp/fsm), a Loc-RIB with the
+// full decision process (rib), and per-neighbor routing policies
+// (policy). It originates prefixes, selects best paths, and advertises
+// best-route changes to its peers with correct eBGP/iBGP semantics
+// (AS-path prepending and nexthop-self on eBGP, no iBGP re-reflection,
+// AS-loop rejection).
+//
+// The simulator generates the paper's event streams analytically; this
+// package closes the loop for end-to-end tests and demos where incidents
+// must *propagate* through real routers into the collector, the way they
+// reached REX in the paper's deployments.
+package router
+
+import (
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+
+	"rex/internal/bgp"
+	"rex/internal/bgp/fsm"
+	"rex/internal/policy"
+	"rex/internal/rib"
+)
+
+// Config parameterizes a router.
+type Config struct {
+	AS       uint32
+	RouterID netip.Addr
+	HoldTime time.Duration
+	// Policy, when set, applies its per-neighbor route-maps (keyed by the
+	// peer's BGP identifier) inbound and outbound.
+	Policy *policy.Config
+	// IGPCost feeds the decision process (nil: all nexthops reachable at
+	// cost 0).
+	IGPCost func(netip.Addr) (uint32, bool)
+	// RouteReflector enables RFC 4456 reflection: iBGP routes from
+	// Clients are reflected to every iBGP peer, routes from non-clients
+	// to Clients only, with ORIGINATOR_ID/CLUSTER_LIST loop prevention.
+	RouteReflector bool
+	// ClusterID defaults to RouterID.
+	ClusterID netip.Addr
+	// Clients lists the client peers' BGP identifiers.
+	Clients []netip.Addr
+	// Logf, when set, receives debug lines.
+	Logf func(format string, args ...any)
+}
+
+// Router is a BGP speaker. All exported methods are safe for concurrent
+// use.
+type Router struct {
+	cfg Config
+
+	mu         sync.Mutex
+	loc        *rib.LocRib
+	sessions   map[netip.Addr]*peerSession // by peer BGP ID
+	originated map[netip.Prefix]struct{}
+
+	isClosed bool
+	closedCh chan struct{}
+	wg       sync.WaitGroup
+}
+
+type peerSession struct {
+	sess *fsm.Session
+	ebgp bool
+}
+
+// New builds a router.
+func New(cfg Config) *Router {
+	if cfg.HoldTime == 0 {
+		cfg.HoldTime = 30 * time.Second
+	}
+	if cfg.RouteReflector && !cfg.ClusterID.IsValid() {
+		cfg.ClusterID = cfg.RouterID
+	}
+	return &Router{
+		cfg:        cfg,
+		loc:        rib.NewLocRib(rib.Decision{IGPCost: cfg.IGPCost}),
+		sessions:   make(map[netip.Addr]*peerSession),
+		originated: make(map[netip.Prefix]struct{}),
+	}
+}
+
+func (r *Router) logf(format string, args ...any) {
+	if r.cfg.Logf != nil {
+		r.cfg.Logf(format, args...)
+	}
+}
+
+// Originate installs a locally originated prefix and advertises it.
+func (r *Router) Originate(prefix netip.Prefix) {
+	attrs := &bgp.PathAttrs{
+		Origin:  bgp.OriginIGP,
+		ASPath:  nil, // empty: locally originated
+		Nexthop: r.cfg.RouterID,
+	}
+	route := &rib.Route{
+		Prefix:       prefix,
+		Peer:         r.cfg.RouterID, // self
+		PeerRouterID: r.cfg.RouterID,
+		Attrs:        attrs,
+		LearnedAt:    time.Now(),
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.originated[prefix] = struct{}{}
+	if change, ok := r.loc.Update(route); ok {
+		r.broadcastLocked(change, nil)
+	}
+}
+
+// WithdrawOriginated withdraws a locally originated prefix.
+func (r *Router) WithdrawOriginated(prefix netip.Prefix) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.originated, prefix)
+	if change, ok := r.loc.Withdraw(r.cfg.RouterID, prefix); ok {
+		r.broadcastLocked(change, nil)
+	}
+}
+
+// Serve accepts inbound sessions on ln until Close.
+func (r *Router) Serve(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-r.closed():
+				return nil
+			default:
+				return err
+			}
+		}
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			sess, err := fsm.Establish(conn, fsm.Config{
+				LocalAS:  r.cfg.AS,
+				LocalID:  r.cfg.RouterID,
+				HoldTime: r.cfg.HoldTime,
+			})
+			if err != nil {
+				r.logf("accept: %v", err)
+				return
+			}
+			r.runSession(sess)
+		}()
+	}
+}
+
+// Connect dials a peer and runs the session in the background.
+func (r *Router) Connect(addr string) error {
+	sess, err := fsm.Dial(addr, fsm.Config{
+		LocalAS:  r.cfg.AS,
+		LocalID:  r.cfg.RouterID,
+		HoldTime: r.cfg.HoldTime,
+	})
+	if err != nil {
+		return err
+	}
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		r.runSession(sess)
+	}()
+	return nil
+}
+
+func (r *Router) runSession(sess *fsm.Session) {
+	peerID := sess.PeerID()
+	ps := &peerSession{sess: sess, ebgp: sess.PeerAS() != r.cfg.AS}
+	r.mu.Lock()
+	if old, dup := r.sessions[peerID]; dup {
+		go old.sess.Close()
+	}
+	r.sessions[peerID] = ps
+	// Initial table exchange: advertise every current best route that the
+	// export rules allow toward this peer.
+	for _, best := range r.loc.BestRoutes() {
+		if r.mayExportLocked(ps, peerID, best) {
+			r.sendRouteLocked(ps, peerID, best)
+		}
+	}
+	r.mu.Unlock()
+	r.logf("AS%d: session with %v (AS%d) up", r.cfg.AS, peerID, sess.PeerAS())
+
+	for u := range sess.Updates() {
+		r.handleUpdate(ps, peerID, sess.PeerAS(), u)
+	}
+
+	// Session down: drop its routes and propagate the fallout.
+	r.mu.Lock()
+	if r.sessions[peerID] == ps {
+		delete(r.sessions, peerID)
+	}
+	for _, change := range r.loc.RemovePeer(peerID) {
+		r.broadcastLocked(change, nil)
+	}
+	r.mu.Unlock()
+	sess.Close()
+	r.logf("AS%d: session with %v down (%v)", r.cfg.AS, peerID, sess.Err())
+}
+
+func (r *Router) handleUpdate(ps *peerSession, peerID netip.Addr, peerAS uint32, u *bgp.Update) {
+	now := time.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, p := range u.Withdrawn {
+		if change, ok := r.loc.Withdraw(peerID, p); ok {
+			r.broadcastLocked(change, ps)
+		}
+	}
+	if u.Attrs == nil {
+		return
+	}
+	// AS-loop rejection.
+	if u.Attrs.ASPath.Contains(r.cfg.AS) {
+		return
+	}
+	// Reflection loop rejection (RFC 4456 §8).
+	if !ps.ebgp {
+		if u.Attrs.OriginatorID == r.cfg.RouterID {
+			return
+		}
+		if r.cfg.RouteReflector {
+			for _, c := range u.Attrs.ClusterList {
+				if c == r.cfg.ClusterID {
+					return
+				}
+			}
+		}
+	}
+	for _, p := range u.NLRI {
+		attrs := u.Attrs
+		if r.cfg.Policy != nil {
+			d := r.cfg.Policy.ApplyIn(peerID, p, u.Attrs)
+			if !d.Permitted {
+				// Policy-rejected: treat as withdrawal of any prior route.
+				if change, ok := r.loc.Withdraw(peerID, p); ok {
+					r.broadcastLocked(change, ps)
+				}
+				continue
+			}
+			attrs = d.Attrs
+		}
+		route := &rib.Route{
+			Prefix:       p,
+			Peer:         peerID,
+			PeerRouterID: peerID,
+			Attrs:        attrs,
+			EBGP:         ps.ebgp,
+			LearnedAt:    now,
+		}
+		if change, ok := r.loc.Update(route); ok {
+			r.broadcastLocked(change, ps)
+		}
+	}
+	_ = peerAS
+}
+
+// broadcastLocked advertises a best-route change to every session except
+// `from` (the one that caused it — split horizon at the session level).
+func (r *Router) broadcastLocked(change rib.BestChange, from *peerSession) {
+	for peerID, ps := range r.sessions {
+		if ps == from {
+			continue
+		}
+		if change.New == nil {
+			r.sendWithdrawLocked(ps, change.Prefix)
+			continue
+		}
+		if !r.mayExportLocked(ps, peerID, change.New) {
+			continue
+		}
+		r.sendRouteLocked(ps, peerID, change.New)
+	}
+}
+
+func (r *Router) sendRouteLocked(ps *peerSession, peerID netip.Addr, route *rib.Route) {
+	attrs := route.Attrs
+	if ps.ebgp {
+		// eBGP export: prepend own AS, nexthop self, strip LOCAL_PREF.
+		out := attrs.Clone()
+		out.ASPath = out.ASPath.Prepend(r.cfg.AS)
+		out.Nexthop = r.cfg.RouterID
+		out.HasLocalPref, out.LocalPref = false, 0
+		attrs = out
+		// Do not export to a peer whose AS is already on the path.
+		if route.Attrs.ASPath.Contains(ps.sess.PeerAS()) {
+			return
+		}
+	} else {
+		// iBGP: attributes pass unchanged, except a route reflector
+		// stamps the RFC 4456 attributes when reflecting an iBGP-learned
+		// route.
+		if r.cfg.RouteReflector && route.Peer != r.cfg.RouterID && !route.EBGP {
+			out := attrs.Clone()
+			if !out.OriginatorID.IsValid() {
+				out.OriginatorID = route.Peer
+			}
+			out.ClusterList = append([]netip.Addr{r.cfg.ClusterID}, out.ClusterList...)
+			attrs = out
+		}
+		if !attrs.Nexthop.IsValid() {
+			out := attrs.Clone()
+			out.Nexthop = r.cfg.RouterID
+			attrs = out
+		}
+	}
+	if r.cfg.Policy != nil {
+		d := r.cfg.Policy.ApplyOut(peerID, route.Prefix, attrs)
+		if !d.Permitted {
+			return
+		}
+		attrs = d.Attrs
+	}
+	u := &bgp.Update{Attrs: attrs, NLRI: []netip.Prefix{route.Prefix}}
+	if err := ps.sess.Send(u); err != nil {
+		r.logf("AS%d: send to %v: %v", r.cfg.AS, peerID, err)
+	}
+}
+
+func (r *Router) sendWithdrawLocked(ps *peerSession, prefix netip.Prefix) {
+	u := &bgp.Update{Withdrawn: []netip.Prefix{prefix}}
+	if err := ps.sess.Send(u); err != nil {
+		r.logf("AS%d: withdraw send: %v", r.cfg.AS, err)
+	}
+}
+
+// mayExportLocked applies the iBGP export rules: iBGP-learned routes go
+// to iBGP peers only through a route reflector, per the RFC 4456
+// reflection rules, and never back to the injector.
+func (r *Router) mayExportLocked(ps *peerSession, peerID netip.Addr, route *rib.Route) bool {
+	if ps.ebgp || route.Peer == r.cfg.RouterID || route.EBGP {
+		return true
+	}
+	if !r.cfg.RouteReflector {
+		return false
+	}
+	if route.Peer == peerID {
+		return false // never back to the injector
+	}
+	// Client routes reflect to everyone; non-client routes to clients
+	// only.
+	return r.isClient(route.Peer) || r.isClient(peerID)
+}
+
+// isClient reports whether the peer is a configured reflection client.
+func (r *Router) isClient(peer netip.Addr) bool {
+	for _, c := range r.cfg.Clients {
+		if c == peer {
+			return true
+		}
+	}
+	return false
+}
+
+// Best returns the current best route for prefix.
+func (r *Router) Best(prefix netip.Prefix) (*rib.Route, rib.Step) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.loc.Best(prefix)
+}
+
+// NumRoutes returns the Loc-RIB candidate count.
+func (r *Router) NumRoutes() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.loc.NumRoutes()
+}
+
+// Peers returns the connected peers' BGP identifiers.
+func (r *Router) Peers() []netip.Addr {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]netip.Addr, 0, len(r.sessions))
+	for id := range r.sessions {
+		out = append(out, id)
+	}
+	return out
+}
+
+var closedChan = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
+func (r *Router) closed() <-chan struct{} {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.isClosed {
+		return closedChan
+	}
+	if r.closedCh == nil {
+		r.closedCh = make(chan struct{})
+	}
+	return r.closedCh
+}
+
+// Close shuts every session down and waits for the goroutines.
+func (r *Router) Close() error {
+	r.mu.Lock()
+	sessions := make([]*peerSession, 0, len(r.sessions))
+	for _, ps := range r.sessions {
+		sessions = append(sessions, ps)
+	}
+	r.isClosed = true
+	if r.closedCh != nil {
+		close(r.closedCh)
+		r.closedCh = nil
+	}
+	r.mu.Unlock()
+	for _, ps := range sessions {
+		ps.sess.Close()
+	}
+	r.wg.Wait()
+	return nil
+}

@@ -1,0 +1,115 @@
+package router
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"rex/internal/bgp"
+)
+
+// TestSessionReplacement: a new session from the same router ID replaces
+// the old one instead of leaking it.
+func TestSessionReplacement(t *testing.T) {
+	b, bAddr := startRouter(t, Config{AS: 200, RouterID: netip.MustParseAddr("2.0.0.1")})
+	s1, err := dialRaw(bAddr, 300, "3.0.0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s1.Close()
+	waitUntil(t, "first session", func() bool { return len(b.Peers()) == 1 })
+
+	s2, err := dialRaw(bAddr, 300, "3.0.0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	// The old session is closed by the router.
+	select {
+	case <-s1.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("old session not replaced")
+	}
+	if got := len(b.Peers()); got != 1 {
+		t.Errorf("peers = %d after replacement", got)
+	}
+	// The new session still works.
+	err = s2.Send(&bgp.Update{
+		Attrs: &bgp.PathAttrs{
+			Origin: bgp.OriginIGP, ASPath: bgp.Sequence(300, 400),
+			Nexthop: netip.MustParseAddr("3.0.0.1"),
+		},
+		NLRI: []netip.Prefix{netip.MustParsePrefix("10.7.0.0/16")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, "route via new session", func() bool { return b.NumRoutes() == 1 })
+}
+
+// TestWithdrawOriginatedNoOp: withdrawing a prefix that was never
+// originated changes nothing.
+func TestWithdrawOriginatedNoOp(t *testing.T) {
+	r := New(Config{AS: 100, RouterID: netip.MustParseAddr("1.0.0.1")})
+	defer r.Close()
+	r.WithdrawOriginated(netip.MustParsePrefix("10.9.0.0/16"))
+	if r.NumRoutes() != 0 {
+		t.Error("phantom route appeared")
+	}
+}
+
+// TestEBGPPrependAndNoExportToOwnAS: B re-exports an AS300 route to an
+// eBGP peer with its own AS prepended, but never back toward an AS
+// already on the path.
+func TestEBGPPrependAndNoExportToOwnAS(t *testing.T) {
+	_, bAddr := startRouter(t, Config{AS: 200, RouterID: netip.MustParseAddr("2.0.0.1")})
+	src, err := dialRaw(bAddr, 300, "3.0.0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	// A second eBGP peer in AS400 receiving B's exports.
+	dst, err := dialRaw(bAddr, 400, "4.0.0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+	// And a third peer back in AS300: must NOT receive the route.
+	loop, err := dialRaw(bAddr, 300, "3.0.0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loop.Close()
+
+	err = src.Send(&bgp.Update{
+		Attrs: &bgp.PathAttrs{
+			Origin: bgp.OriginIGP, ASPath: bgp.Sequence(300, 500),
+			Nexthop: netip.MustParseAddr("3.0.0.1"),
+		},
+		NLRI: []netip.Prefix{netip.MustParsePrefix("10.8.0.0/16")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case u := <-dst.Updates():
+		if u == nil {
+			t.Fatal("dst channel closed")
+		}
+		if got := u.Attrs.ASPath.String(); got != "200 300 500" {
+			t.Errorf("exported path = %q, want prepended", got)
+		}
+		if u.Attrs.Nexthop != netip.MustParseAddr("2.0.0.1") {
+			t.Errorf("nexthop = %v, want nexthop-self", u.Attrs.Nexthop)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no export to AS400")
+	}
+	// The AS300 peer gets nothing.
+	select {
+	case u := <-loop.Updates():
+		t.Fatalf("route exported back toward AS300: %v", u)
+	case <-time.After(300 * time.Millisecond):
+	}
+}

@@ -1,0 +1,241 @@
+package router
+
+import (
+	"net"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"rex/internal/bgp"
+	"rex/internal/bgp/fsm"
+	"rex/internal/collector"
+	"rex/internal/event"
+	"rex/internal/policy"
+	"rex/internal/rib"
+)
+
+func listen(t *testing.T) (net.Listener, string) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ln, ln.Addr().String()
+}
+
+func startRouter(t *testing.T, cfg Config) (*Router, string) {
+	t.Helper()
+	r := New(cfg)
+	ln, addr := listen(t)
+	go func() { _ = r.Serve(ln) }()
+	t.Cleanup(func() {
+		ln.Close()
+		r.Close()
+	})
+	return r, addr
+}
+
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(8 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timeout: %s", what)
+}
+
+// TestEBGPPropagationChain builds a real three-node network:
+//
+//	routerA (AS100) --eBGP-- routerB (AS200) --iBGP-- collector (AS200)
+//
+// A originates a prefix; the collector must receive it via B with path
+// [100] (B's iBGP export does not prepend). When A's session dies, the
+// withdrawal propagates and arrives at the collector *augmented*.
+func TestEBGPPropagationChain(t *testing.T) {
+	prefix := netip.MustParsePrefix("10.1.0.0/16")
+
+	a, aAddr := startRouter(t, Config{AS: 100, RouterID: netip.MustParseAddr("1.0.0.1")})
+	b, _ := startRouter(t, Config{AS: 200, RouterID: netip.MustParseAddr("2.0.0.1")})
+
+	rec := collector.NewRecorder()
+	coll := collector.New(collector.Config{
+		LocalAS: 200, LocalID: netip.MustParseAddr("2.0.0.99"),
+		Now: time.Now, WithdrawOnSessionLoss: false,
+	}, rec.Handle)
+	collLn, collAddr := listen(t)
+	go func() { _ = coll.Serve(collLn) }()
+	t.Cleanup(func() { coll.Close() })
+
+	a.Originate(prefix)
+	if err := b.Connect(aAddr); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, "B learned the route", func() bool { return b.NumRoutes() >= 1 })
+	best, step := b.Best(prefix)
+	if best == nil {
+		t.Fatal("B has no best route")
+	}
+	if !best.EBGP || best.Attrs.ASPath.String() != "100" || step == rib.StepNone {
+		t.Fatalf("B best = %v (step %v)", best, step)
+	}
+	// eBGP export set nexthop-self to A's router ID.
+	if best.Attrs.Nexthop != netip.MustParseAddr("1.0.0.1") {
+		t.Errorf("nexthop = %v", best.Attrs.Nexthop)
+	}
+
+	// B peers (iBGP) with the collector; initial table exchange delivers
+	// the route.
+	if err := b.Connect(collAddr); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, "collector heard announce", func() bool { return rec.Len() >= 1 })
+	events := rec.Events()
+	if events[0].Type != event.Announce || events[0].Prefix != prefix {
+		t.Fatalf("collector event = %v", &events[0])
+	}
+	if events[0].Attrs.ASPath.String() != "100" {
+		t.Errorf("collector path = %v (iBGP must not prepend)", events[0].Attrs.ASPath)
+	}
+
+	// A withdraws: the chain must deliver a withdrawal to the collector,
+	// augmented with the attributes being withdrawn.
+	a.WithdrawOriginated(prefix)
+	waitUntil(t, "collector heard withdraw", func() bool { return rec.Len() >= 2 })
+	w := rec.Events()[1]
+	if w.Type != event.Withdraw || w.Attrs == nil || w.Attrs.ASPath.String() != "100" {
+		t.Fatalf("withdrawal = %v attrs=%v", &w, w.Attrs)
+	}
+	waitUntil(t, "B dropped the route", func() bool { return b.NumRoutes() == 0 })
+}
+
+// TestSessionLossPropagatesWithdrawals kills the A–B session and checks B
+// withdraws A's routes downstream.
+func TestSessionLossPropagatesWithdrawals(t *testing.T) {
+	prefix := netip.MustParsePrefix("10.2.0.0/16")
+	a, aAddr := startRouter(t, Config{AS: 100, RouterID: netip.MustParseAddr("1.0.0.1")})
+	b, _ := startRouter(t, Config{AS: 200, RouterID: netip.MustParseAddr("2.0.0.1")})
+	rec := collector.NewRecorder()
+	coll := collector.New(collector.Config{
+		LocalAS: 200, LocalID: netip.MustParseAddr("2.0.0.99"), Now: time.Now,
+	}, rec.Handle)
+	collLn, collAddr := listen(t)
+	go func() { _ = coll.Serve(collLn) }()
+	t.Cleanup(func() { coll.Close() })
+
+	a.Originate(prefix)
+	if err := b.Connect(aAddr); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Connect(collAddr); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, "announce reached collector", func() bool { return rec.Len() >= 1 })
+
+	// Kill A entirely: B's session drops, RemovePeer fires, and the
+	// withdrawal propagates.
+	a.Close()
+	waitUntil(t, "withdraw reached collector", func() bool { return rec.Len() >= 2 })
+	w := rec.Events()[1]
+	if w.Type != event.Withdraw || w.Prefix != prefix {
+		t.Fatalf("event = %v", &w)
+	}
+}
+
+// TestASLoopRejection: a route whose path already contains the local AS
+// is never installed.
+func TestASLoopRejection(t *testing.T) {
+	b, bAddr := startRouter(t, Config{AS: 200, RouterID: netip.MustParseAddr("2.0.0.1")})
+	// A raw eBGP peer sends a looped path.
+	sess, err := dialRaw(bAddr, 300, "3.0.0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	err = sess.Send(&bgp.Update{
+		Attrs: &bgp.PathAttrs{
+			Origin:  bgp.OriginIGP,
+			ASPath:  bgp.Sequence(300, 200, 400), // contains B's AS
+			Nexthop: netip.MustParseAddr("3.0.0.1"),
+		},
+		NLRI: []netip.Prefix{netip.MustParsePrefix("10.3.0.0/16")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// And a clean one, to have something to wait on.
+	err = sess.Send(&bgp.Update{
+		Attrs: &bgp.PathAttrs{
+			Origin:  bgp.OriginIGP,
+			ASPath:  bgp.Sequence(300, 400),
+			Nexthop: netip.MustParseAddr("3.0.0.1"),
+		},
+		NLRI: []netip.Prefix{netip.MustParsePrefix("10.4.0.0/16")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, "clean route installed", func() bool { return b.NumRoutes() == 1 })
+	if best, _ := b.Best(netip.MustParsePrefix("10.3.0.0/16")); best != nil {
+		t.Error("looped route installed")
+	}
+}
+
+// TestInboundPolicyApplied: a router with the Berkeley-style LOCAL_PREF
+// policy rewrites what it installs.
+func TestInboundPolicyApplied(t *testing.T) {
+	cfgText := `hostname b
+router bgp 200
+ neighbor 3.0.0.1 route-map IN in
+!
+ip community-list standard ISP permit 11423:65350
+route-map IN permit 10
+ match community ISP
+ set local-preference 80
+route-map IN deny 20
+`
+	rcfg, err := policy.Parse(strings.NewReader(cfgText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, bAddr := startRouter(t, Config{AS: 200, RouterID: netip.MustParseAddr("2.0.0.1"), Policy: rcfg})
+	sess, err := dialRaw(bAddr, 300, "3.0.0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	tagged := &bgp.PathAttrs{
+		Origin: bgp.OriginIGP, ASPath: bgp.Sequence(300, 400),
+		Nexthop:     netip.MustParseAddr("3.0.0.1"),
+		Communities: []bgp.Community{bgp.MakeCommunity(11423, 65350)},
+	}
+	if err := sess.Send(&bgp.Update{Attrs: tagged, NLRI: []netip.Prefix{netip.MustParsePrefix("10.5.0.0/16")}}); err != nil {
+		t.Fatal(err)
+	}
+	untagged := &bgp.PathAttrs{
+		Origin: bgp.OriginIGP, ASPath: bgp.Sequence(300, 401),
+		Nexthop: netip.MustParseAddr("3.0.0.1"),
+	}
+	if err := sess.Send(&bgp.Update{Attrs: untagged, NLRI: []netip.Prefix{netip.MustParsePrefix("10.6.0.0/16")}}); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, "tagged route installed", func() bool { return b.NumRoutes() >= 1 })
+	best, _ := b.Best(netip.MustParsePrefix("10.5.0.0/16"))
+	if best == nil || !best.Attrs.HasLocalPref || best.Attrs.LocalPref != 80 {
+		t.Fatalf("policy did not set local-pref: %v", best)
+	}
+	// The untagged route is denied by the route-map.
+	time.Sleep(100 * time.Millisecond)
+	if best, _ := b.Best(netip.MustParsePrefix("10.6.0.0/16")); best != nil {
+		t.Error("denied route installed")
+	}
+}
+
+// dialRaw establishes a bare fsm session acting as an external peer.
+func dialRaw(addr string, as uint32, id string) (*fsm.Session, error) {
+	return fsm.Dial(addr, fsm.Config{LocalAS: as, LocalID: netip.MustParseAddr(id)})
+}

@@ -1,0 +1,274 @@
+package sim
+
+import (
+	"net/netip"
+
+	"rex/internal/bgp"
+	"rex/internal/core/tamp"
+)
+
+// AS numbers appearing in the paper's Berkeley case studies.
+const (
+	ASBerkeley  = 25
+	ASCalREN    = 11423
+	ASCalRENDC  = 11422
+	ASQwest     = 209
+	ASAbilene   = 11537
+	ASATT       = 7018
+	ASLosNettos = 226
+	ASKDDI      = 2516
+	ASLevel3    = 3356
+	ASCENIC     = 2152
+	// ASHijacker is the origin used by the HijackScenario attacker.
+	ASHijacker = 666
+)
+
+// Berkeley router and nexthop addresses from the paper.
+var (
+	BerkeleyRouter3    = netip.MustParseAddr("128.32.1.3")
+	BerkeleyRouter200  = netip.MustParseAddr("128.32.1.200")
+	BerkeleyRouter222  = netip.MustParseAddr("128.32.1.222")
+	BerkeleyNexthop66  = netip.MustParseAddr("128.32.0.66")
+	BerkeleyNexthop70  = netip.MustParseAddr("128.32.0.70")
+	BerkeleyNexthop90  = netip.MustParseAddr("128.32.0.90")
+	BerkeleyNexthop157 = netip.MustParseAddr("169.229.0.157")
+)
+
+// Communities used in the Berkeley studies.
+var (
+	CommISPRoutes = bgp.MakeCommunity(ASCalREN, 65350) // commodity Internet
+	CommI2Routes  = bgp.MakeCommunity(ASCalREN, 65300) // Internet2 / CalREN members
+	CommLosNettos = bgp.MakeCommunity(ASCENIC, 65297)  // §IV-C mis-tagged community
+)
+
+// BerkeleyConfig scales the Berkeley scenario. The zero value gives the
+// paper's proportions at ~1000 prefixes.
+type BerkeleyConfig struct {
+	// CommodityPrefixes is the number of commodity-Internet prefixes
+	// reached via CalREN→QWest (default 830; ~83% of the total, matching
+	// Figure 2's "80% of that are from the commodity Internet").
+	CommodityPrefixes int
+	// I2Prefixes is the number of Internet2 prefixes via Abilene
+	// (default 60, ~6%).
+	I2Prefixes int
+	// MemberPrefixes is the number of CalREN member prefixes
+	// (default 110, ~11%).
+	MemberPrefixes int
+	// LosNettosPrefixes and KDDIPrefixes size the §IV-C mis-tag study
+	// (defaults 8 and 17: 32% / 68% of the tagged routes).
+	LosNettosPrefixes int
+	KDDIPrefixes      int
+	// Misconfigured selects the §IV-A state: the commodity split carries
+	// ~94% of commodity prefixes on nexthop .66 instead of 50/50.
+	Misconfigured bool
+	// PrefixesPerAS packs several prefixes into each generated stub AS
+	// (default 1). Large benchmark tables use this to scale the prefix
+	// count without exploding the AS graph.
+	PrefixesPerAS int
+	Seed          int64
+}
+
+func (c BerkeleyConfig) withDefaults() BerkeleyConfig {
+	if c.CommodityPrefixes <= 0 {
+		c.CommodityPrefixes = 830
+	}
+	if c.I2Prefixes <= 0 {
+		c.I2Prefixes = 60
+	}
+	if c.MemberPrefixes <= 0 {
+		c.MemberPrefixes = 110
+	}
+	if c.LosNettosPrefixes <= 0 {
+		c.LosNettosPrefixes = 8
+	}
+	if c.KDDIPrefixes <= 0 {
+		c.KDDIPrefixes = 17
+	}
+	if c.PrefixesPerAS <= 0 {
+		c.PrefixesPerAS = 1
+	}
+	return c
+}
+
+// BerkeleySite is the Berkeley vantage with references the case-study
+// generators need.
+type BerkeleySite struct {
+	*Site
+	Config BerkeleyConfig
+	// BackdoorPrefixes are the two prefixes of the §IV-B backdoor.
+	BackdoorPrefixes []netip.Prefix
+}
+
+// Berkeley builds the Berkeley campus scenario: CalREN upstream, QWest
+// commodity transit fanning into the tier-1 mesh, Abilene for Internet2,
+// the two rate-limiter nexthops with a (configurably misconfigured)
+// commodity split, a two-prefix AT&T backdoor, and the mis-tagged
+// Los Nettos/KDDI community.
+func Berkeley(cfg BerkeleyConfig) *BerkeleySite {
+	cfg = cfg.withDefaults()
+	t := &Topology{ASes: make(map[uint32]*AS)}
+
+	tier1s := []uint32{701, 1239, ASATT, ASLevel3, 1299}
+	for _, asn := range tier1s {
+		t.AddAS(&AS{ASN: asn, Role: RoleTier1})
+	}
+	for i, a := range tier1s {
+		for _, b := range tier1s[i+1:] {
+			t.Peer(a, b)
+		}
+	}
+	t.AddAS(&AS{ASN: ASQwest, Role: RoleTransit})
+	for _, asn := range tier1s {
+		t.Peer(ASQwest, asn)
+	}
+	t.AddAS(&AS{ASN: ASCalRENDC, Role: RoleTransit})
+	t.Link(ASCalRENDC, ASQwest) // 11422 customer of QWest
+	t.AddAS(&AS{ASN: ASCalREN, Role: RoleTransit})
+	t.Link(ASCalREN, ASQwest)    // 11423 customer of QWest
+	t.Link(ASCalREN, ASCalRENDC) // and of 11422 (consolidation era)
+	t.AddAS(&AS{ASN: ASAbilene, Role: RoleTransit})
+	t.Peer(ASCalREN, ASAbilene)
+	t.AddAS(&AS{ASN: ASLosNettos, Role: RoleTransit})
+	t.Peer(ASCalREN, ASLosNettos)
+	t.AddAS(&AS{ASN: ASKDDI, Role: RoleTransit})
+	t.Peer(ASCalREN, ASKDDI)
+	t.AddAS(&AS{ASN: ASBerkeley, Role: RoleStub})
+	t.Link(ASBerkeley, ASCalREN)
+
+	alloc := newPrefixAllocator()
+	// addStubs creates stub ASes carrying `prefixes` total originations
+	// (PrefixesPerAS per stub), each homed via pickParent(stubIndex).
+	addStubs := func(baseASN uint32, prefixes int, pickParent func(i int) uint32) {
+		for i := 0; prefixes > 0; i++ {
+			n := cfg.PrefixesPerAS
+			if n > prefixes {
+				n = prefixes
+			}
+			prefixes -= n
+			ps := make([]netip.Prefix, n)
+			for j := range ps {
+				ps[j] = alloc()
+			}
+			asn := baseASN + uint32(i)
+			t.AddAS(&AS{ASN: asn, Role: RoleStub, Prefixes: ps})
+			t.Link(asn, pickParent(i))
+		}
+	}
+	// Commodity stubs hang off the tier-1s (and QWest) round-robin.
+	commodityParents := append([]uint32{ASQwest}, tier1s...)
+	addStubs(30000, cfg.CommodityPrefixes, func(i int) uint32 { return commodityParents[i%len(commodityParents)] })
+	addStubs(1000000, cfg.I2Prefixes, func(int) uint32 { return ASAbilene })
+	addStubs(2000000, cfg.MemberPrefixes, func(int) uint32 { return ASCalREN })
+	for i := 0; i < cfg.LosNettosPrefixes; i++ {
+		asn := uint32(60000 + i)
+		t.AddAS(&AS{ASN: asn, Role: RoleStub, Prefixes: []netip.Prefix{alloc()}})
+		t.Link(asn, ASLosNettos)
+	}
+	kddi := t.ASes[ASKDDI]
+	for i := 0; i < cfg.KDDIPrefixes; i++ {
+		kddi.Prefixes = append(kddi.Prefixes, alloc())
+	}
+	// The backdoor destination: a two-prefix stub behind AT&T.
+	backdoor := []netip.Prefix{alloc(), alloc()}
+	t.AddAS(&AS{ASN: 65100, Role: RoleStub, Prefixes: backdoor})
+	t.Link(65100, ASATT)
+
+	site := &Site{Name: "berkeley", AS: ASBerkeley, Topo: t}
+	bs := &BerkeleySite{Site: site, Config: cfg, BackdoorPrefixes: backdoor}
+
+	isCommodity := func(path []uint32) bool {
+		for _, asn := range path {
+			if asn == ASQwest {
+				return true
+			}
+		}
+		return false
+	}
+	// The commodity split across the two rate limiters. Intended: half
+	// the space each. Misconfigured (§IV-A): ~15/16 of it on .66.
+	splitTo66 := func(p netip.Prefix) bool {
+		c := p.Addr().As4()[2]
+		if cfg.Misconfigured {
+			return c < 240
+		}
+		return c < 128
+	}
+
+	// Router 128.32.1.3: commodity only, via the two rate limiters,
+	// LOCAL_PREF 80 on ISP routes (paper §III-D.1).
+	site.Attachments = append(site.Attachments,
+		&Attachment{
+			Router: "128.32.1.3", RouterAddr: BerkeleyRouter3,
+			Nexthop: BerkeleyNexthop66, NeighborAS: ASCalREN,
+			Policy: func(prefix netip.Prefix, path []uint32, attrs *bgp.PathAttrs) bool {
+				if !isCommodity(path) || !splitTo66(prefix) {
+					return false
+				}
+				attrs.AddCommunity(CommISPRoutes)
+				attrs.LocalPref, attrs.HasLocalPref = 80, true
+				return true
+			},
+		},
+		&Attachment{
+			Router: "128.32.1.3", RouterAddr: BerkeleyRouter3,
+			Nexthop: BerkeleyNexthop70, NeighborAS: ASCalREN,
+			Policy: func(prefix netip.Prefix, path []uint32, attrs *bgp.PathAttrs) bool {
+				if !isCommodity(path) || splitTo66(prefix) {
+					return false
+				}
+				attrs.AddCommunity(CommISPRoutes)
+				attrs.LocalPref, attrs.HasLocalPref = 80, true
+				return true
+			},
+		},
+		// Router 128.32.1.200: everything, not rate-limited. ISP routes
+		// at LOCAL_PREF 70 (backup), others at the 100 default with the
+		// I2/member community. CENIC's 2152:65297 rides along — and is
+		// erroneously attached to KDDI paths too (§IV-C).
+		&Attachment{
+			Router: "128.32.1.200", RouterAddr: BerkeleyRouter200,
+			Nexthop: BerkeleyNexthop90, NeighborAS: ASCalREN,
+			Policy: func(prefix netip.Prefix, path []uint32, attrs *bgp.PathAttrs) bool {
+				if isCommodity(path) {
+					attrs.AddCommunity(CommISPRoutes)
+					attrs.LocalPref, attrs.HasLocalPref = 70, true
+				} else {
+					attrs.AddCommunity(CommI2Routes)
+				}
+				for _, asn := range path {
+					if asn == ASLosNettos || asn == ASKDDI {
+						attrs.AddCommunity(CommLosNettos)
+					}
+				}
+				return true
+			},
+		},
+		// Router 128.32.1.222: the §IV-B backdoor — two prefixes heard
+		// directly from AT&T, unknown to the operators.
+		&Attachment{
+			Router: "128.32.1.222", RouterAddr: BerkeleyRouter222,
+			Nexthop: BerkeleyNexthop157, NeighborAS: ASATT,
+			Policy: func(prefix netip.Prefix, path []uint32, attrs *bgp.PathAttrs) bool {
+				return prefix == backdoor[0] || prefix == backdoor[1]
+			},
+		},
+	)
+	return bs
+}
+
+// LoadBalanceGraph builds the Figure 2 TAMP graph from the baseline RIB.
+func (b *BerkeleySite) LoadBalanceGraph() *tamp.Graph {
+	return TAMPGraph(b.Name, b.BaselineRoutes())
+}
+
+// MistagRoutes returns the §IV-C subset: routes carrying the 2152:65297
+// community, TAMP's "map any set of routes" mode.
+func (b *BerkeleySite) MistagRoutes() []SiteRoute {
+	var out []SiteRoute
+	for _, r := range b.BaselineRoutes() {
+		if r.Attrs.HasCommunity(CommLosNettos) {
+			out = append(out, r)
+		}
+	}
+	return out
+}

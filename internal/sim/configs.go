@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"rex/internal/policy"
+)
+
+// RouterConfigs returns the Berkeley edge routers' configurations as the
+// paper's §III-D.1 describes them: 128.32.1.3 assigns LOCAL_PREF 80 to
+// ISP routes tagged 11423:65350 (and accepts nothing else — it is the
+// rate-limited commodity path), while 128.32.1.200 assigns 70 to ISP
+// routes and the 100 default to routes tagged 11423:65300 (Internet2,
+// CalREN members). These are the configs the anomaly pipeline correlates
+// Stemming components against.
+func (b *BerkeleySite) RouterConfigs() []*policy.Config {
+	edge3 := `hostname edge-128-32-1-3
+router bgp 25
+ bgp router-id 128.32.1.3
+ neighbor 128.32.0.66 remote-as 11423
+ neighbor 128.32.0.66 route-map CALREN-IN in
+ neighbor 128.32.0.70 remote-as 11423
+ neighbor 128.32.0.70 route-map CALREN-IN in
+!
+ip community-list standard ISP-ROUTES permit 11423:65350
+ip community-list standard I2-ROUTES permit 11423:65300
+!
+route-map CALREN-IN permit 10
+ match community ISP-ROUTES
+ set local-preference 80
+route-map CALREN-IN deny 20
+ match community I2-ROUTES
+`
+	edge200 := `hostname edge-128-32-1-200
+router bgp 25
+ bgp router-id 128.32.1.200
+ neighbor 128.32.0.90 remote-as 11423
+ neighbor 128.32.0.90 route-map CALREN-ALL in
+!
+ip community-list standard ISP-ROUTES permit 11423:65350
+ip community-list standard I2-ROUTES permit 11423:65300
+ip prefix-list ANY seq 5 permit 0.0.0.0/0 le 32
+!
+route-map CALREN-ALL permit 10
+ match community ISP-ROUTES
+ set local-preference 70
+route-map CALREN-ALL permit 20
+ match ip address prefix-list ANY
+`
+	var out []*policy.Config
+	for _, text := range []string{edge3, edge200} {
+		cfg, err := policy.Parse(strings.NewReader(text))
+		if err != nil {
+			// The texts are compiled-in; a parse failure is a programming
+			// error in this package.
+			panic(fmt.Sprintf("sim: built-in config: %v", err))
+		}
+		out = append(out, cfg)
+	}
+	return out
+}

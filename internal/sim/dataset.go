@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"time"
+
+	"rex/internal/event"
+)
+
+// Dataset builders for the Table I benchmarks: sites whose baseline RIBs
+// approximate a requested route count, and deterministic mixed event
+// streams of a requested size.
+
+// BerkeleyScale builds a Berkeley-shaped site whose baseline holds
+// approximately targetRoutes routes (the paper's 23k/115k/230k rows).
+// Proportions (commodity/I2/member split, misconfigured rate limiters)
+// match the default scenario.
+func BerkeleyScale(targetRoutes int) *BerkeleySite {
+	// Empirically routes ≈ 1.81 × prefixes at the default proportions
+	// (commodity prefixes appear on two routers, the rest on one).
+	prefixes := targetRoutes * 100 / 181
+	perAS := prefixes/2000 + 1 // keep the AS graph around 2k stubs
+	return Berkeley(BerkeleyConfig{
+		CommodityPrefixes: prefixes * 83 / 100,
+		I2Prefixes:        prefixes * 6 / 100,
+		MemberPrefixes:    prefixes * 11 / 100,
+		Misconfigured:     true,
+		PrefixesPerAS:     perAS,
+	})
+}
+
+// ISPAnonScale builds a Tier-1 site whose baseline holds approximately
+// targetRoutes routes (the paper's 150k/750k/1500k rows), with the
+// paper-like multiplicity of paths per prefix (multi-homed destinations
+// heard at several route reflectors).
+func ISPAnonScale(targetRoutes int) *ISPAnonSite {
+	// Internet prefixes contribute StubProviders × RRsPerPoP routes each;
+	// with 3 providers and 2 RRs/PoP that is ~6, plus customer-cone
+	// routes. Empirically routes ≈ 6.2 × internet prefixes here.
+	prefixes := targetRoutes * 100 / 620
+	stubs := 300
+	perStub := prefixes/stubs + 1
+	return ISPAnon(ISPAnonConfig{
+		PoPs: 4, RRsPerPoP: 2, Tier1Peers: 5,
+		CustomerTransits: 8, CustomerStubs: 60,
+		InternetStubs: stubs, StubProviders: 3,
+		PrefixesPerStub: perStub,
+	})
+}
+
+// BenchEvents builds a deterministic event stream of exactly n events
+// spanning `over`: repeated partial session resets (withdraw + explore +
+// re-announce, the dominant BGP chatter pattern) rotating across the
+// site's neighbors, padded with uncorrelated noise. The result is
+// time-sorted.
+func BenchEvents(site *Site, baseline []SiteRoute, n int, over time.Duration, start time.Time, seed int64) event.Stream {
+	if n <= 0 || len(baseline) == 0 {
+		return nil
+	}
+	// Group baseline routes by neighbor AS for reset cycles.
+	byNeighbor := map[uint32][]SiteRoute{}
+	var neighbors []uint32
+	for _, r := range baseline {
+		asn := r.Attachment.NeighborAS
+		if _, ok := byNeighbor[asn]; !ok {
+			neighbors = append(neighbors, asn)
+		}
+		byNeighbor[asn] = append(byNeighbor[asn], r)
+	}
+	out := make(event.Stream, 0, n+64)
+	// 10% noise, 90% reset chatter.
+	noiseN := n / 10
+	out = append(out, NoiseStream(baseline, noiseN, over, start, seed)...)
+
+	step := over / time.Duration(n)
+	if step <= 0 {
+		step = time.Millisecond
+	}
+	now := start
+	for i := 0; len(out) < n; i++ {
+		routes := byNeighbor[neighbors[i%len(neighbors)]]
+		for _, r := range routes {
+			if len(out) >= n {
+				break
+			}
+			out = append(out, withdraw(r, now))
+			now = now.Add(step)
+			if len(out) >= n {
+				break
+			}
+			out = append(out, announce(r, now))
+			now = now.Add(step)
+		}
+	}
+	out = out[:n]
+	out.SortByTime()
+	return out
+}

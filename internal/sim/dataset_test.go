@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"rex/internal/core/tamp"
+)
+
+func TestBerkeleyScaleSizing(t *testing.T) {
+	for _, target := range []int{10_000, 30_000} {
+		b := BerkeleyScale(target)
+		routes := b.BaselineRoutes()
+		ratio := float64(len(routes)) / float64(target)
+		if ratio < 0.85 || ratio > 1.15 {
+			t.Errorf("BerkeleyScale(%d) = %d routes (%.2fx)", target, len(routes), ratio)
+		}
+		// Proportions still hold at scale: the misconfigured split.
+		g := TAMPGraph(b.Name, routes)
+		total := g.TotalPrefixes()
+		w66 := g.Weight(tamp.RouterNode("128.32.1.3"), tamp.NexthopNode(BerkeleyNexthop66))
+		if f := float64(w66) / float64(total); f < 0.70 || f > 0.85 {
+			t.Errorf("scaled .66 fraction = %.2f", f)
+		}
+	}
+}
+
+func TestISPAnonScaleSizing(t *testing.T) {
+	for _, target := range []int{50_000, 150_000} {
+		is := ISPAnonScale(target)
+		routes := is.BaselineRoutes()
+		ratio := float64(len(routes)) / float64(target)
+		if ratio < 0.85 || ratio > 1.15 {
+			t.Errorf("ISPAnonScale(%d) = %d routes (%.2fx)", target, len(routes), ratio)
+		}
+		// Multi-path: routes well above unique prefixes, as at an ISP.
+		g := TAMPGraph(is.Name, routes)
+		multiplicity := float64(len(routes)) / float64(g.TotalPrefixes())
+		if multiplicity < 3 {
+			t.Errorf("paths per prefix = %.1f, want ISP-like (>3)", multiplicity)
+		}
+	}
+}
+
+func TestBenchEventsExactAndDeterministic(t *testing.T) {
+	is := ISPAnon(ISPAnonConfig{})
+	baseline := is.BaselineRoutes()
+	const n = 5000
+	s1 := BenchEvents(is.Site, baseline, n, time.Hour, scT0, 42)
+	if len(s1) != n {
+		t.Fatalf("events = %d, want %d", len(s1), n)
+	}
+	// Time-sorted.
+	for i := 1; i < len(s1); i++ {
+		if s1[i].Time.Before(s1[i-1].Time) {
+			t.Fatal("not sorted")
+		}
+	}
+	// Deterministic for a given seed.
+	s2 := BenchEvents(is.Site, baseline, n, time.Hour, scT0, 42)
+	for i := range s1 {
+		if !s1[i].Time.Equal(s2[i].Time) || s1[i].Prefix != s2[i].Prefix || s1[i].Type != s2[i].Type {
+			t.Fatalf("event %d differs between runs", i)
+		}
+	}
+	// Different seed differs somewhere.
+	s3 := BenchEvents(is.Site, baseline, n, time.Hour, scT0, 43)
+	same := true
+	for i := range s1 {
+		if s1[i].Prefix != s3[i].Prefix || !s1[i].Time.Equal(s3[i].Time) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+	// Degenerate inputs.
+	if got := BenchEvents(is.Site, nil, 100, time.Hour, scT0, 1); got != nil {
+		t.Error("events from empty baseline")
+	}
+	if got := BenchEvents(is.Site, baseline, 0, time.Hour, scT0, 1); got != nil {
+		t.Error("events for n=0")
+	}
+}

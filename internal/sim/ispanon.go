@@ -1,0 +1,225 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+)
+
+// ISP-Anon constants. All addresses are anonymized, as in the paper.
+const (
+	// ASISPAnon is the vantage Tier-1's AS.
+	ASISPAnon = 5000
+	// ASCustFlap is the §IV-E continuously flapping customer.
+	ASCustFlap = 65010
+	// ASNAP fronts the NAP the flapping customer uses as backup.
+	ASNAP = 6500
+	// ASMed1 and ASMed2 are the §IV-F MED oscillation neighbors.
+	ASMed1 = 4001
+	ASMed2 = 4002
+)
+
+// MEDPrefix is the single prefix of the §IV-F oscillation.
+var MEDPrefix = netip.MustParsePrefix("4.5.0.0/16")
+
+// FlapPrefix is the §IV-E customer's prefix.
+var FlapPrefix = netip.MustParsePrefix("9.9.0.0/16")
+
+// ISPAnonConfig scales the Tier-1 scenario.
+type ISPAnonConfig struct {
+	PoPs      int // default 4
+	RRsPerPoP int // default 2
+	// Tier1Peers is how many other tier-1s the vantage peers with
+	// (default 5).
+	Tier1Peers int
+	// CustomerTransits and CustomerStubs are customers of the vantage
+	// (defaults 8 and 30).
+	CustomerTransits int
+	CustomerStubs    int
+	// InternetStubs are the destinations behind the other tier-1s
+	// (default: CustomerStubs).
+	InternetStubs int
+	// StubProviders multi-homes each internet stub to this many tier-1s
+	// (default 1). Higher values multiply paths per prefix, as at a real
+	// ISP.
+	StubProviders int
+	// PrefixesPerStub sizes the routing table (default 2).
+	PrefixesPerStub int
+	Seed            int64
+}
+
+func (c ISPAnonConfig) withDefaults() ISPAnonConfig {
+	if c.PoPs <= 0 {
+		c.PoPs = 4
+	}
+	if c.RRsPerPoP <= 0 {
+		c.RRsPerPoP = 2
+	}
+	if c.Tier1Peers <= 0 {
+		c.Tier1Peers = 5
+	}
+	if c.CustomerTransits <= 0 {
+		c.CustomerTransits = 8
+	}
+	if c.CustomerStubs <= 0 {
+		c.CustomerStubs = 30
+	}
+	if c.InternetStubs <= 0 {
+		c.InternetStubs = c.CustomerStubs
+	}
+	if c.StubProviders <= 0 {
+		c.StubProviders = 1
+	}
+	if c.StubProviders > c.Tier1Peers {
+		c.StubProviders = c.Tier1Peers
+	}
+	if c.PrefixesPerStub <= 0 {
+		c.PrefixesPerStub = 2
+	}
+	return c
+}
+
+// ISPAnonSite is the Tier-1 vantage with the references the §IV-E/F
+// scenario generators need.
+type ISPAnonSite struct {
+	*Site
+	Config ISPAnonConfig
+	// RRs[pop] lists the route reflectors of each PoP.
+	RRs [][]RR
+	// FlapAttachment is the flapping customer's direct attachment (PoP
+	// 0); NAPNexthops[pop] is the backup nexthop toward the NAP at each
+	// PoP.
+	FlapAttachments []*Attachment
+	NAPNexthops     []netip.Addr
+	Tier1s          []uint32
+}
+
+// RR identifies one route reflector.
+type RR struct {
+	Name string
+	Addr netip.Addr
+}
+
+// ISPAnon builds the Tier-1 scenario: a route-reflector mesh across PoPs,
+// peerings with the other tier-1s, a customer cone, the §IV-E flapping
+// customer (direct attachment plus NAP backup reachable through every
+// tier-1), and the §IV-F MED neighbors.
+func ISPAnon(cfg ISPAnonConfig) *ISPAnonSite {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	t := &Topology{ASes: make(map[uint32]*AS)}
+
+	t.AddAS(&AS{ASN: ASISPAnon, Role: RoleTier1})
+	var tier1s []uint32
+	for i := 0; i < cfg.Tier1Peers; i++ {
+		asn := uint32(100 + i)
+		t.AddAS(&AS{ASN: asn, Role: RoleTier1})
+		tier1s = append(tier1s, asn)
+	}
+	for i, a := range tier1s {
+		t.Peer(ASISPAnon, a)
+		for _, b := range tier1s[i+1:] {
+			t.Peer(a, b)
+		}
+	}
+	alloc := newPrefixAllocator()
+	// Vantage customers: transits with stub children, plus direct stubs.
+	var vantageTransits []uint32
+	for i := 0; i < cfg.CustomerTransits; i++ {
+		asn := uint32(2000 + i)
+		t.AddAS(&AS{ASN: asn, Role: RoleTransit})
+		t.Link(asn, ASISPAnon)
+		vantageTransits = append(vantageTransits, asn)
+	}
+	for i := 0; i < cfg.CustomerStubs; i++ {
+		asn := uint32(21000 + i)
+		prefixes := make([]netip.Prefix, cfg.PrefixesPerStub)
+		for j := range prefixes {
+			prefixes[j] = alloc()
+		}
+		t.AddAS(&AS{ASN: asn, Role: RoleStub, Prefixes: prefixes})
+		if i%3 == 0 {
+			t.Link(asn, ASISPAnon)
+		} else {
+			t.Link(asn, vantageTransits[rng.Intn(len(vantageTransits))])
+		}
+	}
+	// The rest of the Internet hangs off the other tier-1s, multi-homed
+	// per StubProviders so prefixes have several paths into the vantage.
+	for i := 0; i < cfg.InternetStubs; i++ {
+		asn := uint32(3000000 + i)
+		prefixes := make([]netip.Prefix, cfg.PrefixesPerStub)
+		for j := range prefixes {
+			prefixes[j] = alloc()
+		}
+		t.AddAS(&AS{ASN: asn, Role: RoleStub, Prefixes: prefixes})
+		for p := 0; p < cfg.StubProviders; p++ {
+			t.Link(asn, tier1s[(i+p)%len(tier1s)])
+		}
+	}
+	// §IV-E: the flapping customer, dual-homed: direct to the vantage,
+	// and via the NAP AS which is a customer of every other tier-1.
+	t.AddAS(&AS{ASN: ASNAP, Role: RoleTransit})
+	for _, a := range tier1s {
+		t.Link(ASNAP, a)
+	}
+	t.AddAS(&AS{ASN: ASCustFlap, Role: RoleStub, Prefixes: []netip.Prefix{FlapPrefix}})
+	t.Link(ASCustFlap, ASISPAnon)
+	t.Link(ASCustFlap, ASNAP)
+	// §IV-F: the MED prefix, dual-homed to AS1 and AS2 equivalents.
+	t.AddAS(&AS{ASN: ASMed1, Role: RoleTransit})
+	t.AddAS(&AS{ASN: ASMed2, Role: RoleTransit})
+	t.Peer(ASISPAnon, ASMed1)
+	t.Peer(ASISPAnon, ASMed2)
+	t.AddAS(&AS{ASN: 65020, Role: RoleStub, Prefixes: []netip.Prefix{MEDPrefix}})
+	t.Link(65020, ASMed1)
+	t.Link(65020, ASMed2)
+
+	site := &Site{Name: "isp-anon", AS: ASISPAnon, Topo: t}
+	is := &ISPAnonSite{Site: site, Config: cfg, Tier1s: tier1s}
+
+	// Route reflectors: core<pop>-a, core<pop>-b, ...
+	for pop := 0; pop < cfg.PoPs; pop++ {
+		var rrs []RR
+		for i := 0; i < cfg.RRsPerPoP; i++ {
+			rrs = append(rrs, RR{
+				Name: fmt.Sprintf("core%d-%c", pop+1, 'a'+i),
+				Addr: netip.AddrFrom4([4]byte{10, byte(pop + 1), 0, byte(i + 1)}),
+			})
+		}
+		is.RRs = append(is.RRs, rrs)
+		is.NAPNexthops = append(is.NAPNexthops, netip.AddrFrom4([4]byte{10, byte(pop + 1), 9, 99}))
+	}
+
+	// External neighbors are assigned to PoPs round-robin; every RR of
+	// the PoP reports the attachment's routes.
+	neighbors := make([]uint32, 0, len(tier1s)+len(vantageTransits)+cfg.CustomerStubs)
+	neighbors = append(neighbors, tier1s...)
+	neighbors = append(neighbors, vantageTransits...)
+	for i := 0; i < cfg.CustomerStubs; i++ {
+		if i%3 == 0 {
+			neighbors = append(neighbors, uint32(21000+i))
+		}
+	}
+	for idx, n := range neighbors {
+		pop := idx % cfg.PoPs
+		nexthop := netip.AddrFrom4([4]byte{10, byte(pop + 1), 9, byte(idx%200 + 1)})
+		for _, rr := range is.RRs[pop] {
+			site.Attachments = append(site.Attachments, &Attachment{
+				Router: rr.Name, RouterAddr: rr.Addr,
+				Nexthop: nexthop, NeighborAS: n,
+			})
+		}
+	}
+	// The flapping customer's direct attachment at PoP 1, on every RR
+	// there.
+	for _, rr := range is.RRs[0] {
+		att := &Attachment{
+			Router: rr.Name, RouterAddr: rr.Addr,
+			Nexthop: netip.MustParseAddr("1.0.0.1"), NeighborAS: ASCustFlap,
+		}
+		site.Attachments = append(site.Attachments, att)
+		is.FlapAttachments = append(is.FlapAttachments, att)
+	}
+	return is
+}

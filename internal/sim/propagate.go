@@ -1,0 +1,219 @@
+package sim
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// routeKind ranks how a route was learned, in Gao–Rexford preference
+// order: own < customer < peer < provider.
+type routeKind uint8
+
+const (
+	kindNone routeKind = iota
+	kindOwn
+	kindCustomer
+	kindPeer
+	kindProvider
+)
+
+type pathEntry struct {
+	kind routeKind
+	hops int
+	// via is the neighbor the route was learned from (0 for own).
+	via uint32
+}
+
+func (e pathEntry) better(o pathEntry) bool {
+	if o.kind == kindNone {
+		return true
+	}
+	if e.kind != o.kind {
+		return e.kind < o.kind
+	}
+	if e.hops != o.hops {
+		return e.hops < o.hops
+	}
+	return e.via < o.via
+}
+
+// Routing computes Gao–Rexford policy-compliant best paths over a
+// topology: customer-learned routes are exported to everyone; peer- and
+// provider-learned routes only to customers. The valley-free property
+// falls out of the three-phase computation below.
+type Routing struct {
+	t         *Topology
+	cache     map[uint32]map[uint32]pathEntry
+	pathCache map[uint64][]uint32
+}
+
+// NewRouting prepares a routing view of the topology. Results are
+// memoized per destination; mutate the topology only before querying.
+func NewRouting(t *Topology) *Routing {
+	return &Routing{
+		t:         t,
+		cache:     make(map[uint32]map[uint32]pathEntry),
+		pathCache: make(map[uint64][]uint32),
+	}
+}
+
+// pathsTo computes every AS's best path entry toward destination dest.
+func (r *Routing) pathsTo(dest uint32) map[uint32]pathEntry {
+	if cached, ok := r.cache[dest]; ok {
+		return cached
+	}
+	best := map[uint32]pathEntry{}
+	if _, ok := r.t.ASes[dest]; !ok {
+		r.cache[dest] = best
+		return best
+	}
+	best[dest] = pathEntry{kind: kindOwn}
+
+	// Phase 1 — customer routes: BFS up the provider hierarchy from dest.
+	// x gets a customer route when one of its customers has a customer
+	// (or own) route.
+	queue := []uint32{dest}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		for _, prov := range r.t.ASes[x].Providers {
+			cand := pathEntry{kind: kindCustomer, hops: best[x].hops + 1, via: x}
+			if cur, ok := best[prov]; !ok || cand.better(cur) {
+				// Only first (BFS shortest) matters; ties broken by via.
+				if !ok || cur.kind != kindCustomer || cand.hops < cur.hops ||
+					(cand.hops == cur.hops && cand.via < cur.via) {
+					best[prov] = cand
+					if !ok || cur.kind != kindCustomer {
+						queue = append(queue, prov)
+					}
+				}
+			}
+		}
+	}
+
+	// Phase 2 — peer routes: one hop across a peering from any AS holding
+	// a customer/own route.
+	type upd struct {
+		asn uint32
+		e   pathEntry
+	}
+	var peerUpdates []upd
+	for asn, e := range best {
+		if e.kind > kindCustomer {
+			continue
+		}
+		for _, p := range r.t.ASes[asn].Peers {
+			cand := pathEntry{kind: kindPeer, hops: e.hops + 1, via: asn}
+			peerUpdates = append(peerUpdates, upd{p, cand})
+		}
+	}
+	sort.Slice(peerUpdates, func(i, j int) bool { return peerUpdates[i].e.via < peerUpdates[j].e.via })
+	for _, u := range peerUpdates {
+		if cur, ok := best[u.asn]; !ok || u.e.better(cur) {
+			best[u.asn] = u.e
+		}
+	}
+
+	// Phase 3 — provider routes: Dijkstra down customer edges from every
+	// AS that already has a route; providers export everything to
+	// customers, and provider routes chain downward.
+	pq := &entryHeap{}
+	for asn, e := range best {
+		heap.Push(pq, heapItem{asn: asn, e: e})
+	}
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(heapItem)
+		if cur, ok := best[item.asn]; ok && cur.better(item.e) {
+			continue
+		}
+		for _, cust := range r.t.ASes[item.asn].Customers {
+			cand := pathEntry{kind: kindProvider, hops: best[item.asn].hops + 1, via: item.asn}
+			if cur, ok := best[cust]; !ok || cand.better(cur) {
+				best[cust] = cand
+				heap.Push(pq, heapItem{asn: cust, e: cand})
+			}
+		}
+	}
+	r.cache[dest] = best
+	return best
+}
+
+// Path returns from's AS path to dest, inclusive ([from, …, dest]), and
+// whether a policy-compliant path exists. Callers must not modify the
+// returned slice: (from, dest) pairs are memoized because large route
+// tables query the same pair for every prefix an AS originates.
+func (r *Routing) Path(from, dest uint32) ([]uint32, bool) {
+	key := uint64(from)<<32 | uint64(dest)
+	if p, ok := r.pathCache[key]; ok {
+		return p, p != nil
+	}
+	p, ok := r.computePath(from, dest)
+	r.pathCache[key] = p
+	return p, ok
+}
+
+func (r *Routing) computePath(from, dest uint32) ([]uint32, bool) {
+	best := r.pathsTo(dest)
+	e, ok := best[from]
+	if !ok {
+		return nil, false
+	}
+	path := make([]uint32, 0, e.hops+1)
+	cur := from
+	for {
+		path = append(path, cur)
+		if cur == dest {
+			return path, true
+		}
+		entry := best[cur]
+		if entry.kind == kindNone || entry.kind == kindOwn {
+			return nil, false // should not happen on a consistent table
+		}
+		cur = entry.via
+		if len(path) > len(best)+1 {
+			return nil, false // cycle guard
+		}
+	}
+}
+
+// Exports reports whether AS n would export its best route for dest to
+// neighbor `to`: everything to customers; only own/customer routes to
+// peers and providers.
+func (r *Routing) Exports(n, to, dest uint32) bool {
+	e, ok := r.pathsTo(dest)[n]
+	if !ok {
+		return false
+	}
+	nAS := r.t.ASes[n]
+	if nAS == nil {
+		return false
+	}
+	if containsASN(nAS.Customers, to) {
+		return true
+	}
+	return e.kind == kindOwn || e.kind == kindCustomer
+}
+
+type heapItem struct {
+	asn uint32
+	e   pathEntry
+}
+
+type entryHeap []heapItem
+
+func (h entryHeap) Len() int      { return len(h) }
+func (h entryHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h entryHeap) Less(i, j int) bool {
+	if h[i].e.hops != h[j].e.hops {
+		return h[i].e.hops < h[j].e.hops
+	}
+	return h[i].asn < h[j].asn
+}
+func (h *entryHeap) Push(x any) { *h = append(*h, x.(heapItem)) }
+func (h *entryHeap) Pop() any {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}

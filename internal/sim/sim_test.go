@@ -1,0 +1,268 @@
+package sim
+
+import (
+	"testing"
+
+	"rex/internal/core/tamp"
+)
+
+func TestGenerateTopologyStructure(t *testing.T) {
+	topo := GenerateTopology(TopologyConfig{Seed: 1})
+	if topo.NumASes() != 5+20+100 {
+		t.Fatalf("NumASes = %d", topo.NumASes())
+	}
+	var tier1s, transits, stubs int
+	for _, a := range topo.ASes {
+		switch a.Role {
+		case RoleTier1:
+			tier1s++
+			if len(a.Peers) != 4 {
+				t.Errorf("tier1 AS%d has %d peers, want clique of 4", a.ASN, len(a.Peers))
+			}
+			if len(a.Providers) != 0 {
+				t.Errorf("tier1 AS%d has providers", a.ASN)
+			}
+		case RoleTransit:
+			transits++
+			if len(a.Providers) == 0 {
+				t.Errorf("transit AS%d has no providers", a.ASN)
+			}
+		case RoleStub:
+			stubs++
+			if len(a.Providers) == 0 || len(a.Customers) != 0 {
+				t.Errorf("stub AS%d providers=%d customers=%d", a.ASN, len(a.Providers), len(a.Customers))
+			}
+			if len(a.Prefixes) != 2 {
+				t.Errorf("stub AS%d prefixes=%d", a.ASN, len(a.Prefixes))
+			}
+		}
+	}
+	if tier1s != 5 || transits != 20 || stubs != 100 {
+		t.Errorf("roles = %d/%d/%d", tier1s, transits, stubs)
+	}
+	// Determinism.
+	again := GenerateTopology(TopologyConfig{Seed: 1})
+	if len(again.AllPrefixes()) != len(topo.AllPrefixes()) {
+		t.Error("generation not deterministic")
+	}
+	// Relationships are symmetric.
+	for asn, a := range topo.ASes {
+		for _, p := range a.Providers {
+			if !containsASN(topo.ASes[p].Customers, asn) {
+				t.Fatalf("AS%d provider %d asymmetric", asn, p)
+			}
+		}
+		for _, p := range a.Peers {
+			if !containsASN(topo.ASes[p].Peers, asn) {
+				t.Fatalf("AS%d peer %d asymmetric", asn, p)
+			}
+		}
+	}
+}
+
+func TestRoutingValleyFree(t *testing.T) {
+	// Hand-built topology:
+	//   T1a -peer- T1b  (tier-1s)
+	//   Ta under T1a; Tb under T1b (transits)
+	//   Sa under Ta; Sb under Tb (stubs)
+	topo := &Topology{ASes: make(map[uint32]*AS)}
+	for _, asn := range []uint32{1, 2, 11, 12, 101, 102} {
+		topo.AddAS(&AS{ASN: asn})
+	}
+	topo.Peer(1, 2)
+	topo.Link(11, 1)
+	topo.Link(12, 2)
+	topo.Link(101, 11)
+	topo.Link(102, 12)
+
+	r := NewRouting(topo)
+	// Stub-to-stub crosses the tier-1 peering exactly once.
+	path, ok := r.Path(101, 102)
+	if !ok {
+		t.Fatal("no path 101->102")
+	}
+	want := []uint32{101, 11, 1, 2, 12, 102}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+	// Self path.
+	if p, ok := r.Path(101, 101); !ok || len(p) != 1 {
+		t.Errorf("self path = %v ok=%v", p, ok)
+	}
+	// Unknown destination.
+	if _, ok := r.Path(101, 999); ok {
+		t.Error("path to unknown AS")
+	}
+}
+
+func TestRoutingPrefersCustomerOverPeer(t *testing.T) {
+	// Dest reachable from X both via a customer chain and a shorter peer
+	// path: Gao–Rexford prefers the customer route despite length.
+	topo := &Topology{ASes: make(map[uint32]*AS)}
+	for _, asn := range []uint32{10, 20, 30, 99} {
+		topo.AddAS(&AS{ASN: asn})
+	}
+	// 99 is a customer of 30; 30 a customer of 20; 20 a customer of 10.
+	topo.Link(99, 30)
+	topo.Link(30, 20)
+	topo.Link(20, 10)
+	// 10 also peers with 99's other provider 40 — make a peer shortcut:
+	topo.AddAS(&AS{ASN: 40})
+	topo.Peer(10, 40)
+	topo.Link(99, 40)
+	r := NewRouting(topo)
+	path, ok := r.Path(10, 99)
+	if !ok {
+		t.Fatal("no path")
+	}
+	// Customer route 10-20-30-99 (3 hops) preferred over peer 10-40-99
+	// (2 hops).
+	if len(path) != 4 || path[1] != 20 {
+		t.Errorf("path = %v, want customer route via 20", path)
+	}
+}
+
+func TestRoutingExports(t *testing.T) {
+	topo := &Topology{ASes: make(map[uint32]*AS)}
+	for _, asn := range []uint32{1, 2, 11, 25, 99} {
+		topo.AddAS(&AS{ASN: asn})
+	}
+	topo.Peer(1, 2)
+	topo.Link(11, 1)  // 11 customer of 1
+	topo.Link(25, 11) // 25 (the site) customer of 11
+	topo.Link(99, 2)  // dest stub under 2
+	r := NewRouting(topo)
+	// 11's route to 99 is via its provider — but 25 is 11's customer, so
+	// it is exported.
+	if !r.Exports(11, 25, 99) {
+		t.Error("provider route not exported to customer")
+	}
+	// 1's route to 99 is via its peer 2; 11 is 1's customer: exported.
+	if !r.Exports(1, 11, 99) {
+		t.Error("peer route not exported to customer")
+	}
+	// 2 would not export its peer-learned routes to peer 1... 99 is 2's
+	// customer, so it IS exported to the peer.
+	if !r.Exports(2, 1, 99) {
+		t.Error("customer route not exported to peer")
+	}
+	// 1's peer-learned route to 99 must NOT be exported to its peer 2
+	// (no transit between peers) — trivially 2 wouldn't ask; test via a
+	// third peer.
+	topo2 := &Topology{ASes: make(map[uint32]*AS)}
+	for _, asn := range []uint32{1, 2, 3, 99} {
+		topo2.AddAS(&AS{ASN: asn})
+	}
+	topo2.Peer(1, 2)
+	topo2.Peer(1, 3)
+	topo2.Link(99, 2)
+	r2 := NewRouting(topo2)
+	if r2.Exports(1, 3, 99) {
+		t.Error("peer route exported to another peer (valley)")
+	}
+	if _, ok := r2.Path(3, 99); ok {
+		t.Error("AS3 reached 99 through a valley")
+	}
+}
+
+func TestBerkeleyBaselineProportions(t *testing.T) {
+	b := Berkeley(BerkeleyConfig{Misconfigured: true})
+	routes := b.BaselineRoutes()
+	if len(routes) == 0 {
+		t.Fatal("no baseline routes")
+	}
+	g := TAMPGraph(b.Name, routes)
+	total := g.TotalPrefixes()
+	// 830 commodity + 60 I2 + 110 members + 8 LosNettos + 17 KDDI + 2
+	// backdoor.
+	if total != 1027 {
+		t.Fatalf("total prefixes = %d", total)
+	}
+	root := tamp.RootNode("berkeley")
+	w66 := g.Weight(tamp.RouterNode("128.32.1.3"), tamp.NexthopNode(BerkeleyNexthop66))
+	w70 := g.Weight(tamp.RouterNode("128.32.1.3"), tamp.NexthopNode(BerkeleyNexthop70))
+	w90 := g.Weight(tamp.RouterNode("128.32.1.200"), tamp.NexthopNode(BerkeleyNexthop90))
+	f66, f70 := float64(w66)/float64(total), float64(w70)/float64(total)
+	// §IV-A: ~78% vs ~5%.
+	if f66 < 0.72 || f66 > 0.82 {
+		t.Errorf(".66 fraction = %.3f, want ~0.78", f66)
+	}
+	if f70 < 0.02 || f70 > 0.08 {
+		t.Errorf(".70 fraction = %.3f, want ~0.05", f70)
+	}
+	// .90 hears everything — including the backdoor destinations, which
+	// are also reachable via the normal CalREN path.
+	if w90 != total {
+		t.Errorf(".90 weight = %d, want %d", w90, total)
+	}
+	// Intended split is even.
+	even := Berkeley(BerkeleyConfig{})
+	ge := TAMPGraph("berkeley", even.BaselineRoutes())
+	e66 := ge.Weight(tamp.RouterNode("128.32.1.3"), tamp.NexthopNode(BerkeleyNexthop66))
+	e70 := ge.Weight(tamp.RouterNode("128.32.1.3"), tamp.NexthopNode(BerkeleyNexthop70))
+	ratio := float64(e66) / float64(e66+e70)
+	if ratio < 0.45 || ratio > 0.55 {
+		t.Errorf("intended split ratio = %.3f, want ~0.5", ratio)
+	}
+	_ = root
+}
+
+func TestBerkeleyBackdoorVisibility(t *testing.T) {
+	b := Berkeley(BerkeleyConfig{Misconfigured: true})
+	g := b.LoadBalanceGraph()
+	// Default pruning hides the backdoor (Figure 2); hierarchical
+	// pruning exposes it (Figure 5).
+	def := g.Snapshot(tamp.PruneOptions{})
+	if def.HasNode(tamp.RouterNode("128.32.1.222")) {
+		t.Error("backdoor visible under default pruning")
+	}
+	hier := g.Snapshot(tamp.PruneOptions{KeepDepth: 3})
+	if !hier.HasNode(tamp.RouterNode("128.32.1.222")) {
+		t.Fatal("backdoor hidden under hierarchical pruning")
+	}
+	e, ok := hier.Edge(tamp.NexthopNode(BerkeleyNexthop157), tamp.ASNode(ASATT))
+	if !ok || e.Weight != 2 {
+		t.Errorf("backdoor edge = %+v ok=%v", e, ok)
+	}
+}
+
+func TestBerkeleyMistagSplit(t *testing.T) {
+	b := Berkeley(BerkeleyConfig{})
+	tagged := b.MistagRoutes()
+	if len(tagged) == 0 {
+		t.Fatal("no tagged routes")
+	}
+	g := TAMPGraph("berkeley-2152-65297", tagged)
+	total := g.TotalPrefixes()
+	if total != 25 {
+		t.Fatalf("tagged prefixes = %d, want 25", total)
+	}
+	ln := g.Weight(tamp.ASNode(ASCalREN), tamp.ASNode(ASLosNettos))
+	kd := g.Weight(tamp.ASNode(ASCalREN), tamp.ASNode(ASKDDI))
+	if ln != 8 || kd != 17 {
+		t.Errorf("Los Nettos/KDDI weights = %d/%d, want 8/17 (32%%/68%%)", ln, kd)
+	}
+}
+
+func TestBerkeleyPathsLookRight(t *testing.T) {
+	b := Berkeley(BerkeleyConfig{})
+	for _, r := range b.BaselineRoutes() {
+		path := r.Attrs.ASPath.ASNs()
+		if len(path) == 0 {
+			t.Fatalf("empty path for %v", r.Prefix)
+		}
+		if r.Attachment.NeighborAS != path[0] {
+			t.Fatalf("path %v does not start at neighbor AS%d", path, r.Attachment.NeighborAS)
+		}
+		for _, asn := range path {
+			if asn == ASBerkeley {
+				t.Fatalf("site AS in path %v (loop)", path)
+			}
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"net/netip"
+	"time"
+
+	"rex/internal/bgp"
+	"rex/internal/core/tamp"
+	"rex/internal/event"
+	"rex/internal/rib"
+)
+
+// Attachment is one external BGP attachment of the vantage site: an edge
+// router (or route reflector reporting it), the BGP nexthop routes arrive
+// with, and the neighboring AS.
+type Attachment struct {
+	// Router names the edge router; RouterAddr is its IBGP peering
+	// address — the Peer field of events the collector would emit.
+	Router     string
+	RouterAddr netip.Addr
+	Nexthop    netip.Addr
+	NeighborAS uint32
+	// Policy, when set, filters and rewrites routes heard on this
+	// attachment (community tagging, local-pref, acceptance). Returning
+	// false drops the route.
+	Policy func(prefix netip.Prefix, path []uint32, attrs *bgp.PathAttrs) bool
+}
+
+// Site is a vantage network: the administrative domain whose routers the
+// collector peers with.
+type Site struct {
+	Name        string
+	AS          uint32
+	Topo        *Topology
+	Attachments []*Attachment
+
+	routing *Routing
+}
+
+// Routing returns the (lazily built) policy-routing view of the site's
+// topology.
+func (s *Site) Routing() *Routing {
+	if s.routing == nil {
+		s.routing = NewRouting(s.Topo)
+	}
+	return s.routing
+}
+
+// SiteRoute is one RIB entry at one of the site's routers.
+type SiteRoute struct {
+	Attachment *Attachment
+	Prefix     netip.Prefix
+	Attrs      *bgp.PathAttrs
+}
+
+// TAMPEntry converts the route to TAMP's input form.
+func (r SiteRoute) TAMPEntry() tamp.RouteEntry {
+	return tamp.RouteEntry{
+		Router:  r.Attachment.Router,
+		Nexthop: r.Attrs.Nexthop,
+		ASPath:  r.Attrs.ASPath.ASNs(),
+		Prefix:  r.Prefix,
+	}
+}
+
+// RIBRoute converts the route to the rib package's form.
+func (r SiteRoute) RIBRoute(now time.Time) *rib.Route {
+	return &rib.Route{
+		Prefix:       r.Prefix,
+		Peer:         r.Attachment.RouterAddr,
+		PeerRouterID: r.Attachment.RouterAddr,
+		Attrs:        r.Attrs,
+		LearnedAt:    now,
+	}
+}
+
+// Event builds the announcement/withdrawal event this route's change
+// would produce in the collector's augmented stream.
+func (r SiteRoute) Event(t time.Time, typ event.Type) event.Event {
+	return event.Event{
+		Time:   t,
+		Type:   typ,
+		Peer:   r.Attachment.RouterAddr,
+		Prefix: r.Prefix,
+		Attrs:  r.Attrs,
+	}
+}
+
+// BaselineRoutes computes the site's steady-state RIB: for every
+// attachment and every originated prefix, the route the neighbor would
+// export to the site under Gao–Rexford policies, passed through the
+// attachment's local policy.
+func (s *Site) BaselineRoutes() []SiteRoute {
+	routing := s.Routing()
+	prefixes := s.Topo.AllPrefixes()
+	var out []SiteRoute
+	for _, att := range s.Attachments {
+		for _, op := range prefixes {
+			route, ok := s.routeVia(routing, att, op)
+			if ok {
+				out = append(out, route)
+			}
+		}
+	}
+	return out
+}
+
+// routeVia computes the route for one (attachment, prefix) pair.
+func (s *Site) routeVia(routing *Routing, att *Attachment, op OriginatedPrefix) (SiteRoute, bool) {
+	if !routing.Exports(att.NeighborAS, s.AS, op.Origin) {
+		return SiteRoute{}, false
+	}
+	path, ok := routing.Path(att.NeighborAS, op.Origin)
+	if !ok {
+		return SiteRoute{}, false
+	}
+	attrs := &bgp.PathAttrs{
+		Origin:  bgp.OriginIGP,
+		ASPath:  bgp.Sequence(path...),
+		Nexthop: att.Nexthop,
+	}
+	if att.Policy != nil && !att.Policy(op.Prefix, path, attrs) {
+		return SiteRoute{}, false
+	}
+	return SiteRoute{Attachment: att, Prefix: op.Prefix, Attrs: attrs}, true
+}
+
+// TAMPGraph builds the TAMP graph of a route set.
+func TAMPGraph(site string, routes []SiteRoute) *tamp.Graph {
+	g := tamp.New(site)
+	for _, r := range routes {
+		g.AddRoute(r.TAMPEntry())
+	}
+	return g
+}

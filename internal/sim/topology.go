@@ -1,0 +1,251 @@
+// Package sim is the Internet routing simulator substituting for the
+// paper's proprietary datasets (see DESIGN.md §1): an AS-level topology
+// generator with customer/provider/peer relationships, Gao–Rexford policy
+// route propagation to build realistic Adj-RIB-Ins at a vantage site, a
+// BGP chatter model (path exploration) that expands incidents into
+// paper-scale event volumes, and generators for each of the paper's six
+// case studies (§IV-A…F) with ground-truth labels.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sort"
+)
+
+// Role classifies an AS in the topology.
+type Role uint8
+
+// AS roles.
+const (
+	RoleTier1 Role = iota + 1
+	RoleTransit
+	RoleStub
+)
+
+// String names the role.
+func (r Role) String() string {
+	switch r {
+	case RoleTier1:
+		return "tier1"
+	case RoleTransit:
+		return "transit"
+	case RoleStub:
+		return "stub"
+	default:
+		return "role(?)"
+	}
+}
+
+// AS is one autonomous system.
+type AS struct {
+	ASN  uint32
+	Role Role
+	// Providers, Customers and Peers are the business relationships that
+	// drive Gao–Rexford export policies.
+	Providers []uint32
+	Customers []uint32
+	Peers     []uint32
+	// Prefixes are the address blocks the AS originates.
+	Prefixes []netip.Prefix
+}
+
+// Topology is an AS-level Internet.
+type Topology struct {
+	ASes map[uint32]*AS
+	// Order lists ASNs deterministically (tier-1s first).
+	Order []uint32
+}
+
+// TopologyConfig sizes GenerateTopology. The zero value yields a small
+// but structurally realistic Internet.
+type TopologyConfig struct {
+	NumTier1   int // default 5
+	NumTransit int // default 20
+	NumStub    int // default 100
+	// PrefixesPerStub is how many prefixes each stub originates
+	// (default 2). Transits originate half as many; tier-1s one.
+	PrefixesPerStub int
+	// Seed drives the deterministic RNG.
+	Seed int64
+}
+
+func (c TopologyConfig) withDefaults() TopologyConfig {
+	if c.NumTier1 <= 0 {
+		c.NumTier1 = 5
+	}
+	if c.NumTransit <= 0 {
+		c.NumTransit = 20
+	}
+	if c.NumStub <= 0 {
+		c.NumStub = 100
+	}
+	if c.PrefixesPerStub <= 0 {
+		c.PrefixesPerStub = 2
+	}
+	return c
+}
+
+// GenerateTopology builds a deterministic three-tier Internet: a tier-1
+// clique, transits homed to 1–2 tier-1s (with some transit–transit
+// peering), and stubs homed to 1–2 transits.
+func GenerateTopology(cfg TopologyConfig) *Topology {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	t := &Topology{ASes: make(map[uint32]*AS)}
+
+	addAS := func(asn uint32, role Role) *AS {
+		a := &AS{ASN: asn, Role: role}
+		t.ASes[asn] = a
+		t.Order = append(t.Order, asn)
+		return a
+	}
+
+	var tier1s, transits []uint32
+	for i := 0; i < cfg.NumTier1; i++ {
+		asn := uint32(100 + i)
+		addAS(asn, RoleTier1)
+		tier1s = append(tier1s, asn)
+	}
+	// Tier-1 clique.
+	for i, a := range tier1s {
+		for _, b := range tier1s[i+1:] {
+			t.addPeering(a, b)
+		}
+	}
+	for i := 0; i < cfg.NumTransit; i++ {
+		asn := uint32(1000 + i)
+		addAS(asn, RoleTransit)
+		transits = append(transits, asn)
+		// 1–2 tier-1 providers.
+		nProv := 1 + rng.Intn(2)
+		for _, p := range pickDistinct(rng, tier1s, nProv) {
+			t.addCustomerProvider(asn, p)
+		}
+	}
+	// Sparse transit–transit peering.
+	for i, a := range transits {
+		for _, b := range transits[i+1:] {
+			if rng.Float64() < 0.08 {
+				t.addPeering(a, b)
+			}
+		}
+	}
+	nextPrefix := newPrefixAllocator()
+	for i := 0; i < cfg.NumStub; i++ {
+		asn := uint32(20000 + i)
+		stub := addAS(asn, RoleStub)
+		nProv := 1 + rng.Intn(2)
+		for _, p := range pickDistinct(rng, transits, nProv) {
+			t.addCustomerProvider(asn, p)
+		}
+		for j := 0; j < cfg.PrefixesPerStub; j++ {
+			stub.Prefixes = append(stub.Prefixes, nextPrefix())
+		}
+	}
+	// Transits and tier-1s originate a little address space of their own.
+	for _, asn := range transits {
+		for j := 0; j < (cfg.PrefixesPerStub+1)/2; j++ {
+			t.ASes[asn].Prefixes = append(t.ASes[asn].Prefixes, nextPrefix())
+		}
+	}
+	for _, asn := range tier1s {
+		t.ASes[asn].Prefixes = append(t.ASes[asn].Prefixes, nextPrefix())
+	}
+	return t
+}
+
+func (t *Topology) addCustomerProvider(customer, provider uint32) {
+	c, p := t.ASes[customer], t.ASes[provider]
+	if c == nil || p == nil || containsASN(c.Providers, provider) {
+		return
+	}
+	c.Providers = append(c.Providers, provider)
+	p.Customers = append(p.Customers, customer)
+}
+
+func (t *Topology) addPeering(a, b uint32) {
+	aa, bb := t.ASes[a], t.ASes[b]
+	if aa == nil || bb == nil || containsASN(aa.Peers, b) {
+		return
+	}
+	aa.Peers = append(aa.Peers, b)
+	bb.Peers = append(bb.Peers, a)
+}
+
+// AddAS inserts a custom AS (used by the site builders for vantage and
+// neighbor ASes). It panics on duplicate ASN: topologies are built by
+// tests and generators, so a duplicate is a programming error.
+func (t *Topology) AddAS(a *AS) {
+	if _, dup := t.ASes[a.ASN]; dup {
+		panic(fmt.Sprintf("sim: duplicate AS%d", a.ASN))
+	}
+	t.ASes[a.ASN] = a
+	t.Order = append(t.Order, a.ASN)
+}
+
+// Link declares a relationship between existing ASes.
+func (t *Topology) Link(customer, provider uint32) { t.addCustomerProvider(customer, provider) }
+
+// Peer declares a peering between existing ASes.
+func (t *Topology) Peer(a, b uint32) { t.addPeering(a, b) }
+
+// AllPrefixes returns every originated prefix with its origin AS,
+// deterministically ordered.
+func (t *Topology) AllPrefixes() []OriginatedPrefix {
+	var out []OriginatedPrefix
+	for _, asn := range t.Order {
+		for _, p := range t.ASes[asn].Prefixes {
+			out = append(out, OriginatedPrefix{Prefix: p, Origin: asn})
+		}
+	}
+	return out
+}
+
+// OriginatedPrefix ties a prefix to its origin AS.
+type OriginatedPrefix struct {
+	Prefix netip.Prefix
+	Origin uint32
+}
+
+// NumASes returns the AS count.
+func (t *Topology) NumASes() int { return len(t.ASes) }
+
+func containsASN(list []uint32, asn uint32) bool {
+	for _, a := range list {
+		if a == asn {
+			return true
+		}
+	}
+	return false
+}
+
+// pickDistinct chooses n distinct elements deterministically from the rng.
+func pickDistinct(rng *rand.Rand, from []uint32, n int) []uint32 {
+	if n >= len(from) {
+		out := make([]uint32, len(from))
+		copy(out, from)
+		return out
+	}
+	idx := rng.Perm(len(from))[:n]
+	sort.Ints(idx)
+	out := make([]uint32, n)
+	for i, j := range idx {
+		out[i] = from[j]
+	}
+	return out
+}
+
+// newPrefixAllocator hands out successive /24s from 20.0.0.0 upward,
+// skipping reserved-looking boundaries for readability.
+func newPrefixAllocator() func() netip.Prefix {
+	var n uint32
+	return func() netip.Prefix {
+		a := 20 + (n >> 16)
+		b := (n >> 8) & 0xFF
+		c := n & 0xFF
+		n++
+		return netip.PrefixFrom(netip.AddrFrom4([4]byte{byte(a), byte(b), byte(c), 0}), 24)
+	}
+}

@@ -1,0 +1,145 @@
+// Package streamfile loads and saves event streams and RIB snapshots in
+// the formats the command-line tools share: the text codec (.events), the
+// binary codec (.evb) and MRT (.mrt), sniffing by magic bytes when the
+// extension is ambiguous.
+package streamfile
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net/netip"
+	"os"
+	"strings"
+	"time"
+
+	"rex/internal/event"
+	"rex/internal/mrt"
+	"rex/internal/rib"
+)
+
+// Format identifies a stream file format.
+type Format int
+
+// Formats.
+const (
+	FormatUnknown Format = iota
+	FormatText
+	FormatBinary
+	FormatMRT
+)
+
+var binaryMagic = []byte("REXEV1\n")
+
+// Detect sniffs the format from the first bytes.
+func Detect(head []byte) Format {
+	if bytes.HasPrefix(head, binaryMagic) {
+		return FormatBinary
+	}
+	if len(head) >= 12 {
+		// MRT header: plausible type code at offset 4.
+		t := int(head[4])<<8 | int(head[5])
+		if t == 11 || t == 12 || t == 13 || t == 16 || t == 17 || t == 32 || t == 33 || t == 48 || t == 64 {
+			return FormatMRT
+		}
+	}
+	// Text: the first non-blank, non-comment line starts with A or W.
+	rest := head
+	for len(rest) > 0 {
+		line := rest
+		if i := bytes.IndexByte(rest, '\n'); i >= 0 {
+			line, rest = rest[:i], rest[i+1:]
+		} else {
+			rest = nil
+		}
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 || line[0] == '#' {
+			continue
+		}
+		if line[0] == 'A' || line[0] == 'W' {
+			return FormatText
+		}
+		break
+	}
+	return FormatUnknown
+}
+
+// ReadEvents loads an event stream from path, sniffing the format. MRT
+// update files are augmented (withdrawals regain attributes) on load.
+func ReadEvents(path string) (event.Stream, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<16)
+	head, _ := br.Peek(64)
+	switch Detect(head) {
+	case FormatBinary:
+		return event.ReadBinary(br)
+	case FormatMRT:
+		s, err := mrt.ReadUpdates(br)
+		if err != nil {
+			return nil, err
+		}
+		return event.Augment(s), nil
+	case FormatText:
+		return event.ReadText(br)
+	default:
+		return nil, fmt.Errorf("%s: unrecognized event stream format", path)
+	}
+}
+
+// WriteEvents saves a stream to path; the format is chosen by extension:
+// .evb binary, .mrt MRT updates, anything else text.
+func WriteEvents(path string, s event.Stream) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	bw := bufio.NewWriterSize(f, 1<<16)
+	switch {
+	case strings.HasSuffix(path, ".evb"):
+		err = event.WriteBinary(bw, s)
+	case strings.HasSuffix(path, ".mrt"):
+		err = mrt.WriteUpdates(bw, s, 0, netip.Addr{})
+	default:
+		err = event.WriteText(bw, s)
+	}
+	if err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadRIB loads a TABLE_DUMP_V2 snapshot.
+func ReadRIB(path string) ([]*rib.Route, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return mrt.ReadTableDump(bufio.NewReaderSize(f, 1<<16))
+}
+
+// WriteRIB saves routes as a TABLE_DUMP_V2 snapshot.
+func WriteRIB(path string, routes []*rib.Route, collectorID netip.Addr, ts time.Time) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := mrt.WriteTableDump(f, routes, collectorID, ts); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// CopyEvents streams events from r in text form to w (used by rexd's
+// -out).
+func CopyEvents(w io.Writer, s event.Stream) error { return event.WriteText(w, s) }

@@ -1,0 +1,115 @@
+package streamfile
+
+import (
+	"net/netip"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"rex/internal/bgp"
+	"rex/internal/event"
+	"rex/internal/rib"
+)
+
+var t0 = time.Date(2003, 8, 1, 10, 0, 0, 0, time.UTC)
+
+func sampleStream() event.Stream {
+	attrs := &bgp.PathAttrs{
+		Origin:  bgp.OriginIGP,
+		ASPath:  bgp.Sequence(11423, 209),
+		Nexthop: netip.MustParseAddr("128.32.0.66"),
+	}
+	return event.Stream{
+		{Time: t0, Type: event.Announce, Peer: netip.MustParseAddr("128.32.1.3"),
+			Prefix: netip.MustParsePrefix("20.1.0.0/16"), Attrs: attrs},
+		{Time: t0.Add(time.Second), Type: event.Withdraw, Peer: netip.MustParseAddr("128.32.1.3"),
+			Prefix: netip.MustParsePrefix("20.1.0.0/16"), Attrs: attrs},
+	}
+}
+
+func TestRoundTripAllFormats(t *testing.T) {
+	dir := t.TempDir()
+	s := sampleStream()
+	for _, name := range []string{"events.txt", "events.evb", "events.mrt"} {
+		path := filepath.Join(dir, name)
+		if err := WriteEvents(path, s); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		back, err := ReadEvents(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(back) != 2 {
+			t.Fatalf("%s: %d events", name, len(back))
+		}
+		if back[0].Prefix != s[0].Prefix || back[0].Type != event.Announce {
+			t.Errorf("%s: first event %v", name, back[0])
+		}
+		// MRT loses withdrawal attrs on the wire but ReadEvents augments.
+		if back[1].Attrs == nil {
+			t.Errorf("%s: withdrawal not augmented", name)
+		}
+	}
+}
+
+func TestDetect(t *testing.T) {
+	cases := map[Format][]byte{
+		FormatBinary:  []byte("REXEV1\nxxxx"),
+		FormatText:    []byte("A 2003-08-01T10:00:00.000000Z 10.0.0.1 PREFIX 10.0.0.0/8\n"),
+		FormatUnknown: []byte("garbage here"),
+	}
+	for want, head := range cases {
+		if got := Detect(head); got != want {
+			t.Errorf("Detect(%q) = %v, want %v", head, got, want)
+		}
+	}
+	// Text with leading comment.
+	if got := Detect([]byte("# hi\nW 2003…")); got != FormatText {
+		t.Errorf("comment-prefixed text = %v", got)
+	}
+	// MRT header: type 16 at offset 4.
+	mrtHead := make([]byte, 12)
+	mrtHead[5] = 16
+	if got := Detect(mrtHead); got != FormatMRT {
+		t.Errorf("mrt header = %v", got)
+	}
+}
+
+func TestReadEventsErrors(t *testing.T) {
+	if _, err := ReadEvents(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing file succeeded")
+	}
+	bad := filepath.Join(t.TempDir(), "bad")
+	if err := os.WriteFile(bad, []byte("not an event stream"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadEvents(bad); err == nil {
+		t.Error("garbage file succeeded")
+	}
+}
+
+func TestRIBRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "table.mrt")
+	routes := []*rib.Route{{
+		Prefix:       netip.MustParsePrefix("20.1.0.0/16"),
+		Peer:         netip.MustParseAddr("128.32.1.3"),
+		PeerRouterID: netip.MustParseAddr("128.32.1.3"),
+		Attrs: &bgp.PathAttrs{
+			Origin:  bgp.OriginIGP,
+			ASPath:  bgp.Sequence(11423, 209),
+			Nexthop: netip.MustParseAddr("128.32.0.66"),
+		},
+		LearnedAt: t0,
+	}}
+	if err := WriteRIB(path, routes, netip.MustParseAddr("10.255.0.1"), t0); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadRIB(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0].Prefix != routes[0].Prefix {
+		t.Fatalf("back = %v", back)
+	}
+}

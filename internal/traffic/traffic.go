@@ -1,0 +1,286 @@
+// Package traffic implements the NetFlow-like traffic substrate of
+// §III-D.2: flow records, a per-prefix volume index with longest-prefix
+// matching, a Zipf "elephants and mice" generator (a small share of
+// prefixes carries most bytes), and adapters that turn traffic volume into
+// Stemming event weights and TAMP edge volumes.
+package traffic
+
+import (
+	"math"
+	"math/rand"
+	"net/netip"
+	"sort"
+	"time"
+
+	"rex/internal/core/tamp"
+	"rex/internal/event"
+)
+
+// Flow is one aggregated flow record: bytes toward a destination.
+type Flow struct {
+	Time  time.Time
+	Dst   netip.Addr
+	Bytes uint64
+}
+
+// VolumeIndex accumulates traffic volume per routing prefix.
+type VolumeIndex struct {
+	// byBits maps prefix length → the masked prefixes of that length, for
+	// longest-prefix matching of flow destinations.
+	byBits map[int]map[netip.Prefix]struct{}
+	bits   []int // lengths present, descending
+	volume map[netip.Prefix]uint64
+	total  uint64
+}
+
+// NewVolumeIndex builds an index over the routing table's prefixes.
+func NewVolumeIndex(prefixes []netip.Prefix) *VolumeIndex {
+	v := &VolumeIndex{
+		byBits: make(map[int]map[netip.Prefix]struct{}),
+		volume: make(map[netip.Prefix]uint64, len(prefixes)),
+	}
+	for _, p := range prefixes {
+		p = p.Masked()
+		set := v.byBits[p.Bits()]
+		if set == nil {
+			set = make(map[netip.Prefix]struct{})
+			v.byBits[p.Bits()] = set
+			v.bits = append(v.bits, p.Bits())
+		}
+		set[p] = struct{}{}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(v.bits)))
+	return v
+}
+
+// Lookup returns the longest known prefix covering dst.
+func (v *VolumeIndex) Lookup(dst netip.Addr) (netip.Prefix, bool) {
+	for _, bits := range v.bits {
+		p, err := dst.Prefix(bits)
+		if err != nil {
+			continue
+		}
+		if _, ok := v.byBits[bits][p]; ok {
+			return p, true
+		}
+	}
+	return netip.Prefix{}, false
+}
+
+// Record attributes a flow's bytes to the longest matching prefix. It
+// returns false (and drops the bytes) when no prefix covers the
+// destination.
+func (v *VolumeIndex) Record(f Flow) bool {
+	p, ok := v.Lookup(f.Dst)
+	if !ok {
+		return false
+	}
+	v.volume[p] += f.Bytes
+	v.total += f.Bytes
+	return true
+}
+
+// RecordPrefix attributes bytes directly to a known prefix.
+func (v *VolumeIndex) RecordPrefix(p netip.Prefix, bytes uint64) {
+	v.volume[p.Masked()] += bytes
+	v.total += bytes
+}
+
+// Volume returns the bytes attributed to p.
+func (v *VolumeIndex) Volume(p netip.Prefix) uint64 { return v.volume[p.Masked()] }
+
+// Total returns all attributed bytes.
+func (v *VolumeIndex) Total() uint64 { return v.total }
+
+// Fraction returns p's share of total volume (0 when nothing recorded).
+func (v *VolumeIndex) Fraction(p netip.Prefix) float64 {
+	if v.total == 0 {
+		return 0
+	}
+	return float64(v.volume[p.Masked()]) / float64(v.total)
+}
+
+// Elephants returns the smallest set of prefixes whose combined volume
+// reaches the given fraction of total traffic, heaviest first.
+func (v *VolumeIndex) Elephants(fraction float64) []netip.Prefix {
+	type pv struct {
+		p netip.Prefix
+		v uint64
+	}
+	all := make([]pv, 0, len(v.volume))
+	for p, vol := range v.volume {
+		all = append(all, pv{p, vol})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].v != all[j].v {
+			return all[i].v > all[j].v
+		}
+		return all[i].p.String() < all[j].p.String()
+	})
+	target := fraction * float64(v.total)
+	var out []netip.Prefix
+	var acc float64
+	for _, e := range all {
+		if acc >= target {
+			break
+		}
+		out = append(out, e.p)
+		acc += float64(e.v)
+	}
+	return out
+}
+
+// WeightFunc adapts the index into a Stemming event weight (§III-D.2's
+// weighted correlation): an event weighs 1 plus its prefix's share of
+// total traffic scaled by `scale`. With scale 100, an event on a prefix
+// carrying 10% of traffic weighs 11; a zero-traffic prefix weighs 1.
+func (v *VolumeIndex) WeightFunc(scale float64) func(*event.Event) float64 {
+	return func(e *event.Event) float64 {
+		return 1 + scale*v.Fraction(e.Prefix)
+	}
+}
+
+// GenerateZipf assigns totalBytes across the prefixes with a Zipf(rank)^-s
+// volume distribution, shuffling rank order with rng (nil for the natural
+// order). s around 1.5–2 reproduces the paper's elephant/mice regime where
+// ~10% of prefixes carry ~90% of bytes.
+func GenerateZipf(prefixes []netip.Prefix, totalBytes uint64, s float64, rng *rand.Rand) *VolumeIndex {
+	v := NewVolumeIndex(prefixes)
+	if len(prefixes) == 0 || totalBytes == 0 {
+		return v
+	}
+	if s <= 0 {
+		s = 1.8
+	}
+	order := make([]int, len(prefixes))
+	for i := range order {
+		order[i] = i
+	}
+	if rng != nil {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	}
+	weights := make([]float64, len(prefixes))
+	var sum float64
+	for rank := range prefixes {
+		w := math.Pow(float64(rank+1), -s)
+		weights[rank] = w
+		sum += w
+	}
+	for rank, idx := range order {
+		bytes := uint64(float64(totalBytes) * weights[rank] / sum)
+		if bytes > 0 {
+			v.RecordPrefix(prefixes[idx], bytes)
+		}
+	}
+	return v
+}
+
+// EdgeVolume computes a TAMP edge's traffic volume: the summed volume of
+// the unique prefixes currently carried on the edge. This is the paper's
+// traffic-weighted TAMP edge weight.
+func EdgeVolume(g *tamp.Graph, from, to tamp.NodeID, v *VolumeIndex) uint64 {
+	var total uint64
+	for _, p := range g.EdgePrefixes(from, to) {
+		total += v.Volume(p)
+	}
+	return total
+}
+
+// EdgeVolumeInfo annotates one picture edge with traffic volume.
+type EdgeVolumeInfo struct {
+	Edge tamp.EdgeRef
+	// PrefixWeight is the edge's unique-prefix count (TAMP's default
+	// metric).
+	PrefixWeight int
+	// Bytes and ByteFraction are the traffic metric.
+	Bytes        uint64
+	ByteFraction float64
+}
+
+// AnnotatePicture computes traffic volumes for every edge of a picture,
+// in picture edge order. Comparing PrefixWeight fractions with
+// ByteFraction exposes cases where a prefix-balanced split is
+// byte-unbalanced (the paper's load-balancing discussion).
+func AnnotatePicture(p *tamp.Picture, g *tamp.Graph, v *VolumeIndex) []EdgeVolumeInfo {
+	out := make([]EdgeVolumeInfo, 0, len(p.Edges))
+	for _, e := range p.Edges {
+		bytes := EdgeVolume(g, e.From, e.To, v)
+		info := EdgeVolumeInfo{
+			Edge:         tamp.EdgeRef{From: e.From, To: e.To},
+			PrefixWeight: e.Weight,
+			Bytes:        bytes,
+		}
+		if v.Total() > 0 {
+			info.ByteFraction = float64(bytes) / float64(v.Total())
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// Balance partitions prefixes into k groups of near-equal traffic volume
+// using greedy longest-processing-time assignment — the §III-D.2
+// "effective, fine-grained prefix load balancing" computed from routing +
+// traffic data instead of trial-and-error prefix-space splits. Groups are
+// returned with their byte totals; every input prefix appears in exactly
+// one group.
+func (v *VolumeIndex) Balance(prefixes []netip.Prefix, k int) []BalanceGroup {
+	if k <= 0 {
+		k = 2
+	}
+	type pv struct {
+		p   netip.Prefix
+		vol uint64
+	}
+	items := make([]pv, len(prefixes))
+	for i, p := range prefixes {
+		items[i] = pv{p: p.Masked(), vol: v.Volume(p)}
+	}
+	// Heaviest first; ties broken by prefix for determinism.
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].vol != items[j].vol {
+			return items[i].vol > items[j].vol
+		}
+		return items[i].p.String() < items[j].p.String()
+	})
+	groups := make([]BalanceGroup, k)
+	for _, it := range items {
+		// Assign to the lightest group.
+		min := 0
+		for g := 1; g < k; g++ {
+			if groups[g].Bytes < groups[min].Bytes {
+				min = g
+			}
+		}
+		groups[min].Prefixes = append(groups[min].Prefixes, it.p)
+		groups[min].Bytes += it.vol
+	}
+	return groups
+}
+
+// BalanceGroup is one side of a computed traffic split.
+type BalanceGroup struct {
+	Prefixes []netip.Prefix
+	Bytes    uint64
+}
+
+// Imbalance returns (max-min)/total across groups: 0 is a perfect split.
+func Imbalance(groups []BalanceGroup) float64 {
+	if len(groups) == 0 {
+		return 0
+	}
+	min, max, total := groups[0].Bytes, groups[0].Bytes, uint64(0)
+	for _, g := range groups {
+		if g.Bytes < min {
+			min = g.Bytes
+		}
+		if g.Bytes > max {
+			max = g.Bytes
+		}
+		total += g.Bytes
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(max-min) / float64(total)
+}

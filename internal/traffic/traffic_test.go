@@ -1,0 +1,212 @@
+package traffic
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+
+	"rex/internal/core/tamp"
+	"rex/internal/event"
+)
+
+func prefixes(n int) []netip.Prefix {
+	out := make([]netip.Prefix, n)
+	for i := range out {
+		out[i] = netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(i / 250), byte(i % 250), 0}), 24)
+	}
+	return out
+}
+
+func TestLookupLongestPrefix(t *testing.T) {
+	v := NewVolumeIndex([]netip.Prefix{
+		netip.MustParsePrefix("10.0.0.0/8"),
+		netip.MustParsePrefix("10.1.0.0/16"),
+		netip.MustParsePrefix("10.1.1.0/24"),
+	})
+	cases := map[string]string{
+		"10.1.1.5": "10.1.1.0/24",
+		"10.1.2.5": "10.1.0.0/16",
+		"10.2.0.1": "10.0.0.0/8",
+	}
+	for addr, want := range cases {
+		p, ok := v.Lookup(netip.MustParseAddr(addr))
+		if !ok || p.String() != want {
+			t.Errorf("Lookup(%s) = %v ok=%v, want %s", addr, p, ok, want)
+		}
+	}
+	if _, ok := v.Lookup(netip.MustParseAddr("192.168.0.1")); ok {
+		t.Error("uncovered address matched")
+	}
+}
+
+func TestRecordAndFractions(t *testing.T) {
+	v := NewVolumeIndex([]netip.Prefix{
+		netip.MustParsePrefix("10.1.0.0/16"),
+		netip.MustParsePrefix("10.2.0.0/16"),
+	})
+	now := time.Now()
+	if !v.Record(Flow{Time: now, Dst: netip.MustParseAddr("10.1.5.5"), Bytes: 900}) {
+		t.Fatal("record failed")
+	}
+	if !v.Record(Flow{Time: now, Dst: netip.MustParseAddr("10.2.5.5"), Bytes: 100}) {
+		t.Fatal("record failed")
+	}
+	if v.Record(Flow{Time: now, Dst: netip.MustParseAddr("172.16.0.1"), Bytes: 5}) {
+		t.Error("uncovered flow recorded")
+	}
+	if v.Total() != 1000 {
+		t.Errorf("Total = %d", v.Total())
+	}
+	if got := v.Volume(netip.MustParsePrefix("10.1.0.0/16")); got != 900 {
+		t.Errorf("Volume = %d", got)
+	}
+	if f := v.Fraction(netip.MustParsePrefix("10.2.0.0/16")); f != 0.1 {
+		t.Errorf("Fraction = %v", f)
+	}
+	empty := NewVolumeIndex(nil)
+	if empty.Fraction(netip.MustParsePrefix("10.0.0.0/8")) != 0 {
+		t.Error("empty index fraction")
+	}
+}
+
+func TestElephantsAndMice(t *testing.T) {
+	pfx := prefixes(100)
+	v := GenerateZipf(pfx, 1_000_000, 1.8, nil)
+	elephants := v.Elephants(0.9)
+	// The defining property: a small share of prefixes carries 90% of
+	// bytes (the paper cites ~10%/90%).
+	if len(elephants) == 0 || len(elephants) > 25 {
+		t.Errorf("elephants covering 90%% = %d prefixes of 100", len(elephants))
+	}
+	// Heaviest first.
+	for i := 1; i < len(elephants); i++ {
+		if v.Volume(elephants[i]) > v.Volume(elephants[i-1]) {
+			t.Fatal("elephants not sorted by volume")
+		}
+	}
+	// Steeper s concentrates more.
+	steep := GenerateZipf(pfx, 1_000_000, 2.5, nil)
+	if len(steep.Elephants(0.9)) > len(elephants) {
+		t.Error("steeper Zipf less concentrated")
+	}
+	// Shuffled rank assignment conserves total.
+	shuffled := GenerateZipf(pfx, 1_000_000, 1.8, rand.New(rand.NewSource(1)))
+	if shuffled.Total() == 0 || shuffled.Total() > 1_000_000 {
+		t.Errorf("shuffled total = %d", shuffled.Total())
+	}
+	// Degenerate inputs.
+	if got := GenerateZipf(nil, 1000, 1.8, nil); got.Total() != 0 {
+		t.Error("empty prefixes produced volume")
+	}
+	if got := GenerateZipf(pfx, 0, 0, nil); got.Total() != 0 {
+		t.Error("zero bytes produced volume")
+	}
+}
+
+func TestWeightFunc(t *testing.T) {
+	v := NewVolumeIndex(prefixes(10))
+	heavy := netip.MustParsePrefix("10.0.0.0/24")
+	v.RecordPrefix(heavy, 900)
+	v.RecordPrefix(netip.MustParsePrefix("10.0.1.0/24"), 100)
+	w := v.WeightFunc(100)
+	e := &event.Event{Prefix: heavy}
+	if got := w(e); got != 91 { // 1 + 100*0.9
+		t.Errorf("heavy weight = %v", got)
+	}
+	e.Prefix = netip.MustParsePrefix("10.0.5.0/24")
+	if got := w(e); got != 1 {
+		t.Errorf("mouse weight = %v", got)
+	}
+}
+
+func TestEdgeVolumeAndAnnotate(t *testing.T) {
+	g := tamp.New("site")
+	p1 := netip.MustParsePrefix("10.1.0.0/16")
+	p2 := netip.MustParsePrefix("10.2.0.0/16")
+	g.AddRoute(tamp.RouteEntry{Router: "r1", Nexthop: netip.MustParseAddr("10.0.0.66"), ASPath: []uint32{1}, Prefix: p1})
+	g.AddRoute(tamp.RouteEntry{Router: "r1", Nexthop: netip.MustParseAddr("10.0.0.70"), ASPath: []uint32{1}, Prefix: p2})
+	v := NewVolumeIndex([]netip.Prefix{p1, p2})
+	v.RecordPrefix(p1, 800)
+	v.RecordPrefix(p2, 200)
+
+	// Equal prefix counts (1 each), very different byte shares: the
+	// "load balancing unbalanced" signature.
+	nh66 := tamp.NexthopNode(netip.MustParseAddr("10.0.0.66"))
+	nh70 := tamp.NexthopNode(netip.MustParseAddr("10.0.0.70"))
+	if got := EdgeVolume(g, tamp.RouterNode("r1"), nh66, v); got != 800 {
+		t.Errorf("edge volume = %d", got)
+	}
+	pic := g.Snapshot(tamp.PruneOptions{Threshold: -1})
+	infos := AnnotatePicture(pic, g, v)
+	var f66, f70 float64
+	for _, info := range infos {
+		switch info.Edge.To {
+		case nh66:
+			f66 = info.ByteFraction
+		case nh70:
+			f70 = info.ByteFraction
+		}
+	}
+	if f66 != 0.8 || f70 != 0.2 {
+		t.Errorf("byte fractions = %v / %v", f66, f70)
+	}
+}
+
+func TestBalance(t *testing.T) {
+	pfx := prefixes(200)
+	v := GenerateZipf(pfx, 1_000_000, 1.8, rand.New(rand.NewSource(3)))
+	groups := v.Balance(pfx, 2)
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d", len(groups))
+	}
+	if got := len(groups[0].Prefixes) + len(groups[1].Prefixes); got != 200 {
+		t.Fatalf("prefixes assigned = %d", got)
+	}
+	// With a heavy Zipf head the best possible 2-way split is bounded by
+	// the largest single prefix; LPT must stay within that bound.
+	var maxShare float64
+	for _, p := range pfx {
+		if f := v.Fraction(p); f > maxShare {
+			maxShare = f
+		}
+	}
+	if imb := Imbalance(groups); imb > maxShare {
+		t.Errorf("imbalance = %.4f exceeds the single-elephant bound %.4f", imb, maxShare)
+	}
+	// On a flatter distribution LPT gets very close to perfect.
+	flat := GenerateZipf(pfx, 1_000_000, 0.5, rand.New(rand.NewSource(4)))
+	if imb := Imbalance(flat.Balance(pfx, 2)); imb > 0.01 {
+		t.Errorf("flat-distribution imbalance = %.4f, want < 1%%", imb)
+	}
+	// Naive half/half split for contrast.
+	naive := []BalanceGroup{{}, {}}
+	for i, p := range pfx {
+		g := i % 2
+		naive[g].Prefixes = append(naive[g].Prefixes, p)
+		naive[g].Bytes += v.Volume(p)
+	}
+	if Imbalance(naive) <= Imbalance(groups) {
+		t.Errorf("naive split (%.3f) not worse than LPT (%.3f)",
+			Imbalance(naive), Imbalance(groups))
+	}
+	// Degenerate arguments.
+	if got := v.Balance(nil, 0); len(got) != 2 {
+		t.Errorf("default k = %d groups", len(got))
+	}
+	if Imbalance(nil) != 0 {
+		t.Error("nil imbalance")
+	}
+}
+
+func TestBalanceDeterministic(t *testing.T) {
+	pfx := prefixes(50)
+	v := GenerateZipf(pfx, 500_000, 1.5, nil)
+	a := v.Balance(pfx, 3)
+	b := v.Balance(pfx, 3)
+	for g := range a {
+		if a[g].Bytes != b[g].Bytes || len(a[g].Prefixes) != len(b[g].Prefixes) {
+			t.Fatalf("group %d differs across runs", g)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package viz
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rex/internal/core/tamp"
+)
+
+// ASCII renders a picture as an indented tree for terminals:
+//
+//	berkeley (94 prefixes)
+//	└── 128.32.1.3 ── 80 (85%) ── 128.32.0.66
+//	    └── 128.32.0.66 ── 80 (85%) ── AS11423
+//
+// The TAMP graph is a DAG; nodes reachable over several paths are printed
+// under each parent, with deeper repeats elided ("…") to keep output
+// bounded.
+func ASCII(p *tamp.Picture) string {
+	children := map[tamp.NodeID][]tamp.PictureEdge{}
+	for _, e := range p.Edges {
+		children[e.From] = append(children[e.From], e)
+	}
+	for _, es := range children {
+		sort.Slice(es, func(i, j int) bool {
+			if es[i].Weight != es[j].Weight {
+				return es[i].Weight > es[j].Weight
+			}
+			return es[i].To.String() < es[j].To.String()
+		})
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%d prefixes)\n", p.Site, p.Total)
+	root := tamp.RootNode(p.Site)
+	visited := map[tamp.NodeID]bool{root: true}
+	var walk func(node tamp.NodeID, prefix string)
+	walk = func(node tamp.NodeID, prefix string) {
+		es := children[node]
+		for i, e := range es {
+			connector, childPrefix := "├── ", prefix+"│   "
+			if i == len(es)-1 {
+				connector, childPrefix = "└── ", prefix+"    "
+			}
+			pct := ""
+			if p.Total > 0 {
+				pct = fmt.Sprintf(" (%.0f%%)", 100*e.Fraction)
+			}
+			repeat := ""
+			if visited[e.To] {
+				repeat = " …"
+			}
+			fmt.Fprintf(&b, "%s%s%s — %d%s%s\n", prefix, connector, e.To.String(), e.Weight, pct, repeat)
+			if !visited[e.To] {
+				visited[e.To] = true
+				walk(e.To, childPrefix)
+			}
+		}
+	}
+	walk(root, "")
+	return b.String()
+}
+
+// RateASCII renders an event-rate series as a fixed-height bar chart, the
+// terminal analogue of the paper's Figure 8.
+func RateASCII(counts []int, height int) string {
+	if height <= 0 {
+		height = 10
+	}
+	if len(counts) == 0 {
+		return "(no events)\n"
+	}
+	maxV := 1
+	for _, c := range counts {
+		if c > maxV {
+			maxV = c
+		}
+	}
+	var b strings.Builder
+	for row := height; row >= 1; row-- {
+		threshold := float64(maxV) * float64(row) / float64(height)
+		if row == height {
+			fmt.Fprintf(&b, "%8d |", maxV)
+		} else {
+			b.WriteString("         |")
+		}
+		for _, c := range counts {
+			if float64(c) >= threshold {
+				b.WriteByte('#')
+			} else {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("       0 +")
+	b.WriteString(strings.Repeat("-", len(counts)))
+	b.WriteByte('\n')
+	return b.String()
+}

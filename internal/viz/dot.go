@@ -1,0 +1,67 @@
+// Package viz renders TAMP pictures and animations without external
+// dependencies: a Graphviz DOT emitter (the paper used AT&T graphviz for
+// layout), a built-in layered layout with an SVG renderer, an ASCII
+// renderer for terminals, and an animation-frame renderer with the paper's
+// visual cues (edge colors, gray max shadow, animation clock, selected-
+// edge prefix plot).
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"rex/internal/core/tamp"
+)
+
+// DOTOptions tunes the DOT emitter.
+type DOTOptions struct {
+	// RankDir is the graphviz rank direction (default "LR": data flows
+	// left-to-right as in the paper's figures).
+	RankDir string
+	// ShowPercent labels edges with their percentage of total prefixes.
+	ShowPercent bool
+}
+
+// DOT renders the picture as a Graphviz source string. Edge pen widths are
+// proportional to the fraction of prefixes carried, as in TAMP pictures.
+func DOT(p *tamp.Picture, opts DOTOptions) string {
+	rankdir := opts.RankDir
+	if rankdir == "" {
+		rankdir = "LR"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", p.Site)
+	fmt.Fprintf(&b, "  rankdir=%s;\n  node [fontsize=10];\n", rankdir)
+	for _, n := range p.Nodes {
+		shape := nodeShape(n.ID.Kind)
+		fmt.Fprintf(&b, "  %q [shape=%s];\n", n.ID.String(), shape)
+	}
+	for _, e := range p.Edges {
+		width := 0.5 + 6*e.Fraction
+		label := fmt.Sprintf("%d", e.Weight)
+		if opts.ShowPercent {
+			label = fmt.Sprintf("%d (%.0f%%)", e.Weight, 100*e.Fraction)
+		}
+		fmt.Fprintf(&b, "  %q -> %q [penwidth=%.2f, label=%q];\n",
+			e.From.String(), e.To.String(), width, label)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func nodeShape(k tamp.NodeKind) string {
+	switch k {
+	case tamp.KindRoot:
+		return "box"
+	case tamp.KindRouter:
+		return "box"
+	case tamp.KindNexthop:
+		return "ellipse"
+	case tamp.KindAS:
+		return "ellipse"
+	case tamp.KindPrefix:
+		return "plaintext"
+	default:
+		return "ellipse"
+	}
+}

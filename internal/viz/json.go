@@ -1,0 +1,83 @@
+package viz
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+
+	"rex/internal/core/tamp"
+)
+
+// AnimationJSON is the machine-readable export of a TAMP animation, for
+// web players and archival. The schema is stable: field names are part of
+// the format.
+type AnimationJSON struct {
+	Site         string      `json:"site"`
+	Start        time.Time   `json:"start"`
+	End          time.Time   `json:"end"`
+	PlayMillis   int64       `json:"playMillis"`
+	FPS          int         `json:"fps"`
+	NumFrames    int         `json:"numFrames"`
+	InitialEdges []EdgeJSON  `json:"initialEdges"`
+	Frames       []FrameJSON `json:"frames"`
+}
+
+// EdgeJSON is one edge state.
+type EdgeJSON struct {
+	From    string `json:"from"`
+	To      string `json:"to"`
+	Count   int    `json:"count"`
+	MaxEver int    `json:"maxEver"`
+	Color   string `json:"color"`
+	Ups     int    `json:"ups,omitempty"`
+	Downs   int    `json:"downs,omitempty"`
+}
+
+// FrameJSON is one non-empty frame.
+type FrameJSON struct {
+	Index   int        `json:"index"`
+	Time    time.Time  `json:"time"`
+	Changes []EdgeJSON `json:"changes"`
+}
+
+// ExportAnimation converts an animation to its JSON form.
+func ExportAnimation(a *tamp.Animation) AnimationJSON {
+	out := AnimationJSON{
+		Site:       a.Site,
+		Start:      a.Start,
+		End:        a.End,
+		PlayMillis: a.PlayDuration.Milliseconds(),
+		FPS:        a.FPS,
+		NumFrames:  a.NumFrames,
+	}
+	for _, st := range a.Initial {
+		out.InitialEdges = append(out.InitialEdges, edgeJSON(st))
+	}
+	for _, f := range a.Frames {
+		fj := FrameJSON{Index: f.Index, Time: f.Time}
+		for _, ch := range f.Changes {
+			fj.Changes = append(fj.Changes, edgeJSON(ch))
+		}
+		out.Frames = append(out.Frames, fj)
+	}
+	return out
+}
+
+// WriteAnimationJSON writes the animation as indented JSON.
+func WriteAnimationJSON(w io.Writer, a *tamp.Animation) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ExportAnimation(a))
+}
+
+func edgeJSON(st tamp.EdgeFrameState) EdgeJSON {
+	return EdgeJSON{
+		From:    st.Edge.From.String(),
+		To:      st.Edge.To.String(),
+		Count:   st.Count,
+		MaxEver: st.MaxEver,
+		Color:   st.Color.String(),
+		Ups:     st.Ups,
+		Downs:   st.Downs,
+	}
+}

@@ -1,0 +1,96 @@
+package viz
+
+import (
+	"sort"
+
+	"rex/internal/core/tamp"
+)
+
+// Point is a laid-out node position.
+type Point struct {
+	X, Y float64
+}
+
+// Layout assigns coordinates to a picture's nodes: a layered
+// (Sugiyama-style) layout with nodes in columns by depth and a single
+// barycenter ordering pass to reduce edge crossings. Data flows
+// left-to-right, like the paper's figures.
+type Layout struct {
+	Pos    map[tamp.NodeID]Point
+	Width  float64
+	Height float64
+}
+
+// Layout spacing constants (SVG user units).
+const (
+	colWidth  = 190.0
+	rowHeight = 46.0
+	marginX   = 60.0
+	marginY   = 40.0
+)
+
+// ComputeLayout lays out the picture.
+func ComputeLayout(p *tamp.Picture) *Layout {
+	// Group nodes by depth.
+	maxDepth := 0
+	byDepth := map[int][]tamp.NodeID{}
+	depthOf := map[tamp.NodeID]int{}
+	for _, n := range p.Nodes {
+		byDepth[n.Depth] = append(byDepth[n.Depth], n.ID)
+		depthOf[n.ID] = n.Depth
+		if n.Depth > maxDepth {
+			maxDepth = n.Depth
+		}
+	}
+	// Predecessors for barycenter ordering.
+	preds := map[tamp.NodeID][]tamp.NodeID{}
+	for _, e := range p.Edges {
+		preds[e.To] = append(preds[e.To], e.From)
+	}
+
+	l := &Layout{Pos: make(map[tamp.NodeID]Point, len(p.Nodes))}
+	order := map[tamp.NodeID]int{}
+	rows := 0
+	for d := 0; d <= maxDepth; d++ {
+		col := byDepth[d]
+		if len(col) == 0 {
+			continue
+		}
+		if d > 0 {
+			// Barycenter: average order of predecessors in earlier
+			// columns; stable sort keeps the deterministic input order
+			// for ties.
+			sort.SliceStable(col, func(i, j int) bool {
+				return barycenter(col[i], preds, order) < barycenter(col[j], preds, order)
+			})
+		}
+		for i, id := range col {
+			order[id] = i
+			l.Pos[id] = Point{
+				X: marginX + float64(d)*colWidth,
+				Y: marginY + float64(i)*rowHeight,
+			}
+		}
+		if len(col) > rows {
+			rows = len(col)
+		}
+	}
+	l.Width = marginX*2 + float64(maxDepth)*colWidth + 120
+	l.Height = marginY*2 + float64(rows-1)*rowHeight + 20
+	if rows == 0 {
+		l.Height = marginY * 2
+	}
+	return l
+}
+
+func barycenter(id tamp.NodeID, preds map[tamp.NodeID][]tamp.NodeID, order map[tamp.NodeID]int) float64 {
+	ps := preds[id]
+	if len(ps) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, p := range ps {
+		sum += float64(order[p])
+	}
+	return sum / float64(len(ps))
+}

@@ -1,0 +1,234 @@
+package viz
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"rex/internal/core/tamp"
+)
+
+// SVG renders a static TAMP picture to an SVG document using the built-in
+// layered layout. Edge stroke widths are proportional to the fraction of
+// prefixes carried.
+func SVG(p *tamp.Picture) string {
+	l := ComputeLayout(p)
+	var b strings.Builder
+	svgHeader(&b, l.Width, l.Height)
+	fmt.Fprintf(&b, `<text x="%.0f" y="18" font-size="13" font-weight="bold">%s — %d prefixes</text>`+"\n",
+		marginX, escape(p.Site), p.Total)
+	for _, e := range p.Edges {
+		from, okF := l.Pos[e.From]
+		to, okT := l.Pos[e.To]
+		if !okF || !okT {
+			continue
+		}
+		width := 1 + 8*e.Fraction
+		fmt.Fprintf(&b, `<line x1="%.0f" y1="%.0f" x2="%.0f" y2="%.0f" stroke="black" stroke-width="%.2f"/>`+"\n",
+			from.X+55, from.Y, to.X-55, to.Y, width)
+		midX, midY := (from.X+to.X)/2, (from.Y+to.Y)/2-4
+		fmt.Fprintf(&b, `<text x="%.0f" y="%.0f" font-size="9" text-anchor="middle">%d (%.0f%%)</text>`+"\n",
+			midX, midY, e.Weight, 100*e.Fraction)
+	}
+	for _, n := range p.Nodes {
+		drawNode(&b, n.ID, l.Pos[n.ID], "white")
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// AnimationFrameSVG renders one frame of an animation in the style of the
+// paper's Figure 3: the graph with per-edge colors and gray max shadows,
+// an animation clock, and — when selected is non-zero — a prefix-count
+// impulse plot for the selected edge.
+func AnimationFrameSVG(a *tamp.Animation, frame int, selected tamp.EdgeRef) string {
+	states := a.StateAt(frame)
+	pic := pictureFromStates(a.Site, states)
+	l := ComputeLayout(pic)
+
+	plotH := 0.0
+	if selected != (tamp.EdgeRef{}) {
+		plotH = 120
+	}
+	var b strings.Builder
+	svgHeader(&b, l.Width, l.Height+40+plotH)
+
+	// Edges with color and gray shadow.
+	stateOf := make(map[tamp.EdgeRef]tamp.EdgeFrameState, len(states))
+	maxCount := 1
+	for _, st := range states {
+		stateOf[st.Edge] = st
+		if st.MaxEver > maxCount {
+			maxCount = st.MaxEver
+		}
+	}
+	for _, e := range pic.Edges {
+		from, okF := l.Pos[e.From]
+		to, okT := l.Pos[e.To]
+		if !okF || !okT {
+			continue
+		}
+		st := stateOf[tamp.EdgeRef{From: e.From, To: e.To}]
+		// Gray shadow: the largest prefix count the edge ever carried.
+		if st.MaxEver > st.Count {
+			shadowW := 1 + 10*float64(st.MaxEver)/float64(maxCount)
+			fmt.Fprintf(&b, `<line x1="%.0f" y1="%.0f" x2="%.0f" y2="%.0f" stroke="#bbbbbb" stroke-width="%.2f"/>`+"\n",
+				from.X+55, from.Y, to.X-55, to.Y, shadowW)
+		}
+		if st.Count > 0 || st.Color != tamp.ColorBlack {
+			w := 1 + 10*float64(st.Count)/float64(maxCount)
+			fmt.Fprintf(&b, `<line x1="%.0f" y1="%.0f" x2="%.0f" y2="%.0f" stroke="%s" stroke-width="%.2f"/>`+"\n",
+				from.X+55, from.Y, to.X-55, to.Y, colorHex(st.Color), w)
+		}
+		midX, midY := (from.X+to.X)/2, (from.Y+to.Y)/2-4
+		fmt.Fprintf(&b, `<text x="%.0f" y="%.0f" font-size="9" text-anchor="middle">%d</text>`+"\n", midX, midY, st.Count)
+	}
+	for _, n := range pic.Nodes {
+		drawNode(&b, n.ID, l.Pos[n.ID], "white")
+	}
+
+	// Animation clock: time into the incident.
+	clock := a.FrameTime(frame).Sub(a.Start)
+	fmt.Fprintf(&b, `<text x="%.0f" y="%.0f" font-size="12">t+%s (frame %d/%d)</text>`+"\n",
+		marginX, l.Height+20, formatClock(clock), frame+1, a.NumFrames)
+
+	// Selected-edge prefix plot.
+	if plotH > 0 {
+		series := a.EdgeSeries(selected)
+		plotTop := l.Height + 40
+		fmt.Fprintf(&b, `<text x="%.0f" y="%.0f" font-size="10">%s prefixes over time</text>`+"\n",
+			marginX, plotTop-6, escape(selected.String()))
+		maxV := 1
+		for _, v := range series {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		w := l.Width - 2*marginX
+		var pts []string
+		for i, v := range series {
+			x := marginX + w*float64(i)/float64(len(series)-1)
+			y := plotTop + (plotH-30)*(1-float64(v)/float64(maxV))
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", x, y))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="black" stroke-width="1"/>`+"\n",
+			strings.Join(pts, " "))
+		// Cursor at the current frame.
+		cx := marginX + w*float64(frame+1)/float64(len(series)-1)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="red" stroke-width="1"/>`+"\n",
+			cx, plotTop, cx, plotTop+plotH-30)
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// pictureFromStates builds a minimal picture (nodes+edges, unpruned) from
+// animation edge states so frames can reuse the layout engine.
+func pictureFromStates(site string, states []tamp.EdgeFrameState) *tamp.Picture {
+	pic := &tamp.Picture{Site: site}
+	depth := map[tamp.NodeID]int{}
+	// BFS depths from the root node over state edges.
+	adj := map[tamp.NodeID][]tamp.NodeID{}
+	for _, st := range states {
+		adj[st.Edge.From] = append(adj[st.Edge.From], st.Edge.To)
+	}
+	root := tamp.RootNode(site)
+	depth[root] = 0
+	queue := []tamp.NodeID{root}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, to := range adj[n] {
+			if _, seen := depth[to]; !seen {
+				depth[to] = depth[n] + 1
+				queue = append(queue, to)
+			}
+		}
+	}
+	for id, d := range depth {
+		pic.Nodes = append(pic.Nodes, tamp.PictureNode{ID: id, Depth: d})
+	}
+	sortPictureNodes(pic.Nodes)
+	for _, st := range states {
+		d, ok := depth[st.Edge.From]
+		if !ok {
+			continue
+		}
+		pic.Edges = append(pic.Edges, tamp.PictureEdge{
+			From: st.Edge.From, To: st.Edge.To,
+			Weight: st.Count, MaxEver: st.MaxEver, Depth: d,
+		})
+	}
+	return pic
+}
+
+func sortPictureNodes(nodes []tamp.PictureNode) {
+	for i := 1; i < len(nodes); i++ {
+		for j := i; j > 0 && pictureNodeLess(nodes[j], nodes[j-1]); j-- {
+			nodes[j], nodes[j-1] = nodes[j-1], nodes[j]
+		}
+	}
+}
+
+func pictureNodeLess(a, b tamp.PictureNode) bool {
+	if a.Depth != b.Depth {
+		return a.Depth < b.Depth
+	}
+	if a.ID.Kind != b.ID.Kind {
+		return a.ID.Kind < b.ID.Kind
+	}
+	return a.ID.Name < b.ID.Name
+}
+
+func svgHeader(b *strings.Builder, w, h float64) {
+	fmt.Fprintf(b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n", w, h, w, h)
+	fmt.Fprintf(b, `<rect width="%.0f" height="%.0f" fill="white"/>`+"\n", w, h)
+}
+
+func drawNode(b *strings.Builder, id tamp.NodeID, at Point, fill string) {
+	label := id.String()
+	w := 9.0*float64(len(label)) + 14
+	if w < 50 {
+		w = 50
+	}
+	if id.Kind == tamp.KindRoot || id.Kind == tamp.KindRouter {
+		fmt.Fprintf(b, `<rect x="%.0f" y="%.0f" width="%.0f" height="22" fill="%s" stroke="black"/>`+"\n",
+			at.X-w/2, at.Y-11, w, fill)
+	} else {
+		fmt.Fprintf(b, `<ellipse cx="%.0f" cy="%.0f" rx="%.0f" ry="12" fill="%s" stroke="black"/>`+"\n",
+			at.X, at.Y, w/2, fill)
+	}
+	fmt.Fprintf(b, `<text x="%.0f" y="%.0f" font-size="10" text-anchor="middle">%s</text>`+"\n",
+		at.X, at.Y+3, escape(label))
+}
+
+func colorHex(c tamp.EdgeColor) string {
+	switch c {
+	case tamp.ColorBlue:
+		return "#2255cc"
+	case tamp.ColorGreen:
+		return "#22aa44"
+	case tamp.ColorYellow:
+		return "#ddbb00"
+	default:
+		return "black"
+	}
+}
+
+func formatClock(d time.Duration) string {
+	switch {
+	case d >= time.Hour:
+		return fmt.Sprintf("%.1fh", d.Hours())
+	case d >= time.Minute:
+		return fmt.Sprintf("%.1fm", d.Minutes())
+	case d >= time.Second:
+		return fmt.Sprintf("%.1fs", d.Seconds())
+	default:
+		return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+	}
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

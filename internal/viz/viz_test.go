@@ -1,0 +1,231 @@
+package viz
+
+import (
+	"encoding/json"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"rex/internal/bgp"
+	"rex/internal/core/tamp"
+	"rex/internal/event"
+)
+
+func testPicture(t *testing.T) *tamp.Picture {
+	t.Helper()
+	g := tamp.New("berkeley")
+	add := func(router, nexthop, prefix string, asns ...uint32) {
+		g.AddRoute(tamp.RouteEntry{
+			Router:  router,
+			Nexthop: netip.MustParseAddr(nexthop),
+			ASPath:  asns,
+			Prefix:  netip.MustParsePrefix(prefix),
+		})
+	}
+	for i := 0; i < 20; i++ {
+		add("128.32.1.3", "128.32.0.66", netip.PrefixFrom(netip.AddrFrom4([4]byte{20, byte(i), 0, 0}), 16).String(), 11423, 209)
+	}
+	for i := 0; i < 4; i++ {
+		add("128.32.1.200", "128.32.0.90", netip.PrefixFrom(netip.AddrFrom4([4]byte{30, byte(i), 0, 0}), 16).String(), 11423, 11537)
+	}
+	return g.Snapshot(tamp.PruneOptions{KeepDepth: 3})
+}
+
+func TestDOTOutput(t *testing.T) {
+	pic := testPicture(t)
+	dot := DOT(pic, DOTOptions{ShowPercent: true})
+	for _, want := range []string{
+		`digraph "berkeley"`,
+		"rankdir=LR",
+		`"128.32.1.3" [shape=box]`,
+		`"AS11423"`,
+		`"128.32.0.66" -> "AS11423"`,
+		"(83%)",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	// Deterministic.
+	if dot != DOT(pic, DOTOptions{ShowPercent: true}) {
+		t.Error("DOT nondeterministic")
+	}
+	// Default rankdir and label shape.
+	plain := DOT(pic, DOTOptions{})
+	if !strings.Contains(plain, "rankdir=LR") || strings.Contains(plain, "%") {
+		t.Error("default DOT options wrong")
+	}
+}
+
+func TestComputeLayout(t *testing.T) {
+	pic := testPicture(t)
+	l := ComputeLayout(pic)
+	if len(l.Pos) != len(pic.Nodes) {
+		t.Fatalf("laid out %d of %d nodes", len(l.Pos), len(pic.Nodes))
+	}
+	// Depth maps to x: deeper nodes strictly to the right.
+	rootX := l.Pos[tamp.RootNode("berkeley")].X
+	asX := l.Pos[tamp.ASNode(11423)].X
+	if asX <= rootX {
+		t.Errorf("AS x %v <= root x %v", asX, rootX)
+	}
+	// No two nodes share a position.
+	seen := map[Point]tamp.NodeID{}
+	for id, pt := range l.Pos {
+		if other, dup := seen[pt]; dup {
+			t.Errorf("nodes %v and %v share position %v", id, other, pt)
+		}
+		seen[pt] = id
+	}
+	if l.Width <= 0 || l.Height <= 0 {
+		t.Errorf("degenerate canvas %vx%v", l.Width, l.Height)
+	}
+}
+
+func TestSVGOutput(t *testing.T) {
+	pic := testPicture(t)
+	svg := SVG(pic)
+	for _, want := range []string{"<svg", "</svg>", "berkeley — 24 prefixes", "AS11423", "<line"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestASCIIOutput(t *testing.T) {
+	pic := testPicture(t)
+	out := ASCII(pic)
+	for _, want := range []string{"berkeley (24 prefixes)", "128.32.1.3", "AS11423", "(83%)", "└──"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ASCII missing %q:\n%s", want, out)
+		}
+	}
+	// Heavier branches print first.
+	if strings.Index(out, "128.32.1.3") > strings.Index(out, "128.32.1.200") {
+		t.Error("branches not weight-ordered")
+	}
+}
+
+func TestAnimationFrameSVG(t *testing.T) {
+	t0 := time.Date(2002, 7, 1, 0, 0, 0, 0, time.UTC)
+	mk := func(typ event.Type, offset time.Duration) event.Event {
+		return event.Event{
+			Time: t0.Add(offset), Type: typ,
+			Peer:   netip.MustParseAddr("10.0.0.1"),
+			Prefix: netip.MustParsePrefix("4.5.0.0/16"),
+			Attrs: &bgp.PathAttrs{
+				ASPath:  bgp.Sequence(2),
+				Nexthop: netip.MustParseAddr("10.3.4.5"),
+			},
+		}
+	}
+	base := []tamp.RouteEntry{{
+		Router:  "10.0.0.1",
+		Nexthop: netip.MustParseAddr("10.3.4.5"),
+		ASPath:  []uint32{2},
+		Prefix:  netip.MustParsePrefix("4.5.0.0/16"),
+	}}
+	events := event.Stream{mk(event.Withdraw, 0), mk(event.Announce, 10*time.Second)}
+	anim := tamp.Animate("isp", base, events, tamp.AnimationConfig{})
+	sel := tamp.EdgeRef{From: tamp.RouterNode("10.0.0.1"), To: tamp.NexthopNode(netip.MustParseAddr("10.3.4.5"))}
+
+	svg := AnimationFrameSVG(anim, 0, sel)
+	for _, want := range []string{"<svg", "frame 1/750", "prefixes over time", "polyline", "#2255cc"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("frame SVG missing %q", want)
+		}
+	}
+	// Gray shadow appears when the edge lost its prefix.
+	if !strings.Contains(svg, "#bbbbbb") {
+		t.Error("no gray shadow on lost-prefix edge")
+	}
+	// Without a selected edge there is no plot.
+	svg = AnimationFrameSVG(anim, anim.NumFrames-1, tamp.EdgeRef{})
+	if strings.Contains(svg, "prefixes over time") {
+		t.Error("plot rendered without selection")
+	}
+	// Final frame: edge regained its prefix (green in that frame).
+	if !strings.Contains(svg, "#22aa44") {
+		t.Error("final frame missing green edge")
+	}
+}
+
+func TestRateASCII(t *testing.T) {
+	out := RateASCII([]int{1, 1, 50, 1}, 5)
+	if !strings.Contains(out, "#") || !strings.Contains(out, "50 |") {
+		t.Errorf("rate chart:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 {
+		t.Errorf("chart height = %d lines", len(lines))
+	}
+	if RateASCII(nil, 5) != "(no events)\n" {
+		t.Error("empty rate chart")
+	}
+	if !strings.Contains(RateASCII([]int{3}, 0), "|") {
+		t.Error("default height chart")
+	}
+}
+
+func TestFormatClock(t *testing.T) {
+	for d, want := range map[time.Duration]string{
+		90 * time.Minute:        "1.5h",
+		90 * time.Second:        "1.5m",
+		1500 * time.Millisecond: "1.5s",
+		500 * time.Microsecond:  "0.5ms",
+	} {
+		if got := formatClock(d); got != want {
+			t.Errorf("formatClock(%v) = %q, want %q", d, got, want)
+		}
+	}
+}
+
+func TestEscape(t *testing.T) {
+	if got := escape(`a<b>&"c"`); got != "a&lt;b&gt;&amp;&quot;c&quot;" {
+		t.Errorf("escape = %q", got)
+	}
+}
+
+func TestAnimationJSONExport(t *testing.T) {
+	t0 := time.Date(2002, 7, 1, 0, 0, 0, 0, time.UTC)
+	base := []tamp.RouteEntry{{
+		Router:  "10.0.0.1", // routers are named by peering address
+		Nexthop: netip.MustParseAddr("10.3.4.5"),
+		ASPath:  []uint32{2},
+		Prefix:  netip.MustParsePrefix("4.5.0.0/16"),
+	}}
+	events := event.Stream{
+		{Time: t0, Type: event.Withdraw, Peer: netip.MustParseAddr("10.0.0.1"),
+			Prefix: netip.MustParsePrefix("4.5.0.0/16"),
+			Attrs:  &bgp.PathAttrs{ASPath: bgp.Sequence(2), Nexthop: netip.MustParseAddr("10.3.4.5")}},
+	}
+	anim := tamp.Animate("isp", base, events, tamp.AnimationConfig{})
+	var buf strings.Builder
+	if err := WriteAnimationJSON(&buf, anim); err != nil {
+		t.Fatal(err)
+	}
+	var back AnimationJSON
+	if err := json.Unmarshal([]byte(buf.String()), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Site != "isp" || back.NumFrames != 1 || back.FPS != 25 {
+		t.Errorf("header = %+v", back)
+	}
+	if len(back.InitialEdges) == 0 || back.InitialEdges[0].Color != "black" {
+		t.Errorf("initial = %+v", back.InitialEdges)
+	}
+	if len(back.Frames) != 1 || len(back.Frames[0].Changes) == 0 {
+		t.Fatalf("frames = %+v", back.Frames)
+	}
+	// The withdrawn edge is blue in the frame.
+	sawBlue := false
+	for _, ch := range back.Frames[0].Changes {
+		if ch.Color == "blue" {
+			sawBlue = true
+		}
+	}
+	if !sawBlue {
+		t.Error("no blue change in exported frame")
+	}
+}

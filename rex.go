@@ -1,0 +1,184 @@
+// Package rex is a from-scratch Go implementation of the system described
+// in "Internet Routing Anomaly Detection and Visualization" (Wong,
+// Jacobson, Alaettinoglu — DSN 2005): the TAMP visualization algorithm
+// ("one picture says 1,000,000 routes"), the Stemming anomaly-detection
+// algorithm, and the collection substrate they run on — a passive IBGP
+// collector that augments withdrawals with their original path attributes.
+//
+// The facade re-exports the library's primary types and entry points; the
+// full surface lives in the internal packages:
+//
+//   - internal/bgp, internal/bgp/fsm: BGP-4 wire codec and live sessions
+//   - internal/rib: Adj-RIB-In / Loc-RIB and the BGP decision process
+//   - internal/event: the augmented event stream and rate analysis
+//   - internal/core/tamp, internal/core/stemming: the paper's algorithms
+//   - internal/core: the real-time anomaly pipeline
+//   - internal/collector: the REX-like passive IBGP collector
+//   - internal/mrt: MRT (RFC 6396) import/export
+//   - internal/igp, internal/policy, internal/traffic: the §III-D data
+//     sources (link-state IGP, router configurations, NetFlow-like
+//     traffic)
+//   - internal/sim: the Internet simulator regenerating the paper's case
+//     studies and performance tables
+//   - internal/viz: DOT/SVG/ASCII renderers and animation frames
+//
+// Quickstart:
+//
+//	g := rex.NewTAMP("my-site")
+//	for _, r := range routes {
+//	    g.AddRoute(r)
+//	}
+//	pic := g.Snapshot(rex.PruneOptions{})            // Figure-2-style picture
+//	fmt.Print(rex.ASCII(pic))
+//
+//	comps := rex.Stemming(events, rex.StemmingConfig{}) // find the incidents
+//	anim := rex.Animate("my-site", base, comps[0], events)
+package rex
+
+import (
+	"net"
+	"net/netip"
+
+	"rex/internal/collector"
+	"rex/internal/core"
+	"rex/internal/core/stemming"
+	"rex/internal/core/tamp"
+	"rex/internal/event"
+	"rex/internal/viz"
+)
+
+// Event-stream types.
+type (
+	// Event is one BGP routing event (announcement or augmented
+	// withdrawal).
+	Event = event.Event
+	// Stream is an ordered sequence of events.
+	Stream = event.Stream
+	// RateSeries is a bucketed event-rate time series (Figure 8).
+	RateSeries = event.RateSeries
+)
+
+// Event types.
+const (
+	Announce = event.Announce
+	Withdraw = event.Withdraw
+)
+
+// TAMP types.
+type (
+	// TAMPGraph is the mutable merged TAMP graph.
+	TAMPGraph = tamp.Graph
+	// RouteEntry is TAMP's input: one router's RIB entry.
+	RouteEntry = tamp.RouteEntry
+	// Picture is a pruned TAMP snapshot.
+	Picture = tamp.Picture
+	// PruneOptions controls snapshot pruning (threshold, hierarchical).
+	PruneOptions = tamp.PruneOptions
+	// Animation is a rendered TAMP animation.
+	Animation = tamp.Animation
+	// AnimationConfig sets play duration and frame rate (defaults: the
+	// paper's 30 s at 25 fps).
+	AnimationConfig = tamp.AnimationConfig
+)
+
+// Stemming types.
+type (
+	// Component is one strongly correlated component of an event stream.
+	Component = stemming.Component
+	// Stem is the inferred problem location.
+	Stem = stemming.Stem
+	// StemmingConfig tunes the decomposition.
+	StemmingConfig = stemming.Config
+)
+
+// Pipeline types.
+type (
+	// Alert is one detected incident (spike or churn).
+	Alert = core.Alert
+	// DetectorConfig tunes the anomaly pipeline.
+	DetectorConfig = core.Config
+	// Detector scans event streams for anomalies.
+	Detector = core.Detector
+	// Pipeline buffers a live feed and scans on demand.
+	Pipeline = core.Pipeline
+)
+
+// Collector types.
+type (
+	// Collector is the passive IBGP collector (the paper's REX role).
+	Collector = collector.Collector
+	// CollectorConfig parameterizes it.
+	CollectorConfig = collector.Config
+	// Recorder is a concurrency-safe event accumulator handler.
+	Recorder = collector.Recorder
+)
+
+// NewTAMP returns an empty TAMP graph for the named site.
+func NewTAMP(site string) *TAMPGraph { return tamp.New(site) }
+
+// Stemming decomposes a stream into correlated components, strongest
+// first.
+func Stemming(s Stream, cfg StemmingConfig) []Component {
+	return stemming.Analyze(s, cfg)
+}
+
+// Animate builds a TAMP animation of events over a baseline routing
+// state, using the paper's defaults (30 s play time, 25 fps).
+func Animate(site string, baseline []RouteEntry, events Stream, cfg AnimationConfig) *Animation {
+	return tamp.Animate(site, baseline, events, cfg)
+}
+
+// Rate buckets a stream into an event-rate series.
+var Rate = event.Rate
+
+// OriginConflicts finds prefixes announced with multiple origin ASes
+// (MOAS) — the route-hijacking signature.
+var OriginConflicts = event.OriginConflicts
+
+// OriginConflict is one MOAS finding.
+type OriginConflict = event.OriginConflict
+
+// NewDetector builds the spike+churn anomaly detector.
+func NewDetector(cfg DetectorConfig) *Detector { return core.NewDetector(cfg) }
+
+// NewPipeline builds a buffering live pipeline.
+func NewPipeline(cfg DetectorConfig, maxBuffered int) *Pipeline {
+	return core.NewPipeline(cfg, maxBuffered)
+}
+
+// NewRecorder returns an event accumulator usable as a collector handler.
+func NewRecorder() *Recorder { return collector.NewRecorder() }
+
+// ListenAndCollect starts a collector accepting IBGP sessions on addr
+// (e.g. ":179", "127.0.0.1:1790", or "127.0.0.1:0" for an ephemeral
+// port) and returns it with the bound address. Serve errors after startup
+// are discarded; Close the returned collector to stop.
+func ListenAndCollect(addr string, cfg CollectorConfig, handler func(Event)) (*Collector, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	c := collector.New(cfg, handler)
+	go func() { _ = c.Serve(ln) }()
+	return c, ln.Addr(), nil
+}
+
+// Rendering helpers.
+var (
+	// DOT renders a picture as Graphviz source.
+	DOT = viz.DOT
+	// SVG renders a picture with the built-in layered layout.
+	SVG = viz.SVG
+	// ASCII renders a picture as an indented terminal tree.
+	ASCII = viz.ASCII
+	// AnimationFrameSVG renders one animation frame with the paper's
+	// visual cues.
+	AnimationFrameSVG = viz.AnimationFrameSVG
+)
+
+// MustPrefix parses a CIDR prefix, panicking on error (for tests and
+// examples).
+func MustPrefix(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+
+// MustAddr parses an IP address, panicking on error.
+func MustAddr(s string) netip.Addr { return netip.MustParseAddr(s) }

@@ -1,0 +1,170 @@
+package rex_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"rex"
+	"rex/internal/bgp"
+	"rex/internal/bgp/fsm"
+	"rex/internal/sim"
+	"rex/internal/viz"
+
+	"net/netip"
+)
+
+// TestFacadeTAMP exercises the public TAMP surface end to end.
+func TestFacadeTAMP(t *testing.T) {
+	g := rex.NewTAMP("site")
+	for i := 0; i < 30; i++ {
+		g.AddRoute(rex.RouteEntry{
+			Router:  "edge1",
+			Nexthop: rex.MustAddr("10.0.0.66"),
+			ASPath:  []uint32{11423, 209},
+			Prefix:  netip.PrefixFrom(netip.AddrFrom4([4]byte{20, byte(i), 0, 0}), 16),
+		})
+	}
+	g.AddRoute(rex.RouteEntry{
+		Router:  "edge2",
+		Nexthop: rex.MustAddr("10.0.0.90"),
+		ASPath:  []uint32{7018},
+		Prefix:  rex.MustPrefix("12.1.1.0/24"),
+	})
+	pic := g.Snapshot(rex.PruneOptions{})
+	if pic.Total != 31 {
+		t.Fatalf("total = %d", pic.Total)
+	}
+	for _, render := range []string{rex.ASCII(pic), rex.SVG(pic)} {
+		if !strings.Contains(render, "AS11423") {
+			t.Error("render missing AS11423")
+		}
+	}
+	// Hierarchical pruning keeps the light edge2 branch that the default
+	// threshold drops.
+	hier := g.Snapshot(rex.PruneOptions{KeepDepth: 3})
+	if len(hier.Edges) <= len(pic.Edges) {
+		t.Errorf("hierarchical pruning kept %d edges, default %d", len(hier.Edges), len(pic.Edges))
+	}
+	if rex.DOT(pic, viz.DOTOptions{}) == "" {
+		t.Error("empty DOT")
+	}
+}
+
+// TestFacadeStemmingAndDetector runs the detection path via the facade.
+func TestFacadeStemmingAndDetector(t *testing.T) {
+	t0 := time.Date(2003, 8, 1, 0, 0, 0, 0, time.UTC)
+	var s rex.Stream
+	for i := 0; i < 100; i++ {
+		s = append(s, rex.Event{
+			Time: t0.Add(time.Duration(i) * time.Second),
+			Type: rex.Withdraw,
+			Peer: rex.MustAddr("10.0.0.1"),
+			Attrs: &bgp.PathAttrs{
+				ASPath:  bgp.Sequence(11423, 209, uint32(1000+i)),
+				Nexthop: rex.MustAddr("10.0.0.66"),
+			},
+			Prefix: netip.PrefixFrom(netip.AddrFrom4([4]byte{20, byte(i), 0, 0}), 16),
+		})
+	}
+	comps := rex.Stemming(s, rex.StemmingConfig{})
+	if len(comps) == 0 {
+		t.Fatal("no components")
+	}
+	if comps[0].Stem.To.AS != 209 {
+		t.Errorf("stem = %v", comps[0].Stem)
+	}
+	rate := rex.Rate(s, time.Minute)
+	if len(rate.Counts) == 0 {
+		t.Error("no rate buckets")
+	}
+
+	p := rex.NewPipeline(rex.DetectorConfig{ChurnMinEvents: 10}, 1000)
+	for _, e := range s {
+		p.Ingest(e)
+	}
+	if alerts := p.Scan(); len(alerts) == 0 {
+		t.Error("pipeline found nothing")
+	}
+}
+
+// TestFacadeAnimate drives Animate + frame rendering via the facade.
+func TestFacadeAnimate(t *testing.T) {
+	t0 := time.Date(2002, 7, 1, 0, 0, 0, 0, time.UTC)
+	base := []rex.RouteEntry{{
+		Router:  "core1",
+		Nexthop: rex.MustAddr("10.3.4.5"),
+		ASPath:  []uint32{2},
+		Prefix:  rex.MustPrefix("4.5.0.0/16"),
+	}}
+	events := rex.Stream{
+		{Time: t0, Type: rex.Withdraw, Peer: rex.MustAddr("10.0.0.1"), Prefix: rex.MustPrefix("4.5.0.0/16"),
+			Attrs: &bgp.PathAttrs{ASPath: bgp.Sequence(2), Nexthop: rex.MustAddr("10.3.4.5")}},
+		{Time: t0.Add(10 * time.Second), Type: rex.Announce, Peer: rex.MustAddr("10.0.0.1"), Prefix: rex.MustPrefix("4.5.0.0/16"),
+			Attrs: &bgp.PathAttrs{ASPath: bgp.Sequence(2), Nexthop: rex.MustAddr("10.3.4.5")}},
+	}
+	anim := rex.Animate("site", base, events, rex.AnimationConfig{})
+	if anim.NumFrames != 750 {
+		t.Fatalf("frames = %d", anim.NumFrames)
+	}
+	svg := rex.AnimationFrameSVG(anim, 0, anim.Frames[0].Changes[0].Edge)
+	if !strings.Contains(svg, "<svg") {
+		t.Error("bad frame SVG")
+	}
+}
+
+// TestFacadeCollector runs a live collector through the facade.
+func TestFacadeCollector(t *testing.T) {
+	rec := rex.NewRecorder()
+	coll, addr, err := rex.ListenAndCollect("127.0.0.1:0", rex.CollectorConfig{
+		LocalAS: 25,
+		LocalID: rex.MustAddr("10.255.0.1"),
+	}, rec.Handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coll.Close()
+
+	sess, err := fsm.Dial(addr.String(), fsm.Config{LocalAS: 25, LocalID: rex.MustAddr("10.0.0.1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	err = sess.Send(&bgp.Update{
+		Attrs: &bgp.PathAttrs{
+			Origin:  bgp.OriginIGP,
+			ASPath:  bgp.Sequence(11423, 209),
+			Nexthop: rex.MustAddr("10.0.0.66"),
+		},
+		NLRI: []netip.Prefix{rex.MustPrefix("20.1.0.0/16")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for rec.Len() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	events := rec.Events()
+	if len(events) != 1 || events[0].Type != rex.Announce {
+		t.Fatalf("events = %v", events)
+	}
+	if coll.NumRoutes() != 1 {
+		t.Errorf("NumRoutes = %d", coll.NumRoutes())
+	}
+}
+
+// TestScenarioGroundTruthViaFacade ties the simulator's §IV-D scenario to
+// the facade detection API: the public path a downstream user would take.
+func TestScenarioGroundTruthViaFacade(t *testing.T) {
+	b := sim.Berkeley(sim.BerkeleyConfig{Misconfigured: true})
+	sc := sim.PeerLeakScenario(b, 1, time.Date(2003, 12, 1, 0, 0, 0, 0, time.UTC))
+	comps := rex.Stemming(sc.Events, rex.StemmingConfig{MaxComponents: 1})
+	if len(comps) != 1 {
+		t.Fatal("no component")
+	}
+	leakedASes := map[uint32]bool{11422: true, 10927: true, 1909: true, 195: true, 2152: true, 3356: true}
+	if !leakedASes[comps[0].Stem.From.AS] && !leakedASes[comps[0].Stem.To.AS] {
+		t.Errorf("stem %v not on leaked path", comps[0].Stem)
+	}
+}
