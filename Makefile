@@ -1,0 +1,31 @@
+# Pre-merge gate: everything here must pass before a change lands.
+# `make check` is what CI would run — vet, build, the full test suite
+# under the race detector, and a seed pass of the fuzz targets.
+
+GO ?= go
+
+.PHONY: check vet build test race fuzz-seed fuzz
+
+check: vet build race fuzz-seed
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Run the fuzz corpora as plain tests (fast; catches regressions on
+# known-interesting inputs without an open-ended fuzz run).
+fuzz-seed:
+	$(GO) test ./internal/bgp -run Fuzz -count=1
+
+# Open-ended fuzzing of the wire parser; override FUZZTIME for longer runs.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test ./internal/bgp -fuzz FuzzReadMessage -fuzztime $(FUZZTIME)

@@ -1,10 +1,13 @@
 // Command rexd is the collector daemon: the Route Explorer role from the
 // paper's §II. It listens for passive IBGP sessions from a site's BGP
-// edge routers (or a simulator replay), maintains an Adj-RIB-In per peer,
-// appends the withdrawal-augmented event stream to a file, and
-// periodically scans the stream with the spike+churn anomaly pipeline,
-// printing alerts. On shutdown (SIGINT/SIGTERM or -run-for) it prints a
-// TAMP picture of the current routing state.
+// edge routers (or a simulator replay), and can also actively dial peers
+// given with -peer, redialing forever with backoff when they fall over.
+// It maintains an Adj-RIB-In per peer with graceful-restart retention
+// across session flaps (-restart-time), appends the
+// withdrawal-augmented event stream to a file, and periodically scans
+// the stream with the spike+churn anomaly pipeline, printing alerts. On
+// shutdown (SIGINT/SIGTERM or -run-for) it prints a TAMP picture of the
+// current routing state.
 //
 // Example:
 //
@@ -19,10 +22,12 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
 
+	"rex/internal/bgp/fsm"
 	"rex/internal/collector"
 	"rex/internal/core"
 	"rex/internal/core/tamp"
@@ -31,6 +36,20 @@ import (
 
 	"net/netip"
 )
+
+// peerList collects repeated -peer flags.
+type peerList []string
+
+func (p *peerList) String() string { return strings.Join(*p, ",") }
+
+func (p *peerList) Set(v string) error {
+	for _, addr := range strings.Split(v, ",") {
+		if addr = strings.TrimSpace(addr); addr != "" {
+			*p = append(*p, addr)
+		}
+	}
+	return nil
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -41,16 +60,22 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("rexd", flag.ContinueOnError)
+	var peers peerList
 	var (
-		listen   = fs.String("listen", "127.0.0.1:1790", "address to accept IBGP sessions on")
-		localAS  = fs.Uint("as", 25, "local AS number")
-		localID  = fs.String("id", "10.255.0.1", "local BGP identifier")
-		out      = fs.String("out", "", "append the augmented event stream to this file (text format)")
-		scanEach = fs.Duration("scan-every", 30*time.Second, "anomaly-scan interval (0 disables)")
-		maxPfx   = fs.Int("max-prefixes", 0, "tear a peer down (CEASE) past this many prefixes (0 = unlimited)")
-		runFor   = fs.Duration("run-for", 0, "exit after this long (0 = until signal)")
-		site     = fs.String("site", "site", "site name for the final TAMP picture")
+		listen     = fs.String("listen", "127.0.0.1:1790", "address to accept IBGP sessions on")
+		localAS    = fs.Uint("as", 25, "local AS number")
+		localID    = fs.String("id", "10.255.0.1", "local BGP identifier")
+		out        = fs.String("out", "", "append the augmented event stream to this file (text format)")
+		scanEach   = fs.Duration("scan-every", 30*time.Second, "anomaly-scan interval (0 disables)")
+		maxPfx     = fs.Int("max-prefixes", 0, "tear a peer down (CEASE) past this many prefixes (0 = unlimited)")
+		runFor     = fs.Duration("run-for", 0, "exit after this long (0 = until signal)")
+		site       = fs.String("site", "site", "site name for the final TAMP picture")
+		hold       = fs.Duration("hold", 90*time.Second, "proposed BGP hold time")
+		restart    = fs.Duration("restart-time", 0, "retain a lost peer's routes this long before the withdrawal sweep (0 = 2x hold, negative = withdraw immediately)")
+		minBackoff = fs.Duration("min-backoff", time.Second, "initial redial backoff for -peer sessions")
+		maxBackoff = fs.Duration("max-backoff", 2*time.Minute, "backoff and idle-hold ceiling for -peer sessions")
 	)
+	fs.Var(&peers, "peer", "address to actively dial and maintain a session with (repeatable, comma-separable)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -75,11 +100,21 @@ func run(args []string) error {
 		}
 	}
 
+	restartTime := *restart
+	if restartTime < 0 {
+		restartTime = collector.RestartDisabled
+	}
+	logf := func(format string, args ...any) {
+		fmt.Printf("rexd: "+format+"\n", args...)
+	}
 	c := collector.New(collector.Config{
 		LocalAS:               uint32(*localAS),
 		LocalID:               id,
+		HoldTime:              *hold,
 		WithdrawOnSessionLoss: true,
 		MaxPrefixes:           *maxPfx,
+		RestartTime:           restartTime,
+		Logf:                  logf,
 	}, handler)
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -88,6 +123,29 @@ func run(args []string) error {
 	fmt.Printf("rexd: listening on %s (AS%d, id %s)\n", ln.Addr(), *localAS, id)
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- c.Serve(ln) }()
+
+	// Actively dialed peers: the manager redials forever with backoff and
+	// hands each established session to the collector's update loop.
+	var mgr *fsm.PeerManager
+	if len(peers) > 0 {
+		mgr = fsm.NewPeerManager(fsm.ManagerConfig{
+			MinBackoff: *minBackoff,
+			MaxBackoff: *maxBackoff,
+			OnUp:       func(_ string, s *fsm.Session) { go c.Run(s) },
+			Logf:       logf,
+		})
+		scfg := fsm.Config{
+			LocalAS:  uint32(*localAS),
+			LocalID:  id,
+			HoldTime: *hold,
+		}
+		for _, addr := range peers {
+			if err := mgr.Add(addr, scfg); err != nil {
+				return fmt.Errorf("add peer %s: %w", addr, err)
+			}
+			fmt.Printf("rexd: dialing peer %s\n", addr)
+		}
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
@@ -117,6 +175,14 @@ loop:
 			}
 			fmt.Printf("rexd: %d peers, %d routes, %d buffered events\n",
 				len(c.Peers()), c.NumRoutes(), pipeline.Buffered())
+			for _, pi := range c.PeerInfos() {
+				fmt.Printf("rexd: peer %s\n", pi)
+			}
+			if mgr != nil {
+				for _, st := range mgr.Statuses() {
+					fmt.Printf("rexd: dial %s\n", st)
+				}
+			}
 		case <-stop:
 			break loop
 		case <-timeout:
@@ -127,6 +193,12 @@ loop:
 			}
 			break loop
 		}
+	}
+
+	// Stop redialing before tearing the collector down, so shutdown is
+	// not racing fresh sessions.
+	if mgr != nil {
+		mgr.Close()
 	}
 
 	// Final picture of the site's routing as collected.

@@ -1,0 +1,242 @@
+package fsm
+
+// Chaos tests: the session layer driven through the fault-injection
+// conn. The contract under test is narrow but vital for a collector
+// that must outlive the network it observes: whatever the wire does —
+// cuts at arbitrary byte offsets, corrupted headers, mid-message resets
+// — Establish and the session goroutines return errors; they never hang
+// and never panic.
+
+import (
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"rex/internal/bgp"
+	"rex/internal/bgp/fsm/faultconn"
+)
+
+// chaosEstablish runs Establish on both ends of a pipe, one end wrapped
+// in a fault conn, and returns the wrapped side's error. It fails the
+// test if either side hangs.
+func chaosEstablish(t *testing.T, opts faultconn.Options) error {
+	t.Helper()
+	connA, connB := pipe(t)
+	fc := faultconn.New(connA, opts)
+
+	peerDone := make(chan struct{})
+	go func() {
+		defer close(peerDone)
+		if s, err := Establish(connB, cfg(65001, "10.0.0.9")); err == nil {
+			s.Close()
+		}
+	}()
+	type res struct {
+		s   *Session
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		s, err := Establish(fc, cfg(65002, "10.0.0.2"))
+		ch <- res{s, err}
+	}()
+	var r res
+	select {
+	case r = <-ch:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Establish hung on a faulty conn")
+	}
+	if r.s != nil {
+		r.s.Close()
+	}
+	connB.Close() // release the healthy side if it is still waiting
+	select {
+	case <-peerDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("peer Establish hung after fault")
+	}
+	return r.err
+}
+
+// TestEstablishSurvivesCutsAtEveryOffset cuts the conn after every byte
+// offset that can land inside the handshake, on both the read and the
+// write path. Early cuts must fail the handshake; late cuts may let it
+// succeed; nothing may hang or panic.
+func TestEstablishSurvivesCutsAtEveryOffset(t *testing.T) {
+	// The handshake is one OPEN (~29+ bytes with the 4-octet AS
+	// capability) and one KEEPALIVE (19 bytes) in each direction; 64
+	// covers it with room to spare.
+	const maxOffset = 64
+	for off := int64(1); off <= maxOffset; off++ {
+		err := chaosEstablish(t, faultconn.Options{CutWriteAfter: off})
+		if off < 19 && err == nil {
+			// A cut inside our own OPEN header cannot produce a session.
+			t.Errorf("write cut at %d: handshake succeeded", off)
+		}
+		if err = chaosEstablish(t, faultconn.Options{CutReadAfter: off}); off < 19 && err == nil {
+			t.Errorf("read cut at %d: handshake succeeded", off)
+		}
+	}
+}
+
+// TestEstablishRejectsCorruptHeader flips a byte in the OPEN's marker in
+// each direction: the receiving side must refuse the message and the
+// handshake must fail cleanly on both ends.
+func TestEstablishRejectsCorruptHeader(t *testing.T) {
+	if err := chaosEstablish(t, faultconn.Options{CorruptWriteAt: 1}); err == nil {
+		t.Error("handshake succeeded with corrupt outbound marker")
+	}
+	if err := chaosEstablish(t, faultconn.Options{CorruptReadAt: 1}); err == nil {
+		t.Error("handshake succeeded with corrupt inbound marker")
+	}
+	// Corruption in the OPEN body may or may not be fatal (a flipped
+	// in-body AS byte is ignored when the 4-octet capability carries the
+	// real ASN) — but it must never hang, which chaosEstablish enforces.
+	_ = chaosEstablish(t, faultconn.Options{CorruptWriteAt: 21})
+}
+
+// TestEstablishToleratesLatency: a slow conn is not a broken conn.
+func TestEstablishToleratesLatency(t *testing.T) {
+	if err := chaosEstablish(t, faultconn.Options{
+		ReadDelay:  2 * time.Millisecond,
+		WriteDelay: 2 * time.Millisecond,
+	}); err != nil {
+		t.Errorf("handshake failed on a merely slow conn: %v", err)
+	}
+}
+
+// TestMidSessionCutKillsSessionPromptly establishes through the fault
+// conn, then resets it mid-session: the session must notice, close its
+// Updates channel, and report a non-nil error — even with a reader
+// blocked on the conn.
+func TestMidSessionCutKillsSessionPromptly(t *testing.T) {
+	connA, connB := pipe(t)
+	fc := faultconn.New(connA, faultconn.Options{})
+
+	type res struct {
+		s   *Session
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		s, err := Establish(connB, cfg(65001, "10.0.0.9"))
+		ch <- res{s, err}
+	}()
+	sa, err := Establish(fc, cfg(65002, "10.0.0.2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sa.Close()
+	rb := <-ch
+	if rb.err != nil {
+		t.Fatal(rb.err)
+	}
+	defer rb.s.Close()
+
+	fc.Cut()
+	select {
+	case <-sa.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("session survived a mid-session reset")
+	}
+	if sa.Err() == nil {
+		t.Error("reset session reports nil error")
+	}
+	if _, ok := <-sa.Updates(); ok {
+		t.Error("Updates delivered after reset")
+	}
+	if err := sa.Send(&bgp.Update{}); err == nil {
+		t.Error("Send succeeded after reset")
+	}
+}
+
+// TestConcurrentSendCloseDisconnect races Send against Close against a
+// peer disconnect, repeatedly. The assertions are minimal on purpose:
+// this test exists for the race detector and for "no deadlock".
+func TestConcurrentSendCloseDisconnect(t *testing.T) {
+	for i := 0; i < 10; i++ {
+		sa, sb := establishPair(t, cfg(65001, "10.0.0.1"), cfg(65002, "10.0.0.2"))
+		u := &bgp.Update{
+			Attrs: &bgp.PathAttrs{
+				Origin:  bgp.OriginIGP,
+				ASPath:  bgp.Sequence(65001),
+				Nexthop: netip.MustParseAddr("10.0.0.1"),
+			},
+			NLRI: []netip.Prefix{netip.MustParsePrefix("10.1.0.0/16")},
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					if err := sa.Send(u); err != nil {
+						return
+					}
+				}
+			}()
+		}
+		// Drain b so a's senders aren't throttled by a full TCP window.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range sb.Updates() {
+			}
+		}()
+		wg.Add(2)
+		go func() { defer wg.Done(); sb.Close() }() // peer disconnect
+		go func() { defer wg.Done(); sa.Close() }() // local close
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("iteration %d deadlocked", i)
+		}
+	}
+}
+
+// TestKeepalivesRideOutSlowConn: a session whose conn injects latency on
+// every read and write must still exchange keepalives fast enough to
+// hold a short hold timer open.
+func TestKeepalivesRideOutSlowConn(t *testing.T) {
+	connA, connB := pipe(t)
+	fc := faultconn.New(connA, faultconn.Options{
+		ReadDelay:  5 * time.Millisecond,
+		WriteDelay: 5 * time.Millisecond,
+	})
+	type res struct {
+		s   *Session
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		s, err := Establish(connB, Config{LocalAS: 65001, LocalID: netip.MustParseAddr("10.0.0.9"), HoldTime: 3 * time.Second})
+		ch <- res{s, err}
+	}()
+	sa, err := Establish(fc, Config{LocalAS: 65002, LocalID: netip.MustParseAddr("10.0.0.2"), HoldTime: 3 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sa.Close()
+	rb := <-ch
+	if rb.err != nil {
+		t.Fatal(rb.err)
+	}
+	defer rb.s.Close()
+	if sa.HoldTime() != 3*time.Second {
+		t.Fatalf("negotiated hold = %v", sa.HoldTime())
+	}
+
+	// Outlive several keepalive intervals (hold/3 = 1s).
+	select {
+	case <-sa.Done():
+		t.Fatalf("session died on a slow conn: %v", sa.Err())
+	case <-rb.s.Done():
+		t.Fatalf("peer died on a slow conn: %v", rb.s.Err())
+	case <-time.After(2500 * time.Millisecond):
+		// Still up past two keepalive intervals: the hold machinery
+		// tolerates injected latency.
+	}
+}

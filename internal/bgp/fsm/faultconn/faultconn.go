@@ -1,0 +1,193 @@
+// Package faultconn wraps a net.Conn with deterministic, scriptable
+// faults: injected latency, byte-offset corruption, and connection cuts
+// that fire mid-stream (simulating TCP resets in the middle of a BGP
+// message, partial writes included). It exists so the session layer —
+// fsm.Establish, the keepalive/hold machinery, and the collector's
+// graceful-restart reconcile path — can be hammered with the network
+// weather a months-long passive peering actually sees, without flaky
+// timing tricks in tests.
+//
+// All byte offsets in Options are 1-based stream positions ("the Nth
+// byte"), so the zero value of every field means "no fault".
+package faultconn
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the error returned by operations killed by an injected
+// fault (cut thresholds or an explicit Cut call).
+var ErrInjected = errors.New("faultconn: injected fault")
+
+// Options scripts the faults for one connection. The zero value injects
+// nothing and behaves as a transparent wrapper.
+type Options struct {
+	// ReadDelay/WriteDelay sleep before every corresponding operation,
+	// simulating path latency or a stalled peer.
+	ReadDelay  time.Duration
+	WriteDelay time.Duration
+	// CutReadAfter, when positive, lets exactly that many bytes be read
+	// and then fails every subsequent Read with ErrInjected, closing the
+	// underlying conn. A cut landing inside a BGP message leaves the
+	// reader with a truncated header/body — exactly a mid-message reset.
+	CutReadAfter int64
+	// CutWriteAfter, when positive, allows that many bytes out and then
+	// fails. A Write straddling the threshold performs a partial write of
+	// the allowed prefix and returns n < len(p) with ErrInjected.
+	CutWriteAfter int64
+	// CorruptReadAt/CorruptWriteAt, when positive, invert the bits of the
+	// Nth byte of the corresponding stream (1-based). Corrupting any of
+	// the first 16 bytes of a BGP message clobbers the marker; bytes
+	// 17–19 clobber the length/type header.
+	CorruptReadAt  int64
+	CorruptWriteAt int64
+}
+
+// Conn is a net.Conn with fault injection. Wrap both ends of a pipe (or
+// just one) and hand it to fsm.Establish or a PeerManager Dial hook.
+type Conn struct {
+	inner net.Conn
+	opts  Options
+
+	mu           sync.Mutex
+	bytesRead    int64
+	bytesWritten int64
+	cut          bool
+}
+
+// New wraps c with the faults scripted in opts.
+func New(c net.Conn, opts Options) *Conn {
+	return &Conn{inner: c, opts: opts}
+}
+
+// Cut kills the connection immediately: the underlying conn is closed
+// and every subsequent Read/Write fails with ErrInjected. Safe to call
+// from any goroutine (e.g. a test flapping a live session).
+func (c *Conn) Cut() {
+	c.mu.Lock()
+	c.cut = true
+	c.mu.Unlock()
+	c.inner.Close()
+}
+
+// BytesRead returns how many bytes have been read through the wrapper.
+func (c *Conn) BytesRead() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytesRead
+}
+
+// BytesWritten returns how many bytes have been written through the
+// wrapper (counting only bytes that reached the underlying conn).
+func (c *Conn) BytesWritten() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytesWritten
+}
+
+// Read implements net.Conn with the scripted read faults.
+func (c *Conn) Read(p []byte) (int, error) {
+	if c.opts.ReadDelay > 0 {
+		time.Sleep(c.opts.ReadDelay)
+	}
+	c.mu.Lock()
+	if c.cut {
+		c.mu.Unlock()
+		return 0, ErrInjected
+	}
+	if limit := c.opts.CutReadAfter; limit > 0 {
+		remaining := limit - c.bytesRead
+		if remaining <= 0 {
+			c.cut = true
+			c.mu.Unlock()
+			c.inner.Close()
+			return 0, ErrInjected
+		}
+		if int64(len(p)) > remaining {
+			p = p[:remaining]
+		}
+	}
+	start := c.bytesRead
+	c.mu.Unlock()
+
+	n, err := c.inner.Read(p)
+	if o := c.opts.CorruptReadAt; o > start && o <= start+int64(n) {
+		p[o-1-start] ^= 0xFF
+	}
+	c.mu.Lock()
+	c.bytesRead += int64(n)
+	c.mu.Unlock()
+	return n, err
+}
+
+// Write implements net.Conn with the scripted write faults.
+func (c *Conn) Write(p []byte) (int, error) {
+	if c.opts.WriteDelay > 0 {
+		time.Sleep(c.opts.WriteDelay)
+	}
+	c.mu.Lock()
+	if c.cut {
+		c.mu.Unlock()
+		return 0, ErrInjected
+	}
+	cutHere := false
+	toWrite := p
+	if limit := c.opts.CutWriteAfter; limit > 0 {
+		remaining := limit - c.bytesWritten
+		if remaining <= 0 {
+			c.cut = true
+			c.mu.Unlock()
+			c.inner.Close()
+			return 0, ErrInjected
+		}
+		if int64(len(p)) >= remaining {
+			toWrite = p[:remaining]
+			cutHere = true
+		}
+	}
+	start := c.bytesWritten
+	c.mu.Unlock()
+
+	if o := c.opts.CorruptWriteAt; o > start && o <= start+int64(len(toWrite)) {
+		// Corrupt a copy; the caller's buffer must stay intact.
+		dup := make([]byte, len(toWrite))
+		copy(dup, toWrite)
+		dup[o-1-start] ^= 0xFF
+		toWrite = dup
+	}
+	n, err := c.inner.Write(toWrite)
+	c.mu.Lock()
+	c.bytesWritten += int64(n)
+	if cutHere {
+		c.cut = true
+	}
+	c.mu.Unlock()
+	if cutHere {
+		c.inner.Close()
+		if err == nil {
+			err = ErrInjected
+		}
+	}
+	return n, err
+}
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.inner.Close() }
+
+// LocalAddr returns the underlying local address.
+func (c *Conn) LocalAddr() net.Addr { return c.inner.LocalAddr() }
+
+// RemoteAddr returns the underlying remote address.
+func (c *Conn) RemoteAddr() net.Addr { return c.inner.RemoteAddr() }
+
+// SetDeadline forwards to the underlying conn.
+func (c *Conn) SetDeadline(t time.Time) error { return c.inner.SetDeadline(t) }
+
+// SetReadDeadline forwards to the underlying conn.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.inner.SetReadDeadline(t) }
+
+// SetWriteDeadline forwards to the underlying conn.
+func (c *Conn) SetWriteDeadline(t time.Time) error { return c.inner.SetWriteDeadline(t) }

@@ -1,0 +1,170 @@
+package faultconn
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// tcpPair returns two connected loopback conns.
+func tcpPair(t *testing.T) (net.Conn, net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type res struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- res{c, err}
+	}()
+	dialer, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := <-ch
+	if accepted.err != nil {
+		t.Fatal(accepted.err)
+	}
+	t.Cleanup(func() {
+		dialer.Close()
+		accepted.c.Close()
+	})
+	return dialer, accepted.c
+}
+
+func TestTransparentWhenNoFaults(t *testing.T) {
+	a, b := tcpPair(t)
+	fc := New(a, Options{})
+	msg := []byte("hello, routing weather")
+	if n, err := fc.Write(msg); n != len(msg) || err != nil {
+		t.Fatalf("Write = %d, %v", n, err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(b, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Errorf("got %q", got)
+	}
+	if fc.BytesWritten() != int64(len(msg)) {
+		t.Errorf("BytesWritten = %d", fc.BytesWritten())
+	}
+}
+
+func TestCutWriteMidMessageIsPartial(t *testing.T) {
+	a, b := tcpPair(t)
+	fc := New(a, Options{CutWriteAfter: 10})
+	msg := make([]byte, 64)
+	for i := range msg {
+		msg[i] = byte(i)
+	}
+	n, err := fc.Write(msg)
+	if n != 10 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("Write = %d, %v; want partial 10 bytes + ErrInjected", n, err)
+	}
+	// The peer sees exactly the surviving prefix, then EOF/reset.
+	got, _ := io.ReadAll(b)
+	if !bytes.Equal(got, msg[:10]) {
+		t.Errorf("peer received %v", got)
+	}
+	// Every later write fails without touching the wire.
+	if n, err := fc.Write(msg); n != 0 || !errors.Is(err, ErrInjected) {
+		t.Errorf("post-cut Write = %d, %v", n, err)
+	}
+}
+
+func TestCutReadAfterThreshold(t *testing.T) {
+	a, b := tcpPair(t)
+	fc := New(b, Options{CutReadAfter: 5})
+	if _, err := a.Write([]byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 8)
+	n, err := io.ReadFull(fc, got[:5])
+	if n != 5 || err != nil {
+		t.Fatalf("pre-cut read = %d, %v", n, err)
+	}
+	if _, err := fc.Read(got); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-cut read err = %v", err)
+	}
+}
+
+func TestCorruptWriteFlipsWireByteOnly(t *testing.T) {
+	a, b := tcpPair(t)
+	fc := New(a, Options{CorruptWriteAt: 3})
+	msg := []byte{1, 2, 3, 4}
+	orig := append([]byte(nil), msg...)
+	if _, err := fc.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(msg, orig) {
+		t.Error("caller buffer was mutated")
+	}
+	got := make([]byte, 4)
+	if _, err := io.ReadFull(b, got); err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{1, 2, 3 ^ 0xFF, 4}
+	if !bytes.Equal(got, want) {
+		t.Errorf("wire bytes = %v, want %v", got, want)
+	}
+}
+
+func TestCorruptReadFlipsByte(t *testing.T) {
+	a, b := tcpPair(t)
+	fc := New(b, Options{CorruptReadAt: 1})
+	if _, err := a.Write([]byte{0xAA, 0xBB}); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 2)
+	if _, err := io.ReadFull(fc, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0xAA^0xFF || got[1] != 0xBB {
+		t.Errorf("read %v", got)
+	}
+}
+
+func TestAsyncCutUnblocksReader(t *testing.T) {
+	a, b := tcpPair(t)
+	fc := New(b, Options{})
+	errCh := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 1)
+		_, err := fc.Read(buf)
+		errCh <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	fc.Cut()
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Error("blocked read returned nil after Cut")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Cut did not unblock the reader")
+	}
+	_ = a
+}
+
+func TestDelaysApplied(t *testing.T) {
+	a, b := tcpPair(t)
+	fc := New(a, Options{WriteDelay: 30 * time.Millisecond})
+	start := time.Now()
+	if _, err := fc.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Errorf("write returned after %v, want >= 30ms", d)
+	}
+	_ = b
+}

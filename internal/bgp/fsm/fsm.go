@@ -65,6 +65,15 @@ type Config struct {
 // DefaultHoldTime is used when Config.HoldTime is zero.
 const DefaultHoldTime = 90 * time.Second
 
+// MinHoldTime is the smallest non-zero hold time RFC 4271 §4.2 permits:
+// an OPEN offering 1 or 2 seconds must be rejected with an Unacceptable
+// Hold Time notification. (Zero remains legal and disables keepalives.)
+const MinHoldTime = 3 * time.Second
+
+// ErrUnacceptableHoldTime reports a peer OPEN offering a non-zero hold
+// time below MinHoldTime.
+var ErrUnacceptableHoldTime = errors.New("unacceptable hold time (non-zero, below 3s)")
+
 // Session is an established BGP session. Updates arrive on Updates();
 // Close sends a CEASE and tears the session down. All methods are safe
 // for concurrent use.
@@ -96,6 +105,10 @@ var ErrSessionClosed = errors.New("bgp session closed")
 func Establish(conn net.Conn, cfg Config) (*Session, error) {
 	if cfg.HoldTime == 0 {
 		cfg.HoldTime = DefaultHoldTime
+	}
+	if cfg.HoldTime > 0 && cfg.HoldTime < MinHoldTime {
+		// Never offer a hold time we would reject from a peer.
+		cfg.HoldTime = MinHoldTime
 	}
 	s := &Session{
 		conn:    conn,
@@ -130,8 +143,12 @@ func Establish(conn net.Conn, cfg Config) (*Session, error) {
 		return nil, fmt.Errorf("expected OPEN, got %v", msg.Type())
 	}
 	if cfg.ExpectAS != 0 && peerOpen.AS != cfg.ExpectAS {
-		s.notifyAndClose(bgp.NotifOpenError, 2 /* bad peer AS */)
+		s.notifyAndClose(bgp.NotifOpenError, bgp.OpenBadPeerAS)
 		return nil, fmt.Errorf("peer AS %d, want %d", peerOpen.AS, cfg.ExpectAS)
+	}
+	if peerOpen.HoldTime != 0 && time.Duration(peerOpen.HoldTime)*time.Second < MinHoldTime {
+		s.notifyAndClose(bgp.NotifOpenError, bgp.OpenUnacceptableHoldTime)
+		return nil, fmt.Errorf("peer hold time %ds: %w", peerOpen.HoldTime, ErrUnacceptableHoldTime)
 	}
 	s.peerOpen = peerOpen
 	s.fourByteAS = peerOpen.FourByteAS // we always offer it
@@ -180,6 +197,9 @@ func (s *Session) PeerAS() uint32 { return s.peerOpen.AS }
 
 // PeerID returns the peer's BGP identifier.
 func (s *Session) PeerID() netip.Addr { return s.peerOpen.BGPID }
+
+// RemoteAddr returns the transport address of the peer.
+func (s *Session) RemoteAddr() net.Addr { return s.conn.RemoteAddr() }
 
 // FourByteAS reports whether the session negotiated 4-octet ASNs.
 func (s *Session) FourByteAS() bool { return s.fourByteAS }

@@ -142,7 +142,7 @@ func TestHoldTimerExpiry(t *testing.T) {
 	connA, connB := pipe(t)
 	// A raw peer that completes the handshake but never sends keepalives.
 	go func() {
-		open := &bgp.Open{AS: 65002, HoldTime: 1, BGPID: netip.MustParseAddr("10.0.0.2"), FourByteAS: true}
+		open := &bgp.Open{AS: 65002, HoldTime: 3, BGPID: netip.MustParseAddr("10.0.0.2"), FourByteAS: true}
 		_ = bgp.WriteMessage(connB, open, false)
 		_, _ = bgp.ReadMessage(connB, false) // their OPEN
 		_ = bgp.WriteMessage(connB, bgp.Keepalive{}, true)
@@ -159,8 +159,8 @@ func TestHoldTimerExpiry(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer s.Close()
-	if s.HoldTime() != time.Second {
-		t.Fatalf("negotiated hold = %v, want peer's 1s", s.HoldTime())
+	if s.HoldTime() != 3*time.Second {
+		t.Fatalf("negotiated hold = %v, want peer's 3s (the RFC minimum)", s.HoldTime())
 	}
 	select {
 	case <-s.Done():
@@ -190,6 +190,46 @@ func TestExpectASMismatch(t *testing.T) {
 	c.ExpectAS = 65002
 	if _, err := Establish(connA, c); err == nil || !strings.Contains(err.Error(), "peer AS") {
 		t.Fatalf("err = %v, want AS mismatch", err)
+	}
+}
+
+func TestUnacceptableHoldTimeRejected(t *testing.T) {
+	for _, offered := range []uint16{1, 2} {
+		connA, connB := pipe(t)
+		notifCh := make(chan *bgp.Notification, 1)
+		go func() {
+			open := &bgp.Open{AS: 65002, HoldTime: offered, BGPID: netip.MustParseAddr("10.0.0.2"), FourByteAS: true}
+			_ = bgp.WriteMessage(connB, open, false)
+			_, _ = bgp.ReadMessage(connB, false) // their OPEN
+			msg, err := bgp.ReadMessage(connB, false)
+			if err != nil {
+				notifCh <- nil
+				return
+			}
+			n, _ := msg.(*bgp.Notification)
+			notifCh <- n
+		}()
+		_, err := Establish(connA, cfg(65001, "10.0.0.1"))
+		if !errors.Is(err, ErrUnacceptableHoldTime) {
+			t.Fatalf("hold %ds: err = %v, want ErrUnacceptableHoldTime", offered, err)
+		}
+		select {
+		case n := <-notifCh:
+			if n == nil || n.Code != bgp.NotifOpenError || n.Subcode != bgp.OpenUnacceptableHoldTime {
+				t.Errorf("hold %ds: peer got %v, want OPEN/unacceptable-hold-time", offered, n)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("hold %ds: raw peer never saw a NOTIFICATION", offered)
+		}
+	}
+}
+
+func TestLocalHoldTimeClampedToMinimum(t *testing.T) {
+	c1 := cfg(65001, "10.0.0.1")
+	c1.HoldTime = time.Second // below the RFC floor: round up, don't offer it
+	a, b := establishPair(t, c1, cfg(65002, "10.0.0.2"))
+	if a.HoldTime() != MinHoldTime || b.HoldTime() != MinHoldTime {
+		t.Errorf("negotiated hold = %v / %v, want %v", a.HoldTime(), b.HoldTime(), MinHoldTime)
 	}
 }
 

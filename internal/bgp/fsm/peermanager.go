@@ -1,0 +1,397 @@
+package fsm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sort"
+	"sync"
+	"time"
+)
+
+// PeerManager actively dials a set of configured peers and keeps their
+// sessions up forever: dial → Establish → hand the session to OnUp → wait
+// for it to die → idle-hold → redial. Collection in the paper's setting
+// only works because REX's passive sessions stay up for months; when the
+// collector must dial out (route reflectors, lab replays), this is the
+// piece that survives real network weather.
+//
+// Failure handling follows RFC 4271 §8.1's spirit:
+//
+//   - Dial or handshake failures back off exponentially, with jitter,
+//     from MinBackoff up to MaxBackoff.
+//   - A session that dies before StableUptime counts as a flap and
+//     escalates the IdleHoldTime (the post-session quiet period) — the
+//     DampPeerOscillations behaviour — while a stable run resets it.
+//
+// Per-peer status (phase, up-since, flap count, last error, next retry)
+// is available from Statuses for operator visibility.
+type PeerManager struct {
+	cfg ManagerConfig
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu    sync.Mutex
+	peers map[string]*managedPeer
+
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// ManagerConfig parameterizes a PeerManager. Every field has a usable
+// default; only the callbacks are usually set.
+type ManagerConfig struct {
+	// Dial opens the transport connection (default: TCP with a 15s
+	// timeout, canceled when the manager closes). Tests inject fault
+	// conns or in-memory pipes here.
+	Dial func(ctx context.Context, network, addr string) (net.Conn, error)
+	// MinBackoff/MaxBackoff bound the exponential dial-failure backoff
+	// (defaults 1s and 2m).
+	MinBackoff time.Duration
+	MaxBackoff time.Duration
+	// IdleHoldTime is the quiet period after a session ends before
+	// redialing (default 1s). It doubles per flap up to MaxIdleHoldTime
+	// (default 2m) and resets after a stable run.
+	IdleHoldTime    time.Duration
+	MaxIdleHoldTime time.Duration
+	// StableUptime is how long a session must live for its loss not to
+	// count as a flap (default 1m).
+	StableUptime time.Duration
+	// Jitter returns a value in [0, 1); it spreads retry times so a
+	// collector restart does not re-dial every peer in lockstep. Default
+	// math/rand. Tests inject a constant for determinism.
+	Jitter func() float64
+	// OnUp is called (from the peer's goroutine) with each established
+	// session. The callback must not block for long; hand the session to
+	// its consumer (e.g. collector.Collector.Run in a goroutine) and
+	// return. The manager itself waits for the session to end.
+	OnUp func(addr string, s *Session)
+	// OnDown is called when an established session ends, with the reason
+	// (nil after a clean local close).
+	OnDown func(addr string, err error)
+	// Logf, when set, receives one line per lifecycle transition.
+	Logf func(format string, args ...any)
+}
+
+// PeerPhase is where a managed peer currently is in its dial cycle.
+type PeerPhase int
+
+// Managed-peer phases.
+const (
+	PhaseIdle        PeerPhase = iota + 1 // waiting out backoff / idle-hold
+	PhaseConnecting                       // dialing or in the OPEN handshake
+	PhaseEstablished                      // session up
+	PhaseStopped                          // manager closed
+)
+
+// String names the phase.
+func (p PeerPhase) String() string {
+	switch p {
+	case PhaseIdle:
+		return "idle"
+	case PhaseConnecting:
+		return "connecting"
+	case PhaseEstablished:
+		return "established"
+	case PhaseStopped:
+		return "stopped"
+	default:
+		return "phase(?)"
+	}
+}
+
+// PeerStatus is a point-in-time snapshot of one managed peer.
+type PeerStatus struct {
+	Addr    string
+	Phase   PeerPhase
+	UpSince time.Time // zero while down
+	// FlapCount counts sessions that died before StableUptime since the
+	// peer was added.
+	FlapCount int
+	// Dials counts dial attempts since the last established session.
+	Dials   int
+	LastErr error
+	// RetryAt is when the next dial fires (meaningful in PhaseIdle).
+	RetryAt time.Time
+}
+
+// String renders the status as a compact one-line operator summary.
+func (st PeerStatus) String() string {
+	s := fmt.Sprintf("%s %s", st.Addr, st.Phase)
+	if st.Phase == PhaseEstablished && !st.UpSince.IsZero() {
+		s += fmt.Sprintf(" up=%s", time.Since(st.UpSince).Round(time.Second))
+	}
+	if st.Phase == PhaseIdle && !st.RetryAt.IsZero() {
+		if wait := time.Until(st.RetryAt).Round(time.Millisecond); wait > 0 {
+			s += fmt.Sprintf(" retry-in=%s", wait)
+		}
+	}
+	s += fmt.Sprintf(" flaps=%d dials=%d", st.FlapCount, st.Dials)
+	if st.LastErr != nil {
+		s += fmt.Sprintf(" last-err=%q", st.LastErr.Error())
+	}
+	return s
+}
+
+type managedPeer struct {
+	addr string
+	scfg Config
+
+	mu        sync.Mutex
+	phase     PeerPhase
+	session   *Session
+	conn      net.Conn // in-flight conn during the handshake
+	upSince   time.Time
+	flapCount int
+	dials     int
+	lastErr   error
+	retryAt   time.Time
+}
+
+// ErrManagerClosed is returned by Add after Close.
+var ErrManagerClosed = errors.New("peer manager closed")
+
+// NewPeerManager builds a manager; peers are added with Add.
+func NewPeerManager(cfg ManagerConfig) *PeerManager {
+	if cfg.Dial == nil {
+		cfg.Dial = func(ctx context.Context, network, addr string) (net.Conn, error) {
+			return (&net.Dialer{Timeout: 15 * time.Second}).DialContext(ctx, network, addr)
+		}
+	}
+	if cfg.MinBackoff <= 0 {
+		cfg.MinBackoff = time.Second
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 2 * time.Minute
+	}
+	if cfg.IdleHoldTime <= 0 {
+		cfg.IdleHoldTime = time.Second
+	}
+	if cfg.MaxIdleHoldTime <= 0 {
+		cfg.MaxIdleHoldTime = 2 * time.Minute
+	}
+	if cfg.StableUptime <= 0 {
+		cfg.StableUptime = time.Minute
+	}
+	if cfg.Jitter == nil {
+		cfg.Jitter = rand.Float64
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &PeerManager{
+		cfg:    cfg,
+		ctx:    ctx,
+		cancel: cancel,
+		peers:  make(map[string]*managedPeer),
+	}
+}
+
+// Add starts maintaining a session to addr with the given session config.
+// Adding an address already under management is a no-op.
+func (m *PeerManager) Add(addr string, scfg Config) error {
+	select {
+	case <-m.ctx.Done():
+		return ErrManagerClosed
+	default:
+	}
+	m.mu.Lock()
+	if _, dup := m.peers[addr]; dup {
+		m.mu.Unlock()
+		return nil
+	}
+	p := &managedPeer{addr: addr, scfg: scfg, phase: PhaseIdle}
+	m.peers[addr] = p
+	m.wg.Add(1)
+	m.mu.Unlock()
+	go m.run(p)
+	return nil
+}
+
+// Statuses snapshots every managed peer, sorted by address.
+func (m *PeerManager) Statuses() []PeerStatus {
+	m.mu.Lock()
+	peers := make([]*managedPeer, 0, len(m.peers))
+	for _, p := range m.peers {
+		peers = append(peers, p)
+	}
+	m.mu.Unlock()
+	out := make([]PeerStatus, 0, len(peers))
+	for _, p := range peers {
+		p.mu.Lock()
+		out = append(out, PeerStatus{
+			Addr:      p.addr,
+			Phase:     p.phase,
+			UpSince:   p.upSince,
+			FlapCount: p.flapCount,
+			Dials:     p.dials,
+			LastErr:   p.lastErr,
+			RetryAt:   p.retryAt,
+		})
+		p.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// Close stops every dial loop, closes live sessions and in-flight
+// handshakes, and waits for the loops to exit.
+func (m *PeerManager) Close() error {
+	m.closeOnce.Do(m.cancel)
+	m.mu.Lock()
+	peers := make([]*managedPeer, 0, len(m.peers))
+	for _, p := range m.peers {
+		peers = append(peers, p)
+	}
+	m.mu.Unlock()
+	for _, p := range peers {
+		p.mu.Lock()
+		sess, conn := p.session, p.conn
+		p.mu.Unlock()
+		if conn != nil {
+			conn.Close()
+		}
+		if sess != nil {
+			sess.Close()
+		}
+	}
+	m.wg.Wait()
+	return nil
+}
+
+func (m *PeerManager) logf(format string, args ...any) {
+	if m.cfg.Logf != nil {
+		m.cfg.Logf(format, args...)
+	}
+}
+
+// jittered spreads d over [d/2, d) so peers never retry in lockstep.
+func (m *PeerManager) jittered(d time.Duration) time.Duration {
+	return d/2 + time.Duration(float64(d/2)*m.cfg.Jitter())
+}
+
+// sleep waits for d or manager close; false means the manager closed.
+func (m *PeerManager) sleep(p *managedPeer, d time.Duration) bool {
+	p.mu.Lock()
+	p.phase = PhaseIdle
+	p.retryAt = time.Now().Add(d)
+	p.mu.Unlock()
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-m.ctx.Done():
+		return false
+	}
+}
+
+func (m *PeerManager) run(p *managedPeer) {
+	defer m.wg.Done()
+	defer func() {
+		p.mu.Lock()
+		p.phase = PhaseStopped
+		p.mu.Unlock()
+	}()
+	backoff := m.cfg.MinBackoff
+	idleHold := m.cfg.IdleHoldTime
+	for {
+		select {
+		case <-m.ctx.Done():
+			return
+		default:
+		}
+
+		p.mu.Lock()
+		p.phase = PhaseConnecting
+		p.dials++
+		p.mu.Unlock()
+
+		sess, err := m.connect(p)
+		if err != nil {
+			p.mu.Lock()
+			p.lastErr = err
+			p.mu.Unlock()
+			wait := m.jittered(backoff)
+			m.logf("peer %s: connect failed (%v); retrying in %s", p.addr, err, wait.Round(time.Millisecond))
+			if backoff *= 2; backoff > m.cfg.MaxBackoff {
+				backoff = m.cfg.MaxBackoff
+			}
+			if !m.sleep(p, wait) {
+				return
+			}
+			continue
+		}
+
+		up := time.Now()
+		p.mu.Lock()
+		p.phase = PhaseEstablished
+		p.session = sess
+		p.upSince = up
+		p.dials = 0
+		p.lastErr = nil
+		p.mu.Unlock()
+		backoff = m.cfg.MinBackoff
+		m.logf("peer %s: session established (peer ID %v, AS%d)", p.addr, sess.PeerID(), sess.PeerAS())
+		if m.cfg.OnUp != nil {
+			m.cfg.OnUp(p.addr, sess)
+		}
+
+		select {
+		case <-sess.Done():
+		case <-m.ctx.Done():
+			sess.Close()
+			<-sess.Done()
+		}
+		downErr := sess.Err()
+		uptime := time.Since(up)
+		p.mu.Lock()
+		p.session = nil
+		p.upSince = time.Time{}
+		p.lastErr = downErr
+		flapped := uptime < m.cfg.StableUptime
+		if flapped {
+			p.flapCount++
+		}
+		p.mu.Unlock()
+		if m.cfg.OnDown != nil {
+			m.cfg.OnDown(p.addr, downErr)
+		}
+		select {
+		case <-m.ctx.Done():
+			return
+		default:
+		}
+		if flapped {
+			// DampPeerOscillations: each flap doubles the quiet period.
+			if idleHold *= 2; idleHold > m.cfg.MaxIdleHoldTime {
+				idleHold = m.cfg.MaxIdleHoldTime
+			}
+		} else {
+			idleHold = m.cfg.IdleHoldTime
+		}
+		wait := m.jittered(idleHold)
+		m.logf("peer %s: session down after %s (%v); idle-hold %s", p.addr, uptime.Round(time.Millisecond), downErr, wait.Round(time.Millisecond))
+		if !m.sleep(p, wait) {
+			return
+		}
+	}
+}
+
+// connect dials and runs the OPEN handshake, keeping the in-flight conn
+// visible so Close can abort a hung handshake.
+func (m *PeerManager) connect(p *managedPeer) (*Session, error) {
+	conn, err := m.cfg.Dial(m.ctx, "tcp", p.addr)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	p.conn = conn
+	p.mu.Unlock()
+	sess, err := Establish(conn, p.scfg)
+	p.mu.Lock()
+	p.conn = nil
+	p.mu.Unlock()
+	return sess, err
+}

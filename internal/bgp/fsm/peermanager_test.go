@@ -1,0 +1,224 @@
+package fsm
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// passiveSpeaker accepts connections and answers the BGP handshake,
+// delivering each established server-side session on the channel.
+func passiveSpeaker(t *testing.T) (string, chan *Session) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessions := make(chan *Session, 16)
+	var wg sync.WaitGroup
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if s, err := Establish(conn, cfg(65001, "10.0.0.9")); err == nil {
+					sessions <- s
+				}
+			}()
+		}
+	}()
+	t.Cleanup(func() {
+		ln.Close()
+		wg.Wait()
+		close(sessions)
+		for s := range sessions {
+			s.Close()
+		}
+	})
+	return ln.Addr().String(), sessions
+}
+
+// fastManagerConfig keeps every timer tiny and deterministic for tests.
+func fastManagerConfig() ManagerConfig {
+	return ManagerConfig{
+		MinBackoff:      10 * time.Millisecond,
+		MaxBackoff:      80 * time.Millisecond,
+		IdleHoldTime:    10 * time.Millisecond,
+		MaxIdleHoldTime: 80 * time.Millisecond,
+		StableUptime:    time.Minute, // everything in tests counts as a flap
+		Jitter:          func() float64 { return 0 },
+	}
+}
+
+func TestManagerEstablishesAndRedialsAfterDrop(t *testing.T) {
+	addr, serverSessions := passiveSpeaker(t)
+	ups := make(chan *Session, 8)
+	downs := make(chan error, 8)
+	mc := fastManagerConfig()
+	mc.OnUp = func(_ string, s *Session) { ups <- s }
+	mc.OnDown = func(_ string, err error) { downs <- err }
+	m := NewPeerManager(mc)
+	defer m.Close()
+	if err := m.Add(addr, cfg(65002, "10.0.0.2")); err != nil {
+		t.Fatal(err)
+	}
+	// Adding the same address again is a no-op, not a second dial loop.
+	if err := m.Add(addr, cfg(65002, "10.0.0.2")); err != nil {
+		t.Fatal(err)
+	}
+
+	var first *Session
+	select {
+	case first = <-ups:
+	case <-time.After(5 * time.Second):
+		t.Fatal("manager never established")
+	}
+	if first.State() != StateEstablished {
+		t.Fatalf("state = %v", first.State())
+	}
+	sts := m.Statuses()
+	if len(sts) != 1 || sts[0].Phase != PhaseEstablished || sts[0].UpSince.IsZero() {
+		t.Fatalf("statuses = %v", sts)
+	}
+
+	// Kill the session from the server side: the manager must notice,
+	// report OnDown, count the flap, and dial again on its own.
+	srv := <-serverSessions
+	srv.Close()
+	select {
+	case <-downs:
+	case <-time.After(5 * time.Second):
+		t.Fatal("OnDown never fired")
+	}
+	select {
+	case second := <-ups:
+		if second == first {
+			t.Fatal("same session delivered twice")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("manager never redialed")
+	}
+	sts = m.Statuses()
+	if sts[0].FlapCount < 1 {
+		t.Errorf("flap count = %d, want >= 1", sts[0].FlapCount)
+	}
+}
+
+func TestManagerBacksOffWhileUnreachable(t *testing.T) {
+	dialTimes := make(chan time.Time, 32)
+	mc := fastManagerConfig()
+	boom := errors.New("connection refused (injected)")
+	mc.Dial = func(ctx context.Context, network, addr string) (net.Conn, error) {
+		dialTimes <- time.Now()
+		return nil, boom
+	}
+	m := NewPeerManager(mc)
+	defer m.Close()
+	if err := m.Add("192.0.2.1:179", cfg(65002, "10.0.0.2")); err != nil {
+		t.Fatal(err)
+	}
+
+	var times []time.Time
+	deadline := time.After(5 * time.Second)
+	for len(times) < 5 {
+		select {
+		case ts := <-dialTimes:
+			times = append(times, ts)
+		case <-deadline:
+			t.Fatalf("only %d dial attempts before timeout", len(times))
+		}
+	}
+	// Gaps must not shrink: the backoff escalates (jitter pinned to 0
+	// makes each wait exactly half the nominal backoff).
+	for i := 2; i < len(times); i++ {
+		prev := times[i-1].Sub(times[i-2])
+		cur := times[i].Sub(times[i-1])
+		if cur < prev/2 {
+			t.Errorf("backoff gap shrank: %v then %v", prev, cur)
+		}
+	}
+	st := m.Statuses()[0]
+	if !errors.Is(st.LastErr, boom) {
+		t.Errorf("LastErr = %v", st.LastErr)
+	}
+	if st.Phase == PhaseEstablished {
+		t.Errorf("phase = %v", st.Phase)
+	}
+	if st.Dials < 5 {
+		t.Errorf("dials = %d, want >= 5", st.Dials)
+	}
+}
+
+func TestManagerIdleHoldEscalatesOnFlapStorm(t *testing.T) {
+	addr, serverSessions := passiveSpeaker(t)
+	mc := fastManagerConfig()
+	ups := make(chan *Session, 16)
+	mc.OnUp = func(_ string, s *Session) { ups <- s }
+	m := NewPeerManager(mc)
+	defer m.Close()
+	if err := m.Add(addr, cfg(65002, "10.0.0.2")); err != nil {
+		t.Fatal(err)
+	}
+	// Slam the door on every session as soon as it comes up.
+	const flaps = 4
+	for i := 0; i < flaps; i++ {
+		select {
+		case <-ups:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("session %d never came up", i)
+		}
+		select {
+		case srv := <-serverSessions:
+			srv.Close()
+		case <-time.After(10 * time.Second):
+			t.Fatalf("server session %d missing", i)
+		}
+	}
+	waitFor := time.After(10 * time.Second)
+	for {
+		st := m.Statuses()[0]
+		if st.FlapCount >= flaps {
+			break
+		}
+		select {
+		case <-waitFor:
+			t.Fatalf("flap count = %d, want >= %d", m.Statuses()[0].FlapCount, flaps)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+func TestManagerCloseInterruptsConnecting(t *testing.T) {
+	mc := fastManagerConfig()
+	mc.Dial = func(ctx context.Context, network, addr string) (net.Conn, error) {
+		<-ctx.Done() // a blackholed dial: only manager close releases it
+		return nil, ctx.Err()
+	}
+	m := NewPeerManager(mc)
+	if err := m.Add("192.0.2.2:179", cfg(65002, "10.0.0.2")); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		m.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung on an in-flight dial")
+	}
+	if err := m.Add("192.0.2.3:179", cfg(65002, "10.0.0.2")); !errors.Is(err, ErrManagerClosed) {
+		t.Errorf("Add after close = %v", err)
+	}
+	if st := m.Statuses()[0]; st.Phase != PhaseStopped {
+		t.Errorf("phase after close = %v", st.Phase)
+	}
+}

@@ -265,6 +265,13 @@ const (
 	NotifCease              = 6
 )
 
+// OPEN message error subcodes (RFC 4271 §6.2).
+const (
+	OpenBadPeerAS            = 2
+	OpenBadBGPIdentifier     = 3
+	OpenUnacceptableHoldTime = 6
+)
+
 // Type implements Message.
 func (*Notification) Type() MessageType { return TypeNotification }
 

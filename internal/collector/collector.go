@@ -6,10 +6,22 @@
 // attributes of the route being withdrawn, recovered from the Adj-RIB-In,
 // because "BGP UPDATE messages by themselves are not sufficient for
 // analysis".
+//
+// The collection only works if the event stream reflects routing reality
+// rather than collector luck: a TCP blip that instantly floods a full
+// table of withdrawals (and a re-announce storm on reconnect) fabricates
+// exactly the spike/churn signatures the Stemming detector hunts for. So
+// session loss is handled with graceful-restart-style soft state: the
+// peer's Adj-RIB-In is kept, marked stale, for a restart window (default
+// 2×HoldTime). If the peer returns in time, re-announced routes refresh
+// silently and only the routes it never re-announces are withdrawn when
+// the window closes; if the peer stays down, the full augmented
+// withdrawal sweep is emitted exactly once, at window expiry.
 package collector
 
 import (
 	"errors"
+	"fmt"
 	"net"
 	"net/netip"
 	"sort"
@@ -27,6 +39,11 @@ import (
 // from one peer arrive in order.
 type Handler func(event.Event)
 
+// RestartDisabled disables graceful-restart retention: any negative
+// Config.RestartTime makes session loss withdraw the peer's table
+// immediately, the pre-restart behaviour.
+const RestartDisabled = -1 * time.Second
+
 // Config parameterizes the collector.
 type Config struct {
 	LocalAS  uint32
@@ -38,13 +55,143 @@ type Config struct {
 	Now func() time.Time
 	// WithdrawOnSessionLoss emits augmented withdrawals for every route
 	// in a peer's Adj-RIB-In when its session drops (default true via
-	// New).
+	// New). When false, a lost peer's state is dropped silently.
 	WithdrawOnSessionLoss bool
+	// RestartTime is the graceful-restart window. On session loss the
+	// peer's Adj-RIB-In is retained, marked stale, for this long before
+	// the end-of-restart withdrawal sweep. Zero selects the default
+	// (2×HoldTime); a negative value (RestartDisabled) turns retention
+	// off so loss withdraws immediately. Only meaningful when
+	// WithdrawOnSessionLoss is set.
+	RestartTime time.Duration
 	// MaxPrefixes, when positive, tears a peer's session down with a
 	// CEASE notification once its Adj-RIB-In exceeds the limit — the
 	// maximum-prefix protection from the paper's introduction (ISP-B's
-	// routers "would not be overwhelmed" by ISP-A's leak).
+	// routers "would not be overwhelmed" by ISP-A's leak). A max-prefix
+	// teardown is a deliberate local action, not network weather, so it
+	// bypasses the restart window and withdraws immediately.
 	MaxPrefixes int
+	// Logf, when set, receives one line per session lifecycle transition
+	// (handshake failures included — they are otherwise invisible).
+	Logf func(format string, args ...any)
+	// OnSessionEvent, when set, receives structured session lifecycle
+	// events. Called from per-peer goroutines; must be concurrency-safe.
+	OnSessionEvent func(SessionEvent)
+}
+
+// SessionEventKind classifies a session lifecycle transition.
+type SessionEventKind int
+
+// Session lifecycle kinds.
+const (
+	// SessionUp: a peer's session reached Established and the collector
+	// is processing its updates.
+	SessionUp SessionEventKind = iota + 1
+	// SessionDown: a peer's session ended. Err carries the reason
+	// (fsm.Session.Err; nil on clean close). Routes is the number of
+	// routes retained as stale when a restart window opened, or the
+	// number withdrawn when retention is off.
+	SessionDown
+	// SessionReplaced: a duplicate session for an already-connected peer
+	// arrived; the old session was closed and its Adj-RIB-In handed to
+	// the new one (no withdrawal storm).
+	SessionReplaced
+	// HandshakeFailed: an inbound connection never reached Established.
+	// Err carries the handshake error; Peer may be zero.
+	HandshakeFailed
+	// MaxPrefixTeardown: the collector sent CEASE because the peer
+	// exceeded MaxPrefixes. Routes is the table size at teardown.
+	MaxPrefixTeardown
+	// RestartExpired: the restart window closed with the peer still
+	// down; Routes stale routes were swept into augmented withdrawals.
+	RestartExpired
+	// RestartReconciled: the restart window closed with the peer back
+	// up; Routes is the count of never-re-announced routes withdrawn
+	// (zero for a perfect reconcile).
+	RestartReconciled
+)
+
+// String names the kind.
+func (k SessionEventKind) String() string {
+	switch k {
+	case SessionUp:
+		return "session-up"
+	case SessionDown:
+		return "session-down"
+	case SessionReplaced:
+		return "session-replaced"
+	case HandshakeFailed:
+		return "handshake-failed"
+	case MaxPrefixTeardown:
+		return "max-prefix-teardown"
+	case RestartExpired:
+		return "restart-expired"
+	case RestartReconciled:
+		return "restart-reconciled"
+	default:
+		return "session-event(?)"
+	}
+}
+
+// SessionEvent is one session lifecycle transition, reported through
+// Config.OnSessionEvent (and, as text, Config.Logf).
+type SessionEvent struct {
+	Time time.Time
+	Kind SessionEventKind
+	// Peer is the peer's BGP identifier (zero if the handshake failed
+	// before the peer identified itself).
+	Peer netip.Addr
+	// Remote is the transport address of the connection, when known.
+	Remote string
+	// Err is the associated error, if any.
+	Err error
+	// Routes is a kind-dependent route count; see the kind docs.
+	Routes int
+}
+
+// String renders the event as a one-line log message.
+func (e SessionEvent) String() string {
+	s := e.Kind.String()
+	if e.Peer.IsValid() {
+		s += " peer=" + e.Peer.String()
+	}
+	if e.Remote != "" {
+		s += " remote=" + e.Remote
+	}
+	if e.Routes > 0 {
+		s += fmt.Sprintf(" routes=%d", e.Routes)
+	}
+	if e.Err != nil {
+		s += fmt.Sprintf(" err=%q", e.Err.Error())
+	}
+	return s
+}
+
+// PeerInfo is a point-in-time snapshot of one peer the collector holds
+// state for, including peers inside a restart window.
+type PeerInfo struct {
+	Addr      netip.Addr
+	Connected bool
+	Routes    int
+	// StaleRoutes counts routes retained from a lost session and not yet
+	// re-announced.
+	StaleRoutes int
+	// RestartPending reports an open restart window (the end-of-restart
+	// sweep has not run yet).
+	RestartPending bool
+}
+
+// String renders a one-line status suitable for periodic logging.
+func (pi PeerInfo) String() string {
+	state := "up"
+	if !pi.Connected {
+		state = "down"
+	}
+	s := fmt.Sprintf("%s %s routes=%d", pi.Addr, state, pi.Routes)
+	if pi.RestartPending {
+		s += fmt.Sprintf(" restart-pending stale=%d", pi.StaleRoutes)
+	}
+	return s
 }
 
 // Collector accepts IBGP sessions and emits the augmented event stream.
@@ -61,9 +208,22 @@ type Collector struct {
 	wg      sync.WaitGroup
 }
 
+// peerState carries a peer's Adj-RIB-In across sessions: it survives
+// session loss for the length of the restart window and is handed from a
+// replaced session to its replacement.
 type peerState struct {
-	session *fsm.Session
-	adj     *rib.AdjRibIn
+	addr netip.Addr
+
+	// mu guards adj. Update processing, restart sweeps, and the
+	// Routes/NumRoutes snapshots all run on different goroutines.
+	mu  sync.Mutex
+	adj *rib.AdjRibIn
+
+	// The fields below are guarded by Collector.mu.
+	session      *fsm.Session  // nil while the peer is down
+	runnerDone   chan struct{} // closed when the owning Run goroutine exits
+	restartTimer *time.Timer   // non-nil while a restart window is open
+	restartGen   uint64        // increments per window; matches timer callbacks to their window
 }
 
 // New builds a collector delivering events to handler.
@@ -77,6 +237,23 @@ func New(cfg Config, handler Handler) *Collector {
 		peers:   make(map[netip.Addr]*peerState),
 		closed:  make(chan struct{}),
 	}
+}
+
+// restartWindow returns the effective graceful-restart window, or <= 0
+// when retention is disabled.
+func (c *Collector) restartWindow() time.Duration {
+	if c.cfg.RestartTime != 0 {
+		return c.cfg.RestartTime
+	}
+	hold := c.cfg.HoldTime
+	if hold <= 0 {
+		hold = fsm.DefaultHoldTime
+	}
+	return 2 * hold
+}
+
+func (c *Collector) restartEnabled() bool {
+	return c.cfg.WithdrawOnSessionLoss && c.restartWindow() > 0
 }
 
 // Serve accepts sessions on ln until Close. It returns nil after Close;
@@ -104,6 +281,7 @@ func (c *Collector) Serve(ln net.Listener) error {
 }
 
 func (c *Collector) handleConn(conn net.Conn) {
+	remote := conn.RemoteAddr().String()
 	sess, err := fsm.Establish(conn, fsm.Config{
 		LocalAS:  c.cfg.LocalAS,
 		LocalID:  c.cfg.LocalID,
@@ -111,66 +289,255 @@ func (c *Collector) handleConn(conn net.Conn) {
 		ExpectAS: c.cfg.ExpectAS,
 	})
 	if err != nil {
+		c.sessionEvent(SessionEvent{Kind: HandshakeFailed, Remote: remote, Err: err})
 		return
 	}
+	c.Run(sess)
+}
+
+// Run drives an established session — accepted by Serve or dialed
+// externally (e.g. by a fsm.PeerManager) — through the collector until
+// the session ends. It blocks; callers integrating a PeerManager spawn
+// it in the OnUp callback's goroutine.
+func (c *Collector) Run(sess *fsm.Session) {
 	peerAddr := sess.PeerID()
-	ps := &peerState{session: sess, adj: rib.NewAdjRibIn(peerAddr)}
-	c.mu.Lock()
-	if old, dup := c.peers[peerAddr]; dup {
-		// Session replacement: drop the old one silently.
-		go old.session.Close()
+	remote := ""
+	if ra := sess.RemoteAddr(); ra != nil {
+		remote = ra.String()
 	}
-	c.peers[peerAddr] = ps
+	myDone := make(chan struct{})
+	defer close(myDone)
+
+	c.mu.Lock()
+	select {
+	case <-c.closed:
+		c.mu.Unlock()
+		sess.Close()
+		return
+	default:
+	}
+	ps, ok := c.peers[peerAddr]
+	if !ok {
+		ps = &peerState{addr: peerAddr, adj: rib.NewAdjRibIn(peerAddr)}
+		c.peers[peerAddr] = ps
+	}
+	oldSess, oldDone := ps.session, ps.runnerDone
+	ps.session = sess
+	ps.runnerDone = myDone
 	c.mu.Unlock()
 
+	if oldSess != nil {
+		// Session replacement: close the old session and wait for its
+		// runner to drain so no two goroutines ever process one peer's
+		// updates concurrently. The old runner sees it was replaced and
+		// emits nothing; the replacement inherits the Adj-RIB-In.
+		c.sessionEvent(SessionEvent{Kind: SessionReplaced, Peer: peerAddr, Remote: remote})
+		oldSess.Close()
+		if oldDone != nil {
+			<-oldDone
+		}
+		// The inherited table is soft state now: whatever this session
+		// never re-announces must eventually be withdrawn.
+		c.retireTable(ps, true)
+	}
+	c.sessionEvent(SessionEvent{Kind: SessionUp, Peer: peerAddr, Remote: remote})
+
+	maxPfxTripped := false
 	for u := range sess.Updates() {
-		c.processUpdate(ps, u)
-		if c.cfg.MaxPrefixes > 0 && ps.adj.Len() > c.cfg.MaxPrefixes {
+		if isEndOfRIB(u) {
+			// Explicit end-of-restart from the peer: reconcile now
+			// instead of waiting out the window.
+			c.finishRestart(ps, 0)
+			continue
+		}
+		n := c.processUpdate(ps, u)
+		if c.cfg.MaxPrefixes > 0 && n > c.cfg.MaxPrefixes {
 			// Pull the plug exactly as ISP-B did: CEASE, session down.
+			maxPfxTripped = true
+			c.sessionEvent(SessionEvent{Kind: MaxPrefixTeardown, Peer: peerAddr, Remote: remote, Routes: n})
 			sess.Close()
 			break
 		}
 	}
-	// Session over.
+	sess.Close()
+
+	// Session over. If we were replaced, the new runner owns the state.
 	c.mu.Lock()
-	if c.peers[peerAddr] == ps {
+	if ps.session != sess {
+		c.mu.Unlock()
+		return
+	}
+	ps.session = nil
+	ps.runnerDone = nil
+	closing := false
+	select {
+	case <-c.closed:
+		closing = true
+	default:
+	}
+	retain := c.restartEnabled() && !closing && !maxPfxTripped
+	var retained int
+	if retain {
+		retained = c.openRestartWindowLocked(ps)
+	} else {
+		c.cancelRestartTimerLocked(ps)
 		delete(c.peers, peerAddr)
 	}
 	c.mu.Unlock()
-	if c.cfg.WithdrawOnSessionLoss {
-		now := c.cfg.Now()
-		for _, r := range ps.adj.Clear() {
-			c.emit(event.Event{
-				Time: now, Type: event.Withdraw,
-				Peer: peerAddr, Prefix: r.Prefix, Attrs: r.Attrs,
-			})
-		}
+
+	down := SessionEvent{Kind: SessionDown, Peer: peerAddr, Remote: remote, Err: sess.Err(), Routes: retained}
+	if retain {
+		c.sessionEvent(down)
+		return
 	}
-	sess.Close()
+	ps.mu.Lock()
+	lost := ps.adj.Clear()
+	ps.mu.Unlock()
+	if c.cfg.WithdrawOnSessionLoss {
+		c.withdrawRoutes(peerAddr, lost)
+		down.Routes = len(lost)
+	}
+	c.sessionEvent(down)
+}
+
+// retireTable marks a live peer's whole table stale and (when retention
+// is enabled) ensures a restart window is open so never-re-announced
+// routes are withdrawn at end-of-restart. With retention disabled it
+// falls back to an immediate sweep — emitted before the caller processes
+// any of the new session's updates, never interleaved with them.
+func (c *Collector) retireTable(ps *peerState, emitIfDisabled bool) {
+	c.mu.Lock()
+	if c.restartEnabled() {
+		c.openRestartWindowLocked(ps)
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+	if !emitIfDisabled || !c.cfg.WithdrawOnSessionLoss {
+		ps.mu.Lock()
+		ps.adj.Clear()
+		ps.mu.Unlock()
+		return
+	}
+	ps.mu.Lock()
+	lost := ps.adj.Clear()
+	ps.mu.Unlock()
+	c.withdrawRoutes(ps.addr, lost)
+}
+
+// openRestartWindowLocked marks the peer's table stale and starts the
+// end-of-restart timer if one is not already running. Caller holds c.mu.
+// Returns the number of routes retained.
+func (c *Collector) openRestartWindowLocked(ps *peerState) int {
+	ps.mu.Lock()
+	n := ps.adj.MarkAllStale()
+	ps.mu.Unlock()
+	if ps.restartTimer == nil {
+		ps.restartGen++
+		gen := ps.restartGen
+		ps.restartTimer = time.AfterFunc(c.restartWindow(), func() { c.finishRestart(ps, gen) })
+	}
+	return n
+}
+
+// cancelRestartTimerLocked stops a pending restart timer without
+// sweeping. Caller holds c.mu.
+func (c *Collector) cancelRestartTimerLocked(ps *peerState) {
+	if ps.restartTimer != nil {
+		ps.restartTimer.Stop()
+		ps.restartTimer = nil
+	}
+}
+
+// finishRestart closes the peer's restart window and emits augmented
+// withdrawals for every route the peer never re-announced. fired, when
+// non-zero, is the window generation of the expired timer invoking us: a
+// stale callback (its window already closed by EOR or Close) is a no-op,
+// which is what makes the sweep happen exactly once.
+func (c *Collector) finishRestart(ps *peerState, fired uint64) {
+	c.mu.Lock()
+	if ps.restartTimer == nil || (fired != 0 && ps.restartGen != fired) {
+		c.mu.Unlock()
+		return
+	}
+	ps.restartTimer.Stop()
+	ps.restartTimer = nil
+	connected := ps.session != nil
+	if !connected && c.peers[ps.addr] == ps {
+		delete(c.peers, ps.addr)
+	}
+	c.mu.Unlock()
+
+	ps.mu.Lock()
+	stale := ps.adj.SweepStale()
+	ps.mu.Unlock()
+	c.withdrawRoutes(ps.addr, stale)
+	kind := RestartReconciled
+	if !connected {
+		kind = RestartExpired
+	}
+	c.sessionEvent(SessionEvent{Kind: kind, Peer: ps.addr, Routes: len(stale)})
+}
+
+// withdrawRoutes emits one augmented withdrawal per route.
+func (c *Collector) withdrawRoutes(peer netip.Addr, routes []*rib.Route) {
+	if len(routes) == 0 {
+		return
+	}
+	now := c.cfg.Now()
+	for _, r := range routes {
+		c.emit(event.Event{
+			Time: now, Type: event.Withdraw,
+			Peer: peer, Prefix: r.Prefix, Attrs: r.Attrs,
+		})
+	}
+}
+
+// isEndOfRIB reports a BGP End-of-RIB marker: an UPDATE with no
+// withdrawn routes, no attributes, and no NLRI (RFC 4724 §2).
+func isEndOfRIB(u *bgp.Update) bool {
+	return len(u.Withdrawn) == 0 && len(u.NLRI) == 0 && u.Attrs == nil
 }
 
 // processUpdate turns one UPDATE into augmented events, updating the
-// peer's Adj-RIB-In. This is the paper's core collection trick: explicit
-// withdrawals carry no attributes on the wire, so we attach the ones we
-// remembered.
-func (c *Collector) processUpdate(ps *peerState, u *bgp.Update) {
+// peer's Adj-RIB-In, and returns the table size afterwards. This is the
+// paper's core collection trick: explicit withdrawals carry no
+// attributes on the wire, so we attach the ones we remembered.
+//
+// One refinement under graceful restart: a re-announcement that exactly
+// matches a retained stale route refreshes it silently. The peer only
+// repeats itself because the transport flapped; the counterfactual
+// stream — the one an unluckier collector would never have seen — has no
+// event there, and Stemming should not either.
+func (c *Collector) processUpdate(ps *peerState, u *bgp.Update) int {
 	now := c.cfg.Now()
-	peer := ps.adj.Peer()
+	peer := ps.addr
+	events := make([]event.Event, 0, len(u.Withdrawn)+len(u.NLRI))
+	ps.mu.Lock()
 	for _, p := range u.Withdrawn {
 		old := ps.adj.Withdraw(p)
 		ev := event.Event{Time: now, Type: event.Withdraw, Peer: peer, Prefix: p}
 		if old != nil {
 			ev.Attrs = old.Attrs
 		}
+		events = append(events, ev)
+	}
+	if u.Attrs != nil {
+		for _, p := range u.NLRI {
+			old := ps.adj.Get(p)
+			refresh := old != nil && old.Stale && old.Attrs.Equal(u.Attrs)
+			ps.adj.Update(p, u.Attrs, false, peer, now)
+			if !refresh {
+				events = append(events, event.Event{Time: now, Type: event.Announce, Peer: peer, Prefix: p, Attrs: u.Attrs})
+			}
+		}
+	}
+	n := ps.adj.Len()
+	ps.mu.Unlock()
+	for _, ev := range events {
 		c.emit(ev)
 	}
-	if u.Attrs == nil {
-		return
-	}
-	for _, p := range u.NLRI {
-		ps.adj.Update(p, u.Attrs, false, peer, now)
-		c.emit(event.Event{Time: now, Type: event.Announce, Peer: peer, Prefix: p, Attrs: u.Attrs})
-	}
+	return n
 }
 
 func (c *Collector) emit(e event.Event) {
@@ -179,50 +546,110 @@ func (c *Collector) emit(e event.Event) {
 	}
 }
 
+func (c *Collector) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+func (c *Collector) sessionEvent(e SessionEvent) {
+	e.Time = c.cfg.Now()
+	c.logf("%s", e.String())
+	if c.cfg.OnSessionEvent != nil {
+		c.cfg.OnSessionEvent(e)
+	}
+}
+
 // Peers returns the addresses of currently connected peers, sorted.
+// Peers inside a restart window (down, table retained) are not listed;
+// see PeerInfos.
 func (c *Collector) Peers() []netip.Addr {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	out := make([]netip.Addr, 0, len(c.peers))
-	for a := range c.peers {
-		out = append(out, a)
+	for a, ps := range c.peers {
+		if ps.session != nil {
+			out = append(out, a)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
 	return out
 }
 
-// Routes snapshots every peer's Adj-RIB-In (the input to a TAMP picture
-// of the site's current routing).
-func (c *Collector) Routes() []*rib.Route {
+// PeerInfos snapshots every peer the collector holds state for —
+// connected or inside a restart window — sorted by address.
+func (c *Collector) PeerInfos() []PeerInfo {
+	c.mu.Lock()
+	states := make([]*peerState, 0, len(c.peers))
+	infos := make([]PeerInfo, 0, len(c.peers))
+	for _, ps := range c.peers {
+		states = append(states, ps)
+		infos = append(infos, PeerInfo{
+			Addr:           ps.addr,
+			Connected:      ps.session != nil,
+			RestartPending: ps.restartTimer != nil,
+		})
+	}
+	c.mu.Unlock()
+	for i, ps := range states {
+		ps.mu.Lock()
+		infos[i].Routes = ps.adj.Len()
+		infos[i].StaleRoutes = ps.adj.StaleLen()
+		ps.mu.Unlock()
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Addr.Less(infos[j].Addr) })
+	return infos
+}
+
+// snapshotPeers returns the current peer states without holding c.mu
+// while the caller inspects their RIBs.
+func (c *Collector) snapshotPeers() []*peerState {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	var out []*rib.Route
+	out := make([]*peerState, 0, len(c.peers))
 	for _, ps := range c.peers {
+		out = append(out, ps)
+	}
+	return out
+}
+
+// Routes snapshots every peer's Adj-RIB-In (the input to a TAMP picture
+// of the site's current routing). Stale routes — retained across a
+// session loss inside a restart window — are included, matching
+// graceful-restart forwarding semantics.
+func (c *Collector) Routes() []*rib.Route {
+	var out []*rib.Route
+	for _, ps := range c.snapshotPeers() {
+		ps.mu.Lock()
 		out = append(out, ps.adj.Routes()...)
+		ps.mu.Unlock()
 	}
 	return out
 }
 
 // NumRoutes returns the total routes held across peers.
 func (c *Collector) NumRoutes() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	n := 0
-	for _, ps := range c.peers {
+	for _, ps := range c.snapshotPeers() {
+		ps.mu.Lock()
 		n += ps.adj.Len()
+		ps.mu.Unlock()
 	}
 	return n
 }
 
-// Close stops accepting, closes all sessions, and waits for handlers to
-// drain.
+// Close stops accepting, closes all sessions, flushes any pending
+// restart windows (their end-of-restart withdrawals are emitted
+// immediately, once), and waits for handlers to drain.
 func (c *Collector) Close() error {
 	c.closeMu.Do(func() { close(c.closed) })
 	c.mu.Lock()
 	ln := c.ln
 	sessions := make([]*fsm.Session, 0, len(c.peers))
 	for _, ps := range c.peers {
-		sessions = append(sessions, ps.session)
+		if ps.session != nil {
+			sessions = append(sessions, ps.session)
+		}
 	}
 	c.mu.Unlock()
 	if ln != nil {
@@ -232,6 +659,26 @@ func (c *Collector) Close() error {
 		s.Close()
 	}
 	c.wg.Wait()
+
+	// Any peer still holding an open restart window was down when we
+	// shut off: emit its sweep now rather than leaking a timer.
+	c.mu.Lock()
+	var pending []*peerState
+	for _, ps := range c.peers {
+		if ps.restartTimer != nil {
+			c.cancelRestartTimerLocked(ps)
+			delete(c.peers, ps.addr)
+			pending = append(pending, ps)
+		}
+	}
+	c.mu.Unlock()
+	for _, ps := range pending {
+		ps.mu.Lock()
+		stale := ps.adj.SweepStale()
+		ps.mu.Unlock()
+		c.withdrawRoutes(ps.addr, stale)
+		c.sessionEvent(SessionEvent{Kind: RestartExpired, Peer: ps.addr, Routes: len(stale)})
+	}
 	return nil
 }
 

@@ -14,6 +14,9 @@ import (
 
 var fixedNow = time.Date(2003, 8, 1, 12, 0, 0, 0, time.UTC)
 
+// startCollector runs a collector with graceful-restart retention off:
+// these tests pin down the strict withdraw-on-loss semantics. The
+// restart-window behaviour is covered in resilience_test.go.
 func startCollector(t *testing.T) (*Collector, *Recorder, string) {
 	t.Helper()
 	rec := NewRecorder()
@@ -23,6 +26,7 @@ func startCollector(t *testing.T) (*Collector, *Recorder, string) {
 		HoldTime:              30 * time.Second,
 		Now:                   func() time.Time { return fixedNow },
 		WithdrawOnSessionLoss: true,
+		RestartTime:           RestartDisabled,
 	}, rec.Handle)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

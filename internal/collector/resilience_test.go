@@ -1,0 +1,427 @@
+package collector
+
+// Resilience tests: the graceful-restart retention semantics and the
+// session lifecycle reporting, exercised through the fault-injection
+// conn so sessions die the way real ones do — mid-stream, without a
+// CEASE. The invariant under test is the one the paper's methodology
+// needs: the event stream reflects routing reality, not collector luck.
+// A flap the peer recovers from within the restart window must leave no
+// trace; a peer that stays down must produce the full augmented
+// withdrawal sweep exactly once.
+
+import (
+	"net"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"rex/internal/bgp"
+	"rex/internal/bgp/fsm"
+	"rex/internal/bgp/fsm/faultconn"
+	"rex/internal/event"
+)
+
+// sessionEventRecorder accumulates SessionEvents for assertions.
+type sessionEventRecorder struct {
+	mu     sync.Mutex
+	events []SessionEvent
+}
+
+func (r *sessionEventRecorder) handle(e SessionEvent) {
+	r.mu.Lock()
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}
+
+func (r *sessionEventRecorder) count(kind SessionEventKind) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, e := range r.events {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+func (r *sessionEventRecorder) last(kind SessionEventKind) (SessionEvent, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := len(r.events) - 1; i >= 0; i-- {
+		if r.events[i].Kind == kind {
+			return r.events[i], true
+		}
+	}
+	return SessionEvent{}, false
+}
+
+// startResilientCollector runs a collector with graceful-restart
+// retention on and the given window.
+func startResilientCollector(t *testing.T, window time.Duration, mutate func(*Config)) (*Collector, *Recorder, *sessionEventRecorder, string) {
+	t.Helper()
+	rec := NewRecorder()
+	ser := &sessionEventRecorder{}
+	cfg := Config{
+		LocalAS:               25,
+		LocalID:               netip.MustParseAddr("10.255.0.1"),
+		HoldTime:              30 * time.Second,
+		WithdrawOnSessionLoss: true,
+		RestartTime:           window,
+		OnSessionEvent:        ser.handle,
+		Logf:                  t.Logf,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	c := New(cfg, rec.Handle)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		if err := c.Serve(ln); err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	}()
+	t.Cleanup(func() { c.Close() })
+	return c, rec, ser, ln.Addr().String()
+}
+
+// dialFaultRouter establishes a session to the collector through a
+// fault-injection conn the test can Cut at will.
+func dialFaultRouter(t *testing.T, addr, routerID string) (*fsm.Session, *faultconn.Conn) {
+	t.Helper()
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := faultconn.New(raw, faultconn.Options{})
+	s, err := fsm.Establish(fc, fsm.Config{
+		LocalAS: 25,
+		LocalID: netip.MustParseAddr(routerID),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, fc
+}
+
+func testPrefix(i int) netip.Prefix {
+	return netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(i + 1), 0, 0}), 16)
+}
+
+func announceN(t *testing.T, s *fsm.Session, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		u := &bgp.Update{Attrs: attrs("10.0.0.9", 1, uint32(100+i)), NLRI: []netip.Prefix{testPrefix(i)}}
+		if err := s.Send(u); err != nil {
+			t.Fatalf("announce %d: %v", i, err)
+		}
+	}
+}
+
+func countByType(events event.Stream) (announces, withdraws int) {
+	for _, e := range events {
+		switch e.Type {
+		case event.Announce:
+			announces++
+		case event.Withdraw:
+			withdraws++
+		}
+	}
+	return
+}
+
+// TestFlapWithinWindowNoSpuriousWithdrawals is the headline acceptance
+// criterion: a session dropped mid-stream and re-established within the
+// restart window, with every route re-announced, must contribute zero
+// withdraw events — and the identical re-announcements are silent too.
+func TestFlapWithinWindowNoSpuriousWithdrawals(t *testing.T) {
+	c, rec, ser, addr := startResilientCollector(t, 1500*time.Millisecond, nil)
+	const routes = 5
+
+	r1, fc := dialFaultRouter(t, addr, "128.32.1.3")
+	announceN(t, r1, routes)
+	waitFor(t, "announces", func() bool { return rec.Len() >= routes })
+
+	// The network weather hits: a mid-stream reset, no CEASE.
+	fc.Cut()
+	waitFor(t, "session down", func() bool { return ser.count(SessionDown) >= 1 })
+	if got := c.NumRoutes(); got != routes {
+		t.Fatalf("routes dropped on session loss: %d, want %d retained", got, routes)
+	}
+
+	// The peer returns within the window and re-announces everything.
+	r2, _ := dialFaultRouter(t, addr, "128.32.1.3")
+	announceN(t, r2, routes)
+
+	// Let the window expire and reconcile.
+	waitFor(t, "reconcile", func() bool { return ser.count(RestartReconciled) >= 1 })
+	announces, withdraws := countByType(rec.Events())
+	if withdraws != 0 {
+		t.Errorf("spurious withdraw events = %d, want 0\nstream: %v", withdraws, rec.Events())
+	}
+	if announces != routes {
+		t.Errorf("announce events = %d, want %d (identical re-announcements are silent)", announces, routes)
+	}
+	if got := c.NumRoutes(); got != routes {
+		t.Errorf("NumRoutes = %d, want %d", got, routes)
+	}
+	if ev, ok := ser.last(RestartReconciled); !ok || ev.Routes != 0 {
+		t.Errorf("reconcile swept %d routes, want 0", ev.Routes)
+	}
+}
+
+// TestPeerStaysDownFullSweepExactlyOnce is the other half of the
+// criterion: past the window, the full augmented sweep fires — once.
+func TestPeerStaysDownFullSweepExactlyOnce(t *testing.T) {
+	c, rec, ser, addr := startResilientCollector(t, 300*time.Millisecond, nil)
+	const routes = 5
+
+	r1, fc := dialFaultRouter(t, addr, "128.32.1.3")
+	announceN(t, r1, routes)
+	waitFor(t, "announces", func() bool { return rec.Len() >= routes })
+	fc.Cut()
+
+	waitFor(t, "restart expiry", func() bool { return ser.count(RestartExpired) >= 1 })
+	// Give any (buggy) second sweep a chance to materialize.
+	time.Sleep(100 * time.Millisecond)
+
+	_, withdraws := countByType(rec.Events())
+	if withdraws != routes {
+		t.Errorf("withdraw events = %d, want exactly %d", withdraws, routes)
+	}
+	for _, e := range rec.Events() {
+		if e.Type == event.Withdraw && e.Attrs == nil {
+			t.Errorf("sweep withdrawal for %v not augmented", e.Prefix)
+		}
+	}
+	if n := ser.count(RestartExpired); n != 1 {
+		t.Errorf("RestartExpired fired %d times", n)
+	}
+	if got := c.NumRoutes(); got != 0 {
+		t.Errorf("NumRoutes = %d after expiry", got)
+	}
+	if infos := c.PeerInfos(); len(infos) != 0 {
+		t.Errorf("peer state leaked past expiry: %v", infos)
+	}
+}
+
+// TestPartialReannounceWithdrawsOnlyTheMissing: the reconcile
+// distinguishes refreshed routes (silent), changed routes (announce),
+// and never-re-announced routes (end-of-restart withdrawal).
+func TestPartialReannounceWithdrawsOnlyTheMissing(t *testing.T) {
+	_, rec, ser, addr := startResilientCollector(t, 800*time.Millisecond, nil)
+	const routes = 5
+
+	r1, fc := dialFaultRouter(t, addr, "128.32.1.3")
+	announceN(t, r1, routes)
+	waitFor(t, "announces", func() bool { return rec.Len() >= routes })
+	fc.Cut()
+	waitFor(t, "session down", func() bool { return ser.count(SessionDown) >= 1 })
+
+	r2, _ := dialFaultRouter(t, addr, "128.32.1.3")
+	// Re-announce 0 and 1 unchanged; 2 with a different path (a real
+	// routing change that happened while the session was down).
+	announceN(t, r2, 2)
+	changed := attrs("10.0.0.9", 1, 7, 102)
+	if err := r2.Send(&bgp.Update{Attrs: changed, NLRI: []netip.Prefix{testPrefix(2)}}); err != nil {
+		t.Fatal(err)
+	}
+
+	waitFor(t, "reconcile", func() bool { return ser.count(RestartReconciled) >= 1 })
+	var lateAnnounces, withdraws int
+	for _, e := range rec.Events()[routes:] {
+		switch e.Type {
+		case event.Announce:
+			lateAnnounces++
+			if e.Prefix != testPrefix(2) || !e.Attrs.Equal(changed) {
+				t.Errorf("unexpected announce %v", &e)
+			}
+		case event.Withdraw:
+			withdraws++
+			if e.Prefix != testPrefix(3) && e.Prefix != testPrefix(4) {
+				t.Errorf("withdrew re-announced prefix %v", e.Prefix)
+			}
+			if e.Attrs == nil {
+				t.Errorf("unaugmented end-of-restart withdrawal for %v", e.Prefix)
+			}
+		}
+	}
+	if lateAnnounces != 1 {
+		t.Errorf("post-flap announces = %d, want 1 (only the changed route)", lateAnnounces)
+	}
+	if withdraws != 2 {
+		t.Errorf("end-of-restart withdrawals = %d, want 2", withdraws)
+	}
+	if ev, _ := ser.last(RestartReconciled); ev.Routes != 2 {
+		t.Errorf("reconcile event reports %d swept routes, want 2", ev.Routes)
+	}
+}
+
+// TestSessionReplacementHandsOffRIB: a duplicate session for a connected
+// peer must inherit the Adj-RIB-In — no withdrawal storm interleaved
+// with the new session's announcements (the seed's behaviour).
+func TestSessionReplacementHandsOffRIB(t *testing.T) {
+	c, rec, ser, addr := startResilientCollector(t, 800*time.Millisecond, nil)
+	const routes = 3
+
+	r1, _ := dialFaultRouter(t, addr, "128.32.1.3")
+	announceN(t, r1, routes)
+	waitFor(t, "announces", func() bool { return rec.Len() >= routes })
+
+	// Same router ID connects again while the first session is healthy.
+	r2, _ := dialFaultRouter(t, addr, "128.32.1.3")
+	waitFor(t, "replacement", func() bool { return ser.count(SessionReplaced) >= 1 })
+	// The old session is torn down...
+	select {
+	case <-r1.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("replaced session not closed")
+	}
+	// ...without a withdrawal flood.
+	announceN(t, r2, 2) // re-announce 2 of 3, unchanged
+	waitFor(t, "reconcile", func() bool { return ser.count(RestartReconciled) >= 1 })
+
+	announces, withdraws := countByType(rec.Events())
+	if announces != routes {
+		t.Errorf("announces = %d, want %d (handoff re-announcements are silent)", announces, routes)
+	}
+	if withdraws != 1 {
+		t.Errorf("withdraws = %d, want 1 (only the never-re-announced route)", withdraws)
+	}
+	if got := c.NumRoutes(); got != 2 {
+		t.Errorf("NumRoutes = %d, want 2", got)
+	}
+	if peers := c.Peers(); len(peers) != 1 {
+		t.Errorf("Peers = %v", peers)
+	}
+}
+
+// TestEndOfRIBReconcilesEarly: an RFC 4724-style End-of-RIB marker from
+// a returned peer closes the restart window immediately — the collector
+// does not sit out a long window when the peer says it is done.
+func TestEndOfRIBReconcilesEarly(t *testing.T) {
+	_, rec, ser, addr := startResilientCollector(t, 30*time.Second, nil)
+	const routes = 4
+
+	r1, fc := dialFaultRouter(t, addr, "128.32.1.3")
+	announceN(t, r1, routes)
+	waitFor(t, "announces", func() bool { return rec.Len() >= routes })
+	fc.Cut()
+	waitFor(t, "session down", func() bool { return ser.count(SessionDown) >= 1 })
+
+	r2, _ := dialFaultRouter(t, addr, "128.32.1.3")
+	announceN(t, r2, 2)
+	if err := r2.Send(&bgp.Update{}); err != nil { // End-of-RIB
+		t.Fatal(err)
+	}
+	// Well before the 30s window: the EOR forces the reconcile.
+	waitFor(t, "EOR reconcile", func() bool { return ser.count(RestartReconciled) >= 1 })
+	_, withdraws := countByType(rec.Events())
+	if withdraws != 2 {
+		t.Errorf("withdrawals after EOR = %d, want 2", withdraws)
+	}
+}
+
+// TestFlapStormSoak hammers one peer with repeated mid-stream resets and
+// re-announcements, all within restart windows: the entire storm must be
+// invisible in the event stream — no withdraw/re-announce bursts, ever.
+func TestFlapStormSoak(t *testing.T) {
+	c, rec, ser, addr := startResilientCollector(t, 5*time.Second, nil)
+	const routes = 5
+	const flaps = 8
+
+	r, _ := dialFaultRouter(t, addr, "128.32.1.3")
+	announceN(t, r, routes)
+	waitFor(t, "initial announces", func() bool { return rec.Len() >= routes })
+
+	for i := 0; i < flaps; i++ {
+		// Kill the live session mid-stream, from whichever side the
+		// fault conn wraps, then come straight back and re-announce.
+		prevDowns := ser.count(SessionDown) + ser.count(SessionReplaced)
+		r.Close()
+		waitFor(t, "flap observed", func() bool {
+			return ser.count(SessionDown)+ser.count(SessionReplaced) > prevDowns
+		})
+		r, _ = dialFaultRouter(t, addr, "128.32.1.3")
+		announceN(t, r, routes)
+		waitFor(t, "session back up", func() bool {
+			peers := c.Peers()
+			return len(peers) == 1
+		})
+	}
+	// Declare the final table complete and reconcile.
+	if err := r.Send(&bgp.Update{}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "final reconcile", func() bool { return ser.count(RestartReconciled) >= 1 })
+
+	announces, withdraws := countByType(rec.Events())
+	if withdraws != 0 {
+		t.Errorf("flap storm leaked %d withdraw events into the stream", withdraws)
+	}
+	if announces != routes {
+		t.Errorf("flap storm leaked re-announce events: %d announces, want %d", announces, routes)
+	}
+	if n := ser.count(RestartExpired); n != 0 {
+		t.Errorf("full-table sweeps during storm = %d, want 0", n)
+	}
+	if got := c.NumRoutes(); got != routes {
+		t.Errorf("NumRoutes = %d, want %d", got, routes)
+	}
+}
+
+// TestHandshakeFailureReported: garbage on the wire used to vanish
+// without a trace; now it surfaces through OnSessionEvent.
+func TestHandshakeFailureReported(t *testing.T) {
+	_, _, ser, addr := startResilientCollector(t, time.Second, nil)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Longer than a BGP header (19 bytes) so the read completes and fails
+	// on the bad marker rather than blocking for more bytes.
+	if _, err := conn.Write([]byte("GET / HTTP/1.1\r\nHost: example.test\r\n\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "handshake failure report", func() bool { return ser.count(HandshakeFailed) >= 1 })
+	ev, _ := ser.last(HandshakeFailed)
+	if ev.Err == nil {
+		t.Error("handshake failure reported without an error")
+	}
+	if ev.Remote == "" {
+		t.Error("handshake failure reported without the remote address")
+	}
+}
+
+// TestMaxPrefixTeardownBypassesRestartWindow: a max-prefix CEASE is a
+// deliberate local action — the withdrawal sweep is immediate and the
+// teardown is reported, even with a long restart window configured.
+func TestMaxPrefixTeardownBypassesRestartWindow(t *testing.T) {
+	c, rec, ser, addr := startResilientCollector(t, 30*time.Second, func(cfg *Config) {
+		cfg.MaxPrefixes = 3
+	})
+	r, _ := dialFaultRouter(t, addr, "128.32.1.3")
+	for i := 0; i < 6; i++ {
+		u := &bgp.Update{Attrs: attrs("10.0.0.9", 1, uint32(100+i)), NLRI: []netip.Prefix{testPrefix(i)}}
+		if err := r.Send(u); err != nil {
+			break // the CEASE may already have landed
+		}
+	}
+	waitFor(t, "teardown report", func() bool { return ser.count(MaxPrefixTeardown) >= 1 })
+	waitFor(t, "immediate sweep", func() bool {
+		_, withdraws := countByType(rec.Events())
+		return withdraws >= 4
+	})
+	if n := c.NumRoutes(); n != 0 {
+		t.Errorf("NumRoutes = %d after max-prefix teardown", n)
+	}
+	if pending := c.PeerInfos(); len(pending) != 0 {
+		t.Errorf("restart window opened for a max-prefix teardown: %v", pending)
+	}
+}

@@ -70,12 +70,55 @@ func (rib *AdjRibIn) Clear() []*Route {
 	return out
 }
 
+// MarkAllStale flags every held route as stale and returns how many were
+// flagged. The collector calls this when a peer's session drops but a
+// graceful-restart window is open: routes stay usable (and visible to
+// TAMP) while the peer is expected back, and a subsequent Update for the
+// prefix installs a fresh (non-stale) route.
+func (rib *AdjRibIn) MarkAllStale() int {
+	for _, r := range rib.routes {
+		r.Stale = true
+	}
+	return len(rib.routes)
+}
+
+// StaleLen returns the number of routes currently flagged stale.
+func (rib *AdjRibIn) StaleLen() int {
+	n := 0
+	for _, r := range rib.routes {
+		if r.Stale {
+			n++
+		}
+	}
+	return n
+}
+
+// SweepStale removes every stale route and returns them sorted by prefix
+// (deterministic withdrawal order). The collector calls this at the end
+// of a restart window: whatever the peer never re-announced is withdrawn.
+func (rib *AdjRibIn) SweepStale() []*Route {
+	out := make([]*Route, 0, len(rib.routes))
+	for p, r := range rib.routes {
+		if r.Stale {
+			out = append(out, r)
+			delete(rib.routes, p)
+		}
+	}
+	sortRoutes(out)
+	return out
+}
+
 // Routes returns all routes sorted by prefix.
 func (rib *AdjRibIn) Routes() []*Route {
 	out := make([]*Route, 0, len(rib.routes))
 	for _, r := range rib.routes {
 		out = append(out, r)
 	}
+	sortRoutes(out)
+	return out
+}
+
+func sortRoutes(out []*Route) {
 	sort.Slice(out, func(i, j int) bool {
 		pi, pj := out[i].Prefix, out[j].Prefix
 		if pi.Addr() != pj.Addr() {
@@ -83,7 +126,6 @@ func (rib *AdjRibIn) Routes() []*Route {
 		}
 		return pi.Bits() < pj.Bits()
 	})
-	return out
 }
 
 // Walk calls fn for every route in unspecified order, stopping early if fn

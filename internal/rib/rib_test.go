@@ -561,3 +561,49 @@ func TestLocRibRandomOpsInvariants(t *testing.T) {
 		}
 	}
 }
+
+func TestAdjRibInStaleLifecycle(t *testing.T) {
+	peer := netip.MustParseAddr("128.32.1.3")
+	rib := NewAdjRibIn(peer)
+	for i := 0; i < 4; i++ {
+		p := netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(i + 1), 0, 0}), 16)
+		rib.Update(p, mkAttrs("10.0.0.9", 1, uint32(100+i)), false, peer, testTime)
+	}
+	if n := rib.MarkAllStale(); n != 4 {
+		t.Fatalf("MarkAllStale = %d, want 4", n)
+	}
+	if n := rib.StaleLen(); n != 4 {
+		t.Fatalf("StaleLen = %d, want 4", n)
+	}
+	// The peer comes back and re-announces two prefixes: those routes are
+	// replaced by fresh (non-stale) entries.
+	for i := 0; i < 2; i++ {
+		p := netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(i + 1), 0, 0}), 16)
+		rib.Update(p, mkAttrs("10.0.0.9", 1, uint32(200+i)), false, peer, testTime)
+	}
+	if n := rib.StaleLen(); n != 2 {
+		t.Fatalf("StaleLen after refresh = %d, want 2", n)
+	}
+	// End of the restart window: only the never-re-announced routes go.
+	swept := rib.SweepStale()
+	if len(swept) != 2 {
+		t.Fatalf("SweepStale = %d routes, want 2", len(swept))
+	}
+	for i := 1; i < len(swept); i++ {
+		if !swept[i-1].Prefix.Addr().Less(swept[i].Prefix.Addr()) {
+			t.Errorf("sweep not sorted: %v before %v", swept[i-1].Prefix, swept[i].Prefix)
+		}
+	}
+	for _, r := range swept {
+		if !r.Stale || r.Attrs == nil {
+			t.Errorf("swept route %v: stale=%v attrs=%v", r.Prefix, r.Stale, r.Attrs)
+		}
+	}
+	if rib.Len() != 2 || rib.StaleLen() != 0 {
+		t.Errorf("after sweep: Len=%d StaleLen=%d, want 2, 0", rib.Len(), rib.StaleLen())
+	}
+	// A second sweep finds nothing: end-of-restart withdrawals happen once.
+	if again := rib.SweepStale(); len(again) != 0 {
+		t.Errorf("second sweep returned %d routes", len(again))
+	}
+}

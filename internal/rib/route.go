@@ -29,6 +29,11 @@ type Route struct {
 	EBGP bool
 	// LearnedAt is when the route was (last) installed.
 	LearnedAt time.Time
+	// Stale marks a route retained across a session loss under
+	// graceful-restart semantics: the collector keeps the Adj-RIB-In for a
+	// restart window instead of withdrawing immediately, and routes the
+	// peer has not yet re-announced stay flagged until the window closes.
+	Stale bool
 }
 
 // Clone returns a deep copy of the route.
