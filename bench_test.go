@@ -8,6 +8,7 @@ package rex_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -334,6 +335,68 @@ func BenchmarkFigure9FlapDetection(b *testing.B) {
 		if _, ok := stemming.Top(all, stemming.Config{}); !ok {
 			b.Fatal("flap not found")
 		}
+	}
+}
+
+// ---- Streaming pipeline ----
+
+// BenchmarkPipelineWindow compares continuous windowed analysis done the
+// batch way (re-running Analyze over the window slice at every snapshot
+// point) against the streaming Window (incremental add/evict counting,
+// snapshot from the live tables), single-sharded and with one count
+// shard per core. Same stream, same window, same snapshot positions —
+// the decompositions are identical (see stemming's equivalence tests);
+// only the work per snapshot differs.
+func BenchmarkPipelineWindow(b *testing.B) {
+	d := ispAt(b, 150_000)
+	const n = 50_000
+	events := benchEvents(b, "pw", d.site.Site, d.routes, n, time.Hour)
+	const (
+		window    = 30 * time.Minute
+		snapEvery = 2 * time.Minute
+	)
+
+	b.Run("batch", func(b *testing.B) {
+		b.ReportMetric(float64(n), "events")
+		for i := 0; i < b.N; i++ {
+			comps, start := 0, 0
+			next := events[0].Time.Add(snapEvery)
+			for idx := range events {
+				t := events[idx].Time
+				for !t.Before(next) {
+					for events[start].Time.Before(t.Add(-window)) {
+						start++
+					}
+					comps += len(stemming.Analyze(events[start:idx+1], stemming.Config{}))
+					next = next.Add(snapEvery)
+				}
+			}
+			if comps == 0 {
+				b.Fatal("no components")
+			}
+		}
+	})
+	for _, shards := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("streamed/shards=%d", shards), func(b *testing.B) {
+			b.ReportMetric(float64(n), "events")
+			for i := 0; i < b.N; i++ {
+				w := stemming.NewWindow(stemming.Config{}, shards)
+				comps := 0
+				next := events[0].Time.Add(snapEvery)
+				for idx := range events {
+					e := events[idx]
+					w.Add(e)
+					w.EvictBefore(e.Time.Add(-window))
+					for !e.Time.Before(next) {
+						comps += len(w.Snapshot())
+						next = next.Add(snapEvery)
+					}
+				}
+				if comps == 0 {
+					b.Fatal("no components")
+				}
+			}
+		})
 	}
 }
 

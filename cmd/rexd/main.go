@@ -4,10 +4,12 @@
 // given with -peer, redialing forever with backoff when they fall over.
 // It maintains an Adj-RIB-In per peer with graceful-restart retention
 // across session flaps (-restart-time), appends the
-// withdrawal-augmented event stream to a file, and periodically scans
-// the stream with the spike+churn anomaly pipeline, printing alerts. On
-// shutdown (SIGINT/SIGTERM or -run-for) it prints a TAMP picture of the
-// current routing state.
+// withdrawal-augmented event stream to a file, and feeds it through the
+// streaming analysis pipeline: a sliding window (-window) whose Stemming
+// decomposition and TAMP picture are snapshotted whenever the event rate
+// spikes (-spike-k) or on a period (-snapshot-every), printing each
+// snapshot. On shutdown (SIGINT/SIGTERM or -run-for) it prints the final
+// window decomposition and a TAMP picture of the current routing state.
 //
 // Example:
 //
@@ -29,7 +31,8 @@ import (
 
 	"rex/internal/bgp/fsm"
 	"rex/internal/collector"
-	"rex/internal/core"
+	"rex/internal/core/pipeline"
+	"rex/internal/core/stemming"
 	"rex/internal/core/tamp"
 	"rex/internal/event"
 	"rex/internal/viz"
@@ -66,7 +69,10 @@ func run(args []string) error {
 		localAS    = fs.Uint("as", 25, "local AS number")
 		localID    = fs.String("id", "10.255.0.1", "local BGP identifier")
 		out        = fs.String("out", "", "append the augmented event stream to this file (text format)")
-		scanEach   = fs.Duration("scan-every", 30*time.Second, "anomaly-scan interval (0 disables)")
+		scanEach   = fs.Duration("scan-every", 30*time.Second, "status report interval (0 disables)")
+		window     = fs.Duration("window", 15*time.Minute, "sliding analysis window (event time)")
+		snapEvery  = fs.Duration("snapshot-every", 0, "emit a periodic analysis snapshot this often in event time (0 = spikes and shutdown only)")
+		spikeK     = fs.Float64("spike-k", 8, "MAD multiplier for the spike trigger (negative disables)")
 		maxPfx     = fs.Int("max-prefixes", 0, "tear a peer down (CEASE) past this many prefixes (0 = unlimited)")
 		runFor     = fs.Duration("run-for", 0, "exit after this long (0 = until signal)")
 		site       = fs.String("site", "site", "site name for the final TAMP picture")
@@ -92,9 +98,30 @@ func run(args []string) error {
 		}
 		defer sink.Close()
 	}
-	pipeline := core.NewPipeline(core.Config{}, 2_000_000)
+	// The streaming engine: a sliding window over the live event stream,
+	// snapshotted on rate spikes (and optionally on a period), plus a
+	// final decomposition and TAMP picture at shutdown.
+	p := pipeline.New(pipeline.Config{
+		Window:        *window,
+		SnapshotEvery: *snapEvery,
+		SpikeK:        *spikeK,
+		Site:          *site,
+		Prune:         tamp.PruneOptions{KeepDepth: 3},
+	})
+	var finalSnap pipeline.Snapshot
+	snapDone := make(chan struct{})
+	go func() {
+		defer close(snapDone)
+		for s := range p.Snapshots() {
+			if s.Trigger == pipeline.TriggerFinal {
+				finalSnap = s
+				continue
+			}
+			printSnapshot(s)
+		}
+	}()
 	handler := func(e event.Event) {
-		pipeline.Ingest(e)
+		p.Ingest(e)
 		if sink != nil {
 			sink.Write(e)
 		}
@@ -167,14 +194,7 @@ loop:
 	for {
 		select {
 		case <-tick:
-			for _, a := range pipeline.Scan() {
-				fmt.Printf("rexd: ALERT %s\n", a.Summary())
-				for _, f := range a.Findings {
-					fmt.Printf("rexd:   policy: %v\n", f)
-				}
-			}
-			fmt.Printf("rexd: %d peers, %d routes, %d buffered events\n",
-				len(c.Peers()), c.NumRoutes(), pipeline.Buffered())
+			fmt.Printf("rexd: %d peers, %d routes\n", len(c.Peers()), c.NumRoutes())
 			for _, pi := range c.PeerInfos() {
 				fmt.Printf("rexd: peer %s\n", pi)
 			}
@@ -201,21 +221,45 @@ loop:
 		mgr.Close()
 	}
 
-	// Final picture of the site's routing as collected.
-	g := tamp.New(*site)
-	for _, r := range c.Routes() {
-		g.AddRoute(tamp.RouteEntry{
-			Router:  r.Peer.String(),
-			Nexthop: r.Attrs.Nexthop,
-			ASPath:  r.Attrs.ASPath.ASNs(),
-			Prefix:  r.Prefix,
-		})
+	// Close the collector first so in-flight events still reach the
+	// pipeline, then stop the pipeline and collect its final word.
+	closeErr := c.Close()
+	p.Close()
+	<-snapDone
+	if len(finalSnap.Components) > 0 {
+		fmt.Printf("rexd: final window: %d events\n", finalSnap.Events)
+		printComponents(finalSnap.Components)
 	}
-	if g.TotalPrefixes() > 0 {
+	if finalSnap.Picture != nil && finalSnap.Picture.Total > 0 {
 		fmt.Println("rexd: final TAMP picture:")
-		fmt.Print(viz.ASCII(g.Snapshot(tamp.PruneOptions{KeepDepth: 3})))
+		fmt.Print(viz.ASCII(finalSnap.Picture))
 	}
-	return c.Close()
+	return closeErr
+}
+
+// printSnapshot reports one pipeline snapshot on stdout.
+func printSnapshot(s pipeline.Snapshot) {
+	switch s.Trigger {
+	case pipeline.TriggerSpike:
+		fmt.Printf("rexd: SPIKE %d events (peak %d/bucket) from %s: window of %d events decomposes to %d component(s)\n",
+			s.Spike.Total, s.Spike.Peak, s.Spike.Start.Format(time.RFC3339), s.Events, len(s.Components))
+	default:
+		fmt.Printf("rexd: snapshot at %s: %d events in window, %d component(s)\n",
+			s.At.Format(time.RFC3339), s.Events, len(s.Components))
+	}
+	printComponents(s.Components)
+}
+
+// printComponents lists the strongest components, at most three.
+func printComponents(comps []stemming.Component) {
+	for i, comp := range comps {
+		if i == 3 {
+			fmt.Printf("rexd:   ... and %d more\n", len(comps)-i)
+			break
+		}
+		fmt.Printf("rexd:   component: stem %v, %d prefixes, %d events\n",
+			comp.Stem, len(comp.Prefixes), comp.NumEvents())
+	}
 }
 
 // eventSink appends events to a text file, serialized across the

@@ -1,0 +1,345 @@
+// Package pipeline is the streaming analysis engine: it consumes the
+// collector's live event stream (or a replayed one), maintains a sliding
+// time window of events with incrementally-updated Stemming count tables
+// and a TAMP routing graph, and emits analysis snapshots — on a periodic
+// event-time tick, whenever the event rate spikes above the robust
+// baseline, and once at shutdown. It is the always-on form of the
+// paper's workflow: rather than re-scanning a buffered stream on demand,
+// the window turns over continuously and every snapshot is a full
+// decomposition of exactly the last Window of routing activity plus a
+// pruned picture of the routing state at that instant.
+package pipeline
+
+import (
+	"net/netip"
+	"sync"
+	"time"
+
+	"rex/internal/core/stemming"
+	"rex/internal/core/tamp"
+	"rex/internal/event"
+)
+
+// Trigger says why a snapshot was emitted.
+type Trigger uint8
+
+// Snapshot triggers.
+const (
+	// TriggerTick: the periodic SnapshotEvery event-time timer.
+	TriggerTick Trigger = iota + 1
+	// TriggerSpike: the window's event rate crossed median + k·MAD.
+	TriggerSpike
+	// TriggerFinal: the pipeline was closed; the last word on the window.
+	TriggerFinal
+)
+
+// String names the trigger.
+func (t Trigger) String() string {
+	switch t {
+	case TriggerTick:
+		return "tick"
+	case TriggerSpike:
+		return "spike"
+	case TriggerFinal:
+		return "final"
+	default:
+		return "trigger(?)"
+	}
+}
+
+// Snapshot is one emitted analysis result.
+type Snapshot struct {
+	// At is the event-time clock when the snapshot was taken (the newest
+	// event time seen so far).
+	At      time.Time
+	Trigger Trigger
+	// WindowStart and WindowEnd bound the events actually in the window.
+	WindowStart, WindowEnd time.Time
+	// Events is how many events the window held.
+	Events int
+	// Components is the Stemming decomposition, strongest first.
+	Components []stemming.Component
+	// Picture is the pruned TAMP picture of the current routing state.
+	Picture *tamp.Picture
+	// Spike is set on TriggerSpike: the detected rate spike.
+	Spike *event.Spike
+	// Stream is the window's event slice, only when Config.IncludeEvents
+	// is set (it pins every event's attributes in memory).
+	Stream event.Stream
+}
+
+// Config tunes the pipeline. The zero value is usable.
+type Config struct {
+	// Window is the sliding window length in event time (default 15m).
+	Window time.Duration
+	// SnapshotEvery emits a TriggerTick snapshot each time the event-time
+	// clock advances this far (0 disables ticks).
+	SnapshotEvery time.Duration
+	// SpikeK is the MAD multiplier for the spike trigger (default 8,
+	// negative disables spike snapshots).
+	SpikeK float64
+	// SpikeBucket is the rate-series bucket (default 1 minute).
+	SpikeBucket time.Duration
+	// Stemming configures the window decomposition.
+	Stemming stemming.Config
+	// Site names the TAMP graph root (default "site").
+	Site string
+	// Prune controls Picture pruning.
+	Prune tamp.PruneOptions
+	// Shards is the window's count-shard parallelism (0 = GOMAXPROCS).
+	Shards int
+	// IncludeEvents copies the window contents into each Snapshot.
+	IncludeEvents bool
+	// Buffer is the ingest channel depth (default 1024).
+	Buffer int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window <= 0 {
+		c.Window = 15 * time.Minute
+	}
+	if c.SpikeK == 0 {
+		c.SpikeK = 8
+	}
+	if c.SpikeBucket <= 0 {
+		c.SpikeBucket = time.Minute
+	}
+	if c.Site == "" {
+		c.Site = "site"
+	}
+	if c.Buffer <= 0 {
+		c.Buffer = 1024
+	}
+	return c
+}
+
+// Pipeline is the running engine. Ingest may be called from any number
+// of goroutines (it is a valid collector.Handler); all analysis state is
+// owned by one internal run loop.
+type Pipeline struct {
+	cfg    Config
+	events chan event.Event
+	snaps  chan Snapshot
+	quit   chan struct{}
+	once   sync.Once
+}
+
+// New starts a pipeline. The caller must drain Snapshots() — emission
+// blocks on the consumer — and eventually call Close.
+func New(cfg Config) *Pipeline {
+	cfg = cfg.withDefaults()
+	p := &Pipeline{
+		cfg:    cfg,
+		events: make(chan event.Event, cfg.Buffer),
+		snaps:  make(chan Snapshot),
+		quit:   make(chan struct{}),
+	}
+	go p.run()
+	return p
+}
+
+// Ingest feeds one event. After Close the event is dropped; Ingest never
+// blocks forever on a stopped pipeline.
+func (p *Pipeline) Ingest(e event.Event) {
+	select {
+	case p.events <- e:
+	case <-p.quit:
+	}
+}
+
+// Snapshots returns the emission channel. It is closed after the final
+// snapshot, once Close has been called.
+func (p *Pipeline) Snapshots() <-chan Snapshot { return p.snaps }
+
+// Close stops intake. The run loop drains already-buffered events, emits
+// a TriggerFinal snapshot, and closes Snapshots(); keep draining that
+// channel until it closes. Close itself returns immediately and is safe
+// to call more than once.
+func (p *Pipeline) Close() {
+	p.once.Do(func() { close(p.quit) })
+}
+
+func (p *Pipeline) run() {
+	defer close(p.snaps)
+	st := &state{
+		p:   p,
+		win: stemming.NewWindow(p.cfg.Stemming, p.cfg.Shards),
+		g:   tamp.New(p.cfg.Site),
+		rib: make(map[routeKey]tamp.RouteEntry),
+	}
+	for {
+		select {
+		case e := <-p.events:
+			st.process(e)
+		case <-p.quit:
+			// Drain what Ingest already buffered, then close out.
+			for {
+				select {
+				case e := <-p.events:
+					st.process(e)
+				default:
+					p.snaps <- st.snapshot(TriggerFinal, nil)
+					return
+				}
+			}
+		}
+	}
+}
+
+type routeKey struct {
+	router string
+	prefix netip.Prefix
+}
+
+// state is the run loop's analysis state.
+type state struct {
+	p   *Pipeline
+	win *stemming.Window
+	g   *tamp.Graph
+	rib map[routeKey]tamp.RouteEntry
+
+	clock     time.Time // newest event time seen (the event-time clock)
+	nextTick  time.Time
+	curBucket time.Time
+	lastSpike time.Time // Start of the last spike already emitted
+}
+
+// process applies one event: RIB shadow → TAMP graph, window add+evict,
+// then the tick and spike triggers against the advanced event clock.
+func (st *state) process(e event.Event) {
+	cfg := &st.p.cfg
+	first := st.clock.IsZero()
+	if first || e.Time.After(st.clock) {
+		st.clock = e.Time
+	}
+
+	// Mirror the routing change into the TAMP graph through a RIB shadow
+	// keyed (router, prefix), exactly as the animator tracks state: a
+	// duplicate announcement is silent, a changed one is a replace, a
+	// withdrawal removes whatever route we believed was current. The
+	// graph reflects routing state NOW — it does not slide with the
+	// window.
+	key := routeKey{router: e.Peer.String(), prefix: e.Prefix}
+	switch e.Type {
+	case event.Announce:
+		entry := tamp.EntryFromEvent(&e)
+		if old, ok := st.rib[key]; ok {
+			if !routeEqual(old, entry) {
+				st.g.ReplaceRoute(old, entry)
+				st.rib[key] = entry
+			}
+		} else {
+			st.g.AddRoute(entry)
+			st.rib[key] = entry
+		}
+	case event.Withdraw:
+		if old, ok := st.rib[key]; ok {
+			st.g.RemoveRoute(old)
+			delete(st.rib, key)
+		}
+	}
+
+	st.win.Add(e)
+	st.win.EvictBefore(st.clock.Add(-cfg.Window))
+
+	// Spike trigger: on each event-time bucket rollover, rate the window
+	// and look for a spike newer than the last one reported.
+	if cfg.SpikeK > 0 {
+		b := st.clock.Truncate(cfg.SpikeBucket)
+		if st.curBucket.IsZero() {
+			st.curBucket = b
+		} else if b.After(st.curBucket) {
+			st.curBucket = b
+			st.checkSpikes()
+		}
+	}
+
+	// Tick trigger, in event time: replay at any speed snapshots at the
+	// same stream positions.
+	if cfg.SnapshotEvery > 0 {
+		if first {
+			st.nextTick = e.Time.Add(cfg.SnapshotEvery)
+		}
+		for !st.clock.Before(st.nextTick) {
+			st.emit(st.snapshot(TriggerTick, nil))
+			st.nextTick = st.nextTick.Add(cfg.SnapshotEvery)
+		}
+	}
+}
+
+// checkSpikes rates the current window and emits one snapshot per spike
+// not yet reported. The snapshot lands at spike onset — the first bucket
+// rollover at which the run crosses the threshold — so the decomposition
+// covers the surge while it is still in the window.
+func (st *state) checkSpikes() {
+	rs := event.Rate(st.win.Events(), st.p.cfg.SpikeBucket)
+	for _, sp := range rs.Spikes(st.p.cfg.SpikeK) {
+		if !sp.Start.After(st.lastSpike) {
+			continue
+		}
+		st.lastSpike = sp.Start
+		spike := sp
+		st.emit(st.snapshot(TriggerSpike, &spike))
+	}
+}
+
+// snapshot assembles the full analysis of the current window.
+func (st *state) snapshot(trig Trigger, sp *event.Spike) Snapshot {
+	live := st.win.Events()
+	s := Snapshot{
+		At:         st.clock,
+		Trigger:    trig,
+		Events:     len(live),
+		Components: st.win.Snapshot(),
+		Picture:    st.g.Snapshot(st.p.cfg.Prune),
+		Spike:      sp,
+	}
+	if first, last, ok := live.TimeRange(); ok {
+		s.WindowStart, s.WindowEnd = first, last
+	}
+	if st.p.cfg.IncludeEvents {
+		s.Stream = live
+	}
+	return s
+}
+
+// emit hands a snapshot to the consumer. The send blocks: snapshots are
+// never dropped, even ones computed from events buffered before Close —
+// which is why the consumer must keep draining Snapshots() until it
+// closes.
+func (st *state) emit(s Snapshot) {
+	st.p.snaps <- s
+}
+
+func routeEqual(a, b tamp.RouteEntry) bool {
+	if a.Router != b.Router || a.Nexthop != b.Nexthop || a.Prefix != b.Prefix || len(a.ASPath) != len(b.ASPath) {
+		return false
+	}
+	for i := range a.ASPath {
+		if a.ASPath[i] != b.ASPath[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Replay runs a recorded stream through a pipeline and collects every
+// snapshot, the offline form of the engine: identical code path, event
+// time only.
+func Replay(s event.Stream, cfg Config) []Snapshot {
+	p := New(cfg)
+	var out []Snapshot
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for snap := range p.Snapshots() {
+			out = append(out, snap)
+		}
+	}()
+	for _, e := range s {
+		p.Ingest(e)
+	}
+	p.Close()
+	<-done
+	return out
+}

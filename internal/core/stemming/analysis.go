@@ -2,6 +2,7 @@ package stemming
 
 import (
 	"encoding/binary"
+	"fmt"
 	"net/netip"
 	"sort"
 
@@ -15,7 +16,21 @@ const (
 	kindShift        = 30
 	idxMask   uint32 = (1 << kindShift) - 1
 	idBytes          = 4
+
+	// maxInternEntries bounds each intern table: past 2^30 entries an
+	// index would bleed into the kind bits and packID would silently
+	// corrupt both fields. The tables fail loudly instead.
+	maxInternEntries = 1 << kindShift
 )
+
+// internIdx converts an intern-table length to the next index, panicking
+// (with context) before the index could overflow into the kind bits.
+func internIdx(n int, what string) uint32 {
+	if n >= maxInternEntries {
+		panic(fmt.Sprintf("stemming: %s intern table full (%d entries): token ID space exhausted", what, n))
+	}
+	return uint32(n)
+}
 
 func packID(k Kind, idx uint32) uint32 { return uint32(k-1)<<kindShift | idx }
 
@@ -45,7 +60,7 @@ func newInterner() *interner {
 func (in *interner) peer(a netip.Addr) uint32 {
 	id, ok := in.peerIDs[a]
 	if !ok {
-		id = packID(KindPeer, uint32(len(in.peers)))
+		id = packID(KindPeer, internIdx(len(in.peers), "peer"))
 		in.peerIDs[a] = id
 		in.peers = append(in.peers, a)
 	}
@@ -55,7 +70,7 @@ func (in *interner) peer(a netip.Addr) uint32 {
 func (in *interner) nexthop(a netip.Addr) uint32 {
 	id, ok := in.nhIDs[a]
 	if !ok {
-		id = packID(KindNexthop, uint32(len(in.nhs)))
+		id = packID(KindNexthop, internIdx(len(in.nhs), "nexthop"))
 		in.nhIDs[a] = id
 		in.nhs = append(in.nhs, a)
 	}
@@ -65,7 +80,7 @@ func (in *interner) nexthop(a netip.Addr) uint32 {
 func (in *interner) as(asn uint32) uint32 {
 	id, ok := in.asIDs[asn]
 	if !ok {
-		id = packID(KindAS, uint32(len(in.asns)))
+		id = packID(KindAS, internIdx(len(in.asns), "AS"))
 		in.asIDs[asn] = id
 		in.asns = append(in.asns, asn)
 	}
@@ -75,11 +90,66 @@ func (in *interner) as(asn uint32) uint32 {
 func (in *interner) prefix(p netip.Prefix) uint32 {
 	id, ok := in.pfxIDs[p]
 	if !ok {
-		id = packID(KindPrefix, uint32(len(in.pfxs)))
+		id = packID(KindPrefix, internIdx(len(in.pfxs), "prefix"))
 		in.pfxIDs[p] = id
 		in.pfxs = append(in.pfxs, p)
 	}
 	return id
+}
+
+// tokenCompare orders two token IDs by decoded content: kind first, then
+// the kind's natural value order. Unlike comparing the IDs themselves,
+// the result does not depend on the order values were interned in.
+func (in *interner) tokenCompare(a, b uint32) int {
+	if a == b {
+		return 0
+	}
+	ka, ia := unpackID(a)
+	kb, ib := unpackID(b)
+	if ka != kb {
+		if ka < kb {
+			return -1
+		}
+		return 1
+	}
+	switch ka {
+	case KindPeer:
+		return in.peers[ia].Compare(in.peers[ib])
+	case KindNexthop:
+		return in.nhs[ia].Compare(in.nhs[ib])
+	case KindAS:
+		switch x, y := in.asns[ia], in.asns[ib]; {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		}
+	case KindPrefix:
+		pa, pb := in.pfxs[ia], in.pfxs[ib]
+		if c := pa.Addr().Compare(pb.Addr()); c != 0 {
+			return c
+		}
+		switch {
+		case pa.Bits() < pb.Bits():
+			return -1
+		case pa.Bits() > pb.Bits():
+			return 1
+		}
+	}
+	return 0
+}
+
+// keyLess orders two equal-length sub-sequence keys token by token using
+// tokenCompare.
+func (in *interner) keyLess(a, b string) bool {
+	for off := 0; off+idBytes <= len(a) && off+idBytes <= len(b); off += idBytes {
+		ida := uint32(a[off])<<24 | uint32(a[off+1])<<16 | uint32(a[off+2])<<8 | uint32(a[off+3])
+		idb := uint32(b[off])<<24 | uint32(b[off+1])<<16 | uint32(b[off+2])<<8 | uint32(b[off+3])
+		if c := in.tokenCompare(ida, idb); c != 0 {
+			return c < 0
+		}
+	}
+	return len(a) < len(b)
 }
 
 // token decodes an ID back to display form.
@@ -131,18 +201,7 @@ func newAnalysis(s event.Stream, cfg Config) *analysis {
 	}
 	for i := range s {
 		e := &s[i]
-		seq := make([]uint32, 0, 8)
-		seq = append(seq, a.in.peer(e.Peer))
-		if e.Attrs != nil {
-			if e.Attrs.Nexthop.IsValid() {
-				seq = append(seq, a.in.nexthop(e.Attrs.Nexthop))
-			}
-			for _, segASN := range e.Attrs.ASPath.ASNs() {
-				seq = append(seq, a.in.as(segASN))
-			}
-		}
-		pid := a.in.prefix(e.Prefix)
-		seq = append(seq, pid)
+		seq, pid := a.in.eventSeq(e)
 		a.seqs[i] = seq
 		a.seqBytes[i] = encodeSeq(seq)
 		a.prefixID[i] = pid
@@ -158,6 +217,24 @@ func newAnalysis(s event.Stream, cfg Config) *analysis {
 	return a
 }
 
+// eventSeq interns an event's sequence form c = x h a1 … an p and
+// returns it with the interned prefix ID (the sequence's last token).
+func (in *interner) eventSeq(e *event.Event) (seq []uint32, pid uint32) {
+	seq = make([]uint32, 0, 8)
+	seq = append(seq, in.peer(e.Peer))
+	if e.Attrs != nil {
+		if e.Attrs.Nexthop.IsValid() {
+			seq = append(seq, in.nexthop(e.Attrs.Nexthop))
+		}
+		for _, segASN := range e.Attrs.ASPath.ASNs() {
+			seq = append(seq, in.as(segASN))
+		}
+	}
+	pid = in.prefix(e.Prefix)
+	seq = append(seq, pid)
+	return seq, pid
+}
+
 func encodeSeq(seq []uint32) []byte {
 	b := make([]byte, len(seq)*idBytes)
 	for i, id := range seq {
@@ -169,11 +246,18 @@ func encodeSeq(seq []uint32) []byte {
 // addCounts adds (or, with negative w, removes) every sub-sequence of
 // event i of length >= 2 tokens.
 func (a *analysis) addCounts(i int, w float64) {
-	seq := a.seqs[i]
-	raw := a.seqBytes[i]
+	addSubseqCounts(a.counts, a.seqs[i], a.seqBytes[i], a.cfg.MaxSubseqLen, w)
+}
+
+// addSubseqCounts adds (or, with negative w, removes) every contiguous
+// sub-sequence of seq with >= 2 tokens into counts. raw is seq's
+// big-endian byte encoding; keys are sliced from it without copying.
+// Shared between batch analysis and the sliding Window's shard counters
+// — the negative-w path is what makes windows evictable.
+func addSubseqCounts(counts map[string]float64, seq []uint32, raw []byte, maxSubseqLen int, w float64) {
 	maxLen := len(seq)
-	if a.cfg.MaxSubseqLen > 1 && a.cfg.MaxSubseqLen < maxLen {
-		maxLen = a.cfg.MaxSubseqLen
+	if maxSubseqLen > 1 && maxSubseqLen < maxLen {
+		maxLen = maxSubseqLen
 	}
 	for start := 0; start < len(seq)-1; start++ {
 		end := start + maxLen
@@ -182,11 +266,11 @@ func (a *analysis) addCounts(i int, w float64) {
 		}
 		for stop := start + 2; stop <= end; stop++ {
 			key := string(raw[start*idBytes : stop*idBytes])
-			n := a.counts[key] + w
+			n := counts[key] + w
 			if n <= 1e-9 {
-				delete(a.counts, key)
+				delete(counts, key)
 			} else {
-				a.counts[key] = n
+				counts[key] = n
 			}
 		}
 	}
@@ -204,8 +288,12 @@ func (a *analysis) best() (key string, score float64, count float64, ok bool) {
 		case !ok || s > score:
 			key, score, count, ok = k, s, c, true
 		case s == score:
-			// Deterministic tie-break: longer wins, then smaller key.
-			if len(k) > len(key) || (len(k) == len(key) && k < key) {
+			// Deterministic tie-break: longer wins, then smaller token
+			// content. Comparing decoded content instead of raw key bytes
+			// keeps the choice independent of interning order, so a
+			// sliding window (whose interner has seen evicted events) and
+			// a batch run over the same events pick the same winner.
+			if len(k) > len(key) || (len(k) == len(key) && a.in.keyLess(k, key)) {
 				key, count = k, c
 			}
 		}

@@ -1,0 +1,283 @@
+package stemming
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"rex/internal/event"
+)
+
+// Window maintains the Stemming count tables over a sliding set of
+// events, so a live feed can be decomposed repeatedly without re-counting
+// the whole window each time. Events enter with Add and leave in arrival
+// (FIFO) order with EvictBefore; both directions reuse the batch
+// analysis' count arithmetic — eviction is an add with negative weight.
+//
+// Sub-sequence counting is sharded by the event's interned prefix ID:
+// every event of one prefix lands in the same shard, so each shard owns a
+// disjoint slice of the per-prefix event lists and the count tables merge
+// by plain summation at snapshot time. Adds and evictions are buffered
+// and settled in batches, one goroutine per shard, which is what lets
+// window turnover on ISP-scale streams use every core.
+//
+// A Window is NOT safe for concurrent use: one goroutine calls Add,
+// EvictBefore and Snapshot. The parallelism is internal.
+type Window struct {
+	cfg    Config
+	in     *interner
+	shards []*winShard
+
+	// ring holds the live events; live IDs are [headID, nextID) and an
+	// event with ID i lives at ring[i % len(ring)].
+	ring           []winEvent
+	headID, nextID uint64
+
+	pendingOps  int
+	settleBatch int
+}
+
+// winEvent is one live event with its interned sequence form.
+type winEvent struct {
+	ev  event.Event
+	seq []uint32
+	raw []byte
+	pid uint32
+	w   float64
+}
+
+// winOp is one buffered shard operation. Ops carry their own seq/raw
+// references so a ring slot can be reused before its eviction settles.
+type winOp struct {
+	id    uint64
+	seq   []uint32
+	raw   []byte
+	pid   uint32
+	w     float64
+	evict bool
+}
+
+// winShard owns the counts for the prefixes hashed to it.
+type winShard struct {
+	counts   map[string]float64
+	byPrefix map[uint32][]uint64 // live event IDs per prefix, arrival order
+	pending  []winOp
+}
+
+// defaultSettleBatch is how many buffered ops trigger a parallel settle.
+// Large enough to amortize the per-shard goroutine handoff, small enough
+// that Snapshot never has more than one batch left to drain.
+const defaultSettleBatch = 4096
+
+// NewWindow builds an empty sliding window. shards <= 0 selects
+// runtime.GOMAXPROCS(0). cfg is interpreted exactly as Analyze does.
+func NewWindow(cfg Config, shards int) *Window {
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	w := &Window{
+		cfg:         cfg.withDefaults(),
+		in:          newInterner(),
+		shards:      make([]*winShard, shards),
+		ring:        make([]winEvent, 1024),
+		settleBatch: defaultSettleBatch,
+	}
+	for i := range w.shards {
+		w.shards[i] = &winShard{
+			counts:   make(map[string]float64, 1024),
+			byPrefix: make(map[uint32][]uint64, 64),
+		}
+	}
+	return w
+}
+
+// Len returns the number of live events in the window.
+func (w *Window) Len() int { return int(w.nextID - w.headID) }
+
+func (w *Window) shardOf(pid uint32) *winShard {
+	return w.shards[pid%uint32(len(w.shards))]
+}
+
+// Add appends one event to the window.
+func (w *Window) Add(e event.Event) {
+	seq, pid := w.in.eventSeq(&e)
+	raw := encodeSeq(seq)
+	weight := 1.0
+	if w.cfg.Weight != nil {
+		weight = w.cfg.Weight(&e)
+	}
+	if w.nextID-w.headID == uint64(len(w.ring)) {
+		w.grow()
+	}
+	id := w.nextID
+	w.nextID++
+	w.ring[id%uint64(len(w.ring))] = winEvent{ev: e, seq: seq, raw: raw, pid: pid, w: weight}
+	sh := w.shardOf(pid)
+	sh.pending = append(sh.pending, winOp{id: id, seq: seq, raw: raw, pid: pid, w: weight})
+	w.pendingOps++
+	if w.pendingOps >= w.settleBatch {
+		w.settle()
+	}
+}
+
+// EvictBefore removes, in arrival order, the leading run of events whose
+// time is before cutoff, and returns how many were evicted. An
+// out-of-order event timed at or after cutoff stops the run: the window
+// is FIFO over a near-time-ordered feed, matching how a collector emits.
+func (w *Window) EvictBefore(cutoff time.Time) int {
+	n := 0
+	for w.headID < w.nextID {
+		we := &w.ring[w.headID%uint64(len(w.ring))]
+		if !we.ev.Time.Before(cutoff) {
+			break
+		}
+		sh := w.shardOf(we.pid)
+		sh.pending = append(sh.pending, winOp{id: w.headID, seq: we.seq, raw: we.raw, pid: we.pid, w: -we.w, evict: true})
+		w.pendingOps++
+		*we = winEvent{} // drop references so evicted attrs can be collected
+		w.headID++
+		n++
+	}
+	if w.pendingOps >= w.settleBatch {
+		w.settle()
+	}
+	return n
+}
+
+// grow doubles the ring, repositioning live events by ID.
+func (w *Window) grow() {
+	old := w.ring
+	bigger := make([]winEvent, 2*len(old))
+	for id := w.headID; id < w.nextID; id++ {
+		bigger[id%uint64(len(bigger))] = old[id%uint64(len(old))]
+	}
+	w.ring = bigger
+}
+
+// settle drains every shard's buffered ops into its count tables, in
+// parallel when more than one shard has work.
+func (w *Window) settle() {
+	if w.pendingOps == 0 {
+		return
+	}
+	w.pendingOps = 0
+	var active []*winShard
+	for _, sh := range w.shards {
+		if len(sh.pending) > 0 {
+			active = append(active, sh)
+		}
+	}
+	if len(active) == 1 {
+		active[0].apply(w.cfg.MaxSubseqLen)
+		return
+	}
+	var wg sync.WaitGroup
+	for _, sh := range active {
+		wg.Add(1)
+		go func(sh *winShard) {
+			defer wg.Done()
+			sh.apply(w.cfg.MaxSubseqLen)
+		}(sh)
+	}
+	wg.Wait()
+}
+
+// apply replays the shard's buffered ops in order.
+func (sh *winShard) apply(maxSubseqLen int) {
+	for _, op := range sh.pending {
+		addSubseqCounts(sh.counts, op.seq, op.raw, maxSubseqLen, op.w)
+		if !op.evict {
+			sh.byPrefix[op.pid] = append(sh.byPrefix[op.pid], op.id)
+			continue
+		}
+		l := sh.byPrefix[op.pid]
+		if len(l) > 0 && l[0] == op.id {
+			// FIFO eviction always removes the list head.
+			l = l[1:]
+		} else {
+			for i, id := range l {
+				if id == op.id {
+					l = append(l[:i], l[i+1:]...)
+					break
+				}
+			}
+		}
+		if len(l) == 0 {
+			delete(sh.byPrefix, op.pid)
+		} else {
+			sh.byPrefix[op.pid] = l
+		}
+	}
+	sh.pending = sh.pending[:0]
+}
+
+// Events returns the live window contents in arrival order.
+func (w *Window) Events() event.Stream {
+	out := make(event.Stream, 0, w.Len())
+	for id := w.headID; id < w.nextID; id++ {
+		out = append(out, w.ring[id%uint64(len(w.ring))].ev)
+	}
+	return out
+}
+
+// Snapshot decomposes the current window contents into components,
+// strongest first — the same result Analyze would produce on the slice
+// Events() returns, computed from the incrementally maintained tables.
+// The window itself is not modified; Add/Evict may continue afterwards.
+func (w *Window) Snapshot() []Component {
+	w.settle()
+	n := w.Len()
+	if n == 0 {
+		return nil
+	}
+	total := 0
+	for _, sh := range w.shards {
+		total += len(sh.counts)
+	}
+	a := &analysis{
+		cfg:            w.cfg,
+		in:             w.in,
+		stream:         make(event.Stream, n),
+		seqs:           make([][]uint32, n),
+		seqBytes:       make([][]byte, n),
+		weights:        make([]float64, n),
+		prefixID:       make([]uint32, n),
+		alive:          make([]bool, n),
+		liveN:          n,
+		counts:         make(map[string]float64, total),
+		eventsByPrefix: make(map[uint32][]int, 64),
+	}
+	for i := 0; i < n; i++ {
+		we := &w.ring[(w.headID+uint64(i))%uint64(len(w.ring))]
+		a.stream[i] = we.ev
+		a.seqs[i] = we.seq
+		a.seqBytes[i] = we.raw
+		a.weights[i] = we.w
+		a.prefixID[i] = we.pid
+		a.alive[i] = true
+	}
+	// Merge: each prefix lives in exactly one shard, so the per-prefix
+	// lists never collide and counts merge by summation. The extraction
+	// loop mutates its copy; the shard tables stay authoritative.
+	for _, sh := range w.shards {
+		for k, c := range sh.counts {
+			a.counts[k] += c
+		}
+		for pid, ids := range sh.byPrefix {
+			idxs := make([]int, len(ids))
+			for i, id := range ids {
+				idxs[i] = int(id - w.headID)
+			}
+			a.eventsByPrefix[pid] = idxs
+		}
+	}
+	var out []Component
+	for len(out) < a.cfg.MaxComponents {
+		comp, ok := a.extract()
+		if !ok {
+			break
+		}
+		out = append(out, comp)
+	}
+	return out
+}

@@ -1,0 +1,50 @@
+package tamp
+
+import "testing"
+
+// TestSnapshotDepthConsistent pins a single depth definition across the
+// snapshot: the Depth emitted on picture nodes and edges is the node's
+// distance in the full live graph — the same depths() that drives
+// KeepDepth gating — not a distance recomputed over the post-prune
+// remnant. The two disagree whenever pruning removes a node's shortest
+// path: here AS2 sits at depth 2 via a light direct r1→AS2 route; once
+// that edge is pruned, a remnant-BFS would report AS2 at depth 4 (via
+// n1→AS1) even though the gating decisions were made with AS2 at 2.
+func TestSnapshotDepthConsistent(t *testing.T) {
+	g := New("site")
+	// The heavy trunk: ten prefixes through r1 → n1 → AS1 → AS2 → AS3.
+	for _, p := range []string{
+		"10.1.0.0/16", "10.2.0.0/16", "10.3.0.0/16", "10.4.0.0/16", "10.5.0.0/16",
+		"10.6.0.0/16", "10.7.0.0/16", "10.8.0.0/16", "10.9.0.0/16", "10.10.0.0/16",
+	} {
+		g.AddRoute(entry("r1", "10.0.0.1", p, 1, 2, 3))
+	}
+	// One light nexthop-less route r1 → AS2 → AS3: it makes depth(AS2)=2
+	// in the full graph, and at 1/11 of total prefixes it is pruned by a
+	// 20% threshold.
+	g.AddRoute(entry("r1", "", "10.99.0.0/16", 2, 3))
+
+	p := g.Snapshot(PruneOptions{Threshold: 0.2})
+
+	if _, ok := p.Edge(RouterNode("r1"), ASNode(2)); ok {
+		t.Fatal("light r1→AS2 edge survived a 20% threshold; scenario broken")
+	}
+	e, ok := p.Edge(ASNode(2), ASNode(3))
+	if !ok {
+		t.Fatal("heavy AS2→AS3 edge missing from picture")
+	}
+	if e.Depth != 2 {
+		t.Errorf("AS2→AS3 edge Depth = %d, want 2 (full-graph depth of AS2)", e.Depth)
+	}
+	if e, ok := p.Edge(ASNode(1), ASNode(2)); !ok || e.Depth != 3 {
+		t.Errorf("AS1→AS2 edge Depth = %d (present=%v), want 3", e.Depth, ok)
+	}
+	wantNodeDepth := map[NodeID]int{
+		RouterNode("r1"): 1, ASNode(1): 3, ASNode(2): 2, ASNode(3): 3,
+	}
+	for _, n := range p.Nodes {
+		if want, ok := wantNodeDepth[n.ID]; ok && n.Depth != want {
+			t.Errorf("node %v Depth = %d, want %d", n.ID, n.Depth, want)
+		}
+	}
+}

@@ -114,12 +114,16 @@ func (g *Graph) Snapshot(opts PruneOptions) *Picture {
 		kept = append(kept, liveEdge{e: e, d: d})
 	}
 
-	// Reachability over kept edges from the root.
+	// Reachability over kept edges from the root. Depths are NOT
+	// recomputed here: every emitted Depth is the node's distance in the
+	// full live graph (the same depths() that drove KeepDepth gating), so
+	// pruning an intermediate edge cannot silently push a surviving node
+	// "deeper" than the depth its gating decision was based on.
 	adj := make(map[uint32][]liveEdge, len(kept))
 	for _, le := range kept {
 		adj[le.e.from] = append(adj[le.e.from], le)
 	}
-	reach := map[uint32]int{0: 0}
+	reach := map[uint32]bool{0: true}
 	queue := []uint32{0}
 	var edges []PictureEdge
 	for len(queue) > 0 {
@@ -137,18 +141,18 @@ func (g *Graph) Snapshot(opts PruneOptions) *Picture {
 				Weight:   w,
 				Fraction: frac,
 				MaxEver:  le.e.maxEver,
-				Depth:    reach[n],
+				Depth:    le.d,
 			})
-			if _, seen := reach[le.e.to]; !seen {
-				reach[le.e.to] = reach[n] + 1
+			if !reach[le.e.to] {
+				reach[le.e.to] = true
 				queue = append(queue, le.e.to)
 			}
 		}
 	}
 
 	nodes := make([]PictureNode, 0, len(reach))
-	for idx, d := range reach {
-		nodes = append(nodes, PictureNode{ID: g.nodeByIdx[idx], Depth: d})
+	for idx := range reach {
+		nodes = append(nodes, PictureNode{ID: g.nodeByIdx[idx], Depth: depth[idx]})
 	}
 	sort.Slice(nodes, func(i, j int) bool {
 		if nodes[i].Depth != nodes[j].Depth {

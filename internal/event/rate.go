@@ -1,6 +1,7 @@
 package event
 
 import (
+	"math"
 	"sort"
 	"time"
 )
@@ -13,6 +14,14 @@ type RateSeries struct {
 	Counts []int
 }
 
+// MaxRateBuckets caps the length of a Rate series: 2^21 buckets, about
+// four years at minute resolution. Without the cap a single corrupt or
+// outlier timestamp stretches the first-to-last span and makes Rate
+// allocate a counts slice covering the whole gap. Events beyond the cap
+// are clamped into the edge buckets instead of dropped, so their counts
+// stay visible.
+const MaxRateBuckets = 1 << 21
+
 // Rate buckets the stream into fixed-width intervals starting at the first
 // event's time. The stream need not be sorted.
 func Rate(s Stream, bucket time.Duration) RateSeries {
@@ -23,13 +32,20 @@ func Rate(s Stream, bucket time.Duration) RateSeries {
 	if !ok {
 		return RateSeries{Bucket: bucket}
 	}
-	n := int(last.Sub(first)/bucket) + 1
+	span := last.Sub(first) / bucket
+	n := MaxRateBuckets
+	if span < MaxRateBuckets-1 {
+		n = int(span) + 1
+	}
 	rs := RateSeries{Start: first, Bucket: bucket, Counts: make([]int, n)}
 	for _, e := range s {
 		idx := int(e.Time.Sub(first) / bucket)
-		if idx >= 0 && idx < n {
-			rs.Counts[idx]++
+		if idx < 0 {
+			idx = 0
+		} else if idx >= n {
+			idx = n - 1
 		}
+		rs.Counts[idx]++
 	}
 	return rs
 }
@@ -69,15 +85,14 @@ func (rs RateSeries) Spikes(k float64) []Spike {
 		return nil
 	}
 	med := median(rs.Counts)
-	devs := make([]int, len(rs.Counts))
+	// Deviations stay in float64: an even-length series has a
+	// half-integral median, so truncating |c-med| to int would shave 0.5
+	// off every deviation and bias the MAD (and the threshold) low.
+	devs := make([]float64, len(rs.Counts))
 	for i, c := range rs.Counts {
-		d := float64(c) - med
-		if d < 0 {
-			d = -d
-		}
-		devs[i] = int(d)
+		devs[i] = math.Abs(float64(c) - med)
 	}
-	mad := median(devs)
+	mad := medianFloat(devs)
 	threshold := med + k*mad
 	if mad == 0 {
 		threshold = 2*med + 1
@@ -120,4 +135,18 @@ func median(xs []int) float64 {
 		return float64(sorted[mid])
 	}
 	return float64(sorted[mid-1]+sorted[mid]) / 2
+}
+
+func medianFloat(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		return sorted[mid]
+	}
+	return (sorted[mid-1] + sorted[mid]) / 2
 }

@@ -1,0 +1,87 @@
+package event
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSpikesFractionalMAD: an even-length series has a half-integral
+// median, so every absolute deviation carries a 0.5 fraction. Truncating
+// deviations to int (the old bug) shaved that fraction off, halved the
+// MAD, and flagged buckets that sit below the real median+k·MAD
+// threshold.
+func TestSpikesFractionalMAD(t *testing.T) {
+	// Sorted counts [0,1,1,2,3,5]: median 1.5, deviations
+	// [1.5 .5 .5 1.5 3.5 .5], MAD 1.0 — truncated-int MAD would be 0.5.
+	rs := RateSeries{Start: t0, Bucket: time.Minute, Counts: []int{0, 1, 2, 3, 5, 1}}
+	// k=4: true threshold 1.5+4·1.0 = 5.5. The 5-bucket is below it; the
+	// truncated threshold 1.5+4·0.5 = 3.5 would spuriously flag it.
+	if spikes := rs.Spikes(4); len(spikes) != 0 {
+		t.Errorf("bucket below median+k*MAD flagged as spike: %+v", spikes)
+	}
+	// Positive control: a 6-bucket clears the true threshold.
+	rs.Counts = []int{0, 1, 2, 3, 6, 1}
+	spikes := rs.Spikes(4)
+	if len(spikes) != 1 || spikes[0].Peak != 6 {
+		t.Errorf("genuine spike missed: %+v", spikes)
+	}
+}
+
+// TestRateOutlierBucketCap: one corrupt timestamp far in the future must
+// not make Rate allocate a counts slice spanning the gap. The series is
+// capped and the outlier is clamped into the last bucket.
+func TestRateOutlierBucketCap(t *testing.T) {
+	var s Stream
+	for i := 0; i < 100; i++ {
+		s = append(s, mkEvent(Announce, time.Duration(i)*time.Second, "10.0.0.1", "10.1.0.0/16", 1))
+	}
+	// The corrupt event: ten years past everything else. At minute
+	// buckets that is ~5.3M buckets — far beyond the cap.
+	s = append(s, mkEvent(Withdraw, 10*365*24*time.Hour, "10.0.0.1", "10.2.0.0/16", 1))
+
+	rs := Rate(s, time.Minute)
+	if len(rs.Counts) != MaxRateBuckets {
+		t.Fatalf("buckets = %d, want capped at %d", len(rs.Counts), MaxRateBuckets)
+	}
+	if got := rs.Counts[0] + rs.Counts[1]; got != 100 {
+		t.Errorf("head buckets hold %d events, want 100", got)
+	}
+	if last := rs.Counts[len(rs.Counts)-1]; last != 1 {
+		t.Errorf("outlier not clamped into edge bucket: last = %d", last)
+	}
+	total := 0
+	for _, c := range rs.Counts {
+		total += c
+	}
+	if total != len(s) {
+		t.Errorf("events lost to clamping: counted %d of %d", total, len(s))
+	}
+}
+
+// TestRateShortSpanUncapped pins the normal path: spans under the cap
+// keep exact per-bucket resolution.
+func TestRateShortSpanUncapped(t *testing.T) {
+	s := Stream{
+		mkEvent(Announce, 0, "10.0.0.1", "10.1.0.0/16", 1),
+		mkEvent(Announce, 90*time.Minute, "10.0.0.1", "10.1.0.0/16", 1),
+	}
+	rs := Rate(s, time.Minute)
+	if len(rs.Counts) != 91 {
+		t.Errorf("buckets = %d, want 91", len(rs.Counts))
+	}
+	if rs.Counts[0] != 1 || rs.Counts[90] != 1 {
+		t.Errorf("counts misplaced: %v %v", rs.Counts[0], rs.Counts[90])
+	}
+}
+
+func TestMedianFloat(t *testing.T) {
+	if m := medianFloat([]float64{3.5, 1.5, 2.5}); m != 2.5 {
+		t.Errorf("odd medianFloat = %v", m)
+	}
+	if m := medianFloat([]float64{0.5, 1.5, 0.5, 1.5}); m != 1.0 {
+		t.Errorf("even medianFloat = %v", m)
+	}
+	if m := medianFloat(nil); m != 0 {
+		t.Errorf("empty medianFloat = %v", m)
+	}
+}
