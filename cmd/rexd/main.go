@@ -11,10 +11,19 @@
 // snapshot. On shutdown (SIGINT/SIGTERM or -run-for) it prints the final
 // window decomposition and a TAMP picture of the current routing state.
 //
+// With -metrics-addr the daemon serves its internals over HTTP:
+// /metrics (Prometheus text), /metrics.json, /healthz, and
+// /debug/pprof — session lifecycle counters, per-peer message/byte
+// gauges, window and settle-latency metrics, and MRT ingestion skip
+// counters (see DESIGN.md, "Observability"). Lifecycle logging is the
+// structured key=value form from internal/obs, filtered by -log-level.
+//
 // Example:
 //
-//	rexd -listen 127.0.0.1:1790 -as 25 -id 10.255.0.1 -out site.events &
+//	rexd -listen 127.0.0.1:1790 -as 25 -id 10.255.0.1 \
+//	     -metrics-addr 127.0.0.1:9099 -out site.events &
 //	bgpsim -scenario leak -replay 127.0.0.1:1790
+//	curl -s http://127.0.0.1:9099/metrics | grep rex_collector
 package main
 
 import (
@@ -35,6 +44,7 @@ import (
 	"rex/internal/core/stemming"
 	"rex/internal/core/tamp"
 	"rex/internal/event"
+	"rex/internal/obs"
 	"rex/internal/viz"
 
 	"net/netip"
@@ -65,21 +75,23 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("rexd", flag.ContinueOnError)
 	var peers peerList
 	var (
-		listen     = fs.String("listen", "127.0.0.1:1790", "address to accept IBGP sessions on")
-		localAS    = fs.Uint("as", 25, "local AS number")
-		localID    = fs.String("id", "10.255.0.1", "local BGP identifier")
-		out        = fs.String("out", "", "append the augmented event stream to this file (text format)")
-		scanEach   = fs.Duration("scan-every", 30*time.Second, "status report interval (0 disables)")
-		window     = fs.Duration("window", 15*time.Minute, "sliding analysis window (event time)")
-		snapEvery  = fs.Duration("snapshot-every", 0, "emit a periodic analysis snapshot this often in event time (0 = spikes and shutdown only)")
-		spikeK     = fs.Float64("spike-k", 8, "MAD multiplier for the spike trigger (negative disables)")
-		maxPfx     = fs.Int("max-prefixes", 0, "tear a peer down (CEASE) past this many prefixes (0 = unlimited)")
-		runFor     = fs.Duration("run-for", 0, "exit after this long (0 = until signal)")
-		site       = fs.String("site", "site", "site name for the final TAMP picture")
-		hold       = fs.Duration("hold", 90*time.Second, "proposed BGP hold time")
-		restart    = fs.Duration("restart-time", 0, "retain a lost peer's routes this long before the withdrawal sweep (0 = 2x hold, negative = withdraw immediately)")
-		minBackoff = fs.Duration("min-backoff", time.Second, "initial redial backoff for -peer sessions")
-		maxBackoff = fs.Duration("max-backoff", 2*time.Minute, "backoff and idle-hold ceiling for -peer sessions")
+		listen      = fs.String("listen", "127.0.0.1:1790", "address to accept IBGP sessions on")
+		localAS     = fs.Uint("as", 25, "local AS number")
+		localID     = fs.String("id", "10.255.0.1", "local BGP identifier")
+		out         = fs.String("out", "", "append the augmented event stream to this file (text format)")
+		scanEach    = fs.Duration("scan-every", 30*time.Second, "status report interval (0 disables)")
+		window      = fs.Duration("window", 15*time.Minute, "sliding analysis window (event time)")
+		snapEvery   = fs.Duration("snapshot-every", 0, "emit a periodic analysis snapshot this often in event time (0 = spikes and shutdown only)")
+		spikeK      = fs.Float64("spike-k", 8, "MAD multiplier for the spike trigger (negative disables)")
+		maxPfx      = fs.Int("max-prefixes", 0, "tear a peer down (CEASE) past this many prefixes (0 = unlimited)")
+		runFor      = fs.Duration("run-for", 0, "exit after this long (0 = until signal)")
+		site        = fs.String("site", "site", "site name for the final TAMP picture")
+		hold        = fs.Duration("hold", 90*time.Second, "proposed BGP hold time")
+		restart     = fs.Duration("restart-time", 0, "retain a lost peer's routes this long before the withdrawal sweep (0 = 2x hold, negative = withdraw immediately)")
+		minBackoff  = fs.Duration("min-backoff", time.Second, "initial redial backoff for -peer sessions")
+		maxBackoff  = fs.Duration("max-backoff", 2*time.Minute, "backoff and idle-hold ceiling for -peer sessions")
+		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /metrics.json, /healthz and /debug/pprof on this address (empty disables)")
+		logLevel    = fs.String("log-level", "info", "lowest log level to emit (debug, info, warn, error)")
 	)
 	fs.Var(&peers, "peer", "address to actively dial and maintain a session with (repeatable, comma-separable)")
 	if err := fs.Parse(args); err != nil {
@@ -88,6 +100,20 @@ func run(args []string) error {
 	id, err := netip.ParseAddr(*localID)
 	if err != nil {
 		return fmt.Errorf("bad -id: %w", err)
+	}
+	lv, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		return fmt.Errorf("bad -log-level: %w", err)
+	}
+	obs.SetLogLevel(lv)
+
+	if *metricsAddr != "" {
+		srv, maddr, err := obs.Serve(*metricsAddr, obs.Default)
+		if err != nil {
+			return fmt.Errorf("metrics server: %w", err)
+		}
+		defer srv.Close()
+		obs.Logf(obs.Info, "rexd", "metrics on http://%s/metrics (json at /metrics.json, pprof at /debug/pprof)", maddr)
 	}
 
 	var sink *eventSink
@@ -131,9 +157,6 @@ func run(args []string) error {
 	if restartTime < 0 {
 		restartTime = collector.RestartDisabled
 	}
-	logf := func(format string, args ...any) {
-		fmt.Printf("rexd: "+format+"\n", args...)
-	}
 	c := collector.New(collector.Config{
 		LocalAS:               uint32(*localAS),
 		LocalID:               id,
@@ -141,13 +164,13 @@ func run(args []string) error {
 		WithdrawOnSessionLoss: true,
 		MaxPrefixes:           *maxPfx,
 		RestartTime:           restartTime,
-		Logf:                  logf,
+		Logf:                  obs.Printer("collector"),
 	}, handler)
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("rexd: listening on %s (AS%d, id %s)\n", ln.Addr(), *localAS, id)
+	obs.Logf(obs.Info, "rexd", "listening on %s (AS%d, id %s)", ln.Addr(), *localAS, id)
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- c.Serve(ln) }()
 
@@ -159,7 +182,7 @@ func run(args []string) error {
 			MinBackoff: *minBackoff,
 			MaxBackoff: *maxBackoff,
 			OnUp:       func(_ string, s *fsm.Session) { go c.Run(s) },
-			Logf:       logf,
+			Logf:       obs.Printer("peermanager"),
 		})
 		scfg := fsm.Config{
 			LocalAS:  uint32(*localAS),
@@ -170,7 +193,7 @@ func run(args []string) error {
 			if err := mgr.Add(addr, scfg); err != nil {
 				return fmt.Errorf("add peer %s: %w", addr, err)
 			}
-			fmt.Printf("rexd: dialing peer %s\n", addr)
+			obs.Logf(obs.Info, "rexd", "dialing peer %s", addr)
 		}
 	}
 
@@ -194,13 +217,13 @@ loop:
 	for {
 		select {
 		case <-tick:
-			fmt.Printf("rexd: %d peers, %d routes\n", len(c.Peers()), c.NumRoutes())
+			obs.Logf(obs.Info, "rexd", "%d peers, %d routes", len(c.Peers()), c.NumRoutes())
 			for _, pi := range c.PeerInfos() {
-				fmt.Printf("rexd: peer %s\n", pi)
+				obs.Logf(obs.Info, "rexd", "peer %s", pi)
 			}
 			if mgr != nil {
 				for _, st := range mgr.Statuses() {
-					fmt.Printf("rexd: dial %s\n", st)
+					obs.Logf(obs.Info, "rexd", "dial %s", st)
 				}
 			}
 		case <-stop:

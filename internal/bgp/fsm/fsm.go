@@ -78,9 +78,10 @@ var ErrUnacceptableHoldTime = errors.New("unacceptable hold time (non-zero, belo
 // Close sends a CEASE and tears the session down. All methods are safe
 // for concurrent use.
 type Session struct {
-	conn  net.Conn
-	cfg   Config
-	state atomic.Int32
+	conn   net.Conn
+	counts *countingConn
+	cfg    Config
+	state  atomic.Int32
 
 	peerOpen   *bgp.Open
 	fourByteAS bool
@@ -103,6 +104,16 @@ var ErrSessionClosed = errors.New("bgp session closed")
 // Establish runs the OPEN/KEEPALIVE handshake on conn and starts the
 // session goroutines. On handshake failure the conn is closed.
 func Establish(conn net.Conn, cfg Config) (*Session, error) {
+	sess, err := establish(conn, cfg)
+	if err != nil {
+		mSessions.With("handshake_failed").Inc()
+		return nil, err
+	}
+	mSessions.With("established").Inc()
+	return sess, nil
+}
+
+func establish(conn net.Conn, cfg Config) (*Session, error) {
 	if cfg.HoldTime == 0 {
 		cfg.HoldTime = DefaultHoldTime
 	}
@@ -110,8 +121,11 @@ func Establish(conn net.Conn, cfg Config) (*Session, error) {
 		// Never offer a hold time we would reject from a peer.
 		cfg.HoldTime = MinHoldTime
 	}
+	cc := &countingConn{Conn: conn}
+	conn = cc
 	s := &Session{
 		conn:    conn,
+		counts:  cc,
 		cfg:     cfg,
 		updates: make(chan *bgp.Update, 1),
 		done:    make(chan struct{}),
@@ -206,6 +220,12 @@ func (s *Session) FourByteAS() bool { return s.fourByteAS }
 
 // HoldTime returns the negotiated hold time.
 func (s *Session) HoldTime() time.Duration { return s.holdTime }
+
+// BytesRead returns how many bytes this session has read from the peer.
+func (s *Session) BytesRead() int64 { return s.counts.read.Load() }
+
+// BytesWritten returns how many bytes this session has written.
+func (s *Session) BytesWritten() int64 { return s.counts.written.Load() }
 
 // Updates returns the channel of received UPDATE messages. It is closed
 // when the session ends; check Err for the reason.

@@ -1,0 +1,60 @@
+package fsm
+
+import (
+	"net"
+	"sync/atomic"
+
+	"rex/internal/obs"
+)
+
+// Session-layer metrics. The byte counters are fed by a counting
+// wrapper every established session's conn goes through, so they cover
+// keepalives and NOTIFICATIONs as well as UPDATE traffic.
+var (
+	mSessions = obs.NewCounterVec("rex_fsm_sessions_total", "result",
+		"BGP handshake outcomes: established or handshake_failed.")
+	mBytesRead = obs.NewCounter("rex_fsm_bytes_read_total",
+		"Bytes read from peers across all sessions (post-handshake-start).")
+	mBytesWritten = obs.NewCounter("rex_fsm_bytes_written_total",
+		"Bytes written to peers across all sessions (post-handshake-start).")
+
+	mPMDials = obs.NewCounter("rex_peermanager_dials_total",
+		"Outbound dial attempts across all managed peers.")
+	mPMDialFailures = obs.NewCounter("rex_peermanager_dial_failures_total",
+		"Dial or handshake failures across all managed peers.")
+	mPMEstablishedTotal = obs.NewCounter("rex_peermanager_sessions_established_total",
+		"Sessions the manager has established since process start.")
+	mPMEstablished = obs.NewGauge("rex_peermanager_established",
+		"Managed peers currently in the Established phase.")
+	mPMFlaps = obs.NewCounter("rex_peermanager_flaps_total",
+		"Sessions that died before StableUptime (DampPeerOscillations trigger).")
+	mPMBackoffMS = obs.NewGaugeVec("rex_peermanager_backoff_ms", "peer",
+		"Current idle/backoff wait per managed peer, in milliseconds (0 once connected).")
+	mPMTransitions = obs.NewCounterVec("rex_peermanager_transitions_total", "phase",
+		"Managed-peer phase entries: idle, connecting, established, stopped.")
+)
+
+// countingConn counts bytes through a session's transport into the
+// process-wide fsm byte counters and per-session totals.
+type countingConn struct {
+	net.Conn
+	read, written atomic.Int64
+}
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if n > 0 {
+		c.read.Add(int64(n))
+		mBytesRead.Add(uint64(n))
+	}
+	return n, err
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	if n > 0 {
+		c.written.Add(int64(n))
+		mBytesWritten.Add(uint64(n))
+	}
+	return n, err
+}

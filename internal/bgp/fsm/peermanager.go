@@ -277,6 +277,8 @@ func (m *PeerManager) sleep(p *managedPeer, d time.Duration) bool {
 	p.phase = PhaseIdle
 	p.retryAt = time.Now().Add(d)
 	p.mu.Unlock()
+	mPMTransitions.With(PhaseIdle.String()).Inc()
+	mPMBackoffMS.With(p.addr).Set(d.Milliseconds())
 	timer := time.NewTimer(d)
 	defer timer.Stop()
 	select {
@@ -293,6 +295,7 @@ func (m *PeerManager) run(p *managedPeer) {
 		p.mu.Lock()
 		p.phase = PhaseStopped
 		p.mu.Unlock()
+		mPMTransitions.With(PhaseStopped.String()).Inc()
 	}()
 	backoff := m.cfg.MinBackoff
 	idleHold := m.cfg.IdleHoldTime
@@ -307,12 +310,15 @@ func (m *PeerManager) run(p *managedPeer) {
 		p.phase = PhaseConnecting
 		p.dials++
 		p.mu.Unlock()
+		mPMTransitions.With(PhaseConnecting.String()).Inc()
+		mPMDials.Inc()
 
 		sess, err := m.connect(p)
 		if err != nil {
 			p.mu.Lock()
 			p.lastErr = err
 			p.mu.Unlock()
+			mPMDialFailures.Inc()
 			wait := m.jittered(backoff)
 			m.logf("peer %s: connect failed (%v); retrying in %s", p.addr, err, wait.Round(time.Millisecond))
 			if backoff *= 2; backoff > m.cfg.MaxBackoff {
@@ -332,6 +338,10 @@ func (m *PeerManager) run(p *managedPeer) {
 		p.dials = 0
 		p.lastErr = nil
 		p.mu.Unlock()
+		mPMTransitions.With(PhaseEstablished.String()).Inc()
+		mPMEstablishedTotal.Inc()
+		mPMEstablished.Inc()
+		mPMBackoffMS.With(p.addr).Set(0)
 		backoff = m.cfg.MinBackoff
 		m.logf("peer %s: session established (peer ID %v, AS%d)", p.addr, sess.PeerID(), sess.PeerAS())
 		if m.cfg.OnUp != nil {
@@ -355,6 +365,10 @@ func (m *PeerManager) run(p *managedPeer) {
 			p.flapCount++
 		}
 		p.mu.Unlock()
+		mPMEstablished.Dec()
+		if flapped {
+			mPMFlaps.Inc()
+		}
 		if m.cfg.OnDown != nil {
 			m.cfg.OnDown(p.addr, downErr)
 		}

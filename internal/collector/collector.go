@@ -341,9 +341,17 @@ func (c *Collector) Run(sess *fsm.Session) {
 		c.retireTable(ps, true)
 	}
 	c.sessionEvent(SessionEvent{Kind: SessionUp, Peer: peerAddr, Remote: remote})
+	mSessionsActive.Inc()
+	defer mSessionsActive.Dec()
 
+	peerLabel := peerAddr.String()
+	gUpdates := mUpdates.With(peerLabel)
+	gBytes := mPeerBytes.With(peerLabel)
+	gRoutes := mPeerRoutes.With(peerLabel)
 	maxPfxTripped := false
 	for u := range sess.Updates() {
+		gUpdates.Inc()
+		gBytes.Set(sess.BytesRead())
 		if isEndOfRIB(u) {
 			// Explicit end-of-restart from the peer: reconcile now
 			// instead of waiting out the window.
@@ -351,6 +359,7 @@ func (c *Collector) Run(sess *fsm.Session) {
 			continue
 		}
 		n := c.processUpdate(ps, u)
+		gRoutes.Set(int64(n))
 		if c.cfg.MaxPrefixes > 0 && n > c.cfg.MaxPrefixes {
 			// Pull the plug exactly as ISP-B did: CEASE, session down.
 			maxPfxTripped = true
@@ -432,6 +441,7 @@ func (c *Collector) openRestartWindowLocked(ps *peerState) int {
 	ps.mu.Lock()
 	n := ps.adj.MarkAllStale()
 	ps.mu.Unlock()
+	mStaleRetained.Add(uint64(n))
 	if ps.restartTimer == nil {
 		ps.restartGen++
 		gen := ps.restartGen
@@ -471,6 +481,7 @@ func (c *Collector) finishRestart(ps *peerState, fired uint64) {
 	ps.mu.Lock()
 	stale := ps.adj.SweepStale()
 	ps.mu.Unlock()
+	mStaleSwept.Add(uint64(len(stale)))
 	c.withdrawRoutes(ps.addr, stale)
 	kind := RestartReconciled
 	if !connected {
@@ -541,6 +552,11 @@ func (c *Collector) processUpdate(ps *peerState, u *bgp.Update) int {
 }
 
 func (c *Collector) emit(e event.Event) {
+	if e.Type == event.Announce {
+		mEvents.With("announce").Inc()
+	} else {
+		mEvents.With("withdraw").Inc()
+	}
 	if c.handler != nil {
 		c.handler(e)
 	}
@@ -554,6 +570,7 @@ func (c *Collector) logf(format string, args ...any) {
 
 func (c *Collector) sessionEvent(e SessionEvent) {
 	e.Time = c.cfg.Now()
+	mSessionEvents.With(e.Kind.String()).Inc()
 	c.logf("%s", e.String())
 	if c.cfg.OnSessionEvent != nil {
 		c.cfg.OnSessionEvent(e)
@@ -676,6 +693,7 @@ func (c *Collector) Close() error {
 		ps.mu.Lock()
 		stale := ps.adj.SweepStale()
 		ps.mu.Unlock()
+		mStaleSwept.Add(uint64(len(stale)))
 		c.withdrawRoutes(ps.addr, stale)
 		c.sessionEvent(SessionEvent{Kind: RestartExpired, Peer: ps.addr, Routes: len(stale)})
 	}

@@ -1,0 +1,27 @@
+package collector
+
+import "rex/internal/obs"
+
+// Collector metrics. Session lifecycle counters key on the
+// SessionEventKind string, so the metric vocabulary and the structured
+// log vocabulary are the same; per-peer families are bounded by the
+// obs label-cardinality cap, which an IBGP collector (tens of peers,
+// not thousands) never approaches.
+var (
+	mSessionEvents = obs.NewCounterVec("rex_collector_session_events_total", "kind",
+		"Session lifecycle transitions by kind (session-up, session-down, session-replaced, handshake-failed, max-prefix-teardown, restart-expired, restart-reconciled).")
+	mSessionsActive = obs.NewGauge("rex_collector_sessions_active",
+		"Sessions currently Established and being processed.")
+	mUpdates = obs.NewCounterVec("rex_collector_updates_total", "peer",
+		"BGP UPDATE messages processed, per peer.")
+	mPeerBytes = obs.NewGaugeVec("rex_collector_peer_bytes_read", "peer",
+		"Bytes read from each peer's current session (resets when the session is replaced).")
+	mPeerRoutes = obs.NewGaugeVec("rex_collector_peer_routes", "peer",
+		"Adj-RIB-In size per peer after the most recent UPDATE.")
+	mEvents = obs.NewCounterVec("rex_collector_events_total", "type",
+		"Augmented events emitted to the handler, by type (announce, withdraw).")
+	mStaleRetained = obs.NewCounter("rex_collector_stale_retained_total",
+		"Routes marked stale when a graceful-restart window opened.")
+	mStaleSwept = obs.NewCounter("rex_collector_stale_swept_total",
+		"Stale routes swept into augmented withdrawals at end-of-restart.")
+)

@@ -1,0 +1,25 @@
+package pipeline
+
+import "rex/internal/obs"
+
+// Streaming-engine metrics. The settle histogram is fed by the
+// stemming.Window.OnSettle hook — it times the parallel count-table
+// batch settles, the hottest recurring work in the engine — and the
+// snapshot histogram times full decomposition+picture assembly, the
+// operation whose latency bounds how fresh a spike report can be.
+var (
+	mEvents = obs.NewCounter("rex_pipeline_events_total",
+		"Events ingested by the streaming pipeline.")
+	mEvicted = obs.NewCounter("rex_pipeline_evicted_total",
+		"Events evicted as the window slid past them.")
+	mWindowEvents = obs.NewGauge("rex_pipeline_window_events",
+		"Events currently inside the sliding analysis window.")
+	mSnapshots = obs.NewCounterVec("rex_pipeline_snapshots_total", "trigger",
+		"Analysis snapshots emitted, by trigger (tick, spike, final).")
+	mSpikes = obs.NewCounter("rex_pipeline_spikes_total",
+		"Rate spikes detected (median + k*MAD crossings reported once each).")
+	mSettleSeconds = obs.NewHistogram("rex_pipeline_settle_seconds",
+		"Latency of sliding-window count-table settle batches.", nil)
+	mSnapshotSeconds = obs.NewHistogram("rex_pipeline_snapshot_seconds",
+		"Latency of full snapshot assembly (decomposition + TAMP picture).", nil)
+)

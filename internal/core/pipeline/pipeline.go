@@ -167,6 +167,9 @@ func (p *Pipeline) run() {
 		g:   tamp.New(p.cfg.Site),
 		rib: make(map[routeKey]tamp.RouteEntry),
 	}
+	st.win.OnSettle = func(elapsed time.Duration, _ int) {
+		mSettleSeconds.Observe(elapsed.Seconds())
+	}
 	for {
 		select {
 		case e := <-p.events:
@@ -208,6 +211,7 @@ type state struct {
 // then the tick and spike triggers against the advanced event clock.
 func (st *state) process(e event.Event) {
 	cfg := &st.p.cfg
+	mEvents.Inc()
 	first := st.clock.IsZero()
 	if first || e.Time.After(st.clock) {
 		st.clock = e.Time
@@ -240,7 +244,11 @@ func (st *state) process(e event.Event) {
 	}
 
 	st.win.Add(e)
-	st.win.EvictBefore(st.clock.Add(-cfg.Window))
+	evicted := st.win.EvictBefore(st.clock.Add(-cfg.Window))
+	if evicted > 0 {
+		mEvicted.Add(uint64(evicted))
+	}
+	mWindowEvents.Set(int64(st.win.Len()))
 
 	// Spike trigger: on each event-time bucket rollover, rate the window
 	// and look for a spike newer than the last one reported.
@@ -279,12 +287,14 @@ func (st *state) checkSpikes() {
 		}
 		st.lastSpike = sp.Start
 		spike := sp
+		mSpikes.Inc()
 		st.emit(st.snapshot(TriggerSpike, &spike))
 	}
 }
 
 // snapshot assembles the full analysis of the current window.
 func (st *state) snapshot(trig Trigger, sp *event.Spike) Snapshot {
+	start := time.Now()
 	live := st.win.Events()
 	s := Snapshot{
 		At:         st.clock,
@@ -300,6 +310,8 @@ func (st *state) snapshot(trig Trigger, sp *event.Spike) Snapshot {
 	if st.p.cfg.IncludeEvents {
 		s.Stream = live
 	}
+	mSnapshots.With(trig.String()).Inc()
+	mSnapshotSeconds.Observe(time.Since(start).Seconds())
 	return s
 }
 

@@ -28,6 +28,12 @@ type Window struct {
 	in     *interner
 	shards []*winShard
 
+	// OnSettle, when set, observes each batch settle: the wall-clock
+	// time the parallel shard apply took and how many buffered ops it
+	// drained. Set it before the first Add (the pipeline points it at a
+	// latency histogram); nil costs nothing.
+	OnSettle func(elapsed time.Duration, ops int)
+
 	// ring holds the live events; live IDs are [headID, nextID) and an
 	// event with ID i lives at ring[i % len(ring)].
 	ring           []winEvent
@@ -160,7 +166,12 @@ func (w *Window) settle() {
 	if w.pendingOps == 0 {
 		return
 	}
+	ops := w.pendingOps
 	w.pendingOps = 0
+	var start time.Time
+	if w.OnSettle != nil {
+		start = time.Now()
+	}
 	var active []*winShard
 	for _, sh := range w.shards {
 		if len(sh.pending) > 0 {
@@ -169,17 +180,20 @@ func (w *Window) settle() {
 	}
 	if len(active) == 1 {
 		active[0].apply(w.cfg.MaxSubseqLen)
-		return
+	} else {
+		var wg sync.WaitGroup
+		for _, sh := range active {
+			wg.Add(1)
+			go func(sh *winShard) {
+				defer wg.Done()
+				sh.apply(w.cfg.MaxSubseqLen)
+			}(sh)
+		}
+		wg.Wait()
 	}
-	var wg sync.WaitGroup
-	for _, sh := range active {
-		wg.Add(1)
-		go func(sh *winShard) {
-			defer wg.Done()
-			sh.apply(w.cfg.MaxSubseqLen)
-		}(sh)
+	if w.OnSettle != nil {
+		w.OnSettle(time.Since(start), ops)
 	}
-	wg.Wait()
 }
 
 // apply replays the shard's buffered ops in order.

@@ -1,0 +1,12 @@
+package mrt
+
+import "rex/internal/obs"
+
+// Ingestion counters: every record a Reader sees lands in exactly one
+// result bucket, so parsed + skipped_* + failed equals records read.
+// Before these existed, a skipped record was invisible — the
+// silent-drop class of bug this layer is most prone to.
+var (
+	mRecords = obs.NewCounterVec("rex_mrt_records_total", "result",
+		"MRT records by ingestion outcome: parsed, skipped_unknown (type/subtype we do not decode), skipped_afi (BGP4MP with a non-IPv4 AFI), failed (malformed; aborts the stream).")
+)

@@ -124,17 +124,34 @@ func (w *Writer) record(ts time.Time, mrtType, subtype uint16, body []byte, micr
 }
 
 // WritePeerIndexTable writes the peer index that subsequent RIB entries
-// reference by position.
+// reference by position. IPv6 peer addresses are emitted as 16-byte
+// entries (peer type bit 0), matching what the reader parses; the
+// collector ID and peer BGP identifiers must be IPv4.
 func (w *Writer) WritePeerIndexTable(t PeerIndexTable, ts time.Time) error {
 	body := make([]byte, 0, 16+12*len(t.Peers))
-	body = appendAddr4(body, t.CollectorID)
+	var err error
+	if body, err = appendAddr4(body, t.CollectorID); err != nil {
+		return fmt.Errorf("mrt peer index collector ID: %w", err)
+	}
 	body = binary.BigEndian.AppendUint16(body, uint16(len(t.ViewName)))
 	body = append(body, t.ViewName...)
 	body = binary.BigEndian.AppendUint16(body, uint16(len(t.Peers)))
-	for _, p := range t.Peers {
-		body = append(body, 0x02) // IPv4 peer, 4-octet AS
-		body = appendAddr4(body, p.BGPID)
-		body = appendAddr4(body, p.Addr)
+	for i, p := range t.Peers {
+		addr := p.Addr.Unmap()
+		peerType := byte(0x02) // 4-octet AS, IPv4 address
+		if addr.IsValid() && !addr.Is4() {
+			peerType |= 0x01 // 16-byte address
+		}
+		body = append(body, peerType)
+		if body, err = appendAddr4(body, p.BGPID); err != nil {
+			return fmt.Errorf("mrt peer index entry %d BGP ID: %w", i, err)
+		}
+		if peerType&0x01 != 0 {
+			a := addr.As16()
+			body = append(body, a[:]...)
+		} else if body, err = appendAddr4(body, addr); err != nil {
+			return fmt.Errorf("mrt peer index entry %d: %w", i, err)
+		}
 		body = binary.BigEndian.AppendUint32(body, p.AS)
 	}
 	return w.record(ts, typeTableDumpV2, subtypePeerIndexTable, body, false)
@@ -180,8 +197,13 @@ func (w *Writer) WriteMessage(m Message) error {
 	}
 	body = binary.BigEndian.AppendUint16(body, 0) // ifindex
 	body = binary.BigEndian.AppendUint16(body, 1) // AFI IPv4
-	body = appendAddr4(body, m.PeerAddr)
-	body = appendAddr4(body, m.LocalAddr)
+	var err error
+	if body, err = appendAddr4(body, m.PeerAddr); err != nil {
+		return fmt.Errorf("mrt BGP4MP peer address: %w (only AFI 1 records are written)", err)
+	}
+	if body, err = appendAddr4(body, m.LocalAddr); err != nil {
+		return fmt.Errorf("mrt BGP4MP local address: %w (only AFI 1 records are written)", err)
+	}
 	wire, err := bgp.Marshal(m.Msg, m.AS4)
 	if err != nil {
 		return err
@@ -200,12 +222,20 @@ type Reader struct {
 // NewReader wraps r.
 func NewReader(r io.Reader) *Reader { return &Reader{r: bufio.NewReaderSize(r, 1<<16)} }
 
+// ErrUnsupportedAFI reports a BGP4MP record whose address family is not
+// IPv4. Reader.Next skips such records (counting them in
+// rex_mrt_records_total{result="skipped_afi"}) rather than aborting the
+// stream: a RouteViews-style update file freely mixes IPv6 records into
+// an IPv4 replay, and one of them must not kill the other thousands.
+var ErrUnsupportedAFI = errors.New("mrt: unsupported AFI")
+
 // Next returns the next known record.
 func (r *Reader) Next() (any, error) {
 	for {
 		var hdr [12]byte
 		if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
 			if errors.Is(err, io.ErrUnexpectedEOF) {
+				mRecords.With("failed").Inc()
 				return nil, fmt.Errorf("mrt: truncated header: %w", err)
 			}
 			return nil, err
@@ -215,30 +245,47 @@ func (r *Reader) Next() (any, error) {
 		subtype := binary.BigEndian.Uint16(hdr[6:8])
 		length := binary.BigEndian.Uint32(hdr[8:12])
 		if length > 1<<24 {
+			mRecords.With("failed").Inc()
 			return nil, fmt.Errorf("mrt: implausible record length %d", length)
 		}
 		body := make([]byte, length)
 		if _, err := io.ReadFull(r.r, body); err != nil {
+			mRecords.With("failed").Inc()
 			return nil, fmt.Errorf("mrt: truncated body: %w", err)
 		}
 		if mrtType == typeBGP4MPET {
 			if len(body) < 4 {
+				mRecords.With("failed").Inc()
 				return nil, errors.New("mrt: ET record too short")
 			}
 			ts = ts.Add(time.Duration(binary.BigEndian.Uint32(body[:4])) * time.Microsecond)
 			body = body[4:]
 			mrtType = typeBGP4MP
 		}
+		var rec any
+		var err error
 		switch {
 		case mrtType == typeTableDumpV2 && subtype == subtypePeerIndexTable:
-			return parsePeerIndexTable(body)
+			rec, err = parsePeerIndexTable(body)
 		case mrtType == typeTableDumpV2 && subtype == subtypeRIBIPv4Unicast:
-			return parseRIBEntry(body)
+			rec, err = parseRIBEntry(body)
 		case mrtType == typeBGP4MP && (subtype == subtypeBGP4MPMessage || subtype == subtypeBGP4MPMessageAS4):
-			return parseMessage(body, ts, subtype == subtypeBGP4MPMessageAS4)
+			rec, err = parseMessage(body, ts, subtype == subtypeBGP4MPMessageAS4)
+			if errors.Is(err, ErrUnsupportedAFI) {
+				mRecords.With("skipped_afi").Inc()
+				continue
+			}
 		default:
 			// Unknown record: skip.
+			mRecords.With("skipped_unknown").Inc()
+			continue
 		}
+		if err != nil {
+			mRecords.With("failed").Inc()
+			return nil, err
+		}
+		mRecords.With("parsed").Inc()
+		return rec, nil
 	}
 }
 
@@ -350,7 +397,7 @@ func parseMessage(b []byte, ts time.Time, as4 bool) (*Message, error) {
 	b = b[asLen*2:]
 	afi := binary.BigEndian.Uint16(b[2:4])
 	if afi != 1 {
-		return nil, fmt.Errorf("mrt: unsupported AFI %d", afi)
+		return nil, fmt.Errorf("%w %d", ErrUnsupportedAFI, afi)
 	}
 	b = b[4:]
 	m.PeerAddr = netip.AddrFrom4([4]byte(b[0:4]))
@@ -364,12 +411,20 @@ func parseMessage(b []byte, ts time.Time, as4 bool) (*Message, error) {
 	return m, nil
 }
 
-func appendAddr4(b []byte, a netip.Addr) []byte {
+// appendAddr4 encodes a as 4 bytes. A zero Addr encodes as 0.0.0.0
+// (update files written without a collector identity rely on it); a
+// valid non-IPv4 address is an error — silently emitting 0.0.0.0 for an
+// IPv6 peer corrupts the record instead of failing the write.
+func appendAddr4(b []byte, a netip.Addr) ([]byte, error) {
+	if !a.IsValid() {
+		return append(b, 0, 0, 0, 0), nil
+	}
+	a = a.Unmap()
 	if !a.Is4() {
-		return append(b, 0, 0, 0, 0)
+		return nil, fmt.Errorf("mrt: IPv4 address required, got %v", a)
 	}
 	v := a.As4()
-	return append(b, v[:]...)
+	return append(b, v[:]...), nil
 }
 
 func appendMRTPrefix(b []byte, p netip.Prefix) ([]byte, error) {

@@ -1,0 +1,256 @@
+package mrt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"net/netip"
+	"testing"
+
+	"rex/internal/bgp"
+	"rex/internal/event"
+)
+
+// rawBGP4MPv6 builds a BGP4MP_MESSAGE_AS4 body with AFI 2 (IPv6
+// addresses) around the given BGP message wire — the record shape a
+// RouteViews update file interleaves into an IPv4 replay.
+func rawBGP4MPv6(t *testing.T, peer, local netip.Addr, msg bgp.Message) []byte {
+	t.Helper()
+	body := binary.BigEndian.AppendUint32(nil, 65001) // peer AS
+	body = binary.BigEndian.AppendUint32(body, 65002) // local AS
+	body = binary.BigEndian.AppendUint16(body, 0)     // ifindex
+	body = binary.BigEndian.AppendUint16(body, 2)     // AFI IPv6
+	p16, l16 := peer.As16(), local.As16()
+	body = append(body, p16[:]...)
+	body = append(body, l16[:]...)
+	wire, err := bgp.Marshal(msg, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(body, wire...)
+}
+
+func v4Update(prefix string) *bgp.Update {
+	return &bgp.Update{
+		Attrs: &bgp.PathAttrs{
+			Origin:  bgp.OriginIGP,
+			ASPath:  bgp.Sequence(65001, 174),
+			Nexthop: netip.MustParseAddr("10.0.0.1"),
+		},
+		NLRI: []netip.Prefix{netip.MustParsePrefix(prefix)},
+	}
+}
+
+// Regression (ISSUE 3): one IPv6 BGP4MP record used to abort the whole
+// replay ("mrt: unsupported AFI 2"); it must be skipped — and counted —
+// with every IPv4 record around it still decoded.
+func TestReaderSkipsUnsupportedAFIRecords(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	mk := func(prefix string) {
+		if err := w.WriteMessage(Message{
+			Time: t0, PeerAS: 65001, LocalAS: 65002,
+			PeerAddr:  netip.MustParseAddr("128.32.1.3"),
+			LocalAddr: netip.MustParseAddr("10.255.0.1"),
+			Msg:       v4Update(prefix), AS4: true,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk("192.96.10.0/24")
+	// A v6 record in the middle of the stream.
+	body := rawBGP4MPv6(t,
+		netip.MustParseAddr("2001:db8::1"), netip.MustParseAddr("2001:db8::2"),
+		v4Update("10.9.0.0/16"))
+	if err := w.record(t0, typeBGP4MP, subtypeBGP4MPMessageAS4, body, false); err != nil {
+		t.Fatal(err)
+	}
+	mk("12.2.41.0/24")
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	skippedBefore := mRecords.With("skipped_afi").Value()
+	parsedBefore := mRecords.With("parsed").Value()
+	s, err := ReadUpdates(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("mixed v4/v6 stream aborted: %v", err)
+	}
+	if len(s) != 2 {
+		t.Fatalf("events = %d, want 2 (both IPv4 records)", len(s))
+	}
+	if s[0].Prefix.String() != "192.96.10.0/24" || s[1].Prefix.String() != "12.2.41.0/24" {
+		t.Errorf("prefixes = %v, %v", s[0].Prefix, s[1].Prefix)
+	}
+	if got := mRecords.With("skipped_afi").Value() - skippedBefore; got != 1 {
+		t.Errorf("skipped_afi delta = %d, want 1", got)
+	}
+	if got := mRecords.With("parsed").Value() - parsedBefore; got != 2 {
+		t.Errorf("parsed delta = %d, want 2", got)
+	}
+
+	// Augment still works on what survived.
+	if aug := event.Augment(s); len(aug) != 2 {
+		t.Errorf("augment = %d events", len(aug))
+	}
+}
+
+// Regression (ISSUE 3): appendAddr4 used to silently encode any
+// non-IPv4 address as 0.0.0.0, corrupting BGP4MP records instead of
+// failing the write.
+func TestWriteMessageRejectsIPv6Addresses(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	m := Message{
+		Time: t0, PeerAS: 65001, LocalAS: 65002,
+		PeerAddr:  netip.MustParseAddr("2001:db8::1"),
+		LocalAddr: netip.MustParseAddr("10.255.0.1"),
+		Msg:       v4Update("10.0.0.0/8"), AS4: true,
+	}
+	if err := w.WriteMessage(m); err == nil {
+		t.Fatal("IPv6 peer address written as a corrupt AFI-1 record")
+	}
+	if buf.Len() != 0 {
+		t.Errorf("failed write left %d bytes in the stream", buf.Len())
+	}
+	// The local side too.
+	m.PeerAddr, m.LocalAddr = m.LocalAddr, m.PeerAddr
+	if err := w.WriteMessage(m); err == nil {
+		t.Fatal("IPv6 local address written as a corrupt AFI-1 record")
+	}
+	// A zero (unset) address still encodes as 0.0.0.0 — update files
+	// are routinely written without a collector identity.
+	m.PeerAddr, m.LocalAddr = netip.MustParseAddr("10.0.0.2"), netip.Addr{}
+	if err := w.WriteMessage(m); err != nil {
+		t.Fatalf("zero local address rejected: %v", err)
+	}
+}
+
+func TestWritePeerIndexTableRejectsIPv6Identifiers(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	// IPv6 collector ID: always an error (the field is 4 bytes).
+	err := w.WritePeerIndexTable(PeerIndexTable{
+		CollectorID: netip.MustParseAddr("2001:db8::1"),
+	}, t0)
+	if err == nil {
+		t.Error("IPv6 collector ID written as 0.0.0.0")
+	}
+	// IPv6 BGP identifier: same.
+	err = w.WritePeerIndexTable(PeerIndexTable{
+		CollectorID: netip.MustParseAddr("10.0.0.1"),
+		Peers:       []Peer{{BGPID: netip.MustParseAddr("2001:db8::1"), Addr: netip.MustParseAddr("10.0.0.2"), AS: 65001}},
+	}, t0)
+	if err == nil {
+		t.Error("IPv6 BGP identifier written as 0.0.0.0")
+	}
+}
+
+// Coverage (ISSUE 3): the reader has always parsed 16-byte peer-index
+// entries (peerType bit 0) but the writer never emitted one and no test
+// crossed that path. An IPv6-address peer must now round-trip.
+func TestPeerIndexTableRoundTripIPv6Peer(t *testing.T) {
+	table := PeerIndexTable{
+		CollectorID: netip.MustParseAddr("10.255.0.1"),
+		ViewName:    "rex",
+		Peers: []Peer{
+			{BGPID: netip.MustParseAddr("10.0.0.2"), Addr: netip.MustParseAddr("10.0.0.2"), AS: 65001},
+			{BGPID: netip.MustParseAddr("10.0.0.3"), Addr: netip.MustParseAddr("2001:db8::3"), AS: 65002},
+			{BGPID: netip.MustParseAddr("10.0.0.4"), Addr: netip.MustParseAddr("10.0.0.4"), AS: 65003},
+		},
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WritePeerIndexTable(table, t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := NewReader(&buf).Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, ok := rec.(*PeerIndexTable)
+	if !ok {
+		t.Fatalf("rec = %#v", rec)
+	}
+	if len(back.Peers) != 3 {
+		t.Fatalf("peers = %d, want 3", len(back.Peers))
+	}
+	for i, want := range table.Peers {
+		got := back.Peers[i]
+		if got.Addr != want.Addr || got.BGPID != want.BGPID || got.AS != want.AS {
+			t.Errorf("peer %d = %+v, want %+v", i, got, want)
+		}
+	}
+	if back.Peers[1].Addr.Is4() {
+		t.Error("IPv6 peer address came back as IPv4")
+	}
+}
+
+// FuzzReaderNext hammers the record decoder with mutated streams; the
+// reader must never panic and must terminate (error or EOF) on every
+// input. Seeds include a valid stream, truncated records at several
+// offsets, and an AFI-2 record.
+func FuzzReaderNext(f *testing.F) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WritePeerIndexTable(PeerIndexTable{
+		CollectorID: netip.MustParseAddr("10.255.0.1"),
+		ViewName:    "rex",
+		Peers: []Peer{
+			{BGPID: netip.MustParseAddr("10.0.0.2"), Addr: netip.MustParseAddr("10.0.0.2"), AS: 65001},
+			{BGPID: netip.MustParseAddr("10.0.0.3"), Addr: netip.MustParseAddr("2001:db8::3"), AS: 65002},
+		},
+	}, t0); err != nil {
+		f.Fatal(err)
+	}
+	if err := w.WriteMessage(Message{
+		Time: t0, PeerAS: 65001, LocalAS: 65002,
+		PeerAddr: netip.MustParseAddr("10.0.0.2"),
+		Msg:      v4Update("192.96.10.0/24"), AS4: true,
+	}); err != nil {
+		f.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	// Truncations: inside the second record's header, inside its body,
+	// and mid-way through the first.
+	for _, cut := range []int{3, 11, 13, len(valid) / 2, len(valid) - 1} {
+		if cut < len(valid) {
+			f.Add(valid[:cut])
+		}
+	}
+	var v6buf bytes.Buffer
+	v6w := NewWriter(&v6buf)
+	body := binary.BigEndian.AppendUint32(nil, 65001)
+	body = binary.BigEndian.AppendUint32(body, 65002)
+	body = binary.BigEndian.AppendUint16(body, 0)
+	body = binary.BigEndian.AppendUint16(body, 2) // AFI IPv6
+	body = append(body, make([]byte, 32)...)
+	if err := v6w.record(t0, typeBGP4MP, subtypeBGP4MPMessageAS4, body, false); err != nil {
+		f.Fatal(err)
+	}
+	if err := v6w.Flush(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v6buf.Bytes())
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		for i := 0; i < 1000; i++ {
+			_, err := r.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				return
+			}
+		}
+	})
+}

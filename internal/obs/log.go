@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level classifies a log line.
+type Level int32
+
+// Log levels, in increasing severity.
+const (
+	Debug Level = iota
+	Info
+	Warn
+	Error
+)
+
+// String names the level.
+func (l Level) String() string {
+	switch l {
+	case Debug:
+		return "debug"
+	case Info:
+		return "info"
+	case Warn:
+		return "warn"
+	case Error:
+		return "error"
+	default:
+		return fmt.Sprintf("level(%d)", int32(l))
+	}
+}
+
+// ParseLevel maps a flag value ("debug", "info", "warn", "error") to a
+// Level.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return Debug, nil
+	case "info", "":
+		return Info, nil
+	case "warn", "warning":
+		return Warn, nil
+	case "error":
+		return Error, nil
+	}
+	return Info, fmt.Errorf("unknown log level %q", s)
+}
+
+var (
+	logMu    sync.Mutex
+	logOut   io.Writer        = os.Stderr
+	logLevel atomic.Int32     // default Debug==0? no: set in init
+	logNow   func() time.Time = time.Now
+
+	logLines = NewCounterVec("rex_log_lines_total", "level",
+		"Structured log lines emitted, by level (suppressed lines not counted).")
+)
+
+func init() { logLevel.Store(int32(Info)) }
+
+// SetLogOutput redirects the structured log (default os.Stderr).
+func SetLogOutput(w io.Writer) {
+	logMu.Lock()
+	logOut = w
+	logMu.Unlock()
+}
+
+// SetLogLevel sets the minimum level that is emitted (default Info).
+func SetLogLevel(l Level) { logLevel.Store(int32(l)) }
+
+// LogLevel returns the current minimum level.
+func LogLevel() Level { return Level(logLevel.Load()) }
+
+// Logf emits one structured line:
+//
+//	ts=2026-08-05T17:04:05.123Z level=info comp=collector msg="session up peer=10.0.0.2"
+//
+// component names the subsystem; the formatted message is quoted so the
+// line stays one key=value record however the message looks. Lines
+// below the configured level are dropped before formatting.
+func Logf(lv Level, component, format string, args ...any) {
+	if lv < Level(logLevel.Load()) {
+		return
+	}
+	msg := fmt.Sprintf(format, args...)
+	line := fmt.Sprintf("ts=%s level=%s comp=%s msg=%q\n",
+		logNow().UTC().Format("2006-01-02T15:04:05.000Z07:00"), lv, component, msg)
+	logLines.With(lv.String()).Inc()
+	logMu.Lock()
+	io.WriteString(logOut, line)
+	logMu.Unlock()
+}
+
+// Printer adapts Logf to the legacy `func(format, args...)` hooks
+// (collector.Config.Logf, fsm.ManagerConfig.Logf): every line logs at
+// Info under the given component.
+func Printer(component string) func(format string, args ...any) {
+	return func(format string, args ...any) {
+		Logf(Info, component, format, args...)
+	}
+}

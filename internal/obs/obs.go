@@ -1,0 +1,430 @@
+// Package obs is the observability layer: a process-wide registry of
+// cheap, stdlib-only metrics (atomic counters, gauges, bounded
+// histograms, and labeled vectors of each), an HTTP endpoint serving
+// them as JSON and Prometheus-style text with net/http/pprof mounted
+// alongside, and a leveled key=value event log.
+//
+// The paper's REX is an always-on monitor whose operators judged health
+// from event-rate plots and session state (PAPER §II, Fig. 8); this
+// package is how our rexd exposes the same internals — a stalled peer,
+// a silently-skipped MRT record, a bloated window — without guessing
+// from the output. Metric names are stable and namespaced rex_*; see
+// DESIGN.md §8 ("Observability") for the full catalog.
+//
+// Hot-path cost is one atomic add per observation: instrumented
+// packages declare their metrics once at init against the Default
+// registry and touch only the atomics afterwards. No dependencies
+// outside the standard library.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds named metrics. The zero value is not usable; call
+// NewRegistry (or use Default, where every package in this repository
+// registers).
+type Registry struct {
+	mu      sync.RWMutex
+	metrics map[string]metric
+	names   []string // registration order
+}
+
+// Default is the process-wide registry all rex_* metrics live in.
+var Default = NewRegistry()
+
+// NewRegistry returns an empty registry (tests that want isolation
+// build their own).
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]metric)}
+}
+
+// metric is anything the registry can render.
+type metric interface {
+	metricType() string // "counter", "gauge", "histogram"
+	help() string
+	// samples returns the (labelValue, numeric) pairs; an unlabeled
+	// metric returns one pair with an empty label value.
+	samples() []sample
+}
+
+type sample struct {
+	label string
+	value float64
+	hist  *histSnapshot // non-nil for histogram samples
+}
+
+type histSnapshot struct {
+	bounds  []float64
+	buckets []uint64 // per-bound, non-cumulative; len(bounds)+1 with overflow last
+	count   uint64
+	sum     float64
+}
+
+func (r *Registry) register(name, help string, m metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.metrics[name]; dup {
+		panic(fmt.Sprintf("obs: duplicate metric %q", name))
+	}
+	r.metrics[name] = m
+	r.names = append(r.names, name)
+}
+
+// Counter is a monotonically increasing uint64.
+type Counter struct {
+	helpText string
+	v        atomic.Uint64
+}
+
+// NewCounter registers a counter in r.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{helpText: help}
+	r.register(name, help, c)
+	return c
+}
+
+// NewCounter registers a counter in the Default registry.
+func NewCounter(name, help string) *Counter { return Default.NewCounter(name, help) }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+func (c *Counter) metricType() string { return "counter" }
+func (c *Counter) help() string       { return c.helpText }
+func (c *Counter) samples() []sample  { return []sample{{value: float64(c.v.Load())}} }
+
+// Gauge is a settable int64.
+type Gauge struct {
+	helpText string
+	v        atomic.Int64
+}
+
+// NewGauge registers a gauge in r.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{helpText: help}
+	r.register(name, help, g)
+	return g
+}
+
+// NewGauge registers a gauge in the Default registry.
+func NewGauge(name, help string) *Gauge { return Default.NewGauge(name, help) }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds d (negative to subtract).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+func (g *Gauge) metricType() string { return "gauge" }
+func (g *Gauge) help() string       { return g.helpText }
+func (g *Gauge) samples() []sample  { return []sample{{value: float64(g.v.Load())}} }
+
+// Histogram is a bounded-bucket distribution: observations land in the
+// first bucket whose upper bound is >= the value, or the overflow
+// bucket. Bounds are fixed at construction, so memory is bounded no
+// matter how hot the path.
+type Histogram struct {
+	helpText string
+	bounds   []float64
+	buckets  []atomic.Uint64 // len(bounds)+1; last is overflow (+Inf)
+	count    atomic.Uint64
+	sumBits  atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// DurationBuckets is a general-purpose latency scale in seconds,
+// 10µs … ~10s.
+var DurationBuckets = []float64{
+	1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1, 1, 3, 10,
+}
+
+// NewHistogram registers a histogram in r. bounds must be sorted
+// ascending; nil selects DurationBuckets.
+func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DurationBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q bounds not ascending", name))
+		}
+	}
+	h := &Histogram{helpText: help, bounds: bounds, buckets: make([]atomic.Uint64, len(bounds)+1)}
+	r.register(name, help, h)
+	return h
+}
+
+// NewHistogram registers a histogram in the Default registry.
+func NewHistogram(name, help string, bounds []float64) *Histogram {
+	return Default.NewHistogram(name, help, bounds)
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nxt := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nxt) {
+			return
+		}
+	}
+}
+
+// Count returns how many values were observed.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+func (h *Histogram) snapshot() *histSnapshot {
+	s := &histSnapshot{bounds: h.bounds, buckets: make([]uint64, len(h.buckets))}
+	for i := range h.buckets {
+		s.buckets[i] = h.buckets[i].Load()
+	}
+	// Load count/sum after buckets so count >= sum(buckets) never
+	// renders a negative overflow.
+	s.count = h.count.Load()
+	s.sum = h.Sum()
+	return s
+}
+
+func (h *Histogram) metricType() string { return "histogram" }
+func (h *Histogram) help() string       { return h.helpText }
+func (h *Histogram) samples() []sample  { return []sample{{hist: h.snapshot()}} }
+
+// maxLabelValues bounds vector cardinality; past it, new label values
+// collapse into "other" so a misbehaving peer set cannot grow the
+// registry without bound.
+const maxLabelValues = 1024
+
+// vec is the shared labeled-children machinery.
+type vec[T any] struct {
+	label    string
+	mu       sync.RWMutex
+	children map[string]*T
+	order    []string
+	make     func() *T
+}
+
+func (v *vec[T]) with(value string) *T {
+	v.mu.RLock()
+	c, ok := v.children[value]
+	v.mu.RUnlock()
+	if ok {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok := v.children[value]; ok {
+		return c
+	}
+	if len(v.children) >= maxLabelValues {
+		if c, ok := v.children["other"]; ok {
+			return c
+		}
+		value = "other"
+	}
+	c = v.make()
+	v.children[value] = c
+	v.order = append(v.order, value)
+	return c
+}
+
+func (v *vec[T]) each(f func(label string, c *T)) {
+	v.mu.RLock()
+	labels := make([]string, len(v.order))
+	copy(labels, v.order)
+	v.mu.RUnlock()
+	sort.Strings(labels)
+	for _, l := range labels {
+		v.mu.RLock()
+		c := v.children[l]
+		v.mu.RUnlock()
+		f(l, c)
+	}
+}
+
+// CounterVec is a family of counters keyed by one label.
+type CounterVec struct {
+	helpText string
+	vec      vec[Counter]
+}
+
+// NewCounterVec registers a counter family in r; label is the
+// Prometheus label key (e.g. "peer").
+func (r *Registry) NewCounterVec(name, label, help string) *CounterVec {
+	cv := &CounterVec{helpText: help}
+	cv.vec = vec[Counter]{label: label, children: make(map[string]*Counter), make: func() *Counter { return &Counter{} }}
+	r.register(name, help, cv)
+	return cv
+}
+
+// NewCounterVec registers a counter family in the Default registry.
+func NewCounterVec(name, label, help string) *CounterVec {
+	return Default.NewCounterVec(name, label, help)
+}
+
+// With returns the counter for one label value, creating it on first
+// use.
+func (cv *CounterVec) With(value string) *Counter { return cv.vec.with(value) }
+
+func (cv *CounterVec) metricType() string { return "counter" }
+func (cv *CounterVec) help() string       { return cv.helpText }
+func (cv *CounterVec) samples() []sample {
+	var out []sample
+	cv.vec.each(func(l string, c *Counter) {
+		out = append(out, sample{label: l, value: float64(c.Value())})
+	})
+	return out
+}
+
+// GaugeVec is a family of gauges keyed by one label.
+type GaugeVec struct {
+	helpText string
+	vec      vec[Gauge]
+}
+
+// NewGaugeVec registers a gauge family in r.
+func (r *Registry) NewGaugeVec(name, label, help string) *GaugeVec {
+	gv := &GaugeVec{helpText: help}
+	gv.vec = vec[Gauge]{label: label, children: make(map[string]*Gauge), make: func() *Gauge { return &Gauge{} }}
+	r.register(name, help, gv)
+	return gv
+}
+
+// NewGaugeVec registers a gauge family in the Default registry.
+func NewGaugeVec(name, label, help string) *GaugeVec {
+	return Default.NewGaugeVec(name, label, help)
+}
+
+// With returns the gauge for one label value, creating it on first use.
+func (gv *GaugeVec) With(value string) *Gauge { return gv.vec.with(value) }
+
+func (gv *GaugeVec) metricType() string { return "gauge" }
+func (gv *GaugeVec) help() string       { return gv.helpText }
+func (gv *GaugeVec) samples() []sample {
+	var out []sample
+	gv.vec.each(func(l string, g *Gauge) {
+		out = append(out, sample{label: l, value: float64(g.Value())})
+	})
+	return out
+}
+
+// labelKey returns the label key for a metric's vector, or "".
+func labelKey(m metric) string {
+	switch v := m.(type) {
+	case *CounterVec:
+		return v.vec.label
+	case *GaugeVec:
+		return v.vec.label
+	}
+	return ""
+}
+
+// Snapshot renders every metric as a JSON-encodable map: plain metrics
+// to numbers, vectors to {labelValue: number}, histograms to
+// {count, sum, buckets: {upperBound: count}}.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.RLock()
+	names := make([]string, len(r.names))
+	copy(names, r.names)
+	r.mu.RUnlock()
+	out := make(map[string]any, len(names))
+	for _, name := range names {
+		r.mu.RLock()
+		m := r.metrics[name]
+		r.mu.RUnlock()
+		ss := m.samples()
+		switch {
+		case len(ss) == 1 && ss[0].hist != nil:
+			h := ss[0].hist
+			buckets := make(map[string]uint64, len(h.buckets))
+			for i, b := range h.bounds {
+				buckets[formatBound(b)] = h.buckets[i]
+			}
+			buckets["+Inf"] = h.buckets[len(h.buckets)-1]
+			out[name] = map[string]any{"count": h.count, "sum": h.sum, "buckets": buckets}
+		case labelKey(m) != "":
+			byLabel := make(map[string]float64, len(ss))
+			for _, s := range ss {
+				byLabel[s.label] = s.value
+			}
+			out[name] = byLabel
+		case len(ss) == 1:
+			out[name] = ss[0].value
+		}
+	}
+	return out
+}
+
+// WriteProm renders the registry as Prometheus text exposition format
+// into b.
+func (r *Registry) WriteProm(b *strings.Builder) {
+	r.mu.RLock()
+	names := make([]string, len(r.names))
+	copy(names, r.names)
+	r.mu.RUnlock()
+	sort.Strings(names)
+	for _, name := range names {
+		r.mu.RLock()
+		m := r.metrics[name]
+		r.mu.RUnlock()
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", name, m.help(), name, m.metricType())
+		label := labelKey(m)
+		for _, s := range m.samples() {
+			if s.hist != nil {
+				writePromHist(b, name, s.hist)
+				continue
+			}
+			if label == "" {
+				fmt.Fprintf(b, "%s %s\n", name, formatValue(s.value))
+			} else {
+				fmt.Fprintf(b, "%s{%s=%q} %s\n", name, label, s.label, formatValue(s.value))
+			}
+		}
+	}
+}
+
+func writePromHist(b *strings.Builder, name string, h *histSnapshot) {
+	cum := uint64(0)
+	for i, bound := range h.bounds {
+		cum += h.buckets[i]
+		fmt.Fprintf(b, "%s_bucket{le=%q} %d\n", name, formatBound(bound), cum)
+	}
+	cum += h.buckets[len(h.buckets)-1]
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(b, "%s_sum %s\n", name, formatValue(h.sum))
+	fmt.Fprintf(b, "%s_count %d\n", name, h.count)
+}
+
+func formatBound(v float64) string { return fmt.Sprintf("%g", v) }
+
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

@@ -1,0 +1,258 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("rex_test_total", "a counter")
+	g := r.NewGauge("rex_test_gauge", "a gauge")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	g.Set(7)
+	g.Dec()
+	g.Add(-2)
+	if g.Value() != 4 {
+		t.Errorf("gauge = %d, want 4", g.Value())
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("rex_test_total", "")
+	cv := r.NewCounterVec("rex_test_vec_total", "peer", "")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				cv.With(fmt.Sprintf("peer%d", i%2)).Inc()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d, want 8000", c.Value())
+	}
+	if got := cv.With("peer0").Value() + cv.With("peer1").Value(); got != 8000 {
+		t.Errorf("vec total = %d, want 8000", got)
+	}
+}
+
+func TestVecCardinalityBounded(t *testing.T) {
+	r := NewRegistry()
+	cv := r.NewCounterVec("rex_test_vec_total", "peer", "")
+	for i := 0; i < maxLabelValues+100; i++ {
+		cv.With(fmt.Sprintf("p%d", i)).Inc()
+	}
+	cv.vec.mu.RLock()
+	n := len(cv.vec.children)
+	cv.vec.mu.RUnlock()
+	if n > maxLabelValues+1 {
+		t.Errorf("children = %d, want <= %d", n, maxLabelValues+1)
+	}
+	if cv.With("other").Value() < 99 {
+		t.Errorf("overflow bucket = %d, want >= 99", cv.With("other").Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("rex_test_seconds", "", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if want := 0.005 + 0.05 + 0.05 + 0.5 + 5; h.Sum() != want {
+		t.Errorf("sum = %g, want %g", h.Sum(), want)
+	}
+	snap := h.snapshot()
+	wantBuckets := []uint64{1, 2, 1, 1}
+	for i, want := range wantBuckets {
+		if snap.buckets[i] != want {
+			t.Errorf("bucket %d = %d, want %d", i, snap.buckets[i], want)
+		}
+	}
+	// Prometheus rendering is cumulative.
+	var b strings.Builder
+	r.WriteProm(&b)
+	out := b.String()
+	for _, line := range []string{
+		`rex_test_seconds_bucket{le="0.01"} 1`,
+		`rex_test_seconds_bucket{le="0.1"} 3`,
+		`rex_test_seconds_bucket{le="1"} 4`,
+		`rex_test_seconds_bucket{le="+Inf"} 5`,
+		`rex_test_seconds_count 5`,
+	} {
+		if !strings.Contains(out, line) {
+			t.Errorf("prom output missing %q in:\n%s", line, out)
+		}
+	}
+}
+
+func TestHistogramBadBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unsorted bounds did not panic")
+		}
+	}()
+	NewRegistry().NewHistogram("rex_test", "", []float64{1, 1})
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("rex_dup_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate name did not panic")
+		}
+	}()
+	r.NewCounter("rex_dup_total", "")
+}
+
+func TestSnapshotJSONShape(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("rex_c_total", "").Add(3)
+	r.NewGauge("rex_g", "").Set(-2)
+	r.NewCounterVec("rex_v_total", "peer", "").With("10.0.0.2").Add(7)
+	r.NewHistogram("rex_h_seconds", "", []float64{1}).Observe(0.5)
+	raw, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back map[string]any
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back["rex_c_total"].(float64) != 3 {
+		t.Errorf("counter = %v", back["rex_c_total"])
+	}
+	if back["rex_g"].(float64) != -2 {
+		t.Errorf("gauge = %v", back["rex_g"])
+	}
+	if v := back["rex_v_total"].(map[string]any); v["10.0.0.2"].(float64) != 7 {
+		t.Errorf("vec = %v", v)
+	}
+	h := back["rex_h_seconds"].(map[string]any)
+	if h["count"].(float64) != 1 || h["sum"].(float64) != 0.5 {
+		t.Errorf("hist = %v", h)
+	}
+}
+
+func TestPromTextFormat(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("rex_c_total", "counts things").Add(42)
+	r.NewGaugeVec("rex_g", "phase", "gauges by phase").With("idle").Set(2)
+	var b strings.Builder
+	r.WriteProm(&b)
+	out := b.String()
+	for _, line := range []string{
+		"# HELP rex_c_total counts things",
+		"# TYPE rex_c_total counter",
+		"rex_c_total 42",
+		"# TYPE rex_g gauge",
+		`rex_g{phase="idle"} 2`,
+	} {
+		if !strings.Contains(out, line) {
+			t.Errorf("missing %q in:\n%s", line, out)
+		}
+	}
+}
+
+func TestHTTPHandler(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("rex_c_total", "").Add(9)
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	get := func(path string) string {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		return string(body)
+	}
+	if out := get("/metrics"); !strings.Contains(out, "rex_c_total 9") {
+		t.Errorf("/metrics:\n%s", out)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal([]byte(get("/metrics.json")), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap["rex_c_total"].(float64) != 9 {
+		t.Errorf("json = %v", snap)
+	}
+	if out := get("/healthz"); out != "ok\n" {
+		t.Errorf("healthz = %q", out)
+	}
+	if out := get("/debug/pprof/"); !strings.Contains(out, "goroutine") {
+		t.Errorf("pprof index:\n%s", out)
+	}
+}
+
+func TestLogLevelsAndFormat(t *testing.T) {
+	var buf bytes.Buffer
+	logMu.Lock()
+	oldOut, oldNow := logOut, logNow
+	logMu.Unlock()
+	oldLevel := LogLevel()
+	SetLogOutput(&buf)
+	logNow = func() time.Time { return time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC) }
+	defer func() {
+		SetLogOutput(oldOut)
+		SetLogLevel(oldLevel)
+		logNow = oldNow
+	}()
+
+	SetLogLevel(Info)
+	Logf(Debug, "test", "invisible")
+	Logf(Warn, "test", "peer %s stalled", "10.0.0.2")
+	out := buf.String()
+	if strings.Contains(out, "invisible") {
+		t.Error("debug line emitted at info level")
+	}
+	want := `ts=2026-08-05T12:00:00.000Z level=warn comp=test msg="peer 10.0.0.2 stalled"` + "\n"
+	if out != want {
+		t.Errorf("line = %q, want %q", out, want)
+	}
+
+	buf.Reset()
+	SetLogLevel(Debug)
+	Printer("legacy")("hello %d", 7)
+	if !strings.Contains(buf.String(), `level=info comp=legacy msg="hello 7"`) {
+		t.Errorf("printer line = %q", buf.String())
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for s, want := range map[string]Level{"debug": Debug, "Info": Info, "WARN": Warn, "error": Error, "warning": Warn} {
+		got, err := ParseLevel(s)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("bad level accepted")
+	}
+}

@@ -1,0 +1,11 @@
+package streamfile
+
+import "rex/internal/obs"
+
+var (
+	// mReads counts ReadEvents calls by the format the sniffer settled
+	// on — "unknown" here means the read was refused, which used to be
+	// silent until the caller's error surfaced far away.
+	mReads = obs.NewCounterVec("rex_streamfile_reads_total", "format",
+		"Event-stream file reads by detected format (text, binary, mrt, unknown=refused).")
+)

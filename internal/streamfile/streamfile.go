@@ -32,6 +32,26 @@ const (
 
 var binaryMagic = []byte("REXEV1\n")
 
+// detectPeek is how many leading bytes ReadEvents sniffs. It must
+// comfortably cover a .events file's comment/blank-line preamble; a
+// 64-byte window used to misclassify any file whose first event line
+// started past byte 64.
+const detectPeek = 4096
+
+// String names the format.
+func (f Format) String() string {
+	switch f {
+	case FormatText:
+		return "text"
+	case FormatBinary:
+		return "binary"
+	case FormatMRT:
+		return "mrt"
+	default:
+		return "unknown"
+	}
+}
+
 // Detect sniffs the format from the first bytes.
 func Detect(head []byte) Format {
 	if bytes.HasPrefix(head, binaryMagic) {
@@ -65,6 +85,25 @@ func Detect(head []byte) Format {
 	return FormatUnknown
 }
 
+// DetectPath sniffs the format from the first bytes, falling back to
+// the path's extension (.evb binary, .mrt MRT, .events/.txt text) when
+// the content alone is ambiguous — e.g. a text file whose
+// comment/blank-line preamble outruns the peek window.
+func DetectPath(path string, head []byte) Format {
+	if f := Detect(head); f != FormatUnknown {
+		return f
+	}
+	switch {
+	case strings.HasSuffix(path, ".evb"):
+		return FormatBinary
+	case strings.HasSuffix(path, ".mrt"):
+		return FormatMRT
+	case strings.HasSuffix(path, ".events"), strings.HasSuffix(path, ".txt"):
+		return FormatText
+	}
+	return FormatUnknown
+}
+
 // ReadEvents loads an event stream from path, sniffing the format. MRT
 // update files are augmented (withdrawals regain attributes) on load.
 func ReadEvents(path string) (event.Stream, error) {
@@ -74,8 +113,10 @@ func ReadEvents(path string) (event.Stream, error) {
 	}
 	defer f.Close()
 	br := bufio.NewReaderSize(f, 1<<16)
-	head, _ := br.Peek(64)
-	switch Detect(head) {
+	head, _ := br.Peek(detectPeek)
+	format := DetectPath(path, head)
+	mReads.With(format.String()).Inc()
+	switch format {
 	case FormatBinary:
 		return event.ReadBinary(br)
 	case FormatMRT:
