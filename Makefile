@@ -23,13 +23,14 @@ race:
 # Run the fuzz corpora as plain tests (fast; catches regressions on
 # known-interesting inputs without an open-ended fuzz run).
 fuzz-seed:
-	$(GO) test ./internal/bgp ./internal/mrt -run Fuzz -count=1
+	$(GO) test ./internal/bgp ./internal/mrt ./internal/event ./internal/journal -run Fuzz -count=1
 
 # The hottest concurrent paths, twice, under the race detector: session
-# handling, the dial loop, and the sharded streaming window.
+# handling, the dial loop, the sharded streaming window, and the
+# journal's crash harness (SIGKILL + torn-tail recovery).
 .PHONY: race-hot
 race-hot:
-	$(GO) test -race -count=2 ./internal/collector ./internal/bgp/fsm ./internal/core/pipeline ./internal/core/stemming
+	$(GO) test -race -count=2 ./internal/collector ./internal/bgp/fsm ./internal/core/pipeline ./internal/core/stemming ./internal/journal
 
 # Open-ended fuzzing of the wire parser; override FUZZTIME for longer runs.
 FUZZTIME ?= 30s

@@ -11,6 +11,15 @@
 // snapshot. On shutdown (SIGINT/SIGTERM or -run-for) it prints the final
 // window decomposition and a TAMP picture of the current routing state.
 //
+// With -journal-dir the daemon is crash-safe: every event is appended
+// to a segmented, checksummed journal (fsync policy from -fsync), the
+// collector's tables are checkpointed periodically (-checkpoint-every),
+// and a restarted daemon recovers — newest valid checkpoint, journal
+// tail replayed through the pipeline, live collection resumed — ending
+// up where an uninterrupted run would be. -overload picks what happens
+// when ingest outruns analysis: block (lossless), shed (drop and
+// count), or spill (journal everything, shed only the analysis copy).
+//
 // With -metrics-addr the daemon serves its internals over HTTP:
 // /metrics (Prometheus text), /metrics.json, /healthz, and
 // /debug/pprof — session lifecycle counters, per-peer message/byte
@@ -44,6 +53,7 @@ import (
 	"rex/internal/core/stemming"
 	"rex/internal/core/tamp"
 	"rex/internal/event"
+	"rex/internal/journal"
 	"rex/internal/obs"
 	"rex/internal/viz"
 
@@ -92,6 +102,10 @@ func run(args []string) error {
 		maxBackoff  = fs.Duration("max-backoff", 2*time.Minute, "backoff and idle-hold ceiling for -peer sessions")
 		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /metrics.json, /healthz and /debug/pprof on this address (empty disables)")
 		logLevel    = fs.String("log-level", "info", "lowest log level to emit (debug, info, warn, error)")
+		journalDir  = fs.String("journal-dir", "", "durable event journal + checkpoint directory; on start, recover state from it (empty disables)")
+		ckptEvery   = fs.Duration("checkpoint-every", 5*time.Minute, "checkpoint the collector tables this often when -journal-dir is set (0 = final checkpoint only)")
+		fsyncFlag   = fs.String("fsync", "interval", "journal fsync policy: always, interval or never")
+		overload    = fs.String("overload", "block", "intake overload policy: block (lossless, may stall sessions), shed (never blocks, drops at a full queue) or spill (never blocks, journals everything, sheds only the analysis copy)")
 	)
 	fs.Var(&peers, "peer", "address to actively dial and maintain a session with (repeatable, comma-separable)")
 	if err := fs.Parse(args); err != nil {
@@ -106,6 +120,14 @@ func run(args []string) error {
 		return fmt.Errorf("bad -log-level: %w", err)
 	}
 	obs.SetLogLevel(lv)
+	fsyncPol, err := journal.ParseFsyncPolicy(*fsyncFlag)
+	if err != nil {
+		return fmt.Errorf("bad -fsync: %w", err)
+	}
+	overloadPol, err := pipeline.ParseOverloadPolicy(*overload)
+	if err != nil {
+		return fmt.Errorf("bad -overload: %w", err)
+	}
 
 	if *metricsAddr != "" {
 		srv, maddr, err := obs.Serve(*metricsAddr, obs.Default)
@@ -146,8 +168,13 @@ func run(args []string) error {
 			printSnapshot(s)
 		}
 	}()
+	// Events flow collector → intake → (journal, pipeline). The intake
+	// is created after recovery below — it needs the journal hook — but
+	// no session can deliver an event before the listener opens, so the
+	// handler closure safely captures the variable.
+	var in *pipeline.Intake
 	handler := func(e event.Event) {
-		p.Ingest(e)
+		in.Offer(e)
 		if sink != nil {
 			sink.Write(e)
 		}
@@ -166,6 +193,21 @@ func run(args []string) error {
 		RestartTime:           restartTime,
 		Logf:                  obs.Printer("collector"),
 	}, handler)
+
+	// Recover durable state before the first session can speak: restore
+	// checkpointed tables into the collector, seed and replay the
+	// pipeline, then resume journaling where the last process stopped.
+	var dur *durability
+	intakeCfg := pipeline.IntakeConfig{Policy: overloadPol}
+	if *journalDir != "" {
+		dur, err = openDurability(*journalDir, fsyncPol, *window, p, c)
+		if err != nil {
+			return fmt.Errorf("journal recovery: %w", err)
+		}
+		intakeCfg.Journal = dur.journalEvent
+	}
+	in = pipeline.NewIntake(intakeCfg, p)
+
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		return err
@@ -212,10 +254,21 @@ func run(args []string) error {
 		defer ticker.Stop()
 		tick = ticker.C
 	}
+	var ckptTick <-chan time.Time
+	if dur != nil && *ckptEvery > 0 {
+		ckptTicker := time.NewTicker(*ckptEvery)
+		defer ckptTicker.Stop()
+		ckptTick = ckptTicker.C
+	}
 
 loop:
 	for {
 		select {
+		case <-ckptTick:
+			if err := dur.checkpoint(c); err != nil {
+				// A failing disk degrades durability, not collection.
+				obs.Logf(obs.Error, "rexd", "checkpoint: %v", err)
+			}
 		case <-tick:
 			obs.Logf(obs.Info, "rexd", "%d peers, %d routes", len(c.Peers()), c.NumRoutes())
 			for _, pi := range c.PeerInfos() {
@@ -245,8 +298,19 @@ loop:
 	}
 
 	// Close the collector first so in-flight events still reach the
-	// pipeline, then stop the pipeline and collect its final word.
+	// intake, drain the intake into the journal and pipeline, take the
+	// final checkpoint over the settled tables, then stop the pipeline
+	// and collect its final word.
 	closeErr := c.Close()
+	in.Close()
+	if dur != nil {
+		if err := dur.close(c); err != nil {
+			obs.Logf(obs.Error, "rexd", "final checkpoint: %v", err)
+			if closeErr == nil {
+				closeErr = err
+			}
+		}
+	}
 	p.Close()
 	<-snapDone
 	if len(finalSnap.Components) > 0 {

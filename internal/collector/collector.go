@@ -109,6 +109,10 @@ const (
 	// up; Routes is the count of never-re-announced routes withdrawn
 	// (zero for a perfect reconcile).
 	RestartReconciled
+	// TableRestored: a checkpointed Adj-RIB-In was re-installed at
+	// startup, stale, inside a fresh restart window; Routes is how many
+	// routes came back.
+	TableRestored
 )
 
 // String names the kind.
@@ -128,6 +132,8 @@ func (k SessionEventKind) String() string {
 		return "restart-expired"
 	case RestartReconciled:
 		return "restart-reconciled"
+	case TableRestored:
+		return "table-restored"
 	default:
 		return "session-event(?)"
 	}
@@ -488,6 +494,53 @@ func (c *Collector) finishRestart(ps *peerState, fired uint64) {
 		kind = RestartExpired
 	}
 	c.sessionEvent(SessionEvent{Kind: kind, Peer: ps.addr, Routes: len(stale)})
+}
+
+// RestoreTable re-installs a checkpointed Adj-RIB-In for peer, exactly
+// as graceful restart treats a table whose session dropped: every
+// restored route enters stale under an open restart window, so a peer
+// that reconnects refreshes its routes silently and whatever it never
+// re-announces is swept into augmented withdrawals at window expiry —
+// the recovery path reuses the reconciliation machinery instead of
+// inventing a second one. Routes a live session already announced are
+// left untouched. A no-op (returning 0) when retention is disabled:
+// without a window there is nothing to reconcile restored state
+// against, and stale routes would linger forever.
+func (c *Collector) RestoreTable(peer netip.Addr, routes []*rib.Route) int {
+	if len(routes) == 0 || !c.restartEnabled() {
+		return 0
+	}
+	c.mu.Lock()
+	select {
+	case <-c.closed:
+		c.mu.Unlock()
+		return 0
+	default:
+	}
+	ps, ok := c.peers[peer]
+	if !ok {
+		ps = &peerState{addr: peer, adj: rib.NewAdjRibIn(peer)}
+		c.peers[peer] = ps
+	}
+	ps.mu.Lock()
+	restored := 0
+	for _, r := range routes {
+		rr := r.Clone()
+		rr.Stale = true
+		if ps.adj.Install(rr) {
+			restored++
+		}
+	}
+	ps.mu.Unlock()
+	if restored > 0 && ps.restartTimer == nil {
+		ps.restartGen++
+		gen := ps.restartGen
+		ps.restartTimer = time.AfterFunc(c.restartWindow(), func() { c.finishRestart(ps, gen) })
+	}
+	c.mu.Unlock()
+	mRoutesRestored.Add(uint64(restored))
+	c.sessionEvent(SessionEvent{Kind: TableRestored, Peer: peer, Routes: restored})
+	return restored
 }
 
 // withdrawRoutes emits one augmented withdrawal per route.

@@ -9,7 +9,7 @@ import "rex/internal/obs"
 // not thousands) never approaches.
 var (
 	mSessionEvents = obs.NewCounterVec("rex_collector_session_events_total", "kind",
-		"Session lifecycle transitions by kind (session-up, session-down, session-replaced, handshake-failed, max-prefix-teardown, restart-expired, restart-reconciled).")
+		"Session lifecycle transitions by kind (session-up, session-down, session-replaced, handshake-failed, max-prefix-teardown, restart-expired, restart-reconciled, table-restored).")
 	mSessionsActive = obs.NewGauge("rex_collector_sessions_active",
 		"Sessions currently Established and being processed.")
 	mUpdates = obs.NewCounterVec("rex_collector_updates_total", "peer",
@@ -24,4 +24,6 @@ var (
 		"Routes marked stale when a graceful-restart window opened.")
 	mStaleSwept = obs.NewCounter("rex_collector_stale_swept_total",
 		"Stale routes swept into augmented withdrawals at end-of-restart.")
+	mRoutesRestored = obs.NewCounter("rex_collector_routes_restored_total",
+		"Checkpointed routes re-installed (stale, inside a restart window) at recovery.")
 )

@@ -1,0 +1,177 @@
+package pipeline
+
+import (
+	"fmt"
+	"sync"
+
+	"rex/internal/event"
+)
+
+// OverloadPolicy says what an Intake does when it cannot keep up.
+type OverloadPolicy uint8
+
+// Overload policies, in increasing order of session safety:
+//
+//   - OverloadBlock: Offer blocks until the queue drains. Lossless,
+//     but the block propagates to the collector's session goroutine —
+//     the original Ingest behaviour, kept for offline replay where
+//     there is no hold timer to expire.
+//   - OverloadShed: Offer never blocks; events arriving at a full
+//     queue are dropped and counted. Bounded loss, bounded memory,
+//     session never delayed.
+//   - OverloadSpill: Offer never blocks, and the drainer hands events
+//     to the pipeline with TryIngest instead of Ingest — analysis
+//     overload sheds only the analysis copy while the journal stays
+//     complete. The queue then fills only if the journal itself (disk)
+//     falls behind, and that overflow is shed and counted like Shed.
+const (
+	OverloadBlock OverloadPolicy = iota
+	OverloadShed
+	OverloadSpill
+)
+
+// String names the policy the way the -overload flag spells it.
+func (p OverloadPolicy) String() string {
+	switch p {
+	case OverloadBlock:
+		return "block"
+	case OverloadShed:
+		return "shed"
+	case OverloadSpill:
+		return "spill"
+	default:
+		return "overload(?)"
+	}
+}
+
+// ParseOverloadPolicy parses the -overload flag values.
+func ParseOverloadPolicy(s string) (OverloadPolicy, error) {
+	switch s {
+	case "block":
+		return OverloadBlock, nil
+	case "shed":
+		return OverloadShed, nil
+	case "spill":
+		return OverloadSpill, nil
+	default:
+		return 0, fmt.Errorf("overload policy %q: want block, shed or spill", s)
+	}
+}
+
+// IntakeConfig tunes an Intake.
+type IntakeConfig struct {
+	// Depth is the bounded queue length (default 4096).
+	Depth int
+	// Policy is the overload policy (default OverloadBlock).
+	Policy OverloadPolicy
+	// Journal, when set, is called by the drainer for every dequeued
+	// event before the pipeline sees it — the durability hook. Errors
+	// are counted, not propagated: a failing disk must not take the
+	// collector down with it.
+	Journal func(e *event.Event) error
+}
+
+// Intake is the bounded hand-off between the collector's session
+// goroutines and the journal + analysis pipeline. Offer is the
+// collector.Handler; a single drainer goroutine owns the downstream
+// calls, so journal appends stay strictly ordered even with many
+// concurrent sessions.
+type Intake struct {
+	cfg  IntakeConfig
+	p    *Pipeline
+	ch   chan event.Event
+	quit chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// NewIntake starts an intake draining into p.
+func NewIntake(cfg IntakeConfig, p *Pipeline) *Intake {
+	if cfg.Depth <= 0 {
+		cfg.Depth = 4096
+	}
+	in := &Intake{
+		cfg:  cfg,
+		p:    p,
+		ch:   make(chan event.Event, cfg.Depth),
+		quit: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go in.drain()
+	return in
+}
+
+// Offer enqueues one event, honouring the overload policy. It is a
+// valid collector.Handler.
+func (in *Intake) Offer(e event.Event) {
+	mIntakeOffered.Inc()
+	switch in.cfg.Policy {
+	case OverloadBlock:
+		select {
+		case in.ch <- e:
+		case <-in.quit:
+		}
+	default: // OverloadShed, OverloadSpill: never block the session
+		select {
+		case in.ch <- e:
+		case <-in.quit:
+		default:
+			mIntakeShed.Inc()
+		}
+	}
+}
+
+// drain is the single consumer: journal first (history is complete
+// before analysis sees the event), then the pipeline, blocking or not
+// per policy.
+func (in *Intake) drain() {
+	defer close(in.done)
+	for {
+		select {
+		case e := <-in.ch:
+			in.deliver(e)
+		case <-in.quit:
+			for {
+				select {
+				case e := <-in.ch:
+					in.deliver(e)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (in *Intake) deliver(e event.Event) {
+	if in.cfg.Journal != nil {
+		if err := in.cfg.Journal(&e); err != nil {
+			mIntakeJournalErrs.Inc()
+		}
+	}
+	switch in.cfg.Policy {
+	case OverloadSpill:
+		in.p.TryIngest(e)
+	case OverloadShed:
+		// Wait for the pipeline like Block — the queue, not this send,
+		// is where shed mode bounds latency — but a closing intake must
+		// not stay wedged behind a stalled consumer: fall back to a
+		// best-effort non-blocking hand-off and let the overflow shed.
+		select {
+		case in.p.events <- msg{e: e}:
+		case <-in.p.quit:
+		case <-in.quit:
+			in.p.TryIngest(e)
+		}
+	default:
+		in.p.Ingest(e)
+	}
+}
+
+// Close stops intake, drains what was queued, and waits for the
+// drainer to finish delivering it. The pipeline is not closed; that
+// stays with the caller, which may still want a final snapshot.
+func (in *Intake) Close() {
+	in.once.Do(func() { close(in.quit) })
+	<-in.done
+}

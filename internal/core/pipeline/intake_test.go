@@ -1,0 +1,255 @@
+package pipeline
+
+import (
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"rex/internal/bgp"
+	"rex/internal/event"
+)
+
+func intakeEvent(i int) event.Event {
+	return event.Event{
+		Time:   time.Date(2003, 8, 14, 20, 0, 0, 0, time.UTC).Add(time.Duration(i) * time.Second),
+		Type:   event.Announce,
+		Peer:   netip.MustParseAddr("128.32.1.3"),
+		Prefix: netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(i >> 8), byte(i), 0}), 24),
+		Attrs: &bgp.PathAttrs{
+			ASPath:  bgp.Sequence(11423, 701),
+			Nexthop: netip.MustParseAddr("128.32.0.70"),
+		},
+	}
+}
+
+// stalledPipeline returns a pipeline whose run loop is wedged emitting
+// a snapshot nobody reads — the pathological consumer the hold-timer
+// bug needs. Ticks every event-second guarantee the wedge happens
+// within a few events.
+func stalledPipeline() *Pipeline {
+	return New(Config{Buffer: 4, SnapshotEvery: time.Second, SpikeK: -1})
+}
+
+// drainAndClose unwedges and shuts down a stalled pipeline.
+func drainAndClose(p *Pipeline) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range p.Snapshots() {
+		}
+	}()
+	p.Close()
+	<-done
+}
+
+// TestIngestShedDoesNotBlock is the regression test for the
+// full-buffer stall: with the consumer wedged, a producer running in
+// shed mode must finish promptly no matter how many events it pushes.
+// Under the old behaviour — every ingest blocking on the events
+// channel — the producer wedges behind the stalled run loop and this
+// test times out and fails.
+func TestIngestShedDoesNotBlock(t *testing.T) {
+	p := stalledPipeline()
+	defer drainAndClose(p)
+
+	before := mShed.Value()
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		for i := 0; i < 10000; i++ {
+			p.TryIngest(intakeEvent(i))
+		}
+	}()
+	select {
+	case <-finished:
+	case <-time.After(5 * time.Second):
+		t.Fatal("shed-mode producer blocked behind a stalled consumer (old Ingest behaviour)")
+	}
+	if shed := mShed.Value() - before; shed == 0 {
+		t.Fatal("stalled consumer with a full buffer shed nothing — the producer must have been blocking")
+	}
+}
+
+// TestIngestBlockingBaseline documents the hazard the shed mode
+// exists for: the same producer using blocking Ingest does NOT finish
+// while the consumer is stalled. This is the control for the
+// regression test above — if this starts passing, the pipeline's
+// blocking semantics changed and the Intake policies need rethinking.
+func TestIngestBlockingBaseline(t *testing.T) {
+	p := stalledPipeline()
+	defer drainAndClose(p)
+
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		for i := 0; i < 10000; i++ {
+			p.Ingest(intakeEvent(i))
+		}
+	}()
+	select {
+	case <-finished:
+		t.Fatal("blocking Ingest finished against a stalled consumer; the wedge this PR guards against is gone")
+	case <-time.After(300 * time.Millisecond):
+		// Wedged, as documented. drainAndClose unwedges it; the producer
+		// drains into the closed pipeline and exits.
+	}
+}
+
+func TestTryIngestDelivers(t *testing.T) {
+	p := New(Config{SpikeK: -1})
+	var got int
+	var mu sync.Mutex
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for s := range p.Snapshots() {
+			if s.Trigger == TriggerFinal {
+				mu.Lock()
+				got = s.Events
+				mu.Unlock()
+			}
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		if !p.TryIngest(intakeEvent(i)) {
+			t.Fatalf("event %d shed with an empty pipeline", i)
+		}
+	}
+	p.Close()
+	<-done
+	if got != 50 {
+		t.Fatalf("final window held %d events, want 50", got)
+	}
+}
+
+func TestSeedBuildsTablesWithoutWindow(t *testing.T) {
+	p := New(Config{SpikeK: -1})
+	var final Snapshot
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for s := range p.Snapshots() {
+			if s.Trigger == TriggerFinal {
+				final = s
+			}
+		}
+	}()
+	for i := 0; i < 30; i++ {
+		p.Seed(intakeEvent(i))
+	}
+	p.Close()
+	<-done
+	if final.Events != 0 {
+		t.Fatalf("seeds leaked into the window: %d events", final.Events)
+	}
+	if final.Picture.Total != 30 {
+		t.Fatalf("seeded picture holds %d routes, want 30", final.Picture.Total)
+	}
+	if len(final.Components) != 0 {
+		t.Fatalf("seeds produced %d Stemming components, want none", len(final.Components))
+	}
+}
+
+func TestIntakePolicies(t *testing.T) {
+	t.Run("block-lossless", func(t *testing.T) {
+		p := New(Config{SpikeK: -1})
+		var final Snapshot
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for s := range p.Snapshots() {
+				if s.Trigger == TriggerFinal {
+					final = s
+				}
+			}
+		}()
+		var journaled int
+		in := NewIntake(IntakeConfig{Depth: 8, Policy: OverloadBlock,
+			Journal: func(e *event.Event) error { journaled++; return nil }}, p)
+		for i := 0; i < 500; i++ {
+			in.Offer(intakeEvent(i))
+		}
+		in.Close()
+		p.Close()
+		<-done
+		if journaled != 500 {
+			t.Fatalf("journaled %d events, want 500", journaled)
+		}
+		if final.Events != 500 {
+			t.Fatalf("window held %d events, want 500", final.Events)
+		}
+	})
+
+	t.Run("spill-journals-everything-under-stalled-analysis", func(t *testing.T) {
+		p := stalledPipeline()
+		defer drainAndClose(p)
+		var mu sync.Mutex
+		journaled := 0
+		// Depth >= n: the queue can absorb the whole burst, so any loss
+		// would be a policy bug, not a pacing artifact.
+		in := NewIntake(IntakeConfig{Depth: 2048, Policy: OverloadSpill,
+			Journal: func(e *event.Event) error {
+				mu.Lock()
+				journaled++
+				mu.Unlock()
+				return nil
+			}}, p)
+		const n = 2000
+		finished := make(chan struct{})
+		go func() {
+			defer close(finished)
+			for i := 0; i < n; i++ {
+				in.Offer(intakeEvent(i))
+			}
+			in.Close()
+		}()
+		select {
+		case <-finished:
+		case <-time.After(5 * time.Second):
+			t.Fatal("spill-mode producer blocked behind a stalled analysis consumer")
+		}
+		mu.Lock()
+		got := journaled
+		mu.Unlock()
+		// The journal is fast here, so the queue never fills: spill mode
+		// must have journaled every event even though analysis was dead.
+		if got != n {
+			t.Fatalf("journaled %d/%d events under stalled analysis", got, n)
+		}
+	})
+
+	t.Run("shed-bounded", func(t *testing.T) {
+		p := stalledPipeline()
+		defer drainAndClose(p)
+		in := NewIntake(IntakeConfig{Depth: 8, Policy: OverloadShed}, p)
+		finished := make(chan struct{})
+		go func() {
+			defer close(finished)
+			for i := 0; i < 5000; i++ {
+				in.Offer(intakeEvent(i))
+			}
+			in.Close()
+		}()
+		select {
+		case <-finished:
+		case <-time.After(5 * time.Second):
+			t.Fatal("shed-mode producer blocked")
+		}
+	})
+}
+
+func TestParseOverloadPolicy(t *testing.T) {
+	for _, s := range []string{"block", "shed", "spill"} {
+		pol, err := ParseOverloadPolicy(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pol.String() != s {
+			t.Fatalf("%q parsed to %v", s, pol)
+		}
+	}
+	if _, err := ParseOverloadPolicy("drop"); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+}

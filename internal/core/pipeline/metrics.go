@@ -22,4 +22,14 @@ var (
 		"Latency of sliding-window count-table settle batches.", nil)
 	mSnapshotSeconds = obs.NewHistogram("rex_pipeline_snapshot_seconds",
 		"Latency of full snapshot assembly (decomposition + TAMP picture).", nil)
+	mShed = obs.NewCounter("rex_pipeline_shed_total",
+		"Events shed by TryIngest because the ingest buffer was full.")
+	mSeeded = obs.NewCounter("rex_pipeline_seeded_total",
+		"Checkpoint seed events applied to table state during recovery.")
+	mIntakeOffered = obs.NewCounter("rex_intake_offered_total",
+		"Events offered to the intake queue by collector sessions.")
+	mIntakeShed = obs.NewCounter("rex_intake_shed_total",
+		"Events shed at the intake queue because it was full (shed/spill policies).")
+	mIntakeJournalErrs = obs.NewCounter("rex_intake_journal_errors_total",
+		"Journal append failures swallowed by the intake drainer.")
 )

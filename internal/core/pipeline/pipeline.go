@@ -118,10 +118,17 @@ func (c Config) withDefaults() Config {
 // owned by one internal run loop.
 type Pipeline struct {
 	cfg    Config
-	events chan event.Event
+	events chan msg
 	snaps  chan Snapshot
 	quit   chan struct{}
 	once   sync.Once
+}
+
+// msg is one unit of work for the run loop: a live event, or a seed
+// event that rebuilds table state without touching the window.
+type msg struct {
+	e    event.Event
+	seed bool
 }
 
 // New starts a pipeline. The caller must drain Snapshots() — emission
@@ -130,7 +137,7 @@ func New(cfg Config) *Pipeline {
 	cfg = cfg.withDefaults()
 	p := &Pipeline{
 		cfg:    cfg,
-		events: make(chan event.Event, cfg.Buffer),
+		events: make(chan msg, cfg.Buffer),
 		snaps:  make(chan Snapshot),
 		quit:   make(chan struct{}),
 	}
@@ -138,11 +145,46 @@ func New(cfg Config) *Pipeline {
 	return p
 }
 
-// Ingest feeds one event. After Close the event is dropped; Ingest never
-// blocks forever on a stopped pipeline.
+// Ingest feeds one event, blocking while the buffer is full. That
+// block propagates backwards: when the caller is a collector session
+// goroutine, a stalled snapshot consumer can wedge the BGP read loop
+// until the peer's hold timer expires and the session flaps. Callers
+// on a session-critical path must use TryIngest (or an Intake with a
+// non-blocking policy) instead. After Close the event is dropped;
+// Ingest never blocks forever on a stopped pipeline.
 func (p *Pipeline) Ingest(e event.Event) {
 	select {
-	case p.events <- e:
+	case p.events <- msg{e: e}:
+	case <-p.quit:
+	}
+}
+
+// TryIngest feeds one event without ever blocking: when the buffer is
+// full the event is shed — counted in rex_pipeline_shed_total and
+// reported by the false return — so analysis latency can never
+// back-pressure the caller. The analysis window under-counts by
+// exactly the shed events; the journal, written upstream of this
+// call, still has them.
+func (p *Pipeline) TryIngest(e event.Event) bool {
+	select {
+	case p.events <- msg{e: e}:
+		return true
+	case <-p.quit:
+		return true // stopped: drop silently, same as Ingest
+	default:
+		mShed.Inc()
+		return false
+	}
+}
+
+// Seed feeds one recovered table entry, blocking like Ingest. Seed
+// events rebuild the TAMP shadow RIB (routing state NOW) from a
+// checkpoint without entering the sliding window or advancing the
+// event-time clock, so recovery does not fire tick/spike triggers for
+// state that predates the replay tail.
+func (p *Pipeline) Seed(e event.Event) {
+	select {
+	case p.events <- msg{e: e, seed: true}:
 	case <-p.quit:
 	}
 }
@@ -172,14 +214,14 @@ func (p *Pipeline) run() {
 	}
 	for {
 		select {
-		case e := <-p.events:
-			st.process(e)
+		case m := <-p.events:
+			st.dispatch(m)
 		case <-p.quit:
 			// Drain what Ingest already buffered, then close out.
 			for {
 				select {
-				case e := <-p.events:
-					st.process(e)
+				case m := <-p.events:
+					st.dispatch(m)
 				default:
 					p.snaps <- st.snapshot(TriggerFinal, nil)
 					return
@@ -207,22 +249,27 @@ type state struct {
 	lastSpike time.Time // Start of the last spike already emitted
 }
 
-// process applies one event: RIB shadow → TAMP graph, window add+evict,
-// then the tick and spike triggers against the advanced event clock.
-func (st *state) process(e event.Event) {
-	cfg := &st.p.cfg
-	mEvents.Inc()
-	first := st.clock.IsZero()
-	if first || e.Time.After(st.clock) {
-		st.clock = e.Time
+// dispatch routes one message: seeds rebuild table state only, live
+// events take the full path.
+func (st *state) dispatch(m msg) {
+	if m.seed {
+		mSeeded.Inc()
+		st.applyRoute(m.e)
+		return
 	}
+	st.process(m.e)
+}
 
-	// Mirror the routing change into the TAMP graph through a RIB shadow
-	// keyed (router, prefix), exactly as the animator tracks state: a
-	// duplicate announcement is silent, a changed one is a replace, a
-	// withdrawal removes whatever route we believed was current. The
-	// graph reflects routing state NOW — it does not slide with the
-	// window.
+// applyRoute mirrors one routing change into the TAMP graph through a
+// RIB shadow keyed (router, prefix), exactly as the animator tracks
+// state: a duplicate announcement is silent, a changed one is a
+// replace, a withdrawal removes whatever route we believed was
+// current. The graph reflects routing state NOW — it does not slide
+// with the window. The mapping is idempotent at the state level
+// (re-announcing the current route is a no-op, withdrawing an absent
+// one is too), which is what lets recovery replay a journal tail on
+// top of a checkpoint that already contains part of it.
+func (st *state) applyRoute(e event.Event) {
 	key := routeKey{router: e.Peer.String(), prefix: e.Prefix}
 	switch e.Type {
 	case event.Announce:
@@ -242,6 +289,19 @@ func (st *state) process(e event.Event) {
 			delete(st.rib, key)
 		}
 	}
+}
+
+// process applies one event: RIB shadow → TAMP graph, window add+evict,
+// then the tick and spike triggers against the advanced event clock.
+func (st *state) process(e event.Event) {
+	cfg := &st.p.cfg
+	mEvents.Inc()
+	first := st.clock.IsZero()
+	if first || e.Time.After(st.clock) {
+		st.clock = e.Time
+	}
+
+	st.applyRoute(e)
 
 	st.win.Add(e)
 	evicted := st.win.EvictBefore(st.clock.Add(-cfg.Window))

@@ -1,0 +1,114 @@
+package event
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseText drives the text codec toward a fixed point: any line
+// ParseText accepts must re-encode, the re-encoding must parse, and the
+// second encoding must equal the first byte for byte (the first pass is
+// allowed to normalize — key order, whitespace, zone offsets — but the
+// normal form must be stable). The parsed events themselves must also
+// agree, so a field parsed but silently dropped by AppendText (or
+// vice versa) is a failure, not an invisible data loss.
+func FuzzParseText(f *testing.F) {
+	seeds := []string{
+		// The paper's Figure 4 listing shape.
+		`W 2003-08-01T10:00:00.000000Z 128.32.1.3 NEXT_HOP 128.32.0.70 ASPATH "11423 209 701" LP 80 MED 10 COMM 11423:65350,11423:65300 PREFIX 192.96.10.0/24`,
+		// Odd communities: 0:0, max values, duplicates.
+		`A 2003-08-01T10:00:00.000000Z 10.0.0.1 ASPATH "1" COMM 0:0,65535:65535,0:0 PREFIX 10.0.0.0/8`,
+		// Empty AS path (locally originated route) and attrs from
+		// NEXT_HOP alone.
+		`A 2003-08-01T10:00:00.000000Z 10.0.0.1 ASPATH "" PREFIX 10.0.0.0/8`,
+		`A 2003-08-01T10:00:00.000000Z 10.0.0.1 NEXT_HOP 10.0.0.2 PREFIX 10.0.0.0/8`,
+		// Sub-second timestamps, including the smallest step the
+		// microsecond layout can carry.
+		`A 1970-01-01T00:00:00.000001Z 10.0.0.1 PREFIX 0.0.0.0/0`,
+		`W 2003-08-01T10:00:00.999999Z 128.32.1.3 PREFIX 192.96.10.0/24`,
+		// Non-UTC offset: first pass normalizes to Z.
+		`A 2003-08-01T12:30:00.500000+02:30 10.0.0.1 PREFIX 10.0.0.0/8`,
+		// AS_SET segments and attribute-free withdrawals.
+		`A 2003-08-01T10:00:00.000000Z 10.0.0.1 ASPATH "11423 {7018 1239} 701" PREFIX 10.0.0.0/8`,
+		`W 2003-08-01T10:00:00.000000Z 10.0.0.1 PREFIX 10.0.0.0/8`,
+		// IPv6 peer, nexthop and prefix (with a zone on the peer).
+		`A 2003-08-01T10:00:00.000000Z fe80::1%eth0 NEXT_HOP 2001:db8::1 ASPATH "1 2" PREFIX 2001:db8::/32`,
+		`A 2003-08-01T10:00:00.000000Z ::ffff:1.2.3.4 PREFIX ::ffff:10.0.0.0/104`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		e, err := ParseText(line)
+		if err != nil {
+			return
+		}
+		enc1, err := AppendText(nil, &e)
+		if err != nil {
+			t.Fatalf("parse accepted %q but encode rejected the event: %v", line, err)
+		}
+		e2, err := ParseText(string(enc1))
+		if err != nil {
+			t.Fatalf("encoding of parsed %q does not re-parse: %q: %v", line, enc1, err)
+		}
+		if !eventsEquivalent(&e, &e2) {
+			t.Fatalf("event round trip lost data:\n  in:  %+v\n  out: %+v\n  via %q", e, e2, enc1)
+		}
+		enc2, err := AppendText(nil, &e2)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("encoding is not a fixed point:\n  first:  %q\n  second: %q", enc1, enc2)
+		}
+	})
+}
+
+// FuzzParseRecord hammers the binary record decoder with arbitrary
+// bytes: it must never panic, and whatever it accepts must survive an
+// encode/decode round trip unchanged — the property the journal's
+// recovery path depends on.
+func FuzzParseRecord(f *testing.F) {
+	for _, e := range recordSeedEvents() {
+		rec, err := AppendRecord(nil, &e)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(rec)
+		if len(rec) > 0 {
+			f.Add(rec[:len(rec)-1]) // truncated tail
+		}
+	}
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := ParseRecord(data)
+		if err != nil {
+			return
+		}
+		enc, err := AppendRecord(nil, &e)
+		if err != nil {
+			t.Fatalf("decode accepted %x but encode rejected: %v", data, err)
+		}
+		e2, err := ParseRecord(enc)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !eventsEquivalent(&e, &e2) {
+			t.Fatalf("record round trip lost data:\n  in:  %+v\n  out: %+v", e, e2)
+		}
+	})
+}
+
+// eventsEquivalent compares every field a codec is expected to carry.
+func eventsEquivalent(a, b *Event) bool {
+	if a.Type != b.Type || a.Peer != b.Peer || a.Prefix != b.Prefix || !a.Time.Equal(b.Time) {
+		return false
+	}
+	switch {
+	case a.Attrs == nil && b.Attrs == nil:
+		return true
+	case a.Attrs == nil || b.Attrs == nil:
+		return false
+	}
+	return a.Attrs.Equal(b.Attrs)
+}

@@ -1,0 +1,189 @@
+package event
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+	"time"
+
+	"rex/internal/bgp"
+)
+
+// Record codec: one self-contained binary event, the payload format of
+// the durability journal (internal/journal). Unlike the REXEV1 stream
+// codec above it has no stream magic — framing, checksumming and
+// sequencing belong to the container — and it carries IPv6 peers and
+// prefixes, which the fixed-width stream layout cannot:
+//
+//	type(1) flags(1) unixnano(8) peer(4|16) bits(1) prefixaddr(4|16) [nexthop6(16)] attrlen(2) attrs
+//
+// flags bit 0 marks a 16-byte peer address, bit 1 a 16-byte prefix
+// address; 4-in-6 mapped addresses keep their 16-byte form so decoding
+// reproduces the original address exactly. IPv6 zone names are the one
+// lossy spot: they are dropped (a BGP peering address never carries
+// one). Attributes use the BGP wire encoding with 4-octet ASNs, so the
+// full attribute set — Origin included, which the text codec drops —
+// survives a round trip. The one attribute that format cannot hold is
+// a non-IPv4 NEXT_HOP (RFC 4271's attribute 3 is four bytes; IPv6
+// nexthops ride MP_REACH_NLRI on the wire), so flags bit 2 hoists it
+// into a 16-byte record field and the attribute block is written with
+// the nexthop cleared.
+
+const (
+	recFlagPeer6    = 1 << 0
+	recFlagPrefix6  = 1 << 1
+	recFlagNexthop6 = 1 << 2
+
+	// minRecordLen is the smallest possible record: IPv4 peer and
+	// prefix, no attributes.
+	minRecordLen = 1 + 1 + 8 + 4 + 1 + 4 + 2
+)
+
+// AppendRecord appends the binary record form of e to dst.
+func AppendRecord(dst []byte, e *Event) ([]byte, error) {
+	if e.Type != Announce && e.Type != Withdraw {
+		return nil, fmt.Errorf("encode record: invalid type %d", e.Type)
+	}
+	if !e.Peer.IsValid() {
+		return nil, fmt.Errorf("encode record: invalid peer")
+	}
+	if !e.Prefix.IsValid() {
+		return nil, fmt.Errorf("encode record: invalid prefix")
+	}
+	var flags byte
+	marshalAttrs, nexthop6 := e.Attrs, netip.Addr{}
+	if e.Attrs != nil && e.Attrs.Nexthop.IsValid() && !e.Attrs.Nexthop.Is4() {
+		nexthop6 = e.Attrs.Nexthop
+		cleared := *e.Attrs
+		cleared.Nexthop = netip.Addr{}
+		marshalAttrs = &cleared
+		flags |= recFlagNexthop6
+	}
+	attrs, err := bgp.MarshalAttrs(marshalAttrs, true)
+	if err != nil {
+		return nil, fmt.Errorf("encode record: %w", err)
+	}
+	if len(attrs) > 0xFFFF {
+		return nil, fmt.Errorf("encode record: attribute block too large")
+	}
+	if !e.Peer.Is4() {
+		flags |= recFlagPeer6
+	}
+	if !e.Prefix.Addr().Is4() {
+		flags |= recFlagPrefix6
+	}
+	dst = append(dst, byte(e.Type), flags)
+	dst = binary.BigEndian.AppendUint64(dst, uint64(e.Time.UnixNano()))
+	if flags&recFlagPeer6 != 0 {
+		a := e.Peer.As16()
+		dst = append(dst, a[:]...)
+	} else {
+		a := e.Peer.As4()
+		dst = append(dst, a[:]...)
+	}
+	dst = append(dst, byte(e.Prefix.Bits()))
+	if flags&recFlagPrefix6 != 0 {
+		a := e.Prefix.Addr().As16()
+		dst = append(dst, a[:]...)
+	} else {
+		a := e.Prefix.Addr().As4()
+		dst = append(dst, a[:]...)
+	}
+	if flags&recFlagNexthop6 != 0 {
+		a := nexthop6.As16()
+		dst = append(dst, a[:]...)
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(attrs)))
+	return append(dst, attrs...), nil
+}
+
+// ParseRecord decodes one record produced by AppendRecord. The whole
+// input must be consumed: a record travels inside a length-delimited
+// frame, so trailing bytes mean corruption, not more data.
+func ParseRecord(b []byte) (Event, error) {
+	var e Event
+	if len(b) < minRecordLen {
+		return e, fmt.Errorf("parse record: %d bytes, want >= %d", len(b), minRecordLen)
+	}
+	e.Type = Type(b[0])
+	if e.Type != Announce && e.Type != Withdraw {
+		return e, fmt.Errorf("parse record: invalid type %d", b[0])
+	}
+	flags := b[1]
+	if flags&^(recFlagPeer6|recFlagPrefix6|recFlagNexthop6) != 0 {
+		return e, fmt.Errorf("parse record: unknown flags %#x", flags)
+	}
+	e.Time = time.Unix(0, int64(binary.BigEndian.Uint64(b[2:10]))).UTC()
+	b = b[10:]
+	if flags&recFlagPeer6 != 0 {
+		if len(b) < 16 {
+			return e, fmt.Errorf("parse record: truncated peer")
+		}
+		e.Peer = netip.AddrFrom16([16]byte(b[:16]))
+		b = b[16:]
+	} else {
+		e.Peer = netip.AddrFrom4([4]byte(b[:4]))
+		b = b[4:]
+	}
+	if len(b) < 1 {
+		return e, fmt.Errorf("parse record: missing prefix length")
+	}
+	bits := int(b[0])
+	b = b[1:]
+	var addr netip.Addr
+	if flags&recFlagPrefix6 != 0 {
+		if len(b) < 16 {
+			return e, fmt.Errorf("parse record: truncated prefix")
+		}
+		addr = netip.AddrFrom16([16]byte(b[:16]))
+		b = b[16:]
+	} else {
+		if len(b) < 4 {
+			return e, fmt.Errorf("parse record: truncated prefix")
+		}
+		addr = netip.AddrFrom4([4]byte(b[:4]))
+		b = b[4:]
+	}
+	if bits > addr.BitLen() {
+		return e, fmt.Errorf("parse record: invalid prefix length %d", bits)
+	}
+	e.Prefix = netip.PrefixFrom(addr, bits)
+	var nexthop6 netip.Addr
+	if flags&recFlagNexthop6 != 0 {
+		if len(b) < 16 {
+			return e, fmt.Errorf("parse record: truncated nexthop")
+		}
+		nexthop6 = netip.AddrFrom16([16]byte(b[:16]))
+		if nexthop6.Is4() {
+			// An IPv4 nexthop travels inside the attribute block; the
+			// hoisted field is for addresses the block cannot hold.
+			return e, fmt.Errorf("parse record: hoisted nexthop %v is IPv4", nexthop6)
+		}
+		b = b[16:]
+	}
+	if len(b) < 2 {
+		return e, fmt.Errorf("parse record: missing attribute length")
+	}
+	attrLen := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	if len(b) != attrLen {
+		return e, fmt.Errorf("parse record: %d attribute bytes, header says %d", len(b), attrLen)
+	}
+	if attrLen > 0 {
+		attrs, err := bgp.UnmarshalAttrs(b, true)
+		if err != nil {
+			return e, fmt.Errorf("parse record: %w", err)
+		}
+		e.Attrs = attrs
+	}
+	if flags&recFlagNexthop6 != 0 {
+		if e.Attrs == nil {
+			return e, fmt.Errorf("parse record: hoisted nexthop without attributes")
+		}
+		if e.Attrs.Nexthop.IsValid() {
+			return e, fmt.Errorf("parse record: nexthop both hoisted and in attributes")
+		}
+		e.Attrs.Nexthop = nexthop6
+	}
+	return e, nil
+}

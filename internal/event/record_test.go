@@ -1,0 +1,109 @@
+package event
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"rex/internal/bgp"
+)
+
+// recordSeedEvents is the shared corpus of representative events: both
+// types, both address families, empty and set-bearing AS paths,
+// sub-second timestamps, absent and maximal attribute blocks.
+func recordSeedEvents() []Event {
+	t0 := time.Date(2003, 8, 1, 10, 0, 0, 123456789, time.UTC)
+	return []Event{
+		{
+			Time: t0, Type: Announce,
+			Peer:   netip.MustParseAddr("128.32.1.3"),
+			Prefix: netip.MustParsePrefix("192.96.10.0/24"),
+			Attrs: &bgp.PathAttrs{
+				Origin:  bgp.OriginIGP,
+				ASPath:  bgp.Sequence(11423, 209, 701),
+				Nexthop: netip.MustParseAddr("128.32.0.70"),
+				LocalPref: 80, HasLocalPref: true,
+				MED: 10, HasMED: true,
+				Communities: []bgp.Community{bgp.MakeCommunity(11423, 65300), bgp.MakeCommunity(11423, 65350)},
+			},
+		},
+		{
+			// Withdrawal without attributes (never augmented).
+			Time: t0.Add(time.Microsecond), Type: Withdraw,
+			Peer:   netip.MustParseAddr("128.32.1.200"),
+			Prefix: netip.MustParsePrefix("12.2.41.0/24"),
+		},
+		{
+			// IPv6 peer and prefix, AS_SET on the path.
+			Time: t0.Add(time.Second), Type: Announce,
+			Peer:   netip.MustParseAddr("2001:db8::1"),
+			Prefix: netip.MustParsePrefix("2001:db8:1000::/36"),
+			Attrs: &bgp.PathAttrs{
+				ASPath: bgp.ASPath{
+					{Type: bgp.SegmentSequence, ASNs: []uint32{11423}},
+					{Type: bgp.SegmentSet, ASNs: []uint32{7018, 1239}},
+				},
+				Nexthop: netip.MustParseAddr("2001:db8::ff"),
+			},
+		},
+		{
+			// 4-in-6 mapped peer: must decode back to the mapped form.
+			Time: t0, Type: Announce,
+			Peer:   netip.MustParseAddr("::ffff:10.1.2.3"),
+			Prefix: netip.MustParsePrefix("0.0.0.0/0"),
+			Attrs:  &bgp.PathAttrs{ASPath: nil, Nexthop: netip.MustParseAddr("10.0.0.1")},
+		},
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	for i, e := range recordSeedEvents() {
+		rec, err := AppendRecord(nil, &e)
+		if err != nil {
+			t.Fatalf("event %d: encode: %v", i, err)
+		}
+		got, err := ParseRecord(rec)
+		if err != nil {
+			t.Fatalf("event %d: decode: %v", i, err)
+		}
+		if !eventsEquivalent(&e, &got) {
+			t.Errorf("event %d round trip:\n  in:  %+v\n  out: %+v", i, e, got)
+		}
+		// A record must reject trailing garbage: its container frames it.
+		if _, err := ParseRecord(append(rec, 0)); err == nil {
+			t.Errorf("event %d: trailing byte accepted", i)
+		}
+		if len(rec) > minRecordLen {
+			if _, err := ParseRecord(rec[:len(rec)-1]); err == nil {
+				t.Errorf("event %d: truncated record accepted", i)
+			}
+		}
+	}
+}
+
+func TestRecordRejectsInvalid(t *testing.T) {
+	e := recordSeedEvents()[0]
+	bad := e
+	bad.Type = 9
+	if _, err := AppendRecord(nil, &bad); err == nil {
+		t.Error("invalid type accepted")
+	}
+	bad = e
+	bad.Peer = netip.Addr{}
+	if _, err := AppendRecord(nil, &bad); err == nil {
+		t.Error("zero peer accepted")
+	}
+	bad = e
+	bad.Prefix = netip.Prefix{}
+	if _, err := AppendRecord(nil, &bad); err == nil {
+		t.Error("zero prefix accepted")
+	}
+	rec, err := AppendRecord(nil, &e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec[1] |= 0x80 // unknown flag bit
+	if _, err := ParseRecord(rec); err == nil {
+		t.Error("unknown flags accepted")
+	}
+}

@@ -1,0 +1,449 @@
+package journal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"rex/internal/bgp"
+	"rex/internal/event"
+	"rex/internal/rib"
+)
+
+// A Checkpoint is a consistent snapshot of everything the journal tail
+// cannot cheaply rebuild: the collector's per-peer Adj-RIB-In tables
+// and the replay bounds. The consistency contract with the journal is
+// sequence-ordered: NextSeq is read from the writer BEFORE the tables
+// are snapshotted, and the collector mutates its table before the event
+// reaches the journal, so the snapshot reflects every event with
+// sequence below NextSeq (and possibly a few after — which replay then
+// re-applies idempotently).
+type Checkpoint struct {
+	// NextSeq is the journal sequence the checkpoint covers: every
+	// record below it is reflected in the tables.
+	NextSeq uint64
+	// ReplayLow is where recovery must start replaying to rebuild the
+	// analysis window (TimeIndex.LowWater of the window cutoff). Always
+	// <= NextSeq; segments wholly below it are trimmable.
+	ReplayLow uint64
+	// WindowStart is the analysis-window cutoff ReplayLow was computed
+	// for.
+	WindowStart time.Time
+	// TakenAt is when the snapshot was captured.
+	TakenAt time.Time
+	// Peers holds one table per peer, sorted by peer address.
+	Peers []PeerTable
+}
+
+// PeerTable is one peer's Adj-RIB-In contents.
+type PeerTable struct {
+	Peer   netip.Addr
+	Routes []*rib.Route
+}
+
+const (
+	ckptMagic  = "REXCKPT1"
+	ckptPrefix = "checkpoint-"
+	ckptSuffix = ".rexc"
+
+	ckptFlagPrefix6  = 1 << 0
+	ckptFlagEBGP     = 1 << 1
+	ckptFlagStale    = 1 << 2
+	ckptFlagRouterID = 1 << 3
+	ckptFlagRouter6  = 1 << 4
+	ckptFlagPeer6    = 1 << 0 // peer-header flag byte
+)
+
+// RouteCount sums routes across all tables.
+func (c *Checkpoint) RouteCount() int {
+	n := 0
+	for _, p := range c.Peers {
+		n += len(p.Routes)
+	}
+	return n
+}
+
+// SeedEvents renders the checkpoint tables as announce events, oldest
+// first, suitable for seeding the pipeline's table-derived state (the
+// TAMP shadow RIB) without perturbing its time window.
+func (c *Checkpoint) SeedEvents() []*event.Event {
+	out := make([]*event.Event, 0, c.RouteCount())
+	for _, p := range c.Peers {
+		for _, r := range p.Routes {
+			out = append(out, &event.Event{
+				Time:   r.LearnedAt,
+				Type:   event.Announce,
+				Peer:   p.Peer,
+				Prefix: r.Prefix,
+				Attrs:  r.Attrs,
+			})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Time.Before(out[j].Time) })
+	return out
+}
+
+// WriteCheckpoint writes c to dir atomically (temp file, fsync,
+// rename, directory sync) as checkpoint-<NextSeq>.rexc. A crash during
+// the write leaves at worst a stray .tmp file, never a half-written
+// checkpoint under the real name.
+func WriteCheckpoint(dir string, c *Checkpoint) (string, error) {
+	start := time.Now()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	buf, err := encodeCheckpoint(c)
+	if err != nil {
+		return "", err
+	}
+	final := filepath.Join(dir, fmt.Sprintf("%s%020d%s", ckptPrefix, c.NextSeq, ckptSuffix))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return "", err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return "", err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return "", err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return "", err
+	}
+	syncDir(dir)
+	mCheckpoints.Inc()
+	mCheckpointSeconds.Observe(time.Since(start).Seconds())
+	return final, nil
+}
+
+// LoadLatestCheckpoint returns the newest checkpoint in dir that
+// decodes cleanly, or nil when none does (including an empty or absent
+// directory). Corrupt candidates are counted and skipped, never fatal:
+// an older intact checkpoint plus a longer replay beats refusing to
+// start.
+func LoadLatestCheckpoint(dir string) (*Checkpoint, error) {
+	names, err := listCheckpoints(dir)
+	if err != nil {
+		return nil, err
+	}
+	for i := len(names) - 1; i >= 0; i-- {
+		buf, err := os.ReadFile(names[i])
+		if err != nil {
+			mCheckpointsCorrupt.Inc()
+			continue
+		}
+		c, err := decodeCheckpoint(buf)
+		if err != nil {
+			mCheckpointsCorrupt.Inc()
+			continue
+		}
+		return c, nil
+	}
+	return nil, nil
+}
+
+// PruneCheckpoints keeps the newest keep checkpoint files and removes
+// the rest. Returns how many were removed.
+func PruneCheckpoints(dir string, keep int) (int, error) {
+	if keep < 1 {
+		keep = 1
+	}
+	names, err := listCheckpoints(dir)
+	if err != nil {
+		return 0, err
+	}
+	removed := 0
+	for i := 0; i+keep < len(names); i++ {
+		if err := os.Remove(names[i]); err != nil {
+			return removed, err
+		}
+		removed++
+	}
+	if removed > 0 {
+		syncDir(dir)
+	}
+	return removed, nil
+}
+
+// listCheckpoints returns checkpoint paths sorted ascending by the
+// sequence embedded in the name.
+func listCheckpoints(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	type item struct {
+		seq  uint64
+		path string
+	}
+	var items []item
+	for _, ent := range entries {
+		name := ent.Name()
+		if !strings.HasPrefix(name, ckptPrefix) || !strings.HasSuffix(name, ckptSuffix) {
+			continue
+		}
+		num := strings.TrimSuffix(strings.TrimPrefix(name, ckptPrefix), ckptSuffix)
+		seq, err := strconv.ParseUint(num, 10, 64)
+		if err != nil {
+			continue
+		}
+		items = append(items, item{seq: seq, path: filepath.Join(dir, name)})
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].seq < items[j].seq })
+	out := make([]string, len(items))
+	for i, it := range items {
+		out[i] = it.path
+	}
+	return out, nil
+}
+
+// encodeCheckpoint renders c as magic, fixed header, per-peer tables,
+// and a whole-file CRC32-C trailer.
+func encodeCheckpoint(c *Checkpoint) ([]byte, error) {
+	buf := make([]byte, 0, 1024)
+	buf = append(buf, ckptMagic...)
+	buf = binary.BigEndian.AppendUint64(buf, c.NextSeq)
+	buf = binary.BigEndian.AppendUint64(buf, c.ReplayLow)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(c.WindowStart.UnixNano()))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(c.TakenAt.UnixNano()))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(c.Peers)))
+	for _, p := range c.Peers {
+		var err error
+		buf, err = appendPeerTable(buf, &p)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return binary.BigEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli)), nil
+}
+
+func appendPeerTable(buf []byte, p *PeerTable) ([]byte, error) {
+	if !p.Peer.IsValid() {
+		return nil, fmt.Errorf("checkpoint: invalid peer address")
+	}
+	if p.Peer.Is4() {
+		buf = append(buf, 0)
+		a := p.Peer.As4()
+		buf = append(buf, a[:]...)
+	} else {
+		buf = append(buf, ckptFlagPeer6)
+		a := p.Peer.As16()
+		buf = append(buf, a[:]...)
+	}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(p.Routes)))
+	for _, r := range p.Routes {
+		var err error
+		buf, err = appendRoute(buf, r)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+func appendRoute(buf []byte, r *rib.Route) ([]byte, error) {
+	attrs, err := bgp.MarshalAttrs(r.Attrs, true)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint route %v: %w", r.Prefix, err)
+	}
+	if len(attrs) > 0xFFFF {
+		return nil, fmt.Errorf("checkpoint route %v: attribute block too large", r.Prefix)
+	}
+	var flags byte
+	if !r.Prefix.Addr().Is4() {
+		flags |= ckptFlagPrefix6
+	}
+	if r.EBGP {
+		flags |= ckptFlagEBGP
+	}
+	if r.Stale {
+		flags |= ckptFlagStale
+	}
+	if r.PeerRouterID.IsValid() {
+		flags |= ckptFlagRouterID
+		if !r.PeerRouterID.Is4() {
+			flags |= ckptFlagRouter6
+		}
+	}
+	buf = append(buf, flags)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(r.LearnedAt.UnixNano()))
+	buf = append(buf, byte(r.Prefix.Bits()))
+	if flags&ckptFlagPrefix6 != 0 {
+		a := r.Prefix.Addr().As16()
+		buf = append(buf, a[:]...)
+	} else {
+		a := r.Prefix.Addr().As4()
+		buf = append(buf, a[:]...)
+	}
+	if flags&ckptFlagRouterID != 0 {
+		if flags&ckptFlagRouter6 != 0 {
+			a := r.PeerRouterID.As16()
+			buf = append(buf, a[:]...)
+		} else {
+			a := r.PeerRouterID.As4()
+			buf = append(buf, a[:]...)
+		}
+	}
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(attrs)))
+	return append(buf, attrs...), nil
+}
+
+func decodeCheckpoint(buf []byte) (*Checkpoint, error) {
+	if len(buf) < len(ckptMagic)+8*4+4+4 {
+		return nil, fmt.Errorf("checkpoint: %d bytes, too short", len(buf))
+	}
+	if string(buf[:len(ckptMagic)]) != ckptMagic {
+		return nil, fmt.Errorf("checkpoint: bad magic")
+	}
+	body, trailer := buf[:len(buf)-4], buf[len(buf)-4:]
+	if crc32.Checksum(body, castagnoli) != binary.BigEndian.Uint32(trailer) {
+		return nil, fmt.Errorf("checkpoint: CRC mismatch")
+	}
+	b := body[len(ckptMagic):]
+	c := &Checkpoint{
+		NextSeq:     binary.BigEndian.Uint64(b[0:8]),
+		ReplayLow:   binary.BigEndian.Uint64(b[8:16]),
+		WindowStart: time.Unix(0, int64(binary.BigEndian.Uint64(b[16:24]))).UTC(),
+		TakenAt:     time.Unix(0, int64(binary.BigEndian.Uint64(b[24:32]))).UTC(),
+	}
+	peerCount := int(binary.BigEndian.Uint32(b[32:36]))
+	b = b[36:]
+	for i := 0; i < peerCount; i++ {
+		var p PeerTable
+		var err error
+		b, err = parsePeerTable(b, &p)
+		if err != nil {
+			return nil, err
+		}
+		c.Peers = append(c.Peers, p)
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("checkpoint: %d trailing bytes", len(b))
+	}
+	return c, nil
+}
+
+func parsePeerTable(b []byte, p *PeerTable) ([]byte, error) {
+	if len(b) < 1 {
+		return nil, fmt.Errorf("checkpoint: truncated peer header")
+	}
+	flags := b[0]
+	b = b[1:]
+	if flags&^byte(ckptFlagPeer6) != 0 {
+		return nil, fmt.Errorf("checkpoint: unknown peer flags %#x", flags)
+	}
+	if flags&ckptFlagPeer6 != 0 {
+		if len(b) < 16 {
+			return nil, fmt.Errorf("checkpoint: truncated peer address")
+		}
+		p.Peer = netip.AddrFrom16([16]byte(b[:16]))
+		b = b[16:]
+	} else {
+		if len(b) < 4 {
+			return nil, fmt.Errorf("checkpoint: truncated peer address")
+		}
+		p.Peer = netip.AddrFrom4([4]byte(b[:4]))
+		b = b[4:]
+	}
+	if len(b) < 4 {
+		return nil, fmt.Errorf("checkpoint: truncated route count")
+	}
+	n := int(binary.BigEndian.Uint32(b))
+	b = b[4:]
+	p.Routes = make([]*rib.Route, 0, n)
+	for i := 0; i < n; i++ {
+		r := &rib.Route{Peer: p.Peer}
+		var err error
+		b, err = parseRoute(b, r)
+		if err != nil {
+			return nil, err
+		}
+		p.Routes = append(p.Routes, r)
+	}
+	return b, nil
+}
+
+func parseRoute(b []byte, r *rib.Route) ([]byte, error) {
+	if len(b) < 1+8+1 {
+		return nil, fmt.Errorf("checkpoint: truncated route")
+	}
+	flags := b[0]
+	known := byte(ckptFlagPrefix6 | ckptFlagEBGP | ckptFlagStale | ckptFlagRouterID | ckptFlagRouter6)
+	if flags&^known != 0 {
+		return nil, fmt.Errorf("checkpoint: unknown route flags %#x", flags)
+	}
+	r.EBGP = flags&ckptFlagEBGP != 0
+	r.Stale = flags&ckptFlagStale != 0
+	r.LearnedAt = time.Unix(0, int64(binary.BigEndian.Uint64(b[1:9]))).UTC()
+	bits := int(b[9])
+	b = b[10:]
+	var addr netip.Addr
+	if flags&ckptFlagPrefix6 != 0 {
+		if len(b) < 16 {
+			return nil, fmt.Errorf("checkpoint: truncated prefix")
+		}
+		addr = netip.AddrFrom16([16]byte(b[:16]))
+		b = b[16:]
+	} else {
+		if len(b) < 4 {
+			return nil, fmt.Errorf("checkpoint: truncated prefix")
+		}
+		addr = netip.AddrFrom4([4]byte(b[:4]))
+		b = b[4:]
+	}
+	if bits > addr.BitLen() {
+		return nil, fmt.Errorf("checkpoint: invalid prefix length %d", bits)
+	}
+	r.Prefix = netip.PrefixFrom(addr, bits)
+	if flags&ckptFlagRouterID != 0 {
+		if flags&ckptFlagRouter6 != 0 {
+			if len(b) < 16 {
+				return nil, fmt.Errorf("checkpoint: truncated router ID")
+			}
+			r.PeerRouterID = netip.AddrFrom16([16]byte(b[:16]))
+			b = b[16:]
+		} else {
+			if len(b) < 4 {
+				return nil, fmt.Errorf("checkpoint: truncated router ID")
+			}
+			r.PeerRouterID = netip.AddrFrom4([4]byte(b[:4]))
+			b = b[4:]
+		}
+	}
+	if len(b) < 2 {
+		return nil, fmt.Errorf("checkpoint: truncated attribute length")
+	}
+	attrLen := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	if len(b) < attrLen {
+		return nil, fmt.Errorf("checkpoint: truncated attributes")
+	}
+	if attrLen > 0 {
+		attrs, err := bgp.UnmarshalAttrs(b[:attrLen], true)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: %w", err)
+		}
+		r.Attrs = attrs
+	}
+	return b[attrLen:], nil
+}

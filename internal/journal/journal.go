@@ -1,0 +1,485 @@
+// Package journal is the durability layer under the always-on system:
+// a segmented, CRC-checksummed, length-prefixed append-only log of the
+// augmented event stream (paper §II — REX records months of IBGP feeds
+// and replays them on demand), plus periodic checkpoints of the
+// collector's Adj-RIB-In state, so a crashed rexd restarts from the
+// newest checkpoint and replays only the journal tail instead of losing
+// every table and the analysis window.
+//
+// On-disk layout, one directory:
+//
+//	journal-00000000000000000000.rexj   segments: 16-byte header
+//	journal-00000000000000004096.rexj     (magic "REXJSEG1" + first
+//	journal-00000000000000008192.rexj      sequence), then records
+//	checkpoint-00000000000000007000.rexc  checkpoints, named by the
+//	                                       sequence they cover
+//
+// Each record is `len(4) crc32c(4) payload`, payload being one
+// event.AppendRecord encoding. Sequence numbers are implicit — a
+// record's sequence is the segment's first sequence plus its index —
+// which is what lets recovery resume replay at an exact position
+// without an index file.
+//
+// Failure policy, matching mrt.Reader's: damage is counted and skipped,
+// never a panic or an aborted startup. A torn tail (the crash landed
+// mid-write) is truncated on open; a mid-file record with a bad CRC is
+// skipped; a segment whose framing is broken is abandoned from the
+// break onward. Every repair increments an obs counter so a recovering
+// daemon reports exactly what it lost.
+package journal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"rex/internal/event"
+)
+
+const (
+	segMagic     = "REXJSEG1"
+	segHeaderLen = len(segMagic) + 8 // magic + first sequence
+	recHeaderLen = 8                 // payload length + CRC32-C
+	segPrefix    = "journal-"
+	segSuffix    = ".rexj"
+
+	// MaxRecordLen bounds one record payload; a frame header claiming
+	// more is corruption, not a large event.
+	MaxRecordLen = 1 << 20
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// FsyncPolicy says when appended records are forced to stable storage.
+type FsyncPolicy uint8
+
+// Fsync policies. The default is FsyncInterval: bounded data loss
+// (everything since the last sync) at a small fraction of FsyncAlways'
+// per-event cost; FsyncNever leaves flushing entirely to the OS.
+const (
+	FsyncInterval FsyncPolicy = iota
+	FsyncAlways
+	FsyncNever
+)
+
+// String names the policy the way the -fsync flag spells it.
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncInterval:
+		return "interval"
+	case FsyncNever:
+		return "never"
+	default:
+		return "fsync(?)"
+	}
+}
+
+// ParseFsyncPolicy parses the -fsync flag values.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "never":
+		return FsyncNever, nil
+	default:
+		return 0, fmt.Errorf("fsync policy %q: want always, interval or never", s)
+	}
+}
+
+// Options tunes a Writer. The zero value is usable.
+type Options struct {
+	// SegmentBytes is the rotation threshold (default 8 MiB).
+	SegmentBytes int64
+	// Fsync is the sync policy (default FsyncInterval).
+	Fsync FsyncPolicy
+	// FsyncEvery is the interval policy's sync period (default 1s).
+	FsyncEvery time.Duration
+	// StartSeq is the first sequence number when the directory holds no
+	// segments — a recovered daemon whose journal was trimmed to a
+	// checkpoint resumes numbering where the checkpoint left off.
+	StartSeq uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 8 << 20
+	}
+	if o.FsyncEvery <= 0 {
+		o.FsyncEvery = time.Second
+	}
+	return o
+}
+
+// Writer appends events to the segmented log. It is safe for one
+// goroutine at a time per method call (an internal mutex serializes),
+// matching its place behind the intake queue's single drainer.
+type Writer struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	f        *os.File
+	segFirst uint64 // first sequence of the open segment
+	segSize  int64
+	nextSeq  uint64
+	lastSync time.Time
+	dirty    bool
+	buf      []byte
+	closed   bool
+}
+
+// Open creates or resumes the journal in dir. Resuming validates the
+// newest segment's framing and truncates a torn tail — the write that
+// was in flight when the process died — so appends continue from the
+// last intact record.
+func Open(dir string, opts Options) (*Writer, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	w := &Writer{dir: dir, opts: opts, lastSync: time.Now()}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) == 0 {
+		if err := w.createSegment(opts.StartSeq); err != nil {
+			return nil, err
+		}
+		mSegments.Set(1)
+		return w, nil
+	}
+	last := segs[len(segs)-1]
+	end, records, torn, err := validateTail(last.path, last.first)
+	if err != nil {
+		return nil, fmt.Errorf("journal open: validate %s: %w", filepath.Base(last.path), err)
+	}
+	if torn > 0 {
+		if err := os.Truncate(last.path, end); err != nil {
+			return nil, fmt.Errorf("journal open: truncate torn tail: %w", err)
+		}
+		mTruncatedTails.Inc()
+		mTruncatedBytes.Add(uint64(torn))
+	}
+	if end < int64(segHeaderLen) {
+		// The header itself was torn or corrupted: the segment holds no
+		// salvageable records. Recreate it whole — appending after a bare
+		// truncation would leave records no reader can frame.
+		if err := os.Remove(last.path); err != nil {
+			return nil, fmt.Errorf("journal open: recreate damaged segment: %w", err)
+		}
+		if err := w.createSegment(last.first); err != nil {
+			return nil, err
+		}
+	} else {
+		f, err := os.OpenFile(last.path, os.O_WRONLY, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := f.Seek(end, io.SeekStart); err != nil {
+			f.Close()
+			return nil, err
+		}
+		w.f = f
+		w.segFirst = last.first
+		w.segSize = end
+		w.nextSeq = last.first + records
+	}
+	if opts.StartSeq > w.nextSeq {
+		// The checkpoint is ahead of the log (the tail it covered was
+		// trimmed); resume numbering from it in a fresh segment.
+		if err := w.rotateLocked(opts.StartSeq); err != nil {
+			return nil, err
+		}
+	}
+	mSegments.Set(int64(len(segs) + 0))
+	return w, nil
+}
+
+// NextSeq returns the sequence number the next Append will get.
+func (w *Writer) NextSeq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.nextSeq
+}
+
+// Append writes one event record and returns its sequence number.
+// Durability follows the fsync policy; the record is always handed to
+// the OS before Append returns.
+func (w *Writer) Append(e *event.Event) (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, os.ErrClosed
+	}
+	payload, err := event.AppendRecord(w.buf[:0], e)
+	if err != nil {
+		return 0, err
+	}
+	w.buf = payload
+	if len(payload) > MaxRecordLen {
+		return 0, fmt.Errorf("journal append: %d-byte record exceeds limit", len(payload))
+	}
+	var hdr [recHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	if _, err := w.f.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	if _, err := w.f.Write(payload); err != nil {
+		return 0, err
+	}
+	seq := w.nextSeq
+	w.nextSeq++
+	w.segSize += int64(recHeaderLen + len(payload))
+	w.dirty = true
+	mAppends.Inc()
+	mAppendBytes.Add(uint64(recHeaderLen + len(payload)))
+
+	switch w.opts.Fsync {
+	case FsyncAlways:
+		if err := w.syncLocked(); err != nil {
+			return seq, err
+		}
+	case FsyncInterval:
+		if time.Since(w.lastSync) >= w.opts.FsyncEvery {
+			if err := w.syncLocked(); err != nil {
+				return seq, err
+			}
+		}
+	}
+	if w.segSize >= w.opts.SegmentBytes {
+		if err := w.rotateLocked(w.nextSeq); err != nil {
+			return seq, err
+		}
+	}
+	return seq, nil
+}
+
+// Sync forces everything appended so far to stable storage, regardless
+// of policy.
+func (w *Writer) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return os.ErrClosed
+	}
+	return w.syncLocked()
+}
+
+func (w *Writer) syncLocked() error {
+	if !w.dirty {
+		return nil
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.dirty = false
+	w.lastSync = time.Now()
+	mFsyncs.Inc()
+	return nil
+}
+
+// rotateLocked seals the open segment (synced, so a sealed segment is
+// never torn) and starts a new one whose first sequence is firstSeq.
+func (w *Writer) rotateLocked(firstSeq uint64) error {
+	if err := w.syncLocked(); err != nil {
+		return err
+	}
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	w.f = nil
+	if err := w.createSegment(firstSeq); err != nil {
+		return err
+	}
+	mRotations.Inc()
+	mSegments.Inc()
+	return nil
+}
+
+func (w *Writer) createSegment(firstSeq uint64) error {
+	path := segmentPath(w.dir, firstSeq)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	var hdr [segHeaderLen]byte
+	copy(hdr[:], segMagic)
+	binary.BigEndian.PutUint64(hdr[len(segMagic):], firstSeq)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return err
+	}
+	w.f = f
+	w.segFirst = firstSeq
+	w.segSize = int64(segHeaderLen)
+	w.nextSeq = firstSeq
+	w.dirty = true
+	syncDir(w.dir)
+	return nil
+}
+
+// TrimTo removes sealed segments every record of which is below seq —
+// the retention hook: after a checkpoint covering the analysis window,
+// segments older than the window's replay floor are dead weight. The
+// active segment is never removed. Returns how many were deleted.
+func (w *Writer) TrimTo(seq uint64) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	segs, err := listSegments(w.dir)
+	if err != nil {
+		return 0, err
+	}
+	removed := 0
+	for i, s := range segs {
+		// A segment's records end where the next segment begins; the
+		// last (active) segment has no successor and always stays.
+		if i+1 >= len(segs) || segs[i+1].first > seq || s.first == w.segFirst {
+			break
+		}
+		if err := os.Remove(s.path); err != nil {
+			return removed, err
+		}
+		removed++
+		mTrimmed.Inc()
+		mSegments.Dec()
+	}
+	if removed > 0 {
+		syncDir(w.dir)
+	}
+	return removed, nil
+}
+
+// Close syncs and closes the active segment.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if err := w.syncLocked(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// segmentInfo is one on-disk segment.
+type segmentInfo struct {
+	first uint64
+	path  string
+	size  int64
+}
+
+func segmentPath(dir string, firstSeq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%020d%s", segPrefix, firstSeq, segSuffix))
+}
+
+// listSegments returns the directory's segments sorted by first
+// sequence. A file whose name parses but whose header is unreadable is
+// still listed; readers decide what to salvage from it.
+func listSegments(dir string) ([]segmentInfo, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var out []segmentInfo
+	for _, ent := range entries {
+		name := ent.Name()
+		if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		num := strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix)
+		first, err := strconv.ParseUint(num, 10, 64)
+		if err != nil {
+			continue
+		}
+		info, err := ent.Info()
+		if err != nil {
+			continue
+		}
+		out = append(out, segmentInfo{first: first, path: filepath.Join(dir, name), size: info.Size()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].first < out[j].first })
+	return out, nil
+}
+
+// validateTail walks a segment's framing and reports where the intact
+// prefix ends: the offset of the first torn or impossible frame, how
+// many well-framed records precede it, and how many trailing bytes are
+// damaged. CRCs are not checked here — a well-framed record with a bad
+// checksum keeps its sequence slot and is skipped at read time. A
+// header whose magic or first sequence disagrees with the file name is
+// total damage (end 0), mirroring the scanner's trust-neither policy.
+func validateTail(path string, first uint64) (end int64, records uint64, torn int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	size := info.Size()
+	if size < int64(segHeaderLen) {
+		// Even the header is torn: the segment was created but the
+		// header write never landed. Treat the whole file as tail.
+		return 0, 0, size, nil
+	}
+	var hdr [segHeaderLen]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return 0, 0, 0, err
+	}
+	if string(hdr[:len(segMagic)]) != segMagic {
+		return 0, 0, size, nil
+	}
+	if binary.BigEndian.Uint64(hdr[len(segMagic):]) != first {
+		return 0, 0, size, nil
+	}
+	off := int64(segHeaderLen)
+	var rec [recHeaderLen]byte
+	for {
+		if size-off < int64(recHeaderLen) {
+			return off, records, size - off, nil
+		}
+		if _, err := io.ReadFull(f, rec[:]); err != nil {
+			return off, records, size - off, nil
+		}
+		n := int64(binary.BigEndian.Uint32(rec[0:4]))
+		if n > MaxRecordLen || size-off-int64(recHeaderLen) < n {
+			return off, records, size - off, nil
+		}
+		if _, err := f.Seek(n, io.SeekCurrent); err != nil {
+			return off, records, size - off, nil
+		}
+		off += int64(recHeaderLen) + n
+		records++
+	}
+}
+
+// syncDir fsyncs the directory so segment creation/removal survives a
+// crash; best effort (not all platforms support it).
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+}

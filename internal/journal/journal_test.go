@@ -1,0 +1,453 @@
+package journal
+
+import (
+	"fmt"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"rex/internal/bgp"
+	"rex/internal/event"
+)
+
+// genEvent builds a deterministic event for index i: announces with
+// rotating attributes, every fifth event a withdrawal of an earlier
+// prefix.
+func genEvent(i int) event.Event {
+	t0 := time.Date(2003, 8, 14, 20, 0, 0, 0, time.UTC)
+	pfx := netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(i >> 6), byte(i & 0x3f), 0}), 24)
+	e := event.Event{
+		Time:   t0.Add(time.Duration(i) * 250 * time.Millisecond),
+		Peer:   netip.AddrFrom4([4]byte{128, 32, 1, byte(1 + i%3)}),
+		Prefix: pfx,
+	}
+	if i%5 == 4 {
+		e.Type = event.Withdraw
+		e.Prefix = netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte((i - 4) >> 6), byte((i - 4) & 0x3f), 0}), 24)
+		return e
+	}
+	e.Type = event.Announce
+	e.Attrs = &bgp.PathAttrs{
+		ASPath:  bgp.Sequence(11423, uint32(200+i%7), 701),
+		Nexthop: netip.AddrFrom4([4]byte{128, 32, 0, 70}),
+	}
+	return e
+}
+
+func appendN(t *testing.T, w *Writer, start, n int) {
+	t.Helper()
+	for i := start; i < start+n; i++ {
+		e := genEvent(i)
+		seq, err := w.Append(&e)
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		if seq != uint64(i) {
+			t.Fatalf("append %d: got seq %d", i, seq)
+		}
+	}
+}
+
+// collect scans dir from seq and returns the delivered records.
+func collect(t *testing.T, dir string, from uint64) (map[uint64]event.Event, ScanStats) {
+	t.Helper()
+	got := map[uint64]event.Event{}
+	stats, err := Scan(dir, from, func(seq uint64, e *event.Event) error {
+		got[seq] = *e
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	return got, stats
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 0, 200)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, stats := collect(t, dir, 0)
+	if stats.Skipped != 0 || stats.Abandoned != 0 {
+		t.Fatalf("clean journal reported damage: %+v", stats)
+	}
+	if len(got) != 200 {
+		t.Fatalf("scanned %d records, want 200", len(got))
+	}
+	for i := 0; i < 200; i++ {
+		want := genEvent(i)
+		have, ok := got[uint64(i)]
+		if !ok {
+			t.Fatalf("seq %d missing", i)
+		}
+		if have.Prefix != want.Prefix || have.Type != want.Type || !have.Time.Equal(want.Time) {
+			t.Fatalf("seq %d: got %+v want %+v", i, have, want)
+		}
+	}
+}
+
+func TestJournalRotationAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{SegmentBytes: 512, Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 0, 100)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("expected rotation to produce several segments, got %d", len(segs))
+	}
+	// Reopen resumes numbering exactly where the log ended.
+	w, err = Open(dir, Options{SegmentBytes: 512, Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.NextSeq() != 100 {
+		t.Fatalf("reopened NextSeq = %d, want 100", w.NextSeq())
+	}
+	appendN(t, w, 100, 50)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := collect(t, dir, 0)
+	if len(got) != 150 {
+		t.Fatalf("scanned %d records, want 150", len(got))
+	}
+	// Ranged scan: from a seq in the middle, only later records arrive.
+	got, _ = collect(t, dir, 120)
+	if len(got) != 30 {
+		t.Fatalf("ranged scan returned %d records, want 30", len(got))
+	}
+	if _, ok := got[119]; ok {
+		t.Fatal("ranged scan leaked a record below from")
+	}
+}
+
+func TestJournalTrimTo(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{SegmentBytes: 512, Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 0, 100)
+	segs, _ := listSegments(dir)
+	if len(segs) < 4 {
+		t.Fatalf("need several segments, got %d", len(segs))
+	}
+	cut := segs[2].first
+	removed, err := w.TrimTo(cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 2 {
+		t.Fatalf("TrimTo removed %d segments, want 2", removed)
+	}
+	// Everything at or above the cut survives.
+	got, _ := collect(t, dir, cut)
+	for i := cut; i < 100; i++ {
+		if _, ok := got[i]; !ok {
+			t.Fatalf("seq %d lost by trim", i)
+		}
+	}
+	// Trimming beyond the end never touches the active segment.
+	if _, err := w.TrimTo(1 << 30); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ = listSegments(dir)
+	if len(segs) == 0 {
+		t.Fatal("trim removed the active segment")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJournalFsyncPolicies(t *testing.T) {
+	for _, pol := range []FsyncPolicy{FsyncAlways, FsyncInterval, FsyncNever} {
+		t.Run(pol.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			w, err := Open(dir, Options{Fsync: pol, FsyncEvery: time.Millisecond})
+			if err != nil {
+				t.Fatal(err)
+			}
+			appendN(t, w, 0, 20)
+			if err := w.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+			got, _ := collect(t, dir, 0)
+			if len(got) != 20 {
+				t.Fatalf("policy %v: %d records, want 20", pol, len(got))
+			}
+		})
+	}
+}
+
+func TestParseFsyncPolicy(t *testing.T) {
+	for _, s := range []string{"always", "interval", "never"} {
+		p, err := ParseFsyncPolicy(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.String() != s {
+			t.Fatalf("%q parsed to %v", s, p)
+		}
+	}
+	if _, err := ParseFsyncPolicy("sometimes"); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+}
+
+// lastSegment returns the newest segment's path.
+func lastSegment(t *testing.T, dir string) segmentInfo {
+	t.Helper()
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments (%v)", err)
+	}
+	return segs[len(segs)-1]
+}
+
+func TestTornTailTruncatedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 0, 10)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the tail: chop the last 3 bytes, mid-record — the shape a
+	// crash during a write leaves behind.
+	seg := lastSegment(t, dir)
+	if err := os.Truncate(seg.path, seg.size-3); err != nil {
+		t.Fatal(err)
+	}
+	w, err = Open(dir, Options{Fsync: FsyncNever})
+	if err != nil {
+		t.Fatalf("open with torn tail: %v", err)
+	}
+	if w.NextSeq() != 9 {
+		t.Fatalf("NextSeq after torn-tail truncation = %d, want 9", w.NextSeq())
+	}
+	// The slot freed by truncation is rewritten by the next append.
+	e := genEvent(9)
+	seq, err := w.Append(&e)
+	if err != nil || seq != 9 {
+		t.Fatalf("append after truncation: seq %d err %v", seq, err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, stats := collect(t, dir, 0)
+	if len(got) != 10 || stats.Skipped != 0 {
+		t.Fatalf("after repair: %d records, stats %+v", len(got), stats)
+	}
+}
+
+func TestTornTailExactlyOneRecord(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 0, 5)
+	seg := lastSegment(t, dir)
+	// Append a 6th record and chop it in half: the tail holds exactly
+	// one torn record.
+	e := genEvent(5)
+	if _, err := w.Append(&e); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	after := lastSegment(t, dir)
+	torn := after.size - seg.size
+	if torn <= 1 {
+		t.Fatalf("last record only %d bytes", torn)
+	}
+	if err := os.Truncate(after.path, seg.size+torn/2); err != nil {
+		t.Fatal(err)
+	}
+	w, err = Open(dir, Options{Fsync: FsyncNever})
+	if err != nil {
+		t.Fatalf("open with one torn record: %v", err)
+	}
+	if w.NextSeq() != 5 {
+		t.Fatalf("NextSeq = %d, want 5 (exactly the torn record dropped)", w.NextSeq())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, stats := collect(t, dir, 0)
+	if len(got) != 5 || stats.Skipped != 0 || stats.Abandoned != 0 {
+		t.Fatalf("after one-record tear: %d records, stats %+v", len(got), stats)
+	}
+}
+
+func TestCorruptCRCMidFileSkipped(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Record the offset where record 5 starts so we can hit its payload.
+	var offAt5 int64
+	for i := 0; i < 10; i++ {
+		if i == 5 {
+			offAt5 = w.segSize
+		}
+		e := genEvent(i)
+		if _, err := w.Append(&e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte of record 5: framing intact, CRC wrong.
+	seg := lastSegment(t, dir)
+	f, err := os.OpenFile(seg.path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := []byte{0}
+	if _, err := f.ReadAt(buf, offAt5+recHeaderLen); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] ^= 0xFF
+	if _, err := f.WriteAt(buf, offAt5+recHeaderLen); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	got, stats := collect(t, dir, 0)
+	if stats.Skipped != 1 {
+		t.Fatalf("skipped %d records, want exactly 1", stats.Skipped)
+	}
+	if stats.Abandoned != 0 {
+		t.Fatalf("corrupt CRC abandoned a segment: %+v", stats)
+	}
+	if len(got) != 9 {
+		t.Fatalf("delivered %d records, want 9", len(got))
+	}
+	if _, ok := got[5]; ok {
+		t.Fatal("corrupt record 5 was delivered")
+	}
+	// Records after the bad one keep their sequence slots.
+	for _, i := range []uint64{6, 7, 8, 9} {
+		want := genEvent(int(i))
+		if got[i].Prefix != want.Prefix {
+			t.Fatalf("seq %d misaligned after skip: %v want %v", i, got[i].Prefix, want.Prefix)
+		}
+	}
+	// A writer reopening this journal keeps the slot too: the framing is
+	// intact, so NextSeq counts the corrupt record.
+	w, err = Open(dir, Options{Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.NextSeq() != 10 {
+		t.Fatalf("NextSeq = %d, want 10", w.NextSeq())
+	}
+	w.Close()
+}
+
+func TestScanStopsEarly(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 0, 10)
+	w.Close()
+	n := 0
+	_, err = Scan(dir, 0, func(seq uint64, e *event.Event) error {
+		n++
+		if n == 3 {
+			return ErrStop
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("callback ran %d times after ErrStop, want 3", n)
+	}
+}
+
+func TestStartSeqAheadOfLog(t *testing.T) {
+	// A journal trimmed behind its checkpoint: the writer must resume
+	// numbering at the checkpoint, not reuse covered sequences.
+	dir := t.TempDir()
+	w, err := Open(dir, Options{Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 0, 5)
+	w.Close()
+	w, err = Open(dir, Options{Fsync: FsyncNever, StartSeq: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.NextSeq() != 40 {
+		t.Fatalf("NextSeq = %d, want 40", w.NextSeq())
+	}
+	e := genEvent(40)
+	if seq, err := w.Append(&e); err != nil || seq != 40 {
+		t.Fatalf("append: seq %d err %v", seq, err)
+	}
+	w.Close()
+	got, _ := collect(t, dir, 0)
+	if len(got) != 6 {
+		t.Fatalf("%d records, want 6 (5 old + 1 new)", len(got))
+	}
+	if _, ok := got[40]; !ok {
+		t.Fatal("record at resumed sequence missing")
+	}
+}
+
+func TestOpenEmptyDirAndMissingDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "journal")
+	w, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.NextSeq() != 0 {
+		t.Fatalf("fresh journal NextSeq = %d", w.NextSeq())
+	}
+	w.Close()
+	got, stats := collect(t, dir, 0)
+	if len(got) != 0 || stats.Skipped != 0 {
+		t.Fatalf("fresh journal scan: %d records, %+v", len(got), stats)
+	}
+}
+
+func TestSegmentNameRoundTrip(t *testing.T) {
+	for _, seq := range []uint64{0, 1, 4096, 1 << 40} {
+		p := segmentPath("d", seq)
+		base := filepath.Base(p)
+		var parsed uint64
+		if _, err := fmt.Sscanf(base, segPrefix+"%d"+segSuffix, &parsed); err != nil || parsed != seq {
+			t.Fatalf("segment name %q does not round-trip seq %d", base, seq)
+		}
+	}
+}

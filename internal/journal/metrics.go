@@ -1,0 +1,36 @@
+package journal
+
+import "rex/internal/obs"
+
+// Journal metrics. The repair counters (truncated tails, skipped
+// records) are the ones an operator reads after a crash: they state
+// exactly how much of the log the recovery path had to give up, in the
+// same skip-and-count spirit as rex_mrt_skipped_records.
+var (
+	mAppends = obs.NewCounter("rex_journal_appends_total",
+		"Event records appended to the journal.")
+	mAppendBytes = obs.NewCounter("rex_journal_append_bytes_total",
+		"Bytes appended to the journal (frame headers included).")
+	mFsyncs = obs.NewCounter("rex_journal_fsyncs_total",
+		"fsync calls issued by the journal writer.")
+	mSegments = obs.NewGauge("rex_journal_segments",
+		"Journal segments currently on disk.")
+	mRotations = obs.NewCounter("rex_journal_rotations_total",
+		"Segment rotations (a full segment sealed, a new one opened).")
+	mTrimmed = obs.NewCounter("rex_journal_segments_trimmed_total",
+		"Sealed segments deleted by retention after a covering checkpoint.")
+	mTruncatedTails = obs.NewCounter("rex_journal_truncated_tails_total",
+		"Torn segment tails truncated while opening the journal.")
+	mTruncatedBytes = obs.NewCounter("rex_journal_truncated_bytes_total",
+		"Bytes discarded by torn-tail truncation.")
+	mSkippedRecords = obs.NewCounter("rex_journal_skipped_records_total",
+		"Well-framed records skipped during scan for CRC or decode errors.")
+	mCheckpoints = obs.NewCounter("rex_journal_checkpoints_total",
+		"Checkpoints written successfully.")
+	mCheckpointSeconds = obs.NewHistogram("rex_journal_checkpoint_seconds",
+		"Latency of checkpoint capture and atomic write.", nil)
+	mCheckpointsCorrupt = obs.NewCounter("rex_journal_checkpoints_corrupt_total",
+		"Checkpoint files rejected at load time (bad magic, CRC, or decode).")
+	mReplayedRecords = obs.NewCounter("rex_journal_replayed_records_total",
+		"Journal records replayed through the pipeline during recovery.")
+)

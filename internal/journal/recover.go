@@ -1,0 +1,56 @@
+package journal
+
+import (
+	"rex/internal/event"
+)
+
+// RecoveredState summarizes what Recover found on disk.
+type RecoveredState struct {
+	// Checkpoint is the newest intact checkpoint, or nil when the
+	// directory held none (cold start: everything rebuilds from the
+	// journal alone).
+	Checkpoint *Checkpoint
+	// ReplayFrom is the sequence replay started at: the checkpoint's
+	// ReplayLow, or zero without a checkpoint.
+	ReplayFrom uint64
+	// Replayed is how many intact records were delivered.
+	Replayed uint64
+	// EndSeq is one past the last intact record seen (>= ReplayFrom);
+	// with a checkpoint it is at least Checkpoint.NextSeq, so the
+	// resumed writer never reuses a sequence the checkpoint covers.
+	EndSeq uint64
+	// Stats carries the scan's damage accounting.
+	Stats ScanStats
+}
+
+// Recover performs the startup sequence: load the newest valid
+// checkpoint (if any), then replay every intact journal record from its
+// replay floor through fn, in sequence order. Damage — torn tails,
+// CRC-bad records, broken framing — is skipped and counted in Stats,
+// matching the journal's never-abort policy; the caller seeds its state
+// from the checkpoint before calling, and fn applies the tail on top.
+func Recover(dir string, fn func(seq uint64, e *event.Event) error) (*RecoveredState, error) {
+	st := &RecoveredState{}
+	ckpt, err := LoadLatestCheckpoint(dir)
+	if err != nil {
+		return nil, err
+	}
+	st.Checkpoint = ckpt
+	if ckpt != nil {
+		st.ReplayFrom = ckpt.ReplayLow
+		st.EndSeq = ckpt.NextSeq
+	}
+	stats, err := Scan(dir, st.ReplayFrom, func(seq uint64, e *event.Event) error {
+		if seq+1 > st.EndSeq {
+			st.EndSeq = seq + 1
+		}
+		st.Replayed++
+		mReplayedRecords.Inc()
+		return fn(seq, e)
+	})
+	st.Stats = stats
+	if err != nil {
+		return st, err
+	}
+	return st, nil
+}

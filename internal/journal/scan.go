@@ -1,0 +1,136 @@
+package journal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"rex/internal/event"
+)
+
+// ScanStats reports what a scan read and what it had to give up.
+type ScanStats struct {
+	// Records is how many intact records were delivered to the callback.
+	Records uint64
+	// Skipped counts well-framed records dropped for a CRC mismatch or a
+	// payload that would not decode. Each kept its sequence slot.
+	Skipped uint64
+	// Abandoned counts segments whose framing broke mid-file; records
+	// after the break are unrecoverable (their boundaries are unknown)
+	// and the scan resumed at the next segment.
+	Abandoned int
+}
+
+// ErrStop lets a scan callback end the scan early without error.
+var ErrStop = fmt.Errorf("journal: scan stopped")
+
+// Scan reads every record with sequence >= from, in order, calling fn
+// for each. Damage is skipped and counted, never fatal: a record with a
+// bad CRC or undecodable payload loses only itself; a framing break
+// loses the rest of its segment. The returned stats cover only the
+// requested range (records below from are neither counted nor checked).
+func Scan(dir string, from uint64, fn func(seq uint64, e *event.Event) error) (ScanStats, error) {
+	var stats ScanStats
+	segs, err := listSegments(dir)
+	if err != nil {
+		return stats, err
+	}
+	for i, seg := range segs {
+		// A segment whose successor starts at or below from holds only
+		// records below from: every record precedes the next segment's
+		// first sequence.
+		if i+1 < len(segs) && segs[i+1].first <= from {
+			continue
+		}
+		abandoned, err := scanSegment(seg, from, fn, &stats)
+		if abandoned {
+			stats.Abandoned++
+		}
+		if err == ErrStop {
+			return stats, nil
+		}
+		if err != nil {
+			return stats, fmt.Errorf("journal scan %s: %w", filepath.Base(seg.path), err)
+		}
+	}
+	return stats, nil
+}
+
+// scanSegment walks one segment. It returns abandoned=true when the
+// framing broke before the file ended; err is non-nil only for I/O
+// failures or a callback error.
+func scanSegment(seg segmentInfo, from uint64, fn func(seq uint64, e *event.Event) error, stats *ScanStats) (abandoned bool, err error) {
+	f, err := os.Open(seg.path)
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return false, err
+	}
+	size := info.Size()
+	if size < int64(segHeaderLen) {
+		return size > 0, nil
+	}
+	var hdr [segHeaderLen]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return true, nil
+	}
+	if string(hdr[:len(segMagic)]) != segMagic {
+		return true, nil
+	}
+	first := binary.BigEndian.Uint64(hdr[len(segMagic):])
+	if first != seg.first {
+		// Header disagrees with the file name; trust neither.
+		return true, nil
+	}
+	off := int64(segHeaderLen)
+	seq := first
+	var rec [recHeaderLen]byte
+	buf := make([]byte, 0, 4096)
+	for {
+		if size-off < int64(recHeaderLen) {
+			return size-off > 0, nil
+		}
+		if _, err := io.ReadFull(f, rec[:]); err != nil {
+			return true, nil
+		}
+		n := int64(binary.BigEndian.Uint32(rec[0:4]))
+		if n > MaxRecordLen || size-off-int64(recHeaderLen) < n {
+			return true, nil
+		}
+		want := binary.BigEndian.Uint32(rec[4:8])
+		if seq < from {
+			// Below the requested range: skip the payload unread.
+			if _, err := f.Seek(n, io.SeekCurrent); err != nil {
+				return true, nil
+			}
+		} else {
+			if cap(buf) < int(n) {
+				buf = make([]byte, n)
+			}
+			buf = buf[:n]
+			if _, err := io.ReadFull(f, buf); err != nil {
+				return true, nil
+			}
+			if crc32.Checksum(buf, castagnoli) != want {
+				stats.Skipped++
+				mSkippedRecords.Inc()
+			} else if e, derr := event.ParseRecord(buf); derr != nil {
+				stats.Skipped++
+				mSkippedRecords.Inc()
+			} else {
+				stats.Records++
+				if err := fn(seq, &e); err != nil {
+					return false, err
+				}
+			}
+		}
+		off += int64(recHeaderLen) + n
+		seq++
+	}
+}

@@ -1,0 +1,63 @@
+package journal
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTimeIndexLowWater(t *testing.T) {
+	t0 := time.Date(2003, 8, 14, 20, 0, 0, 0, time.UTC)
+	ix := NewTimeIndex(4)
+	for i := 0; i < 1000; i++ {
+		ix.Observe(uint64(i), t0.Add(time.Duration(i)*time.Second))
+	}
+	// The invariant, not an exact position: replay from LowWater(cutoff)
+	// must cover every event newer than cutoff, i.e. LowWater <= the
+	// first seq with time > cutoff, and it must not be degenerately 0
+	// once samples exist past the cutoff.
+	cutoff := t0.Add(500 * time.Second)
+	low := ix.LowWater(cutoff)
+	if low > 500 {
+		t.Fatalf("LowWater %d would skip events newer than the cutoff", low)
+	}
+	if low < 400 {
+		t.Fatalf("LowWater %d is needlessly conservative for a 4-stride sample", low)
+	}
+	// A cutoff before everything replays from the lowest sequence.
+	if got := ix.LowWater(t0.Add(-time.Hour)); got != 0 {
+		t.Fatalf("pre-history cutoff: LowWater %d, want 0", got)
+	}
+}
+
+func TestTimeIndexNonMonotoneTime(t *testing.T) {
+	t0 := time.Date(2003, 8, 14, 20, 0, 0, 0, time.UTC)
+	ix := NewTimeIndex(1)
+	// Timestamps jump forward then fall back; running max protects the
+	// invariant.
+	times := []time.Duration{0, 10, 5, 6, 20, 7, 8, 30}
+	for i, d := range times {
+		ix.Observe(uint64(i), t0.Add(d*time.Second))
+	}
+	// Events newer than t0+9s are seqs 1 (10s), 4 (20s), 7 (30s).
+	low := ix.LowWater(t0.Add(9 * time.Second))
+	if low > 1 {
+		t.Fatalf("LowWater %d skips seq 1 (t0+10s)", low)
+	}
+}
+
+func TestTimeIndexCompaction(t *testing.T) {
+	t0 := time.Date(2003, 8, 14, 20, 0, 0, 0, time.UTC)
+	ix := NewTimeIndex(1)
+	n := maxTimeSamples * 4
+	for i := 0; i < n; i++ {
+		ix.Observe(uint64(i), t0.Add(time.Duration(i)*time.Millisecond))
+	}
+	if len(ix.samples) > maxTimeSamples {
+		t.Fatalf("samples grew to %d, cap is %d", len(ix.samples), maxTimeSamples)
+	}
+	cutoff := t0.Add(time.Duration(n/2) * time.Millisecond)
+	low := ix.LowWater(cutoff)
+	if low > uint64(n/2) {
+		t.Fatalf("post-compaction LowWater %d skips events newer than cutoff", low)
+	}
+}

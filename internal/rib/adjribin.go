@@ -48,6 +48,22 @@ func (rib *AdjRibIn) Update(prefix netip.Prefix, attrs *bgp.PathAttrs, ebgp bool
 	return old
 }
 
+// Install inserts a copy of r as-is — LearnedAt, Stale flag and all —
+// unless the prefix is already present. It is the recovery path's
+// primitive: checkpointed routes re-enter the table exactly as they
+// were, without fabricating a fresh LearnedAt, and never clobber a
+// route a live session announced first. Reports whether r was
+// installed.
+func (rib *AdjRibIn) Install(r *Route) bool {
+	if _, ok := rib.routes[r.Prefix]; ok {
+		return false
+	}
+	rr := r.Clone()
+	rr.Peer = rib.peer
+	rib.routes[rr.Prefix] = rr
+	return true
+}
+
 // Withdraw removes the route for prefix and returns it. It returns nil if
 // the peer never announced the prefix (a spurious withdrawal).
 func (rib *AdjRibIn) Withdraw(prefix netip.Prefix) *Route {
