@@ -23,16 +23,25 @@ race:
 # Run the fuzz corpora as plain tests (fast; catches regressions on
 # known-interesting inputs without an open-ended fuzz run).
 fuzz-seed:
-	$(GO) test ./internal/bgp ./internal/mrt ./internal/event ./internal/journal -run Fuzz -count=1
+	$(GO) test ./internal/bgp ./internal/mrt ./internal/event ./internal/journal ./internal/core/stemming -run Fuzz -count=1
 
 # The hottest concurrent paths, twice, under the race detector: session
-# handling, the dial loop, the sharded streaming window, and the
+# handling, the dial loop, the sharded streaming window, the parallel
+# analysis engine (pipeline worker pool + TAMP shard merge), and the
 # journal's crash harness (SIGKILL + torn-tail recovery).
 .PHONY: race-hot
 race-hot:
-	$(GO) test -race -count=2 ./internal/collector ./internal/bgp/fsm ./internal/core/pipeline ./internal/core/stemming ./internal/journal
+	$(GO) test -race -count=2 ./internal/collector ./internal/bgp/fsm ./internal/core/pipeline ./internal/core/stemming ./internal/core/tamp ./internal/journal
 
 # Open-ended fuzzing of the wire parser; override FUZZTIME for longer runs.
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test ./internal/bgp -fuzz FuzzReadMessage -fuzztime $(FUZZTIME)
+
+# Benchmark regression harness: runs the pipeline window benchmarks
+# (sequential and parallel) and distills ns/op, events/sec and allocs/op
+# into BENCH_pr5.json. Format documented in EXPERIMENTS.md.
+BENCHTIME ?= 1x
+.PHONY: bench
+bench:
+	$(GO) run ./cmd/benchjson -benchtime $(BENCHTIME) -out BENCH_pr5.json

@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"rex/internal/core/pipeline"
 	"rex/internal/core/stemming"
 	"rex/internal/core/tamp"
 	"rex/internal/event"
@@ -376,7 +377,11 @@ func BenchmarkPipelineWindow(b *testing.B) {
 			}
 		}
 	})
-	for _, shards := range []int{1, runtime.GOMAXPROCS(0)} {
+	shardCounts := []int{1}
+	if p := runtime.GOMAXPROCS(0); p > 1 {
+		shardCounts = append(shardCounts, p)
+	}
+	for _, shards := range shardCounts {
 		b.Run(fmt.Sprintf("streamed/shards=%d", shards), func(b *testing.B) {
 			b.ReportMetric(float64(n), "events")
 			for i := 0; i < b.N; i++ {
@@ -394,6 +399,39 @@ func BenchmarkPipelineWindow(b *testing.B) {
 				}
 				if comps == 0 {
 					b.Fatal("no components")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelWindow runs the full streaming pipeline — sharded
+// window counting plus the sharded TAMP RIB-shadow — over the
+// Berkeley-scale churn stream at increasing worker counts. The output is
+// byte-identical at every worker count (see the pipeline's differential
+// equivalence suite); only wall-clock changes. `make bench` distills
+// these runs into BENCH_pr5.json (format in EXPERIMENTS.md).
+func BenchmarkParallelWindow(b *testing.B) {
+	d := berkeleyAt(b, 23_000)
+	const n = 100_000
+	events := benchEvents(b, "par", d.site.Site, d.routes, n, time.Hour)
+	counts := []int{1, 2, 4}
+	if p := runtime.GOMAXPROCS(0); p > 4 {
+		counts = append(counts, p)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportMetric(float64(n), "events")
+			for i := 0; i < b.N; i++ {
+				snaps := pipeline.Replay(events, pipeline.Config{
+					Window:        30 * time.Minute,
+					SnapshotEvery: 2 * time.Minute,
+					SpikeK:        -1,
+					Site:          "berkeley",
+					Workers:       workers,
+				})
+				if len(snaps) == 0 {
+					b.Fatal("no snapshots")
 				}
 			}
 		})

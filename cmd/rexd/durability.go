@@ -51,6 +51,14 @@ func openDurability(dir string, fsync journal.FsyncPolicy, window time.Duration,
 	p *pipeline.Pipeline, c *collector.Collector) (*durability, error) {
 	d := &durability{dir: dir, window: window, ix: journal.NewTimeIndex(timeIndexStride)}
 
+	// Bracket seeding + tail replay: live sessions may already be
+	// delivering events concurrently, and a checkpoint seed arriving
+	// after a live event for the same route key is by definition stale —
+	// the recovery span makes the pipeline drop it instead of letting it
+	// resurrect an overwritten or withdrawn route.
+	p.BeginRecovery()
+	defer p.EndRecovery()
+
 	ckpt, err := journal.LoadLatestCheckpoint(dir)
 	if err != nil {
 		return nil, err

@@ -42,6 +42,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"sync"
 	"syscall"
@@ -106,6 +107,7 @@ func run(args []string) error {
 		ckptEvery   = fs.Duration("checkpoint-every", 5*time.Minute, "checkpoint the collector tables this often when -journal-dir is set (0 = final checkpoint only)")
 		fsyncFlag   = fs.String("fsync", "interval", "journal fsync policy: always, interval or never")
 		overload    = fs.String("overload", "block", "intake overload policy: block (lossless, may stall sessions), shed (never blocks, drops at a full queue) or spill (never blocks, journals everything, sheds only the analysis copy)")
+		workers     = fs.Int("workers", 0, "analysis worker goroutines; snapshots are byte-identical at any value (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	fs.Var(&peers, "peer", "address to actively dial and maintain a session with (repeatable, comma-separable)")
 	if err := fs.Parse(args); err != nil {
@@ -149,12 +151,17 @@ func run(args []string) error {
 	// The streaming engine: a sliding window over the live event stream,
 	// snapshotted on rate spikes (and optionally on a period), plus a
 	// final decomposition and TAMP picture at shutdown.
+	nWorkers := *workers
+	if nWorkers <= 0 {
+		nWorkers = runtime.GOMAXPROCS(0)
+	}
 	p := pipeline.New(pipeline.Config{
 		Window:        *window,
 		SnapshotEvery: *snapEvery,
 		SpikeK:        *spikeK,
 		Site:          *site,
 		Prune:         tamp.PruneOptions{KeepDepth: 3},
+		Workers:       nWorkers,
 	})
 	var finalSnap pipeline.Snapshot
 	snapDone := make(chan struct{})

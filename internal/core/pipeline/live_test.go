@@ -53,10 +53,20 @@ func dialRouter(t *testing.T, addr, routerID string) (*fsm.Session, *faultconn.C
 	return s, fc
 }
 
-func TestLiveCollectorFeed(t *testing.T) {
+func TestLiveCollectorFeed(t *testing.T) { liveCollectorFeed(t, 1) }
+
+// TestLiveCollectorFeedParallel is the same live flap, but with the
+// analysis engine running its worker pool (Workers > 1): real peer
+// goroutines race the coordinator, the coordinator races the shard
+// workers. Under -race this covers the full parallel ingest path; the
+// assertions below are identical because the output is worker-count
+// invariant.
+func TestLiveCollectorFeedParallel(t *testing.T) { liveCollectorFeed(t, 4) }
+
+func liveCollectorFeed(t *testing.T, workers int) {
 	const routesPerPeer = 20
 
-	p := New(Config{Window: time.Hour, SpikeK: -1, IncludeEvents: true})
+	p := New(Config{Window: time.Hour, SpikeK: -1, IncludeEvents: true, Workers: workers})
 	var ingested atomic.Int64
 	handler := func(e event.Event) {
 		ingested.Add(1)

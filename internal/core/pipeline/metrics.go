@@ -26,10 +26,26 @@ var (
 		"Events shed by TryIngest because the ingest buffer was full.")
 	mSeeded = obs.NewCounter("rex_pipeline_seeded_total",
 		"Checkpoint seed events applied to table state during recovery.")
+	mSeedStale = obs.NewCounter("rex_pipeline_seed_stale_total",
+		"Checkpoint seeds dropped because a live event already touched the route key during recovery.")
+	mShards = obs.NewGauge("rex_shard_count",
+		"Prefix shards partitioning the analysis state (count tables and TAMP shadow).")
+	mShardRouteOps = obs.NewCounter("rex_shard_route_ops_total",
+		"Routing changes routed to prefix-sharded TAMP shadows.")
+	mShardFlushes = obs.NewCounter("rex_shard_flushes_total",
+		"Shard routeOp batches flushed from the coordinator to workers.")
+	mWorkers = obs.NewGauge("rex_worker_count",
+		"Worker goroutines executing shard work (1 = inline sequential path).")
+	mWorkerTasks = obs.NewCounter("rex_worker_tasks_total",
+		"Tasks submitted to the analysis worker pool (shard batches and window settles).")
 	mIntakeOffered = obs.NewCounter("rex_intake_offered_total",
 		"Events offered to the intake queue by collector sessions.")
 	mIntakeShed = obs.NewCounter("rex_intake_shed_total",
 		"Events shed at the intake queue because it was full (shed/spill policies).")
 	mIntakeJournalErrs = obs.NewCounter("rex_intake_journal_errors_total",
 		"Journal append failures swallowed by the intake drainer.")
+	mIntakeBatches = obs.NewCounter("rex_intake_batches_total",
+		"Event batches the block-policy drainer handed to the pipeline.")
+	mIntakeBatchEvents = obs.NewCounter("rex_intake_batch_events_total",
+		"Events delivered inside intake batches.")
 )

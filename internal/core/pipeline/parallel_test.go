@@ -1,0 +1,188 @@
+package pipeline
+
+// The parallel engine's correctness story: replay identical streams
+// through Workers=1 and Workers=N pipelines and require byte-identical
+// output — every snapshot, every spike trigger, every Stemming component
+// including tie-break order, every TAMP picture node and edge. The
+// corpus is the Berkeley-scale churn stream plus the six case-study
+// scenario streams, so the equivalence is proven on exactly the traffic
+// the paper's analyses run on.
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"rex/internal/core/tamp"
+	"rex/internal/event"
+	"rex/internal/sim"
+)
+
+var diffT0 = time.Date(2003, 8, 1, 0, 0, 0, 0, time.UTC)
+
+func diffConfig(workers int) Config {
+	return Config{
+		Window:        10 * time.Minute,
+		SnapshotEvery: 2 * time.Minute,
+		SpikeK:        8,
+		Site:          "diff",
+		Prune:         tamp.PruneOptions{KeepDepth: 3},
+		Workers:       workers,
+	}
+}
+
+// diffStream is one corpus entry. Streams are built exactly once and the
+// same slice replays through every engine, so any output difference can
+// only come from the engine under test.
+type diffStream struct {
+	name   string
+	events event.Stream
+}
+
+func diffStreams(t testing.TB) []diffStream {
+	t.Helper()
+
+	// Berkeley-scale: the site at reduced scale, with a churny
+	// announce/withdraw mix over half an hour.
+	bScale := sim.BerkeleyScale(2500)
+	bRoutes := bScale.BaselineRoutes()
+	scale := sim.BenchEvents(bScale.Site, bRoutes, 4000, 30*time.Minute, diffT0, 42)
+
+	// The case studies. Leak and hijack run on the misconfigured
+	// Berkeley site; flap, MED and the mixed grass on a small ISP.
+	bMis := sim.Berkeley(sim.BerkeleyConfig{Misconfigured: true})
+	is := sim.ISPAnon(sim.ISPAnonConfig{
+		PoPs: 2, RRsPerPoP: 1, Tier1Peers: 3,
+		CustomerStubs: 60, PrefixesPerStub: 5,
+	})
+	isRoutes := is.BaselineRoutes()
+
+	leak := sim.PeerLeakScenario(bMis, 2, diffT0).Events
+	flap := sim.CustomerFlapScenario(is, 60, 2*time.Minute, diffT0).Events
+	// Slowed-down oscillation periods: the paper's 10µs default would
+	// make a minutes-long stream millions of events; the engine only
+	// needs the alternation pattern, not the full rate.
+	med := sim.MEDOscillationScenario(is, 2*time.Second, 5*time.Millisecond, 50*time.Millisecond, diffT0).Events
+	reset := sim.SessionResetScenario(bScale.Site, bRoutes[:100], sim.ASCalREN, time.Minute, diffT0).Events
+	hijack := sim.HijackScenario(bMis, 3, diffT0).Events
+
+	// Mixed churn: grass plus a towering session reset, the §IV-E shape
+	// that exercises the spike trigger.
+	noise := sim.NoiseStream(isRoutes, 3000, 2*time.Hour, diffT0, 11)
+	burst := sim.SessionResetScenario(is.Site, isRoutes, is.Tier1s[0], 20*time.Second, diffT0.Add(30*time.Minute)).Events
+	mixed := append(append(event.Stream{}, noise...), burst...)
+	mixed.SortByTime()
+
+	return []diffStream{
+		{"berkeley-scale", scale},
+		{"peer-leak", leak},
+		{"customer-flap", flap},
+		{"med-oscillation", med},
+		{"session-reset", reset},
+		{"hijack", hijack},
+		{"mixed-churn", mixed},
+	}
+}
+
+// renderSnapshots serializes every observable field of a snapshot run
+// into one deterministic string, so equality below really is
+// byte-identity of the full output.
+func renderSnapshots(snaps []Snapshot) string {
+	var b strings.Builder
+	for i, s := range snaps {
+		fmt.Fprintf(&b, "#%d %s at=%d win=[%d,%d] events=%d\n",
+			i, s.Trigger, s.At.UnixNano(), s.WindowStart.UnixNano(), s.WindowEnd.UnixNano(), s.Events)
+		if s.Spike != nil {
+			fmt.Fprintf(&b, "  spike=%+v\n", *s.Spike)
+		}
+		for _, c := range s.Components {
+			fmt.Fprintf(&b, "  comp score=%.17g count=%d stem=%v->%v seq=%v prefixes=%v events=%v first=%d last=%d\n",
+				c.Score, c.Count, c.Stem.From, c.Stem.To, c.Subsequence, c.Prefixes,
+				c.EventIndexes, c.First.UnixNano(), c.Last.UnixNano())
+		}
+		if p := s.Picture; p != nil {
+			fmt.Fprintf(&b, "  picture site=%s total=%d\n", p.Site, p.Total)
+			for _, n := range p.Nodes {
+				fmt.Fprintf(&b, "    node %v d=%d\n", n.ID, n.Depth)
+			}
+			for _, e := range p.Edges {
+				fmt.Fprintf(&b, "    edge %v->%v w=%d f=%.17g max=%d d=%d\n",
+					e.From, e.To, e.Weight, e.Fraction, e.MaxEver, e.Depth)
+			}
+		}
+	}
+	return b.String()
+}
+
+// firstDiff locates the first differing line of two renders, for
+// a failure message that names the divergence instead of dumping both.
+func firstDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) || i < len(bl); i++ {
+		var x, y string
+		if i < len(al) {
+			x = al[i]
+		}
+		if i < len(bl) {
+			y = bl[i]
+		}
+		if x != y {
+			return fmt.Sprintf("line %d:\n  sequential: %q\n  parallel:   %q", i+1, x, y)
+		}
+	}
+	return "renders equal"
+}
+
+// TestParallelEquivalence replays each corpus stream through the
+// sequential engine and through Workers ∈ {2, 4, GOMAXPROCS}, requiring
+// byte-identical snapshot sequences.
+func TestParallelEquivalence(t *testing.T) {
+	workerCounts := []int{2, 4, runtime.GOMAXPROCS(0)}
+	spikes := 0
+	for _, ds := range diffStreams(t) {
+		ds := ds
+		t.Run(ds.name, func(t *testing.T) {
+			base := Replay(ds.events, diffConfig(1))
+			if len(base) == 0 {
+				t.Fatal("sequential replay emitted no snapshots")
+			}
+			for _, s := range base {
+				if s.Trigger == TriggerSpike {
+					spikes++
+				}
+			}
+			want := renderSnapshots(base)
+			for _, w := range workerCounts {
+				got := Replay(ds.events, diffConfig(w))
+				if len(got) != len(base) {
+					t.Fatalf("workers=%d: %d snapshots, sequential produced %d", w, len(got), len(base))
+				}
+				if r := renderSnapshots(got); r != want {
+					t.Errorf("workers=%d diverged from sequential: %s", w, firstDiff(want, r))
+				}
+			}
+		})
+	}
+	// The corpus must actually exercise the spike trigger, or the
+	// equivalence over TriggerSpike snapshots is vacuous.
+	if spikes == 0 {
+		t.Error("no corpus stream produced a spike snapshot")
+	}
+}
+
+// TestParallelEquivalenceSingleShard pins the merge path's degenerate
+// case: with one shard, any worker count degenerates to the legacy
+// single-graph engine, and MergeSnapshot must delegate byte-for-byte.
+func TestParallelEquivalenceSingleShard(t *testing.T) {
+	ds := diffStreams(t)
+	events := ds[len(ds)-1].events // mixed-churn: spikes + withdrawals
+	cfg := diffConfig(1)
+	cfg.Shards = 1
+	base := renderSnapshots(Replay(events, cfg))
+	cfg.Workers = 4 // capped to Shards=1 by withDefaults; must still match
+	if got := renderSnapshots(Replay(events, cfg)); got != base {
+		t.Errorf("shards=1 workers=4 diverged: %s", firstDiff(base, got))
+	}
+}

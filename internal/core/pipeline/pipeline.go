@@ -8,6 +8,13 @@
 // the window turns over continuously and every snapshot is a full
 // decomposition of exactly the last Window of routing activity plus a
 // pruned picture of the routing state at that instant.
+//
+// All analysis state is sharded by interned prefix: event i's prefix
+// picks both its Stemming count shard and its TAMP sub-graph, so the
+// shards partition the prefix space and merge deterministically at
+// snapshot time (DESIGN.md §10). Workers controls only how many
+// goroutines execute shard work — the shard layout, and therefore every
+// snapshot byte, is identical at any worker count.
 package pipeline
 
 import (
@@ -68,6 +75,13 @@ type Snapshot struct {
 	Stream event.Stream
 }
 
+// DefaultShards is the default prefix-shard count. It is a fixed number
+// rather than GOMAXPROCS on purpose: the shard layout is part of the
+// analysis semantics (it fixes the floating-point merge order of the
+// count tables and the per-shard TAMP MaxEver peaks), so a fixed default
+// keeps snapshots reproducible across machines, not just across runs.
+const DefaultShards = 16
+
 // Config tunes the pipeline. The zero value is usable.
 type Config struct {
 	// Window is the sliding window length in event time (default 15m).
@@ -86,8 +100,17 @@ type Config struct {
 	Site string
 	// Prune controls Picture pruning.
 	Prune tamp.PruneOptions
-	// Shards is the window's count-shard parallelism (0 = GOMAXPROCS).
+	// Shards is the prefix-shard parallelism of the analysis state — the
+	// Stemming count tables and the TAMP shadow are both partitioned by
+	// interned prefix modulo Shards (0 = DefaultShards). Results depend
+	// on the shard count only through float summation order and the
+	// per-shard MaxEver rule, never on Workers.
 	Shards int
+	// Workers is how many goroutines execute shard work. 0 or 1 runs
+	// everything inline on the run loop (the sequential path); higher
+	// values start a worker pool with static shard ownership. Capped at
+	// Shards. Snapshots are byte-identical at any Workers value.
+	Workers int
 	// IncludeEvents copies the window contents into each Snapshot.
 	IncludeEvents bool
 	// Buffer is the ingest channel depth (default 1024).
@@ -110,12 +133,22 @@ func (c Config) withDefaults() Config {
 	if c.Buffer <= 0 {
 		c.Buffer = 1024
 	}
+	if c.Shards <= 0 {
+		c.Shards = DefaultShards
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.Workers > c.Shards {
+		c.Workers = c.Shards
+	}
 	return c
 }
 
 // Pipeline is the running engine. Ingest may be called from any number
 // of goroutines (it is a valid collector.Handler); all analysis state is
-// owned by one internal run loop.
+// owned by one internal run loop plus, at Workers > 1, a pool of shard
+// workers the run loop coordinates.
 type Pipeline struct {
 	cfg    Config
 	events chan msg
@@ -124,11 +157,22 @@ type Pipeline struct {
 	once   sync.Once
 }
 
-// msg is one unit of work for the run loop: a live event, or a seed
-// event that rebuilds table state without touching the window.
+// Control message kinds, carried in-band through the event channel so
+// their position relative to events and seeds is exact.
+const (
+	ctrlNone uint8 = iota
+	ctrlBeginRecovery
+	ctrlEndRecovery
+)
+
+// msg is one unit of work for the run loop: a live event, a batch of
+// them, a seed event that rebuilds table state without touching the
+// window, or a recovery-span control mark.
 type msg struct {
-	e    event.Event
-	seed bool
+	e     event.Event
+	batch []event.Event
+	seed  bool
+	ctrl  uint8
 }
 
 // New starts a pipeline. The caller must drain Snapshots() — emission
@@ -159,6 +203,22 @@ func (p *Pipeline) Ingest(e event.Event) {
 	}
 }
 
+// IngestBatch feeds a slice of events as one unit of work, blocking like
+// Ingest. Ownership of the slice transfers to the pipeline — the caller
+// must not reuse it. Batching amortizes the per-message channel cost,
+// which is what keeps the intake's hand-off off the hot path when the
+// engine runs parallel; the events are processed exactly as if they had
+// been Ingested one by one in slice order.
+func (p *Pipeline) IngestBatch(batch []event.Event) {
+	if len(batch) == 0 {
+		return
+	}
+	select {
+	case p.events <- msg{batch: batch}:
+	case <-p.quit:
+	}
+}
+
 // TryIngest feeds one event without ever blocking: when the buffer is
 // full the event is shed — counted in rex_pipeline_shed_total and
 // reported by the false return — so analysis latency can never
@@ -182,9 +242,37 @@ func (p *Pipeline) TryIngest(e event.Event) bool {
 // checkpoint without entering the sliding window or advancing the
 // event-time clock, so recovery does not fire tick/spike triggers for
 // state that predates the replay tail.
+//
+// Checkpoint state is by definition older than any event a live session
+// delivers while recovery runs — bracket the seed+replay span with
+// BeginRecovery/EndRecovery so a seed arriving after a live event for
+// the same (router, prefix) cannot resurrect the stale route.
 func (p *Pipeline) Seed(e event.Event) {
 	select {
 	case p.events <- msg{e: e, seed: true}:
+	case <-p.quit:
+	}
+}
+
+// BeginRecovery marks the start of a recovery span: until EndRecovery,
+// the engine tracks which (router, prefix) route keys live events have
+// touched, and drops any Seed for a touched key as stale (counted in
+// rex_pipeline_seed_stale_total). The mark travels in-band through the
+// ingest channel, so "before" and "after" mean channel order — exactly
+// the order the race between journal replay and live intake resolves in.
+func (p *Pipeline) BeginRecovery() {
+	select {
+	case p.events <- msg{ctrl: ctrlBeginRecovery}:
+	case <-p.quit:
+	}
+}
+
+// EndRecovery closes the span opened by BeginRecovery and releases the
+// touched-key tracking. Seeds outside a recovery span apply
+// unconditionally, as before.
+func (p *Pipeline) EndRecovery() {
+	select {
+	case p.events <- msg{ctrl: ctrlEndRecovery}:
 	case <-p.quit:
 	}
 }
@@ -204,10 +292,36 @@ func (p *Pipeline) Close() {
 func (p *Pipeline) run() {
 	defer close(p.snaps)
 	st := &state{
-		p:   p,
-		win: stemming.NewWindow(p.cfg.Stemming, p.cfg.Shards),
-		g:   tamp.New(p.cfg.Site),
-		rib: make(map[routeKey]tamp.RouteEntry),
+		p:      p,
+		win:    stemming.NewWindow(p.cfg.Stemming, p.cfg.Shards),
+		shards: make([]*analysisShard, p.cfg.Shards),
+	}
+	for i := range st.shards {
+		st.shards[i] = &analysisShard{
+			g:   tamp.New(p.cfg.Site),
+			rib: make(map[routeKey]tamp.RouteEntry),
+		}
+	}
+	mShards.Set(int64(p.cfg.Shards))
+	mWorkers.Set(int64(p.cfg.Workers))
+	if p.cfg.Workers > 1 {
+		st.pool = newPool(p.cfg.Workers)
+		defer st.pool.close()
+		// Window settles ride the same pool: distinct tasks touch
+		// distinct count shards, and the Runner contract waits for all
+		// of them, so the coordinator's view stays race-free.
+		st.win.Runner = func(n int, run func(i int)) {
+			var wg sync.WaitGroup
+			wg.Add(n)
+			for i := 0; i < n; i++ {
+				i := i
+				st.pool.submit(i%st.pool.workers, func() {
+					run(i)
+					wg.Done()
+				})
+			}
+			wg.Wait()
+		}
 	}
 	st.win.OnSettle = func(elapsed time.Duration, _ int) {
 		mSettleSeconds.Observe(elapsed.Seconds())
@@ -236,63 +350,163 @@ type routeKey struct {
 	prefix netip.Prefix
 }
 
-// state is the run loop's analysis state.
-type state struct {
-	p   *Pipeline
-	win *stemming.Window
-	g   *tamp.Graph
-	rib map[routeKey]tamp.RouteEntry
-
-	clock     time.Time // newest event time seen (the event-time clock)
-	nextTick  time.Time
-	curBucket time.Time
-	lastSpike time.Time // Start of the last spike already emitted
+// routeOp is one routing change bound for a shard's TAMP shadow.
+type routeOp struct {
+	e    event.Event
+	seed bool
 }
 
-// dispatch routes one message: seeds rebuild table state only, live
-// events take the full path.
-func (st *state) dispatch(m msg) {
-	if m.seed {
-		mSeeded.Inc()
-		st.applyRoute(m.e)
-		return
-	}
-	st.process(m.e)
+// tampBatchSize is how many routeOps accumulate per shard before the
+// coordinator flushes them to the owning worker as one task.
+const tampBatchSize = 64
+
+// analysisShard is one prefix shard's slice of the TAMP state: a
+// sub-graph plus the RIB shadow for the prefixes hashed here. Owned by
+// exactly one worker (or the run loop at Workers=1); pending is the
+// coordinator-side flush buffer and is never touched by workers.
+type analysisShard struct {
+	g       *tamp.Graph
+	rib     map[routeKey]tamp.RouteEntry
+	pending []routeOp
 }
 
-// applyRoute mirrors one routing change into the TAMP graph through a
-// RIB shadow keyed (router, prefix), exactly as the animator tracks
-// state: a duplicate announcement is silent, a changed one is a
+// applyRoute mirrors one routing change into the shard's TAMP sub-graph
+// through a RIB shadow keyed (router, prefix), exactly as the animator
+// tracks state: a duplicate announcement is silent, a changed one is a
 // replace, a withdrawal removes whatever route we believed was
 // current. The graph reflects routing state NOW — it does not slide
 // with the window. The mapping is idempotent at the state level
 // (re-announcing the current route is a no-op, withdrawing an absent
 // one is too), which is what lets recovery replay a journal tail on
 // top of a checkpoint that already contains part of it.
-func (st *state) applyRoute(e event.Event) {
+func (sh *analysisShard) applyRoute(e *event.Event) {
 	key := routeKey{router: e.Peer.String(), prefix: e.Prefix}
 	switch e.Type {
 	case event.Announce:
-		entry := tamp.EntryFromEvent(&e)
-		if old, ok := st.rib[key]; ok {
+		entry := tamp.EntryFromEvent(e)
+		if old, ok := sh.rib[key]; ok {
 			if !routeEqual(old, entry) {
-				st.g.ReplaceRoute(old, entry)
-				st.rib[key] = entry
+				sh.g.ReplaceRoute(old, entry)
+				sh.rib[key] = entry
 			}
 		} else {
-			st.g.AddRoute(entry)
-			st.rib[key] = entry
+			sh.g.AddRoute(entry)
+			sh.rib[key] = entry
 		}
 	case event.Withdraw:
-		if old, ok := st.rib[key]; ok {
-			st.g.RemoveRoute(old)
-			delete(st.rib, key)
+		if old, ok := sh.rib[key]; ok {
+			sh.g.RemoveRoute(old)
+			delete(sh.rib, key)
 		}
 	}
 }
 
-// process applies one event: RIB shadow → TAMP graph, window add+evict,
-// then the tick and spike triggers against the advanced event clock.
+// applyBatch replays a flushed op batch in order on the owning worker.
+func (sh *analysisShard) applyBatch(ops []routeOp) {
+	for i := range ops {
+		sh.applyRoute(&ops[i].e)
+	}
+}
+
+// state is the run loop's analysis state. The run loop is the
+// coordinator: it owns the window ring, the clock and triggers, and the
+// shard flush buffers; at Workers > 1 the shard graphs and RIB shadows
+// are owned by pool workers between barriers.
+type state struct {
+	p      *Pipeline
+	win    *stemming.Window
+	shards []*analysisShard
+	pool   *pool // nil at Workers <= 1
+
+	clock     time.Time // newest event time seen (the event-time clock)
+	nextTick  time.Time
+	curBucket time.Time
+	lastSpike time.Time // Start of the last spike already emitted
+
+	// Recovery-span tracking (between BeginRecovery and EndRecovery):
+	// route keys live events have touched, which stale seeds must not
+	// overwrite. Nil outside a span — zero cost on the steady path.
+	liveTouched map[routeKey]struct{}
+}
+
+// dispatch routes one message: control marks flip recovery tracking,
+// seeds rebuild table state only, live events take the full path.
+func (st *state) dispatch(m msg) {
+	switch {
+	case m.ctrl == ctrlBeginRecovery:
+		st.liveTouched = make(map[routeKey]struct{})
+	case m.ctrl == ctrlEndRecovery:
+		st.liveTouched = nil
+	case m.batch != nil:
+		for i := range m.batch {
+			st.process(m.batch[i])
+		}
+	case m.seed:
+		st.seed(m.e)
+	default:
+		st.process(m.e)
+	}
+}
+
+// seed applies one checkpoint-recovered route to the TAMP shadow without
+// touching the window or the clock. Inside a recovery span, a seed for a
+// route key some live event already touched is stale — the live event is
+// by construction newer than the checkpoint — and is dropped.
+func (st *state) seed(e event.Event) {
+	if st.liveTouched != nil {
+		if _, touched := st.liveTouched[routeKey{router: e.Peer.String(), prefix: e.Prefix}]; touched {
+			mSeedStale.Inc()
+			return
+		}
+	}
+	mSeeded.Inc()
+	st.route(st.win.ShardFor(e.Prefix), routeOp{e: e, seed: true})
+}
+
+// route hands one routing change to its shard: inline at Workers <= 1,
+// batched to the owning worker otherwise.
+func (st *state) route(shard int, op routeOp) {
+	mShardRouteOps.Inc()
+	sh := st.shards[shard]
+	if st.pool == nil {
+		sh.applyRoute(&op.e)
+		return
+	}
+	sh.pending = append(sh.pending, op)
+	if len(sh.pending) >= tampBatchSize {
+		st.flush(shard)
+	}
+}
+
+// flush submits a shard's buffered routeOps to its owning worker. The
+// worker index is a pure function of the shard index, so a shard's
+// batches land on one FIFO and apply in coordinator order.
+func (st *state) flush(shard int) {
+	sh := st.shards[shard]
+	if len(sh.pending) == 0 {
+		return
+	}
+	ops := sh.pending
+	sh.pending = make([]routeOp, 0, tampBatchSize)
+	mShardFlushes.Inc()
+	st.pool.submit(shard%st.pool.workers, func() { sh.applyBatch(ops) })
+}
+
+// barrier makes every shard's TAMP state current: all buffered ops
+// flushed and every in-flight worker task finished. No-op at Workers=1.
+func (st *state) barrier() {
+	if st.pool == nil {
+		return
+	}
+	for i := range st.shards {
+		st.flush(i)
+	}
+	st.pool.barrier()
+}
+
+// process applies one event: window add (which also picks the shard),
+// RIB shadow → sharded TAMP graph, eviction, then the tick and spike
+// triggers against the advanced event clock.
 func (st *state) process(e event.Event) {
 	cfg := &st.p.cfg
 	mEvents.Inc()
@@ -301,9 +515,12 @@ func (st *state) process(e event.Event) {
 		st.clock = e.Time
 	}
 
-	st.applyRoute(e)
+	shard := st.win.Add(e)
+	if st.liveTouched != nil {
+		st.liveTouched[routeKey{router: e.Peer.String(), prefix: e.Prefix}] = struct{}{}
+	}
+	st.route(shard, routeOp{e: e})
 
-	st.win.Add(e)
 	evicted := st.win.EvictBefore(st.clock.Add(-cfg.Window))
 	if evicted > 0 {
 		mEvicted.Add(uint64(evicted))
@@ -352,16 +569,24 @@ func (st *state) checkSpikes() {
 	}
 }
 
-// snapshot assembles the full analysis of the current window.
+// snapshot assembles the full analysis of the current window. The
+// barrier first settles all shard state; the picture is then the
+// deterministic merge of the per-shard sub-graphs — a pure function of
+// each shard's op sequence, which the coordinator fixed in stream order.
 func (st *state) snapshot(trig Trigger, sp *event.Spike) Snapshot {
 	start := time.Now()
+	st.barrier()
+	graphs := make([]*tamp.Graph, len(st.shards))
+	for i, sh := range st.shards {
+		graphs[i] = sh.g
+	}
 	live := st.win.Events()
 	s := Snapshot{
 		At:         st.clock,
 		Trigger:    trig,
 		Events:     len(live),
 		Components: st.win.Snapshot(),
-		Picture:    st.g.Snapshot(st.p.cfg.Prune),
+		Picture:    tamp.MergeSnapshot(st.p.cfg.Site, graphs, st.p.cfg.Prune),
 		Spike:      sp,
 	}
 	if first, last, ok := live.TimeRange(); ok {

@@ -1,0 +1,67 @@
+package pipeline
+
+import "sync"
+
+// pool is the engine's worker pool. Each worker owns a FIFO task queue,
+// and the coordinator (the run loop — the only submitter) routes all of
+// a shard's work to the one worker that statically owns it (shard i →
+// worker i % Workers). Two properties follow, and the engine's
+// determinism rests on both:
+//
+//   - per-shard ordering: one shard's tasks execute in submission order,
+//     because they all flow through one FIFO and one goroutine;
+//   - no cross-shard sharing: two workers never touch the same shard,
+//     so shard state needs no locks.
+//
+// Workers only ever run tasks; they never submit, emit snapshots, or
+// block on the coordinator — a full queue back-pressures the coordinator
+// and nothing else, so the pool cannot deadlock.
+type pool struct {
+	workers int
+	tasks   []chan func()
+	pending sync.WaitGroup // submitted tasks not yet finished
+	running sync.WaitGroup // live worker goroutines
+}
+
+// poolQueueDepth bounds each worker's task backlog. Deep enough that the
+// coordinator rarely stalls behind a slow shard, shallow enough that a
+// barrier never waits on an unbounded queue.
+const poolQueueDepth = 128
+
+func newPool(workers int) *pool {
+	p := &pool{workers: workers, tasks: make([]chan func(), workers)}
+	for i := range p.tasks {
+		ch := make(chan func(), poolQueueDepth)
+		p.tasks[i] = ch
+		p.running.Add(1)
+		go func() {
+			defer p.running.Done()
+			for f := range ch {
+				f()
+				p.pending.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// submit queues f on worker w's FIFO, blocking while that queue is full.
+// Only the coordinator may call it.
+func (p *pool) submit(w int, f func()) {
+	mWorkerTasks.Inc()
+	p.pending.Add(1)
+	p.tasks[w] <- f
+}
+
+// barrier waits until every submitted task has finished. Only the
+// coordinator may call it (a worker waiting on itself would deadlock).
+func (p *pool) barrier() { p.pending.Wait() }
+
+// close drains and stops the workers. The pool must not be used after.
+func (p *pool) close() {
+	p.barrier()
+	for _, ch := range p.tasks {
+		close(ch)
+	}
+	p.running.Wait()
+}

@@ -1,0 +1,85 @@
+package stemming
+
+// The sliding window's mergeable per-shard count structure. Each shard
+// owns the ±weight sub-sequence count table and the per-prefix live
+// event lists for the prefixes hashed to it. Because prefixes partition
+// across shards, shard tables never share a key owner: counts merge
+// into a combined table by plain summation and the per-prefix event
+// lists merge by disjoint union — the properties the parallel analysis
+// engine's determinism rests on (DESIGN.md §10).
+
+// countOp is one buffered shard operation. Ops carry their own seq/raw
+// references so a ring slot can be reused before its eviction settles.
+type countOp struct {
+	id    uint64
+	seq   []uint32
+	raw   []byte
+	pid   uint32
+	w     float64
+	evict bool
+}
+
+// countShard owns the counts for the prefixes hashed to it.
+type countShard struct {
+	counts   map[string]float64
+	byPrefix map[uint32][]uint64 // live event IDs per prefix, arrival order
+	pending  []countOp
+}
+
+func newCountShard() *countShard {
+	return &countShard{
+		counts:   make(map[string]float64, 1024),
+		byPrefix: make(map[uint32][]uint64, 64),
+	}
+}
+
+// apply replays the shard's buffered ops in order.
+func (sh *countShard) apply(maxSubseqLen int) {
+	for _, op := range sh.pending {
+		addSubseqCounts(sh.counts, op.seq, op.raw, maxSubseqLen, op.w)
+		if !op.evict {
+			sh.byPrefix[op.pid] = append(sh.byPrefix[op.pid], op.id)
+			continue
+		}
+		l := sh.byPrefix[op.pid]
+		if len(l) > 0 && l[0] == op.id {
+			// FIFO eviction always removes the list head.
+			l = l[1:]
+		} else {
+			for i, id := range l {
+				if id == op.id {
+					l = append(l[:i], l[i+1:]...)
+					break
+				}
+			}
+		}
+		if len(l) == 0 {
+			delete(sh.byPrefix, op.pid)
+		} else {
+			sh.byPrefix[op.pid] = l
+		}
+	}
+	sh.pending = sh.pending[:0]
+}
+
+// mergeCounts sums the shard's settled count table into dst. Safe to
+// call for every shard against one destination: shards count disjoint
+// event sets, so summation is the exact combined table.
+func (sh *countShard) mergeCounts(dst map[string]float64) {
+	for k, c := range sh.counts {
+		dst[k] += c
+	}
+}
+
+// mergeEvents copies the shard's live event lists into dst, rebasing
+// event IDs to indexes relative to head. Prefix keys never collide
+// across shards (each prefix lives in exactly one shard).
+func (sh *countShard) mergeEvents(dst map[uint32][]int, head uint64) {
+	for pid, ids := range sh.byPrefix {
+		idxs := make([]int, len(ids))
+		for i, id := range ids {
+			idxs[i] = int(id - head)
+		}
+		dst[pid] = idxs
+	}
+}

@@ -1,6 +1,7 @@
 package stemming
 
 import (
+	"net/netip"
 	"runtime"
 	"sync"
 	"time"
@@ -14,25 +15,36 @@ import (
 // (FIFO) order with EvictBefore; both directions reuse the batch
 // analysis' count arithmetic — eviction is an add with negative weight.
 //
-// Sub-sequence counting is sharded by the event's interned prefix ID:
-// every event of one prefix lands in the same shard, so each shard owns a
+// Sub-sequence counting is sharded by a content hash of the event's
+// prefix (see ShardFor): every event of one prefix lands in the same
+// shard, so each shard owns a
 // disjoint slice of the per-prefix event lists and the count tables merge
 // by plain summation at snapshot time. Adds and evictions are buffered
-// and settled in batches, one goroutine per shard, which is what lets
-// window turnover on ISP-scale streams use every core.
+// and settled in batches — by default one goroutine per shard, or on the
+// caller's worker pool via Runner — which is what lets window turnover
+// on ISP-scale streams use every core.
 //
 // A Window is NOT safe for concurrent use: one goroutine calls Add,
 // EvictBefore and Snapshot. The parallelism is internal.
 type Window struct {
 	cfg    Config
 	in     *interner
-	shards []*winShard
+	shards []*countShard
 
 	// OnSettle, when set, observes each batch settle: the wall-clock
 	// time the parallel shard apply took and how many buffered ops it
 	// drained. Set it before the first Add (the pipeline points it at a
 	// latency histogram); nil costs nothing.
 	OnSettle func(elapsed time.Duration, ops int)
+
+	// Runner, when set, executes the n shard-settle tasks of a batch:
+	// it must call run(i) exactly once for every i in [0, n), in any
+	// order or concurrency (distinct tasks touch distinct shards), and
+	// return only when all calls have finished. The parallel pipeline
+	// points this at its worker pool; a sequential engine sets a plain
+	// loop. Nil keeps the default: one goroutine per active shard. Set
+	// it before the first Add and do not change it afterwards.
+	Runner func(n int, run func(i int))
 
 	// ring holds the live events; live IDs are [headID, nextID) and an
 	// event with ID i lives at ring[i % len(ring)].
@@ -45,29 +57,12 @@ type Window struct {
 
 // winEvent is one live event with its interned sequence form.
 type winEvent struct {
-	ev  event.Event
-	seq []uint32
-	raw []byte
-	pid uint32
-	w   float64
-}
-
-// winOp is one buffered shard operation. Ops carry their own seq/raw
-// references so a ring slot can be reused before its eviction settles.
-type winOp struct {
-	id    uint64
+	ev    event.Event
 	seq   []uint32
 	raw   []byte
 	pid   uint32
+	shard int
 	w     float64
-	evict bool
-}
-
-// winShard owns the counts for the prefixes hashed to it.
-type winShard struct {
-	counts   map[string]float64
-	byPrefix map[uint32][]uint64 // live event IDs per prefix, arrival order
-	pending  []winOp
 }
 
 // defaultSettleBatch is how many buffered ops trigger a parallel settle.
@@ -84,15 +79,12 @@ func NewWindow(cfg Config, shards int) *Window {
 	w := &Window{
 		cfg:         cfg.withDefaults(),
 		in:          newInterner(),
-		shards:      make([]*winShard, shards),
+		shards:      make([]*countShard, shards),
 		ring:        make([]winEvent, 1024),
 		settleBatch: defaultSettleBatch,
 	}
 	for i := range w.shards {
-		w.shards[i] = &winShard{
-			counts:   make(map[string]float64, 1024),
-			byPrefix: make(map[uint32][]uint64, 64),
-		}
+		w.shards[i] = newCountShard()
 	}
 	return w
 }
@@ -100,12 +92,38 @@ func NewWindow(cfg Config, shards int) *Window {
 // Len returns the number of live events in the window.
 func (w *Window) Len() int { return int(w.nextID - w.headID) }
 
-func (w *Window) shardOf(pid uint32) *winShard {
-	return w.shards[pid%uint32(len(w.shards))]
+// NumShards returns the count-shard parallelism the window was built
+// with — the modulus of the prefix→shard assignment.
+func (w *Window) NumShards() int { return len(w.shards) }
+
+// ShardFor returns the shard index p's events land in. The assignment
+// is a pure content hash of the prefix — NOT its intern-order ID — so
+// it is identical across runs, machines, and recovery paths (a fresh
+// stream and a checkpoint-seeded replay intern prefixes in different
+// orders but shard them the same). The parallel pipeline uses the same
+// assignment to route TAMP shadow updates, so one prefix's entire
+// analysis state lives with one worker.
+func (w *Window) ShardFor(p netip.Prefix) int {
+	return shardOfPrefix(p, len(w.shards))
 }
 
-// Add appends one event to the window.
-func (w *Window) Add(e event.Event) {
+// shardOfPrefix is FNV-1a over the prefix's 16-byte address form plus
+// its bit length, reduced mod n.
+func shardOfPrefix(p netip.Prefix, n int) int {
+	a := p.Addr().As16()
+	h := uint32(2166136261)
+	for _, b := range a {
+		h ^= uint32(b)
+		h *= 16777619
+	}
+	h ^= uint32(uint8(p.Bits()))
+	h *= 16777619
+	return int(h % uint32(n))
+}
+
+// Add appends one event to the window and returns the index of the
+// count shard it was routed to.
+func (w *Window) Add(e event.Event) int {
 	seq, pid := w.in.eventSeq(&e)
 	raw := encodeSeq(seq)
 	weight := 1.0
@@ -117,13 +135,15 @@ func (w *Window) Add(e event.Event) {
 	}
 	id := w.nextID
 	w.nextID++
-	w.ring[id%uint64(len(w.ring))] = winEvent{ev: e, seq: seq, raw: raw, pid: pid, w: weight}
-	sh := w.shardOf(pid)
-	sh.pending = append(sh.pending, winOp{id: id, seq: seq, raw: raw, pid: pid, w: weight})
+	shard := shardOfPrefix(e.Prefix, len(w.shards))
+	w.ring[id%uint64(len(w.ring))] = winEvent{ev: e, seq: seq, raw: raw, pid: pid, shard: shard, w: weight}
+	sh := w.shards[shard]
+	sh.pending = append(sh.pending, countOp{id: id, seq: seq, raw: raw, pid: pid, w: weight})
 	w.pendingOps++
 	if w.pendingOps >= w.settleBatch {
 		w.settle()
 	}
+	return shard
 }
 
 // EvictBefore removes, in arrival order, the leading run of events whose
@@ -137,8 +157,8 @@ func (w *Window) EvictBefore(cutoff time.Time) int {
 		if !we.ev.Time.Before(cutoff) {
 			break
 		}
-		sh := w.shardOf(we.pid)
-		sh.pending = append(sh.pending, winOp{id: w.headID, seq: we.seq, raw: we.raw, pid: we.pid, w: -we.w, evict: true})
+		sh := w.shards[we.shard]
+		sh.pending = append(sh.pending, countOp{id: w.headID, seq: we.seq, raw: we.raw, pid: we.pid, w: -we.w, evict: true})
 		w.pendingOps++
 		*we = winEvent{} // drop references so evicted attrs can be collected
 		w.headID++
@@ -172,19 +192,24 @@ func (w *Window) settle() {
 	if w.OnSettle != nil {
 		start = time.Now()
 	}
-	var active []*winShard
+	var active []*countShard
 	for _, sh := range w.shards {
 		if len(sh.pending) > 0 {
 			active = append(active, sh)
 		}
 	}
-	if len(active) == 1 {
+	switch {
+	case len(active) == 1:
 		active[0].apply(w.cfg.MaxSubseqLen)
-	} else {
+	case w.Runner != nil:
+		w.Runner(len(active), func(i int) {
+			active[i].apply(w.cfg.MaxSubseqLen)
+		})
+	default:
 		var wg sync.WaitGroup
 		for _, sh := range active {
 			wg.Add(1)
-			go func(sh *winShard) {
+			go func(sh *countShard) {
 				defer wg.Done()
 				sh.apply(w.cfg.MaxSubseqLen)
 			}(sh)
@@ -194,35 +219,6 @@ func (w *Window) settle() {
 	if w.OnSettle != nil {
 		w.OnSettle(time.Since(start), ops)
 	}
-}
-
-// apply replays the shard's buffered ops in order.
-func (sh *winShard) apply(maxSubseqLen int) {
-	for _, op := range sh.pending {
-		addSubseqCounts(sh.counts, op.seq, op.raw, maxSubseqLen, op.w)
-		if !op.evict {
-			sh.byPrefix[op.pid] = append(sh.byPrefix[op.pid], op.id)
-			continue
-		}
-		l := sh.byPrefix[op.pid]
-		if len(l) > 0 && l[0] == op.id {
-			// FIFO eviction always removes the list head.
-			l = l[1:]
-		} else {
-			for i, id := range l {
-				if id == op.id {
-					l = append(l[:i], l[i+1:]...)
-					break
-				}
-			}
-		}
-		if len(l) == 0 {
-			delete(sh.byPrefix, op.pid)
-		} else {
-			sh.byPrefix[op.pid] = l
-		}
-	}
-	sh.pending = sh.pending[:0]
 }
 
 // Events returns the live window contents in arrival order.
@@ -274,16 +270,8 @@ func (w *Window) Snapshot() []Component {
 	// lists never collide and counts merge by summation. The extraction
 	// loop mutates its copy; the shard tables stay authoritative.
 	for _, sh := range w.shards {
-		for k, c := range sh.counts {
-			a.counts[k] += c
-		}
-		for pid, ids := range sh.byPrefix {
-			idxs := make([]int, len(ids))
-			for i, id := range ids {
-				idxs[i] = int(id - w.headID)
-			}
-			a.eventsByPrefix[pid] = idxs
-		}
+		sh.mergeCounts(a.counts)
+		sh.mergeEvents(a.eventsByPrefix, w.headID)
 	}
 	var out []Component
 	for len(out) < a.cfg.MaxComponents {

@@ -1,0 +1,70 @@
+package tamp
+
+// The concurrent-build path: a TAMP graph maintained as independent
+// per-shard sub-graphs, sharded by prefix, each owned by exactly one
+// goroutine. Because sharding partitions the prefix space, the shards'
+// per-edge unique-prefix sets are disjoint, and the full graph's
+// quantities merge by plain summation — no cross-shard coordination,
+// no locks, and a merge result that is a pure function of each shard's
+// (ordered) route sub-stream. MergeSnapshot is the deterministic merge
+// step: feeding the same routes to the same shard assignment yields a
+// byte-identical Picture no matter how many goroutines built it.
+//
+// Merge rules, per edge:
+//
+//   - Weight: sum of shard weights. Exact — a prefix lives in exactly
+//     one shard, so shard weights count disjoint prefix sets.
+//   - MaxEver: sum of shard-local historical peaks. An upper bound on
+//     the single-graph value (shards may peak at different times), and
+//     exactly the single-graph value when there is one shard. The bound
+//     is what keeps MaxEver independent of event interleaving across
+//     shards, which is what makes snapshots reproducible at any worker
+//     count; DESIGN.md §10 spells out the rule.
+//   - Total prefixes: sum of shard totals (disjoint by construction).
+
+// MergeSnapshot deterministically merges prefix-sharded sub-graphs and
+// returns the pruned picture of the union, as if a single graph had
+// been built from all the shards' routes. All shards must share the
+// site name given to New; shard order does not affect the result.
+// With a single shard the result is byte-identical to that shard's own
+// Snapshot. The caller must ensure no shard is being mutated while the
+// merge runs.
+func MergeSnapshot(site string, shards []*Graph, opts PruneOptions) *Picture {
+	if len(shards) == 1 {
+		return shards[0].Snapshot(opts)
+	}
+	type sum struct {
+		weight  int
+		maxEver int
+	}
+	type key struct{ from, to NodeID }
+	total := 0
+	nEdges := 0
+	for _, g := range shards {
+		total += g.TotalPrefixes()
+		nEdges += len(g.edges)
+	}
+	acc := make(map[key]sum, nEdges)
+	for _, g := range shards {
+		for _, e := range g.edges {
+			if len(e.prefixes) == 0 && e.maxEver == 0 {
+				continue
+			}
+			k := key{from: g.nodeByIdx[e.from], to: g.nodeByIdx[e.to]}
+			s := acc[k]
+			s.weight += len(e.prefixes)
+			s.maxEver += e.maxEver
+			acc[k] = s
+		}
+	}
+	flat := make([]flatEdge, 0, len(acc))
+	for k, s := range acc {
+		if s.weight == 0 {
+			// An edge no shard currently routes over: carries nothing,
+			// exactly as a single graph's Snapshot would skip it.
+			continue
+		}
+		flat = append(flat, flatEdge{from: k.from, to: k.to, weight: s.weight, maxEver: s.maxEver})
+	}
+	return assemblePicture(site, total, flat, opts)
+}

@@ -78,6 +78,34 @@ func (p *Picture) HasNode(id NodeID) bool {
 // unique-prefix weight, drop edges below the (depth-staged) threshold,
 // then keep only what is still reachable from the root.
 func (g *Graph) Snapshot(opts PruneOptions) *Picture {
+	flat := make([]flatEdge, 0, len(g.edges))
+	for _, e := range g.edges {
+		if len(e.prefixes) == 0 {
+			continue
+		}
+		flat = append(flat, flatEdge{
+			from:    g.nodeByIdx[e.from],
+			to:      g.nodeByIdx[e.to],
+			weight:  len(e.prefixes),
+			maxEver: e.maxEver,
+		})
+	}
+	return assemblePicture(g.site, g.TotalPrefixes(), flat, opts)
+}
+
+// flatEdge is one live edge in graph-independent form: the input to the
+// shared picture assembly, used both by a single Graph's Snapshot and by
+// the deterministic merge of prefix-sharded graphs.
+type flatEdge struct {
+	from, to        NodeID
+	weight, maxEver int
+}
+
+// assemblePicture prunes a flat edge list per opts and builds the sorted
+// Picture. The output is a pure function of the edge set — node and edge
+// orderings are total (every sort key chain ends in a unique field), so
+// callers may supply edges in any order.
+func assemblePicture(site string, total int, flat []flatEdge, opts PruneOptions) *Picture {
 	threshold := opts.Threshold
 	if threshold == 0 {
 		threshold = DefaultThreshold
@@ -85,30 +113,28 @@ func (g *Graph) Snapshot(opts PruneOptions) *Picture {
 	if threshold < 0 {
 		threshold = 0
 	}
-	total := g.TotalPrefixes()
 	minWeight := threshold * float64(total)
 
-	depth := g.depths()
+	depth := flatDepths(flat)
 
 	// Keep edges that pass the weight test (or are within KeepDepth).
 	type liveEdge struct {
-		e *edgeState
+		e flatEdge
 		d int
 	}
 	var kept []liveEdge
-	for _, e := range g.edges {
-		w := len(e.prefixes)
-		if w == 0 {
+	for _, e := range flat {
+		if e.weight == 0 {
 			continue
 		}
-		if !opts.IncludePrefixLeaves && g.nodeByIdx[e.to].Kind == KindPrefix {
+		if !opts.IncludePrefixLeaves && e.to.Kind == KindPrefix {
 			continue
 		}
 		d, ok := depth[e.from]
 		if !ok {
 			continue
 		}
-		if d >= opts.KeepDepth && float64(w) < minWeight {
+		if d >= opts.KeepDepth && float64(e.weight) < minWeight {
 			continue
 		}
 		kept = append(kept, liveEdge{e: e, d: d})
@@ -116,29 +142,29 @@ func (g *Graph) Snapshot(opts PruneOptions) *Picture {
 
 	// Reachability over kept edges from the root. Depths are NOT
 	// recomputed here: every emitted Depth is the node's distance in the
-	// full live graph (the same depths() that drove KeepDepth gating), so
+	// full live graph (the same depths that drove KeepDepth gating), so
 	// pruning an intermediate edge cannot silently push a surviving node
 	// "deeper" than the depth its gating decision was based on.
-	adj := make(map[uint32][]liveEdge, len(kept))
+	root := RootNode(site)
+	adj := make(map[NodeID][]liveEdge, len(kept))
 	for _, le := range kept {
 		adj[le.e.from] = append(adj[le.e.from], le)
 	}
-	reach := map[uint32]bool{0: true}
-	queue := []uint32{0}
+	reach := map[NodeID]bool{root: true}
+	queue := []NodeID{root}
 	var edges []PictureEdge
 	for len(queue) > 0 {
 		n := queue[0]
 		queue = queue[1:]
 		for _, le := range adj[n] {
-			w := len(le.e.prefixes)
 			frac := 0.0
 			if total > 0 {
-				frac = float64(w) / float64(total)
+				frac = float64(le.e.weight) / float64(total)
 			}
 			edges = append(edges, PictureEdge{
-				From:     g.nodeByIdx[le.e.from],
-				To:       g.nodeByIdx[le.e.to],
-				Weight:   w,
+				From:     le.e.from,
+				To:       le.e.to,
+				Weight:   le.e.weight,
 				Fraction: frac,
 				MaxEver:  le.e.maxEver,
 				Depth:    le.d,
@@ -151,8 +177,8 @@ func (g *Graph) Snapshot(opts PruneOptions) *Picture {
 	}
 
 	nodes := make([]PictureNode, 0, len(reach))
-	for idx := range reach {
-		nodes = append(nodes, PictureNode{ID: g.nodeByIdx[idx], Depth: depth[idx]})
+	for id := range reach {
+		nodes = append(nodes, PictureNode{ID: id, Depth: depth[id]})
 	}
 	sort.Slice(nodes, func(i, j int) bool {
 		if nodes[i].Depth != nodes[j].Depth {
@@ -175,7 +201,43 @@ func (g *Graph) Snapshot(opts PruneOptions) *Picture {
 		}
 		return nodeLess(edges[i].To, edges[j].To)
 	})
-	return &Picture{Site: g.site, Total: total, Nodes: nodes, Edges: edges}
+	return &Picture{Site: site, Total: total, Nodes: nodes, Edges: edges}
+}
+
+// flatDepths returns each node's minimum distance from the root over the
+// flat edges that carry weight, mirroring Graph.depths.
+func flatDepths(flat []flatEdge) map[NodeID]int {
+	adj := make(map[NodeID][]NodeID, len(flat))
+	for _, e := range flat {
+		if e.weight == 0 {
+			continue
+		}
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+	var root NodeID
+	for from := range adj {
+		if from.Kind == KindRoot {
+			root = from
+			break
+		}
+	}
+	depth := map[NodeID]int{}
+	if root.Kind == 0 {
+		return depth
+	}
+	depth[root] = 0
+	queue := []NodeID{root}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, to := range adj[n] {
+			if _, seen := depth[to]; !seen {
+				depth[to] = depth[n] + 1
+				queue = append(queue, to)
+			}
+		}
+	}
+	return depth
 }
 
 func nodeLess(a, b NodeID) bool {
