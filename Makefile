@@ -23,7 +23,7 @@ race:
 # Run the fuzz corpora as plain tests (fast; catches regressions on
 # known-interesting inputs without an open-ended fuzz run).
 fuzz-seed:
-	$(GO) test ./internal/bgp ./internal/mrt ./internal/event ./internal/journal ./internal/core/stemming -run Fuzz -count=1
+	$(GO) test ./internal/bgp ./internal/mrt ./internal/event ./internal/journal ./internal/relay ./internal/core/stemming -run Fuzz -count=1
 
 # The hottest concurrent paths, twice, under the race detector: session
 # handling, the dial loop, the sharded streaming window, the parallel
@@ -31,7 +31,14 @@ fuzz-seed:
 # journal's crash harness (SIGKILL + torn-tail recovery).
 .PHONY: race-hot
 race-hot:
-	$(GO) test -race -count=2 ./internal/collector ./internal/bgp/fsm ./internal/core/pipeline ./internal/core/stemming ./internal/core/tamp ./internal/journal
+	$(GO) test -race -count=2 ./internal/collector ./internal/bgp/fsm ./internal/core/pipeline ./internal/core/stemming ./internal/core/tamp ./internal/journal ./internal/relay
+
+# The fleet soak: collector subprocesses SIGKILLed round-robin while
+# relaying to one analysis node, final output required byte-identical
+# to a single-process replay (see EXPERIMENTS.md "Fleet fan-in").
+.PHONY: soak
+soak:
+	$(GO) test -race -count=1 -run 'TestFleet|TestRelayFeedFromLiveCollector' ./cmd/rexfleet ./cmd/rexd
 
 # Open-ended fuzzing of the wire parser; override FUZZTIME for longer runs.
 FUZZTIME ?= 30s

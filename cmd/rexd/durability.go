@@ -40,6 +40,22 @@ type durability struct {
 
 	mu       sync.Mutex
 	lastTime time.Time // running max of journaled event times
+
+	// Relay wiring (set by setRelay when -relay-to is active): wakeFeed
+	// nudges the feed after every append, ackFloor bounds checkpoint
+	// trimming to the receiver's acked cursor so un-relayed events are
+	// never trimmed away — a restart resumes relaying from the journal.
+	wakeFeed func()
+	ackFloor func() uint64
+}
+
+// setRelay connects a relay feed to the journal lifecycle. Call before
+// live sessions start delivering events.
+func (d *durability) setRelay(wake func(), acked func() uint64) {
+	d.mu.Lock()
+	d.wakeFeed = wake
+	d.ackFloor = acked
+	d.mu.Unlock()
 }
 
 // openDurability runs the recovery path into p and c, then opens the
@@ -105,6 +121,12 @@ func (d *durability) journalEvent(e *event.Event) error {
 		return err
 	}
 	d.observe(seq, e.Time)
+	d.mu.Lock()
+	wake := d.wakeFeed
+	d.mu.Unlock()
+	if wake != nil {
+		wake()
+	}
 	return nil
 }
 
@@ -146,11 +168,23 @@ func (d *durability) checkpoint(c *collector.Collector) error {
 	if _, err := journal.PruneCheckpoints(d.dir, 3); err != nil {
 		return err
 	}
-	if _, err := d.w.TrimTo(ck.ReplayLow); err != nil {
+	// Trim no further than the relay receiver has acked: records the
+	// analysis node has not durably received stay on disk, and a
+	// restarted daemon resumes relaying them from the journal.
+	floor := ck.ReplayLow
+	d.mu.Lock()
+	ackFloor := d.ackFloor
+	d.mu.Unlock()
+	if ackFloor != nil {
+		if a := ackFloor(); a < floor {
+			floor = a
+		}
+	}
+	if _, err := d.w.TrimTo(floor); err != nil {
 		return err
 	}
-	obs.Logf(obs.Debug, "rexd", "checkpoint at seq %d (replay floor %d, %d routes)",
-		ck.NextSeq, ck.ReplayLow, ck.RouteCount())
+	obs.Logf(obs.Debug, "rexd", "checkpoint at seq %d (replay floor %d, trim floor %d, %d routes)",
+		ck.NextSeq, ck.ReplayLow, floor, ck.RouteCount())
 	return nil
 }
 

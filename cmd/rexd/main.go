@@ -56,6 +56,7 @@ import (
 	"rex/internal/event"
 	"rex/internal/journal"
 	"rex/internal/obs"
+	"rex/internal/relay"
 	"rex/internal/viz"
 
 	"net/netip"
@@ -108,6 +109,10 @@ func run(args []string) error {
 		fsyncFlag   = fs.String("fsync", "interval", "journal fsync policy: always, interval or never")
 		overload    = fs.String("overload", "block", "intake overload policy: block (lossless, may stall sessions), shed (never blocks, drops at a full queue) or spill (never blocks, journals everything, sheds only the analysis copy)")
 		workers     = fs.Int("workers", 0, "analysis worker goroutines; snapshots are byte-identical at any value (0 = GOMAXPROCS, 1 = sequential)")
+		relayTo     = fs.String("relay-to", "", "stream the journal to a central analysis node at this address (requires -journal-dir; resumes from the node's ack after restarts)")
+		feedIDFlag  = fs.String("feed-id", "", "stable feed identity for -relay-to (default: the -id address)")
+		relayListen = fs.String("relay-listen", "", "run as the central analysis node: accept collector relay feeds on this address instead of BGP sessions")
+		expectFeeds = fs.String("expect-feeds", "", "comma-separated feed roster for -relay-listen; listed feeds gate the merge and strangers are rejected (empty accepts any feed)")
 	)
 	fs.Var(&peers, "peer", "address to actively dial and maintain a session with (repeatable, comma-separable)")
 	if err := fs.Parse(args); err != nil {
@@ -163,6 +168,12 @@ func run(args []string) error {
 		Prune:         tamp.PruneOptions{KeepDepth: 3},
 		Workers:       nWorkers,
 	})
+	if *relayListen != "" {
+		if *relayTo != "" {
+			return fmt.Errorf("-relay-listen and -relay-to are mutually exclusive roles")
+		}
+		return runAnalysisNode(*relayListen, splitFeeds(*expectFeeds), p, *runFor)
+	}
 	var finalSnap pipeline.Snapshot
 	snapDone := make(chan struct{})
 	go func() {
@@ -214,6 +225,31 @@ func run(args []string) error {
 		intakeCfg.Journal = dur.journalEvent
 	}
 	in = pipeline.NewIntake(intakeCfg, p)
+
+	// The relay feed streams the journal to a central analysis node,
+	// resuming at the node's acked cursor after any interruption. The
+	// journal is the source of truth: appends wake the feed, and the
+	// checkpoint cycle never trims past the node's ack.
+	var feed *relay.Feed
+	if *relayTo != "" {
+		if dur == nil {
+			return fmt.Errorf("-relay-to requires -journal-dir (the journal is the relay's source and resume log)")
+		}
+		fid := *feedIDFlag
+		if fid == "" {
+			fid = id.String()
+		}
+		feed = relay.NewFeed(relay.FeedConfig{
+			ID: fid, Dir: *journalDir, Addr: *relayTo,
+			// Live events carry the collector's own clock, so while
+			// caught up the feed can promise the merge "nothing earlier
+			// than now" and keep the analysis node's gate open.
+			IdleWatermark: time.Now,
+		})
+		dur.setRelay(feed.Wake, feed.Acked)
+		go feed.Run()
+		obs.Logf(obs.Info, "rexd", "relaying journal to %s as feed %q", *relayTo, fid)
+	}
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -318,8 +354,33 @@ loop:
 			}
 		}
 	}
+	if feed != nil {
+		// Best-effort drain: the shutdown sweep above just journaled its
+		// last events, so give the feed a bounded window to stream the
+		// tail and collect acks before cutting the connection. Anything
+		// still unacked stays in the journal (the final checkpoint's
+		// trim respected the ack floor); the next start resumes
+		// relaying it.
+		head := dur.w.NextSeq()
+		deadline := time.Now().Add(5 * time.Second)
+		for feed.Acked() < head && time.Now().Before(deadline) {
+			feed.Wake()
+			time.Sleep(20 * time.Millisecond)
+		}
+		if a := feed.Acked(); a < head {
+			obs.Logf(obs.Warn, "rexd", "relay drain timed out at seq %d of %d; journal retains the rest", a, head)
+		}
+		feed.Close()
+	}
 	p.Close()
 	<-snapDone
+	printFinal(finalSnap)
+	return closeErr
+}
+
+// printFinal reports the shutdown snapshot: the final window
+// decomposition and TAMP picture, when there is anything to show.
+func printFinal(finalSnap pipeline.Snapshot) {
 	if len(finalSnap.Components) > 0 {
 		fmt.Printf("rexd: final window: %d events\n", finalSnap.Events)
 		printComponents(finalSnap.Components)
@@ -328,7 +389,6 @@ loop:
 		fmt.Println("rexd: final TAMP picture:")
 		fmt.Print(viz.ASCII(finalSnap.Picture))
 	}
-	return closeErr
 }
 
 // printSnapshot reports one pipeline snapshot on stdout.

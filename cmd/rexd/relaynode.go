@@ -1,0 +1,94 @@
+// rexd's analysis-node role: with -relay-listen the daemon is the
+// central end of the fan-in tier. Instead of speaking BGP it accepts
+// relay feeds from collector rexds (-relay-to), merges their event
+// streams deterministically, and runs the analysis pipeline over the
+// merged stream. A feed that goes silent is flagged stale and stops
+// gating the merge — analysis continues on the survivors, and the
+// stale feed's routes age out upstream via graceful-restart retention
+// rather than being withdrawn synthetically here.
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"rex/internal/core/pipeline"
+	"rex/internal/obs"
+	"rex/internal/relay"
+)
+
+// splitFeeds parses the -expect-feeds roster.
+func splitFeeds(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// runAnalysisNode serves relay feeds into p until a signal or -run-for
+// elapses, then flushes and prints the final analysis.
+func runAnalysisNode(addr string, roster []string, p *pipeline.Pipeline, runFor time.Duration) error {
+	rcv := relay.NewReceiver(relay.ReceiverConfig{Pipeline: p, ExpectFeeds: roster})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	who := "any feed"
+	if len(roster) > 0 {
+		who = strings.Join(roster, ", ")
+	}
+	obs.Logf(obs.Info, "rexd", "analysis node on %s (accepting: %s)", ln.Addr(), who)
+	go rcv.Serve(ln)
+
+	var finalSnap pipeline.Snapshot
+	snapDone := make(chan struct{})
+	go func() {
+		defer close(snapDone)
+		stale := map[string]bool{}
+		for s := range rcv.Snapshots() {
+			if s.Trigger == pipeline.TriggerFinal {
+				finalSnap = s.Snapshot
+				continue
+			}
+			printSnapshot(s.Snapshot)
+			// Degradation transitions, printed once per flip.
+			for _, fs := range s.Feeds {
+				if fs.Stale == stale[fs.ID] {
+					continue
+				}
+				stale[fs.ID] = fs.Stale
+				if fs.Stale {
+					fmt.Printf("rexd: feed %s STALE (cursor %d, last heard %s); analysis continues on survivors\n",
+						fs.ID, fs.NextSeq, fs.LastHeard.Format(time.RFC3339))
+				} else {
+					fmt.Printf("rexd: feed %s recovered (cursor %d)\n", fs.ID, fs.NextSeq)
+				}
+			}
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	var timeout <-chan time.Time
+	if runFor > 0 {
+		timer := time.NewTimer(runFor)
+		defer timer.Stop()
+		timeout = timer.C
+	}
+	select {
+	case <-stop:
+	case <-timeout:
+	}
+	rcv.Close()
+	<-snapDone
+	printFinal(finalSnap)
+	return nil
+}

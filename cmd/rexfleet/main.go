@@ -1,0 +1,452 @@
+// Command rexfleet runs a collector fleet against one analysis node,
+// end to end on one machine: a relay receiver feeding the streaming
+// pipeline, plus N collector subprocesses, each journaling its share
+// of a simulated ISP scenario locally and streaming it over the relay
+// protocol with ack/resume. It is the integration harness for the
+// fan-in tier — the moving parts a real deployment has (separate
+// processes, real TCP, local journals, a supervisor) in one command.
+//
+// The scenario is deterministic: every collector regenerates the same
+// simulated site from -seed and takes the substream for its -index, so
+// a collector that crashes and restarts rebuilds exactly the journal
+// it lost and resumes from the receiver's ack. -kill-every turns that
+// into a chaos loop — SIGKILL a collector round-robin, respawn it, and
+// let recovery do the rest. With -check the run ends by replaying the
+// whole scenario single-process and comparing analysis output
+// byte-for-byte; any divergence is an error.
+//
+// Example (a 30-second soak with kills every 2s):
+//
+//	rexfleet -feeds 3 -events 6000 -kill-every 2s -check
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"os/signal"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"time"
+
+	"rex/internal/core/pipeline"
+	"rex/internal/core/tamp"
+	"rex/internal/event"
+	"rex/internal/journal"
+	"rex/internal/obs"
+	"rex/internal/relay"
+	"rex/internal/sim"
+)
+
+// fleetT0 anchors the simulated scenario; fixed so every process in
+// the fleet regenerates identical streams.
+var fleetT0 = time.Date(2003, 8, 1, 0, 0, 0, 0, time.UTC)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rexfleet:", err)
+		os.Exit(1)
+	}
+}
+
+// fleetOpts is every knob both roles need; the supervisor forwards the
+// scenario subset to its collectors verbatim.
+type fleetOpts struct {
+	feeds     int
+	events    int
+	span      time.Duration
+	seed      int64
+	throttle  time.Duration
+	heartbeat time.Duration
+	fsync     string
+	logLevel  string
+
+	listen     string
+	dir        string
+	killEvery  time.Duration
+	timeout    time.Duration
+	check      bool
+	window     time.Duration
+	snapEvery  time.Duration
+	staleAfter time.Duration
+
+	role  string
+	index int
+	addr  string
+	jdir  string
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("rexfleet", flag.ContinueOnError)
+	var o fleetOpts
+	fs.IntVar(&o.feeds, "feeds", 3, "collector count")
+	fs.IntVar(&o.events, "events", 6000, "total events in the simulated scenario")
+	fs.DurationVar(&o.span, "span", 30*time.Minute, "event-time span of the scenario")
+	fs.Int64Var(&o.seed, "seed", 7, "scenario seed")
+	fs.DurationVar(&o.throttle, "throttle", 100*time.Microsecond, "pause between a collector's journal appends, spreading the stream so kills land mid-flight")
+	fs.DurationVar(&o.heartbeat, "heartbeat", 50*time.Millisecond, "feed heartbeat cadence")
+	fs.StringVar(&o.fsync, "fsync", "never", "collector journal fsync policy: always, interval or never")
+	fs.StringVar(&o.listen, "listen", "127.0.0.1:0", "receiver listen address")
+	fs.StringVar(&o.dir, "dir", "", "root directory for collector journals (default: a fresh temp dir)")
+	fs.DurationVar(&o.killEvery, "kill-every", 0, "SIGKILL a collector this often, round-robin (0 disables the chaos)")
+	fs.DurationVar(&o.timeout, "timeout", 2*time.Minute, "abort if the fleet has not delivered everything in this long")
+	fs.BoolVar(&o.check, "check", false, "after the run, replay the scenario single-process and require byte-identical analysis output")
+	fs.DurationVar(&o.window, "window", 10*time.Minute, "analysis window (event time)")
+	fs.DurationVar(&o.snapEvery, "snapshot-every", 2*time.Minute, "periodic snapshot cadence (event time)")
+	fs.DurationVar(&o.staleAfter, "stale-after", 2*time.Second, "silence after which a feed stops gating the merge and is flagged stale")
+	fs.StringVar(&o.logLevel, "log-level", "info", "lowest log level to emit (debug, info, warn, error)")
+	fs.StringVar(&o.role, "role", "supervisor", "internal: supervisor or collector")
+	fs.IntVar(&o.index, "index", 0, "internal: collector index")
+	fs.StringVar(&o.addr, "addr", "", "internal: receiver address for a collector")
+	fs.StringVar(&o.jdir, "journal-dir", "", "internal: collector journal directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	lv, err := obs.ParseLevel(o.logLevel)
+	if err != nil {
+		return fmt.Errorf("bad -log-level: %w", err)
+	}
+	obs.SetLogLevel(lv)
+	if o.feeds < 1 {
+		return fmt.Errorf("-feeds must be at least 1")
+	}
+	if o.role == "collector" {
+		return runCollector(o)
+	}
+	return runSupervisor(o)
+}
+
+func feedID(i int) string { return fmt.Sprintf("feed-%02d", i) }
+
+// substreams regenerates the deterministic scenario and its per-feed
+// split. Every process computes this identically from the flags alone.
+func substreams(o fleetOpts) map[string]event.Stream {
+	is := sim.ISPAnon(sim.ISPAnonConfig{PoPs: 2, RRsPerPoP: 2, Tier1Peers: 3,
+		CustomerStubs: 12, InternetStubs: 12, PrefixesPerStub: 2})
+	s := sim.BenchEvents(is.Site, is.BaselineRoutes(), o.events, o.span, fleetT0, o.seed)
+	split := sim.PartitionByPeer(s, o.feeds)
+	parts := map[string]event.Stream{}
+	for i, p := range split {
+		parts[feedID(i)] = p
+	}
+	return parts
+}
+
+func analysisConfig(o fleetOpts) pipeline.Config {
+	return pipeline.Config{
+		Window:        o.window,
+		SnapshotEvery: o.snapEvery,
+		SpikeK:        8,
+		Site:          "fleet",
+		Prune:         tamp.PruneOptions{KeepDepth: 3},
+	}
+}
+
+// runCollector is the child role: journal my substream locally (paced
+// by -throttle), stream the journal to the receiver, trim behind its
+// acks. A restart finds the journal, resumes appending at its end —
+// the regenerated stream is identical — and the feed resumes at the
+// receiver's cursor.
+func runCollector(o fleetOpts) error {
+	if o.addr == "" || o.jdir == "" {
+		return fmt.Errorf("collector role needs -addr and -journal-dir")
+	}
+	pol, err := journal.ParseFsyncPolicy(o.fsync)
+	if err != nil {
+		return fmt.Errorf("bad -fsync: %w", err)
+	}
+	id := feedID(o.index)
+	mine, ok := substreams(o)[id]
+	if !ok {
+		return fmt.Errorf("index %d out of range for %d feeds", o.index, o.feeds)
+	}
+
+	var f *relay.Feed
+	w, err := journal.Open(o.jdir, journal.Options{
+		Fsync:    pol,
+		OnAppend: func(uint64) { f.Wake() },
+	})
+	if err != nil {
+		return err
+	}
+	f = relay.NewFeed(relay.FeedConfig{
+		ID: id, Dir: o.jdir, Addr: o.addr,
+		HeartbeatEvery: o.heartbeat,
+		MinBackoff:     50 * time.Millisecond,
+		MaxBackoff:     2 * time.Second,
+		Seed:           o.seed + int64(o.index),
+	})
+	go f.Run()
+
+	start := w.NextSeq()
+	obs.Logf(obs.Info, "rexfleet", "collector %s: %d events, journal at seq %d", id, len(mine), start)
+	appendDone := make(chan error, 1)
+	go func() {
+		for i := start; i < uint64(len(mine)); i++ {
+			if _, err := w.Append(&mine[i]); err != nil {
+				appendDone <- err
+				return
+			}
+			if o.throttle > 0 {
+				time.Sleep(o.throttle)
+			}
+		}
+		appendDone <- nil
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	trim := time.NewTicker(time.Second)
+	defer trim.Stop()
+	for {
+		select {
+		case <-sig:
+			// The supervisor is done with us. The journal stays as-is:
+			// a restart (or a post-mortem) picks up from disk.
+			f.Close()
+			return nil
+		case err := <-appendDone:
+			if err != nil {
+				f.Close()
+				return fmt.Errorf("append: %w", err)
+			}
+			appendDone = nil // keep serving the tail until told to stop
+		case <-trim.C:
+			// The receiver's ack is the durable cursor: everything below
+			// it can go. TrimTo never touches the active segment, so the
+			// tail the feed is still serving survives.
+			if _, err := w.TrimTo(f.Acked()); err != nil {
+				obs.Logf(obs.Warn, "rexfleet", "collector %s: trim: %v", id, err)
+			}
+		}
+	}
+}
+
+// childCommand builds the subprocess for one collector; tests override
+// it to re-exec the test binary.
+var childCommand = func(args []string) *exec.Cmd {
+	exe, err := os.Executable()
+	if err != nil {
+		exe = os.Args[0]
+	}
+	return exec.Command(exe, args...)
+}
+
+// fleet tracks the collector subprocesses.
+type fleet struct {
+	mu    sync.Mutex
+	procs []*exec.Cmd
+	spawn func(i int) *exec.Cmd
+}
+
+func (fl *fleet) respawn(i int) {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	fl.procs[i] = fl.spawn(i)
+}
+
+// kill SIGKILLs collector i and reaps it; the caller respawns.
+func (fl *fleet) kill(i int) {
+	fl.mu.Lock()
+	cmd := fl.procs[i]
+	fl.mu.Unlock()
+	if cmd == nil || cmd.Process == nil {
+		return
+	}
+	cmd.Process.Kill()
+	cmd.Wait()
+}
+
+// stopAll SIGTERMs every collector and reaps them, escalating to
+// SIGKILL after a grace period.
+func (fl *fleet) stopAll() {
+	fl.mu.Lock()
+	procs := append([]*exec.Cmd(nil), fl.procs...)
+	fl.mu.Unlock()
+	for _, cmd := range procs {
+		if cmd != nil && cmd.Process != nil {
+			cmd.Process.Signal(syscall.SIGTERM)
+		}
+	}
+	for _, cmd := range procs {
+		if cmd == nil || cmd.Process == nil {
+			continue
+		}
+		done := make(chan struct{})
+		go func(c *exec.Cmd) { c.Wait(); close(done) }(cmd)
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			cmd.Process.Kill()
+			<-done
+		}
+	}
+}
+
+// runSupervisor is the parent role: receiver + pipeline in-process,
+// collectors as children, optional kill loop, and the final check.
+func runSupervisor(o fleetOpts) error {
+	parts := substreams(o)
+	ids := make([]string, o.feeds)
+	for i := range ids {
+		ids[i] = feedID(i)
+	}
+
+	root := o.dir
+	if root == "" {
+		var err error
+		if root, err = os.MkdirTemp("", "rexfleet-"); err != nil {
+			return err
+		}
+		defer os.RemoveAll(root)
+	}
+
+	readTimeout := 4 * o.heartbeat
+	if readTimeout < 500*time.Millisecond {
+		readTimeout = 500 * time.Millisecond
+	}
+	p := pipeline.New(analysisConfig(o))
+	rcv := relay.NewReceiver(relay.ReceiverConfig{
+		Pipeline:    p,
+		ExpectFeeds: ids,
+		StaleAfter:  o.staleAfter,
+		ReadTimeout: readTimeout,
+	})
+	ln, err := net.Listen("tcp", o.listen)
+	if err != nil {
+		return err
+	}
+	go rcv.Serve(ln)
+	obs.Logf(obs.Info, "rexfleet", "receiver on %s, %d collectors, %d events", ln.Addr(), o.feeds, o.events)
+
+	var snaps []pipeline.Snapshot
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for s := range rcv.Snapshots() {
+			snaps = append(snaps, s.Snapshot)
+			stale := 0
+			for _, fs := range s.Feeds {
+				if fs.Stale {
+					stale++
+				}
+			}
+			obs.Logf(obs.Info, "rexfleet", "snapshot %s: %d events in window, %d component(s), %d/%d feeds stale",
+				s.At.Format(time.RFC3339), s.Events, len(s.Components), stale, len(s.Feeds))
+		}
+	}()
+
+	fl := &fleet{procs: make([]*exec.Cmd, o.feeds)}
+	fl.spawn = func(i int) *exec.Cmd {
+		cmd := childCommand([]string{
+			"-role=collector",
+			fmt.Sprintf("-index=%d", i),
+			"-addr=" + ln.Addr().String(),
+			"-journal-dir=" + filepath.Join(root, feedID(i)),
+			fmt.Sprintf("-feeds=%d", o.feeds),
+			fmt.Sprintf("-events=%d", o.events),
+			"-span=" + o.span.String(),
+			fmt.Sprintf("-seed=%d", o.seed),
+			"-throttle=" + o.throttle.String(),
+			"-heartbeat=" + o.heartbeat.String(),
+			"-fsync=" + o.fsync,
+			"-log-level=" + o.logLevel,
+		})
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			obs.Logf(obs.Error, "rexfleet", "spawn collector %d: %v", i, err)
+			return nil
+		}
+		return cmd
+	}
+	for i := 0; i < o.feeds; i++ {
+		fl.respawn(i)
+	}
+
+	chaosStop := make(chan struct{})
+	var chaosWG sync.WaitGroup
+	kills := 0
+	if o.killEvery > 0 {
+		chaosWG.Add(1)
+		go func() {
+			defer chaosWG.Done()
+			t := time.NewTicker(o.killEvery)
+			defer t.Stop()
+			victim := 0
+			for {
+				select {
+				case <-chaosStop:
+					return
+				case <-t.C:
+					obs.Logf(obs.Info, "rexfleet", "chaos: SIGKILL collector %d", victim)
+					fl.kill(victim)
+					fl.respawn(victim)
+					kills++
+					victim = (victim + 1) % o.feeds
+				}
+			}
+		}()
+	}
+
+	// Completion: the receiver's per-feed cursor reaching each feed's
+	// event count means every event has been delivered exactly once.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	deadline := time.Now().Add(o.timeout)
+	var runErr error
+poll:
+	for {
+		complete := true
+		st := rcv.Statuses()
+		for i, id := range ids {
+			if st[i].NextSeq < uint64(len(parts[id])) {
+				complete = false
+				break
+			}
+		}
+		if complete {
+			break
+		}
+		if time.Now().After(deadline) {
+			runErr = fmt.Errorf("fleet incomplete after %s", o.timeout)
+			break
+		}
+		select {
+		case <-sig:
+			runErr = fmt.Errorf("interrupted")
+			break poll
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+
+	close(chaosStop)
+	chaosWG.Wait()
+	fl.stopAll()
+	rcv.Close()
+	<-drained
+
+	for _, st := range rcv.Statuses() {
+		obs.Logf(obs.Info, "rexfleet", "feed %s: received %d, duplicates %d, cursor %d",
+			st.ID, st.Received, st.Duplicates, st.NextSeq)
+	}
+	if kills > 0 {
+		obs.Logf(obs.Info, "rexfleet", "chaos delivered %d SIGKILLs", kills)
+	}
+	if runErr != nil {
+		return runErr
+	}
+
+	if o.check {
+		want := pipeline.RenderSnapshots(pipeline.Replay(relay.MergeStreams(parts), analysisConfig(o)))
+		got := pipeline.RenderSnapshots(snaps)
+		if got != want {
+			return fmt.Errorf("fleet output DIVERGED from the single-process replay (%d vs %d rendered bytes)", len(got), len(want))
+		}
+		obs.Logf(obs.Info, "rexfleet", "check: %d snapshots byte-identical to the single-process replay", len(snaps))
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestRexfleetChild is not a test: it is the collector subprocess,
+// re-exec'd from the test binary by the supervisor under test (the
+// same trick the journal crash tests use). It skips in a normal run.
+func TestRexfleetChild(t *testing.T) {
+	args := os.Getenv("REXFLEET_CHILD_ARGS")
+	if args == "" {
+		t.Skip("re-exec helper, not a test")
+	}
+	if err := run(strings.Split(args, "\n")); err != nil {
+		fmt.Fprintln(os.Stderr, "rexfleet child:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// TestFleetSIGKILLRecovery runs the whole supervisor in-process with
+// collectors as SIGKILLed-and-respawned subprocesses, and requires the
+// final analysis output to be byte-identical to a single-process
+// replay: crash recovery with no gaps and no duplicates, end to end
+// across real process boundaries.
+func TestFleetSIGKILLRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses and runs a multi-second soak")
+	}
+	old := childCommand
+	defer func() { childCommand = old }()
+	childCommand = func(args []string) *exec.Cmd {
+		cmd := exec.Command(os.Args[0], "-test.run=TestRexfleetChild$")
+		cmd.Env = append(os.Environ(), "REXFLEET_CHILD_ARGS="+strings.Join(args, "\n"))
+		return cmd
+	}
+	err := run([]string{
+		"-feeds=2",
+		"-events=2500",
+		"-throttle=300us",
+		"-kill-every=300ms",
+		"-check",
+		"-timeout=90s",
+		"-log-level=warn",
+		"-dir=" + t.TempDir(),
+	})
+	if err != nil {
+		t.Fatalf("fleet run with SIGKILL chaos failed: %v", err)
+	}
+}
+
+// TestFleetHealthy is the no-chaos baseline of the same differential.
+func TestFleetHealthy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	old := childCommand
+	defer func() { childCommand = old }()
+	childCommand = func(args []string) *exec.Cmd {
+		cmd := exec.Command(os.Args[0], "-test.run=TestRexfleetChild$")
+		cmd.Env = append(os.Environ(), "REXFLEET_CHILD_ARGS="+strings.Join(args, "\n"))
+		return cmd
+	}
+	err := run([]string{
+		"-feeds=3",
+		"-events=1500",
+		"-throttle=0",
+		"-check",
+		"-timeout=60s",
+		"-log-level=warn",
+		"-dir=" + t.TempDir(),
+	})
+	if err != nil {
+		t.Fatalf("healthy fleet run failed: %v", err)
+	}
+}

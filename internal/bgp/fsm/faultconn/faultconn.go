@@ -1,19 +1,42 @@
 // Package faultconn wraps a net.Conn with deterministic, scriptable
-// faults: injected latency, byte-offset corruption, and connection cuts
+// faults: injected latency, byte-offset corruption, connection cuts
 // that fire mid-stream (simulating TCP resets in the middle of a BGP
-// message, partial writes included). It exists so the session layer —
-// fsm.Establish, the keepalive/hold machinery, and the collector's
-// graceful-restart reconcile path — can be hammered with the network
+// message, partial writes included), and asymmetric failures — one
+// direction stalls or silently loses data while the other keeps
+// working, the way a real one-way partition or a wedged middlebox
+// behaves. It exists so the session layer — fsm.Establish, the
+// keepalive/hold machinery, the collector's graceful-restart reconcile
+// path, and the relay fan-in tier — can be hammered with the network
 // weather a months-long passive peering actually sees, without flaky
 // timing tricks in tests.
 //
 // All byte offsets in Options are 1-based stream positions ("the Nth
 // byte"), so the zero value of every field means "no fault".
+//
+// The fault modes compose into the classic partition taxonomy:
+//
+//   - Cut*After: hard reset — both directions die with an error.
+//   - Stall*After / StallReads / StallWrites: a wedged direction — the
+//     operation blocks without erroring, which is what a filled TCP
+//     window or a silently dropped ACK stream looks like to the
+//     application. The OTHER direction keeps flowing: a read-only
+//     stall models a peer that still accepts our writes but sends
+//     nothing; a write-only stall the reverse. A stalled operation
+//     wakes on Cut/Close (ErrInjected) or when its deadline — set via
+//     SetReadDeadline and friends before the call — expires
+//     (os.ErrDeadlineExceeded), because on a real conn silence never
+//     disables deadlines; protocol liveness timers must still fire.
+//   - DropWritesAfter / DropWrites: a one-way partition — writes
+//     "succeed" (the caller sees full-length, nil-error writes) but
+//     the bytes never reach the peer, while reads keep working. This
+//     is the asymmetric-routing failure TCP keepalives take minutes to
+//     notice; protocol-level heartbeats and deadlines must catch it.
 package faultconn
 
 import (
 	"errors"
 	"net"
+	"os"
 	"sync"
 	"time"
 )
@@ -44,6 +67,20 @@ type Options struct {
 	// 17–19 clobber the length/type header.
 	CorruptReadAt  int64
 	CorruptWriteAt int64
+	// StallReadAfter, when positive, lets exactly that many bytes be
+	// read and then makes every subsequent Read block until the
+	// connection is Cut or Closed (then ErrInjected). Writes keep
+	// working: the read direction alone is wedged.
+	StallReadAfter int64
+	// StallWriteAfter is the write-direction twin of StallReadAfter: a
+	// Write that would cross the threshold delivers the allowed prefix
+	// and then blocks.
+	StallWriteAfter int64
+	// DropWritesAfter, when positive, lets exactly that many bytes out
+	// and then silently discards every subsequent write — the caller
+	// sees full-length successful writes, the peer sees nothing, and
+	// reads keep working. A one-way partition.
+	DropWritesAfter int64
 }
 
 // Conn is a net.Conn with fault injection. Wrap both ends of a pipe (or
@@ -52,25 +89,85 @@ type Conn struct {
 	inner net.Conn
 	opts  Options
 
-	mu           sync.Mutex
-	bytesRead    int64
-	bytesWritten int64
-	cut          bool
+	mu            sync.Mutex
+	bytesRead     int64
+	bytesWritten  int64
+	cut           bool
+	stallRead     bool
+	stallWrite    bool
+	dropWrite     bool
+	readDeadline  time.Time
+	writeDeadline time.Time
+	done          chan struct{} // closed on Cut/Close; wakes stalled ops
+	doneOnce      sync.Once
 }
 
 // New wraps c with the faults scripted in opts.
 func New(c net.Conn, opts Options) *Conn {
-	return &Conn{inner: c, opts: opts}
+	return &Conn{inner: c, opts: opts, done: make(chan struct{})}
 }
 
 // Cut kills the connection immediately: the underlying conn is closed
 // and every subsequent Read/Write fails with ErrInjected. Safe to call
-// from any goroutine (e.g. a test flapping a live session).
+// from any goroutine (e.g. a test flapping a live session). Stalled
+// operations wake and fail.
 func (c *Conn) Cut() {
 	c.mu.Lock()
 	c.cut = true
 	c.mu.Unlock()
+	c.doneOnce.Do(func() { close(c.done) })
 	c.inner.Close()
+}
+
+// StallReads wedges the read direction from now on: every subsequent
+// Read blocks until Cut or Close, then fails with ErrInjected. Writes
+// are unaffected. The dynamic form of Options.StallReadAfter.
+func (c *Conn) StallReads() {
+	c.mu.Lock()
+	c.stallRead = true
+	c.mu.Unlock()
+}
+
+// StallWrites wedges the write direction from now on; the dynamic form
+// of Options.StallWriteAfter.
+func (c *Conn) StallWrites() {
+	c.mu.Lock()
+	c.stallWrite = true
+	c.mu.Unlock()
+}
+
+// DropWrites starts silently discarding writes from now on — they
+// report success and deliver nothing, while reads keep working. The
+// dynamic form of Options.DropWritesAfter.
+func (c *Conn) DropWrites() {
+	c.mu.Lock()
+	c.dropWrite = true
+	c.mu.Unlock()
+}
+
+// stall blocks until the connection is Cut or Closed (ErrInjected) or
+// the operation's deadline expires (os.ErrDeadlineExceeded, which
+// reports Timeout() true like any real net.Conn deadline error). n is
+// forwarded so a partially-performed operation reports what it managed
+// first. The deadline is sampled at call time; a SetDeadline issued
+// while already stalled does not interrupt the blocked operation.
+func (c *Conn) stall(n int, deadline time.Time) (int, error) {
+	var expire <-chan time.Time
+	if !deadline.IsZero() {
+		d := time.Until(deadline)
+		if d <= 0 {
+			return n, os.ErrDeadlineExceeded
+		}
+		tm := time.NewTimer(d)
+		defer tm.Stop()
+		expire = tm.C
+	}
+	select {
+	case <-c.done:
+		return n, ErrInjected
+	case <-expire:
+		return n, os.ErrDeadlineExceeded
+	}
 }
 
 // BytesRead returns how many bytes have been read through the wrapper.
@@ -98,11 +195,24 @@ func (c *Conn) Read(p []byte) (int, error) {
 		c.mu.Unlock()
 		return 0, ErrInjected
 	}
+	if c.stallRead || (c.opts.StallReadAfter > 0 && c.bytesRead >= c.opts.StallReadAfter) {
+		dl := c.readDeadline
+		c.mu.Unlock()
+		return c.stall(0, dl)
+	}
+	if limit := c.opts.StallReadAfter; limit > 0 {
+		// The next read may cross the stall threshold: deliver the
+		// allowed prefix; the read after it will block.
+		if remaining := limit - c.bytesRead; int64(len(p)) > remaining {
+			p = p[:remaining]
+		}
+	}
 	if limit := c.opts.CutReadAfter; limit > 0 {
 		remaining := limit - c.bytesRead
 		if remaining <= 0 {
 			c.cut = true
 			c.mu.Unlock()
+			c.doneOnce.Do(func() { close(c.done) })
 			c.inner.Close()
 			return 0, ErrInjected
 		}
@@ -123,7 +233,9 @@ func (c *Conn) Read(p []byte) (int, error) {
 	return n, err
 }
 
-// Write implements net.Conn with the scripted write faults.
+// Write implements net.Conn with the scripted write faults. Precedence
+// when several write faults would fire on one call: cut, then stall,
+// then drop.
 func (c *Conn) Write(p []byte) (int, error) {
 	if c.opts.WriteDelay > 0 {
 		time.Sleep(c.opts.WriteDelay)
@@ -133,13 +245,21 @@ func (c *Conn) Write(p []byte) (int, error) {
 		c.mu.Unlock()
 		return 0, ErrInjected
 	}
+	if c.stallWrite || (c.opts.StallWriteAfter > 0 && c.bytesWritten >= c.opts.StallWriteAfter) {
+		dl := c.writeDeadline
+		c.mu.Unlock()
+		return c.stall(0, dl)
+	}
 	cutHere := false
+	stallHere := false
+	dropped := 0 // trailing bytes silently discarded (one-way partition)
 	toWrite := p
 	if limit := c.opts.CutWriteAfter; limit > 0 {
 		remaining := limit - c.bytesWritten
 		if remaining <= 0 {
 			c.cut = true
 			c.mu.Unlock()
+			c.doneOnce.Do(func() { close(c.done) })
 			c.inner.Close()
 			return 0, ErrInjected
 		}
@@ -148,17 +268,40 @@ func (c *Conn) Write(p []byte) (int, error) {
 			cutHere = true
 		}
 	}
+	if limit := c.opts.StallWriteAfter; limit > 0 && !cutHere {
+		if remaining := limit - c.bytesWritten; int64(len(toWrite)) >= remaining {
+			toWrite = toWrite[:remaining]
+			stallHere = true
+		}
+	}
+	if !cutHere && !stallHere && (c.dropWrite || c.opts.DropWritesAfter > 0) {
+		var remaining int64
+		if !c.dropWrite {
+			if remaining = c.opts.DropWritesAfter - c.bytesWritten; remaining < 0 {
+				remaining = 0
+			}
+		}
+		if int64(len(toWrite)) > remaining {
+			dropped = len(toWrite) - int(remaining)
+			toWrite = toWrite[:remaining]
+		}
+	}
 	start := c.bytesWritten
+	wdl := c.writeDeadline
 	c.mu.Unlock()
 
-	if o := c.opts.CorruptWriteAt; o > start && o <= start+int64(len(toWrite)) {
-		// Corrupt a copy; the caller's buffer must stay intact.
-		dup := make([]byte, len(toWrite))
-		copy(dup, toWrite)
-		dup[o-1-start] ^= 0xFF
-		toWrite = dup
+	var n int
+	var err error
+	if len(toWrite) > 0 {
+		if o := c.opts.CorruptWriteAt; o > start && o <= start+int64(len(toWrite)) {
+			// Corrupt a copy; the caller's buffer must stay intact.
+			dup := make([]byte, len(toWrite))
+			copy(dup, toWrite)
+			dup[o-1-start] ^= 0xFF
+			toWrite = dup
+		}
+		n, err = c.inner.Write(toWrite)
 	}
-	n, err := c.inner.Write(toWrite)
 	c.mu.Lock()
 	c.bytesWritten += int64(n)
 	if cutHere {
@@ -166,16 +309,28 @@ func (c *Conn) Write(p []byte) (int, error) {
 	}
 	c.mu.Unlock()
 	if cutHere {
+		c.doneOnce.Do(func() { close(c.done) })
 		c.inner.Close()
 		if err == nil {
 			err = ErrInjected
 		}
+		return n, err
+	}
+	if stallHere && err == nil {
+		return c.stall(n, wdl)
+	}
+	if err == nil {
+		// The dropped suffix "succeeded" as far as the caller knows.
+		n += dropped
 	}
 	return n, err
 }
 
-// Close closes the underlying connection.
-func (c *Conn) Close() error { return c.inner.Close() }
+// Close closes the underlying connection and wakes stalled operations.
+func (c *Conn) Close() error {
+	c.doneOnce.Do(func() { close(c.done) })
+	return c.inner.Close()
+}
 
 // LocalAddr returns the underlying local address.
 func (c *Conn) LocalAddr() net.Addr { return c.inner.LocalAddr() }
@@ -183,11 +338,29 @@ func (c *Conn) LocalAddr() net.Addr { return c.inner.LocalAddr() }
 // RemoteAddr returns the underlying remote address.
 func (c *Conn) RemoteAddr() net.Addr { return c.inner.RemoteAddr() }
 
-// SetDeadline forwards to the underlying conn.
-func (c *Conn) SetDeadline(t time.Time) error { return c.inner.SetDeadline(t) }
+// SetDeadline records the deadline (stalled operations honor it) and
+// forwards to the underlying conn.
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDeadline, c.writeDeadline = t, t
+	c.mu.Unlock()
+	return c.inner.SetDeadline(t)
+}
 
-// SetReadDeadline forwards to the underlying conn.
-func (c *Conn) SetReadDeadline(t time.Time) error { return c.inner.SetReadDeadline(t) }
+// SetReadDeadline records the read deadline (stalled reads honor it)
+// and forwards to the underlying conn.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDeadline = t
+	c.mu.Unlock()
+	return c.inner.SetReadDeadline(t)
+}
 
-// SetWriteDeadline forwards to the underlying conn.
-func (c *Conn) SetWriteDeadline(t time.Time) error { return c.inner.SetWriteDeadline(t) }
+// SetWriteDeadline records the write deadline (stalled writes honor
+// it) and forwards to the underlying conn.
+func (c *Conn) SetWriteDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.writeDeadline = t
+	c.mu.Unlock()
+	return c.inner.SetWriteDeadline(t)
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"io"
 	"net"
+	"os"
 	"testing"
 	"time"
 )
@@ -167,4 +168,237 @@ func TestDelaysApplied(t *testing.T) {
 		t.Errorf("write returned after %v, want >= 30ms", d)
 	}
 	_ = b
+}
+
+func TestStallReadAfterWedgesOnlyReads(t *testing.T) {
+	a, b := tcpPair(t)
+	fc := New(b, Options{StallReadAfter: 4})
+	if _, err := a.Write([]byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	// A read straddling the threshold delivers the allowed prefix.
+	got := make([]byte, 8)
+	n, err := fc.Read(got)
+	if n != 4 || err != nil {
+		t.Fatalf("straddling read = %d, %v; want 4, nil", n, err)
+	}
+	if !bytes.Equal(got[:4], []byte("0123")) {
+		t.Errorf("read %q", got[:4])
+	}
+	// The next read wedges; the write direction keeps working.
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := fc.Read(got)
+		errCh <- err
+	}()
+	select {
+	case err := <-errCh:
+		t.Fatalf("stalled read returned early: %v", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	if n, err := fc.Write([]byte("pong")); n != 4 || err != nil {
+		t.Fatalf("write during read stall = %d, %v", n, err)
+	}
+	echo := make([]byte, 4)
+	if _, err := io.ReadFull(a, echo); err != nil || !bytes.Equal(echo, []byte("pong")) {
+		t.Fatalf("peer read %q, %v", echo, err)
+	}
+	// Close wakes the stalled read with ErrInjected.
+	fc.Close()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrInjected) {
+			t.Errorf("stalled read err = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not wake the stalled read")
+	}
+}
+
+func TestStallWriteAfterWedgesOnlyWrites(t *testing.T) {
+	a, b := tcpPair(t)
+	fc := New(a, Options{StallWriteAfter: 3})
+	// A write crossing the threshold delivers the prefix then blocks —
+	// slow-loris from the peer's point of view.
+	type res struct {
+		n   int
+		err error
+	}
+	resCh := make(chan res, 1)
+	go func() {
+		n, err := fc.Write([]byte("abcdef"))
+		resCh <- res{n, err}
+	}()
+	pre := make([]byte, 3)
+	if _, err := io.ReadFull(b, pre); err != nil || !bytes.Equal(pre, []byte("abc")) {
+		t.Fatalf("peer read %q, %v", pre, err)
+	}
+	select {
+	case r := <-resCh:
+		t.Fatalf("stalled write returned early: %d, %v", r.n, r.err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	// Reads keep flowing while the write direction is wedged.
+	if _, err := b.Write([]byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 2)
+	if _, err := io.ReadFull(fc, got); err != nil || !bytes.Equal(got, []byte("hi")) {
+		t.Fatalf("read during write stall: %q, %v", got, err)
+	}
+	fc.Cut()
+	select {
+	case r := <-resCh:
+		if r.n != 3 || !errors.Is(r.err, ErrInjected) {
+			t.Errorf("stalled write = %d, %v; want 3 + ErrInjected", r.n, r.err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Cut did not wake the stalled write")
+	}
+}
+
+func TestDropWritesAfterIsOneWayPartition(t *testing.T) {
+	a, b := tcpPair(t)
+	fc := New(a, Options{DropWritesAfter: 5})
+	// Straddling write: prefix reaches the wire, suffix vanishes, caller
+	// sees full success.
+	if n, err := fc.Write([]byte("0123456789")); n != 10 || err != nil {
+		t.Fatalf("straddling write = %d, %v; want 10, nil", n, err)
+	}
+	// Every later write also "succeeds" silently.
+	if n, err := fc.Write([]byte("lost")); n != 4 || err != nil {
+		t.Fatalf("dropped write = %d, %v; want 4, nil", n, err)
+	}
+	// Reads keep working: the partition is one-way.
+	if _, err := b.Write([]byte("still here")); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 10)
+	if _, err := io.ReadFull(fc, got); err != nil || !bytes.Equal(got, []byte("still here")) {
+		t.Fatalf("read during drop: %q, %v", got, err)
+	}
+	// The peer received exactly the pre-threshold prefix.
+	a.Close()
+	wire, _ := io.ReadAll(b)
+	if !bytes.Equal(wire, []byte("01234")) {
+		t.Errorf("peer received %q, want %q", wire, "01234")
+	}
+	// Only delivered bytes count as written.
+	if fc.BytesWritten() != 5 {
+		t.Errorf("BytesWritten = %d, want 5", fc.BytesWritten())
+	}
+}
+
+func TestDynamicFaultModes(t *testing.T) {
+	a, b := tcpPair(t)
+	fc := New(a, Options{})
+	if n, err := fc.Write([]byte("ok")); n != 2 || err != nil {
+		t.Fatal(err)
+	}
+	fc.DropWrites()
+	if n, err := fc.Write([]byte("gone")); n != 4 || err != nil {
+		t.Fatalf("dropped write = %d, %v", n, err)
+	}
+	fc.StallWrites()
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := fc.Write([]byte("x"))
+		errCh <- err
+	}()
+	select {
+	case err := <-errCh:
+		t.Fatalf("stalled write returned early: %v", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	fc.Cut()
+	if err := <-errCh; !errors.Is(err, ErrInjected) {
+		t.Errorf("stalled write err = %v", err)
+	}
+	pre := make([]byte, 2)
+	if _, err := io.ReadFull(b, pre); err != nil || !bytes.Equal(pre, []byte("ok")) {
+		t.Fatalf("peer read %q, %v", pre, err)
+	}
+}
+
+func TestDynamicStallReadsWakesOnCut(t *testing.T) {
+	a, b := tcpPair(t)
+	fc := New(b, Options{})
+	if _, err := a.Write([]byte("xy")); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 2)
+	if _, err := io.ReadFull(fc, got); err != nil {
+		t.Fatal(err)
+	}
+	fc.StallReads()
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := fc.Read(got)
+		errCh <- err
+	}()
+	select {
+	case err := <-errCh:
+		t.Fatalf("stalled read returned early: %v", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	fc.Cut()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrInjected) {
+			t.Errorf("stalled read err = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Cut did not wake the stalled read")
+	}
+}
+
+// TestStallHonorsDeadline: a wedged direction must still trip the
+// operation's deadline, exactly as a silent real peer would — protocol
+// liveness timers depend on it.
+func TestStallHonorsDeadline(t *testing.T) {
+	a, b := tcpPair(t)
+	defer a.Close()
+	fc := New(b, Options{StallReadAfter: 2})
+	defer fc.Close()
+	if _, err := a.Write([]byte("xy")); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 2)
+	if _, err := io.ReadFull(fc, got); err != nil {
+		t.Fatal(err)
+	}
+	if err := fc.SetReadDeadline(time.Now().Add(50 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err := fc.Read(got)
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("stalled read err = %v, want deadline exceeded", err)
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("deadline error %v is not a net timeout", err)
+	}
+	if time.Since(start) > 3*time.Second {
+		t.Fatal("deadline fired far too late")
+	}
+
+	// Clearing the deadline restores block-until-Cut semantics.
+	if err := fc.SetReadDeadline(time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := fc.Read(got)
+		errCh <- err
+	}()
+	select {
+	case err := <-errCh:
+		t.Fatalf("undeadlined stalled read returned early: %v", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	fc.Cut()
+	if err := <-errCh; !errors.Is(err, ErrInjected) {
+		t.Errorf("stalled read after Cut err = %v", err)
+	}
 }

@@ -1,0 +1,39 @@
+package pipeline
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderSnapshots serializes every observable snapshot field into one
+// deterministic string: floats at full precision (%.17g), times as
+// UnixNano, components and pictures in their stored order. Two runs
+// are equivalent iff their renderings are byte-identical, which is the
+// comparison the worker-count invariance tests and the relay fleet's
+// differential checks are built on.
+func RenderSnapshots(snaps []Snapshot) string {
+	var b strings.Builder
+	for i, s := range snaps {
+		fmt.Fprintf(&b, "#%d %s at=%d win=[%d,%d] events=%d\n",
+			i, s.Trigger, s.At.UnixNano(), s.WindowStart.UnixNano(), s.WindowEnd.UnixNano(), s.Events)
+		if s.Spike != nil {
+			fmt.Fprintf(&b, "  spike=%+v\n", *s.Spike)
+		}
+		for _, c := range s.Components {
+			fmt.Fprintf(&b, "  comp score=%.17g count=%d stem=%v->%v seq=%v prefixes=%v events=%v first=%d last=%d\n",
+				c.Score, c.Count, c.Stem.From, c.Stem.To, c.Subsequence, c.Prefixes,
+				c.EventIndexes, c.First.UnixNano(), c.Last.UnixNano())
+		}
+		if p := s.Picture; p != nil {
+			fmt.Fprintf(&b, "  picture site=%s total=%d\n", p.Site, p.Total)
+			for _, n := range p.Nodes {
+				fmt.Fprintf(&b, "    node %v d=%d\n", n.ID, n.Depth)
+			}
+			for _, e := range p.Edges {
+				fmt.Fprintf(&b, "    edge %v->%v w=%d f=%.17g max=%d d=%d\n",
+					e.From, e.To, e.Weight, e.Fraction, e.MaxEver, e.Depth)
+			}
+		}
+	}
+	return b.String()
+}

@@ -110,6 +110,11 @@ type Options struct {
 	// segments — a recovered daemon whose journal was trimmed to a
 	// checkpoint resumes numbering where the checkpoint left off.
 	StartSeq uint64
+	// OnAppend, when set, is called after every successful Append with
+	// the record's sequence number. It runs outside the writer lock, so
+	// the callback may call back into the Writer — a live tailer's wake
+	// hook.
+	OnAppend func(seq uint64)
 }
 
 func (o Options) withDefaults() Options {
@@ -219,6 +224,14 @@ func (w *Writer) NextSeq() uint64 {
 // Durability follows the fsync policy; the record is always handed to
 // the OS before Append returns.
 func (w *Writer) Append(e *event.Event) (uint64, error) {
+	seq, err := w.append(e)
+	if err == nil && w.opts.OnAppend != nil {
+		w.opts.OnAppend(seq)
+	}
+	return seq, err
+}
+
+func (w *Writer) append(e *event.Event) (uint64, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {

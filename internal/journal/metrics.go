@@ -25,6 +25,8 @@ var (
 		"Bytes discarded by torn-tail truncation.")
 	mSkippedRecords = obs.NewCounter("rex_journal_skipped_records_total",
 		"Well-framed records skipped during scan for CRC or decode errors.")
+	mScanTrimmed = obs.NewCounter("rex_journal_scan_trimmed_segments_total",
+		"Segments that vanished mid-scan because retention trimmed them.")
 	mCheckpoints = obs.NewCounter("rex_journal_checkpoints_total",
 		"Checkpoints written successfully.")
 	mCheckpointSeconds = obs.NewHistogram("rex_journal_checkpoint_seconds",

@@ -2,9 +2,11 @@ package journal
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
+	"io/fs"
 	"os"
 	"path/filepath"
 
@@ -22,6 +24,11 @@ type ScanStats struct {
 	// after the break are unrecoverable (their boundaries are unknown)
 	// and the scan resumed at the next segment.
 	Abandoned int
+	// Trimmed counts segments listed at the start of the scan that had
+	// vanished by the time the scan reached them — retention (TrimTo)
+	// running concurrently with a live tailer. Their records were below
+	// the retention floor, so losing them is correct, not damage.
+	Trimmed int
 }
 
 // ErrStop lets a scan callback end the scan early without error.
@@ -32,6 +39,13 @@ var ErrStop = fmt.Errorf("journal: scan stopped")
 // bad CRC or undecodable payload loses only itself; a framing break
 // loses the rest of its segment. The returned stats cover only the
 // requested range (records below from are neither counted nor checked).
+//
+// Scan is safe against a concurrent Writer: a segment deleted by TrimTo
+// between the directory listing and its open is counted in
+// stats.Trimmed and skipped (trimmed records were below the retention
+// floor by definition), and a segment whose file is removed while its
+// descriptor is open stays readable to the end — a live tailer never
+// sees a torn read from retention.
 func Scan(dir string, from uint64, fn func(seq uint64, e *event.Event) error) (ScanStats, error) {
 	var stats ScanStats
 	segs, err := listSegments(dir)
@@ -51,6 +65,11 @@ func Scan(dir string, from uint64, fn func(seq uint64, e *event.Event) error) (S
 		}
 		if err == ErrStop {
 			return stats, nil
+		}
+		if errors.Is(err, fs.ErrNotExist) {
+			stats.Trimmed++
+			mScanTrimmed.Inc()
+			continue
 		}
 		if err != nil {
 			return stats, fmt.Errorf("journal scan %s: %w", filepath.Base(seg.path), err)
@@ -94,14 +113,24 @@ func scanSegment(seg segmentInfo, from uint64, fn func(seq uint64, e *event.Even
 	buf := make([]byte, 0, 4096)
 	for {
 		if size-off < int64(recHeaderLen) {
-			return size-off > 0, nil
+			// Trailing bytes too short for a frame header: an append in
+			// flight (live tailer on the active segment) or a torn crash
+			// tail Open will truncate. Either way the stream simply ends
+			// here — not damage.
+			return false, nil
 		}
 		if _, err := io.ReadFull(f, rec[:]); err != nil {
 			return true, nil
 		}
 		n := int64(binary.BigEndian.Uint32(rec[0:4]))
-		if n > MaxRecordLen || size-off-int64(recHeaderLen) < n {
+		if n > MaxRecordLen {
 			return true, nil
+		}
+		if size-off-int64(recHeaderLen) < n {
+			// A plausible header whose payload straddles EOF: the record
+			// was mid-append when we stat'd the file. Stop cleanly; the
+			// next scan picks it up whole.
+			return false, nil
 		}
 		want := binary.BigEndian.Uint32(rec[4:8])
 		if seq < from {

@@ -1,0 +1,159 @@
+package relay
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"rex/internal/bgp/fsm/faultconn"
+)
+
+// The chaos suite: every fault mode the transport can throw — cuts
+// landing mid-frame, slow-loris stalls, one-way partitions, corrupted
+// bytes — must collapse to reconnect + ack/resume, and the merged
+// output must stay byte-identical to the offline reference. The faults
+// ride faultconn wrappers injected at the feed's Dial hook, scripted
+// per connection attempt.
+
+// TestChaosMidRecordCut cuts each feed's first connection mid event
+// frame (a byte threshold no frame boundary aligns with), forcing a
+// partial record at the receiver and a resume on redial.
+func TestChaosMidRecordCut(t *testing.T) {
+	parts := fleetParts(t, 3, 1200)
+	got := runFanIn(t, parts, time.Hour, func(id string, attempt int, c net.Conn) net.Conn {
+		if attempt == 0 {
+			// 777 lands inside some event frame for every feed: frames
+			// are ~40-80 bytes, and the hello is 20.
+			return faultconn.New(c, faultconn.Options{CutWriteAfter: 777})
+		}
+		return c
+	})
+	if want := reference(parts); got.renders != want {
+		t.Fatalf("mid-record cut diverged: %s", firstDiff(got.renders, want))
+	}
+}
+
+// TestChaosRepeatedCuts keeps cutting: the first three connections of
+// every feed die at staggered thresholds, so recovery happens from
+// several distinct resume points per feed.
+func TestChaosRepeatedCuts(t *testing.T) {
+	parts := fleetParts(t, 3, 1200)
+	got := runFanIn(t, parts, time.Hour, func(id string, attempt int, c net.Conn) net.Conn {
+		if attempt < 3 {
+			return faultconn.New(c, faultconn.Options{CutWriteAfter: int64(400 + 351*attempt)})
+		}
+		return c
+	})
+	if want := reference(parts); got.renders != want {
+		t.Fatalf("repeated cuts diverged: %s", firstDiff(got.renders, want))
+	}
+}
+
+// TestChaosSlowLoris wedges each feed's first connection after a few
+// hundred bytes: writes block forever without erroring. The receiver's
+// read deadline must detect the silence, kill the connection, and the
+// redial resumes exactly.
+func TestChaosSlowLoris(t *testing.T) {
+	parts := fleetParts(t, 2, 900)
+	got := runFanIn(t, parts, time.Hour, func(id string, attempt int, c net.Conn) net.Conn {
+		if attempt == 0 {
+			return faultconn.New(c, faultconn.Options{StallWriteAfter: 300})
+		}
+		return c
+	})
+	if want := reference(parts); got.renders != want {
+		t.Fatalf("slow-loris diverged: %s", firstDiff(got.renders, want))
+	}
+}
+
+// TestChaosOneWayPartition drops each feed's writes silently after the
+// handshake: the feed believes it is streaming, the receiver hears
+// nothing. Only protocol-level liveness — the feed's ack deadline, the
+// receiver's read deadline — can catch this; TCP reports success.
+func TestChaosOneWayPartition(t *testing.T) {
+	parts := fleetParts(t, 2, 900)
+	got := runFanIn(t, parts, time.Hour, func(id string, attempt int, c net.Conn) net.Conn {
+		if attempt == 0 {
+			// Past the hello (20 bytes) and a little streaming, then
+			// every byte vanishes while reads keep flowing.
+			return faultconn.New(c, faultconn.Options{DropWritesAfter: 200})
+		}
+		return c
+	})
+	if want := reference(parts); got.renders != want {
+		t.Fatalf("one-way partition diverged: %s", firstDiff(got.renders, want))
+	}
+}
+
+// TestChaosCorruptFrame flips one byte mid-stream: the receiver's
+// frame CRC must reject it, drop the connection (the stream cannot be
+// re-framed past it), and resume exactly on redial.
+func TestChaosCorruptFrame(t *testing.T) {
+	parts := fleetParts(t, 2, 900)
+	got := runFanIn(t, parts, time.Hour, func(id string, attempt int, c net.Conn) net.Conn {
+		if attempt == 0 {
+			return faultconn.New(c, faultconn.Options{CorruptWriteAt: 500})
+		}
+		return c
+	})
+	if want := reference(parts); got.renders != want {
+		t.Fatalf("corrupt frame diverged: %s", firstDiff(got.renders, want))
+	}
+	if mFramesRejected.Value() == 0 {
+		t.Error("corruption never tripped the frame CRC")
+	}
+}
+
+// TestChaosAckPathCut cuts the receiver→feed direction (acks) while
+// events keep flowing: the feed's ack deadline must recycle the
+// session rather than stream forever against a dead return path.
+func TestChaosAckPathCut(t *testing.T) {
+	parts := fleetParts(t, 2, 900)
+	got := runFanIn(t, parts, time.Hour, func(id string, attempt int, c net.Conn) net.Conn {
+		if attempt == 0 {
+			// Allow the handshake ack (17 bytes) through, then stall
+			// the read direction: acks stop arriving.
+			return faultconn.New(c, faultconn.Options{StallReadAfter: 17})
+		}
+		return c
+	})
+	if want := reference(parts); got.renders != want {
+		t.Fatalf("ack-path cut diverged: %s", firstDiff(got.renders, want))
+	}
+}
+
+// TestChaosEverythingAtOnce mixes the modes across feeds and attempts:
+// feed 0 gets cut, feed 1 gets a one-way partition, feed 2 slow-loris,
+// second attempts corrupt, third attempts clean. One exact answer.
+func TestChaosEverythingAtOnce(t *testing.T) {
+	parts := fleetParts(t, 3, 1500)
+	var mu sync.Mutex
+	seen := map[string]int{}
+	got := runFanIn(t, parts, time.Hour, func(id string, attempt int, c net.Conn) net.Conn {
+		mu.Lock()
+		seen[id]++
+		mu.Unlock()
+		switch {
+		case attempt == 0 && id == "feed-00":
+			return faultconn.New(c, faultconn.Options{CutWriteAfter: 555})
+		case attempt == 0 && id == "feed-01":
+			return faultconn.New(c, faultconn.Options{DropWritesAfter: 300})
+		case attempt == 0 && id == "feed-02":
+			return faultconn.New(c, faultconn.Options{StallWriteAfter: 400})
+		case attempt == 1:
+			return faultconn.New(c, faultconn.Options{CorruptWriteAt: 600})
+		}
+		return c
+	})
+	if want := reference(parts); got.renders != want {
+		t.Fatalf("mixed chaos diverged: %s", firstDiff(got.renders, want))
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for id, n := range seen {
+		if n < 3 {
+			t.Errorf("feed %s only dialed %d times; faults did not bite", id, n)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package relay
+
+import (
+	"net"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"rex/internal/core/pipeline"
+	"rex/internal/event"
+	"rex/internal/journal"
+)
+
+// TestDegradedModeSurvivors kills one feed of two mid-run and proves
+// graceful degradation: the dead feed flips stale (metric + snapshot
+// metadata), analysis continues live on the survivor, and the final
+// output is byte-identical to an offline merge of exactly what each
+// feed delivered — the receiver never synthesizes withdrawals for the
+// dead feed's routes; they age out upstream via graceful-restart
+// retention.
+func TestDegradedModeSurvivors(t *testing.T) {
+	parts := fleetParts(t, 2, 1000)
+	a, b := parts["feed-00"], parts["feed-01"]
+	bTrunc := b[:len(b)/2]
+	aHalf := len(a) / 2
+
+	root := t.TempDir()
+	dirA := filepath.Join(root, "feed-00")
+	var fa *Feed
+	wa, err := journal.Open(dirA, journal.Options{
+		Fsync: journal.FsyncNever,
+		// OnAppend → Wake: the live-collector wiring, exercised end to
+		// end (appends during phase two nudge the caught-up feed).
+		OnAppend: func(uint64) {
+			if fa != nil {
+				fa.Wake()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < aHalf; i++ {
+		if _, err := wa.Append(&a[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dirB := writeJournal(t, root, "feed-01", bTrunc)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcv := NewReceiver(ReceiverConfig{
+		Pipeline:    pipeline.New(fleetConfig()),
+		ExpectFeeds: []string{"feed-00", "feed-01"},
+		StaleAfter:  250 * time.Millisecond,
+		AckEvery:    16,
+		ReadTimeout: 400 * time.Millisecond,
+	})
+	go rcv.Serve(ln)
+	var snaps []Snapshot
+	var pipe []pipeline.Snapshot
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for s := range rcv.Snapshots() {
+			snaps = append(snaps, s)
+			pipe = append(pipe, s.Snapshot)
+		}
+	}()
+
+	feedCfg := func(id, dir string) FeedConfig {
+		return FeedConfig{
+			ID: id, Dir: dir, Addr: ln.Addr().String(),
+			MinBackoff: 10 * time.Millisecond, MaxBackoff: 100 * time.Millisecond,
+			HeartbeatEvery: 25 * time.Millisecond, AckTimeout: 250 * time.Millisecond,
+		}
+	}
+	fa = NewFeed(feedCfg("feed-00", dirA))
+	fb := NewFeed(feedCfg("feed-01", dirB))
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); fa.Run() }()
+	go func() { defer wg.Done(); fb.Run() }()
+
+	waitAcked := func(f *Feed, id string, want uint64) {
+		t.Helper()
+		deadline := time.Now().Add(30 * time.Second)
+		for f.Acked() < want {
+			if time.Now().After(deadline) {
+				t.Fatalf("feed %s acked %d/%d before deadline", id, f.Acked(), want)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	waitAcked(fa, "feed-00", uint64(aHalf))
+	waitAcked(fb, "feed-01", uint64(len(bTrunc)))
+
+	// Phase two: feed-01 dies for good.
+	fb.Close()
+	staleDeadline := time.Now().Add(30 * time.Second)
+	for mFeedStale.With("feed-01").Value() != 1 {
+		if time.Now().After(staleDeadline) {
+			t.Fatal("rex_relay_feed_stale never flipped for the dead feed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The survivor keeps collecting; analysis must follow it live even
+	// though the dead feed will never advance its watermark again.
+	for i := aHalf; i < len(a); i++ {
+		if _, err := wa.Append(&a[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := wa.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitAcked(fa, "feed-00", uint64(len(a)))
+
+	fa.Close()
+	wg.Wait()
+	rcv.Close()
+	<-drained
+
+	// Ground truth: everything each feed actually delivered, merged
+	// offline. Byte-identity proves the survivor's analysis is exact
+	// AND that nothing was fabricated for the dead feed.
+	want := renderSnapshots(pipeline.Replay(MergeStreams(map[string]event.Stream{
+		"feed-00": a, "feed-01": bTrunc,
+	}), fleetConfig()))
+	if got := renderSnapshots(pipe); got != want {
+		t.Fatalf("degraded run diverged from offline merge: %s", firstDiff(got, want))
+	}
+
+	// Snapshot metadata must expose the degradation while it happened.
+	sawDegraded := false
+	for _, s := range snaps {
+		var a0, b1 *FeedStatus
+		for i := range s.Feeds {
+			switch s.Feeds[i].ID {
+			case "feed-00":
+				a0 = &s.Feeds[i]
+			case "feed-01":
+				b1 = &s.Feeds[i]
+			}
+		}
+		if a0 == nil || b1 == nil {
+			t.Fatalf("snapshot missing feed metadata: %+v", s.Feeds)
+		}
+		if b1.Stale && !a0.Stale {
+			sawDegraded = true
+		}
+	}
+	if !sawDegraded {
+		t.Error("no snapshot showed feed-01 stale with feed-00 live")
+	}
+	final := snaps[len(snaps)-1].Feeds
+	for _, fs := range final {
+		switch fs.ID {
+		case "feed-00":
+			if fs.Received != uint64(len(a)) {
+				t.Errorf("survivor received %d/%d", fs.Received, len(a))
+			}
+		case "feed-01":
+			if !fs.Stale {
+				t.Error("dead feed not stale in final snapshot")
+			}
+			if fs.Received != uint64(len(bTrunc)) {
+				t.Errorf("dead feed received %d, want %d — events fabricated or lost", fs.Received, len(bTrunc))
+			}
+		}
+	}
+}

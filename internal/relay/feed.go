@@ -1,0 +1,307 @@
+package relay
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rex/internal/event"
+	"rex/internal/journal"
+)
+
+// FeedConfig wires one collector's journal to a receiver.
+type FeedConfig struct {
+	// ID names the feed; the receiver keys resume cursors and staleness
+	// by it, so it must be stable across collector restarts.
+	ID string
+	// Dir is the journal directory the feed tails.
+	Dir string
+	// Addr is the receiver's address, dialed with Dial (default TCP).
+	Addr string
+	Dial func() (net.Conn, error)
+	// MinBackoff/MaxBackoff bound the jittered exponential redial
+	// backoff, the PeerManager discipline: failures double the wait up
+	// to MaxBackoff, a successful handshake resets it.
+	MinBackoff time.Duration
+	MaxBackoff time.Duration
+	// HeartbeatEvery paces heartbeats while caught up (default 1s).
+	HeartbeatEvery time.Duration
+	// WriteTimeout bounds every frame write (default 10s).
+	WriteTimeout time.Duration
+	// AckTimeout is the read deadline for receiver traffic. The
+	// receiver acks at least every heartbeat, so silence this long —
+	// default 4×HeartbeatEvery — means the return path is dead (a
+	// one-way partition: our writes "succeed", nothing comes back) and
+	// the session is torn down for a clean resume.
+	AckTimeout time.Duration
+	// IdleWatermark, when set, is sampled while caught up and sent as
+	// the heartbeat watermark if it is ahead of the last event's time.
+	// A live collector stamps events with its own clock, so it can
+	// promise "nothing earlier than now" and keep the merge gate open
+	// while idle; replayed/simulated feeds leave this nil and promise
+	// only up to their last event.
+	IdleWatermark func() time.Time
+	// Seed randomizes backoff jitter (0 is a valid fixed seed).
+	Seed int64
+}
+
+func (c FeedConfig) withDefaults() FeedConfig {
+	if c.Dial == nil {
+		addr := c.Addr
+		c.Dial = func() (net.Conn, error) { return net.DialTimeout("tcp", addr, 10*time.Second) }
+	}
+	if c.MinBackoff <= 0 {
+		c.MinBackoff = DefaultMinBackoff
+	}
+	if c.MaxBackoff < c.MinBackoff {
+		c.MaxBackoff = DefaultMaxBackoff
+	}
+	if c.MaxBackoff < c.MinBackoff {
+		c.MaxBackoff = c.MinBackoff
+	}
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = DefaultHeartbeatEvery
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.AckTimeout <= 0 {
+		c.AckTimeout = 4 * c.HeartbeatEvery
+	}
+	return c
+}
+
+// Feed streams one journal to the receiver, forever: dial, handshake,
+// replay from the acked sequence, then follow the journal tail. Every
+// failure — dial refused, connection cut, stalled writes, a one-way
+// partition starving the ack path — collapses to the same recovery:
+// tear the session down, back off with jitter, redial, resume exactly
+// where the receiver's ack says.
+type Feed struct {
+	cfg   FeedConfig
+	acked atomic.Uint64 // receiver's durable cursor: safe trim floor
+
+	wake      chan struct{}
+	closed    chan struct{}
+	closeOnce sync.Once
+	rng       *rand.Rand
+}
+
+// NewFeed builds a feed; call Run to start it.
+func NewFeed(cfg FeedConfig) *Feed {
+	return &Feed{
+		cfg:    cfg.withDefaults(),
+		wake:   make(chan struct{}, 1),
+		closed: make(chan struct{}),
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// Wake nudges a caught-up feed to rescan the journal now instead of at
+// the next heartbeat — the journal Options.OnAppend hook.
+func (f *Feed) Wake() {
+	select {
+	case f.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Acked returns the receiver's last acked cursor: every record below
+// it is durable at the receiver, so the local journal may be trimmed
+// to it (and no further).
+func (f *Feed) Acked() uint64 { return f.acked.Load() }
+
+// Close stops Run; safe to call multiple times and concurrently.
+func (f *Feed) Close() { f.closeOnce.Do(func() { close(f.closed) }) }
+
+// Run dials and streams until Close. It returns only then.
+func (f *Feed) Run() {
+	backoff := f.cfg.MinBackoff
+	for {
+		select {
+		case <-f.closed:
+			return
+		default:
+		}
+		conn, err := f.cfg.Dial()
+		if err != nil {
+			mDialFailures.With(f.cfg.ID).Inc()
+			if !f.sleep(f.jittered(backoff)) {
+				return
+			}
+			backoff = f.doubled(backoff)
+			continue
+		}
+		handshook := f.session(conn)
+		conn.Close()
+		if handshook {
+			backoff = f.cfg.MinBackoff
+		} else {
+			mDialFailures.With(f.cfg.ID).Inc()
+		}
+		if !f.sleep(f.jittered(backoff)) {
+			return
+		}
+		if !handshook {
+			backoff = f.doubled(backoff)
+		}
+	}
+}
+
+// session runs one connection to completion. It returns whether the
+// handshake succeeded (backoff resets only then).
+func (f *Feed) session(conn net.Conn) bool {
+	id := f.cfg.ID
+	buf := make([]byte, 0, 4096)
+
+	conn.SetWriteDeadline(time.Now().Add(f.cfg.WriteTimeout))
+	if _, err := conn.Write(appendHello(buf[:0], id)); err != nil {
+		return false
+	}
+	conn.SetReadDeadline(time.Now().Add(f.cfg.AckTimeout))
+	kind, payload, err := readFrame(conn, buf[:0])
+	if err != nil || kind != kindAck {
+		return false
+	}
+	next, err := parseAck(payload)
+	if err != nil {
+		return false
+	}
+	f.storeAckedMax(next)
+	mSessions.With(id).Inc()
+
+	// The reader consumes acks for the rest of the session. Its read
+	// deadline doubles as the liveness check: if acks stop flowing —
+	// receiver dead, or a one-way partition swallowing its replies —
+	// it kills the connection so the writer's next frame fails fast.
+	connDead := make(chan struct{})
+	var readerWG sync.WaitGroup
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		defer close(connDead)
+		defer conn.Close()
+		rbuf := make([]byte, 0, 64)
+		for {
+			conn.SetReadDeadline(time.Now().Add(f.cfg.AckTimeout))
+			kind, p, err := readFrame(conn, rbuf)
+			if err != nil {
+				return
+			}
+			if kind == kindAck {
+				if a, aerr := parseAck(p); aerr == nil {
+					f.storeAckedMax(a)
+					mAckedSeq.With(id).Set(int64(a))
+				}
+			}
+		}
+	}()
+	defer readerWG.Wait()
+	defer conn.Close()
+
+	var watermark time.Time
+	hb := time.NewTimer(f.cfg.HeartbeatEvery)
+	defer hb.Stop()
+	for {
+		// Stream everything at or above the cursor, in journal order.
+		_, err := journal.Scan(f.cfg.Dir, next, func(seq uint64, e *event.Event) error {
+			frame, ferr := appendEventFrame(buf[:0], seq, e)
+			if ferr != nil {
+				// An unencodable event cannot happen for journaled
+				// records (they round-tripped once already); skip it
+				// rather than wedge the feed on it forever.
+				return nil
+			}
+			buf = frame
+			conn.SetWriteDeadline(time.Now().Add(f.cfg.WriteTimeout))
+			if _, werr := conn.Write(frame); werr != nil {
+				return fmt.Errorf("relay feed write: %w", werr)
+			}
+			next = seq + 1
+			if e.Time.After(watermark) {
+				watermark = e.Time
+			}
+			mSent.With(id).Inc()
+			return nil
+		})
+		if err != nil {
+			return true
+		}
+		// Caught up: promise the frontier and wait for more.
+		wm := watermark
+		if f.cfg.IdleWatermark != nil {
+			if w := f.cfg.IdleWatermark(); w.After(wm) {
+				wm = w
+			}
+		}
+		conn.SetWriteDeadline(time.Now().Add(f.cfg.WriteTimeout))
+		if _, err := conn.Write(appendHeartbeat(buf[:0], next, wm)); err != nil {
+			return true
+		}
+		select {
+		case <-f.wake:
+		case <-hb.C:
+		case <-f.closed:
+			return true
+		case <-connDead:
+			return true
+		}
+		if !hb.Stop() {
+			select {
+			case <-hb.C:
+			default:
+			}
+		}
+		hb.Reset(f.cfg.HeartbeatEvery)
+	}
+}
+
+func (f *Feed) storeAckedMax(a uint64) {
+	for {
+		cur := f.acked.Load()
+		if a <= cur || f.acked.CompareAndSwap(cur, a) {
+			return
+		}
+	}
+}
+
+// jittered spreads d over [d/2, d) so a restarted fleet never redials
+// in lockstep — the PeerManager discipline.
+func (f *Feed) jittered(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	half := d / 2
+	return half + time.Duration(f.rng.Int63n(int64(half)))
+}
+
+func (f *Feed) doubled(d time.Duration) time.Duration {
+	if d *= 2; d > f.cfg.MaxBackoff {
+		return f.cfg.MaxBackoff
+	}
+	return d
+}
+
+// sleep waits d or until Close; it reports whether the feed should
+// keep running.
+func (f *Feed) sleep(d time.Duration) bool {
+	if d <= 0 {
+		select {
+		case <-f.closed:
+			return false
+		default:
+			return true
+		}
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-f.closed:
+		return false
+	}
+}

@@ -1,0 +1,51 @@
+package relay
+
+import (
+	"sort"
+	"time"
+
+	"rex/internal/event"
+)
+
+// The merge order. Feeds carry disjoint peers, so cross-feed ordering
+// only matters for the pipeline's event-time clock; within a feed,
+// journal order (arrival order) is authoritative and never reshuffled.
+// Ties across feeds break on feed ID so the order is total and every
+// run — live receiver or offline MergeStreams — agrees byte-for-byte.
+func mergeBefore(t1 time.Time, id1 string, t2 time.Time, id2 string) bool {
+	if !t1.Equal(t2) {
+		return t1.Before(t2)
+	}
+	return id1 < id2
+}
+
+// MergeStreams merges per-feed event streams exactly the way a healthy
+// receiver releases them: ascending (event time, feed ID), stable
+// within a feed. It is the single-process reference the differential
+// tests compare the live fan-in against.
+func MergeStreams(parts map[string]event.Stream) event.Stream {
+	ids := make([]string, 0, len(parts))
+	total := 0
+	for id, s := range parts {
+		ids = append(ids, id)
+		total += len(s)
+	}
+	sort.Strings(ids)
+	heads := make([]int, len(ids))
+	out := make(event.Stream, 0, total)
+	for len(out) < total {
+		best := -1
+		for i, id := range ids {
+			if heads[i] >= len(parts[id]) {
+				continue
+			}
+			e := parts[id][heads[i]]
+			if best < 0 || mergeBefore(e.Time, id, parts[ids[best]][heads[best]].Time, ids[best]) {
+				best = i
+			}
+		}
+		out = append(out, parts[ids[best]][heads[best]])
+		heads[best]++
+	}
+	return out
+}

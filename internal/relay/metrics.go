@@ -1,0 +1,46 @@
+package relay
+
+import "rex/internal/obs"
+
+// Relay metrics. The receiver-side family is what an operator watches
+// during an incident: rex_relay_feed_stale names the vantage points the
+// analysis is currently blind to, and rex_relay_buffered_events shows
+// how much the merge gate is holding back while it waits for a lagging
+// feed. The feed-side family mirrors the PeerManager's dial telemetry.
+var (
+	// Receiver side.
+	mFeedStale = obs.NewGaugeVec("rex_relay_feed_stale", "feed",
+		"1 while the feed has been silent past StaleAfter and no longer gates the merge.")
+	mFeedConnected = obs.NewGaugeVec("rex_relay_feed_connected", "feed",
+		"1 while the feed has a live connection to the receiver.")
+	mFeedNextSeq = obs.NewGaugeVec("rex_relay_feed_next_seq", "feed",
+		"Next journal sequence the receiver needs from the feed (its resume point).")
+	mFeedBacklog = obs.NewGaugeVec("rex_relay_feed_backlog", "feed",
+		"Feed's journal head minus the receiver's cursor: records still to stream.")
+	mEventsAccepted = obs.NewCounterVec("rex_relay_events_total", "feed",
+		"Event frames accepted from the feed.")
+	mDuplicates = obs.NewCounterVec("rex_relay_duplicates_total", "feed",
+		"Event frames rejected as duplicates (sequence below the receiver's cursor).")
+	mSeqJumps = obs.NewCounterVec("rex_relay_seq_jumps_total", "feed",
+		"Forward sequence jumps accepted mid-session (journal damage holes upstream).")
+	mStaleTransitions = obs.NewCounterVec("rex_relay_stale_transitions_total", "feed",
+		"Times the feed was marked stale.")
+	mFramesRejected = obs.NewCounter("rex_relay_frames_rejected_total",
+		"Connections dropped for framing violations (bad CRC, oversized frame, bad hello).")
+	mConns = obs.NewCounter("rex_relay_conns_total",
+		"Feed connections accepted (reconnects included).")
+	mReleased = obs.NewCounter("rex_relay_released_total",
+		"Events released by the merge gate into the analysis pipeline.")
+	mBuffered = obs.NewGauge("rex_relay_buffered_events",
+		"Events buffered across all feeds awaiting merge release.")
+
+	// Feed (collector) side.
+	mDialFailures = obs.NewCounterVec("rex_relay_dial_failures_total", "feed",
+		"Failed dials or handshakes to the receiver, backing off exponentially.")
+	mSessions = obs.NewCounterVec("rex_relay_sessions_total", "feed",
+		"Sessions established (hello acked) with the receiver.")
+	mSent = obs.NewCounterVec("rex_relay_sent_total", "feed",
+		"Event frames streamed to the receiver (replays after reconnect included).")
+	mAckedSeq = obs.NewGaugeVec("rex_relay_acked_seq", "feed",
+		"Receiver's durable cursor as last acked: the feed may trim its journal below this.")
+)

@@ -1,0 +1,489 @@
+package relay
+
+import (
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"rex/internal/core/pipeline"
+	"rex/internal/event"
+)
+
+// ReceiverConfig wires the fan-in point.
+type ReceiverConfig struct {
+	// Pipeline receives the merged stream. The receiver owns its
+	// lifecycle from here: Close flushes buffered events into it and
+	// closes it.
+	Pipeline *pipeline.Pipeline
+	// ExpectFeeds is the fleet roster. Listed feeds gate the merge from
+	// startup (no event is released until every listed feed has either
+	// connected and reported or gone stale) and connections from
+	// unlisted feeds are rejected. Empty means accept anyone, gating
+	// only on feeds that have said hello.
+	ExpectFeeds []string
+	// AckEvery paces progress acks during streaming (default 64
+	// events); heartbeats are always acked immediately.
+	AckEvery int
+	// StaleAfter is the wall-clock silence after which a feed stops
+	// gating the merge and is flagged stale (default 10s). A stale
+	// feed's routes are left to age out upstream via graceful-restart
+	// retention; the receiver never synthesizes withdrawals.
+	StaleAfter time.Duration
+	// HandshakeTimeout bounds the hello exchange (default 5s).
+	HandshakeTimeout time.Duration
+	// ReadTimeout is the per-frame read deadline on feed connections
+	// (default 4×DefaultHeartbeatEvery); a healthy feed heartbeats well
+	// inside it.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds ack writes (default 10s).
+	WriteTimeout time.Duration
+}
+
+func (c ReceiverConfig) withDefaults() ReceiverConfig {
+	if c.AckEvery <= 0 {
+		c.AckEvery = DefaultAckEvery
+	}
+	if c.StaleAfter <= 0 {
+		c.StaleAfter = DefaultStaleAfter
+	}
+	if c.HandshakeTimeout <= 0 {
+		c.HandshakeTimeout = 5 * time.Second
+	}
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = 4 * DefaultHeartbeatEvery
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// feedState is everything the receiver tracks per feed. Guarded by
+// Receiver.mu.
+type feedState struct {
+	id        string
+	conn      net.Conn // live connection, nil when down
+	connected bool
+	stale     bool
+	everHeard bool
+	nextSeq   uint64    // resume cursor: next sequence needed
+	watermark time.Time // event-time frontier (events + heartbeats)
+	lastHeard time.Time // wall clock of last frame
+	queue     []event.Event
+	received  uint64
+	dups      uint64
+	hbNext    uint64 // feed's reported append head
+}
+
+// Receiver accepts feed connections, resumes each feed at its cursor,
+// and releases the merged stream into the analysis pipeline in the
+// exact MergeStreams order. See the package comment for the contract.
+type Receiver struct {
+	cfg ReceiverConfig
+
+	mu    sync.Mutex
+	feeds map[string]*feedState
+	order []string // sorted feed IDs
+
+	// emitMu serializes batch handoff to the pipeline so a blocking
+	// Ingest never wedges mu (snapshot wrapping needs mu while the
+	// pipeline applies backpressure).
+	emitMu sync.Mutex
+
+	ln        net.Listener
+	snaps     chan Snapshot
+	closed    chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup // conn handlers + stale ticker + accept loop
+	drainWG   sync.WaitGroup
+}
+
+// NewReceiver builds a receiver around cfg.Pipeline and starts the
+// snapshot-wrapping drain; call Serve with a listener to go live.
+// Consumers must drain Snapshots until it closes, the same contract as
+// the pipeline's.
+func NewReceiver(cfg ReceiverConfig) *Receiver {
+	cfg = cfg.withDefaults()
+	r := &Receiver{
+		cfg:    cfg,
+		feeds:  map[string]*feedState{},
+		snaps:  make(chan Snapshot, 16),
+		closed: make(chan struct{}),
+	}
+	now := time.Now()
+	for _, id := range cfg.ExpectFeeds {
+		r.feeds[id] = &feedState{id: id, lastHeard: now}
+		r.order = append(r.order, id)
+		mFeedStale.With(id).Set(0)
+		mFeedConnected.With(id).Set(0)
+	}
+	sort.Strings(r.order)
+	r.drainWG.Add(1)
+	go r.drainSnapshots()
+	r.wg.Add(1)
+	go r.staleLoop()
+	return r
+}
+
+// Snapshots returns pipeline snapshots wrapped with feed health. The
+// channel closes after Close has flushed and closed the pipeline.
+func (r *Receiver) Snapshots() <-chan Snapshot { return r.snaps }
+
+// Statuses reports the current health of every known feed, sorted by
+// ID — the live view a supervisor polls between snapshots.
+func (r *Receiver) Statuses() []FeedStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.statusesLocked()
+}
+
+// Serve accepts feed connections on ln until Close. It returns only
+// then.
+func (r *Receiver) Serve(ln net.Listener) {
+	r.mu.Lock()
+	r.ln = ln
+	r.mu.Unlock()
+	r.wg.Add(1)
+	defer r.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-r.closed:
+				return
+			default:
+			}
+			// Transient accept errors: keep serving unless closed.
+			select {
+			case <-r.closed:
+				return
+			case <-time.After(10 * time.Millisecond):
+			}
+			continue
+		}
+		mConns.Inc()
+		r.wg.Add(1)
+		go r.handle(conn)
+	}
+}
+
+// Close stops serving, flushes every buffered event into the pipeline
+// in merge order, closes the pipeline, and closes Snapshots after the
+// final snapshots drain.
+func (r *Receiver) Close() {
+	r.closeOnce.Do(func() {
+		close(r.closed)
+		r.mu.Lock()
+		if r.ln != nil {
+			r.ln.Close()
+		}
+		for _, f := range r.feeds {
+			if f.conn != nil {
+				f.conn.Close()
+			}
+		}
+		r.mu.Unlock()
+		r.wg.Wait()
+		// Final flush: what the gate was still holding goes out in the
+		// same deterministic order, so a drained run equals the offline
+		// merge end-to-end.
+		r.emitMu.Lock()
+		r.mu.Lock()
+		batch := r.collectLocked(true)
+		r.mu.Unlock()
+		for i := range batch {
+			r.cfg.Pipeline.Ingest(batch[i])
+		}
+		r.emitMu.Unlock()
+		r.cfg.Pipeline.Close()
+		r.drainWG.Wait()
+		close(r.snaps)
+	})
+}
+
+func (r *Receiver) drainSnapshots() {
+	defer r.drainWG.Done()
+	for s := range r.cfg.Pipeline.Snapshots() {
+		r.mu.Lock()
+		feeds := r.statusesLocked()
+		r.mu.Unlock()
+		r.snaps <- Snapshot{Snapshot: s, Feeds: feeds}
+	}
+}
+
+func (r *Receiver) statusesLocked() []FeedStatus {
+	out := make([]FeedStatus, 0, len(r.order))
+	for _, id := range r.order {
+		f := r.feeds[id]
+		out = append(out, FeedStatus{
+			ID: id, Connected: f.connected, Stale: f.stale,
+			NextSeq: f.nextSeq, Watermark: f.watermark, LastHeard: f.lastHeard,
+			Buffered: len(f.queue), Received: f.received, Duplicates: f.dups,
+		})
+	}
+	return out
+}
+
+// staleLoop flips feeds stale after StaleAfter of wall-clock silence.
+// Going stale can unblock the merge, so it pumps.
+func (r *Receiver) staleLoop() {
+	defer r.wg.Done()
+	period := r.cfg.StaleAfter / 4
+	if period < 5*time.Millisecond {
+		period = 5 * time.Millisecond
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.closed:
+			return
+		case now := <-t.C:
+			changed := false
+			r.mu.Lock()
+			for _, f := range r.feeds {
+				if !f.stale && now.Sub(f.lastHeard) > r.cfg.StaleAfter {
+					f.stale = true
+					changed = true
+					mFeedStale.With(f.id).Set(1)
+					mStaleTransitions.With(f.id).Inc()
+				}
+			}
+			r.mu.Unlock()
+			if changed {
+				r.pump()
+			}
+		}
+	}
+}
+
+// handle runs one feed connection: handshake, then frames until error.
+func (r *Receiver) handle(conn net.Conn) {
+	defer r.wg.Done()
+	buf := make([]byte, 0, 4096)
+	conn.SetReadDeadline(time.Now().Add(r.cfg.HandshakeTimeout))
+	kind, payload, err := readFrame(conn, buf)
+	if err != nil || kind != kindHello {
+		if err == nil {
+			// readFrame counts framing violations itself; a well-formed
+			// frame of the wrong kind is rejected here.
+			mFramesRejected.Inc()
+		}
+		conn.Close()
+		return
+	}
+	id, err := parseHello(payload)
+	if err != nil {
+		mFramesRejected.Inc()
+		conn.Close()
+		return
+	}
+
+	r.mu.Lock()
+	f, known := r.feeds[id]
+	if !known {
+		if len(r.cfg.ExpectFeeds) > 0 {
+			r.mu.Unlock()
+			conn.Close()
+			return
+		}
+		f = &feedState{id: id, lastHeard: time.Now()}
+		r.feeds[id] = f
+		r.order = append(r.order, id)
+		sort.Strings(r.order)
+	}
+	if f.conn != nil {
+		// Session replacement: the feed redialed before we noticed the
+		// old connection die. Newest wins, as with BGP sessions.
+		f.conn.Close()
+	}
+	f.conn = conn
+	f.connected = true
+	f.stale = false
+	f.everHeard = true
+	f.lastHeard = time.Now()
+	resume := f.nextSeq
+	r.mu.Unlock()
+	mFeedConnected.With(id).Set(1)
+	mFeedStale.With(id).Set(0)
+
+	conn.SetWriteDeadline(time.Now().Add(r.cfg.WriteTimeout))
+	if _, err := conn.Write(appendAck(buf[:0], resume)); err != nil {
+		r.dropConn(f, conn)
+		return
+	}
+	r.pump()
+
+	sinceAck := 0
+	for {
+		conn.SetReadDeadline(time.Now().Add(r.cfg.ReadTimeout))
+		kind, payload, err := readFrame(conn, buf)
+		if err != nil {
+			r.dropConn(f, conn)
+			return
+		}
+		switch kind {
+		case kindEvent:
+			seq, e, perr := parseEventFrame(payload)
+			if perr != nil {
+				mFramesRejected.Inc()
+				r.dropConn(f, conn)
+				return
+			}
+			r.mu.Lock()
+			f.lastHeard = time.Now()
+			f.stale = false
+			switch {
+			case seq < f.nextSeq:
+				f.dups++
+				mDuplicates.With(id).Inc()
+				r.mu.Unlock()
+				continue
+			case seq > f.nextSeq:
+				// TCP cannot reorder within a session, so a forward
+				// jump is the feed skipping damaged journal records —
+				// upstream loss, not a transport gap. Count it and
+				// advance.
+				mSeqJumps.With(id).Inc()
+			}
+			f.nextSeq = seq + 1
+			f.received++
+			if e.Time.After(f.watermark) {
+				f.watermark = e.Time
+			}
+			f.queue = append(f.queue, e)
+			mEventsAccepted.With(id).Inc()
+			mFeedNextSeq.With(id).Set(int64(f.nextSeq))
+			mBuffered.Inc()
+			r.mu.Unlock()
+			mFeedStale.With(id).Set(0)
+			r.pump()
+			if sinceAck++; sinceAck >= r.cfg.AckEvery {
+				sinceAck = 0
+				conn.SetWriteDeadline(time.Now().Add(r.cfg.WriteTimeout))
+				if _, err := conn.Write(appendAck(buf[:0], seq+1)); err != nil {
+					r.dropConn(f, conn)
+					return
+				}
+			}
+		case kindHeartbeat:
+			hbNext, wm, perr := parseHeartbeat(payload)
+			if perr != nil {
+				mFramesRejected.Inc()
+				r.dropConn(f, conn)
+				return
+			}
+			r.mu.Lock()
+			f.lastHeard = time.Now()
+			f.stale = false
+			f.hbNext = hbNext
+			if wm.After(f.watermark) {
+				f.watermark = wm
+			}
+			next := f.nextSeq
+			backlog := int64(0)
+			if hbNext > next {
+				backlog = int64(hbNext - next)
+			}
+			r.mu.Unlock()
+			mFeedStale.With(id).Set(0)
+			mFeedBacklog.With(id).Set(backlog)
+			r.pump()
+			sinceAck = 0
+			conn.SetWriteDeadline(time.Now().Add(r.cfg.WriteTimeout))
+			if _, err := conn.Write(appendAck(buf[:0], next)); err != nil {
+				r.dropConn(f, conn)
+				return
+			}
+		default:
+			mFramesRejected.Inc()
+			r.dropConn(f, conn)
+			return
+		}
+	}
+}
+
+// dropConn closes conn and, if it is still the feed's live connection,
+// marks the feed down (a replaced connection changes nothing).
+func (r *Receiver) dropConn(f *feedState, conn net.Conn) {
+	conn.Close()
+	r.mu.Lock()
+	mine := f.conn == conn
+	if mine {
+		f.conn = nil
+		f.connected = false
+	}
+	r.mu.Unlock()
+	if mine {
+		mFeedConnected.With(f.id).Set(0)
+	}
+}
+
+// pump moves every releasable event into the pipeline, preserving the
+// merge order across concurrent callers: emitMu serializes handoff,
+// and the releasable set is computed under mu.
+func (r *Receiver) pump() {
+	r.emitMu.Lock()
+	defer r.emitMu.Unlock()
+	r.mu.Lock()
+	batch := r.collectLocked(false)
+	r.mu.Unlock()
+	for i := range batch {
+		r.cfg.Pipeline.Ingest(batch[i])
+	}
+}
+
+// collectLocked pops every event the merge gate allows, in order. With
+// flush set the gate is ignored (Close: nothing more will arrive).
+//
+// The gate: the earliest buffered event e (by merge order) is released
+// only when every other non-stale feed can be proven to have nothing
+// earlier — a buffered event of its own (the head comparison covers
+// it), or a watermark past e's time (with the feed-ID tiebreak at
+// exact equality). A disconnected-but-not-yet-stale feed blocks the
+// merge, by design: determinism first, then StaleAfter bounds the wait.
+func (r *Receiver) collectLocked(flush bool) []event.Event {
+	var out []event.Event
+	for {
+		var best *feedState
+		for _, id := range r.order {
+			f := r.feeds[id]
+			if len(f.queue) == 0 {
+				continue
+			}
+			if best == nil || mergeBefore(f.queue[0].Time, f.id, best.queue[0].Time, best.id) {
+				best = f
+			}
+		}
+		if best == nil {
+			break
+		}
+		if !flush {
+			e := &best.queue[0]
+			blocked := false
+			for _, id := range r.order {
+				g := r.feeds[id]
+				if g == best || g.stale || len(g.queue) > 0 {
+					continue
+				}
+				if g.watermark.After(e.Time) {
+					continue
+				}
+				if g.watermark.Equal(e.Time) && g.id > best.id {
+					continue
+				}
+				blocked = true
+				break
+			}
+			if blocked {
+				break
+			}
+		}
+		out = append(out, best.queue[0])
+		best.queue = best.queue[1:]
+		mReleased.Inc()
+		mBuffered.Dec()
+	}
+	return out
+}

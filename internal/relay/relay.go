@@ -1,0 +1,90 @@
+// Package relay is the fan-in tier between collector processes and the
+// central analysis node (paper §III: the ISP deployment fed one REX
+// from 67 route reflectors — no single collector sees them all). Each
+// collector journals its event stream locally (internal/journal) and a
+// Feed tails that journal over TCP to a Receiver, which merges the
+// per-feed streams in event-time order into one analysis pipeline.
+//
+// The design goal is exactness under failure: the merged stream a
+// Receiver feeds its pipeline is byte-for-byte the stream MergeStreams
+// would produce offline from the same per-feed journals, no matter how
+// connections drop, stall, or partition one-way in between. Three
+// mechanisms carry that:
+//
+//   - Ack/resume. Every event frame carries the journal sequence. The
+//     receiver remembers, per feed, the next sequence it needs; a
+//     (re)connecting feed is told that sequence in the handshake ack
+//     and replays its journal from exactly there. Duplicates (frames
+//     below the cursor) are counted and dropped; within a session TCP
+//     preserves order, so transport gaps cannot occur at all.
+//   - Watermark-gated merge. Events are buffered per feed and released
+//     to the pipeline in (event time, feed ID) order, a release gated
+//     on every other live feed having either a buffered event or a
+//     heartbeat watermark proving it has nothing earlier to offer.
+//   - Graceful degradation. A feed that stops talking for StaleAfter
+//     is marked stale: it stops gating the merge (analysis continues
+//     on survivors), its status is surfaced in snapshot metadata and
+//     the rex_relay_feed_stale gauge, and its routes are left to age
+//     out through the collector's graceful-restart retention — the
+//     receiver never fabricates withdrawals for a silent feed.
+//
+// The wire protocol reuses the journal's event codec as payload and
+// its CRC discipline for frames; a corrupt frame kills the connection
+// (the stream cannot be trusted past it) and ack/resume makes the
+// reconnect exact.
+package relay
+
+import (
+	"sort"
+	"time"
+
+	"rex/internal/core/pipeline"
+)
+
+// Defaults for FeedConfig and ReceiverConfig zero values.
+const (
+	DefaultHeartbeatEvery = 1 * time.Second
+	DefaultStaleAfter     = 10 * time.Second
+	DefaultAckEvery       = 64
+	DefaultMinBackoff     = 500 * time.Millisecond
+	DefaultMaxBackoff     = 30 * time.Second
+)
+
+// FeedStatus is one feed's health as the receiver sees it, embedded in
+// every snapshot so a consumer can judge how much of the network the
+// analysis currently observes.
+type FeedStatus struct {
+	ID        string
+	Connected bool
+	// Stale means the feed has been silent past StaleAfter: it no
+	// longer gates the merge and its routes are aging out upstream.
+	Stale bool
+	// NextSeq is the next journal sequence the receiver needs — the
+	// resume point it would hand the feed on reconnect.
+	NextSeq uint64
+	// Watermark is the feed's event-time frontier: no event earlier
+	// than this will ever arrive from it.
+	Watermark time.Time
+	// LastHeard is the wall-clock time of the feed's last frame.
+	LastHeard time.Time
+	// Buffered counts events held back by the merge gate.
+	Buffered int
+	// Received and Duplicates count accepted and rejected-as-duplicate
+	// event frames across all sessions.
+	Received   uint64
+	Duplicates uint64
+}
+
+// Snapshot is a pipeline snapshot annotated with the health of every
+// feed at emission time. The embedded analysis fields are untouched —
+// byte-identical to a single-process run — so degraded-mode visibility
+// rides alongside, not inside, the comparison surface.
+type Snapshot struct {
+	pipeline.Snapshot
+	Feeds []FeedStatus
+}
+
+// sortStatuses orders feed statuses by ID for deterministic snapshots.
+func sortStatuses(fs []FeedStatus) {
+	sort.Slice(fs, func(i, j int) bool { return fs[i].ID < fs[j].ID })
+}

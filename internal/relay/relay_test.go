@@ -1,0 +1,246 @@
+package relay
+
+import (
+	"fmt"
+	"net"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rex/internal/core/pipeline"
+	"rex/internal/core/tamp"
+	"rex/internal/event"
+	"rex/internal/journal"
+	"rex/internal/sim"
+)
+
+// The differential harness: N journaled substreams through real TCP
+// connections, a live Receiver, and injected faults must produce
+// byte-identical pipeline output to an offline single-process replay
+// of MergeStreams over the same substreams. renderSnapshots serializes
+// every observable snapshot field, so equality is full byte-identity.
+
+var fleetT0 = time.Date(2003, 8, 1, 0, 0, 0, 0, time.UTC)
+
+func fleetConfig() pipeline.Config {
+	return pipeline.Config{
+		Window:        10 * time.Minute,
+		SnapshotEvery: 2 * time.Minute,
+		SpikeK:        8,
+		Site:          "fleet",
+		Prune:         tamp.PruneOptions{KeepDepth: 3},
+	}
+}
+
+// fleetParts builds the ISP scenario stream and splits it across n
+// feeds by route reflector.
+func fleetParts(t testing.TB, n, events int) map[string]event.Stream {
+	t.Helper()
+	is := sim.ISPAnon(sim.ISPAnonConfig{PoPs: 2, RRsPerPoP: 2, Tier1Peers: 3,
+		CustomerStubs: 12, InternetStubs: 12, PrefixesPerStub: 2})
+	s := sim.BenchEvents(is.Site, is.BaselineRoutes(), events, 30*time.Minute, fleetT0, 7)
+	split := sim.PartitionByPeer(s, n)
+	parts := map[string]event.Stream{}
+	for i, p := range split {
+		parts[fmt.Sprintf("feed-%02d", i)] = p
+	}
+	return parts
+}
+
+// writeJournal journals one substream under dir/<id> and returns the
+// directory.
+func writeJournal(t testing.TB, root, id string, s event.Stream) string {
+	t.Helper()
+	dir := filepath.Join(root, id)
+	w, err := journal.Open(dir, journal.Options{Fsync: journal.FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s {
+		if _, err := w.Append(&s[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// renderSnapshots is the pipeline package's differential renderer:
+// every observable field, deterministically serialized.
+func renderSnapshots(snaps []pipeline.Snapshot) string {
+	return pipeline.RenderSnapshots(snaps)
+}
+
+func firstDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) || i < len(bl); i++ {
+		var x, y string
+		if i < len(al) {
+			x = al[i]
+		}
+		if i < len(bl) {
+			y = bl[i]
+		}
+		if x != y {
+			return fmt.Sprintf("line %d:\n  a: %s\n  b: %s", i, x, y)
+		}
+	}
+	return "no diff"
+}
+
+// fanInResult is everything one live run produced.
+type fanInResult struct {
+	snaps   []Snapshot
+	pipe    []pipeline.Snapshot // embedded pipeline snapshots, in order
+	renders string
+}
+
+// runFanIn journals each part, runs a receiver and one feed per part
+// over loopback TCP, waits until every feed's journal is fully acked,
+// and drains the run to completion. wrap, when non-nil, wraps each
+// feed's dialed connection (attempt counts from 0 per feed) — the
+// fault-injection point.
+func runFanIn(t *testing.T, parts map[string]event.Stream, staleAfter time.Duration,
+	wrap func(id string, attempt int, c net.Conn) net.Conn) fanInResult {
+	t.Helper()
+	root := t.TempDir()
+	ids := make([]string, 0, len(parts))
+	for id := range parts {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcv := NewReceiver(ReceiverConfig{
+		Pipeline:    pipeline.New(fleetConfig()),
+		ExpectFeeds: ids,
+		StaleAfter:  staleAfter,
+		AckEvery:    16,
+		ReadTimeout: 400 * time.Millisecond,
+	})
+	go rcv.Serve(ln)
+
+	var res fanInResult
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for s := range rcv.Snapshots() {
+			res.snaps = append(res.snaps, s)
+			res.pipe = append(res.pipe, s.Snapshot)
+		}
+	}()
+
+	addr := ln.Addr().String()
+	feeds := make([]*Feed, 0, len(ids))
+	var wg sync.WaitGroup
+	for _, id := range ids {
+		id := id
+		dir := writeJournal(t, root, id, parts[id])
+		var attempts atomic.Int64
+		f := NewFeed(FeedConfig{
+			ID: id, Dir: dir, Addr: addr,
+			Dial: func() (net.Conn, error) {
+				c, err := net.DialTimeout("tcp", addr, 5*time.Second)
+				if err != nil {
+					return nil, err
+				}
+				if wrap != nil {
+					c = wrap(id, int(attempts.Add(1))-1, c)
+				}
+				return c, nil
+			},
+			MinBackoff: 10 * time.Millisecond, MaxBackoff: 100 * time.Millisecond,
+			HeartbeatEvery: 25 * time.Millisecond, AckTimeout: 250 * time.Millisecond,
+		})
+		feeds = append(feeds, f)
+		wg.Add(1)
+		go func() { defer wg.Done(); f.Run() }()
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	for i, id := range ids {
+		want := uint64(len(parts[id]))
+		for feeds[i].Acked() < want {
+			if time.Now().After(deadline) {
+				t.Fatalf("feed %s acked %d/%d before deadline", id, feeds[i].Acked(), want)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	for _, f := range feeds {
+		f.Close()
+	}
+	wg.Wait()
+	rcv.Close()
+	<-done
+	res.renders = renderSnapshots(res.pipe)
+	return res
+}
+
+// reference replays MergeStreams offline: the single-process ground
+// truth every live run must match byte-for-byte.
+func reference(parts map[string]event.Stream) string {
+	return renderSnapshots(pipeline.Replay(MergeStreams(parts), fleetConfig()))
+}
+
+func TestMergeStreamsOrdered(t *testing.T) {
+	parts := fleetParts(t, 3, 900)
+	merged := MergeStreams(parts)
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	if len(merged) != total {
+		t.Fatalf("merged %d events, want %d", len(merged), total)
+	}
+	for i := 1; i < len(merged); i++ {
+		if merged[i].Time.Before(merged[i-1].Time) {
+			t.Fatalf("merge out of order at %d", i)
+		}
+	}
+}
+
+// TestDifferentialFanInHealthy: three feeds over healthy TCP must be
+// byte-identical to the offline merge.
+func TestDifferentialFanInHealthy(t *testing.T) {
+	parts := fleetParts(t, 3, 1500)
+	got := runFanIn(t, parts, time.Hour, nil)
+	want := reference(parts)
+	if got.renders != want {
+		t.Fatalf("fan-in diverged from single-process run: %s", firstDiff(got.renders, want))
+	}
+	if len(got.snaps) == 0 {
+		t.Fatal("no snapshots")
+	}
+	final := got.snaps[len(got.snaps)-1]
+	if len(final.Feeds) != 3 {
+		t.Fatalf("snapshot metadata has %d feeds", len(final.Feeds))
+	}
+	for _, fs := range final.Feeds {
+		if fs.Stale {
+			t.Errorf("feed %s stale in a healthy run", fs.ID)
+		}
+		if fs.Duplicates != 0 {
+			t.Errorf("feed %s reported %d duplicates in a healthy run", fs.ID, fs.Duplicates)
+		}
+	}
+}
+
+// TestDifferentialFanInSingleFeed: the degenerate fleet (one feed) is
+// the whole stream.
+func TestDifferentialFanInSingleFeed(t *testing.T) {
+	parts := fleetParts(t, 1, 800)
+	got := runFanIn(t, parts, time.Hour, nil)
+	if want := reference(parts); got.renders != want {
+		t.Fatalf("single-feed run diverged: %s", firstDiff(got.renders, want))
+	}
+}

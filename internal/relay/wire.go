@@ -1,0 +1,167 @@
+package relay
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"time"
+
+	"rex/internal/event"
+	"rex/internal/journal"
+)
+
+// Wire framing. Every frame is
+//
+//	kind(1) len(4 BE) crc32c(4 BE, Castagnoli over payload) payload
+//
+// mirroring the journal's record discipline: length-prefixed, checksum
+// over the payload, bounded size. Unlike the journal, a bad frame is
+// fatal to the connection — past a corrupt length the stream cannot be
+// re-framed — and recovery is a reconnect with ack/resume.
+//
+// Payloads by kind:
+//
+//	hello     magic "REXRLY1", feed-ID length (2 BE), feed ID   feed → receiver
+//	ack       nextSeq (8 BE): "send from here"                  receiver → feed
+//	event     seq (8 BE), event.AppendRecord bytes              feed → receiver
+//	heartbeat nextSeq (8 BE, feed's append head), watermark     feed → receiver
+//	          (8 BE UnixNano)
+//
+// The handshake is hello → ack; after it the feed streams event frames
+// from the acked sequence and sends heartbeats whenever it is caught
+// up, and the receiver acks progress periodically so the feed can trim
+// its journal behind the receiver's durable cursor.
+
+const (
+	frameHeaderLen = 9
+
+	kindHello     = 1
+	kindAck       = 2
+	kindEvent     = 3
+	kindHeartbeat = 4
+
+	helloMagic = "REXRLY1"
+
+	// MaxFramePayload bounds one frame payload: the largest journal
+	// record plus the sequence prefix, with slack for control frames.
+	MaxFramePayload = journal.MaxRecordLen + 64
+
+	maxFeedIDLen = 256
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// appendFrame appends one whole frame to dst so the caller can hand it
+// to a single Write — one syscall, and byte-threshold fault injection
+// sees deterministic frame boundaries.
+func appendFrame(dst []byte, kind byte, payload []byte) []byte {
+	var hdr [frameHeaderLen]byte
+	hdr[0] = kind
+	binary.BigEndian.PutUint32(hdr[1:5], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[5:9], crc32.Checksum(payload, castagnoli))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// readFrame reads one frame, reusing buf for the payload when it fits.
+// Any framing violation — oversized length, checksum mismatch — is an
+// error; the caller must drop the connection.
+func readFrame(r io.Reader, buf []byte) (kind byte, payload []byte, err error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[1:5])
+	if n > MaxFramePayload {
+		mFramesRejected.Inc()
+		return 0, nil, fmt.Errorf("relay: frame claims %d bytes", n)
+	}
+	if uint32(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	payload = buf[:n]
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	if crc32.Checksum(payload, castagnoli) != binary.BigEndian.Uint32(hdr[5:9]) {
+		mFramesRejected.Inc()
+		return 0, nil, fmt.Errorf("relay: frame checksum mismatch")
+	}
+	return hdr[0], payload, nil
+}
+
+func appendHello(dst []byte, feedID string) []byte {
+	p := make([]byte, 0, len(helloMagic)+2+len(feedID))
+	p = append(p, helloMagic...)
+	p = binary.BigEndian.AppendUint16(p, uint16(len(feedID)))
+	p = append(p, feedID...)
+	return appendFrame(dst, kindHello, p)
+}
+
+func parseHello(p []byte) (string, error) {
+	if len(p) < len(helloMagic)+2 || string(p[:len(helloMagic)]) != helloMagic {
+		return "", fmt.Errorf("relay: bad hello")
+	}
+	n := int(binary.BigEndian.Uint16(p[len(helloMagic):]))
+	rest := p[len(helloMagic)+2:]
+	if n == 0 || n > maxFeedIDLen || len(rest) != n {
+		return "", fmt.Errorf("relay: bad hello feed ID")
+	}
+	return string(rest), nil
+}
+
+func appendAck(dst []byte, next uint64) []byte {
+	var p [8]byte
+	binary.BigEndian.PutUint64(p[:], next)
+	return appendFrame(dst, kindAck, p[:])
+}
+
+func parseAck(p []byte) (uint64, error) {
+	if len(p) != 8 {
+		return 0, fmt.Errorf("relay: bad ack")
+	}
+	return binary.BigEndian.Uint64(p), nil
+}
+
+func appendEventFrame(dst []byte, seq uint64, e *event.Event) ([]byte, error) {
+	p := make([]byte, 8, 64)
+	binary.BigEndian.PutUint64(p, seq)
+	p, err := event.AppendRecord(p, e)
+	if err != nil {
+		return dst, err
+	}
+	return appendFrame(dst, kindEvent, p), nil
+}
+
+func parseEventFrame(p []byte) (uint64, event.Event, error) {
+	if len(p) < 8 {
+		return 0, event.Event{}, fmt.Errorf("relay: short event frame")
+	}
+	seq := binary.BigEndian.Uint64(p)
+	e, err := event.ParseRecord(p[8:])
+	if err != nil {
+		return 0, event.Event{}, err
+	}
+	return seq, e, nil
+}
+
+func appendHeartbeat(dst []byte, next uint64, watermark time.Time) []byte {
+	var p [16]byte
+	binary.BigEndian.PutUint64(p[0:8], next)
+	var wm int64
+	if !watermark.IsZero() {
+		wm = watermark.UnixNano()
+	}
+	binary.BigEndian.PutUint64(p[8:16], uint64(wm))
+	return appendFrame(dst, kindHeartbeat, p[:])
+}
+
+func parseHeartbeat(p []byte) (next uint64, watermark time.Time, err error) {
+	if len(p) != 16 {
+		return 0, time.Time{}, fmt.Errorf("relay: bad heartbeat")
+	}
+	next = binary.BigEndian.Uint64(p[0:8])
+	wm := int64(binary.BigEndian.Uint64(p[8:16]))
+	return next, time.Unix(0, wm).UTC(), nil
+}

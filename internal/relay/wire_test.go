@@ -1,0 +1,241 @@
+package relay
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"time"
+
+	"rex/internal/core/pipeline"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	events := fleetParts(t, 1, 8)["feed-00"]
+
+	var wire []byte
+	wire = appendHello(wire, "collector-7")
+	wire = appendAck(wire, 42)
+	hbAt := time.Date(2003, 8, 1, 2, 3, 4, 5, time.UTC)
+	wire = appendHeartbeat(wire, 99, hbAt)
+	wire = appendHeartbeat(wire, 7, time.Time{})
+	for i := range events {
+		var err error
+		wire, err = appendEventFrame(wire, uint64(i), &events[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	r := bytes.NewReader(wire)
+	buf := make([]byte, 0, 64)
+
+	kind, p, err := readFrame(r, buf)
+	if err != nil || kind != kindHello {
+		t.Fatalf("hello frame: kind=%d err=%v", kind, err)
+	}
+	if id, err := parseHello(p); err != nil || id != "collector-7" {
+		t.Fatalf("parseHello = %q, %v", id, err)
+	}
+
+	kind, p, err = readFrame(r, buf)
+	if err != nil || kind != kindAck {
+		t.Fatalf("ack frame: kind=%d err=%v", kind, err)
+	}
+	if next, err := parseAck(p); err != nil || next != 42 {
+		t.Fatalf("parseAck = %d, %v", next, err)
+	}
+
+	kind, p, err = readFrame(r, buf)
+	if err != nil || kind != kindHeartbeat {
+		t.Fatalf("heartbeat frame: kind=%d err=%v", kind, err)
+	}
+	next, wm, err := parseHeartbeat(p)
+	if err != nil || next != 99 || !wm.Equal(hbAt) {
+		t.Fatalf("parseHeartbeat = %d, %v, %v", next, wm, err)
+	}
+	kind, p, err = readFrame(r, buf)
+	if err != nil || kind != kindHeartbeat {
+		t.Fatalf("zero heartbeat frame: kind=%d err=%v", kind, err)
+	}
+	if _, wm, err := parseHeartbeat(p); err != nil || !wm.Equal(time.Unix(0, 0).UTC()) {
+		t.Fatalf("zero watermark round-trip = %v, %v", wm, err)
+	}
+
+	for i := range events {
+		kind, p, err = readFrame(r, buf)
+		if err != nil || kind != kindEvent {
+			t.Fatalf("event frame %d: kind=%d err=%v", i, kind, err)
+		}
+		seq, e, err := parseEventFrame(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != uint64(i) {
+			t.Fatalf("event %d seq = %d", i, seq)
+		}
+		if !e.Time.Equal(events[i].Time) || e.Peer != events[i].Peer || e.Type != events[i].Type {
+			t.Fatalf("event %d round-trip mismatch: %+v != %+v", i, e, events[i])
+		}
+	}
+	if r.Len() != 0 {
+		t.Fatalf("%d trailing bytes", r.Len())
+	}
+}
+
+func TestReadFrameRejectsDamage(t *testing.T) {
+	good := appendAck(nil, 7)
+
+	flipped := append([]byte(nil), good...)
+	flipped[len(flipped)-1] ^= 0xFF // payload bit flip
+	if _, _, err := readFrame(bytes.NewReader(flipped), nil); err == nil {
+		t.Fatal("corrupt payload accepted")
+	}
+
+	oversize := append([]byte(nil), good...)
+	oversize[1] = 0xFF // length field now claims ~4GB
+	if _, _, err := readFrame(bytes.NewReader(oversize), nil); err == nil {
+		t.Fatal("oversized length accepted")
+	}
+
+	for cut := 1; cut < len(good); cut++ {
+		if _, _, err := readFrame(bytes.NewReader(good[:cut]), nil); err == nil {
+			t.Fatalf("truncated frame (%d/%d bytes) accepted", cut, len(good))
+		}
+	}
+}
+
+// helloExchange dials, says hello, and returns the conn plus the
+// receiver's resume cursor.
+func helloExchange(t *testing.T, addr, id string) (net.Conn, uint64) {
+	t.Helper()
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write(appendHello(nil, id)); err != nil {
+		t.Fatal(err)
+	}
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	kind, p, err := readFrame(c, nil)
+	if err != nil || kind != kindAck {
+		t.Fatalf("handshake ack: kind=%d err=%v", kind, err)
+	}
+	next, err := parseAck(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, next
+}
+
+// TestReceiverDuplicatesAndResume drives the protocol by hand:
+// duplicates are counted and dropped (never re-released), a forward
+// jump is accepted, and a reconnect resumes from the acked cursor.
+func TestReceiverDuplicatesAndResume(t *testing.T) {
+	events := fleetParts(t, 1, 8)["feed-00"]
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcv := NewReceiver(ReceiverConfig{
+		Pipeline:    pipeline.New(fleetConfig()),
+		ExpectFeeds: []string{"feed-00"},
+		StaleAfter:  time.Hour,
+		AckEvery:    1,
+		ReadTimeout: 2 * time.Second,
+	})
+	go rcv.Serve(ln)
+	var snaps []Snapshot
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for s := range rcv.Snapshots() {
+			snaps = append(snaps, s)
+		}
+	}()
+
+	send := func(c net.Conn, seq int) {
+		t.Helper()
+		frame, err := appendEventFrame(nil, uint64(seq), &events[seq])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Write(frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	readAck := func(c net.Conn) uint64 {
+		t.Helper()
+		c.SetReadDeadline(time.Now().Add(5 * time.Second))
+		kind, p, err := readFrame(c, nil)
+		if err != nil || kind != kindAck {
+			t.Fatalf("ack: kind=%d err=%v", kind, err)
+		}
+		next, err := parseAck(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return next
+	}
+
+	c, next := helloExchange(t, ln.Addr().String(), "feed-00")
+	if next != 0 {
+		t.Fatalf("fresh cursor = %d", next)
+	}
+	send(c, 0)
+	if got := readAck(c); got != 1 {
+		t.Fatalf("ack after seq 0 = %d", got)
+	}
+	send(c, 0) // duplicate: dropped, not acked (AckEvery counts accepts)
+	send(c, 1)
+	if got := readAck(c); got != 2 {
+		t.Fatalf("ack after dup+seq1 = %d", got)
+	}
+	c.Close()
+
+	// Reconnect: the cursor survives the connection.
+	c2, next := helloExchange(t, ln.Addr().String(), "feed-00")
+	if next != 2 {
+		t.Fatalf("resume cursor = %d, want 2", next)
+	}
+	send(c2, 2)
+	if got := readAck(c2); got != 3 {
+		t.Fatalf("ack after resume = %d", got)
+	}
+	// Forward jump (upstream journal damage): accepted, cursor follows.
+	send(c2, 5)
+	if got := readAck(c2); got != 6 {
+		t.Fatalf("ack after jump = %d", got)
+	}
+	c2.Close()
+
+	// A stranger is rejected when the roster is fixed.
+	cs, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs.Write(appendHello(nil, "stranger"))
+	cs.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, _, err := readFrame(cs, nil); err == nil {
+		t.Fatal("stranger got a frame back")
+	}
+	cs.Close()
+
+	rcv.Close()
+	<-drained
+	if len(snaps) == 0 {
+		t.Fatal("no snapshots")
+	}
+	final := snaps[len(snaps)-1].Feeds
+	if len(final) != 1 || final[0].ID != "feed-00" {
+		t.Fatalf("feed metadata: %+v", final)
+	}
+	if final[0].Duplicates != 1 {
+		t.Errorf("duplicates = %d, want 1", final[0].Duplicates)
+	}
+	if final[0].Received != 4 {
+		t.Errorf("received = %d, want 4", final[0].Received)
+	}
+	if final[0].NextSeq != 6 {
+		t.Errorf("nextSeq = %d, want 6", final[0].NextSeq)
+	}
+}

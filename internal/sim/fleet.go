@@ -1,0 +1,39 @@
+package sim
+
+import (
+	"net/netip"
+	"sort"
+
+	"rex/internal/event"
+)
+
+// PartitionByPeer splits a stream across n collectors the way a fleet
+// deployment would: each route reflector (event peer) reports to
+// exactly one collector, assigned round-robin over the sorted distinct
+// peer addresses. Relative order within each substream is preserved,
+// so per-feed event times stay nondecreasing (the relay protocol
+// contract) and every (router, prefix) analysis key lives wholly in
+// one feed.
+func PartitionByPeer(s event.Stream, n int) []event.Stream {
+	if n < 1 {
+		n = 1
+	}
+	assign := map[netip.Addr]int{}
+	var peers []netip.Addr
+	for _, e := range s {
+		if _, ok := assign[e.Peer]; !ok {
+			assign[e.Peer] = -1
+			peers = append(peers, e.Peer)
+		}
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i].Compare(peers[j]) < 0 })
+	for i, p := range peers {
+		assign[p] = i % n
+	}
+	out := make([]event.Stream, n)
+	for _, e := range s {
+		i := assign[e.Peer]
+		out[i] = append(out[i], e)
+	}
+	return out
+}

@@ -1,0 +1,41 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPartitionByPeerDisjointAndOrdered(t *testing.T) {
+	is := ISPAnon(ISPAnonConfig{PoPs: 2, RRsPerPoP: 2, Tier1Peers: 3,
+		CustomerStubs: 12, InternetStubs: 12, PrefixesPerStub: 2})
+	baseline := is.BaselineRoutes()
+	t0 := time.Date(2003, 8, 1, 0, 0, 0, 0, time.UTC)
+	s := BenchEvents(is.Site, baseline, 1200, 20*time.Minute, t0, 7)
+
+	const n = 3
+	parts := PartitionByPeer(s, n)
+	if len(parts) != n {
+		t.Fatalf("got %d parts", len(parts))
+	}
+	total := 0
+	owner := map[string]int{}
+	for i, p := range parts {
+		total += len(p)
+		for j, e := range p {
+			if j > 0 && e.Time.Before(p[j-1].Time) {
+				t.Fatalf("part %d not time-ordered at %d", i, j)
+			}
+			key := e.Peer.String()
+			if prev, ok := owner[key]; ok && prev != i {
+				t.Fatalf("peer %s appears in parts %d and %d", key, prev, i)
+			}
+			owner[key] = i
+		}
+	}
+	if total != len(s) {
+		t.Fatalf("partition lost events: %d != %d", total, len(s))
+	}
+	if len(parts[0]) == 0 || len(parts[1]) == 0 || len(parts[2]) == 0 {
+		t.Fatalf("degenerate partition: %d/%d/%d", len(parts[0]), len(parts[1]), len(parts[2]))
+	}
+}
