@@ -47,8 +47,18 @@ fuzz:
 
 # Benchmark regression harness: runs the pipeline window benchmarks
 # (sequential and parallel) and distills ns/op, events/sec and allocs/op
-# into BENCH_pr5.json. Format documented in EXPERIMENTS.md.
+# into BENCH_pr6.json. Format documented in EXPERIMENTS.md.
 BENCHTIME ?= 1x
 .PHONY: bench
 bench:
-	$(GO) run ./cmd/benchjson -benchtime $(BENCHTIME) -out BENCH_pr5.json
+	$(GO) run ./cmd/benchjson -benchtime $(BENCHTIME) -out BENCH_pr6.json
+
+# Benchmark regression smoke: one short fresh run of the parallel-window
+# benchmark diffed against the committed baseline. Fails on an allocs/op
+# increase beyond 25% (alloc counts are deterministic) or an events/sec
+# collapse below half the baseline (loose on purpose — shared CI runners
+# are noisy). BENCH_BASE overrides the baseline file.
+BENCH_BASE ?= BENCH_pr6.json
+.PHONY: bench-check
+bench-check:
+	$(GO) run ./cmd/benchjson -benchtime 1x -bench '^BenchmarkParallelWindow$$' -compare $(BENCH_BASE)

@@ -410,7 +410,7 @@ func BenchmarkPipelineWindow(b *testing.B) {
 // Berkeley-scale churn stream at increasing worker counts. The output is
 // byte-identical at every worker count (see the pipeline's differential
 // equivalence suite); only wall-clock changes. `make bench` distills
-// these runs into BENCH_pr5.json (format in EXPERIMENTS.md).
+// these runs into BENCH_pr6.json (format in EXPERIMENTS.md).
 func BenchmarkParallelWindow(b *testing.B) {
 	d := berkeleyAt(b, 23_000)
 	const n = 100_000

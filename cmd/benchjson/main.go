@@ -5,6 +5,14 @@
 // and allocs/op per benchmark — so successive PRs can diff throughput
 // without re-parsing bench text. The format is documented in
 // EXPERIMENTS.md.
+//
+// With -compare OLD.json (`make bench-check`) it instead diffs the
+// fresh run against a committed baseline and exits non-zero when
+// allocs/op grew or events/sec shrank beyond the thresholds — the CI
+// smoke that keeps the allocation diet from silently regressing.
+// Allocation counts are deterministic, so their threshold is tight;
+// events/sec on shared runners is noisy, so its threshold is
+// deliberately loose and only catches collapses.
 package main
 
 import (
@@ -31,7 +39,7 @@ type Result struct {
 	BytesPerOp   float64 `json:"bytes_per_op"`
 }
 
-// File is the top-level BENCH_pr5.json document.
+// File is the top-level BENCH_pr6.json document.
 type File struct {
 	GoVersion  string             `json:"go_version"`
 	GOOS       string             `json:"goos"`
@@ -45,7 +53,10 @@ type File struct {
 func main() {
 	benchtime := flag.String("benchtime", "1x", "go test -benchtime value")
 	pattern := flag.String("bench", "^(BenchmarkPipelineWindow|BenchmarkParallelWindow)$", "benchmark regexp")
-	out := flag.String("out", "BENCH_pr5.json", "output JSON path")
+	out := flag.String("out", "BENCH_pr6.json", "output JSON path")
+	compare := flag.String("compare", "", "baseline JSON to diff against instead of writing (exit 1 on regression)")
+	maxAllocRatio := flag.Float64("max-alloc-ratio", 1.25, "compare: fail when allocs/op exceeds baseline by this factor")
+	minEventsRatio := flag.Float64("min-events-ratio", 0.5, "compare: fail when events/sec falls below this fraction of baseline")
 	flag.Parse()
 
 	cmd := exec.Command("go", "test", "-run", "^$",
@@ -74,6 +85,10 @@ func main() {
 	}
 	doc.Speedups = speedups(doc.Benchmarks)
 
+	if *compare != "" {
+		os.Exit(compareAgainst(*compare, doc.Benchmarks, *maxAllocRatio, *minEventsRatio))
+	}
+
 	enc, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
@@ -84,6 +99,65 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(doc.Benchmarks), *out)
+}
+
+// compareAgainst diffs fresh results against the committed baseline
+// file and returns the process exit code: 0 when every matching
+// benchmark is within thresholds, 1 on any regression. Benchmarks
+// present on only one side are reported but do not fail the run — the
+// benchmark set may legitimately change between PRs.
+func compareAgainst(path string, fresh []Result, maxAllocRatio, minEventsRatio float64) int {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read baseline: %v\n", err)
+		return 1
+	}
+	var base File
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: parse baseline %s: %v\n", path, err)
+		return 1
+	}
+	old := make(map[string]Result, len(base.Benchmarks))
+	for _, r := range base.Benchmarks {
+		old[r.Name] = r
+	}
+	regressions := 0
+	matched := 0
+	for _, r := range fresh {
+		b, ok := old[r.Name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: not in baseline, skipped\n", r.Name)
+			continue
+		}
+		matched++
+		delete(old, r.Name)
+		if b.AllocsPerOp > 0 && r.AllocsPerOp > b.AllocsPerOp*maxAllocRatio {
+			fmt.Fprintf(os.Stderr, "benchjson: REGRESSION %s: allocs/op %.0f vs baseline %.0f (limit %.2fx)\n",
+				r.Name, r.AllocsPerOp, b.AllocsPerOp, maxAllocRatio)
+			regressions++
+		} else {
+			fmt.Fprintf(os.Stderr, "benchjson: ok %s: allocs/op %.0f vs baseline %.0f\n",
+				r.Name, r.AllocsPerOp, b.AllocsPerOp)
+		}
+		if b.EventsPerSec > 0 && r.EventsPerSec < b.EventsPerSec*minEventsRatio {
+			fmt.Fprintf(os.Stderr, "benchjson: REGRESSION %s: events/sec %.0f vs baseline %.0f (floor %.2fx)\n",
+				r.Name, r.EventsPerSec, b.EventsPerSec, minEventsRatio)
+			regressions++
+		}
+	}
+	for name := range old {
+		fmt.Fprintf(os.Stderr, "benchjson: %s: in baseline but not in this run\n", name)
+	}
+	if matched == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmarks matched the baseline — nothing was checked")
+		return 1
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d regression(s) vs %s\n", regressions, path)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) within thresholds of %s\n", matched, path)
+	return 0
 }
 
 // parseLine handles one `go test -bench` result line: the name and

@@ -160,10 +160,11 @@ func (in *Intake) drain() {
 }
 
 // deliverBatch journals first (the event is the unit of durability) and
-// hands the pipeline one freshly-allocated batch — IngestBatch takes
-// ownership of the slice, so the drainer never reuses it.
+// hands the pipeline one pooled batch — IngestBatch takes ownership of
+// the slice, so the drainer never reuses it; the run loop recycles it
+// into batchPool once processed.
 func (in *Intake) deliverBatch(first event.Event) {
-	batch := make([]event.Event, 0, intakeBatchMax)
+	batch := getBatch()
 	batch = append(batch, first)
 collect:
 	for len(batch) < intakeBatchMax {

@@ -292,14 +292,17 @@ func (p *Pipeline) Close() {
 func (p *Pipeline) run() {
 	defer close(p.snaps)
 	st := &state{
-		p:      p,
-		win:    stemming.NewWindow(p.cfg.Stemming, p.cfg.Shards),
-		shards: make([]*analysisShard, p.cfg.Shards),
+		p:       p,
+		win:     stemming.NewWindow(p.cfg.Stemming, p.cfg.Shards),
+		shards:  make([]*analysisShard, p.cfg.Shards),
+		routers: make(map[netip.Addr]string),
+		graphs:  make([]*tamp.Graph, p.cfg.Shards),
 	}
 	for i := range st.shards {
 		st.shards[i] = &analysisShard{
-			g:   tamp.New(p.cfg.Site),
-			rib: make(map[routeKey]tamp.RouteEntry),
+			g:       tamp.New(p.cfg.Site),
+			rib:     make(map[routeKey]tamp.RouteEntry),
+			pending: opsPool.Get().(*[]routeOp),
 		}
 	}
 	mShards.Set(int64(p.cfg.Shards))
@@ -350,15 +353,49 @@ type routeKey struct {
 	prefix netip.Prefix
 }
 
-// routeOp is one routing change bound for a shard's TAMP shadow.
+// routeOp is one routing change bound for a shard's TAMP shadow. The
+// router name is the coordinator's cached string form of e.Peer, so
+// workers never re-render addresses.
 type routeOp struct {
-	e    event.Event
-	seed bool
+	e      event.Event
+	router string
+	seed   bool
 }
 
 // tampBatchSize is how many routeOps accumulate per shard before the
 // coordinator flushes them to the owning worker as one task.
 const tampBatchSize = 64
+
+// opsPool recycles flushed routeOp batches between the coordinator
+// (which fills them) and the shard workers (which return them after
+// applying). Pooled as pointers so Get/Put do not re-box the slice
+// header.
+var opsPool = sync.Pool{New: func() any {
+	b := make([]routeOp, 0, tampBatchSize)
+	return &b
+}}
+
+// batchPool recycles IngestBatch slices between the run loop (which
+// recycles a batch after processing it — ownership transferred on
+// Ingest) and the intake drainer, which refills them.
+var batchPool = sync.Pool{New: func() any {
+	b := make([]event.Event, 0, intakeBatchMax)
+	return &b
+}}
+
+// getBatch returns an empty pooled batch slice for IngestBatch filling.
+func getBatch() []event.Event {
+	return (*batchPool.Get().(*[]event.Event))[:0]
+}
+
+// recycleBatch clears a processed batch — dropping its attribute
+// references so a pooled buffer never pins event payloads — and returns
+// it to the pool.
+func recycleBatch(b []event.Event) {
+	clear(b)
+	b = b[:0]
+	batchPool.Put(&b)
+}
 
 // analysisShard is one prefix shard's slice of the TAMP state: a
 // sub-graph plus the RIB shadow for the prefixes hashed here. Owned by
@@ -367,7 +404,7 @@ const tampBatchSize = 64
 type analysisShard struct {
 	g       *tamp.Graph
 	rib     map[routeKey]tamp.RouteEntry
-	pending []routeOp
+	pending *[]routeOp
 }
 
 // applyRoute mirrors one routing change into the shard's TAMP sub-graph
@@ -379,11 +416,11 @@ type analysisShard struct {
 // (re-announcing the current route is a no-op, withdrawing an absent
 // one is too), which is what lets recovery replay a journal tail on
 // top of a checkpoint that already contains part of it.
-func (sh *analysisShard) applyRoute(e *event.Event) {
-	key := routeKey{router: e.Peer.String(), prefix: e.Prefix}
+func (sh *analysisShard) applyRoute(e *event.Event, router string) {
+	key := routeKey{router: router, prefix: e.Prefix}
 	switch e.Type {
 	case event.Announce:
-		entry := tamp.EntryFromEvent(e)
+		entry := tamp.EntryFromEventNamed(router, e)
 		if old, ok := sh.rib[key]; ok {
 			if !routeEqual(old, entry) {
 				sh.g.ReplaceRoute(old, entry)
@@ -404,7 +441,7 @@ func (sh *analysisShard) applyRoute(e *event.Event) {
 // applyBatch replays a flushed op batch in order on the owning worker.
 func (sh *analysisShard) applyBatch(ops []routeOp) {
 	for i := range ops {
-		sh.applyRoute(&ops[i].e)
+		sh.applyRoute(&ops[i].e, ops[i].router)
 	}
 }
 
@@ -427,6 +464,26 @@ type state struct {
 	// route keys live events have touched, which stale seeds must not
 	// overwrite. Nil outside a span — zero cost on the steady path.
 	liveTouched map[routeKey]struct{}
+
+	// routers caches the string form of every peer address seen, so the
+	// steady path renders each address exactly once instead of per event.
+	routers map[netip.Addr]string
+
+	// graphs and rateBuf are per-snapshot / per-spike-check scratch,
+	// reused so the triggers allocate only their results.
+	graphs  []*tamp.Graph
+	rateBuf event.Stream
+}
+
+// routerName returns the cached string form of a peer address,
+// rendering and caching it on first sight.
+func (st *state) routerName(a netip.Addr) string {
+	if s, ok := st.routers[a]; ok {
+		return s
+	}
+	s := a.String()
+	st.routers[a] = s
+	return s
 }
 
 // dispatch routes one message: control marks flip recovery tracking,
@@ -441,6 +498,7 @@ func (st *state) dispatch(m msg) {
 		for i := range m.batch {
 			st.process(m.batch[i])
 		}
+		recycleBatch(m.batch)
 	case m.seed:
 		st.seed(m.e)
 	default:
@@ -453,14 +511,15 @@ func (st *state) dispatch(m msg) {
 // route key some live event already touched is stale — the live event is
 // by construction newer than the checkpoint — and is dropped.
 func (st *state) seed(e event.Event) {
+	router := st.routerName(e.Peer)
 	if st.liveTouched != nil {
-		if _, touched := st.liveTouched[routeKey{router: e.Peer.String(), prefix: e.Prefix}]; touched {
+		if _, touched := st.liveTouched[routeKey{router: router, prefix: e.Prefix}]; touched {
 			mSeedStale.Inc()
 			return
 		}
 	}
 	mSeeded.Inc()
-	st.route(st.win.ShardFor(e.Prefix), routeOp{e: e, seed: true})
+	st.route(st.win.ShardFor(e.Prefix), routeOp{e: e, router: router, seed: true})
 }
 
 // route hands one routing change to its shard: inline at Workers <= 1,
@@ -469,27 +528,35 @@ func (st *state) route(shard int, op routeOp) {
 	mShardRouteOps.Inc()
 	sh := st.shards[shard]
 	if st.pool == nil {
-		sh.applyRoute(&op.e)
+		sh.applyRoute(&op.e, op.router)
 		return
 	}
-	sh.pending = append(sh.pending, op)
-	if len(sh.pending) >= tampBatchSize {
+	*sh.pending = append(*sh.pending, op)
+	if len(*sh.pending) >= tampBatchSize {
 		st.flush(shard)
 	}
 }
 
 // flush submits a shard's buffered routeOps to its owning worker. The
 // worker index is a pure function of the shard index, so a shard's
-// batches land on one FIFO and apply in coordinator order.
+// batches land on one FIFO and apply in coordinator order. The batch
+// buffer returns to opsPool once the worker has applied it (cleared, so
+// a pooled buffer never pins event attributes).
 func (st *state) flush(shard int) {
 	sh := st.shards[shard]
-	if len(sh.pending) == 0 {
+	if len(*sh.pending) == 0 {
 		return
 	}
 	ops := sh.pending
-	sh.pending = make([]routeOp, 0, tampBatchSize)
+	sh.pending = opsPool.Get().(*[]routeOp)
+	*sh.pending = (*sh.pending)[:0]
 	mShardFlushes.Inc()
-	st.pool.submit(shard%st.pool.workers, func() { sh.applyBatch(ops) })
+	st.pool.submit(shard%st.pool.workers, func() {
+		sh.applyBatch(*ops)
+		clear(*ops)
+		*ops = (*ops)[:0]
+		opsPool.Put(ops)
+	})
 }
 
 // barrier makes every shard's TAMP state current: all buffered ops
@@ -516,10 +583,11 @@ func (st *state) process(e event.Event) {
 	}
 
 	shard := st.win.Add(e)
+	router := st.routerName(e.Peer)
 	if st.liveTouched != nil {
-		st.liveTouched[routeKey{router: e.Peer.String(), prefix: e.Prefix}] = struct{}{}
+		st.liveTouched[routeKey{router: router, prefix: e.Prefix}] = struct{}{}
 	}
-	st.route(shard, routeOp{e: e})
+	st.route(shard, routeOp{e: e, router: router})
 
 	evicted := st.win.EvictBefore(st.clock.Add(-cfg.Window))
 	if evicted > 0 {
@@ -557,7 +625,8 @@ func (st *state) process(e event.Event) {
 // rollover at which the run crosses the threshold — so the decomposition
 // covers the surge while it is still in the window.
 func (st *state) checkSpikes() {
-	rs := event.Rate(st.win.Events(), st.p.cfg.SpikeBucket)
+	st.rateBuf = st.win.AppendEvents(st.rateBuf[:0])
+	rs := event.Rate(st.rateBuf, st.p.cfg.SpikeBucket)
 	for _, sp := range rs.Spikes(st.p.cfg.SpikeK) {
 		if !sp.Start.After(st.lastSpike) {
 			continue
@@ -576,24 +645,25 @@ func (st *state) checkSpikes() {
 func (st *state) snapshot(trig Trigger, sp *event.Spike) Snapshot {
 	start := time.Now()
 	st.barrier()
-	graphs := make([]*tamp.Graph, len(st.shards))
 	for i, sh := range st.shards {
-		graphs[i] = sh.g
+		st.graphs[i] = sh.g
 	}
-	live := st.win.Events()
+	// The window contents are read in place — Len, Snapshot and
+	// TimeRange never copy the ring; events are copied out only when the
+	// caller asked for them.
 	s := Snapshot{
 		At:         st.clock,
 		Trigger:    trig,
-		Events:     len(live),
+		Events:     st.win.Len(),
 		Components: st.win.Snapshot(),
-		Picture:    tamp.MergeSnapshot(st.p.cfg.Site, graphs, st.p.cfg.Prune),
+		Picture:    tamp.MergeSnapshot(st.p.cfg.Site, st.graphs, st.p.cfg.Prune),
 		Spike:      sp,
 	}
-	if first, last, ok := live.TimeRange(); ok {
+	if first, last, ok := st.win.TimeRange(); ok {
 		s.WindowStart, s.WindowEnd = first, last
 	}
 	if st.p.cfg.IncludeEvents {
-		s.Stream = live
+		s.Stream = st.win.Events()
 	}
 	mSnapshots.With(trig.String()).Inc()
 	mSnapshotSeconds.Observe(time.Since(start).Seconds())

@@ -36,7 +36,11 @@ func packID(k Kind, idx uint32) uint32 { return uint32(k-1)<<kindShift | idx }
 
 func unpackID(id uint32) (Kind, uint32) { return Kind(id>>kindShift) + 1, id & idxMask }
 
-// interner assigns dense IDs to peers, nexthops, ASNs and prefixes.
+// interner assigns dense IDs to peers, nexthops, ASNs and prefixes, and
+// interns whole event sequences (see seqEntry). Intern tables only grow;
+// a long-lived Window's interner retains every distinct token and
+// sequence it has ever seen, which is the deliberate trade that makes
+// the steady-state count path allocation-free.
 type interner struct {
 	peerIDs map[netip.Addr]uint32
 	nhIDs   map[netip.Addr]uint32
@@ -46,14 +50,37 @@ type interner struct {
 	nhs     []netip.Addr
 	asns    []uint32
 	pfxs    []netip.Prefix
+
+	// Sequence interning: one entry per distinct packed sequence, keyed
+	// by the big-endian byte form. maxSubseqLen is fixed at construction
+	// (it shapes each entry's cached key set).
+	seqs         map[string]*seqEntry
+	maxSubseqLen int
+	scratchSeq   []uint32
+	scratchRaw   []byte
 }
 
-func newInterner() *interner {
+// seqEntry is one interned event sequence: the packed token IDs, their
+// byte encoding, the prefix ID (always the last token), and every
+// contiguous sub-sequence key of >= 2 tokens, materialized once. The
+// keys all share ent.raw's backing string, so an entry costs a handful
+// of allocations no matter how often its sequence recurs — count-table
+// updates then reuse these strings and allocate nothing.
+type seqEntry struct {
+	seq  []uint32
+	raw  []byte
+	pid  uint32
+	keys []string
+}
+
+func newInterner(maxSubseqLen int) *interner {
 	return &interner{
-		peerIDs: make(map[netip.Addr]uint32),
-		nhIDs:   make(map[netip.Addr]uint32),
-		asIDs:   make(map[uint32]uint32),
-		pfxIDs:  make(map[netip.Prefix]uint32),
+		peerIDs:      make(map[netip.Addr]uint32),
+		nhIDs:        make(map[netip.Addr]uint32),
+		asIDs:        make(map[uint32]uint32),
+		pfxIDs:       make(map[netip.Prefix]uint32),
+		seqs:         make(map[string]*seqEntry),
+		maxSubseqLen: maxSubseqLen,
 	}
 }
 
@@ -174,26 +201,26 @@ type analysis struct {
 	stream event.Stream
 	in     *interner
 
-	seqs     [][]uint32 // per-event token sequence
-	seqBytes [][]byte   // big-endian byte form of seqs, for key slicing
-	weights  []float64
-	prefixID []uint32 // interned prefix per event
-	alive    []bool
-	liveN    int
+	ents    []*seqEntry // per-event interned sequence
+	weights []float64
+	alive   []bool
+	liveN   int
 
 	counts         map[string]float64
 	eventsByPrefix map[uint32][]int
+	// idxArena backs eventsByPrefix's value slices when the analysis is
+	// a Window's reused snapshot scratch (see Window.Snapshot); the batch
+	// path builds the lists by plain append instead.
+	idxArena []int
 }
 
 func newAnalysis(s event.Stream, cfg Config) *analysis {
 	a := &analysis{
 		cfg:            cfg,
 		stream:         s,
-		in:             newInterner(),
-		seqs:           make([][]uint32, len(s)),
-		seqBytes:       make([][]byte, len(s)),
+		in:             newInterner(cfg.MaxSubseqLen),
+		ents:           make([]*seqEntry, len(s)),
 		weights:        make([]float64, len(s)),
-		prefixID:       make([]uint32, len(s)),
 		alive:          make([]bool, len(s)),
 		liveN:          len(s),
 		counts:         make(map[string]float64, len(s)*8),
@@ -201,77 +228,146 @@ func newAnalysis(s event.Stream, cfg Config) *analysis {
 	}
 	for i := range s {
 		e := &s[i]
-		seq, pid := a.in.eventSeq(e)
-		a.seqs[i] = seq
-		a.seqBytes[i] = encodeSeq(seq)
-		a.prefixID[i] = pid
+		ent := a.in.seqFor(e)
+		a.ents[i] = ent
 		a.alive[i] = true
 		w := 1.0
 		if cfg.Weight != nil {
 			w = cfg.Weight(e)
 		}
 		a.weights[i] = w
-		a.eventsByPrefix[pid] = append(a.eventsByPrefix[pid], i)
+		a.eventsByPrefix[ent.pid] = append(a.eventsByPrefix[ent.pid], i)
 		a.addCounts(i, w)
 	}
 	return a
 }
 
-// eventSeq interns an event's sequence form c = x h a1 … an p and
-// returns it with the interned prefix ID (the sequence's last token).
-func (in *interner) eventSeq(e *event.Event) (seq []uint32, pid uint32) {
-	seq = make([]uint32, 0, 8)
+// reset prepares a reused analysis for n events: slices are regrown in
+// place and the maps are cleared with their buckets retained, so a
+// steady-state Window snapshot reallocates none of its scratch.
+func (a *analysis) reset(n int) {
+	if cap(a.ents) < n {
+		a.stream = make(event.Stream, n)
+		a.ents = make([]*seqEntry, n)
+		a.weights = make([]float64, n)
+		a.alive = make([]bool, n)
+	} else {
+		a.stream = a.stream[:n]
+		a.ents = a.ents[:n]
+		a.weights = a.weights[:n]
+		a.alive = a.alive[:n]
+	}
+	a.liveN = n
+	if a.counts == nil {
+		a.counts = make(map[string]float64, 1024)
+	} else {
+		clear(a.counts)
+	}
+	if a.eventsByPrefix == nil {
+		a.eventsByPrefix = make(map[uint32][]int, 64)
+	} else {
+		clear(a.eventsByPrefix)
+	}
+	if cap(a.idxArena) < n {
+		a.idxArena = make([]int, 0, n)
+	} else {
+		a.idxArena = a.idxArena[:0]
+	}
+}
+
+// seqFor interns an event's sequence form c = x h a1 … an p. Repeat
+// sequences — the common case in BGP churn, where one route flaps many
+// times — return the existing entry without allocating: the sequence is
+// built in scratch buffers and looked up by its byte form before
+// anything is materialized.
+func (in *interner) seqFor(e *event.Event) *seqEntry {
+	seq := in.scratchSeq[:0]
 	seq = append(seq, in.peer(e.Peer))
 	if e.Attrs != nil {
 		if e.Attrs.Nexthop.IsValid() {
 			seq = append(seq, in.nexthop(e.Attrs.Nexthop))
 		}
-		for _, segASN := range e.Attrs.ASPath.ASNs() {
-			seq = append(seq, in.as(segASN))
+		for _, segment := range e.Attrs.ASPath {
+			for _, segASN := range segment.ASNs {
+				seq = append(seq, in.as(segASN))
+			}
 		}
 	}
-	pid = in.prefix(e.Prefix)
+	pid := in.prefix(e.Prefix)
 	seq = append(seq, pid)
-	return seq, pid
+	in.scratchSeq = seq
+
+	raw := in.scratchRaw[:0]
+	for _, id := range seq {
+		raw = binary.BigEndian.AppendUint32(raw, id)
+	}
+	in.scratchRaw = raw
+
+	if ent, ok := in.seqs[string(raw)]; ok {
+		return ent
+	}
+	ent := &seqEntry{
+		seq: append([]uint32(nil), seq...),
+		raw: append([]byte(nil), raw...),
+		pid: pid,
+	}
+	ent.buildKeys(in.maxSubseqLen)
+	in.seqs[string(ent.raw)] = ent
+	return ent
 }
 
-func encodeSeq(seq []uint32) []byte {
-	b := make([]byte, len(seq)*idBytes)
-	for i, id := range seq {
-		binary.BigEndian.PutUint32(b[i*idBytes:], id)
+// buildKeys materializes every contiguous sub-sequence key of >= 2
+// tokens (capped at maxSubseqLen when > 1), in the same order the count
+// loop historically visited them. All keys are substrings of one backing
+// string, so the whole set costs two allocations.
+func (e *seqEntry) buildKeys(maxSubseqLen int) {
+	maxLen := len(e.seq)
+	if maxSubseqLen > 1 && maxSubseqLen < maxLen {
+		maxLen = maxSubseqLen
 	}
-	return b
+	n := 0
+	for start := 0; start < len(e.seq)-1; start++ {
+		end := start + maxLen
+		if end > len(e.seq) {
+			end = len(e.seq)
+		}
+		if end >= start+2 {
+			n += end - start - 1
+		}
+	}
+	s := string(e.raw)
+	keys := make([]string, 0, n)
+	for start := 0; start < len(e.seq)-1; start++ {
+		end := start + maxLen
+		if end > len(e.seq) {
+			end = len(e.seq)
+		}
+		for stop := start + 2; stop <= end; stop++ {
+			keys = append(keys, s[start*idBytes:stop*idBytes])
+		}
+	}
+	e.keys = keys
 }
 
 // addCounts adds (or, with negative w, removes) every sub-sequence of
 // event i of length >= 2 tokens.
 func (a *analysis) addCounts(i int, w float64) {
-	addSubseqCounts(a.counts, a.seqs[i], a.seqBytes[i], a.cfg.MaxSubseqLen, w)
+	addSubseqKeys(a.counts, a.ents[i].keys, w)
 }
 
-// addSubseqCounts adds (or, with negative w, removes) every contiguous
-// sub-sequence of seq with >= 2 tokens into counts. raw is seq's
-// big-endian byte encoding; keys are sliced from it without copying.
-// Shared between batch analysis and the sliding Window's shard counters
-// — the negative-w path is what makes windows evictable.
-func addSubseqCounts(counts map[string]float64, seq []uint32, raw []byte, maxSubseqLen int, w float64) {
-	maxLen := len(seq)
-	if maxSubseqLen > 1 && maxSubseqLen < maxLen {
-		maxLen = maxSubseqLen
-	}
-	for start := 0; start < len(seq)-1; start++ {
-		end := start + maxLen
-		if end > len(seq) {
-			end = len(seq)
-		}
-		for stop := start + 2; stop <= end; stop++ {
-			key := string(raw[start*idBytes : stop*idBytes])
-			n := counts[key] + w
-			if n <= 1e-9 {
-				delete(counts, key)
-			} else {
-				counts[key] = n
-			}
+// addSubseqKeys adds (or, with negative w, removes) an interned entry's
+// cached sub-sequence keys into counts. The keys are already-materialized
+// strings, so the loop allocates nothing — the property the event hot
+// path's allocation budget rests on. Shared between batch analysis and
+// the sliding Window's shard counters; the negative-w path is what makes
+// windows evictable.
+func addSubseqKeys(counts map[string]float64, keys []string, w float64) {
+	for _, key := range keys {
+		n := counts[key] + w
+		if n <= 1e-9 {
+			delete(counts, key)
+		} else {
+			counts[key] = n
 		}
 	}
 }
@@ -317,12 +413,12 @@ func (a *analysis) extract() (Component, bool) {
 	// first-appearance order.
 	var prefixIDs []uint32
 	seenPfx := make(map[uint32]struct{}, 16)
-	for i, seq := range a.seqs {
+	for i, ent := range a.ents {
 		if !a.alive[i] {
 			continue
 		}
-		if seqContains(seq, want) {
-			pid := a.prefixID[i]
+		if seqContains(ent.seq, want) {
+			pid := ent.pid
 			if _, dup := seenPfx[pid]; !dup {
 				seenPfx[pid] = struct{}{}
 				prefixIDs = append(prefixIDs, pid)

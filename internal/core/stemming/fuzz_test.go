@@ -83,7 +83,7 @@ func mergedEvents(w *Window) map[uint32][]int {
 	w.settle()
 	dst := make(map[uint32][]int)
 	for _, sh := range w.shards {
-		sh.mergeEvents(dst, w.headID)
+		sh.mergeEvents(dst, w.headID, nil)
 	}
 	return dst
 }

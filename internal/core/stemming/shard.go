@@ -8,55 +8,78 @@ package stemming
 // lists merge by disjoint union — the properties the parallel analysis
 // engine's determinism rests on (DESIGN.md §10).
 
-// countOp is one buffered shard operation. Ops carry their own seq/raw
-// references so a ring slot can be reused before its eviction settles.
+// countOp is one buffered shard operation. Ops reference the interned
+// sequence entry (which owns the seq, raw bytes, prefix ID and cached
+// sub-sequence keys) so a ring slot can be reused before its eviction
+// settles, and applying the op allocates nothing.
 type countOp struct {
 	id    uint64
-	seq   []uint32
-	raw   []byte
-	pid   uint32
+	ent   *seqEntry
 	w     float64
 	evict bool
+}
+
+// idList is one prefix's live event IDs in arrival order, stored as a
+// head-trimmed FIFO: ids[head:] is live. Trimming advances head instead
+// of re-slicing the front away, so the backing array keeps its spare
+// front capacity and is compacted in place (amortized O(1)) — the
+// steady-state add/evict churn of a flapping prefix allocates nothing.
+// An emptied list keeps its entry and backing array for the prefix's
+// next flap, the same only-grows trade the interner makes.
+type idList struct {
+	ids  []uint64
+	head int
 }
 
 // countShard owns the counts for the prefixes hashed to it.
 type countShard struct {
 	counts   map[string]float64
-	byPrefix map[uint32][]uint64 // live event IDs per prefix, arrival order
+	byPrefix map[uint32]*idList // live event IDs per prefix, arrival order
 	pending  []countOp
 }
 
 func newCountShard() *countShard {
 	return &countShard{
 		counts:   make(map[string]float64, 1024),
-		byPrefix: make(map[uint32][]uint64, 64),
+		byPrefix: make(map[uint32]*idList, 64),
 	}
 }
 
 // apply replays the shard's buffered ops in order.
-func (sh *countShard) apply(maxSubseqLen int) {
+func (sh *countShard) apply() {
 	for _, op := range sh.pending {
-		addSubseqCounts(sh.counts, op.seq, op.raw, maxSubseqLen, op.w)
+		addSubseqKeys(sh.counts, op.ent.keys, op.w)
+		pid := op.ent.pid
+		l := sh.byPrefix[pid]
 		if !op.evict {
-			sh.byPrefix[op.pid] = append(sh.byPrefix[op.pid], op.id)
+			if l == nil {
+				l = &idList{}
+				sh.byPrefix[pid] = l
+			}
+			l.ids = append(l.ids, op.id)
 			continue
 		}
-		l := sh.byPrefix[op.pid]
-		if len(l) > 0 && l[0] == op.id {
+		if l == nil {
+			continue
+		}
+		live := l.ids[l.head:]
+		if len(live) > 0 && live[0] == op.id {
 			// FIFO eviction always removes the list head.
-			l = l[1:]
+			l.head++
 		} else {
-			for i, id := range l {
+			for i, id := range live {
 				if id == op.id {
-					l = append(l[:i], l[i+1:]...)
+					copy(live[i:], live[i+1:])
+					l.ids = l.ids[:len(l.ids)-1]
 					break
 				}
 			}
 		}
-		if len(l) == 0 {
-			delete(sh.byPrefix, op.pid)
-		} else {
-			sh.byPrefix[op.pid] = l
+		if l.head == len(l.ids) {
+			l.ids, l.head = l.ids[:0], 0
+		} else if l.head > 32 && l.head > len(l.ids)/2 {
+			n := copy(l.ids, l.ids[l.head:])
+			l.ids, l.head = l.ids[:n], 0
 		}
 	}
 	sh.pending = sh.pending[:0]
@@ -73,13 +96,27 @@ func (sh *countShard) mergeCounts(dst map[string]float64) {
 
 // mergeEvents copies the shard's live event lists into dst, rebasing
 // event IDs to indexes relative to head. Prefix keys never collide
-// across shards (each prefix lives in exactly one shard).
-func (sh *countShard) mergeEvents(dst map[uint32][]int, head uint64) {
-	for pid, ids := range sh.byPrefix {
-		idxs := make([]int, len(ids))
+// across shards (each prefix lives in exactly one shard). The value
+// slices are carved from arena while it has spare capacity (the reused
+// snapshot scratch presizes it to the window length), falling back to
+// fresh allocations when it runs out; the extended arena is returned.
+func (sh *countShard) mergeEvents(dst map[uint32][]int, head uint64, arena []int) []int {
+	for pid, l := range sh.byPrefix {
+		ids := l.ids[l.head:]
+		if len(ids) == 0 {
+			continue // retained entry for a currently-quiet prefix
+		}
+		var idxs []int
+		if n := len(arena) + len(ids); n <= cap(arena) {
+			idxs = arena[len(arena):n:n]
+			arena = arena[:n]
+		} else {
+			idxs = make([]int, len(ids))
+		}
 		for i, id := range ids {
 			idxs[i] = int(id - head)
 		}
 		dst[pid] = idxs
 	}
+	return arena
 }

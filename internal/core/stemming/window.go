@@ -53,14 +53,19 @@ type Window struct {
 
 	pendingOps  int
 	settleBatch int
+
+	// snap is the reused Snapshot scratch (slices regrown in place, maps
+	// cleared with buckets retained); active is the settle loop's shard
+	// scratch. Both exist so steady-state window turnover allocates
+	// nothing beyond genuinely new interned sequences.
+	snap   *analysis
+	active []*countShard
 }
 
-// winEvent is one live event with its interned sequence form.
+// winEvent is one live event with its interned sequence entry.
 type winEvent struct {
 	ev    event.Event
-	seq   []uint32
-	raw   []byte
-	pid   uint32
+	ent   *seqEntry
 	shard int
 	w     float64
 }
@@ -76,9 +81,10 @@ func NewWindow(cfg Config, shards int) *Window {
 	if shards <= 0 {
 		shards = runtime.GOMAXPROCS(0)
 	}
+	cfg = cfg.withDefaults()
 	w := &Window{
-		cfg:         cfg.withDefaults(),
-		in:          newInterner(),
+		cfg:         cfg,
+		in:          newInterner(cfg.MaxSubseqLen),
 		shards:      make([]*countShard, shards),
 		ring:        make([]winEvent, 1024),
 		settleBatch: defaultSettleBatch,
@@ -124,11 +130,14 @@ func shardOfPrefix(p netip.Prefix, n int) int {
 // Add appends one event to the window and returns the index of the
 // count shard it was routed to.
 func (w *Window) Add(e event.Event) int {
-	seq, pid := w.in.eventSeq(&e)
-	raw := encodeSeq(seq)
+	ent := w.in.seqFor(&e)
 	weight := 1.0
 	if w.cfg.Weight != nil {
-		weight = w.cfg.Weight(&e)
+		// Hand the callback its own copy: &e flowing into an arbitrary
+		// function would force every Add's argument onto the heap, even
+		// with Weight unset.
+		ec := e
+		weight = w.cfg.Weight(&ec)
 	}
 	if w.nextID-w.headID == uint64(len(w.ring)) {
 		w.grow()
@@ -136,9 +145,9 @@ func (w *Window) Add(e event.Event) int {
 	id := w.nextID
 	w.nextID++
 	shard := shardOfPrefix(e.Prefix, len(w.shards))
-	w.ring[id%uint64(len(w.ring))] = winEvent{ev: e, seq: seq, raw: raw, pid: pid, shard: shard, w: weight}
+	w.ring[id%uint64(len(w.ring))] = winEvent{ev: e, ent: ent, shard: shard, w: weight}
 	sh := w.shards[shard]
-	sh.pending = append(sh.pending, countOp{id: id, seq: seq, raw: raw, pid: pid, w: weight})
+	sh.pending = append(sh.pending, countOp{id: id, ent: ent, w: weight})
 	w.pendingOps++
 	if w.pendingOps >= w.settleBatch {
 		w.settle()
@@ -150,6 +159,10 @@ func (w *Window) Add(e event.Event) int {
 // time is before cutoff, and returns how many were evicted. An
 // out-of-order event timed at or after cutoff stops the run: the window
 // is FIFO over a near-time-ordered feed, matching how a collector emits.
+// The settle threshold is checked inside the loop, so even a mass
+// eviction — a recovery replay crossing a window boundary can evict the
+// entire window in one call — never buffers more than one settle batch
+// of pending ops.
 func (w *Window) EvictBefore(cutoff time.Time) int {
 	n := 0
 	for w.headID < w.nextID {
@@ -158,14 +171,14 @@ func (w *Window) EvictBefore(cutoff time.Time) int {
 			break
 		}
 		sh := w.shards[we.shard]
-		sh.pending = append(sh.pending, countOp{id: w.headID, seq: we.seq, raw: we.raw, pid: we.pid, w: -we.w, evict: true})
+		sh.pending = append(sh.pending, countOp{id: w.headID, ent: we.ent, w: -we.w, evict: true})
 		w.pendingOps++
 		*we = winEvent{} // drop references so evicted attrs can be collected
 		w.headID++
 		n++
-	}
-	if w.pendingOps >= w.settleBatch {
-		w.settle()
+		if w.pendingOps >= w.settleBatch {
+			w.settle()
+		}
 	}
 	return n
 }
@@ -192,18 +205,19 @@ func (w *Window) settle() {
 	if w.OnSettle != nil {
 		start = time.Now()
 	}
-	var active []*countShard
+	active := w.active[:0]
 	for _, sh := range w.shards {
 		if len(sh.pending) > 0 {
 			active = append(active, sh)
 		}
 	}
+	w.active = active
 	switch {
 	case len(active) == 1:
-		active[0].apply(w.cfg.MaxSubseqLen)
+		active[0].apply()
 	case w.Runner != nil:
 		w.Runner(len(active), func(i int) {
-			active[i].apply(w.cfg.MaxSubseqLen)
+			active[i].apply()
 		})
 	default:
 		var wg sync.WaitGroup
@@ -211,7 +225,7 @@ func (w *Window) settle() {
 			wg.Add(1)
 			go func(sh *countShard) {
 				defer wg.Done()
-				sh.apply(w.cfg.MaxSubseqLen)
+				sh.apply()
 			}(sh)
 		}
 		wg.Wait()
@@ -221,49 +235,65 @@ func (w *Window) settle() {
 	}
 }
 
-// Events returns the live window contents in arrival order.
+// Events returns the live window contents in arrival order, freshly
+// allocated.
 func (w *Window) Events() event.Stream {
-	out := make(event.Stream, 0, w.Len())
+	return w.AppendEvents(make(event.Stream, 0, w.Len()))
+}
+
+// AppendEvents appends the live window contents in arrival order to dst
+// and returns the extended slice — the allocation-free form of Events
+// for callers that keep a reusable scratch buffer.
+func (w *Window) AppendEvents(dst event.Stream) event.Stream {
 	for id := w.headID; id < w.nextID; id++ {
-		out = append(out, w.ring[id%uint64(len(w.ring))].ev)
+		dst = append(dst, w.ring[id%uint64(len(w.ring))].ev)
 	}
-	return out
+	return dst
+}
+
+// TimeRange returns the earliest and latest event times among the live
+// window contents, scanning in place. ok is false for an empty window.
+func (w *Window) TimeRange() (first, last time.Time, ok bool) {
+	if w.headID == w.nextID {
+		return time.Time{}, time.Time{}, false
+	}
+	first = w.ring[w.headID%uint64(len(w.ring))].ev.Time
+	last = first
+	for id := w.headID + 1; id < w.nextID; id++ {
+		t := w.ring[id%uint64(len(w.ring))].ev.Time
+		if t.Before(first) {
+			first = t
+		}
+		if t.After(last) {
+			last = t
+		}
+	}
+	return first, last, true
 }
 
 // Snapshot decomposes the current window contents into components,
 // strongest first — the same result Analyze would produce on the slice
 // Events() returns, computed from the incrementally maintained tables.
 // The window itself is not modified; Add/Evict may continue afterwards.
+// The analysis scratch (per-event slices, the merged count table and the
+// per-prefix index lists) is owned by the window and reused across
+// calls, so a steady-state snapshot allocates only its result.
 func (w *Window) Snapshot() []Component {
 	w.settle()
 	n := w.Len()
 	if n == 0 {
 		return nil
 	}
-	total := 0
-	for _, sh := range w.shards {
-		total += len(sh.counts)
+	if w.snap == nil {
+		w.snap = &analysis{cfg: w.cfg, in: w.in}
 	}
-	a := &analysis{
-		cfg:            w.cfg,
-		in:             w.in,
-		stream:         make(event.Stream, n),
-		seqs:           make([][]uint32, n),
-		seqBytes:       make([][]byte, n),
-		weights:        make([]float64, n),
-		prefixID:       make([]uint32, n),
-		alive:          make([]bool, n),
-		liveN:          n,
-		counts:         make(map[string]float64, total),
-		eventsByPrefix: make(map[uint32][]int, 64),
-	}
+	a := w.snap
+	a.reset(n)
 	for i := 0; i < n; i++ {
 		we := &w.ring[(w.headID+uint64(i))%uint64(len(w.ring))]
 		a.stream[i] = we.ev
-		a.seqs[i] = we.seq
-		a.seqBytes[i] = we.raw
+		a.ents[i] = we.ent
 		a.weights[i] = we.w
-		a.prefixID[i] = we.pid
 		a.alive[i] = true
 	}
 	// Merge: each prefix lives in exactly one shard, so the per-prefix
@@ -271,7 +301,7 @@ func (w *Window) Snapshot() []Component {
 	// loop mutates its copy; the shard tables stay authoritative.
 	for _, sh := range w.shards {
 		sh.mergeCounts(a.counts)
-		sh.mergeEvents(a.eventsByPrefix, w.headID)
+		a.idxArena = sh.mergeEvents(a.eventsByPrefix, w.headID, a.idxArena)
 	}
 	var out []Component
 	for len(out) < a.cfg.MaxComponents {

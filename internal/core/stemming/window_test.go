@@ -169,3 +169,34 @@ func TestWindowEmpty(t *testing.T) {
 		t.Fatal("empty window misbehaves")
 	}
 }
+
+// TestEvictBeforeBoundedPending: a mass eviction — e.g. a recovery
+// replay crossing a window boundary evicts the whole window in one
+// EvictBefore call — must settle incrementally, never buffering more
+// than one settle batch of pending ops. The old code checked the
+// threshold only after the eviction loop, so the run's entire op list
+// piled up first.
+func TestEvictBeforeBoundedPending(t *testing.T) {
+	w := NewWindow(Config{}, 4)
+	w.settleBatch = 64
+	maxOps := 0
+	w.OnSettle = func(_ time.Duration, ops int) {
+		if ops > maxOps {
+			maxOps = ops
+		}
+	}
+	s := windyStream(1000, 7)
+	for _, e := range s {
+		w.Add(e)
+	}
+	evicted := w.EvictBefore(s[len(s)-1].Time.Add(time.Hour))
+	if evicted != len(s) || w.Len() != 0 {
+		t.Fatalf("evicted %d of %d, %d left", evicted, len(s), w.Len())
+	}
+	if maxOps > w.settleBatch {
+		t.Fatalf("a settle drained %d ops, want <= settleBatch (%d)", maxOps, w.settleBatch)
+	}
+	if w.pendingOps >= w.settleBatch {
+		t.Fatalf("%d ops still pending after eviction, want < settleBatch (%d)", w.pendingOps, w.settleBatch)
+	}
+}

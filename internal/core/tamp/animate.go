@@ -185,7 +185,14 @@ func (a *Animation) StateAt(idx int) []EdgeFrameState {
 
 // EntryFromEvent converts an event to the RouteEntry chain it denotes.
 func EntryFromEvent(e *event.Event) RouteEntry {
-	r := RouteEntry{Router: e.Peer.String(), Prefix: e.Prefix}
+	return EntryFromEventNamed(e.Peer.String(), e)
+}
+
+// EntryFromEventNamed is EntryFromEvent with the router name supplied by
+// the caller, for hot paths that cache the peer's string form instead of
+// re-rendering it per event.
+func EntryFromEventNamed(router string, e *event.Event) RouteEntry {
+	r := RouteEntry{Router: router, Prefix: e.Prefix}
 	if e.Attrs != nil {
 		r.Nexthop = e.Attrs.Nexthop
 		r.ASPath = e.Attrs.ASPath.ASNs()

@@ -110,18 +110,36 @@ type Graph struct {
 	// an edge (the animation engine's hook). delta is +1 or -1.
 	onEdgeChange func(e *edgeState, delta int)
 
+	// Typed node-index caches: chain building looks nodes up by their
+	// raw value and renders the display-name string only on first
+	// sight, so the steady-state route churn path allocates no strings.
+	routerNode  map[string]uint32
+	nexthopNode map[netip.Addr]uint32
+	asNode      map[uint32]uint32
+	prefixNode  map[netip.Prefix]uint32
+
 	chainBuf []uint32 // scratch for route chains
+	// ReplaceRoute scratch (old chain copy, edge pairs, match marks).
+	oldChainBuf []uint32
+	edgePairBuf []edgePair
+	matchedBuf  []bool
 }
+
+type edgePair struct{ from, to uint32 }
 
 // New returns an empty graph whose root represents the named site.
 func New(site string) *Graph {
 	g := &Graph{
-		site:     site,
-		nodeIdx:  make(map[NodeID]uint32),
-		pfxIdx:   make(map[netip.Prefix]uint32),
-		pfxTotal: make(map[uint32]int32),
-		edges:    make(map[uint64]*edgeState),
-		out:      make(map[uint32][]uint32),
+		site:        site,
+		nodeIdx:     make(map[NodeID]uint32),
+		pfxIdx:      make(map[netip.Prefix]uint32),
+		pfxTotal:    make(map[uint32]int32),
+		edges:       make(map[uint64]*edgeState),
+		out:         make(map[uint32][]uint32),
+		routerNode:  make(map[string]uint32),
+		nexthopNode: make(map[netip.Addr]uint32),
+		asNode:      make(map[uint32]uint32),
+		prefixNode:  make(map[netip.Prefix]uint32),
 	}
 	g.node(RootNode(site)) // index 0
 	return g
@@ -150,6 +168,45 @@ func (g *Graph) prefix(p netip.Prefix) uint32 {
 	return idx
 }
 
+// Cached node-index lookups: each renders its NodeID (and the string it
+// carries) only the first time the value is seen.
+
+func (g *Graph) routerIdx(name string) uint32 {
+	idx, ok := g.routerNode[name]
+	if !ok {
+		idx = g.node(RouterNode(name))
+		g.routerNode[name] = idx
+	}
+	return idx
+}
+
+func (g *Graph) nexthopIdx(a netip.Addr) uint32 {
+	idx, ok := g.nexthopNode[a]
+	if !ok {
+		idx = g.node(NexthopNode(a))
+		g.nexthopNode[a] = idx
+	}
+	return idx
+}
+
+func (g *Graph) asIdx(asn uint32) uint32 {
+	idx, ok := g.asNode[asn]
+	if !ok {
+		idx = g.node(ASNode(asn))
+		g.asNode[asn] = idx
+	}
+	return idx
+}
+
+func (g *Graph) prefixNodeIdx(p netip.Prefix) uint32 {
+	idx, ok := g.prefixNode[p]
+	if !ok {
+		idx = g.node(PrefixNode(p))
+		g.prefixNode[p] = idx
+	}
+	return idx
+}
+
 func edgeKey(from, to uint32) uint64 { return uint64(from)<<32 | uint64(to) }
 
 func (g *Graph) edge(from, to uint32) *edgeState {
@@ -169,9 +226,9 @@ func (g *Graph) edge(from, to uint32) *edgeState {
 func (g *Graph) chain(r RouteEntry) []uint32 {
 	buf := g.chainBuf[:0]
 	buf = append(buf, 0) // root
-	buf = append(buf, g.node(RouterNode(r.Router)))
+	buf = append(buf, g.routerIdx(r.Router))
 	if r.Nexthop.IsValid() {
-		buf = append(buf, g.node(NexthopNode(r.Nexthop)))
+		buf = append(buf, g.nexthopIdx(r.Nexthop))
 	}
 	prev := uint32(0)
 	havePrev := false
@@ -179,10 +236,10 @@ func (g *Graph) chain(r RouteEntry) []uint32 {
 		if havePrev && asn == prev {
 			continue
 		}
-		buf = append(buf, g.node(ASNode(asn)))
+		buf = append(buf, g.asIdx(asn))
 		prev, havePrev = asn, true
 	}
-	buf = append(buf, g.node(PrefixNode(r.Prefix)))
+	buf = append(buf, g.prefixNodeIdx(r.Prefix))
 	g.chainBuf = buf
 	return buf
 }
@@ -247,16 +304,25 @@ func (g *Graph) ReplaceRoute(old, new RouteEntry) {
 		g.AddRoute(new)
 		return
 	}
-	oldChain := append([]uint32(nil), g.chain(old)...)
-	newChain := append([]uint32(nil), g.chain(new)...)
+	// The old chain is copied into reused scratch before the second
+	// chain() call overwrites chainBuf; the edge-pair and match scratch
+	// are reused the same way, so a steady-state replace allocates
+	// nothing.
+	oldChain := append(g.oldChainBuf[:0], g.chain(old)...)
+	g.oldChainBuf = oldChain
+	newChain := g.chain(new)
 	pid := g.prefix(new.Prefix)
 
-	type edgePair struct{ from, to uint32 }
-	oldEdges := make([]edgePair, 0, len(oldChain)-1)
+	oldEdges := g.edgePairBuf[:0]
 	for i := 0; i+1 < len(oldChain); i++ {
 		oldEdges = append(oldEdges, edgePair{oldChain[i], oldChain[i+1]})
 	}
-	matched := make([]bool, len(oldEdges))
+	g.edgePairBuf = oldEdges
+	matched := g.matchedBuf[:0]
+	for range oldEdges {
+		matched = append(matched, false)
+	}
+	g.matchedBuf = matched
 	for i := 0; i+1 < len(newChain); i++ {
 		pair := edgePair{newChain[i], newChain[i+1]}
 		reused := false

@@ -1,0 +1,65 @@
+package event
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+)
+
+// TestBinaryReaderSteadyStateAllocs pins the zero-copy decode: the
+// record header and attribute wire bytes land in reader-owned scratch,
+// so decoding a record allocates only what the event itself must own —
+// nothing for attribute-less records, and only the PathAttrs payload
+// for records that carry attributes (safe because bgp.UnmarshalAttrs
+// copies out of its input; see DESIGN.md).
+func TestBinaryReaderSteadyStateAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc accounting is not worth it in -short")
+	}
+	const n = 4096
+	bare := Stream{}
+	full := Stream{}
+	for i := 0; i < n; i++ {
+		w := Event{
+			Time:   t0.Add(time.Duration(i) * time.Second),
+			Type:   Withdraw,
+			Peer:   mkEvent(Withdraw, 0, "128.32.1.3", "192.96.10.0/24").Peer,
+			Prefix: mkEvent(Withdraw, 0, "128.32.1.3", "192.96.10.0/24").Prefix,
+		}
+		bare = append(bare, w)
+		full = append(full, mkEvent(Announce, time.Duration(i)*time.Second,
+			"128.32.1.3", "192.96.10.0/24", 11423, 209, 701))
+	}
+
+	measure := func(s Stream) float64 {
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, s); err != nil {
+			t.Fatal(err)
+		}
+		d, err := NewBinaryReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.Next(); err != nil { // warm the attr scratch
+			t.Fatal(err)
+		}
+		return testing.AllocsPerRun(2000, func() {
+			if _, err := d.Next(); err == io.EOF {
+				t.Fatal("stream exhausted mid-measurement")
+			} else if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+
+	if avg := measure(bare); avg > 0.05 {
+		t.Errorf("attribute-less record decode allocates %.2f/op, want 0", avg)
+	}
+	avg := measure(full)
+	t.Logf("attribute-carrying record decode: %.2f allocs/op", avg)
+	// The PathAttrs struct plus its AS-path segment and ASN slices.
+	if avg > 6 {
+		t.Errorf("attribute-carrying record decode allocates %.2f/op, want <= 6", avg)
+	}
+}

@@ -248,49 +248,91 @@ func WriteBinary(w io.Writer, s Stream) error {
 	return bw.Flush()
 }
 
-// ReadBinary reads a whole binary stream produced by WriteBinary.
-func ReadBinary(r io.Reader) (Stream, error) {
+// BinaryReader decodes a WriteBinary stream one record at a time. The
+// attribute wire bytes of each record are read into a scratch buffer the
+// reader owns and reuses across Next calls — zero steady-state
+// allocation for the raw record. That reuse is safe because
+// bgp.UnmarshalAttrs copies everything it returns and retains no
+// reference into its input (the aliasing rule the event hot path's
+// decode step rests on; see DESIGN.md).
+type BinaryReader struct {
+	br      *bufio.Reader
+	hdr     [20]byte // record header scratch (a local would escape into io.ReadFull)
+	scratch []byte   // reused attr wire bytes; valid only within one Next
+	n       int      // records decoded, for error positions
+}
+
+// NewBinaryReader wraps r, consuming and checking the stream magic.
+func NewBinaryReader(r io.Reader) (*BinaryReader, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
-	magic := make([]byte, len(binaryMagic))
-	if _, err := io.ReadFull(br, magic); err != nil {
+	var magic [len("REXEV1\n")]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return nil, fmt.Errorf("event stream magic: %w", err)
 	}
-	if string(magic) != string(binaryMagic) {
+	if string(magic[:]) != string(binaryMagic) {
 		return nil, errors.New("event stream: bad magic")
 	}
+	return &BinaryReader{br: br}, nil
+}
+
+// Next decodes the next record, returning io.EOF at a clean end of
+// stream. The returned Event owns its attributes (freshly decoded); the
+// reader's internal buffers are reused, so Next itself allocates only
+// when the event actually carries attributes.
+func (d *BinaryReader) Next() (Event, error) {
+	hdr := &d.hdr
+	if _, err := io.ReadFull(d.br, hdr[:]); err != nil {
+		if err == io.EOF {
+			return Event{}, io.EOF
+		}
+		return Event{}, fmt.Errorf("event %d header: %w", d.n, err)
+	}
+	e := Event{
+		Type: Type(hdr[0]),
+		Time: time.Unix(0, int64(binary.BigEndian.Uint64(hdr[1:9]))).UTC(),
+		Peer: netip.AddrFrom4([4]byte(hdr[9:13])),
+	}
+	if e.Type != Announce && e.Type != Withdraw {
+		return Event{}, fmt.Errorf("event %d: invalid type %d", d.n, hdr[0])
+	}
+	bits := int(hdr[13])
+	if bits > 32 {
+		return Event{}, fmt.Errorf("event %d: invalid prefix length %d", d.n, bits)
+	}
+	e.Prefix = netip.PrefixFrom(netip.AddrFrom4([4]byte(hdr[14:18])), bits)
+	attrLen := int(binary.BigEndian.Uint16(hdr[18:20]))
+	if attrLen > 0 {
+		if cap(d.scratch) < attrLen {
+			d.scratch = make([]byte, attrLen)
+		}
+		buf := d.scratch[:attrLen]
+		if _, err := io.ReadFull(d.br, buf); err != nil {
+			return Event{}, fmt.Errorf("event %d attrs: %w", d.n, err)
+		}
+		attrs, err := bgp.UnmarshalAttrs(buf, true)
+		if err != nil {
+			return Event{}, fmt.Errorf("event %d: %w", d.n, err)
+		}
+		e.Attrs = attrs
+	}
+	d.n++
+	return e, nil
+}
+
+// ReadBinary reads a whole binary stream produced by WriteBinary.
+func ReadBinary(r io.Reader) (Stream, error) {
+	d, err := NewBinaryReader(r)
+	if err != nil {
+		return nil, err
+	}
 	var out Stream
-	var hdr [20]byte
 	for {
-		if _, err := io.ReadFull(br, hdr[:]); err != nil {
-			if err == io.EOF {
-				return out, nil
-			}
-			return nil, fmt.Errorf("event %d header: %w", len(out), err)
+		e, err := d.Next()
+		if err == io.EOF {
+			return out, nil
 		}
-		e := Event{
-			Type: Type(hdr[0]),
-			Time: time.Unix(0, int64(binary.BigEndian.Uint64(hdr[1:9]))).UTC(),
-			Peer: netip.AddrFrom4([4]byte(hdr[9:13])),
-		}
-		if e.Type != Announce && e.Type != Withdraw {
-			return nil, fmt.Errorf("event %d: invalid type %d", len(out), hdr[0])
-		}
-		bits := int(hdr[13])
-		if bits > 32 {
-			return nil, fmt.Errorf("event %d: invalid prefix length %d", len(out), bits)
-		}
-		e.Prefix = netip.PrefixFrom(netip.AddrFrom4([4]byte(hdr[14:18])), bits)
-		attrLen := int(binary.BigEndian.Uint16(hdr[18:20]))
-		if attrLen > 0 {
-			buf := make([]byte, attrLen)
-			if _, err := io.ReadFull(br, buf); err != nil {
-				return nil, fmt.Errorf("event %d attrs: %w", len(out), err)
-			}
-			attrs, err := bgp.UnmarshalAttrs(buf, true)
-			if err != nil {
-				return nil, fmt.Errorf("event %d: %w", len(out), err)
-			}
-			e.Attrs = attrs
+		if err != nil {
+			return nil, err
 		}
 		out = append(out, e)
 	}

@@ -142,8 +142,12 @@ func (s Stream) FilterPrefixes(set map[netip.Prefix]struct{}) Stream {
 // Augment fills in missing withdrawal attributes offline, the way the
 // collector does live: each withdrawal without attributes receives the
 // attributes of the last announcement seen for the same (peer, prefix)
-// pair. Use after reading a wire-faithful source such as an MRT update
-// file. The input is not modified; the result shares attribute pointers.
+// pair. The recovered attributes stay associated with the pair until the
+// next announcement replaces them, so a duplicate withdrawal — common in
+// real BGP churn, where a router re-sends the withdrawal before the
+// first one ages out — recovers the same attributes instead of nil. Use
+// after reading a wire-faithful source such as an MRT update file. The
+// input is not modified; the result shares attribute pointers.
 func Augment(s Stream) Stream {
 	type key struct {
 		peer   netip.Addr
@@ -160,7 +164,6 @@ func Augment(s Stream) Stream {
 			if e.Attrs == nil {
 				e.Attrs = last[k]
 			}
-			delete(last, k)
 		}
 		out[i] = e
 	}

@@ -298,3 +298,39 @@ func TestMedian(t *testing.T) {
 		t.Errorf("even median = %v", m)
 	}
 }
+
+// TestAugmentDuplicateWithdrawal: a repeated withdrawal for the same
+// (peer, prefix) — common in real BGP churn — must recover the same
+// attributes as the first one. The old code deleted the remembered
+// announcement on the first withdrawal, so the duplicate got nil attrs
+// and dropped out of attribute-based analysis.
+func TestAugmentDuplicateWithdrawal(t *testing.T) {
+	ann := mkEvent(Announce, 0, "128.32.1.3", "192.96.10.0/24", 11423, 209)
+	w1 := Event{Time: t0.Add(time.Minute), Type: Withdraw, Peer: ann.Peer, Prefix: ann.Prefix}
+	w2 := Event{Time: t0.Add(2 * time.Minute), Type: Withdraw, Peer: ann.Peer, Prefix: ann.Prefix}
+	aug := Augment(Stream{ann, w1, w2})
+	if aug[1].Attrs != ann.Attrs {
+		t.Fatalf("first withdrawal attrs = %+v, want the announcement's", aug[1].Attrs)
+	}
+	if aug[2].Attrs != ann.Attrs {
+		t.Fatalf("duplicate withdrawal attrs = %+v, want the announcement's", aug[2].Attrs)
+	}
+
+	// A new announcement replaces the remembered attributes, and a
+	// withdrawal for a different peer still gets nothing.
+	ann2 := mkEvent(Announce, 3*time.Minute, "128.32.1.3", "192.96.10.0/24", 7018)
+	w3 := Event{Time: t0.Add(4 * time.Minute), Type: Withdraw, Peer: ann.Peer, Prefix: ann.Prefix}
+	other := Event{Time: t0.Add(5 * time.Minute), Type: Withdraw,
+		Peer: netip.MustParseAddr("10.9.9.9"), Prefix: ann.Prefix}
+	aug = Augment(Stream{ann, w1, ann2, w3, other})
+	if aug[3].Attrs != ann2.Attrs {
+		t.Errorf("post-reannounce withdrawal attrs = %+v, want the new announcement's", aug[3].Attrs)
+	}
+	if aug[4].Attrs != nil {
+		t.Errorf("unrelated peer's withdrawal got attrs %+v, want nil", aug[4].Attrs)
+	}
+	// The input stream is never modified.
+	if w1.Attrs != nil || w2.Attrs != nil {
+		t.Error("Augment modified its input")
+	}
+}

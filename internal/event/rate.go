@@ -95,7 +95,9 @@ func (rs RateSeries) Spikes(k float64) []Spike {
 	mad := medianFloat(devs)
 	threshold := med + k*mad
 	if mad == 0 {
-		threshold = 2*med + 1
+		// Flat series: a bucket counts as a spike when it exceeds twice
+		// the median (strictly — c > 2*med).
+		threshold = 2 * med
 	}
 
 	var spikes []Spike

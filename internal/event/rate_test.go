@@ -27,6 +27,33 @@ func TestSpikesFractionalMAD(t *testing.T) {
 	}
 }
 
+// TestSpikesFlatSeriesBoundary: on a perfectly flat series (MAD 0) the
+// documented rule is that a bucket spikes when it exceeds twice the
+// median. The old threshold 2*med+1 with a strict > silently demanded
+// c >= 2*med+2, so the boundary count 2*med+1 — the smallest count the
+// doc promises to flag — was missed.
+func TestSpikesFlatSeriesBoundary(t *testing.T) {
+	// Sorted counts are 2 everywhere except one 5 and one 4: median 2,
+	// deviations almost all 0 so MAD 0, flat-series rule applies.
+	rs := RateSeries{
+		Start:  t0,
+		Bucket: time.Minute,
+		Counts: []int{2, 2, 2, 5, 2, 2, 4, 2, 2, 2},
+	}
+	spikes := rs.Spikes(8)
+	// 5 = 2*med+1 exceeds twice the median and must be flagged; the old
+	// threshold needed 6. 4 = 2*med does not exceed it and must not be.
+	if len(spikes) != 1 {
+		t.Fatalf("flat series spikes = %+v, want exactly the 5-bucket", spikes)
+	}
+	if spikes[0].Peak != 5 || spikes[0].Total != 5 {
+		t.Errorf("spike = %+v, want peak 5", spikes[0])
+	}
+	if want := t0.Add(3 * time.Minute); !spikes[0].Start.Equal(want) {
+		t.Errorf("spike start = %v, want %v", spikes[0].Start, want)
+	}
+}
+
 // TestRateOutlierBucketCap: one corrupt timestamp far in the future must
 // not make Rate allocate a counts slice spanning the gap. The series is
 // capped and the outlier is clamped into the last bucket.
