@@ -36,6 +36,9 @@ race-hot:
 # The fleet soak: collector subprocesses SIGKILLed round-robin while
 # relaying to one analysis node, final output required byte-identical
 # to a single-process replay (see EXPERIMENTS.md "Fleet fan-in").
+# TestFleetNodeSIGKILL additionally runs the analysis node as a durable
+# subprocess and SIGKILLs it too, exercising receiver checkpoint
+# recovery under the same differential.
 .PHONY: soak
 soak:
 	$(GO) test -race -count=1 -run 'TestFleet|TestRelayFeedFromLiveCollector' ./cmd/rexfleet ./cmd/rexd

@@ -104,8 +104,8 @@ func run(args []string) error {
 		maxBackoff  = fs.Duration("max-backoff", 2*time.Minute, "backoff and idle-hold ceiling for -peer sessions")
 		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /metrics.json, /healthz and /debug/pprof on this address (empty disables)")
 		logLevel    = fs.String("log-level", "info", "lowest log level to emit (debug, info, warn, error)")
-		journalDir  = fs.String("journal-dir", "", "durable event journal + checkpoint directory; on start, recover state from it (empty disables)")
-		ckptEvery   = fs.Duration("checkpoint-every", 5*time.Minute, "checkpoint the collector tables this often when -journal-dir is set (0 = final checkpoint only)")
+		journalDir  = fs.String("journal-dir", "", "durable event journal + checkpoint directory; on start, recover state from it; with -relay-listen it holds the merged stream and feed cursors (empty disables)")
+		ckptEvery   = fs.Duration("checkpoint-every", 5*time.Minute, "checkpoint the collector tables (or, with -relay-listen, the receiver cursors) this often when -journal-dir is set (0 = final checkpoint only; the analysis node falls back to its 30s default)")
 		fsyncFlag   = fs.String("fsync", "interval", "journal fsync policy: always, interval or never")
 		overload    = fs.String("overload", "block", "intake overload policy: block (lossless, may stall sessions), shed (never blocks, drops at a full queue) or spill (never blocks, journals everything, sheds only the analysis copy)")
 		workers     = fs.Int("workers", 0, "analysis worker goroutines; snapshots are byte-identical at any value (0 = GOMAXPROCS, 1 = sequential)")
@@ -172,7 +172,14 @@ func run(args []string) error {
 		if *relayTo != "" {
 			return fmt.Errorf("-relay-listen and -relay-to are mutually exclusive roles")
 		}
-		return runAnalysisNode(*relayListen, splitFeeds(*expectFeeds), p, *runFor)
+		var rcfg relay.ReceiverConfig
+		if *journalDir != "" {
+			rcfg.Dir = *journalDir
+			rcfg.Fsync = fsyncPol
+			rcfg.CheckpointEvery = *ckptEvery // <=0 falls back to the relay default
+			rcfg.Window = *window
+		}
+		return runAnalysisNode(*relayListen, splitFeeds(*expectFeeds), p, *runFor, rcfg)
 	}
 	var finalSnap pipeline.Snapshot
 	snapDone := make(chan struct{})
@@ -360,7 +367,9 @@ loop:
 		// tail and collect acks before cutting the connection. Anything
 		// still unacked stays in the journal (the final checkpoint's
 		// trim respected the ack floor); the next start resumes
-		// relaying it.
+		// relaying it. Against a durable analysis node acks lag its
+		// checkpoint cadence, so hitting the deadline is normal there —
+		// the tail is simply resent on the next connect.
 		head := dur.w.NextSeq()
 		deadline := time.Now().Add(5 * time.Second)
 		for feed.Acked() < head && time.Now().Before(deadline) {

@@ -6,6 +6,12 @@
 // gating the merge — analysis continues on the survivors, and the
 // stale feed's routes age out upstream via graceful-restart retention
 // rather than being withdrawn synthetically here.
+//
+// With -journal-dir the analysis node is durable too: the merged
+// stream is journaled, the per-feed resume cursors and pipeline state
+// are checkpointed (-checkpoint-every), and a restarted node resumes
+// every feed at its durable cursor instead of refetching from zero —
+// the same recovery discipline the collector role gets from the flag.
 package main
 
 import (
@@ -22,11 +28,15 @@ import (
 	"rex/internal/relay"
 )
 
-// splitFeeds parses the -expect-feeds roster.
+// splitFeeds parses the -expect-feeds roster, dropping duplicate
+// entries (a pasted roster with a repeated feed must not make the
+// receiver gate on the same feed twice).
 func splitFeeds(s string) []string {
 	var out []string
+	seen := map[string]bool{}
 	for _, f := range strings.Split(s, ",") {
-		if f = strings.TrimSpace(f); f != "" {
+		if f = strings.TrimSpace(f); f != "" && !seen[f] {
+			seen[f] = true
 			out = append(out, f)
 		}
 	}
@@ -34,9 +44,21 @@ func splitFeeds(s string) []string {
 }
 
 // runAnalysisNode serves relay feeds into p until a signal or -run-for
-// elapses, then flushes and prints the final analysis.
-func runAnalysisNode(addr string, roster []string, p *pipeline.Pipeline, runFor time.Duration) error {
-	rcv := relay.NewReceiver(relay.ReceiverConfig{Pipeline: p, ExpectFeeds: roster})
+// elapses, then flushes and prints the final analysis. cfg carries the
+// durability settings (Dir empty = memory-only); Pipeline and
+// ExpectFeeds are filled in here.
+func runAnalysisNode(addr string, roster []string, p *pipeline.Pipeline, runFor time.Duration, cfg relay.ReceiverConfig) error {
+	cfg.Pipeline = p
+	cfg.ExpectFeeds = roster
+	rcv, err := relay.OpenReceiver(cfg)
+	if err != nil {
+		return fmt.Errorf("analysis-node recovery: %w", err)
+	}
+	if stats, ok := rcv.RecoveryStats(); ok {
+		obs.Logf(obs.Info, "rexd",
+			"analysis node recovered: checkpoint=%v, %d routes restored, %d events replayed, %d orphans dropped, journal at seq %d",
+			stats.HadCheckpoint, stats.RestoredRoutes, stats.Replayed, stats.Truncated, stats.ResumeSeq)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err

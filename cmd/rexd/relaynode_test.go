@@ -1,0 +1,26 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSplitFeedsDedupe: a pasted roster with repeated entries used to
+// reach the receiver verbatim, duplicating the merge-order list.
+func TestSplitFeedsDedupe(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"a,b,c", []string{"a", "b", "c"}},
+		{"a, a ,b,a", []string{"a", "b"}},
+		{"rr1,rr1", []string{"rr1"}},
+		{" , ,", nil},
+		{"", nil},
+	}
+	for _, c := range cases {
+		if got := splitFeeds(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("splitFeeds(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}

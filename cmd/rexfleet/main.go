@@ -15,9 +15,18 @@
 // whole scenario single-process and comparing analysis output
 // byte-for-byte; any divergence is an error.
 //
-// Example (a 30-second soak with kills every 2s):
+// -node-kill-every extends the chaos to the analysis node itself: the
+// receiver moves out of the supervisor into a durable child process
+// (journal + checkpoints under the fleet root) that is SIGKILLed and
+// respawned on that cadence, recovering from its own disk while the
+// feeds resend the truncated tail; see node.go. -check then stitches
+// the node's per-incarnation snapshot records and demands the same
+// byte-identical output.
 //
-//	rexfleet -feeds 3 -events 6000 -kill-every 2s -check
+// Example (a 30-second soak with collector kills every 2s and node
+// kills every 3s):
+//
+//	rexfleet -feeds 3 -events 6000 -kill-every 2s -node-kill-every 3s -check
 package main
 
 import (
@@ -64,14 +73,16 @@ type fleetOpts struct {
 	fsync     string
 	logLevel  string
 
-	listen     string
-	dir        string
-	killEvery  time.Duration
-	timeout    time.Duration
-	check      bool
-	window     time.Duration
-	snapEvery  time.Duration
-	staleAfter time.Duration
+	listen        string
+	dir           string
+	killEvery     time.Duration
+	nodeKillEvery time.Duration
+	ckptEvery     time.Duration
+	timeout       time.Duration
+	check         bool
+	window        time.Duration
+	snapEvery     time.Duration
+	staleAfter    time.Duration
 
 	role  string
 	index int
@@ -92,13 +103,15 @@ func run(args []string) error {
 	fs.StringVar(&o.listen, "listen", "127.0.0.1:0", "receiver listen address")
 	fs.StringVar(&o.dir, "dir", "", "root directory for collector journals (default: a fresh temp dir)")
 	fs.DurationVar(&o.killEvery, "kill-every", 0, "SIGKILL a collector this often, round-robin (0 disables the chaos)")
+	fs.DurationVar(&o.nodeKillEvery, "node-kill-every", 0, "SIGKILL the analysis node this often (0 disables; setting it runs the node as a durable subprocess instead of in-process)")
+	fs.DurationVar(&o.ckptEvery, "checkpoint-every", 500*time.Millisecond, "analysis-node checkpoint cadence (subprocess node mode)")
 	fs.DurationVar(&o.timeout, "timeout", 2*time.Minute, "abort if the fleet has not delivered everything in this long")
 	fs.BoolVar(&o.check, "check", false, "after the run, replay the scenario single-process and require byte-identical analysis output")
 	fs.DurationVar(&o.window, "window", 10*time.Minute, "analysis window (event time)")
 	fs.DurationVar(&o.snapEvery, "snapshot-every", 2*time.Minute, "periodic snapshot cadence (event time)")
 	fs.DurationVar(&o.staleAfter, "stale-after", 2*time.Second, "silence after which a feed stops gating the merge and is flagged stale")
 	fs.StringVar(&o.logLevel, "log-level", "info", "lowest log level to emit (debug, info, warn, error)")
-	fs.StringVar(&o.role, "role", "supervisor", "internal: supervisor or collector")
+	fs.StringVar(&o.role, "role", "supervisor", "internal: supervisor, collector or node")
 	fs.IntVar(&o.index, "index", 0, "internal: collector index")
 	fs.StringVar(&o.addr, "addr", "", "internal: receiver address for a collector")
 	fs.StringVar(&o.jdir, "journal-dir", "", "internal: collector journal directory")
@@ -113,8 +126,14 @@ func run(args []string) error {
 	if o.feeds < 1 {
 		return fmt.Errorf("-feeds must be at least 1")
 	}
-	if o.role == "collector" {
+	switch o.role {
+	case "collector":
 		return runCollector(o)
+	case "node":
+		return runNode(o)
+	}
+	if o.nodeKillEvery > 0 {
+		return runSupervisorNode(o)
 	}
 	return runSupervisor(o)
 }
@@ -286,6 +305,98 @@ func (fl *fleet) stopAll() {
 	}
 }
 
+// fleetRoot resolves -dir, creating (and scheduling removal of) a temp
+// root when unset. cleanup is a no-op for a user-supplied dir.
+func fleetRoot(o fleetOpts) (root string, cleanup func(), err error) {
+	if o.dir != "" {
+		return o.dir, func() {}, os.MkdirAll(o.dir, 0o755)
+	}
+	if root, err = os.MkdirTemp("", "rexfleet-"); err != nil {
+		return "", nil, err
+	}
+	return root, func() { os.RemoveAll(root) }, nil
+}
+
+// readTimeoutFor sizes the receiver's per-frame read deadline off the
+// heartbeat cadence, floored so slow test machines don't flap feeds.
+func readTimeoutFor(o fleetOpts) time.Duration {
+	rt := 4 * o.heartbeat
+	if rt < 500*time.Millisecond {
+		rt = 500 * time.Millisecond
+	}
+	return rt
+}
+
+// startCollectors spawns the collector fleet pointed at addr.
+func startCollectors(o fleetOpts, root, addr string) *fleet {
+	fl := &fleet{procs: make([]*exec.Cmd, o.feeds)}
+	fl.spawn = func(i int) *exec.Cmd {
+		cmd := childCommand([]string{
+			"-role=collector",
+			fmt.Sprintf("-index=%d", i),
+			"-addr=" + addr,
+			"-journal-dir=" + filepath.Join(root, feedID(i)),
+			fmt.Sprintf("-feeds=%d", o.feeds),
+			fmt.Sprintf("-events=%d", o.events),
+			"-span=" + o.span.String(),
+			fmt.Sprintf("-seed=%d", o.seed),
+			"-throttle=" + o.throttle.String(),
+			"-heartbeat=" + o.heartbeat.String(),
+			"-fsync=" + o.fsync,
+			"-log-level=" + o.logLevel,
+		})
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			obs.Logf(obs.Error, "rexfleet", "spawn collector %d: %v", i, err)
+			return nil
+		}
+		return cmd
+	}
+	for i := 0; i < o.feeds; i++ {
+		fl.respawn(i)
+	}
+	return fl
+}
+
+// chaos is one SIGKILL loop; halt stops it and reports the hit count.
+type chaos struct {
+	stop chan struct{}
+	wg   sync.WaitGroup
+	hits int
+}
+
+// startChaos calls hit every period until halt; period <= 0 starts
+// nothing but still supports halt.
+func startChaos(period time.Duration, hit func()) *chaos {
+	c := &chaos{stop: make(chan struct{})}
+	if period <= 0 {
+		return c
+	}
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		t := time.NewTicker(period)
+		defer t.Stop()
+		for {
+			select {
+			case <-c.stop:
+				return
+			case <-t.C:
+				hit()
+				c.hits++
+			}
+		}
+	}()
+	return c
+}
+
+func (c *chaos) halt() int {
+	close(c.stop)
+	c.wg.Wait()
+	return c.hits
+}
+
 // runSupervisor is the parent role: receiver + pipeline in-process,
 // collectors as children, optional kill loop, and the final check.
 func runSupervisor(o fleetOpts) error {
@@ -295,25 +406,18 @@ func runSupervisor(o fleetOpts) error {
 		ids[i] = feedID(i)
 	}
 
-	root := o.dir
-	if root == "" {
-		var err error
-		if root, err = os.MkdirTemp("", "rexfleet-"); err != nil {
-			return err
-		}
-		defer os.RemoveAll(root)
+	root, cleanup, err := fleetRoot(o)
+	if err != nil {
+		return err
 	}
+	defer cleanup()
 
-	readTimeout := 4 * o.heartbeat
-	if readTimeout < 500*time.Millisecond {
-		readTimeout = 500 * time.Millisecond
-	}
 	p := pipeline.New(analysisConfig(o))
 	rcv := relay.NewReceiver(relay.ReceiverConfig{
 		Pipeline:    p,
 		ExpectFeeds: ids,
 		StaleAfter:  o.staleAfter,
-		ReadTimeout: readTimeout,
+		ReadTimeout: readTimeoutFor(o),
 	})
 	ln, err := net.Listen("tcp", o.listen)
 	if err != nil {
@@ -339,58 +443,14 @@ func runSupervisor(o fleetOpts) error {
 		}
 	}()
 
-	fl := &fleet{procs: make([]*exec.Cmd, o.feeds)}
-	fl.spawn = func(i int) *exec.Cmd {
-		cmd := childCommand([]string{
-			"-role=collector",
-			fmt.Sprintf("-index=%d", i),
-			"-addr=" + ln.Addr().String(),
-			"-journal-dir=" + filepath.Join(root, feedID(i)),
-			fmt.Sprintf("-feeds=%d", o.feeds),
-			fmt.Sprintf("-events=%d", o.events),
-			"-span=" + o.span.String(),
-			fmt.Sprintf("-seed=%d", o.seed),
-			"-throttle=" + o.throttle.String(),
-			"-heartbeat=" + o.heartbeat.String(),
-			"-fsync=" + o.fsync,
-			"-log-level=" + o.logLevel,
-		})
-		cmd.Stdout = os.Stdout
-		cmd.Stderr = os.Stderr
-		if err := cmd.Start(); err != nil {
-			obs.Logf(obs.Error, "rexfleet", "spawn collector %d: %v", i, err)
-			return nil
-		}
-		return cmd
-	}
-	for i := 0; i < o.feeds; i++ {
-		fl.respawn(i)
-	}
-
-	chaosStop := make(chan struct{})
-	var chaosWG sync.WaitGroup
-	kills := 0
-	if o.killEvery > 0 {
-		chaosWG.Add(1)
-		go func() {
-			defer chaosWG.Done()
-			t := time.NewTicker(o.killEvery)
-			defer t.Stop()
-			victim := 0
-			for {
-				select {
-				case <-chaosStop:
-					return
-				case <-t.C:
-					obs.Logf(obs.Info, "rexfleet", "chaos: SIGKILL collector %d", victim)
-					fl.kill(victim)
-					fl.respawn(victim)
-					kills++
-					victim = (victim + 1) % o.feeds
-				}
-			}
-		}()
-	}
+	fl := startCollectors(o, root, ln.Addr().String())
+	victim := 0
+	cc := startChaos(o.killEvery, func() {
+		obs.Logf(obs.Info, "rexfleet", "chaos: SIGKILL collector %d", victim)
+		fl.kill(victim)
+		fl.respawn(victim)
+		victim = (victim + 1) % o.feeds
+	})
 
 	// Completion: the receiver's per-feed cursor reaching each feed's
 	// event count means every event has been delivered exactly once.
@@ -423,8 +483,7 @@ poll:
 		}
 	}
 
-	close(chaosStop)
-	chaosWG.Wait()
+	kills := cc.halt()
 	fl.stopAll()
 	rcv.Close()
 	<-drained

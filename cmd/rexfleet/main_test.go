@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -52,6 +53,51 @@ func TestFleetSIGKILLRecovery(t *testing.T) {
 	if err != nil {
 		t.Fatalf("fleet run with SIGKILL chaos failed: %v", err)
 	}
+}
+
+// TestFleetNodeSIGKILL runs full chaos: collectors AND the analysis
+// node itself are SIGKILLed and respawned while the run is in flight.
+// The node is the durable subprocess role, so every kill exercises the
+// receiver's recovery path (checkpoint restore, orphan-tail truncation,
+// feed resume at durable cursors), and the stitched per-incarnation
+// snapshot frames must still be byte-identical to the single-process
+// replay. The test also requires that the node really died at least
+// once — the frames file records one segment per incarnation.
+func TestFleetNodeSIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses and runs a multi-second soak")
+	}
+	old := childCommand
+	defer func() { childCommand = old }()
+	childCommand = func(args []string) *exec.Cmd {
+		cmd := exec.Command(os.Args[0], "-test.run=TestRexfleetChild$")
+		cmd.Env = append(os.Environ(), "REXFLEET_CHILD_ARGS="+strings.Join(args, "\n"))
+		return cmd
+	}
+	dir := t.TempDir()
+	err := run([]string{
+		"-feeds=2",
+		"-events=2500",
+		"-throttle=300us",
+		"-kill-every=700ms",
+		"-node-kill-every=900ms",
+		"-checkpoint-every=200ms",
+		"-check",
+		"-timeout=120s",
+		"-log-level=warn",
+		"-dir=" + dir,
+	})
+	if err != nil {
+		t.Fatalf("fleet run with node SIGKILL chaos failed: %v", err)
+	}
+	segs, err := readFrames(framesPath(filepath.Join(dir, "node")))
+	if err != nil {
+		t.Fatalf("read node frames: %v", err)
+	}
+	if len(segs) < 2 {
+		t.Fatalf("node was never SIGKILLed (%d incarnation(s)); the chaos cadence is too slow for this scenario", len(segs))
+	}
+	t.Logf("node survived %d incarnations", len(segs))
 }
 
 // TestFleetHealthy is the no-chaos baseline of the same differential.

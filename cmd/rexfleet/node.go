@@ -1,0 +1,519 @@
+// The subprocess analysis node and its supervisor side. With
+// -node-kill-every the receiver no longer runs inside the supervisor:
+// it becomes a durable child of its own (-role=node, journaling and
+// checkpointing under the fleet root) so the chaos loop can SIGKILL and
+// respawn it like any collector. Two sidecar files make that safe to
+// supervise from outside the process:
+//
+//   - <dir>/node.frames — every snapshot the node emits, rendered alone
+//     and appended as a length-prefixed frame, with a zero-length marker
+//     frame at each process start. The receiver's SnapshotSink writes
+//     frames synchronously and its checkpoints wait for the sink, so a
+//     SIGKILL can only lose snapshots no checkpoint covered — which the
+//     next incarnation re-emits, byte-identically, once the feeds resend
+//     the truncated journal tail. The supervisor stitches the
+//     per-incarnation segments on their overlap to recover the exact
+//     uninterrupted snapshot sequence.
+//
+//   - <dir>/node.status — per-feed cursors, rewritten atomically on a
+//     short cadence. Completion is judged from the DURABLE cursor: it
+//     only advances when a checkpoint lands, so even a status file that
+//     is stale because the node just died can claim at most what some
+//     checkpoint already made crash-proof.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"rex/internal/core/pipeline"
+	"rex/internal/journal"
+	"rex/internal/obs"
+	"rex/internal/relay"
+)
+
+func framesPath(jdir string) string { return jdir + ".frames" }
+func statusPath(jdir string) string { return jdir + ".status" }
+
+// runNode is the analysis-node child role: a durable relay receiver on
+// the supervisor-chosen -addr, persisting snapshots and cursors for the
+// supervisor to read across SIGKILLs.
+func runNode(o fleetOpts) error {
+	if o.addr == "" || o.jdir == "" {
+		return fmt.Errorf("node role needs -addr and -journal-dir")
+	}
+	pol, err := journal.ParseFsyncPolicy(o.fsync)
+	if err != nil {
+		return fmt.Errorf("bad -fsync: %w", err)
+	}
+	ids := make([]string, o.feeds)
+	for i := range ids {
+		ids[i] = feedID(i)
+	}
+
+	// Subscribe before recovery: a SIGTERM landing while the journal is
+	// still replaying must queue for the graceful close, not kill us.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+
+	if err := os.MkdirAll(o.jdir, 0o755); err != nil {
+		return err
+	}
+	fr, err := openFrames(framesPath(o.jdir))
+	if err != nil {
+		return err
+	}
+	rcv, err := relay.OpenReceiver(relay.ReceiverConfig{
+		Pipeline:        pipeline.New(analysisConfig(o)),
+		ExpectFeeds:     ids,
+		StaleAfter:      o.staleAfter,
+		ReadTimeout:     readTimeoutFor(o),
+		Dir:             o.jdir,
+		Fsync:           pol,
+		CheckpointEvery: o.ckptEvery,
+		Window:          o.window,
+		SnapshotSink: func(s relay.Snapshot) {
+			if err := fr.append(pipeline.RenderSnapshots([]pipeline.Snapshot{s.Snapshot})); err != nil {
+				obs.Logf(obs.Error, "rexfleet", "node: frame append: %v", err)
+			}
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("node recovery: %w", err)
+	}
+	if stats, ok := rcv.RecoveryStats(); ok {
+		obs.Logf(obs.Info, "rexfleet", "node recovered: checkpoint=%v, %d routes, %d replayed, %d orphans dropped, resume seq %d",
+			stats.HadCheckpoint, stats.RestoredRoutes, stats.Replayed, stats.Truncated, stats.ResumeSeq)
+	}
+
+	// A respawned node must rebind the exact address its predecessor
+	// held; retry briefly while the dead process's socket drains.
+	var ln net.Listener
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		if ln, err = net.Listen("tcp", o.addr); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("node listen: %w", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	go rcv.Serve(ln)
+	obs.Logf(obs.Info, "rexfleet", "analysis node on %s (%d feeds)", o.addr, o.feeds)
+
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for s := range rcv.Snapshots() {
+			obs.Logf(obs.Info, "rexfleet", "snapshot %s: %d events in window, %d component(s)",
+				s.At.Format(time.RFC3339), s.Events, len(s.Components))
+		}
+	}()
+
+	statusT := time.NewTicker(100 * time.Millisecond)
+	defer statusT.Stop()
+	for done := false; !done; {
+		select {
+		case <-sig:
+			done = true
+		case <-statusT.C:
+			writeNodeStatus(statusPath(o.jdir), rcv.Statuses())
+		}
+	}
+	rcv.Close() // flush, final checkpoint, final snapshot through the sink
+	<-drained
+	writeNodeStatus(statusPath(o.jdir), rcv.Statuses())
+	return fr.close()
+}
+
+// framesFile appends length-prefixed snapshot renders. Each frame goes
+// out in a single write, so a SIGKILL tears at most the file's tail,
+// never the middle; openFrames truncates that torn tail away before the
+// next incarnation appends.
+type framesFile struct{ f *os.File }
+
+func openFrames(path string) (*framesFile, error) {
+	if data, err := os.ReadFile(path); err == nil {
+		if good := framePrefixLen(data); good < len(data) {
+			if err := os.Truncate(path, int64(good)); err != nil {
+				return nil, err
+			}
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	fr := &framesFile{f: f}
+	if err := fr.append(""); err != nil { // zero-length incarnation marker
+		f.Close()
+		return nil, err
+	}
+	return fr, nil
+}
+
+func (fr *framesFile) append(payload string) error {
+	buf := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(buf, uint32(len(payload)))
+	copy(buf[4:], payload)
+	_, err := fr.f.Write(buf)
+	return err
+}
+
+func (fr *framesFile) close() error { return fr.f.Close() }
+
+// framePrefixLen returns the length of the longest valid frame prefix.
+func framePrefixLen(b []byte) int {
+	off := 0
+	for off+4 <= len(b) {
+		n := int(binary.BigEndian.Uint32(b[off:]))
+		if off+4+n > len(b) {
+			break
+		}
+		off += 4 + n
+	}
+	return off
+}
+
+// readFrames parses the sidecar into one segment of snapshot renders
+// per node incarnation, ignoring a torn tail.
+func readFrames(path string) ([][]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var segs [][]string
+	var cur []string
+	for off := 0; off+4 <= len(data); {
+		n := int(binary.BigEndian.Uint32(data[off:]))
+		if off+4+n > len(data) {
+			break
+		}
+		if n == 0 { // marker: a new incarnation begins
+			if len(cur) > 0 {
+				segs = append(segs, cur)
+			}
+			cur = nil
+		} else {
+			cur = append(cur, string(data[off+4:off+4+n]))
+		}
+		off += 4 + n
+	}
+	if len(cur) > 0 {
+		segs = append(segs, cur)
+	}
+	return segs, nil
+}
+
+// renderEach renders every snapshot alone: RenderSnapshots numbers its
+// input with a running index, so only per-snapshot renders compare
+// across incarnation boundaries.
+func renderEach(snaps []pipeline.Snapshot) []string {
+	out := make([]string, len(snaps))
+	for i := range snaps {
+		out[i] = pipeline.RenderSnapshots(snaps[i : i+1])
+	}
+	return out
+}
+
+// stitchSegments folds per-incarnation segments into one sequence. A
+// restarted node re-emits the snapshots after its recovery checkpoint
+// byte-identically (same merged stream, same restored trigger state),
+// so each segment's overlap with the tail of the stitched prefix is
+// exactly the re-emission to drop.
+func stitchSegments(segs [][]string) []string {
+	var out []string
+	for _, seg := range segs {
+		out = stitch(out, seg)
+	}
+	return out
+}
+
+func stitch(a, b []string) []string {
+	max := len(a)
+	if len(b) < max {
+		max = len(b)
+	}
+	for k := max; k > 0; k-- {
+		match := true
+		for i := 0; i < k; i++ {
+			if a[len(a)-k+i] != b[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return append(a, b[k:]...)
+		}
+	}
+	return append(a, b...)
+}
+
+// writeNodeStatus atomically publishes per-feed cursors for the
+// supervisor's completion poll. The pid line lets the supervisor tell a
+// live report from a leftover written by a since-killed incarnation.
+func writeNodeStatus(path string, sts []relay.FeedStatus) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "pid %d\n", os.Getpid())
+	for _, st := range sts {
+		fmt.Fprintf(&b, "%s %d %d %d %d\n", st.ID, st.Durable, st.NextSeq, st.Received, st.Duplicates)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(b.String()), 0o644); err != nil {
+		obs.Logf(obs.Warn, "rexfleet", "node status: %v", err)
+		return
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		obs.Logf(obs.Warn, "rexfleet", "node status: %v", err)
+	}
+}
+
+type nodeStatus struct {
+	id                            string
+	durable, next, received, dups uint64
+}
+
+// readNodeStatus parses the status file; a missing or torn file is
+// simply "no progress visible yet".
+func readNodeStatus(path string) (pid int, out []nodeStatus) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, nil
+	}
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		if strings.HasPrefix(line, "pid ") {
+			fmt.Sscanf(line, "pid %d", &pid)
+			continue
+		}
+		var st nodeStatus
+		if _, err := fmt.Sscanf(line, "%s %d %d %d %d", &st.id, &st.durable, &st.next, &st.received, &st.dups); err == nil {
+			out = append(out, st)
+		}
+	}
+	return pid, out
+}
+
+// nodeHandle tracks the analysis-node subprocess.
+type nodeHandle struct {
+	mu    sync.Mutex
+	cmd   *exec.Cmd
+	spawn func() *exec.Cmd
+}
+
+func (n *nodeHandle) respawn() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cmd = n.spawn()
+}
+
+// pid of the current incarnation, 0 if none is running.
+func (n *nodeHandle) pid() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.cmd == nil || n.cmd.Process == nil {
+		return 0
+	}
+	return n.cmd.Process.Pid
+}
+
+// kill SIGKILLs the node and reaps it; the caller respawns.
+func (n *nodeHandle) kill() {
+	n.mu.Lock()
+	cmd := n.cmd
+	n.mu.Unlock()
+	if cmd == nil || cmd.Process == nil {
+		return
+	}
+	cmd.Process.Kill()
+	cmd.Wait()
+}
+
+// stop SIGTERMs the node and waits for the graceful close that writes
+// the final snapshot frame. Escalating to SIGKILL is an error — the
+// recorded output is incomplete without that frame.
+func (n *nodeHandle) stop(grace time.Duration) error {
+	n.mu.Lock()
+	cmd := n.cmd
+	n.mu.Unlock()
+	if cmd == nil || cmd.Process == nil {
+		return fmt.Errorf("analysis node is not running")
+	}
+	cmd.Process.Signal(syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("analysis node exit: %w", err)
+		}
+		return nil
+	case <-time.After(grace):
+		cmd.Process.Kill()
+		<-done
+		return fmt.Errorf("analysis node did not exit within %s of SIGTERM", grace)
+	}
+}
+
+// runSupervisorNode is the subprocess-node variant of the supervisor:
+// collectors AND the analysis node are children, both under chaos.
+func runSupervisorNode(o fleetOpts) error {
+	parts := substreams(o)
+	ids := make([]string, o.feeds)
+	for i := range ids {
+		ids[i] = feedID(i)
+	}
+	root, cleanup, err := fleetRoot(o)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+
+	// Bind once to resolve ":0", then hand the concrete address to the
+	// node: every respawn must come back on the same one.
+	probe, err := net.Listen("tcp", o.listen)
+	if err != nil {
+		return err
+	}
+	addr := probe.Addr().String()
+	probe.Close()
+
+	nodeDir := filepath.Join(root, "node")
+	node := &nodeHandle{}
+	node.spawn = func() *exec.Cmd {
+		cmd := childCommand([]string{
+			"-role=node",
+			"-addr=" + addr,
+			"-journal-dir=" + nodeDir,
+			fmt.Sprintf("-feeds=%d", o.feeds),
+			"-window=" + o.window.String(),
+			"-snapshot-every=" + o.snapEvery.String(),
+			"-stale-after=" + o.staleAfter.String(),
+			"-heartbeat=" + o.heartbeat.String(),
+			"-fsync=" + o.fsync,
+			"-checkpoint-every=" + o.ckptEvery.String(),
+			"-log-level=" + o.logLevel,
+		})
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			obs.Logf(obs.Error, "rexfleet", "spawn node: %v", err)
+			return nil
+		}
+		return cmd
+	}
+	node.respawn()
+	obs.Logf(obs.Info, "rexfleet", "analysis node subprocess on %s, %d collectors, %d events", addr, o.feeds, o.events)
+	fl := startCollectors(o, root, addr)
+
+	victim := 0
+	cc := startChaos(o.killEvery, func() {
+		obs.Logf(obs.Info, "rexfleet", "chaos: SIGKILL collector %d", victim)
+		fl.kill(victim)
+		fl.respawn(victim)
+		victim = (victim + 1) % o.feeds
+	})
+	nc := startChaos(o.nodeKillEvery, func() {
+		obs.Logf(obs.Info, "rexfleet", "chaos: SIGKILL analysis node")
+		node.kill()
+		node.respawn()
+	})
+
+	// Completion: the CURRENT node incarnation (the status pid guard
+	// rejects a leftover file from a killed predecessor) reports every
+	// feed's live cursor at its event count. Trailing events sit gated
+	// in the merge until the node's graceful close force-flushes them,
+	// so the durable cursor cannot be the signal here — live receipt
+	// plus a SIGTERM while no more kills can land is what guarantees
+	// the full stream reaches the output.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	deadline := time.Now().Add(o.timeout)
+	pollComplete := func() error {
+		for {
+			pid, sts := readNodeStatus(statusPath(nodeDir))
+			if pid != 0 && pid == node.pid() {
+				next := map[string]uint64{}
+				for _, st := range sts {
+					next[st.id] = st.next
+				}
+				complete := true
+				for _, id := range ids {
+					if next[id] < uint64(len(parts[id])) {
+						complete = false
+						break
+					}
+				}
+				if complete {
+					return nil
+				}
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("fleet incomplete after %s", o.timeout)
+			}
+			select {
+			case <-sig:
+				return fmt.Errorf("interrupted")
+			case <-time.After(50 * time.Millisecond):
+			}
+		}
+	}
+	runErr := pollComplete()
+
+	kills := cc.halt()
+	nodeKills := nc.halt()
+	if runErr == nil {
+		// A kill may have raced the completion observation, rolling
+		// receipt back to the durable floor. With the chaos quiet, wait
+		// for the surviving incarnation to re-earn completion (the
+		// feeds resend the lost tail) before asking it to flush.
+		runErr = pollComplete()
+	}
+	// Stop the node before the collectors: its graceful close flushes
+	// the gated tail, checkpoints, and writes the final snapshot frame,
+	// none of which needs the feeds anymore.
+	if err := node.stop(30 * time.Second); err != nil && runErr == nil {
+		runErr = err
+	}
+	fl.stopAll()
+
+	_, finalSts := readNodeStatus(statusPath(nodeDir))
+	for _, st := range finalSts {
+		obs.Logf(obs.Info, "rexfleet", "feed %s: received %d, duplicates %d, durable cursor %d",
+			st.id, st.received, st.dups, st.durable)
+	}
+	obs.Logf(obs.Info, "rexfleet", "chaos delivered %d collector and %d node SIGKILLs", kills, nodeKills)
+	if runErr != nil {
+		return runErr
+	}
+
+	if o.check {
+		segs, err := readFrames(framesPath(nodeDir))
+		if err != nil {
+			return fmt.Errorf("read snapshot frames: %w", err)
+		}
+		got := stitchSegments(segs)
+		want := renderEach(pipeline.Replay(relay.MergeStreams(parts), analysisConfig(o)))
+		if len(got) != len(want) {
+			return fmt.Errorf("fleet output DIVERGED: %d stitched snapshots vs %d in the single-process replay (%d node incarnation(s))",
+				len(got), len(want), len(segs))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return fmt.Errorf("fleet output DIVERGED at snapshot %d of %d (%d node incarnation(s))", i, len(want), len(segs))
+			}
+		}
+		obs.Logf(obs.Info, "rexfleet", "check: %d snapshots byte-identical across %d node incarnation(s)", len(got), len(segs))
+	}
+	return nil
+}

@@ -154,6 +154,7 @@ type Pipeline struct {
 	events chan msg
 	snaps  chan Snapshot
 	quit   chan struct{}
+	done   chan struct{} // closed when the run loop has exited
 	once   sync.Once
 }
 
@@ -167,12 +168,15 @@ const (
 
 // msg is one unit of work for the run loop: a live event, a batch of
 // them, a seed event that rebuilds table state without touching the
-// window, or a recovery-span control mark.
+// window, a recovery-span control mark, or a trigger-state
+// query/restore.
 type msg struct {
-	e     event.Event
-	batch []event.Event
-	seed  bool
-	ctrl  uint8
+	e       event.Event
+	batch   []event.Event
+	seed    bool
+	ctrl    uint8
+	query   chan<- TriggerState
+	restore *TriggerState
 }
 
 // New starts a pipeline. The caller must drain Snapshots() — emission
@@ -184,6 +188,7 @@ func New(cfg Config) *Pipeline {
 		events: make(chan msg, cfg.Buffer),
 		snaps:  make(chan Snapshot),
 		quit:   make(chan struct{}),
+		done:   make(chan struct{}),
 	}
 	go p.run()
 	return p
@@ -277,6 +282,79 @@ func (p *Pipeline) EndRecovery() {
 	}
 }
 
+// TriggerState is the snapshot-trigger clock state: the event-time
+// clock, the next tick deadline, the current spike bucket and the last
+// reported spike onset. Together with the window contents (rebuildable
+// from a journal) and the TAMP tables (checkpointable), it is
+// everything a restarted pipeline needs to continue the exact trigger
+// cadence of the run that died.
+//
+// The silent-replay contract: restore a captured state FIRST, then
+// re-process the events that originally led up to the capture point.
+// None of them advances the restored clock (each event's time is at or
+// below it), so no tick or spike trigger can fire during the replay —
+// the rebuild emits nothing — and the first genuinely new event resumes
+// triggers mid-cadence, exactly where the dead run left them.
+type TriggerState struct {
+	// Clock is the newest event time the pipeline had seen.
+	Clock time.Time
+	// NextTick is the next TriggerTick deadline (zero before the first
+	// event or when ticks are disabled).
+	NextTick time.Time
+	// CurBucket is the spike trigger's current rate bucket.
+	CurBucket time.Time
+	// LastSpike is the Start of the newest spike already reported.
+	LastSpike time.Time
+	// Emitted counts snapshots this pipeline instance has handed to the
+	// Snapshots() consumer so far (the TriggerFinal close-out snapshot
+	// excluded). It is process-local — RestoreTriggers resets it to
+	// zero, and a silent replay emits nothing — so a consumer that
+	// persists snapshots as they arrive can compare it against its own
+	// sink count to know whether everything a TriggerQuery cut covers
+	// has already been written out.
+	Emitted uint64
+}
+
+// TriggerQuery returns the trigger state at the query's exact in-band
+// position: after every event, batch and seed ingested before the call,
+// before everything after it. It is also a synchronization barrier —
+// when it returns, every snapshot those prior events triggered has been
+// delivered to the Snapshots() consumer, which must keep draining or
+// the query never drains. Returns ok=false if the pipeline stopped
+// before answering.
+func (p *Pipeline) TriggerQuery() (TriggerState, bool) {
+	ch := make(chan TriggerState, 1)
+	select {
+	case p.events <- msg{query: ch}:
+	case <-p.quit:
+		return TriggerState{}, false
+	}
+	select {
+	case ts := <-ch:
+		return ts, true
+	case <-p.done:
+		// Closed while we waited; the drain may still have answered.
+		select {
+		case ts := <-ch:
+			return ts, true
+		default:
+			return TriggerState{}, false
+		}
+	}
+}
+
+// RestoreTriggers sets the trigger state, in-band like Seed: restores
+// sent before replayed events are applied before them. Call it once at
+// the start of recovery with a state captured by TriggerQuery; see
+// TriggerState for the silent-replay contract that makes the subsequent
+// rebuild emit no snapshots.
+func (p *Pipeline) RestoreTriggers(ts TriggerState) {
+	select {
+	case p.events <- msg{restore: &ts}:
+	case <-p.quit:
+	}
+}
+
 // Snapshots returns the emission channel. It is closed after the final
 // snapshot, once Close has been called.
 func (p *Pipeline) Snapshots() <-chan Snapshot { return p.snaps }
@@ -290,6 +368,7 @@ func (p *Pipeline) Close() {
 }
 
 func (p *Pipeline) run() {
+	defer close(p.done)
 	defer close(p.snaps)
 	st := &state{
 		p:       p,
@@ -459,6 +538,7 @@ type state struct {
 	nextTick  time.Time
 	curBucket time.Time
 	lastSpike time.Time // Start of the last spike already emitted
+	emitted   uint64    // snapshots handed to the consumer (sans final)
 
 	// Recovery-span tracking (between BeginRecovery and EndRecovery):
 	// route keys live events have touched, which stale seeds must not
@@ -494,6 +574,19 @@ func (st *state) dispatch(m msg) {
 		st.liveTouched = make(map[routeKey]struct{})
 	case m.ctrl == ctrlEndRecovery:
 		st.liveTouched = nil
+	case m.query != nil:
+		m.query <- TriggerState{
+			Clock:     st.clock,
+			NextTick:  st.nextTick,
+			CurBucket: st.curBucket,
+			LastSpike: st.lastSpike,
+			Emitted:   st.emitted,
+		}
+	case m.restore != nil:
+		st.clock = m.restore.Clock
+		st.nextTick = m.restore.NextTick
+		st.curBucket = m.restore.CurBucket
+		st.lastSpike = m.restore.LastSpike
 	case m.batch != nil:
 		for i := range m.batch {
 			st.process(m.batch[i])
@@ -676,6 +769,7 @@ func (st *state) snapshot(trig Trigger, sp *event.Spike) Snapshot {
 // closes.
 func (st *state) emit(s Snapshot) {
 	st.p.snaps <- s
+	st.emitted++
 }
 
 func routeEqual(a, b tamp.RouteEntry) bool {

@@ -1,0 +1,149 @@
+package pipeline
+
+import (
+	"testing"
+)
+
+// drainDuring runs fn (which ingests and must end with a synchronizing
+// TriggerQuery) while draining the pipeline's snapshots inline, and
+// returns the snapshots delivered before fn returned. Because emission
+// is an unbuffered rendezvous with this loop and TriggerQuery's answer
+// is ordered after every prior emission, the returned slice is exactly
+// the emissions caused by fn's events — no race with a background
+// collector goroutine.
+func drainDuring(p *Pipeline, fn func()) []Snapshot {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		fn()
+	}()
+	var out []Snapshot
+	for {
+		select {
+		case s, ok := <-p.Snapshots():
+			if !ok {
+				return out
+			}
+			out = append(out, s)
+		case <-done:
+			return out
+		}
+	}
+}
+
+// drainToClose feeds the remaining events, closes the pipeline, and
+// collects everything through the final snapshot.
+func drainToClose(p *Pipeline, events []Snapshot, feed func()) []Snapshot {
+	go func() {
+		feed()
+		p.Close()
+	}()
+	for s := range p.Snapshots() {
+		events = append(events, s)
+	}
+	return events
+}
+
+func TestTriggerQueryPosition(t *testing.T) {
+	stream := diffStreams(t)[0].events
+	p := New(diffConfig(1))
+	var ts TriggerState
+	var ok bool
+	drainDuring(p, func() {
+		for _, e := range stream[:100] {
+			p.Ingest(e)
+		}
+		ts, ok = p.TriggerQuery()
+	})
+	if !ok {
+		t.Fatal("query failed on a live pipeline")
+	}
+	want := stream[0].Time
+	for _, e := range stream[:100] {
+		if e.Time.After(want) {
+			want = e.Time
+		}
+	}
+	if !ts.Clock.Equal(want) {
+		t.Fatalf("Clock %v, want newest ingested time %v", ts.Clock, want)
+	}
+	if ts.NextTick.IsZero() || !ts.NextTick.After(ts.Clock) {
+		t.Fatalf("NextTick %v not ahead of Clock %v", ts.NextTick, ts.Clock)
+	}
+	drainToClose(p, nil, func() {})
+}
+
+func TestTriggerQueryAfterClose(t *testing.T) {
+	p := New(diffConfig(1))
+	drainToClose(p, nil, func() {})
+	if _, ok := p.TriggerQuery(); ok {
+		t.Fatal("query succeeded on a closed pipeline")
+	}
+}
+
+// TestRestoreTriggersSilentReplay is the restart contract the
+// analysis-node recovery path depends on: capture trigger state at a
+// cut point, rebuild a fresh pipeline by restoring the state and
+// re-processing the prefix, and (a) the rebuild emits nothing, (b) the
+// stitched run (pre-cut emissions + post-cut emissions) is
+// byte-identical to the uninterrupted run.
+func TestRestoreTriggersSilentReplay(t *testing.T) {
+	for _, ds := range diffStreams(t)[:3] {
+		ds := ds
+		t.Run(ds.name, func(t *testing.T) {
+			stream := ds.events
+			uninterrupted := Replay(stream, diffConfig(1))
+
+			cut := len(stream) / 2
+
+			// First incarnation: run the prefix, capture, die. The final
+			// snapshot its Close emits is discarded — a SIGKILLed node
+			// never got to emit one.
+			p1 := New(diffConfig(1))
+			var ts TriggerState
+			var ok bool
+			pre := drainDuring(p1, func() {
+				for _, e := range stream[:cut] {
+					p1.Ingest(e)
+				}
+				ts, ok = p1.TriggerQuery()
+			})
+			if !ok {
+				t.Fatal("capture failed")
+			}
+			drainToClose(p1, nil, func() {})
+
+			// Second incarnation: restore, silently replay the prefix,
+			// then continue with the suffix.
+			p2 := New(diffConfig(1))
+			replayed := drainDuring(p2, func() {
+				p2.RestoreTriggers(ts)
+				p2.BeginRecovery()
+				for _, e := range stream[:cut] {
+					p2.Ingest(e)
+				}
+				p2.EndRecovery()
+				if _, ok := p2.TriggerQuery(); !ok {
+					t.Error("barrier query failed")
+				}
+			})
+			if len(replayed) != 0 {
+				t.Fatalf("replay emitted %d snapshots, want 0", len(replayed))
+			}
+			post := drainToClose(p2, nil, func() {
+				for _, e := range stream[cut:] {
+					p2.Ingest(e)
+				}
+			})
+
+			stitched := append(append([]Snapshot(nil), pre...), post...)
+			got, want := renderSnapshots(stitched), renderSnapshots(uninterrupted)
+			if got != want {
+				t.Fatalf("stitched run diverges: %s", firstDiff(got, want))
+			}
+			if len(uninterrupted) < 3 {
+				t.Fatalf("vacuous: only %d snapshots", len(uninterrupted))
+			}
+		})
+	}
+}

@@ -40,6 +40,50 @@ type Checkpoint struct {
 	TakenAt time.Time
 	// Peers holds one table per peer, sorted by peer address.
 	Peers []PeerTable
+
+	// Feeds holds the relay receiver's per-feed durable cursors, set
+	// only by the analysis-node role (a collector checkpoint leaves it
+	// empty). Each cursor names the next upstream journal sequence the
+	// receiver needs from that feed, consistent with NextSeq: every
+	// released event below a cursor is journaled below NextSeq.
+	Feeds []FeedCursor
+	// Pipe is the analysis pipeline's trigger state at exactly NextSeq,
+	// set only by the analysis-node role. Restoring it before replaying
+	// [ReplayLow, NextSeq) keeps the replay silent — no tick or spike
+	// snapshot re-fires for a stream position the crashed process
+	// already emitted.
+	Pipe *PipeState
+}
+
+// FeedCursor is one relay feed's durable resume state.
+type FeedCursor struct {
+	// ID is the feed's stable identity (the relay hello name).
+	ID string
+	// NextSeq is the next upstream journal sequence the receiver needs:
+	// the feed resumes streaming from exactly here after an
+	// analysis-node restart, and may trim its local journal below it.
+	NextSeq uint64
+	// Watermark is the event-time frontier of the feed's released
+	// events — a promise that survives restarts, unlike heartbeat
+	// watermarks, because within a feed event times are monotone from
+	// the resume cursor on.
+	Watermark time.Time
+}
+
+// PipeState is the pipeline's snapshot-trigger state: the event-time
+// clock plus the three trigger cursors that decide when the next tick
+// or spike snapshot fires. It is a pure function of the event stream
+// fed to the pipeline, captured at a known stream position.
+type PipeState struct {
+	// Clock is the newest event time the pipeline has seen.
+	Clock time.Time
+	// NextTick is when the next periodic snapshot fires (zero before
+	// the first event).
+	NextTick time.Time
+	// CurBucket is the spike trigger's current rate bucket.
+	CurBucket time.Time
+	// LastSpike is the start of the newest spike already reported.
+	LastSpike time.Time
 }
 
 // PeerTable is one peer's Adj-RIB-In contents.
@@ -49,9 +93,20 @@ type PeerTable struct {
 }
 
 const (
-	ckptMagic  = "REXCKPT1"
-	ckptPrefix = "checkpoint-"
-	ckptSuffix = ".rexc"
+	ckptMagic = "REXCKPT1"
+	// ckptMagicV2 marks a checkpoint carrying the relay section (feed
+	// cursors and pipeline trigger state) after the peer tables. A v1
+	// reader never sees one — the analysis-node role that writes them is
+	// also the only reader of its own directory — and this writer still
+	// emits v1 bytes when the relay section is empty, so collector
+	// checkpoints are byte-identical to what PR 4 shipped.
+	ckptMagicV2 = "REXCKPT2"
+	ckptPrefix  = "checkpoint-"
+	ckptSuffix  = ".rexc"
+
+	ckptFlagPipe = 1 << 0 // relay-section flag byte: PipeState present
+
+	maxFeedCursorID = 256
 
 	ckptFlagPrefix6  = 1 << 0
 	ckptFlagEBGP     = 1 << 1
@@ -218,10 +273,16 @@ func listCheckpoints(dir string) ([]string, error) {
 }
 
 // encodeCheckpoint renders c as magic, fixed header, per-peer tables,
-// and a whole-file CRC32-C trailer.
+// an optional relay section (v2 magic), and a whole-file CRC32-C
+// trailer.
 func encodeCheckpoint(c *Checkpoint) ([]byte, error) {
+	relay := len(c.Feeds) > 0 || c.Pipe != nil
 	buf := make([]byte, 0, 1024)
-	buf = append(buf, ckptMagic...)
+	if relay {
+		buf = append(buf, ckptMagicV2...)
+	} else {
+		buf = append(buf, ckptMagic...)
+	}
 	buf = binary.BigEndian.AppendUint64(buf, c.NextSeq)
 	buf = binary.BigEndian.AppendUint64(buf, c.ReplayLow)
 	buf = binary.BigEndian.AppendUint64(buf, uint64(c.WindowStart.UnixNano()))
@@ -234,7 +295,59 @@ func encodeCheckpoint(c *Checkpoint) ([]byte, error) {
 			return nil, err
 		}
 	}
+	if relay {
+		var err error
+		buf, err = appendRelaySection(buf, c)
+		if err != nil {
+			return nil, err
+		}
+	}
 	return binary.BigEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli)), nil
+}
+
+// appendRelaySection renders the analysis-node extras: a flag byte, the
+// pipeline trigger state when present, then the feed cursor list.
+func appendRelaySection(buf []byte, c *Checkpoint) ([]byte, error) {
+	var flags byte
+	if c.Pipe != nil {
+		flags |= ckptFlagPipe
+	}
+	buf = append(buf, flags)
+	if c.Pipe != nil {
+		buf = appendUnixNano(buf, c.Pipe.Clock)
+		buf = appendUnixNano(buf, c.Pipe.NextTick)
+		buf = appendUnixNano(buf, c.Pipe.CurBucket)
+		buf = appendUnixNano(buf, c.Pipe.LastSpike)
+	}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(c.Feeds)))
+	for _, f := range c.Feeds {
+		if f.ID == "" || len(f.ID) > maxFeedCursorID {
+			return nil, fmt.Errorf("checkpoint feed cursor: bad ID %q", f.ID)
+		}
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(f.ID)))
+		buf = append(buf, f.ID...)
+		buf = binary.BigEndian.AppendUint64(buf, f.NextSeq)
+		buf = appendUnixNano(buf, f.Watermark)
+	}
+	return buf, nil
+}
+
+// appendUnixNano encodes t as UnixNano, preserving the zero time (which
+// UnixNano alone cannot represent) as the sentinel 0.
+func appendUnixNano(buf []byte, t time.Time) []byte {
+	var n int64
+	if !t.IsZero() {
+		n = t.UnixNano()
+	}
+	return binary.BigEndian.AppendUint64(buf, uint64(n))
+}
+
+// parseUnixNano is appendUnixNano's inverse.
+func parseUnixNano(n uint64) time.Time {
+	if n == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, int64(n)).UTC()
 }
 
 func appendPeerTable(buf []byte, p *PeerTable) ([]byte, error) {
@@ -312,7 +425,12 @@ func decodeCheckpoint(buf []byte) (*Checkpoint, error) {
 	if len(buf) < len(ckptMagic)+8*4+4+4 {
 		return nil, fmt.Errorf("checkpoint: %d bytes, too short", len(buf))
 	}
-	if string(buf[:len(ckptMagic)]) != ckptMagic {
+	var relay bool
+	switch string(buf[:len(ckptMagic)]) {
+	case ckptMagic:
+	case ckptMagicV2:
+		relay = true
+	default:
 		return nil, fmt.Errorf("checkpoint: bad magic")
 	}
 	body, trailer := buf[:len(buf)-4], buf[len(buf)-4:]
@@ -337,10 +455,63 @@ func decodeCheckpoint(buf []byte) (*Checkpoint, error) {
 		}
 		c.Peers = append(c.Peers, p)
 	}
+	if relay {
+		var err error
+		b, err = parseRelaySection(b, c)
+		if err != nil {
+			return nil, err
+		}
+	}
 	if len(b) != 0 {
 		return nil, fmt.Errorf("checkpoint: %d trailing bytes", len(b))
 	}
 	return c, nil
+}
+
+func parseRelaySection(b []byte, c *Checkpoint) ([]byte, error) {
+	if len(b) < 1 {
+		return nil, fmt.Errorf("checkpoint: truncated relay section")
+	}
+	flags := b[0]
+	b = b[1:]
+	if flags&^byte(ckptFlagPipe) != 0 {
+		return nil, fmt.Errorf("checkpoint: unknown relay flags %#x", flags)
+	}
+	if flags&ckptFlagPipe != 0 {
+		if len(b) < 32 {
+			return nil, fmt.Errorf("checkpoint: truncated pipe state")
+		}
+		c.Pipe = &PipeState{
+			Clock:     parseUnixNano(binary.BigEndian.Uint64(b[0:8])),
+			NextTick:  parseUnixNano(binary.BigEndian.Uint64(b[8:16])),
+			CurBucket: parseUnixNano(binary.BigEndian.Uint64(b[16:24])),
+			LastSpike: parseUnixNano(binary.BigEndian.Uint64(b[24:32])),
+		}
+		b = b[32:]
+	}
+	if len(b) < 4 {
+		return nil, fmt.Errorf("checkpoint: truncated feed cursor count")
+	}
+	n := int(binary.BigEndian.Uint32(b))
+	b = b[4:]
+	c.Feeds = make([]FeedCursor, 0, n)
+	for i := 0; i < n; i++ {
+		if len(b) < 2 {
+			return nil, fmt.Errorf("checkpoint: truncated feed cursor")
+		}
+		idLen := int(binary.BigEndian.Uint16(b))
+		b = b[2:]
+		if idLen == 0 || idLen > maxFeedCursorID || len(b) < idLen+16 {
+			return nil, fmt.Errorf("checkpoint: bad feed cursor ID")
+		}
+		f := FeedCursor{ID: string(b[:idLen])}
+		b = b[idLen:]
+		f.NextSeq = binary.BigEndian.Uint64(b[0:8])
+		f.Watermark = parseUnixNano(binary.BigEndian.Uint64(b[8:16]))
+		b = b[16:]
+		c.Feeds = append(c.Feeds, f)
+	}
+	return b, nil
 }
 
 func parsePeerTable(b []byte, p *PeerTable) ([]byte, error) {

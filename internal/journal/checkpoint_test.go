@@ -78,6 +78,125 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	}
 }
 
+func TestCheckpointRelayRoundTrip(t *testing.T) {
+	t0 := time.Date(2003, 8, 14, 20, 0, 0, 0, time.UTC)
+	dir := t.TempDir()
+	want := testCheckpoint(1000)
+	want.Feeds = []FeedCursor{
+		{ID: "feed-00", NextSeq: 512, Watermark: t0.Add(3 * time.Minute)},
+		{ID: "feed-01", NextSeq: 488},              // zero watermark: never released
+		{ID: "feed-02", NextSeq: 0, Watermark: t0}, // never heard, wm from restore
+	}
+	want.Pipe = &PipeState{
+		Clock:    t0.Add(3 * time.Minute),
+		NextTick: t0.Add(4 * time.Minute),
+		// CurBucket zero: first bucket not yet rolled.
+		LastSpike: t0.Add(90 * time.Second),
+	}
+	if _, err := WriteCheckpoint(dir, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadLatestCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil {
+		t.Fatal("checkpoint not found")
+	}
+	if got.NextSeq != want.NextSeq || len(got.Peers) != len(want.Peers) {
+		t.Fatalf("v1 fields lost: %+v", got)
+	}
+	if len(got.Feeds) != len(want.Feeds) {
+		t.Fatalf("%d feed cursors, want %d", len(got.Feeds), len(want.Feeds))
+	}
+	for i, f := range got.Feeds {
+		wf := want.Feeds[i]
+		if f.ID != wf.ID || f.NextSeq != wf.NextSeq || !f.Watermark.Equal(wf.Watermark) {
+			t.Fatalf("feed cursor %d: %+v vs %+v", i, f, wf)
+		}
+		if wf.Watermark.IsZero() && !f.Watermark.IsZero() {
+			t.Fatalf("feed cursor %d: zero watermark not preserved", i)
+		}
+	}
+	if got.Pipe == nil {
+		t.Fatal("pipe state lost")
+	}
+	if !got.Pipe.Clock.Equal(want.Pipe.Clock) || !got.Pipe.NextTick.Equal(want.Pipe.NextTick) ||
+		!got.Pipe.LastSpike.Equal(want.Pipe.LastSpike) {
+		t.Fatalf("pipe state: %+v vs %+v", got.Pipe, want.Pipe)
+	}
+	if !got.Pipe.CurBucket.IsZero() {
+		t.Fatalf("zero CurBucket not preserved: %v", got.Pipe.CurBucket)
+	}
+}
+
+func TestCheckpointRelayFeedsOnly(t *testing.T) {
+	// Cursors without pipe state (checkpoint before the pipeline ever
+	// saw an event): the flag byte must round-trip Pipe as nil.
+	dir := t.TempDir()
+	want := testCheckpoint(10)
+	want.Feeds = []FeedCursor{{ID: "solo", NextSeq: 7}}
+	if _, err := WriteCheckpoint(dir, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadLatestCheckpoint(dir)
+	if err != nil || got == nil {
+		t.Fatalf("load: %+v %v", got, err)
+	}
+	if got.Pipe != nil {
+		t.Fatalf("Pipe = %+v, want nil", got.Pipe)
+	}
+	if len(got.Feeds) != 1 || got.Feeds[0].ID != "solo" || got.Feeds[0].NextSeq != 7 {
+		t.Fatalf("feeds: %+v", got.Feeds)
+	}
+}
+
+func TestCheckpointV1FormatUnchanged(t *testing.T) {
+	// A checkpoint without relay state must still encode as v1 — a
+	// collector's checkpoint files stay readable by older builds, and
+	// the magic is the compatibility contract.
+	buf, err := encodeCheckpoint(testCheckpoint(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:len(ckptMagic)]) != ckptMagic {
+		t.Fatalf("collector checkpoint got magic %q, want %q", buf[:len(ckptMagic)], ckptMagic)
+	}
+	buf2, err := encodeCheckpoint(&Checkpoint{NextSeq: 1, Feeds: []FeedCursor{{ID: "f", NextSeq: 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf2[:len(ckptMagicV2)]) != ckptMagicV2 {
+		t.Fatalf("relay checkpoint got magic %q, want %q", buf2[:len(ckptMagicV2)], ckptMagicV2)
+	}
+}
+
+func TestCheckpointRelayCorruptSectionRejected(t *testing.T) {
+	// Damage confined to the relay section must fail decode (CRC or
+	// bounds), never return a half-parsed checkpoint.
+	c := testCheckpoint(10)
+	c.Feeds = []FeedCursor{{ID: "feed-00", NextSeq: 5}}
+	buf, err := encodeCheckpoint(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := decodeCheckpoint(buf); err != nil {
+		t.Fatalf("clean decode: %v", err)
+	}
+	for _, tc := range []struct {
+		name string
+		mut  func(b []byte) []byte
+	}{
+		{"flipped byte", func(b []byte) []byte { b[len(b)-10] ^= 0xFF; return b }},
+		{"truncated", func(b []byte) []byte { return b[:len(b)-8] }},
+	} {
+		mut := tc.mut(append([]byte(nil), buf...))
+		if _, err := decodeCheckpoint(mut); err == nil {
+			t.Fatalf("%s: corrupt relay section decoded without error", tc.name)
+		}
+	}
+}
+
 func TestCheckpointNewestValidWins(t *testing.T) {
 	dir := t.TempDir()
 	for _, seq := range []uint64{100, 200, 300} {

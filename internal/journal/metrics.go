@@ -35,4 +35,8 @@ var (
 		"Checkpoint files rejected at load time (bad magic, CRC, or decode).")
 	mReplayedRecords = obs.NewCounter("rex_journal_replayed_records_total",
 		"Journal records replayed through the pipeline during recovery.")
+	mTruncateSegments = obs.NewCounter("rex_journal_truncate_from_segments_total",
+		"Segments removed or cut by TruncateFrom (analysis-node orphan tails).")
+	mTruncateRecords = obs.NewCounter("rex_journal_truncate_from_records_total",
+		"Records discarded by TruncateFrom; the receiver refetches them from feeds.")
 )

@@ -1,0 +1,122 @@
+package journal
+
+import (
+	"encoding/binary"
+	"io"
+	"os"
+)
+
+// TruncateFrom discards every record with sequence >= seq from the
+// journal in dir, leaving [.., seq) intact. It exists for the
+// analysis-node recovery path: the receiver's merged journal carries no
+// per-feed attribution in its records, so a tail beyond the newest
+// checkpoint cannot advance any feed cursor — the node drops it and
+// refetches those events from the feeds, which still hold them (feeds
+// trim only to durable acks). Returns how many records were removed;
+// unreadable bytes past a framing break are removed too but count as
+// zero records (their boundaries are unknown).
+//
+// TruncateFrom must run before Open — it assumes no live Writer on dir.
+func TruncateFrom(dir string, seq uint64) (removed uint64, err error) {
+	segs, err := listSegments(dir)
+	if err != nil {
+		return 0, err
+	}
+	for i := len(segs) - 1; i >= 0; i-- {
+		s := segs[i]
+		if s.first >= seq {
+			// Every record in the segment is at or above the floor. Count
+			// its intact prefix before unlinking (best effort — the count
+			// feeds a metric, not correctness).
+			_, records, _, verr := validateTail(s.path, s.first)
+			if verr == nil {
+				removed += records
+			}
+			if err := os.Remove(s.path); err != nil {
+				return removed, err
+			}
+			mTruncateSegments.Inc()
+			continue
+		}
+		// First segment below the floor: cut it at record index
+		// seq - s.first and stop — earlier segments are entirely below.
+		n, terr := truncateWithin(s, seq)
+		if terr != nil {
+			return removed, terr
+		}
+		removed += n
+		break
+	}
+	if removed > 0 {
+		mTruncateRecords.Add(removed)
+	}
+	syncDir(dir)
+	return removed, nil
+}
+
+// truncateWithin cuts one segment at the byte offset of the record with
+// sequence seq (caller guarantees seg.first < seq). A torn or corrupt
+// frame below seq ends the walk early: everything from the break is
+// unreadable anyway and is discarded with the tail, exactly as a scan
+// would have abandoned it.
+func truncateWithin(seg segmentInfo, seq uint64) (removed uint64, err error) {
+	f, err := os.Open(seg.path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	size := info.Size()
+	if size <= int64(segHeaderLen) {
+		return 0, nil
+	}
+	if _, err := f.Seek(int64(segHeaderLen), io.SeekStart); err != nil {
+		return 0, err
+	}
+	off := int64(segHeaderLen)
+	cur := seg.first
+	cut := off
+	var rec [recHeaderLen]byte
+	for {
+		if cur == seq {
+			cut = off
+		}
+		if size-off < int64(recHeaderLen) {
+			break
+		}
+		if _, err := io.ReadFull(f, rec[:]); err != nil {
+			break
+		}
+		n := int64(binary.BigEndian.Uint32(rec[0:4]))
+		if n > MaxRecordLen || size-off-int64(recHeaderLen) < n {
+			break
+		}
+		if _, err := f.Seek(n, io.SeekCurrent); err != nil {
+			break
+		}
+		off += int64(recHeaderLen) + n
+		if cur >= seq {
+			removed++
+		}
+		cur++
+	}
+	if cur < seq {
+		// The walk broke (or the segment simply ends) before reaching
+		// seq: nothing at or above the floor exists here, but a trailing
+		// break below the floor must still go — records cannot be
+		// appended after it. Cut at the last intact frame.
+		cut = off
+		removed = 0
+	}
+	if cut >= size {
+		return removed, nil
+	}
+	if err := os.Truncate(seg.path, cut); err != nil {
+		return removed, err
+	}
+	mTruncateSegments.Inc()
+	return removed, nil
+}

@@ -1,0 +1,166 @@
+package journal
+
+import (
+	"os"
+	"testing"
+
+	"rex/internal/event"
+)
+
+// countFrom scans the journal and returns the sequences seen at or
+// above from.
+func countFrom(t *testing.T, dir string, from uint64) []uint64 {
+	t.Helper()
+	var seqs []uint64
+	if _, err := Scan(dir, from, func(seq uint64, e *event.Event) error {
+		seqs = append(seqs, seq)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return seqs
+}
+
+func TestTruncateFromMidSegment(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 0, 30)
+	w.Close()
+
+	removed, err := TruncateFrom(dir, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 18 {
+		t.Fatalf("removed %d records, want 18", removed)
+	}
+	seqs := countFrom(t, dir, 0)
+	if len(seqs) != 12 || seqs[0] != 0 || seqs[len(seqs)-1] != 11 {
+		t.Fatalf("survivors %v, want [0..11]", seqs)
+	}
+	// The writer must resume exactly at the cut.
+	w2, err := Open(dir, Options{Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if w2.NextSeq() != 12 {
+		t.Fatalf("NextSeq %d after truncation, want 12", w2.NextSeq())
+	}
+}
+
+func TestTruncateFromSegmentBoundary(t *testing.T) {
+	// Small segments force rotation; the floor landing exactly on a
+	// segment's first sequence must drop that whole segment and leave
+	// the previous one untouched.
+	dir := t.TempDir()
+	w, err := Open(dir, Options{Fsync: FsyncNever, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 0, 40)
+	w.Close()
+	segs, _ := listSegments(dir)
+	if len(segs) < 3 {
+		t.Fatalf("%d segments, want >=3 for a boundary case", len(segs))
+	}
+	floor := segs[1].first
+	removed, err := TruncateFrom(dir, floor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 40-floor {
+		t.Fatalf("removed %d, want %d", removed, 40-floor)
+	}
+	seqs := countFrom(t, dir, 0)
+	if uint64(len(seqs)) != floor || seqs[len(seqs)-1] != floor-1 {
+		t.Fatalf("survivors %v, want [0..%d]", seqs, floor-1)
+	}
+}
+
+func TestTruncateFromBeyondEndIsNoOp(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 0, 10)
+	w.Close()
+	removed, err := TruncateFrom(dir, 10)
+	if err != nil || removed != 0 {
+		t.Fatalf("removed %d err %v, want 0 nil", removed, err)
+	}
+	if got := countFrom(t, dir, 0); len(got) != 10 {
+		t.Fatalf("%d survivors, want 10", len(got))
+	}
+}
+
+func TestTruncateFromZeroWipesAll(t *testing.T) {
+	// No checkpoint means no attribution for anything: a floor of 0
+	// must leave an empty directory (the node refetches everything).
+	dir := t.TempDir()
+	w, err := Open(dir, Options{Fsync: FsyncNever, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 0, 25)
+	w.Close()
+	removed, err := TruncateFrom(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 25 {
+		t.Fatalf("removed %d, want 25", removed)
+	}
+	segs, _ := listSegments(dir)
+	if len(segs) != 0 {
+		t.Fatalf("%d segments left, want 0", len(segs))
+	}
+}
+
+func TestTruncateFromEmptyDir(t *testing.T) {
+	removed, err := TruncateFrom(t.TempDir(), 5)
+	if err != nil || removed != 0 {
+		t.Fatalf("removed %d err %v on empty dir", removed, err)
+	}
+}
+
+func TestTruncateFromTornTail(t *testing.T) {
+	// A crash tears the final record; the floor sits below the tear.
+	// TruncateFrom must cut at the floor and the torn bytes go with it.
+	dir := t.TempDir()
+	w, err := Open(dir, Options{Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 0, 20)
+	w.Close()
+	seg := lastSegment(t, dir)
+	if err := os.Truncate(seg.path, seg.size-3); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := TruncateFrom(dir, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Records 15..18 were intact (19 was torn — boundaries unknown, not
+	// counted), all discarded.
+	if removed != 4 {
+		t.Fatalf("removed %d records, want 4", removed)
+	}
+	seqs := countFrom(t, dir, 0)
+	if len(seqs) != 15 || seqs[len(seqs)-1] != 14 {
+		t.Fatalf("survivors %v, want [0..14]", seqs)
+	}
+	w2, err := Open(dir, Options{Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if w2.NextSeq() != 15 {
+		t.Fatalf("NextSeq %d, want 15", w2.NextSeq())
+	}
+}

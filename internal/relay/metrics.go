@@ -34,6 +34,20 @@ var (
 	mBuffered = obs.NewGauge("rex_relay_buffered_events",
 		"Events buffered across all feeds awaiting merge release.")
 
+	// Analysis-node durability (receiver persistence; see persist.go).
+	mDurableSeq = obs.NewGaugeVec("rex_relay_durable_seq", "feed",
+		"Feed cursor covered by the newest checkpoint: the floor every ack advertises while durability is on.")
+	mJournaled = obs.NewCounter("rex_relay_journaled_total",
+		"Released events appended to the receiver's merged journal.")
+	mCheckpoints = obs.NewCounter("rex_relay_checkpoints_total",
+		"Receiver checkpoints written (feed cursors + trigger state + tables).")
+	mCheckpointErrors = obs.NewCounter("rex_relay_checkpoint_errors_total",
+		"Checkpoint attempts that failed; the durable floor stops advancing until one succeeds.")
+	mJournalErrors = obs.NewCounter("rex_relay_journal_errors_total",
+		"Merged-journal append failures (event still analyzed, just not durable).")
+	mRecoveredEvents = obs.NewCounter("rex_relay_recovered_events_total",
+		"Merged-journal events replayed silently into the pipeline at startup.")
+
 	// Feed (collector) side.
 	mDialFailures = obs.NewCounterVec("rex_relay_dial_failures_total", "feed",
 		"Failed dials or handshakes to the receiver, backing off exponentially.")

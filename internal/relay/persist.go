@@ -1,0 +1,396 @@
+package relay
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"time"
+
+	"rex/internal/core/pipeline"
+	"rex/internal/event"
+	"rex/internal/journal"
+	"rex/internal/obs"
+	"rex/internal/rib"
+)
+
+// Analysis-node durability. With ReceiverConfig.Dir set, the receiver
+// keeps a merged-stream journal and atomic checkpoints in that
+// directory so a restarted analysis node recovers like a collector —
+// from local disk plus a bounded resend — instead of refetching every
+// feed from sequence zero and re-emitting the whole history:
+//
+//   - Release path: every event the merge gate releases is appended to
+//     the journal (in release order — the MergeStreams order) before it
+//     reaches the pipeline, and each feed's released cursor/watermark
+//     advance with the pop.
+//   - Checkpoint: under emitMu (so no release can interleave) the
+//     journal position, pipeline trigger state (TriggerQuery), shadow
+//     route tables, and per-feed released cursors are captured as one
+//     consistent cut and written atomically (internal/journal
+//     checkpoint v2). Only then are the released cursors promoted to
+//     the durable floor the acks advertise.
+//   - Acks: while durability is on, every ack — the handshake resume
+//     ack included — carries the feed's durable cursor, never the
+//     in-memory one. Feeds trim their journals to acks and resume scans
+//     from the handshake ack, so the receiver must not advertise state
+//     a crash could forget. The cost is bounded: a reconnecting feed
+//     resends at most one checkpoint interval of events, which the
+//     dedup cursor drops (and still acks, so the feed's trim floor
+//     keeps moving).
+//   - Recovery: the newest checkpoint restores cursors, trigger state,
+//     and tables; the journal below the checkpoint replays silently
+//     (restored triggers mean no event advances the clock, so no tick
+//     or spike re-fires for stream positions the crashed process
+//     already emitted); the orphan journal tail above the checkpoint is
+//     discarded — merged records carry no feed attribution, so they
+//     cannot advance cursors, and the feeds still hold them durably
+//     below their un-acked tails.
+//
+// Replay-suffix correctness for the shadow tables: the checkpoint
+// tables are the state at NextSeq, and replay re-applies
+// [ReplayLow, NextSeq) on top. For every key the suffix touches, the
+// last suffix write is by definition the key's state at NextSeq;
+// untouched keys keep their checkpoint value. Transient mid-replay
+// regressions are invisible because replay emits nothing.
+
+// relayTimeIndexStride matches the collector durability tier: one
+// (sequence, event-time) sample every 64 records bounds how far below
+// the true window start the replay floor can land.
+const relayTimeIndexStride = 64
+
+// RecoveryStats summarizes what a durable receiver rebuilt at startup.
+type RecoveryStats struct {
+	// HadCheckpoint is false on a cold start (empty or checkpoint-less
+	// directory).
+	HadCheckpoint bool
+	// Truncated counts orphan journal records discarded above the
+	// checkpoint floor: they carry no feed attribution, so the receiver
+	// drops them and lets the feeds resend from the durable cursors.
+	Truncated uint64
+	// Replayed counts journal records re-ingested silently to rebuild
+	// the analysis window.
+	Replayed uint64
+	// RestoredRoutes counts routes restored from the checkpoint tables.
+	RestoredRoutes int
+	// ResumeSeq is the merged-journal sequence the writer resumed at.
+	ResumeSeq uint64
+}
+
+// persister is the receiver's durability sidecar: the merged-stream
+// journal writer, its time index (replay floors), and the shadow route
+// table the checkpoint's Peers section is rendered from. All fields are
+// guarded by Receiver.emitMu — the release path and the checkpoint are
+// its only users, and both hold it.
+type persister struct {
+	dir    string
+	window time.Duration
+
+	w  *journal.Writer
+	ix *journal.TimeIndex
+
+	// table shadows the released stream's per-peer route state. The
+	// receiver holds no RIB of its own; this is just enough state to
+	// seed the pipeline's TAMP tables after a restart, mirroring the
+	// collector checkpoint's Peers section.
+	table map[netip.Addr]map[netip.Prefix]*rib.Route
+
+	stats RecoveryStats
+}
+
+// RecoveryStats reports what startup recovery rebuilt; ok is false for
+// a memory-only receiver.
+func (r *Receiver) RecoveryStats() (RecoveryStats, bool) {
+	if r.pers == nil {
+		return RecoveryStats{}, false
+	}
+	return r.pers.stats, true
+}
+
+// openDurability runs the recovery sequence against cfg.Dir and leaves
+// the receiver ready to journal: load the newest checkpoint, drop the
+// orphan journal tail above it, restore cursors/tables/triggers, replay
+// the window suffix silently, and reopen the journal at the resume
+// sequence. Called from OpenReceiver before any goroutine starts, so no
+// locking is needed beyond the pipeline's own.
+func (r *Receiver) openDurability() error {
+	cfg := r.cfg
+	p := cfg.Pipeline
+	ps := &persister{
+		dir:    cfg.Dir,
+		window: cfg.Window,
+		ix:     journal.NewTimeIndex(relayTimeIndexStride),
+		table:  map[netip.Addr]map[netip.Prefix]*rib.Route{},
+	}
+
+	ckpt, err := journal.LoadLatestCheckpoint(cfg.Dir)
+	if err != nil {
+		return fmt.Errorf("load checkpoint: %w", err)
+	}
+	var floor uint64
+	if ckpt != nil {
+		floor = ckpt.NextSeq
+	}
+	truncated, err := journal.TruncateFrom(cfg.Dir, floor)
+	if err != nil {
+		return fmt.Errorf("truncate orphan tail: %w", err)
+	}
+	ps.stats.Truncated = truncated
+	if truncated > 0 {
+		obs.Logf(obs.Info, "relay",
+			"dropped %d orphan journal records above checkpoint floor %d; feeds will resend them",
+			truncated, floor)
+	}
+
+	p.BeginRecovery()
+	defer p.EndRecovery()
+
+	if ckpt != nil {
+		ps.stats.HadCheckpoint = true
+		now := time.Now()
+		for i := range ckpt.Feeds {
+			fc := &ckpt.Feeds[i]
+			f := r.feeds[fc.ID]
+			if f == nil {
+				if len(cfg.ExpectFeeds) > 0 {
+					// Dropped from the roster since the checkpoint. Its
+					// released events are merged below NextSeq already;
+					// there is nothing to resume.
+					continue
+				}
+				f = &feedState{id: fc.ID, lastHeard: now}
+				r.feeds[fc.ID] = f
+				r.order = append(r.order, fc.ID)
+				mFeedStale.With(fc.ID).Set(0)
+				mFeedConnected.With(fc.ID).Set(0)
+			}
+			f.nextSeq = fc.NextSeq
+			f.released = fc.NextSeq
+			f.durable = fc.NextSeq
+			f.watermark = fc.Watermark
+			f.relWM = fc.Watermark
+			mFeedNextSeq.With(fc.ID).Set(int64(fc.NextSeq))
+			mDurableSeq.With(fc.ID).Set(int64(fc.NextSeq))
+		}
+		sort.Strings(r.order)
+		for i := range ckpt.Peers {
+			pt := &ckpt.Peers[i]
+			m := make(map[netip.Prefix]*rib.Route, len(pt.Routes))
+			for _, rt := range pt.Routes {
+				m[rt.Prefix] = rt
+			}
+			ps.table[pt.Peer] = m
+		}
+		ps.stats.RestoredRoutes = ckpt.RouteCount()
+		for _, e := range ckpt.SeedEvents() {
+			p.Seed(*e)
+		}
+		if ckpt.Pipe != nil {
+			p.RestoreTriggers(pipeline.TriggerState{
+				Clock:     ckpt.Pipe.Clock,
+				NextTick:  ckpt.Pipe.NextTick,
+				CurBucket: ckpt.Pipe.CurBucket,
+				LastSpike: ckpt.Pipe.LastSpike,
+			})
+		}
+		obs.Logf(obs.Info, "relay",
+			"checkpoint seq %d: restored %d feed cursors, %d routes (taken %s)",
+			ckpt.NextSeq, len(ckpt.Feeds), ckpt.RouteCount(),
+			ckpt.TakenAt.Format(time.RFC3339))
+	}
+
+	st, err := journal.Recover(cfg.Dir, func(seq uint64, e *event.Event) error {
+		p.Ingest(*e)
+		ps.ix.Observe(seq, e.Time)
+		ps.apply(e)
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("journal replay: %w", err)
+	}
+	ps.stats.Replayed = st.Replayed
+	mRecoveredEvents.Add(st.Replayed)
+	if st.Replayed > 0 {
+		obs.Logf(obs.Info, "relay",
+			"journal replayed %d merged events from seq %d", st.Replayed, st.ReplayFrom)
+	}
+
+	w, err := journal.Open(cfg.Dir, journal.Options{Fsync: cfg.Fsync, StartSeq: st.EndSeq})
+	if err != nil {
+		return fmt.Errorf("journal open: %w", err)
+	}
+	ps.w = w
+	ps.stats.ResumeSeq = st.EndSeq
+	r.pers = ps
+	obs.Logf(obs.Info, "relay", "merged journal open in %s at seq %d", cfg.Dir, st.EndSeq)
+	return nil
+}
+
+// apply folds one released event into the shadow route table.
+func (ps *persister) apply(e *event.Event) {
+	switch e.Type {
+	case event.Announce:
+		t := ps.table[e.Peer]
+		if t == nil {
+			t = map[netip.Prefix]*rib.Route{}
+			ps.table[e.Peer] = t
+		}
+		t[e.Prefix] = &rib.Route{Prefix: e.Prefix, Peer: e.Peer, Attrs: e.Attrs, LearnedAt: e.Time}
+	case event.Withdraw:
+		if t := ps.table[e.Peer]; t != nil {
+			delete(t, e.Prefix)
+			if len(t) == 0 {
+				delete(ps.table, e.Peer)
+			}
+		}
+	}
+}
+
+// journalBatch appends a released batch to the merged journal, in
+// release order, before it reaches the pipeline. Caller holds emitMu. A
+// write error is loud but not fatal — the receiver keeps analyzing
+// (availability over durability) while the failure keeps checkpoints
+// from advancing the durable floor past whatever did land.
+func (r *Receiver) journalBatch(batch []event.Event) {
+	ps := r.pers
+	for i := range batch {
+		e := &batch[i]
+		seq, err := ps.w.Append(e)
+		if err != nil {
+			mJournalErrors.Inc()
+			obs.Logf(obs.Error, "relay", "merged journal append: %v", err)
+			continue
+		}
+		ps.ix.Observe(seq, e.Time)
+		ps.apply(e)
+		mJournaled.Inc()
+	}
+}
+
+// checkpoint captures one consistent durable cut: journal position,
+// pipeline trigger state, shadow tables, and per-feed released cursors.
+// emitMu keeps releases from interleaving, and the internal order
+// matters — NextSeq is read and the journal synced before TriggerQuery,
+// so the trigger state captured is the state at exactly NextSeq (every
+// released event below it both journaled and ingested, nothing since).
+// Only after the checkpoint is durable are the released cursors
+// promoted to the ack floor.
+func (r *Receiver) checkpoint() error {
+	ps := r.pers
+	r.emitMu.Lock()
+	defer r.emitMu.Unlock()
+
+	nextSeq := ps.w.NextSeq()
+	if err := ps.w.Sync(); err != nil {
+		mCheckpointErrors.Inc()
+		return fmt.Errorf("journal sync: %w", err)
+	}
+	ts, ok := r.cfg.Pipeline.TriggerQuery()
+	if !ok {
+		mCheckpointErrors.Inc()
+		return fmt.Errorf("pipeline closed mid-checkpoint")
+	}
+	if r.cfg.SnapshotSink != nil {
+		// Sink-durability wait: every snapshot this cut covers must be
+		// through the sink before the checkpoint lands, or a crash
+		// between emission and sink would lose the snapshot for good
+		// (the restart, restored to this cut, would never re-emit it).
+		// emitMu is held, so ts.Emitted is final; the drain goroutine
+		// advances sunk without needing the Snapshots() consumer
+		// (counted before the forward), so this converges.
+		for deadline := time.Now().Add(10 * time.Second); r.sunk.Load() < ts.Emitted; {
+			if time.Now().After(deadline) {
+				mCheckpointErrors.Inc()
+				return fmt.Errorf("snapshot sink stalled (%d of %d sunk)",
+					r.sunk.Load(), ts.Emitted)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	ck := &journal.Checkpoint{
+		NextSeq:   nextSeq,
+		ReplayLow: nextSeq,
+		TakenAt:   time.Now(),
+		Peers:     ps.peerTables(),
+		Pipe: &journal.PipeState{
+			Clock: ts.Clock, NextTick: ts.NextTick,
+			CurBucket: ts.CurBucket, LastSpike: ts.LastSpike,
+		},
+	}
+	if !ts.Clock.IsZero() {
+		ck.WindowStart = ts.Clock.Add(-ps.window)
+		if low := ps.ix.LowWater(ck.WindowStart); low < nextSeq {
+			ck.ReplayLow = low
+		}
+	}
+	r.mu.Lock()
+	ck.Feeds = make([]journal.FeedCursor, 0, len(r.order))
+	for _, id := range r.order {
+		f := r.feeds[id]
+		ck.Feeds = append(ck.Feeds, journal.FeedCursor{
+			ID: id, NextSeq: f.released, Watermark: f.relWM,
+		})
+	}
+	r.mu.Unlock()
+	if _, err := journal.WriteCheckpoint(ps.dir, ck); err != nil {
+		mCheckpointErrors.Inc()
+		return fmt.Errorf("write checkpoint: %w", err)
+	}
+	r.mu.Lock()
+	for _, id := range r.order {
+		f := r.feeds[id]
+		f.durable = f.released
+		mDurableSeq.With(id).Set(int64(f.durable))
+	}
+	r.mu.Unlock()
+	mCheckpoints.Inc()
+	if _, err := journal.PruneCheckpoints(ps.dir, 3); err != nil {
+		obs.Logf(obs.Warn, "relay", "prune checkpoints: %v", err)
+	}
+	if _, err := ps.w.TrimTo(ck.ReplayLow); err != nil {
+		obs.Logf(obs.Warn, "relay", "journal trim: %v", err)
+	}
+	obs.Logf(obs.Debug, "relay",
+		"checkpoint at merged seq %d (replay floor %d, %d feed cursors, %d routes)",
+		nextSeq, ck.ReplayLow, len(ck.Feeds), ck.RouteCount())
+	return nil
+}
+
+// checkpointLoop paces periodic checkpoints until Close/Abort.
+func (r *Receiver) checkpointLoop() {
+	defer r.wg.Done()
+	t := time.NewTicker(r.cfg.CheckpointEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.closed:
+			return
+		case <-t.C:
+			if err := r.checkpoint(); err != nil {
+				obs.Logf(obs.Error, "relay", "periodic checkpoint: %v", err)
+			}
+		}
+	}
+}
+
+// peerTables renders the shadow table as the checkpoint's per-peer
+// route lists, peers and prefixes sorted so checkpoint bytes are a
+// deterministic function of the state.
+func (ps *persister) peerTables() []journal.PeerTable {
+	out := make([]journal.PeerTable, 0, len(ps.table))
+	for peer, m := range ps.table {
+		routes := make([]*rib.Route, 0, len(m))
+		for _, rt := range m {
+			routes = append(routes, rt)
+		}
+		sort.Slice(routes, func(i, j int) bool {
+			a, b := routes[i].Prefix, routes[j].Prefix
+			if c := a.Addr().Compare(b.Addr()); c != 0 {
+				return c < 0
+			}
+			return a.Bits() < b.Bits()
+		})
+		out = append(out, journal.PeerTable{Peer: peer, Routes: routes})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Peer.Compare(out[j].Peer) < 0 })
+	return out
+}

@@ -4,10 +4,13 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rex/internal/core/pipeline"
 	"rex/internal/event"
+	"rex/internal/journal"
+	"rex/internal/obs"
 )
 
 // ReceiverConfig wires the fan-in point.
@@ -38,6 +41,38 @@ type ReceiverConfig struct {
 	ReadTimeout time.Duration
 	// WriteTimeout bounds ack writes (default 10s).
 	WriteTimeout time.Duration
+
+	// Dir, when set, makes the receiver durable: released events are
+	// journaled in merge order into Dir and the per-feed resume
+	// cursors, pipeline trigger state, and route tables are
+	// checkpointed there atomically every CheckpointEvery, so a
+	// restarted analysis node resumes each feed at its durable cursor
+	// instead of zero. While durability is on, every ack the receiver
+	// sends — the handshake resume ack included — is the feed's durable
+	// cursor, not its in-memory one: feeds trim their journals to acks,
+	// so the receiver never advertises state a crash could forget. See
+	// the durability comment in persist.go for the full contract.
+	Dir string
+	// Fsync is the merged journal's sync policy (journal package
+	// default when zero).
+	Fsync journal.FsyncPolicy
+	// CheckpointEvery paces durable checkpoints (default 30s). It also
+	// bounds the resend a reconnecting feed performs, and how far the
+	// feeds' trim floors lag their send cursors.
+	CheckpointEvery time.Duration
+	// Window is the analysis window used to compute the journal replay
+	// floor; it should match the pipeline's Window (default 15m).
+	Window time.Duration
+	// SnapshotSink, when set, is called synchronously with every
+	// snapshot before it is forwarded to Snapshots(), and checkpoints
+	// wait for it: a durable checkpoint is only written once the sink
+	// has returned for every snapshot the checkpoint's cut covers.
+	// That closes the loss window for consumers that persist snapshots
+	// — a crash can only take snapshots no checkpoint ever covered,
+	// which a restarted node re-emits. The sink runs on the snapshot
+	// drain goroutine; keep it fast and never call back into the
+	// receiver from it.
+	SnapshotSink func(Snapshot)
 }
 
 func (c ReceiverConfig) withDefaults() ReceiverConfig {
@@ -56,6 +91,14 @@ func (c ReceiverConfig) withDefaults() ReceiverConfig {
 	if c.WriteTimeout <= 0 {
 		c.WriteTimeout = 10 * time.Second
 	}
+	if c.Dir != "" {
+		if c.CheckpointEvery <= 0 {
+			c.CheckpointEvery = DefaultCheckpointEvery
+		}
+		if c.Window <= 0 {
+			c.Window = DefaultReplayWindow
+		}
+	}
 	return c
 }
 
@@ -69,8 +112,17 @@ type feedState struct {
 	everHeard bool
 	nextSeq   uint64    // resume cursor: next sequence needed
 	watermark time.Time // event-time frontier (events + heartbeats)
+	// released is the durable-release cursor: the sequence after the
+	// last event popped from the queue into the journal and pipeline.
+	// durable is released as of the newest checkpoint — the floor every
+	// ack advertises while persistence is on. relWM is the event-time
+	// watermark of released events, the restart-surviving analog of
+	// watermark (which heartbeats advance past anything released).
+	released  uint64
+	durable   uint64
+	relWM     time.Time
 	lastHeard time.Time // wall clock of last frame
-	queue     []event.Event
+	queue     eventQueue
 	received  uint64
 	dups      uint64
 	hbNext    uint64 // feed's reported append head
@@ -91,6 +143,15 @@ type Receiver struct {
 	// pipeline applies backpressure).
 	emitMu sync.Mutex
 
+	// pers is the durability sidecar, nil for a memory-only receiver.
+	// Its journal/table state is guarded by emitMu.
+	pers *persister
+
+	// sunk counts snapshots the SnapshotSink has fully processed;
+	// checkpoint compares it against the pipeline's emitted count so a
+	// durable cut never covers a snapshot the sink hasn't written yet.
+	sunk atomic.Uint64
+
 	ln        net.Listener
 	snaps     chan Snapshot
 	closed    chan struct{}
@@ -99,11 +160,26 @@ type Receiver struct {
 	drainWG   sync.WaitGroup
 }
 
-// NewReceiver builds a receiver around cfg.Pipeline and starts the
-// snapshot-wrapping drain; call Serve with a listener to go live.
-// Consumers must drain Snapshots until it closes, the same contract as
-// the pipeline's.
+// NewReceiver builds a memory-only receiver around cfg.Pipeline; it is
+// OpenReceiver minus the error return, and panics if cfg.Dir is set
+// and recovery fails — durable callers should use OpenReceiver.
 func NewReceiver(cfg ReceiverConfig) *Receiver {
+	r, err := OpenReceiver(cfg)
+	if err != nil {
+		panic("relay: " + err.Error())
+	}
+	return r
+}
+
+// OpenReceiver builds a receiver and, when cfg.Dir is set, recovers
+// durable state from it before going live: the newest checkpoint
+// restores per-feed cursors, pipeline trigger state, and route tables;
+// the journal below the checkpoint replays silently to rebuild the
+// analysis window; the orphan tail above it is dropped (feeds resend
+// those events from the resumed cursors). Call Serve with a listener
+// to go live. Consumers must drain Snapshots until it closes, the same
+// contract as the pipeline's.
+func OpenReceiver(cfg ReceiverConfig) (*Receiver, error) {
 	cfg = cfg.withDefaults()
 	r := &Receiver{
 		cfg:    cfg,
@@ -113,17 +189,32 @@ func NewReceiver(cfg ReceiverConfig) *Receiver {
 	}
 	now := time.Now()
 	for _, id := range cfg.ExpectFeeds {
+		// A duplicated roster entry must not duplicate the merge-order
+		// list: the gate would check the same feed twice and Statuses
+		// would emit duplicate rows.
+		if _, dup := r.feeds[id]; dup {
+			continue
+		}
 		r.feeds[id] = &feedState{id: id, lastHeard: now}
 		r.order = append(r.order, id)
 		mFeedStale.With(id).Set(0)
 		mFeedConnected.With(id).Set(0)
 	}
 	sort.Strings(r.order)
+	if cfg.Dir != "" {
+		if err := r.openDurability(); err != nil {
+			return nil, err
+		}
+	}
 	r.drainWG.Add(1)
 	go r.drainSnapshots()
 	r.wg.Add(1)
 	go r.staleLoop()
-	return r
+	if r.pers != nil {
+		r.wg.Add(1)
+		go r.checkpointLoop()
+	}
+	return r, nil
 }
 
 // Snapshots returns pipeline snapshots wrapped with feed health. The
@@ -192,13 +283,52 @@ func (r *Receiver) Close() {
 		r.mu.Lock()
 		batch := r.collectLocked(true)
 		r.mu.Unlock()
-		for i := range batch {
-			r.cfg.Pipeline.Ingest(batch[i])
-		}
+		r.deliver(batch)
 		r.emitMu.Unlock()
+		if r.pers != nil {
+			// Final checkpoint covers the flush, so a clean restart
+			// replays nothing and resumes every feed at its head.
+			if err := r.checkpoint(); err != nil {
+				obs.Logf(obs.Error, "relay", "final checkpoint: %v", err)
+			}
+		}
 		r.cfg.Pipeline.Close()
 		r.drainWG.Wait()
 		close(r.snaps)
+		if r.pers != nil {
+			if err := r.pers.w.Close(); err != nil {
+				obs.Logf(obs.Error, "relay", "merged journal close: %v", err)
+			}
+		}
+	})
+}
+
+// Abort tears the receiver down without the graceful-shutdown work —
+// no final flush, no final checkpoint — approximating a crash for the
+// restart-equivalence tests (a real SIGKILL additionally skips the
+// journal close; tests tear the tail by truncating segment files
+// afterward). Buffered events are dropped: they sit below the feeds'
+// un-acked tails and are resent on the next connect.
+func (r *Receiver) Abort() {
+	r.closeOnce.Do(func() {
+		close(r.closed)
+		r.mu.Lock()
+		if r.ln != nil {
+			r.ln.Close()
+		}
+		for _, f := range r.feeds {
+			if f.conn != nil {
+				f.conn.Close()
+			}
+		}
+		r.mu.Unlock()
+		r.wg.Wait()
+		r.cfg.Pipeline.Close()
+		r.drainWG.Wait()
+		close(r.snaps)
+		if r.pers != nil {
+			r.pers.w.Close()
+		}
 	})
 }
 
@@ -208,7 +338,15 @@ func (r *Receiver) drainSnapshots() {
 		r.mu.Lock()
 		feeds := r.statusesLocked()
 		r.mu.Unlock()
-		r.snaps <- Snapshot{Snapshot: s, Feeds: feeds}
+		wrapped := Snapshot{Snapshot: s, Feeds: feeds}
+		if r.cfg.SnapshotSink != nil {
+			r.cfg.SnapshotSink(wrapped)
+		}
+		// Counted after the sink returns, before the (possibly
+		// blocking) forward: checkpoint's sink-durability wait must not
+		// depend on the Snapshots() consumer keeping pace.
+		r.sunk.Add(1)
+		r.snaps <- wrapped
 	}
 }
 
@@ -216,10 +354,14 @@ func (r *Receiver) statusesLocked() []FeedStatus {
 	out := make([]FeedStatus, 0, len(r.order))
 	for _, id := range r.order {
 		f := r.feeds[id]
+		durable := f.nextSeq
+		if r.pers != nil {
+			durable = f.durable
+		}
 		out = append(out, FeedStatus{
-			ID: id, Connected: f.connected, Stale: f.stale,
-			NextSeq: f.nextSeq, Watermark: f.watermark, LastHeard: f.lastHeard,
-			Buffered: len(f.queue), Received: f.received, Duplicates: f.dups,
+			ID: id, Connected: f.connected, Stale: f.stale, EverHeard: f.everHeard,
+			NextSeq: f.nextSeq, Durable: durable, Watermark: f.watermark, LastHeard: f.lastHeard,
+			Buffered: f.queue.len(), Received: f.received, Duplicates: f.dups,
 		})
 	}
 	return out
@@ -303,7 +445,7 @@ func (r *Receiver) handle(conn net.Conn) {
 	f.stale = false
 	f.everHeard = true
 	f.lastHeard = time.Now()
-	resume := f.nextSeq
+	resume := r.ackSeqLocked(f, f.nextSeq)
 	r.mu.Unlock()
 	mFeedConnected.With(id).Set(1)
 	mFeedStale.With(id).Set(0)
@@ -336,9 +478,23 @@ func (r *Receiver) handle(conn net.Conn) {
 			f.stale = false
 			switch {
 			case seq < f.nextSeq:
+				// Already have it — but the replay still counts toward ack
+				// pacing: a reconnecting feed resending a long run below
+				// the cursor would otherwise hear nothing until its next
+				// heartbeat (it only heartbeats when caught up) and could
+				// not advance its trim floor for the whole replay.
 				f.dups++
 				mDuplicates.With(id).Inc()
+				next := r.ackSeqLocked(f, f.nextSeq)
 				r.mu.Unlock()
+				if sinceAck++; sinceAck >= r.cfg.AckEvery {
+					sinceAck = 0
+					conn.SetWriteDeadline(time.Now().Add(r.cfg.WriteTimeout))
+					if _, err := conn.Write(appendAck(buf[:0], next)); err != nil {
+						r.dropConn(f, conn)
+						return
+					}
+				}
 				continue
 			case seq > f.nextSeq:
 				// TCP cannot reorder within a session, so a forward
@@ -352,7 +508,7 @@ func (r *Receiver) handle(conn net.Conn) {
 			if e.Time.After(f.watermark) {
 				f.watermark = e.Time
 			}
-			f.queue = append(f.queue, e)
+			f.queue.push(queuedEvent{seq: seq, e: e})
 			mEventsAccepted.With(id).Inc()
 			mFeedNextSeq.With(id).Set(int64(f.nextSeq))
 			mBuffered.Inc()
@@ -361,8 +517,11 @@ func (r *Receiver) handle(conn net.Conn) {
 			r.pump()
 			if sinceAck++; sinceAck >= r.cfg.AckEvery {
 				sinceAck = 0
+				r.mu.Lock()
+				ack := r.ackSeqLocked(f, seq+1)
+				r.mu.Unlock()
 				conn.SetWriteDeadline(time.Now().Add(r.cfg.WriteTimeout))
-				if _, err := conn.Write(appendAck(buf[:0], seq+1)); err != nil {
+				if _, err := conn.Write(appendAck(buf[:0], ack)); err != nil {
 					r.dropConn(f, conn)
 					return
 				}
@@ -381,10 +540,10 @@ func (r *Receiver) handle(conn net.Conn) {
 			if wm.After(f.watermark) {
 				f.watermark = wm
 			}
-			next := f.nextSeq
+			next := r.ackSeqLocked(f, f.nextSeq)
 			backlog := int64(0)
-			if hbNext > next {
-				backlog = int64(hbNext - next)
+			if hbNext > f.nextSeq {
+				backlog = int64(hbNext - f.nextSeq)
 			}
 			r.mu.Unlock()
 			mFeedStale.With(id).Set(0)
@@ -402,6 +561,18 @@ func (r *Receiver) handle(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// ackSeqLocked is the sequence an ack to feed f advertises: the given
+// in-memory cursor normally, but the durable cursor while persistence
+// is on — feeds treat acks as trim floors and the handshake ack as the
+// scan-resume point, so a durable receiver must never ack state a
+// crash could forget. Caller holds r.mu.
+func (r *Receiver) ackSeqLocked(f *feedState, next uint64) uint64 {
+	if r.pers != nil {
+		return f.durable
+	}
+	return next
 }
 
 // dropConn closes conn and, if it is still the feed's live connection,
@@ -429,6 +600,16 @@ func (r *Receiver) pump() {
 	r.mu.Lock()
 	batch := r.collectLocked(false)
 	r.mu.Unlock()
+	r.deliver(batch)
+}
+
+// deliver journals (when durable) then ingests a released batch.
+// Caller holds emitMu, so checkpoints see the journal, the pipeline,
+// and the released cursors as one consistent cut.
+func (r *Receiver) deliver(batch []event.Event) {
+	if r.pers != nil {
+		r.journalBatch(batch)
+	}
 	for i := range batch {
 		r.cfg.Pipeline.Ingest(batch[i])
 	}
@@ -449,10 +630,10 @@ func (r *Receiver) collectLocked(flush bool) []event.Event {
 		var best *feedState
 		for _, id := range r.order {
 			f := r.feeds[id]
-			if len(f.queue) == 0 {
+			if f.queue.len() == 0 {
 				continue
 			}
-			if best == nil || mergeBefore(f.queue[0].Time, f.id, best.queue[0].Time, best.id) {
+			if best == nil || mergeBefore(f.queue.front().e.Time, f.id, best.queue.front().e.Time, best.id) {
 				best = f
 			}
 		}
@@ -460,11 +641,11 @@ func (r *Receiver) collectLocked(flush bool) []event.Event {
 			break
 		}
 		if !flush {
-			e := &best.queue[0]
+			e := &best.queue.front().e
 			blocked := false
 			for _, id := range r.order {
 				g := r.feeds[id]
-				if g == best || g.stale || len(g.queue) > 0 {
+				if g == best || g.stale || g.queue.len() > 0 {
 					continue
 				}
 				if g.watermark.After(e.Time) {
@@ -480,8 +661,12 @@ func (r *Receiver) collectLocked(flush bool) []event.Event {
 				break
 			}
 		}
-		out = append(out, best.queue[0])
-		best.queue = best.queue[1:]
+		qe := best.queue.pop()
+		best.released = qe.seq + 1
+		if qe.e.Time.After(best.relWM) {
+			best.relWM = qe.e.Time
+		}
+		out = append(out, qe.e)
 		mReleased.Inc()
 		mBuffered.Dec()
 	}

@@ -28,6 +28,14 @@
 //     out through the collector's graceful-restart retention — the
 //     receiver never fabricates withdrawals for a silent feed.
 //
+// Startup gating: a rostered feed that has never said hello
+// (FeedStatus.EverHeard false) gates the merge exactly like a silent
+// connected feed — its watermark is zero, so nothing releases — until
+// StaleAfter promotes it to stale. The receiver does not distinguish
+// "never came up" from "came up and died" for release purposes, only in
+// status reporting: determinism first, then the stale clock bounds the
+// wait either way.
+//
 // The wire protocol reuses the journal's event codec as payload and
 // its CRC discipline for frames; a corrupt frame kills the connection
 // (the stream cannot be trusted past it) and ack/resume makes the
@@ -48,6 +56,14 @@ const (
 	DefaultAckEvery       = 64
 	DefaultMinBackoff     = 500 * time.Millisecond
 	DefaultMaxBackoff     = 30 * time.Second
+	// DefaultCheckpointEvery paces durable receiver checkpoints; it
+	// bounds both the resend after a restart and the feeds' trim-floor
+	// lag (acks advertise the durable cursor, not the live one).
+	DefaultCheckpointEvery = 30 * time.Second
+	// DefaultReplayWindow is the analysis window assumed for the
+	// journal replay floor when ReceiverConfig.Window is zero; it
+	// matches the pipeline's default window.
+	DefaultReplayWindow = 15 * time.Minute
 )
 
 // FeedStatus is one feed's health as the receiver sees it, embedded in
@@ -59,9 +75,21 @@ type FeedStatus struct {
 	// Stale means the feed has been silent past StaleAfter: it no
 	// longer gates the merge and its routes are aging out upstream.
 	Stale bool
+	// EverHeard distinguishes a rostered feed that has never said hello
+	// (false) from one that connected at least once this process
+	// lifetime. Both gate the merge identically until stale; a
+	// supervisor uses this to tell "never came up" from "came up and
+	// died".
+	EverHeard bool
 	// NextSeq is the next journal sequence the receiver needs — the
 	// resume point it would hand the feed on reconnect.
 	NextSeq uint64
+	// Durable is the cursor a crash cannot roll back: the released
+	// position as of the newest checkpoint on a durable receiver, and
+	// simply NextSeq on a memory-only one. Supervisors that must judge
+	// fleet completion across receiver restarts should watch this, not
+	// NextSeq — NextSeq regresses to Durable when the receiver dies.
+	Durable uint64
 	// Watermark is the feed's event-time frontier: no event earlier
 	// than this will ever arrive from it.
 	Watermark time.Time
