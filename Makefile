@@ -23,7 +23,7 @@ race:
 # Run the fuzz corpora as plain tests (fast; catches regressions on
 # known-interesting inputs without an open-ended fuzz run).
 fuzz-seed:
-	$(GO) test ./internal/bgp ./internal/mrt ./internal/event ./internal/journal ./internal/relay ./internal/core/stemming -run Fuzz -count=1
+	$(GO) test ./internal/bgp ./internal/mrt ./internal/event ./internal/journal ./internal/relay ./internal/core/stemming ./internal/serve -run Fuzz -count=1
 
 # The hottest concurrent paths, twice, under the race detector: session
 # handling, the dial loop, the sharded streaming window, the parallel
@@ -31,7 +31,7 @@ fuzz-seed:
 # journal's crash harness (SIGKILL + torn-tail recovery).
 .PHONY: race-hot
 race-hot:
-	$(GO) test -race -count=2 ./internal/collector ./internal/bgp/fsm ./internal/core/pipeline ./internal/core/stemming ./internal/core/tamp ./internal/journal ./internal/relay
+	$(GO) test -race -count=2 ./internal/collector ./internal/bgp/fsm ./internal/core/pipeline ./internal/core/stemming ./internal/core/tamp ./internal/journal ./internal/relay ./internal/serve
 
 # The fleet soak: collector subprocesses SIGKILLed round-robin while
 # relaying to one analysis node, final output required byte-identical
@@ -42,6 +42,16 @@ race-hot:
 .PHONY: soak
 soak:
 	$(GO) test -race -count=1 -run 'TestFleet|TestRelayFeedFromLiveCollector' ./cmd/rexfleet ./cmd/rexd
+
+# The serving-tier soak: a live rexd swarmed by rexload pollers and SSE
+# subscribers, SIGKILLed mid-swarm twice (once with the journal intact,
+# once with it wiped so only the durable last snapshot remains), and
+# drained with SIGTERM at the end. Proves single-flight rendering under
+# load, zero 5xx across the chaos, explicit staleness while degraded,
+# and bye-before-close SSE drain (see EXPERIMENTS.md "Serving tier").
+.PHONY: serve-soak
+serve-soak:
+	$(GO) test -race -count=1 -run 'TestServeSoak' ./cmd/rexload
 
 # Open-ended fuzzing of the wire parser; override FUZZTIME for longer runs.
 FUZZTIME ?= 30s

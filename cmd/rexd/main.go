@@ -37,6 +37,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"net"
@@ -57,6 +58,7 @@ import (
 	"rex/internal/journal"
 	"rex/internal/obs"
 	"rex/internal/relay"
+	"rex/internal/serve"
 	"rex/internal/viz"
 
 	"net/netip"
@@ -113,6 +115,8 @@ func run(args []string) error {
 		feedIDFlag  = fs.String("feed-id", "", "stable feed identity for -relay-to (default: the -id address)")
 		relayListen = fs.String("relay-listen", "", "run as the central analysis node: accept collector relay feeds on this address instead of BGP sessions")
 		expectFeeds = fs.String("expect-feeds", "", "comma-separated feed roster for -relay-listen; listed feeds gate the merge and strangers are rejected (empty accepts any feed)")
+		serveAddr   = fs.String("serve-addr", "", "serve the snapshot API (JSON/SVG/DOT, per-prefix drill-down, SSE stream, /readyz) on this address (empty disables)")
+		serveStale  = fs.Duration("serve-stale-after", 0, "mark served snapshots stale (and /readyz not ready) once older than this; 0 = only crash-restored snapshots count as stale")
 	)
 	fs.Var(&peers, "peer", "address to actively dial and maintain a session with (repeatable, comma-separable)")
 	if err := fs.Parse(args); err != nil {
@@ -141,8 +145,27 @@ func run(args []string) error {
 		if err != nil {
 			return fmt.Errorf("metrics server: %w", err)
 		}
-		defer srv.Close()
+		// Graceful: an in-flight scrape finishes before the process
+		// exits; only a wedged one is cut after the grace period.
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(ctx); err != nil {
+				srv.Close()
+			}
+		}()
 		obs.Logf(obs.Info, "rexd", "metrics on http://%s/metrics (json at /metrics.json, pprof at /debug/pprof)", maddr)
+	}
+
+	// The serving tier binds before the pipeline exists so a restarted
+	// daemon answers reads (from the durable last snapshot, explicitly
+	// stale) while recovery is still replaying the journal.
+	var api *serve.Server
+	if *serveAddr != "" {
+		api, err = startServeTier(*serveAddr, *serveStale, *journalDir)
+		if err != nil {
+			return fmt.Errorf("serve tier: %w", err)
+		}
 	}
 
 	var sink *eventSink
@@ -179,13 +202,16 @@ func run(args []string) error {
 			rcfg.CheckpointEvery = *ckptEvery // <=0 falls back to the relay default
 			rcfg.Window = *window
 		}
-		return runAnalysisNode(*relayListen, splitFeeds(*expectFeeds), p, *runFor, rcfg)
+		return runAnalysisNode(*relayListen, splitFeeds(*expectFeeds), p, *runFor, rcfg, api)
 	}
 	var finalSnap pipeline.Snapshot
 	snapDone := make(chan struct{})
 	go func() {
 		defer close(snapDone)
 		for s := range p.Snapshots() {
+			if api != nil {
+				api.Publish(s, nil)
+			}
 			if s.Trigger == pipeline.TriggerFinal {
 				finalSnap = s
 				continue
@@ -340,6 +366,13 @@ loop:
 			break loop
 		}
 	}
+
+	// Drain the serving tier FIRST, before any pipeline teardown:
+	// in-flight readers finish against the last published snapshot and
+	// SSE clients get a terminal bye while the backend is still whole —
+	// draining last would hand them connection resets from a server
+	// whose feed is already gone.
+	drainServeTier(api)
 
 	// Stop redialing before tearing the collector down, so shutdown is
 	// not racing fresh sessions.

@@ -26,6 +26,7 @@ import (
 	"rex/internal/core/pipeline"
 	"rex/internal/obs"
 	"rex/internal/relay"
+	"rex/internal/serve"
 )
 
 // splitFeeds parses the -expect-feeds roster, dropping duplicate
@@ -46,10 +47,18 @@ func splitFeeds(s string) []string {
 // runAnalysisNode serves relay feeds into p until a signal or -run-for
 // elapses, then flushes and prints the final analysis. cfg carries the
 // durability settings (Dir empty = memory-only); Pipeline and
-// ExpectFeeds are filled in here.
-func runAnalysisNode(addr string, roster []string, p *pipeline.Pipeline, runFor time.Duration, cfg relay.ReceiverConfig) error {
+// ExpectFeeds are filled in here. api, when non-nil, is the serving
+// tier: it is fed through the receiver's synchronous SnapshotSink —
+// Publish never blocks, so the sink cannot stall checkpointing — and
+// every served snapshot carries the feeds' health.
+func runAnalysisNode(addr string, roster []string, p *pipeline.Pipeline, runFor time.Duration, cfg relay.ReceiverConfig, api *serve.Server) error {
 	cfg.Pipeline = p
 	cfg.ExpectFeeds = roster
+	if api != nil {
+		cfg.SnapshotSink = func(s relay.Snapshot) {
+			api.Publish(s.Snapshot, feedHealth(s.Feeds))
+		}
+	}
 	rcv, err := relay.OpenReceiver(cfg)
 	if err != nil {
 		return fmt.Errorf("analysis-node recovery: %w", err)
@@ -109,6 +118,10 @@ func runAnalysisNode(addr string, roster []string, p *pipeline.Pipeline, runFor 
 	case <-stop:
 	case <-timeout:
 	}
+	// Serve drain before receiver/pipeline shutdown: readers finish
+	// against the last snapshot and SSE clients get a terminal bye
+	// while the backend is still whole.
+	drainServeTier(api)
 	rcv.Close()
 	<-snapDone
 	printFinal(finalSnap)

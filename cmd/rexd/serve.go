@@ -1,0 +1,64 @@
+// rexd's serving tier: with -serve-addr the daemon exposes the live
+// analysis over HTTP/SSE (internal/serve) in both roles. The standalone
+// collector publishes straight from its snapshot drain loop; the
+// analysis node publishes through the receiver's SnapshotSink, so every
+// served snapshot carries feed health and the serve tier's durable
+// last-snapshot file is covered by the receiver's checkpoint discipline.
+package main
+
+import (
+	"context"
+	"net"
+	"time"
+
+	"rex/internal/obs"
+	"rex/internal/relay"
+	"rex/internal/serve"
+)
+
+// testServeBound, when set by a test, receives the serving tier's bound
+// address (the -serve-addr flag may end in :0).
+var testServeBound func(net.Addr)
+
+// startServeTier builds the serving tier and binds it. dir may be empty
+// (no durable last-snapshot file).
+func startServeTier(addr string, staleAfter time.Duration, dir string) (*serve.Server, error) {
+	api := serve.New(serve.Config{StaleAfter: staleAfter, Dir: dir})
+	bound, err := api.Serve(addr)
+	if err != nil {
+		api.Close()
+		return nil, err
+	}
+	obs.Logf(obs.Info, "rexd", "serving API on http://%s/ (snapshot, picture.svg, components, stream)", bound)
+	if testServeBound != nil {
+		testServeBound(bound)
+	}
+	return api, nil
+}
+
+// drainServeTier gracefully drains the serving tier with a bounded
+// deadline. Called on the shutdown path BEFORE the pipeline is torn
+// down, so in-flight readers finish against the last snapshot and SSE
+// clients get a terminal bye instead of a connection reset.
+func drainServeTier(api *serve.Server) {
+	if api == nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := api.Drain(ctx); err != nil {
+		obs.Logf(obs.Warn, "rexd", "serve drain: %v", err)
+	}
+}
+
+// feedHealth maps the receiver's feed statuses to the serve tier's
+// wire-independent form.
+func feedHealth(feeds []relay.FeedStatus) []serve.FeedHealth {
+	out := make([]serve.FeedHealth, 0, len(feeds))
+	for _, f := range feeds {
+		out = append(out, serve.FeedHealth{
+			ID: f.ID, Connected: f.Connected, Stale: f.Stale, LastHeard: f.LastHeard,
+		})
+	}
+	return out
+}

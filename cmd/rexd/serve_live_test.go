@@ -1,0 +1,316 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rex/internal/core/tamp"
+	"rex/internal/serve"
+	"rex/internal/viz"
+)
+
+func mustAddr(t *testing.T, s string) netip.Addr {
+	t.Helper()
+	a, err := netip.ParseAddr(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func mustPrefix(t *testing.T, s string) netip.Prefix {
+	t.Helper()
+	p, err := netip.ParsePrefix(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// seedLatest writes a durable last-snapshot file into dir, as a
+// previous rexd life would have. The serving tier must restore it and
+// answer degraded reads from it while the (empty) pipeline never
+// publishes.
+func seedLatest(t *testing.T, dir string, seq uint64) {
+	t.Helper()
+	g := tamp.New("drain-test")
+	g.AddRoute(tamp.RouteEntry{
+		Router:  "10.0.0.1",
+		Nexthop: mustAddr(t, "10.0.0.2"),
+		ASPath:  []uint32{65000, 65001},
+		Prefix:  mustPrefix(t, "192.0.2.0/24"),
+	})
+	view := serve.SnapshotView{
+		Seq:     seq,
+		At:      time.Now().Add(-time.Minute).UTC(),
+		Trigger: "tick",
+		Events:  17,
+		Picture: viz.ExportPicture(g.Snapshot(tamp.PruneOptions{KeepDepth: 3})),
+	}
+	b, err := json.Marshal(&view)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "serve-latest.json"), b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// sseFrame reads one SSE event frame.
+func sseFrame(br *bufio.Reader) (event, data string, err error) {
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return "", "", err
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data = strings.TrimPrefix(line, "data: ")
+		case line == "" && event != "":
+			return event, data, nil
+		}
+	}
+}
+
+// TestServeDrainGraceful pins the shutdown ordering contract: the
+// serving tier drains BEFORE the pipeline is torn down, so readers keep
+// getting complete answers until the listener closes and SSE clients
+// get a terminal bye frame — never a connection reset. It also drives
+// degraded mode end to end through rexd: the tier restores the durable
+// last snapshot of a previous life and serves it explicitly stale.
+func TestServeDrainGraceful(t *testing.T) {
+	dir := t.TempDir()
+	seedLatest(t, dir, 3)
+
+	boundCh := make(chan net.Addr, 1)
+	testServeBound = func(a net.Addr) { boundCh <- a }
+	defer func() { testServeBound = nil }()
+
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- run([]string{
+			"-listen", "127.0.0.1:0",
+			"-serve-addr", "127.0.0.1:0",
+			"-journal-dir", dir,
+			"-run-for", "1500ms",
+			"-scan-every", "0",
+			"-log-level", "warn",
+		})
+	}()
+	var addr net.Addr
+	select {
+	case addr = <-boundCh:
+	case err := <-runErr:
+		t.Fatalf("run exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve tier never bound")
+	}
+	base := "http://" + addr.String()
+
+	// Degraded read from the restored snapshot: 200, explicitly stale.
+	resp, err := http.Get(base + "/api/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var view serve.SnapshotView
+	json.NewDecoder(resp.Body).Decode(&view)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("restored read = %d, want 200", resp.StatusCode)
+	}
+	if resp.Header.Get("X-Rex-Stale") != "true" || resp.Header.Get("X-Rex-Stale-Reason") != "restored" {
+		t.Errorf("restored read: stale=%q reason=%q",
+			resp.Header.Get("X-Rex-Stale"), resp.Header.Get("X-Rex-Stale-Reason"))
+	}
+	if view.Seq != 3 || !view.Stale {
+		t.Errorf("restored view: seq=%d stale=%t, want 3 true", view.Seq, view.Stale)
+	}
+	// The picture survived the restart round-trip: SVG renders from it.
+	resp, err = http.Get(base + "/api/picture.svg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("restored picture.svg = %d, want 200", resp.StatusCode)
+	}
+	// Not ready while degraded; alive throughout.
+	resp, err = http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 503 {
+		t.Errorf("readyz while restored = %d, want 503", resp.StatusCode)
+	}
+
+	// Background poller: every read until the listener closes must be a
+	// complete, successful answer — drain means finish in-flight work,
+	// not reset it. 5xx or a mid-body error fails the test.
+	var polls, lastSeq atomic.Int64
+	pollDone := make(chan error, 1)
+	go func() {
+		for {
+			resp, err := http.Get(base + "/api/snapshot")
+			if err != nil {
+				// Listener closed: drain finished. Normal end.
+				pollDone <- nil
+				return
+			}
+			var v serve.SnapshotView
+			decErr := json.NewDecoder(resp.Body).Decode(&v)
+			resp.Body.Close()
+			if resp.StatusCode >= 500 {
+				pollDone <- fmt.Errorf("poll got %d during shutdown", resp.StatusCode)
+				return
+			}
+			if decErr != nil {
+				pollDone <- fmt.Errorf("truncated response mid-drain: %v", decErr)
+				return
+			}
+			polls.Add(1)
+			lastSeq.Store(int64(v.Seq))
+			time.Sleep(20 * time.Millisecond)
+		}
+	}()
+
+	// SSE subscriber: must see hello now and a terminal bye at drain —
+	// an EOF without bye is the old connection-reset behavior.
+	sresp, err := http.Get(base + "/api/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	br := bufio.NewReader(sresp.Body)
+	ev, data, err := sseFrame(br)
+	if err != nil || ev != "hello" {
+		t.Fatalf("first SSE frame = %q (%v), want hello", ev, err)
+	}
+	if !strings.Contains(data, `"seq":3`) || !strings.Contains(data, `"stale":true`) {
+		t.Errorf("hello payload %s, want restored seq 3 stale", data)
+	}
+
+	sawBye := false
+	for {
+		ev, data, err = sseFrame(br)
+		if err != nil {
+			break
+		}
+		if ev == "bye" {
+			sawBye = true
+			if !strings.Contains(data, "drain") {
+				t.Errorf("bye payload %s, want drain reason", data)
+			}
+			break
+		}
+	}
+	if !sawBye {
+		t.Fatalf("SSE stream ended without a bye frame (connection reset instead of drain): %v", err)
+	}
+
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run did not return after drain")
+	}
+	select {
+	case err := <-pollDone:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("poller wedged")
+	}
+	if polls.Load() == 0 {
+		t.Fatal("poller never completed a read")
+	}
+	if lastSeq.Load() != 3 {
+		t.Errorf("last polled seq = %d, want 3 (readers see the final snapshot through drain)", lastSeq.Load())
+	}
+}
+
+// TestServeOnAnalysisNode wires -serve-addr through the relay role: the
+// tier binds, answers liveness, and drains with a bye when the node
+// stops — fed via the receiver's SnapshotSink rather than the pipeline
+// drain loop.
+func TestServeOnAnalysisNode(t *testing.T) {
+	boundCh := make(chan net.Addr, 1)
+	testServeBound = func(a net.Addr) { boundCh <- a }
+	defer func() { testServeBound = nil }()
+
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- run([]string{
+			"-relay-listen", "127.0.0.1:0",
+			"-serve-addr", "127.0.0.1:0",
+			"-run-for", "700ms",
+			"-log-level", "warn",
+		})
+	}()
+	var addr net.Addr
+	select {
+	case addr = <-boundCh:
+	case err := <-runErr:
+		t.Fatalf("run exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve tier never bound")
+	}
+	base := "http://" + addr.String()
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	sresp, err := http.Get(base + "/api/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	br := bufio.NewReader(sresp.Body)
+	if ev, _, err := sseFrame(br); err != nil || ev != "hello" {
+		t.Fatalf("first SSE frame = %q (%v), want hello", ev, err)
+	}
+	sawBye := false
+	for {
+		ev, _, err := sseFrame(br)
+		if err != nil {
+			break
+		}
+		if ev == "bye" {
+			sawBye = true
+			break
+		}
+	}
+	if !sawBye {
+		t.Fatal("analysis-node SSE stream ended without a bye frame")
+	}
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run did not return")
+	}
+}

@@ -1,0 +1,85 @@
+// Command rexload swarms a rexd serving tier (-serve-addr) with
+// concurrent pollers and SSE subscribers, then reports what the tier
+// did under the load: request outcomes (200/304/429/5xx), degraded-mode
+// stale reads, SSE resyncs and byes, and a latency histogram with
+// p50/p90/p99. It is the load half of the serving tier's robustness
+// story — the server half is proved by its own metrics
+// (rex_serve_renders_total staying at one render per snapshot version
+// per format while rex_serve_cache_hits_total absorbs the swarm).
+//
+// A chaos knob makes it a crash drill: -kill-pid sends SIGKILL to the
+// given process (your rexd) -kill-after into the run, so you can watch
+// reads degrade to explicitly-stale answers and recover instead of
+// turning into 5xx. rexload does not restart the victim; pair it with a
+// supervisor (or the serve-soak make target, which drives the full
+// kill/restart cycle).
+//
+// Example:
+//
+//	rexd -listen 127.0.0.1:1790 -serve-addr 127.0.0.1:8080 \
+//	     -journal-dir /tmp/rex -snapshot-every 30s &
+//	bgpsim -scenario flap -replay 127.0.0.1:1790
+//	rexload -addr 127.0.0.1:8080 -pollers 1000 -subs 100 -duration 30s
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"syscall"
+	"time"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rexload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("rexload", flag.ContinueOnError)
+	var (
+		addr      = fs.String("addr", "127.0.0.1:8080", "serving tier address (rexd -serve-addr)")
+		pollers   = fs.Int("pollers", 200, "concurrent snapshot pollers")
+		subs      = fs.Int("subs", 20, "concurrent SSE subscribers")
+		duration  = fs.Duration("duration", 15*time.Second, "swarm duration")
+		pollEvery = fs.Duration("poll-every", 10*time.Millisecond, "per-poller think time between requests")
+		timeout   = fs.Duration("timeout", 10*time.Second, "per-request client timeout")
+		killPID   = fs.Int("kill-pid", 0, "chaos: SIGKILL this pid mid-swarm (0 disables)")
+		killAfter = fs.Duration("kill-after", 3*time.Second, "when -kill-pid is set, kill this long into the run")
+		strict    = fs.Bool("strict", false, "exit non-zero if any 5xx was observed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	base := "http://" + *addr
+	fmt.Printf("rexload: swarming %s with %d pollers + %d SSE subscribers for %s\n",
+		base, *pollers, *subs, *duration)
+
+	ctx := context.Background()
+	if *killPID > 0 {
+		go func() {
+			time.Sleep(*killAfter)
+			fmt.Printf("rexload: chaos: SIGKILL pid %d\n", *killPID)
+			if err := syscall.Kill(*killPID, syscall.SIGKILL); err != nil {
+				fmt.Fprintf(os.Stderr, "rexload: kill %d: %v\n", *killPID, err)
+			}
+		}()
+	}
+
+	rep := runSwarm(ctx, swarmConfig{
+		base:      base,
+		pollers:   *pollers,
+		subs:      *subs,
+		duration:  *duration,
+		pollEvery: *pollEvery,
+		timeout:   *timeout,
+	})
+	rep.print(os.Stdout)
+	if *strict && rep.server5xx.Load() > 0 {
+		return fmt.Errorf("%d server 5xx responses under swarm", rep.server5xx.Load())
+	}
+	return nil
+}

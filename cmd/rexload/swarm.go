@@ -1,0 +1,322 @@
+// Swarm engine for rexload: N pollers rotating over the serving tier's
+// data endpoints plus M SSE subscribers, all against one base URL, with
+// every outcome counted and latencies in a fixed-bucket histogram. The
+// engine is context-driven and has no opinions about chaos — the CLI
+// (and the soak test) inject kills around it and read the report after.
+package main
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// pollEndpoints is the rotation every poller walks; the mix mirrors a
+// dashboard: mostly the cheap JSON, with picture renders in the blend
+// so the single-flight cache is actually exercised per format.
+var pollEndpoints = []string{
+	"/api/snapshot",
+	"/api/picture.svg",
+	"/api/components",
+	"/api/picture.json",
+	"/api/snapshot",
+	"/api/prefix/1.0.0.0/24",
+}
+
+// latencyHist is a lock-free log-bucketed latency histogram:
+// 64 buckets, exponentially spaced from 50µs to ~60s.
+type latencyHist struct {
+	counts [64]atomic.Uint64
+}
+
+const (
+	histMin   = 50e-6 // seconds
+	histRatio = 1.245 // histMin * histRatio^63 ≈ 60s
+)
+
+func (h *latencyHist) observe(d time.Duration) {
+	s := d.Seconds()
+	i := 0
+	if s > histMin {
+		i = int(math.Log(s/histMin) / math.Log(histRatio))
+		if i > 63 {
+			i = 63
+		}
+	}
+	h.counts[i].Add(1)
+}
+
+// quantile returns the upper bound of the bucket holding quantile q.
+func (h *latencyHist) quantile(q float64) time.Duration {
+	var total uint64
+	for i := range h.counts {
+		total += h.counts[i].Load()
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(total))
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum > target {
+			return time.Duration(histMin * math.Pow(histRatio, float64(i+1)) * float64(time.Second))
+		}
+	}
+	return time.Duration(histMin * math.Pow(histRatio, 64) * float64(time.Second))
+}
+
+// render prints the non-empty buckets as an ASCII bar chart.
+func (h *latencyHist) render(w io.Writer) {
+	var max uint64
+	for i := range h.counts {
+		if c := h.counts[i].Load(); c > max {
+			max = c
+		}
+	}
+	if max == 0 {
+		return
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		hi := time.Duration(histMin * math.Pow(histRatio, float64(i+1)) * float64(time.Second))
+		bar := strings.Repeat("#", 1+int(40*c/max))
+		fmt.Fprintf(w, "  <%-10s %8d %s\n", hi.Round(time.Microsecond), c, bar)
+	}
+}
+
+type swarmConfig struct {
+	base      string // http://host:port
+	pollers   int
+	subs      int
+	duration  time.Duration
+	pollEvery time.Duration // per-poller think time between requests
+	timeout   time.Duration // per-request client timeout
+}
+
+// swarmReport is everything the swarm observed. Counter semantics: a
+// request lands in exactly one of ok200/notModified/shed429/clientErr/
+// server5xx/netErr; staleReads additionally counts ok200 responses
+// carrying X-Rex-Stale: true.
+type swarmReport struct {
+	requests    atomic.Uint64
+	ok200       atomic.Uint64
+	notModified atomic.Uint64
+	shed429     atomic.Uint64
+	clientErr   atomic.Uint64 // 4xx other than 429
+	server5xx   atomic.Uint64
+	netErr      atomic.Uint64 // dial/read failures (target down mid-chaos)
+	staleReads  atomic.Uint64
+	readyFlips  atomic.Uint64 // /readyz 503→200 transitions observed
+
+	sseEvents  atomic.Uint64
+	sseResyncs atomic.Uint64
+	sseByes    atomic.Uint64
+	sseDials   atomic.Uint64
+
+	hist latencyHist
+}
+
+func (r *swarmReport) print(w io.Writer) {
+	fmt.Fprintf(w, "rexload: %d requests: %d ok (%d stale), %d not-modified, %d shed(429), %d client-err, %d server-5xx, %d net-err\n",
+		r.requests.Load(), r.ok200.Load(), r.staleReads.Load(), r.notModified.Load(),
+		r.shed429.Load(), r.clientErr.Load(), r.server5xx.Load(), r.netErr.Load())
+	fmt.Fprintf(w, "rexload: sse: %d dials, %d events, %d resyncs, %d byes\n",
+		r.sseDials.Load(), r.sseEvents.Load(), r.sseResyncs.Load(), r.sseByes.Load())
+	fmt.Fprintf(w, "rexload: latency p50=%s p90=%s p99=%s\n",
+		r.hist.quantile(0.50).Round(time.Microsecond),
+		r.hist.quantile(0.90).Round(time.Microsecond),
+		r.hist.quantile(0.99).Round(time.Microsecond))
+	r.hist.render(w)
+}
+
+// runSwarm drives the full swarm until cfg.duration elapses (or ctx is
+// canceled) and returns the observations. Reused verbatim by the soak
+// test, which wraps chaos around it.
+func runSwarm(ctx context.Context, cfg swarmConfig) *swarmReport {
+	if cfg.pollEvery <= 0 {
+		cfg.pollEvery = 10 * time.Millisecond
+	}
+	if cfg.timeout <= 0 {
+		cfg.timeout = 10 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(ctx, cfg.duration)
+	defer cancel()
+
+	rep := &swarmReport{}
+	// One shared transport: the swarm should exercise the server's
+	// admission control, not exhaust client-side ephemeral ports.
+	tr := &http.Transport{
+		MaxIdleConns:        cfg.pollers + cfg.subs,
+		MaxIdleConnsPerHost: cfg.pollers + cfg.subs,
+		IdleConnTimeout:     30 * time.Second,
+	}
+	defer tr.CloseIdleConnections()
+	client := &http.Client{Transport: tr, Timeout: cfg.timeout}
+
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.pollers; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			poller(ctx, client, cfg.base, n, rep, cfg.pollEvery)
+		}(i)
+	}
+	// SSE clients use a client without an overall timeout: the stream is
+	// supposed to outlive any per-request deadline.
+	sseClient := &http.Client{Transport: tr}
+	for i := 0; i < cfg.subs; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			subscriber(ctx, sseClient, cfg.base, rep)
+		}()
+	}
+	wg.Wait()
+	return rep
+}
+
+// poller loops one synthetic dashboard reader: rotate endpoints, track
+// readiness transitions, classify every outcome.
+func poller(ctx context.Context, client *http.Client, base string, n int, rep *swarmReport, every time.Duration) {
+	wasReady := true
+	for j := n; ; j++ {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+		url := base + pollEndpoints[j%len(pollEndpoints)]
+		if j%16 == 15 {
+			url = base + "/readyz"
+		}
+		start := time.Now()
+		req, err := http.NewRequestWithContext(ctx, "GET", url, nil)
+		if err != nil {
+			return
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			rep.requests.Add(1)
+			rep.netErr.Add(1)
+			time.Sleep(every)
+			continue
+		}
+		_, readErr := io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		rep.requests.Add(1)
+		rep.hist.observe(time.Since(start))
+		if strings.HasSuffix(url, "/readyz") {
+			ready := resp.StatusCode == 200
+			if ready && !wasReady {
+				rep.readyFlips.Add(1)
+			}
+			wasReady = ready
+			time.Sleep(every)
+			continue
+		}
+		switch {
+		case readErr != nil:
+			rep.netErr.Add(1)
+		case resp.StatusCode == 200:
+			rep.ok200.Add(1)
+			if resp.Header.Get("X-Rex-Stale") == "true" {
+				rep.staleReads.Add(1)
+			}
+		case resp.StatusCode == http.StatusNotModified:
+			rep.notModified.Add(1)
+		case resp.StatusCode == http.StatusTooManyRequests:
+			rep.shed429.Add(1)
+		case resp.StatusCode >= 500:
+			rep.server5xx.Add(1)
+		default:
+			rep.clientErr.Add(1)
+		}
+		time.Sleep(every)
+	}
+}
+
+// subscriber keeps one SSE stream open, reconnecting after any
+// disconnect (including the target being SIGKILLed) until ctx ends.
+func subscriber(ctx context.Context, client *http.Client, base string, rep *swarmReport) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+		req, err := http.NewRequestWithContext(ctx, "GET", base+"/api/stream", nil)
+		if err != nil {
+			return
+		}
+		rep.sseDials.Add(1)
+		resp, err := client.Do(req)
+		if err != nil {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(100 * time.Millisecond):
+			}
+			continue
+		}
+		if resp.StatusCode != 200 {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(200 * time.Millisecond):
+			}
+			continue
+		}
+		br := bufio.NewReader(resp.Body)
+		for {
+			event, err := readSSEEvent(br)
+			if err != nil {
+				break
+			}
+			switch event {
+			case "resync":
+				rep.sseResyncs.Add(1)
+				rep.sseEvents.Add(1)
+			case "bye":
+				rep.sseByes.Add(1)
+			default:
+				rep.sseEvents.Add(1)
+			}
+		}
+		resp.Body.Close()
+	}
+}
+
+// readSSEEvent reads frames until one complete event; comment-only
+// heartbeats are skipped.
+func readSSEEvent(br *bufio.Reader) (string, error) {
+	event := ""
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return "", err
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case line == "" && event != "":
+			return event, nil
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strings"
+	"time"
 )
 
 // Handler serves the registry over HTTP:
@@ -43,13 +44,24 @@ func Handler(r *Registry) http.Handler {
 
 // Serve listens on addr and serves Handler(r) until the returned
 // server is shut down. It returns once the listener is bound, so the
-// caller can report the bound address (addr may end in :0).
+// caller can report the bound address (addr may end in :0). The server
+// carries header/read/idle timeouts so a stalled scraper cannot pin
+// connections; WriteTimeout stays generous because pprof profile
+// captures legitimately stream for tens of seconds. Prefer a graceful
+// srv.Shutdown over srv.Close at teardown so an in-flight scrape
+// finishes.
 func Serve(addr string, r *Registry) (*http.Server, net.Addr, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, nil, err
 	}
-	srv := &http.Server{Handler: Handler(r)}
+	srv := &http.Server{
+		Handler:           Handler(r),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	go srv.Serve(ln)
 	return srv, ln.Addr(), nil
 }

@@ -33,6 +33,10 @@ var (
 		"Events released by the merge gate into the analysis pipeline.")
 	mBuffered = obs.NewGauge("rex_relay_buffered_events",
 		"Events buffered across all feeds awaiting merge release.")
+	mSinkPanics = obs.NewCounter("rex_relay_sink_panics_total",
+		"SnapshotSink panics recovered on the drain goroutine (the snapshot still flows downstream).")
+	mSinkWedged = obs.NewCounter("rex_relay_sink_wedged_total",
+		"Shutdowns that abandoned a SnapshotSink wedged past SinkTimeout.")
 
 	// Analysis-node durability (receiver persistence; see persist.go).
 	mDurableSeq = obs.NewGaugeVec("rex_relay_durable_seq", "feed",

@@ -69,10 +69,28 @@ type ReceiverConfig struct {
 	// has returned for every snapshot the checkpoint's cut covers.
 	// That closes the loss window for consumers that persist snapshots
 	// — a crash can only take snapshots no checkpoint ever covered,
-	// which a restarted node re-emits. The sink runs on the snapshot
-	// drain goroutine; keep it fast and never call back into the
-	// receiver from it.
+	// which a restarted node re-emits.
+	//
+	// The contract, precisely: the sink runs on the snapshot drain
+	// goroutine, so its latency directly gates checkpointing — that
+	// blocking is BY DESIGN, it is what makes a checkpoint's cut cover
+	// only sink-durable snapshots. Keep it fast, never call back into
+	// the receiver from it, and never block it on the receiver's own
+	// consumers. The receiver defends itself against a misbehaving
+	// sink: a panic is recovered, counted in
+	// rex_relay_sink_panics_total, and treated as "sunk" (the snapshot
+	// still flows to Snapshots()); a sink wedged past SinkTimeout at
+	// shutdown is abandoned (rex_relay_sink_wedged_total) so Close
+	// returns instead of deadlocking. A wedged sink still stalls
+	// periodic checkpoints — see the sink-durability wait in
+	// checkpoint() — which is the designed failure mode: no durable
+	// cut may cover an un-sunk snapshot.
 	SnapshotSink func(Snapshot)
+	// SinkTimeout bounds how long Close/Abort wait for an in-flight
+	// SnapshotSink call before abandoning it (default 10s). Snapshots()
+	// still closes only after the sink returns; abandonment only
+	// unblocks shutdown.
+	SinkTimeout time.Duration
 }
 
 func (c ReceiverConfig) withDefaults() ReceiverConfig {
@@ -90,6 +108,9 @@ func (c ReceiverConfig) withDefaults() ReceiverConfig {
 	}
 	if c.WriteTimeout <= 0 {
 		c.WriteTimeout = 10 * time.Second
+	}
+	if c.SinkTimeout <= 0 {
+		c.SinkTimeout = 10 * time.Second
 	}
 	if c.Dir != "" {
 		if c.CheckpointEvery <= 0 {
@@ -151,6 +172,12 @@ type Receiver struct {
 	// checkpoint compares it against the pipeline's emitted count so a
 	// durable cut never covers a snapshot the sink hasn't written yet.
 	sunk atomic.Uint64
+
+	// abandoned is set when shutdown gave up waiting for a wedged
+	// SnapshotSink; the drain goroutine stops forwarding to snaps (its
+	// consumer is gone) and snaps is closed by the straggler watcher
+	// once the sink finally returns.
+	abandoned atomic.Bool
 
 	ln        net.Listener
 	snaps     chan Snapshot
@@ -293,8 +320,7 @@ func (r *Receiver) Close() {
 			}
 		}
 		r.cfg.Pipeline.Close()
-		r.drainWG.Wait()
-		close(r.snaps)
+		r.waitSinkDrain()
 		if r.pers != nil {
 			if err := r.pers.w.Close(); err != nil {
 				obs.Logf(obs.Error, "relay", "merged journal close: %v", err)
@@ -324,12 +350,39 @@ func (r *Receiver) Abort() {
 		r.mu.Unlock()
 		r.wg.Wait()
 		r.cfg.Pipeline.Close()
-		r.drainWG.Wait()
-		close(r.snaps)
+		r.waitSinkDrain()
 		if r.pers != nil {
 			r.pers.w.Close()
 		}
 	})
+}
+
+// waitSinkDrain waits for the snapshot drain goroutine (and therefore
+// any in-flight SnapshotSink call) to finish, then closes Snapshots().
+// A sink wedged past SinkTimeout is abandoned so shutdown stays
+// bounded: the drain goroutine is flagged to stop forwarding, and a
+// watcher closes snaps whenever the sink finally returns — the channel
+// still never closes with a send in flight.
+func (r *Receiver) waitSinkDrain() {
+	done := make(chan struct{})
+	go func() {
+		r.drainWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		close(r.snaps)
+	case <-time.After(r.cfg.SinkTimeout):
+		r.abandoned.Store(true)
+		mSinkWedged.Inc()
+		obs.Logf(obs.Error, "relay",
+			"snapshot sink wedged for %v at shutdown; abandoning it (snapshots since last durable cut may be lost)",
+			r.cfg.SinkTimeout)
+		go func() {
+			<-done
+			close(r.snaps)
+		}()
+	}
 }
 
 func (r *Receiver) drainSnapshots() {
@@ -339,15 +392,34 @@ func (r *Receiver) drainSnapshots() {
 		feeds := r.statusesLocked()
 		r.mu.Unlock()
 		wrapped := Snapshot{Snapshot: s, Feeds: feeds}
-		if r.cfg.SnapshotSink != nil {
-			r.cfg.SnapshotSink(wrapped)
-		}
+		r.safeSink(wrapped)
 		// Counted after the sink returns, before the (possibly
 		// blocking) forward: checkpoint's sink-durability wait must not
 		// depend on the Snapshots() consumer keeping pace.
 		r.sunk.Add(1)
+		if r.abandoned.Load() {
+			// Shutdown gave up on a wedged sink; nobody is draining
+			// snaps anymore, so forwarding would block forever.
+			continue
+		}
 		r.snaps <- wrapped
 	}
+}
+
+// safeSink runs the configured SnapshotSink, converting a panic into a
+// counted, logged error: one bad snapshot must not take down the drain
+// goroutine and with it the whole receiver shutdown path.
+func (r *Receiver) safeSink(s Snapshot) {
+	if r.cfg.SnapshotSink == nil {
+		return
+	}
+	defer func() {
+		if v := recover(); v != nil {
+			mSinkPanics.Inc()
+			obs.Logf(obs.Error, "relay", "snapshot sink panicked (snapshot still forwarded): %v", v)
+		}
+	}()
+	r.cfg.SnapshotSink(s)
 }
 
 func (r *Receiver) statusesLocked() []FeedStatus {

@@ -1,0 +1,112 @@
+package relay
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rex/internal/core/pipeline"
+)
+
+func sinkTestPipeline() *pipeline.Pipeline {
+	return pipeline.New(pipeline.Config{
+		Window: time.Minute,
+		Site:   "sink-test",
+	})
+}
+
+// TestSinkPanicRecovered: a panicking SnapshotSink must not kill the
+// drain goroutine — the snapshot still reaches Snapshots() and Close
+// still completes.
+func TestSinkPanicRecovered(t *testing.T) {
+	panics0 := mSinkPanics.Value()
+	var calls atomic.Int64
+	rcv := NewReceiver(ReceiverConfig{
+		Pipeline:    sinkTestPipeline(),
+		ExpectFeeds: []string{"f1"},
+		SnapshotSink: func(Snapshot) {
+			calls.Add(1)
+			panic("sink exploded")
+		},
+	})
+	var got atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range rcv.Snapshots() {
+			got.Add(1)
+		}
+	}()
+	closed := make(chan struct{})
+	go func() {
+		rcv.Close() // emits the TriggerFinal snapshot through the sink
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close deadlocked behind a panicking sink")
+	}
+	<-done
+	if calls.Load() == 0 {
+		t.Fatal("sink never called")
+	}
+	if got.Load() == 0 {
+		t.Error("snapshot not forwarded after sink panic")
+	}
+	if d := mSinkPanics.Value() - panics0; d != uint64(calls.Load()) {
+		t.Errorf("rex_relay_sink_panics_total moved by %d, want %d", d, calls.Load())
+	}
+}
+
+// TestWedgedSinkCannotDeadlockClose is the shutdown bound: a sink that
+// never returns is abandoned after SinkTimeout, Close returns, and
+// Snapshots() still closes (only) once the sink does.
+func TestWedgedSinkCannotDeadlockClose(t *testing.T) {
+	wedged0 := mSinkWedged.Value()
+	unblock := make(chan struct{})
+	entered := make(chan struct{}, 4)
+	rcv := NewReceiver(ReceiverConfig{
+		Pipeline:    sinkTestPipeline(),
+		ExpectFeeds: []string{"f1"},
+		SinkTimeout: 100 * time.Millisecond,
+		SnapshotSink: func(Snapshot) {
+			entered <- struct{}{}
+			<-unblock // wedged until the test releases it
+		},
+	})
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for range rcv.Snapshots() {
+		}
+	}()
+
+	closed := make(chan struct{})
+	go func() {
+		rcv.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not return: wedged sink deadlocked shutdown")
+	}
+	if d := mSinkWedged.Value() - wedged0; d != 1 {
+		t.Errorf("rex_relay_sink_wedged_total moved by %d, want 1", d)
+	}
+	// Snapshots() must still be open — it may only close after the sink
+	// actually returns, so the channel never closes under a send.
+	select {
+	case <-drained:
+		t.Fatal("Snapshots() closed while the sink was still wedged")
+	case <-time.After(50 * time.Millisecond):
+	}
+	<-entered
+	close(unblock)
+	select {
+	case <-drained:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Snapshots() never closed after the sink returned")
+	}
+}

@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// renderCache is the versioned single-flight render cache: renders are
+// keyed by (snapshot seq, format, stale flag), the first requester of a
+// key executes the render while every concurrent requester waits on the
+// same entry, and publishing a new snapshot evicts every entry of older
+// versions. The effect under load is O(1) render work per snapshot
+// version per format no matter how many readers are polling — the
+// property the rexload swarm asserts via rex_serve_renders_total.
+//
+// The stale flag is part of the key only for formats whose bytes embed
+// the staleness marker (the snapshot JSON); pure picture renders pass a
+// constant so a degraded-mode flip cannot double their render count.
+type renderCache struct {
+	mu      sync.Mutex
+	seq     uint64
+	entries map[renderKey]*renderEntry
+}
+
+type renderKey struct {
+	seq    uint64
+	format string
+	stale  bool
+}
+
+// renderEntry is one in-flight or finished render. ready is closed once
+// data/ctype/err are final.
+type renderEntry struct {
+	ready chan struct{}
+	data  []byte
+	ctype string
+	err   error
+}
+
+func newRenderCache() *renderCache {
+	return &renderCache{entries: make(map[renderKey]*renderEntry)}
+}
+
+// advance moves the cache to a new snapshot version, evicting every
+// entry of older versions. In-flight readers of an evicted entry keep
+// their pointer and finish normally; the entry is simply no longer
+// findable.
+func (c *renderCache) advance(seq uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq = seq
+	for k := range c.entries {
+		if k.seq != seq {
+			delete(c.entries, k)
+		}
+	}
+}
+
+// get returns the render for key, executing render exactly once per key
+// across all concurrent callers. The creating caller renders inline (a
+// panic is converted into the entry's error so waiters are released);
+// waiters respect ctx and bail with its error on timeout.
+func (c *renderCache) get(ctx context.Context, key renderKey, render func() ([]byte, string, error)) ([]byte, string, error) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &renderEntry{ready: make(chan struct{})}
+		c.entries[key] = e
+		c.mu.Unlock()
+		mRenders.With(key.format).Inc()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					e.err = fmt.Errorf("render %s: panic: %v", key.format, r)
+				}
+				close(e.ready)
+			}()
+			e.data, e.ctype, e.err = render()
+		}()
+		return e.data, e.ctype, e.err
+	}
+	c.mu.Unlock()
+	mCacheHits.With(key.format).Inc()
+	select {
+	case <-e.ready:
+		return e.data, e.ctype, e.err
+	case <-ctx.Done():
+		return nil, "", ctx.Err()
+	}
+}

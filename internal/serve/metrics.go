@@ -1,0 +1,52 @@
+package serve
+
+import "rex/internal/obs"
+
+// Serving-tier metrics. The load story an operator reads during an
+// incident: rex_serve_shed_total rising means the admission gate is
+// holding the line (readers get 429 + Retry-After instead of queueing),
+// rex_serve_cache_hits_total dwarfing rex_serve_renders_total proves
+// the single-flight cache is absorbing the reader fan-out, and
+// rex_serve_degraded at 1 with rex_serve_stale_reads_total moving means
+// the tier is answering from the last durable snapshot while the
+// pipeline recovers.
+var (
+	mRequests = obs.NewCounterVec("rex_serve_requests_total", "route",
+		"HTTP requests received, by route.")
+	mShed = obs.NewCounter("rex_serve_shed_total",
+		"Requests shed with 429 + Retry-After past the admission high-water mark.")
+	mInFlight = obs.NewGauge("rex_serve_inflight_requests",
+		"Admission-controlled requests currently in flight.")
+	mLatency = obs.NewHistogram("rex_serve_request_seconds",
+		"Admission-to-response latency of data requests.", nil)
+	mRenders = obs.NewCounterVec("rex_serve_renders_total", "format",
+		"Snapshot renders actually executed — cache misses; at most one per (snapshot, format).")
+	mCacheHits = obs.NewCounterVec("rex_serve_cache_hits_total", "format",
+		"Requests answered from the render cache without rendering.")
+	mStaleReads = obs.NewCounter("rex_serve_stale_reads_total",
+		"Degraded-mode reads: responses served from a stale snapshot instead of failing.")
+	mNotModified = obs.NewCounter("rex_serve_not_modified_total",
+		"Conditional requests answered 304 from the snapshot-version ETag.")
+	mPublished = obs.NewCounter("rex_serve_published_total",
+		"Snapshots accepted from the publisher.")
+	mPublishDropped = obs.NewCounter("rex_serve_publish_dropped_total",
+		"Snapshots dropped at the publish buffer (latest wins when the serve loop lags).")
+	mSnapshotSeq = obs.NewGauge("rex_serve_snapshot_seq",
+		"Version of the snapshot currently served (0 before the first publish).")
+	mDegraded = obs.NewGauge("rex_serve_degraded",
+		"1 while reads are served in degraded (stale) mode.")
+	mSSEClients = obs.NewGauge("rex_serve_sse_clients",
+		"Live SSE subscribers.")
+	mSSEDropped = obs.NewCounter("rex_serve_sse_dropped_total",
+		"SSE events dropped to slow subscribers (each run of drops ends in a resync event).")
+	mSSEResyncs = obs.NewCounter("rex_serve_sse_resyncs_total",
+		"Resync events sent to subscribers that missed snapshots.")
+	mSSEEvicted = obs.NewCounter("rex_serve_sse_evicted_total",
+		"SSE subscribers evicted for stalled or failed writes.")
+	mSSERejected = obs.NewCounter("rex_serve_sse_rejected_total",
+		"SSE subscriptions rejected at the client cap.")
+	mPersistErrors = obs.NewCounter("rex_serve_persist_errors_total",
+		"Failures writing the durable last-snapshot file.")
+	mRestored = obs.NewCounter("rex_serve_restored_total",
+		"Startups that restored a durable last-snapshot to serve while degraded.")
+)

@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"rex/internal/viz"
+)
+
+// latestFile is the durable last-snapshot file inside Config.Dir. The
+// name is deliberately outside the journal/checkpoint namespaces
+// (journal-*.rexj, checkpoint-*.rexc) so the file can live in the
+// journal directory without the recovery scanner ever touching it.
+const latestFile = "serve-latest.json"
+
+// storeLatest atomically replaces Dir/serve-latest.json with the given
+// view (tmp + rename, same-directory so the rename cannot cross
+// filesystems). No fsync: this is a freshness optimization for restart
+// recovery, not a correctness journal — losing the very last snapshot
+// on power failure just means one more 503 before the pipeline
+// republishes.
+func storeLatest(dir string, v *SnapshotView) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("marshal snapshot view: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, latestFile+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), filepath.Join(dir, latestFile))
+}
+
+// loadLatest restores the durable last snapshot, rebuilding the TAMP
+// picture from its JSON export so SVG/DOT renders work on the restored
+// state too. Returns (nil, nil) when no file exists. The restored entry
+// keeps its persisted seq, so versions stay monotonic across restarts
+// and a client's cached ETag from the previous life stays coherent.
+func loadLatest(dir string) (*published, error) {
+	b, err := os.ReadFile(filepath.Join(dir, latestFile))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var v SnapshotView
+	if err := json.Unmarshal(b, &v); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", latestFile, err)
+	}
+	if v.Seq == 0 {
+		v.Seq = 1
+	}
+	// The stored view is staleness-free by construction, but scrub the
+	// fields anyway in case the file was hand-edited: staleness is
+	// always stamped at read time.
+	v.Stale, v.StaleReason = false, ""
+	return &published{
+		seq:      v.Seq,
+		view:     v,
+		pic:      viz.PictureFromJSON(v.Picture),
+		restored: true,
+	}, nil
+}

@@ -1,0 +1,388 @@
+// Package serve is the operator-facing serving tier: an HTTP/SSE API
+// over the analysis pipeline that serves the latest TAMP picture
+// (SVG/JSON/DOT), the Stemming components, per-prefix drill-downs, and
+// a live snapshot stream. The paper's output is only useful if an
+// operator can look at it while an anomaly is unfolding — which is
+// exactly when both the pipeline and the reader fan-out are at their
+// heaviest — so the tier is engineered to degrade instead of failing:
+//
+//   - A versioned single-flight render cache (renderCache) makes any
+//     number of concurrent readers cost one render per snapshot version
+//     per format.
+//   - Admission control bounds in-flight data requests; past the
+//     high-water mark requests are shed with 429 + Retry-After rather
+//     than queueing without bound.
+//   - SSE subscribers get bounded queues with drop-oldest + an explicit
+//     resync event; a stalled reader is evicted on its next failed
+//     write and can never backpressure the publish loop.
+//   - Degraded mode: while the pipeline is recovering, replaying, or
+//     wedged, reads are answered from the last durable snapshot with
+//     explicit staleness metadata (X-Rex-Stale header + "stale" JSON
+//     field) instead of blocking or 500ing; /healthz (liveness) and
+//     /readyz (pipeline-caught-up) gate traffic.
+//   - Graceful drain: Drain stops accepting, finishes in-flight
+//     requests within the caller's deadline, and closes SSE streams
+//     with a terminal "bye" event.
+//
+// The publisher side (Publish) never blocks: snapshots land in a small
+// latest-wins buffer, so a synchronous snapshot source — the relay
+// receiver's SnapshotSink, whose latency gates checkpointing — is
+// decoupled from HTTP consumers by construction. See DESIGN.md §14.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"rex/internal/core/pipeline"
+	"rex/internal/core/tamp"
+	"rex/internal/obs"
+)
+
+// Config tunes the serving tier. The zero value is usable.
+type Config struct {
+	// StaleAfter marks the served snapshot stale once it is older than
+	// this (wall clock since it was published to the tier). 0 disables
+	// age-based staleness: only a restored-from-disk snapshot (or no
+	// snapshot at all) degrades reads. Set it to a small multiple of
+	// the snapshot cadence when the pipeline ticks on wall-paced event
+	// time, so a wedged pipeline flips /readyz instead of silently
+	// serving history.
+	StaleAfter time.Duration
+	// MaxInFlight is the admission high-water mark: data requests in
+	// flight beyond it are shed with 429 + Retry-After (default 64).
+	MaxInFlight int
+	// MaxSSEClients caps live SSE subscribers (default 256).
+	MaxSSEClients int
+	// SSEQueue is each subscriber's bounded event queue (default 8);
+	// overflow drops the oldest event and schedules a resync event.
+	SSEQueue int
+	// SSEHeartbeat paces comment-line keepalives on SSE streams so dead
+	// clients are detected and evicted (default 10s).
+	SSEHeartbeat time.Duration
+	// WriteTimeout is the per-write deadline applied to every response
+	// write, SSE frames included (default 10s). The http.Server's
+	// WriteTimeout stays 0 on purpose — it would kill long-lived SSE
+	// streams — so this is the slow-consumer bound.
+	WriteTimeout time.Duration
+	// RequestTimeout is the per-request deadline for data endpoints
+	// (default 15s); a request that cannot render in time is released
+	// with 503 rather than held.
+	RequestTimeout time.Duration
+	// PublishBuffer is the depth of the latest-wins publish buffer
+	// (default 16).
+	PublishBuffer int
+	// Dir, when set, persists the latest snapshot view atomically to
+	// Dir/serve-latest.json after each publish, and restores it at
+	// startup: a freshly restarted process answers reads from the last
+	// durable snapshot — marked stale — until the pipeline publishes a
+	// live one. Safe to share with a journal directory (the journal
+	// scanner ignores foreign file names).
+	Dir string
+
+	// now is the clock, a test hook.
+	now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 64
+	}
+	if c.MaxSSEClients <= 0 {
+		c.MaxSSEClients = 256
+	}
+	if c.SSEQueue <= 0 {
+		c.SSEQueue = 8
+	}
+	if c.SSEHeartbeat <= 0 {
+		c.SSEHeartbeat = 10 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 15 * time.Second
+	}
+	if c.PublishBuffer <= 0 {
+		c.PublishBuffer = 16
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// update is one unit of publisher work.
+type update struct {
+	snap  pipeline.Snapshot
+	feeds []FeedHealth
+}
+
+// published is the snapshot the tier currently serves.
+type published struct {
+	seq  uint64
+	view SnapshotView // staleness-free; stamped per read
+	pic  *tamp.Picture
+	// recvAt is when the tier received it (wall clock) — the age base.
+	recvAt time.Time
+	// restored marks a snapshot loaded from the durable file at
+	// startup: always served as stale until a live publish replaces it.
+	restored bool
+}
+
+// Server is the serving tier. Create with New, feed with Publish, mount
+// Handler (or let Serve bind a listener), and Drain on shutdown.
+type Server struct {
+	cfg    Config
+	cache  *renderCache
+	broker *broker
+	sem    chan struct{}
+
+	updates  chan update
+	stop     chan struct{}
+	stopOnce sync.Once
+	loopDone chan struct{}
+
+	// drain is closed when Drain begins: /readyz flips 503 and SSE
+	// writers send their terminal "bye" event and return.
+	drain     chan struct{}
+	drainOnce sync.Once
+
+	mu  sync.RWMutex
+	cur *published
+
+	srv *http.Server
+}
+
+// New builds a server and, when cfg.Dir is set, restores the last
+// durable snapshot so reads degrade instead of 503ing while the
+// pipeline warms back up.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		cache:    newRenderCache(),
+		broker:   newBroker(cfg.SSEQueue, cfg.MaxSSEClients),
+		sem:      make(chan struct{}, cfg.MaxInFlight),
+		updates:  make(chan update, cfg.PublishBuffer),
+		stop:     make(chan struct{}),
+		loopDone: make(chan struct{}),
+		drain:    make(chan struct{}),
+	}
+	if cfg.Dir != "" {
+		if p, err := loadLatest(cfg.Dir); err == nil && p != nil {
+			s.cur = p
+			s.cache.advance(p.seq)
+			mRestored.Inc()
+			mSnapshotSeq.Set(int64(p.seq))
+			obs.Logf(obs.Info, "serve", "restored durable snapshot seq=%d at=%s; serving degraded until the pipeline catches up",
+				p.seq, p.view.At.Format(time.RFC3339))
+		} else if err != nil {
+			obs.Logf(obs.Warn, "serve", "durable snapshot restore: %v", err)
+		}
+	}
+	go s.loop()
+	return s
+}
+
+// Publish hands the tier a new snapshot. It never blocks: when the
+// serve loop lags, the oldest buffered snapshot is dropped (latest
+// wins, counted in rex_serve_publish_dropped_total). Safe from any
+// goroutine, including synchronous snapshot sinks on checkpoint-
+// critical paths.
+func (s *Server) Publish(snap pipeline.Snapshot, feeds []FeedHealth) {
+	u := update{snap: snap, feeds: feeds}
+	for {
+		select {
+		case <-s.stop:
+			return
+		case s.updates <- u:
+			return
+		default:
+		}
+		select {
+		case <-s.updates:
+			mPublishDropped.Inc()
+		default:
+		}
+	}
+}
+
+func (s *Server) loop() {
+	defer close(s.loopDone)
+	for {
+		select {
+		case <-s.stop:
+			return
+		case u := <-s.updates:
+			s.apply(u)
+		}
+	}
+}
+
+// apply installs one published snapshot: version it, swap it in, evict
+// stale cache entries, persist it, and fan it out to SSE subscribers.
+func (s *Server) apply(u update) {
+	s.mu.Lock()
+	seq := uint64(1)
+	if s.cur != nil {
+		seq = s.cur.seq + 1
+	}
+	p := &published{
+		seq:    seq,
+		view:   viewOf(seq, &u.snap, u.feeds),
+		pic:    u.snap.Picture,
+		recvAt: s.cfg.now(),
+	}
+	if p.pic == nil {
+		p.pic = &tamp.Picture{Site: "unknown"}
+	}
+	s.cur = p
+	s.mu.Unlock()
+	mPublished.Inc()
+	mSnapshotSeq.Set(int64(seq))
+	s.cache.advance(seq)
+	if s.cfg.Dir != "" {
+		if err := storeLatest(s.cfg.Dir, &p.view); err != nil {
+			mPersistErrors.Inc()
+			obs.Logf(obs.Warn, "serve", "persist latest snapshot: %v", err)
+		}
+	}
+	s.broker.broadcast(sseMsg{event: "snapshot", data: summaryJSON(p, false, "")})
+}
+
+// summary is the compact SSE payload: enough for a dashboard to update
+// its headline and decide whether to re-fetch the full snapshot.
+type summary struct {
+	Seq         uint64     `json:"seq"`
+	At          time.Time  `json:"at"`
+	Trigger     string     `json:"trigger"`
+	Events      int        `json:"events"`
+	Components  int        `json:"components"`
+	Spike       *SpikeView `json:"spike,omitempty"`
+	Stale       bool       `json:"stale"`
+	StaleReason string     `json:"staleReason,omitempty"`
+}
+
+func summaryJSON(p *published, stale bool, reason string) []byte {
+	b, _ := json.Marshal(summary{
+		Seq: p.seq, At: p.view.At, Trigger: p.view.Trigger,
+		Events: p.view.Events, Components: len(p.view.Components),
+		Spike: p.view.Spike, Stale: stale, StaleReason: reason,
+	})
+	return b
+}
+
+// healthState is the per-read degraded-mode decision.
+type healthState struct {
+	stale    bool
+	reason   string // non-empty iff stale
+	draining bool
+}
+
+// health snapshots the current serving state. Reads are degraded (but
+// still answered) while the snapshot is restored-from-disk or too old;
+// they are refused (503) only when there is nothing to serve at all.
+func (s *Server) health(now time.Time) (*published, healthState) {
+	s.mu.RLock()
+	cur := s.cur
+	s.mu.RUnlock()
+	var h healthState
+	select {
+	case <-s.drain:
+		h.draining = true
+	default:
+	}
+	switch {
+	case cur == nil:
+		h.stale, h.reason = true, "no-snapshot"
+	case cur.restored:
+		h.stale, h.reason = true, "restored"
+	case s.cfg.StaleAfter > 0 && now.Sub(cur.recvAt) > s.cfg.StaleAfter:
+		h.stale, h.reason = true, "stale"
+	}
+	if h.stale {
+		mDegraded.Set(1)
+	} else {
+		mDegraded.Set(0)
+	}
+	return cur, h
+}
+
+// Ready reports whether the tier would answer /readyz with 200: a live,
+// fresh snapshot and not draining.
+func (s *Server) Ready() bool {
+	_, h := s.health(s.cfg.now())
+	return !h.stale && !h.draining
+}
+
+// Serve binds addr and serves Handler on it until Drain (or Close). It
+// returns once the listener is bound so the caller can report the
+// address (addr may end in :0). Header-read, full-read and idle
+// timeouts are set on the http.Server; the write path is bounded
+// per-write instead (see Config.WriteTimeout).
+func (s *Server) Serve(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.srv = &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	go s.srv.Serve(ln)
+	return ln.Addr(), nil
+}
+
+// Drain is the graceful shutdown: stop accepting new connections, flip
+// /readyz to 503, close every SSE stream with a terminal "bye" event,
+// and wait for in-flight requests to finish — until ctx expires, at
+// which point remaining connections are closed hard. Call it BEFORE
+// tearing down the pipeline, so draining readers still see a final
+// snapshot instead of a connection reset. Idempotent.
+func (s *Server) Drain(ctx context.Context) error {
+	s.drainOnce.Do(func() { close(s.drain) })
+	var err error
+	if s.srv != nil {
+		err = s.srv.Shutdown(ctx)
+		if err != nil {
+			s.srv.Close()
+		}
+	}
+	s.stopOnce.Do(func() { close(s.stop) })
+	<-s.loopDone
+	return err
+}
+
+// Close is Drain with a short internal deadline, for tests and error
+// paths.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return s.Drain(ctx)
+}
+
+// Seq returns the currently served snapshot version (0 = none).
+func (s *Server) Seq() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.cur == nil {
+		return 0
+	}
+	return s.cur.seq
+}
+
+// latestView returns a copy of the current view with staleness stamped,
+// the body /api/snapshot renders.
+func (p *published) stampedView(h healthState) SnapshotView {
+	v := p.view
+	v.Stale = h.stale
+	v.StaleReason = h.reason
+	return v
+}

@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// sseMsg is one pre-rendered server-sent event: the event name and the
+// single-line JSON data payload.
+type sseMsg struct {
+	event string
+	data  []byte
+}
+
+// sseClient is one subscriber's bounded queue. The broadcaster never
+// blocks on it: when the queue is full the oldest event is dropped and
+// the client is marked for resync, so one stalled reader can never
+// backpressure the publish loop (and transitively the pipeline).
+type sseClient struct {
+	ch chan sseMsg
+	// resync is set when events were dropped; the writer loop turns the
+	// next delivered event into an explicit "resync" event so the
+	// client knows its view has a gap and should re-fetch
+	// /api/snapshot. Guarded by the broker mutex.
+	resync bool
+}
+
+// broker fans published events out to SSE subscribers.
+type broker struct {
+	mu      sync.Mutex
+	clients map[*sseClient]struct{}
+	queue   int // per-client channel depth
+	max     int // subscriber cap
+}
+
+func newBroker(queue, max int) *broker {
+	return &broker{clients: make(map[*sseClient]struct{}), queue: queue, max: max}
+}
+
+// add registers a subscriber; ok is false at the client cap.
+func (b *broker) add() (*sseClient, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.clients) >= b.max {
+		return nil, false
+	}
+	c := &sseClient{ch: make(chan sseMsg, b.queue)}
+	b.clients[c] = struct{}{}
+	mSSEClients.Set(int64(len(b.clients)))
+	return c, true
+}
+
+func (b *broker) remove(c *sseClient) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.clients, c)
+	mSSEClients.Set(int64(len(b.clients)))
+}
+
+// count returns the live subscriber count.
+func (b *broker) count() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.clients)
+}
+
+// broadcast enqueues m for every subscriber without ever blocking:
+// drop-oldest on a full queue, then push. The broker mutex serializes
+// broadcasts, so the two-step drain-then-send cannot livelock.
+func (b *broker) broadcast(m sseMsg) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for c := range b.clients {
+		select {
+		case c.ch <- m:
+			continue
+		default:
+		}
+		// Full: evict the oldest queued event to make room. Only the
+		// broadcaster (serialized by b.mu) sends on c.ch, so after one
+		// drain the send cannot fail — but guard anyway.
+		select {
+		case <-c.ch:
+			mSSEDropped.Inc()
+			c.resync = true
+		default:
+		}
+		select {
+		case c.ch <- m:
+		default:
+			mSSEDropped.Inc()
+			c.resync = true
+		}
+	}
+}
+
+// nextEvent pops the resync mark for c, renaming the event if the
+// client missed anything since the last delivery.
+func (b *broker) nextEvent(c *sseClient, m sseMsg) sseMsg {
+	b.mu.Lock()
+	missed := c.resync
+	c.resync = false
+	b.mu.Unlock()
+	if missed {
+		mSSEResyncs.Inc()
+		m.event = "resync"
+	}
+	return m
+}
+
+// writeSSE writes one event frame and flushes it, under a per-write
+// deadline so a stalled consumer turns into a write error (and an
+// eviction) instead of a wedged goroutine.
+func writeSSE(w http.ResponseWriter, rc *http.ResponseController, deadline time.Duration, m sseMsg) error {
+	if err := rc.SetWriteDeadline(time.Now().Add(deadline)); err != nil && err != http.ErrNotSupported {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", m.event, m.data); err != nil {
+		return err
+	}
+	return rc.Flush()
+}
+
+// writeSSEComment writes a heartbeat comment line under the same
+// deadline discipline.
+func writeSSEComment(w http.ResponseWriter, rc *http.ResponseController, deadline time.Duration) error {
+	if err := rc.SetWriteDeadline(time.Now().Add(deadline)); err != nil && err != http.ErrNotSupported {
+		return err
+	}
+	if _, err := fmt.Fprint(w, ": hb\n\n"); err != nil {
+		return err
+	}
+	return rc.Flush()
+}

@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"time"
+
+	"rex/internal/core/pipeline"
+	"rex/internal/core/stemming"
+	"rex/internal/viz"
+)
+
+// SnapshotView is the JSON document /api/snapshot serves — a full
+// operator-facing rendering of one pipeline snapshot. The schema is
+// stable; field names are part of the format. Stale and StaleReason are
+// the degraded-mode markers: set whenever the tier is answering from a
+// snapshot it cannot vouch is current (restored from disk after a
+// crash, or older than the configured freshness bound). The same view,
+// marshalled, is the durable last-snapshot file.
+type SnapshotView struct {
+	// Seq is the serve-side snapshot version: it increments once per
+	// published snapshot and keys the render cache and ETags. It is
+	// process-local — a restart restarts it at 1.
+	Seq     uint64    `json:"seq"`
+	At      time.Time `json:"at"`
+	Trigger string    `json:"trigger"`
+
+	WindowStart time.Time `json:"windowStart"`
+	WindowEnd   time.Time `json:"windowEnd"`
+	Events      int       `json:"events"`
+
+	Stale       bool   `json:"stale"`
+	StaleReason string `json:"staleReason,omitempty"`
+
+	Spike      *SpikeView      `json:"spike,omitempty"`
+	Feeds      []FeedHealth    `json:"feeds,omitempty"`
+	Components []ComponentView `json:"components"`
+	Picture    viz.PictureJSON `json:"picture"`
+}
+
+// SpikeView is the rate spike that triggered a spike snapshot.
+type SpikeView struct {
+	Start time.Time `json:"start"`
+	End   time.Time `json:"end"`
+	Total int       `json:"total"`
+	Peak  int       `json:"peak"`
+}
+
+// FeedHealth is the serve-side mirror of a relay feed's status, carried
+// on analysis-node snapshots so the UI can show which vantage points
+// the picture is currently blind to. Defined here rather than imported
+// so the serve tier stays decoupled from the relay wire layer.
+type FeedHealth struct {
+	ID        string    `json:"id"`
+	Connected bool      `json:"connected"`
+	Stale     bool      `json:"stale"`
+	LastHeard time.Time `json:"lastHeard"`
+}
+
+// ComponentView is one Stemming component: the problem location, the
+// strongest sub-sequence, and the affected prefixes.
+type ComponentView struct {
+	Stem        string    `json:"stem"`
+	Score       float64   `json:"score"`
+	Count       int       `json:"count"`
+	Events      int       `json:"events"`
+	First       time.Time `json:"first"`
+	Last        time.Time `json:"last"`
+	Subsequence []string  `json:"subsequence"`
+	Prefixes    []string  `json:"prefixes"`
+}
+
+// PrefixView is the per-prefix drill-down: every component of the
+// current snapshot that involves the prefix.
+type PrefixView struct {
+	Prefix      string          `json:"prefix"`
+	Seq         uint64          `json:"seq"`
+	Stale       bool            `json:"stale"`
+	StaleReason string          `json:"staleReason,omitempty"`
+	Components  []ComponentView `json:"components"`
+}
+
+// viewComponents converts the pipeline's components to their JSON form.
+func viewComponents(comps []stemming.Component) []ComponentView {
+	out := make([]ComponentView, 0, len(comps))
+	for i := range comps {
+		c := &comps[i]
+		v := ComponentView{
+			Stem:        c.Stem.String(),
+			Score:       c.Score,
+			Count:       c.Count,
+			Events:      c.NumEvents(),
+			First:       c.First,
+			Last:        c.Last,
+			Subsequence: make([]string, 0, len(c.Subsequence)),
+			Prefixes:    make([]string, 0, len(c.Prefixes)),
+		}
+		for _, tok := range c.Subsequence {
+			v.Subsequence = append(v.Subsequence, tok.String())
+		}
+		for _, p := range c.Prefixes {
+			v.Prefixes = append(v.Prefixes, p.String())
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// viewOf builds the stored (staleness-free) view of one snapshot.
+// Staleness is stamped at render time: it depends on when the snapshot
+// is read, not on when it was taken.
+func viewOf(seq uint64, s *pipeline.Snapshot, feeds []FeedHealth) SnapshotView {
+	v := SnapshotView{
+		Seq:         seq,
+		At:          s.At,
+		Trigger:     s.Trigger.String(),
+		WindowStart: s.WindowStart,
+		WindowEnd:   s.WindowEnd,
+		Events:      s.Events,
+		Feeds:       feeds,
+		Components:  viewComponents(s.Components),
+	}
+	if s.Spike != nil {
+		v.Spike = &SpikeView{
+			Start: s.Spike.Start, End: s.Spike.End,
+			Total: s.Spike.Total, Peak: s.Spike.Peak,
+		}
+	}
+	if s.Picture != nil {
+		v.Picture = viz.ExportPicture(s.Picture)
+	}
+	return v
+}

@@ -1,0 +1,116 @@
+package viz
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"testing"
+
+	"rex/internal/core/tamp"
+)
+
+// bigPicture builds a picture from a few hundred routes inserted in a
+// shuffled order, so any map-iteration dependence in the graph, pruner
+// or renderers would have plenty of surface to show through.
+func bigPicture(t *testing.T, seed int64) *tamp.Picture {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	type route struct {
+		router, nexthop string
+		asns            []uint32
+		prefix          netip.Prefix
+	}
+	var routes []route
+	for r := 0; r < 6; r++ {
+		router := fmt.Sprintf("10.0.%d.1", r)
+		nexthop := fmt.Sprintf("10.1.%d.1", r%3)
+		for i := 0; i < 40; i++ {
+			routes = append(routes, route{
+				router: router, nexthop: nexthop,
+				asns:   []uint32{uint32(100 + r%4), uint32(200 + i%5)},
+				prefix: netip.PrefixFrom(netip.AddrFrom4([4]byte{byte(20 + r), byte(i), 0, 0}), 16),
+			})
+		}
+	}
+	rng.Shuffle(len(routes), func(i, j int) { routes[i], routes[j] = routes[j], routes[i] })
+	g := tamp.New("site")
+	for _, rt := range routes {
+		g.AddRoute(tamp.RouteEntry{
+			Router:  rt.router,
+			Nexthop: netip.MustParseAddr(rt.nexthop),
+			ASPath:  rt.asns,
+			Prefix:  rt.prefix,
+		})
+	}
+	return g.Snapshot(tamp.PruneOptions{KeepDepth: 3})
+}
+
+// TestRenderDeterminism pins the contract the serve tier's render cache
+// and the fleet -check differ both depend on: rendering the same
+// Picture repeatedly must produce byte-identical SVG, DOT and JSON. A
+// future map-iteration regression in any renderer would flake this test
+// long before it silently corrupted cache hits.
+func TestRenderDeterminism(t *testing.T) {
+	pics := []*tamp.Picture{
+		testPicture(t),
+		bigPicture(t, 1),
+		bigPicture(t, 2),
+		{Site: "empty"}, // degenerate: no nodes, no edges
+	}
+	renders := map[string]func(p *tamp.Picture) []byte{
+		"svg":   func(p *tamp.Picture) []byte { return []byte(SVG(p)) },
+		"dot":   func(p *tamp.Picture) []byte { return []byte(DOT(p, DOTOptions{ShowPercent: true})) },
+		"json":  JSON,
+		"ascii": func(p *tamp.Picture) []byte { return []byte(ASCII(p)) },
+	}
+	for pi, p := range pics {
+		for name, render := range renders {
+			first := render(p)
+			if len(first) == 0 {
+				t.Fatalf("picture %d: %s render is empty", pi, name)
+			}
+			for i := 0; i < 20; i++ {
+				if got := render(p); !bytes.Equal(got, first) {
+					t.Fatalf("picture %d: %s render differs between call 0 and call %d", pi, name, i+1)
+				}
+			}
+		}
+	}
+}
+
+// TestRenderDeterminismAcrossBuilds re-derives the same logical picture
+// from independently built graphs (different insertion orders) and
+// requires identical renders: picture contents must be a pure function
+// of the route set, not of construction history.
+func TestRenderDeterminismAcrossBuilds(t *testing.T) {
+	a := bigPicture(t, 3)
+	b := bigPicture(t, 4) // same routes, different shuffle
+	if !bytes.Equal(JSON(a), JSON(b)) {
+		t.Fatal("JSON render depends on graph insertion order")
+	}
+	if SVG(a) != SVG(b) {
+		t.Fatal("SVG render depends on graph insertion order")
+	}
+	if DOT(a, DOTOptions{}) != DOT(b, DOTOptions{}) {
+		t.Fatal("DOT render depends on graph insertion order")
+	}
+}
+
+// TestPictureJSONRoundTrip pins the restore path the serving tier's
+// degraded mode uses: ExportPicture → PictureFromJSON must preserve
+// every render-relevant field, so a snapshot restored from disk renders
+// the same SVG/DOT as the live picture it was saved from.
+func TestPictureJSONRoundTrip(t *testing.T) {
+	p := bigPicture(t, 5)
+	back := PictureFromJSON(ExportPicture(p))
+	if got, want := SVG(back), SVG(p); got != want {
+		t.Fatal("SVG render changed across a JSON round-trip")
+	}
+	if got, want := DOT(back, DOTOptions{ShowPercent: true}), DOT(p, DOTOptions{ShowPercent: true}); got != want {
+		t.Fatal("DOT render changed across a JSON round-trip")
+	}
+	if !bytes.Equal(JSON(back), JSON(p)) {
+		t.Fatal("JSON render changed across a JSON round-trip")
+	}
+}

@@ -81,3 +81,133 @@ func edgeJSON(st tamp.EdgeFrameState) EdgeJSON {
 		Downs:   st.Downs,
 	}
 }
+
+// PictureJSON is the machine-readable export of a pruned TAMP picture,
+// the serving tier's /api/picture.json document. Like AnimationJSON the
+// schema is stable — field names are part of the format — and the
+// encoding is deterministic: a Picture's nodes and edges are already
+// sorted, struct field order is fixed, and no maps are involved, so the
+// same Picture always marshals to the same bytes (the serve render
+// cache and the fleet -check differ both rely on this; see the
+// determinism tests).
+type PictureJSON struct {
+	Site  string            `json:"site"`
+	Total int               `json:"total"`
+	Nodes []PictureNodeJSON `json:"nodes"`
+	Edges []PictureEdgeJSON `json:"edges"`
+}
+
+// NodeRefJSON names a picture node by kind and raw name (the pair that
+// round-trips; Label is the display form drawn in pictures).
+type NodeRefJSON struct {
+	Kind string `json:"kind"`
+	Name string `json:"name"`
+}
+
+// PictureNodeJSON is one surviving node.
+type PictureNodeJSON struct {
+	NodeRefJSON
+	Label string `json:"label"`
+	Depth int    `json:"depth"`
+}
+
+// PictureEdgeJSON is one surviving edge.
+type PictureEdgeJSON struct {
+	From     NodeRefJSON `json:"from"`
+	To       NodeRefJSON `json:"to"`
+	Weight   int         `json:"weight"`
+	Fraction float64     `json:"fraction"`
+	MaxEver  int         `json:"maxEver"`
+	Depth    int         `json:"depth"`
+}
+
+// kindNames maps NodeKind to its JSON string form (KindRoot is 1).
+var kindNames = [...]string{"", "root", "router", "nexthop", "as", "prefix"}
+
+func kindName(k tamp.NodeKind) string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+func kindFromName(s string) (tamp.NodeKind, bool) {
+	for i, n := range kindNames {
+		if i > 0 && n == s {
+			return tamp.NodeKind(i), true
+		}
+	}
+	return 0, false
+}
+
+func nodeRef(id tamp.NodeID) NodeRefJSON {
+	return NodeRefJSON{Kind: kindName(id.Kind), Name: id.Name}
+}
+
+func (r NodeRefJSON) nodeID() (tamp.NodeID, bool) {
+	k, ok := kindFromName(r.Kind)
+	if !ok {
+		return tamp.NodeID{}, false
+	}
+	return tamp.NodeID{Kind: k, Name: r.Name}, true
+}
+
+// ExportPicture converts a picture to its JSON form.
+func ExportPicture(p *tamp.Picture) PictureJSON {
+	out := PictureJSON{
+		Site:  p.Site,
+		Total: p.Total,
+		Nodes: make([]PictureNodeJSON, 0, len(p.Nodes)),
+		Edges: make([]PictureEdgeJSON, 0, len(p.Edges)),
+	}
+	for _, n := range p.Nodes {
+		out.Nodes = append(out.Nodes, PictureNodeJSON{
+			NodeRefJSON: nodeRef(n.ID), Label: n.ID.String(), Depth: n.Depth,
+		})
+	}
+	for _, e := range p.Edges {
+		out.Edges = append(out.Edges, PictureEdgeJSON{
+			From: nodeRef(e.From), To: nodeRef(e.To),
+			Weight: e.Weight, Fraction: e.Fraction, MaxEver: e.MaxEver, Depth: e.Depth,
+		})
+	}
+	return out
+}
+
+// PictureFromJSON rebuilds a renderable picture from its JSON form —
+// the inverse of ExportPicture, used to serve SVG/DOT renders of a
+// snapshot restored from disk. Nodes or edges with unknown kinds are
+// dropped rather than failing the whole picture.
+func PictureFromJSON(pj PictureJSON) *tamp.Picture {
+	p := &tamp.Picture{Site: pj.Site, Total: pj.Total}
+	for _, n := range pj.Nodes {
+		id, ok := n.nodeID()
+		if !ok {
+			continue
+		}
+		p.Nodes = append(p.Nodes, tamp.PictureNode{ID: id, Depth: n.Depth})
+	}
+	for _, e := range pj.Edges {
+		from, okF := e.From.nodeID()
+		to, okT := e.To.nodeID()
+		if !okF || !okT {
+			continue
+		}
+		p.Edges = append(p.Edges, tamp.PictureEdge{
+			From: from, To: to,
+			Weight: e.Weight, Fraction: e.Fraction, MaxEver: e.MaxEver, Depth: e.Depth,
+		})
+	}
+	return p
+}
+
+// JSON renders the picture as indented, deterministic JSON bytes with a
+// trailing newline. The marshal cannot fail: PictureJSON contains only
+// strings and numbers.
+func JSON(p *tamp.Picture) []byte {
+	b, err := json.MarshalIndent(ExportPicture(p), "", "  ")
+	if err != nil {
+		panic("viz: picture marshal: " + err.Error())
+	}
+	return append(b, '\n')
+}
