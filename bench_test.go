@@ -16,6 +16,7 @@ import (
 	"rex/internal/core/stemming"
 	"rex/internal/core/tamp"
 	"rex/internal/event"
+	"rex/internal/journal"
 	"rex/internal/sim"
 	"rex/internal/viz"
 )
@@ -435,6 +436,60 @@ func BenchmarkParallelWindow(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// ---- Time travel (DESIGN.md §15) ----
+
+// BenchmarkReplayAt measures a cold /api/at answer end to end: scan the
+// journal up to the instant, run the one-shot replay pipeline, render
+// the picture. The instant is the newest event, so every iteration pays
+// the worst case — a full-journal scan and replay; the serving tier's
+// instant cache amortizes this to zero for repeat queries. `make bench`
+// distills this into BENCH_pr6.json as the replay-latency entry.
+func BenchmarkReplayAt(b *testing.B) {
+	d := berkeleyAt(b, 23_000)
+	const n = 20_000
+	events := benchEvents(b, "at", d.site.Site, d.routes, n, time.Hour)
+	dir := b.TempDir()
+	w, err := journal.Open(dir, journal.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := range events {
+		if _, err := w.Append(&events[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	cfg := pipeline.Config{
+		Window:  30 * time.Minute,
+		SpikeK:  -1,
+		Site:    "berkeley",
+		Workers: runtime.GOMAXPROCS(0),
+	}
+	at := events[len(events)-1].Time
+	b.ReportMetric(float64(n), "events")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap, err := pipeline.ReplayState(cfg, nil, func(ingest func(e *event.Event)) error {
+			_, err := journal.Scan(dir, 0, func(seq uint64, e *event.Event) error {
+				if e.Time.After(at) {
+					return journal.ErrStop
+				}
+				ingest(e)
+				return nil
+			})
+			return err
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(viz.SVG(snap.Picture)) == 0 {
+			b.Fatal("empty render")
+		}
 	}
 }
 

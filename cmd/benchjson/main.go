@@ -1,6 +1,7 @@
 // Command benchjson is the benchmark regression harness behind
 // `make bench`: it runs the streaming-pipeline benchmarks
-// (BenchmarkPipelineWindow and BenchmarkParallelWindow) and distills the
+// (BenchmarkPipelineWindow and BenchmarkParallelWindow, plus
+// BenchmarkReplayAt for the time-travel replay latency) and distills the
 // `go test -bench` output into a stable JSON file — ns/op, events/sec
 // and allocs/op per benchmark — so successive PRs can diff throughput
 // without re-parsing bench text. The format is documented in
@@ -52,7 +53,7 @@ type File struct {
 
 func main() {
 	benchtime := flag.String("benchtime", "1x", "go test -benchtime value")
-	pattern := flag.String("bench", "^(BenchmarkPipelineWindow|BenchmarkParallelWindow)$", "benchmark regexp")
+	pattern := flag.String("bench", "^(BenchmarkPipelineWindow|BenchmarkParallelWindow|BenchmarkReplayAt)$", "benchmark regexp")
 	out := flag.String("out", "BENCH_pr6.json", "output JSON path")
 	compare := flag.String("compare", "", "baseline JSON to diff against instead of writing (exit 1 on regression)")
 	maxAllocRatio := flag.Float64("max-alloc-ratio", 1.25, "compare: fail when allocs/op exceeds baseline by this factor")

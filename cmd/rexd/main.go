@@ -157,12 +157,31 @@ func run(args []string) error {
 		obs.Logf(obs.Info, "rexd", "metrics on http://%s/metrics (json at /metrics.json, pprof at /debug/pprof)", maddr)
 	}
 
+	// The analysis configuration, shared verbatim between the live
+	// pipeline and the serve tier's historical replays: /api/at is
+	// byte-identical with the live output only because both run the
+	// exact same parameters.
+	nWorkers := *workers
+	if nWorkers <= 0 {
+		nWorkers = runtime.GOMAXPROCS(0)
+	}
+	pcfg := pipeline.Config{
+		Window:        *window,
+		SnapshotEvery: *snapEvery,
+		SpikeK:        *spikeK,
+		Site:          *site,
+		Prune:         tamp.PruneOptions{KeepDepth: 3},
+		Workers:       nWorkers,
+	}
+
 	// The serving tier binds before the pipeline exists so a restarted
 	// daemon answers reads (from the durable last snapshot, explicitly
-	// stale) while recovery is still replaying the journal.
+	// stale) while recovery is still replaying the journal — and, with a
+	// journal, time-travel queries work even before the first live
+	// snapshot.
 	var api *serve.Server
 	if *serveAddr != "" {
-		api, err = startServeTier(*serveAddr, *serveStale, *journalDir)
+		api, err = startServeTier(*serveAddr, *serveStale, *journalDir, pcfg)
 		if err != nil {
 			return fmt.Errorf("serve tier: %w", err)
 		}
@@ -179,18 +198,7 @@ func run(args []string) error {
 	// The streaming engine: a sliding window over the live event stream,
 	// snapshotted on rate spikes (and optionally on a period), plus a
 	// final decomposition and TAMP picture at shutdown.
-	nWorkers := *workers
-	if nWorkers <= 0 {
-		nWorkers = runtime.GOMAXPROCS(0)
-	}
-	p := pipeline.New(pipeline.Config{
-		Window:        *window,
-		SnapshotEvery: *snapEvery,
-		SpikeK:        *spikeK,
-		Site:          *site,
-		Prune:         tamp.PruneOptions{KeepDepth: 3},
-		Workers:       nWorkers,
-	})
+	p := pipeline.New(pcfg)
 	if *relayListen != "" {
 		if *relayTo != "" {
 			return fmt.Errorf("-relay-listen and -relay-to are mutually exclusive roles")

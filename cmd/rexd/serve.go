@@ -11,6 +11,7 @@ import (
 	"net"
 	"time"
 
+	"rex/internal/core/pipeline"
 	"rex/internal/obs"
 	"rex/internal/relay"
 	"rex/internal/serve"
@@ -21,15 +22,27 @@ import (
 var testServeBound func(net.Addr)
 
 // startServeTier builds the serving tier and binds it. dir may be empty
-// (no durable last-snapshot file).
-func startServeTier(addr string, staleAfter time.Duration, dir string) (*serve.Server, error) {
-	api := serve.New(serve.Config{StaleAfter: staleAfter, Dir: dir})
+// (no durable last-snapshot file, and no time travel: /api/at needs the
+// journal to replay from). replay carries the live pipeline's analysis
+// parameters so a replayed instant reproduces exactly what the live
+// pipeline computed at that time.
+func startServeTier(addr string, staleAfter time.Duration, dir string, replay pipeline.Config) (*serve.Server, error) {
+	api := serve.New(serve.Config{
+		StaleAfter: staleAfter,
+		Dir:        dir,
+		HistoryDir: dir,
+		Replay:     replay,
+	})
 	bound, err := api.Serve(addr)
 	if err != nil {
 		api.Close()
 		return nil, err
 	}
-	obs.Logf(obs.Info, "rexd", "serving API on http://%s/ (snapshot, picture.svg, components, stream)", bound)
+	if dir != "" {
+		obs.Logf(obs.Info, "rexd", "serving API on http://%s/ (snapshot, picture.svg, components, stream, time travel at /api/at)", bound)
+	} else {
+		obs.Logf(obs.Info, "rexd", "serving API on http://%s/ (snapshot, picture.svg, components, stream)", bound)
+	}
 	if testServeBound != nil {
 		testServeBound(bound)
 	}

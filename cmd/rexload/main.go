@@ -45,6 +45,8 @@ func run(args []string) error {
 		pollers   = fs.Int("pollers", 200, "concurrent snapshot pollers")
 		subs      = fs.Int("subs", 20, "concurrent SSE subscribers")
 		duration  = fs.Duration("duration", 15*time.Second, "swarm duration")
+		atPollers = fs.Int("at", 0, "concurrent time-travel pollers hitting /api/at with instants behind the live head (0 disables)")
+		atSpread  = fs.Duration("at-spread", 2*time.Minute, "how far behind the live snapshot the -at pollers reach")
 		pollEvery = fs.Duration("poll-every", 10*time.Millisecond, "per-poller think time between requests")
 		timeout   = fs.Duration("timeout", 10*time.Second, "per-request client timeout")
 		killPID   = fs.Int("kill-pid", 0, "chaos: SIGKILL this pid mid-swarm (0 disables)")
@@ -55,8 +57,11 @@ func run(args []string) error {
 		return err
 	}
 	base := "http://" + *addr
-	fmt.Printf("rexload: swarming %s with %d pollers + %d SSE subscribers for %s\n",
-		base, *pollers, *subs, *duration)
+	fmt.Printf("rexload: swarming %s with %d pollers + %d SSE subscribers", base, *pollers, *subs)
+	if *atPollers > 0 {
+		fmt.Printf(" + %d time-travel pollers (spread %s)", *atPollers, *atSpread)
+	}
+	fmt.Printf(" for %s\n", *duration)
 
 	ctx := context.Background()
 	if *killPID > 0 {
@@ -73,6 +78,8 @@ func run(args []string) error {
 		base:      base,
 		pollers:   *pollers,
 		subs:      *subs,
+		atPollers: *atPollers,
+		atSpread:  *atSpread,
 		duration:  *duration,
 		pollEvery: *pollEvery,
 		timeout:   *timeout,

@@ -103,6 +103,10 @@ func mVec(m map[string]any, name, label string) float64 {
 //   - at least one successful degraded-mode (stale) read while the
 //     restarted node is still recovering, with /readyz at 503 until
 //     the pipeline catches up and flips it back;
+//   - time-travel reads (/api/at, instants spread behind the live
+//     head) keep answering across the kill/restart cycle: 200s for
+//     reconstructible instants, explicit 416/422 for the rest, and
+//     never a 5xx — even in the window where the journal was wiped;
 //   - bounded tail latency under the swarm.
 func TestServeSoak(t *testing.T) {
 	if testing.Short() {
@@ -168,6 +172,8 @@ func TestServeSoak(t *testing.T) {
 			base:      serveURL,
 			pollers:   150,
 			subs:      15,
+			atPollers: 20,
+			atSpread:  30 * time.Second,
 			duration:  18 * time.Second,
 			pollEvery: 2 * time.Millisecond,
 			timeout:   10 * time.Second,
@@ -196,6 +202,9 @@ func TestServeSoak(t *testing.T) {
 	}
 	if hits <= renders {
 		t.Errorf("cache hits (%v) not dominating renders (%v) under a %d-poller swarm", hits, renders, 150)
+	}
+	if replays := mNum(m, "rex_serve_replay_total"); replays < 1 {
+		t.Errorf("rex_serve_replay_total = %v, want >= 1 with time-travel pollers active", replays)
 	}
 
 	// Phase 2: chaos. SIGKILL the node mid-swarm; readers must keep
@@ -287,6 +296,9 @@ func TestServeSoak(t *testing.T) {
 	if rep.ok200.Load() == 0 {
 		t.Fatal("swarm completed no successful reads")
 	}
+	if rep.atOk.Load() == 0 {
+		t.Error("no successful time-travel read across the soak")
+	}
 	if rep.sseEvents.Load() == 0 {
 		t.Error("SSE subscribers received no events")
 	}
@@ -335,6 +347,19 @@ func TestSwarmUnit(t *testing.T) {
 			fmt.Fprintln(w, `{}`)
 		}
 	})
+	var atN int
+	mux.HandleFunc("/api/at", func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		atN++
+		k := atN
+		mu.Unlock()
+		if k%3 == 0 {
+			w.Header().Set("X-Rex-Replay-Reason", "before-history")
+			w.WriteHeader(http.StatusRequestedRangeNotSatisfiable)
+			return
+		}
+		fmt.Fprintln(w, `{}`)
+	})
 	mux.HandleFunc("/api/stream", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/event-stream")
 		fmt.Fprintf(w, "event: hello\ndata: {}\n\n")
@@ -353,6 +378,8 @@ func TestSwarmUnit(t *testing.T) {
 		base:      "http://" + ln.Addr().String(),
 		pollers:   8,
 		subs:      2,
+		atPollers: 3,
+		atSpread:  time.Minute,
 		duration:  600 * time.Millisecond,
 		pollEvery: 5 * time.Millisecond,
 	})
@@ -370,6 +397,12 @@ func TestSwarmUnit(t *testing.T) {
 	}
 	if rep.sseEvents.Load() == 0 {
 		t.Error("SSE hello not counted")
+	}
+	if rep.atOk.Load() == 0 {
+		t.Error("time-travel 200s not counted")
+	}
+	if rep.atDegraded.Load() == 0 {
+		t.Error("explicit 416 replay outcomes not classified as degraded")
 	}
 	if rep.hist.quantile(0.5) == 0 {
 		t.Error("histogram empty after successful requests")

@@ -8,10 +8,12 @@ package main
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
 	"net/http"
+	neturl "net/url"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -28,6 +30,16 @@ var pollEndpoints = []string{
 	"/api/picture.json",
 	"/api/snapshot",
 	"/api/prefix/1.0.0.0/24",
+}
+
+// atEndpoints is the time-travel rotation the -at pollers walk; every
+// format so the per-instant render cache is exercised like the live one.
+var atEndpoints = []string{
+	"/api/at",
+	"/api/at/components",
+	"/api/at/picture.svg",
+	"/api/at/picture.json",
+	"/api/at/picture.dot",
 }
 
 // latencyHist is a lock-free log-bucketed latency histogram:
@@ -99,6 +111,8 @@ type swarmConfig struct {
 	base      string // http://host:port
 	pollers   int
 	subs      int
+	atPollers int           // time-travel pollers hitting /api/at
+	atSpread  time.Duration // how far behind the live head -at instants reach
 	duration  time.Duration
 	pollEvery time.Duration // per-poller think time between requests
 	timeout   time.Duration // per-request client timeout
@@ -119,6 +133,9 @@ type swarmReport struct {
 	staleReads  atomic.Uint64
 	readyFlips  atomic.Uint64 // /readyz 503→200 transitions observed
 
+	atOk       atomic.Uint64 // time-travel 200s (also counted in ok200)
+	atDegraded atomic.Uint64 // explicit 416/422 replay outcomes — not errors
+
 	sseEvents  atomic.Uint64
 	sseResyncs atomic.Uint64
 	sseByes    atomic.Uint64
@@ -133,6 +150,10 @@ func (r *swarmReport) print(w io.Writer) {
 		r.shed429.Load(), r.clientErr.Load(), r.server5xx.Load(), r.netErr.Load())
 	fmt.Fprintf(w, "rexload: sse: %d dials, %d events, %d resyncs, %d byes\n",
 		r.sseDials.Load(), r.sseEvents.Load(), r.sseResyncs.Load(), r.sseByes.Load())
+	if r.atOk.Load()+r.atDegraded.Load() > 0 {
+		fmt.Fprintf(w, "rexload: time-travel: %d ok, %d degraded (explicit 416/422)\n",
+			r.atOk.Load(), r.atDegraded.Load())
+	}
 	fmt.Fprintf(w, "rexload: latency p50=%s p90=%s p99=%s\n",
 		r.hist.quantile(0.50).Round(time.Microsecond),
 		r.hist.quantile(0.90).Round(time.Microsecond),
@@ -170,6 +191,13 @@ func runSwarm(ctx context.Context, cfg swarmConfig) *swarmReport {
 		go func(n int) {
 			defer wg.Done()
 			poller(ctx, client, cfg.base, n, rep, cfg.pollEvery)
+		}(i)
+	}
+	for i := 0; i < cfg.atPollers; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			atPoller(ctx, client, cfg.base, n, rep, cfg.pollEvery, cfg.atSpread)
 		}(i)
 	}
 	// SSE clients use a client without an overall timeout: the stream is
@@ -247,6 +275,105 @@ func poller(ctx context.Context, client *http.Client, base string, n int, rep *s
 		}
 		time.Sleep(every)
 	}
+}
+
+// atFractions spreads the time-travel instants across the lookback
+// range: mostly near the live head (cache-friendly, like a dashboard
+// scrubbing recent history) with a tail reaching the full spread.
+var atFractions = []float64{0, 0.015, 0.0625, 0.25, 1}
+
+// atPoller loops one synthetic forensic reader: anchor on the live
+// snapshot's event time, then rotate the /api/at endpoints over instants
+// behind it. 416/422 are explicit degraded outcomes, never failures —
+// only a 5xx counts against the tier.
+func atPoller(ctx context.Context, client *http.Client, base string, n int, rep *swarmReport, every, spread time.Duration) {
+	if spread <= 0 {
+		spread = 2 * time.Minute
+	}
+	var anchor time.Time
+	for j := n; ; j++ {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+		if anchor.IsZero() || j%32 == 31 {
+			if a, ok := fetchAnchor(ctx, client, base); ok {
+				anchor = a
+			}
+		}
+		t := anchor
+		if t.IsZero() {
+			// No live snapshot yet: probe with the wall clock and let the
+			// tier answer with its explicit degraded semantics.
+			t = time.Now().UTC()
+		}
+		t = t.Add(-time.Duration(float64(spread) * atFractions[j%len(atFractions)]))
+		url := base + atEndpoints[j%len(atEndpoints)] + "?t=" + neturl.QueryEscape(t.UTC().Format(time.RFC3339Nano))
+		start := time.Now()
+		req, err := http.NewRequestWithContext(ctx, "GET", url, nil)
+		if err != nil {
+			return
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			rep.requests.Add(1)
+			rep.netErr.Add(1)
+			time.Sleep(every)
+			continue
+		}
+		_, readErr := io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		rep.requests.Add(1)
+		rep.hist.observe(time.Since(start))
+		switch {
+		case readErr != nil:
+			rep.netErr.Add(1)
+		case resp.StatusCode == 200:
+			rep.ok200.Add(1)
+			rep.atOk.Add(1)
+		case resp.StatusCode == http.StatusNotModified:
+			rep.notModified.Add(1)
+		case resp.StatusCode == http.StatusTooManyRequests:
+			rep.shed429.Add(1)
+		case resp.StatusCode == http.StatusRequestedRangeNotSatisfiable ||
+			resp.StatusCode == http.StatusUnprocessableEntity:
+			rep.atDegraded.Add(1)
+		case resp.StatusCode >= 500:
+			rep.server5xx.Add(1)
+		default:
+			rep.clientErr.Add(1)
+		}
+		time.Sleep(every)
+	}
+}
+
+// fetchAnchor reads the live snapshot's event time, the reference the
+// -at pollers scrub backwards from.
+func fetchAnchor(ctx context.Context, client *http.Client, base string) (time.Time, bool) {
+	req, err := http.NewRequestWithContext(ctx, "GET", base+"/api/snapshot", nil)
+	if err != nil {
+		return time.Time{}, false
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return time.Time{}, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		io.Copy(io.Discard, resp.Body)
+		return time.Time{}, false
+	}
+	var doc struct {
+		At time.Time `json:"at"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return time.Time{}, false
+	}
+	return doc.At, !doc.At.IsZero()
 }
 
 // subscriber keeps one SSE stream open, reconnecting after any

@@ -784,6 +784,41 @@ func routeEqual(a, b tamp.RouteEntry) bool {
 	return true
 }
 
+// ReplayState is the one-shot replay entry the time-travel serving path
+// uses: it runs optional checkpoint seeds plus a streamed event source
+// through a fresh pipeline with the tick and spike triggers disabled,
+// and returns the single close-out snapshot — the full analysis state
+// (window, Stemming decomposition, TAMP picture) as of the last event
+// the source delivers. Because the engine is deterministic at a fixed
+// shard count, feeding it the exact event sequence a live pipeline had
+// processed when its clock stood at some instant reproduces that live
+// snapshot byte for byte.
+//
+// source is called once with an ingest function and feeds events in
+// stream order; its error (nil for a clean end, including an early
+// stop) is returned alongside the snapshot. The pipeline is always
+// closed and drained, so a failing source still cannot leak goroutines.
+func ReplayState(cfg Config, seeds []*event.Event, source func(ingest func(e *event.Event)) error) (Snapshot, error) {
+	cfg.SnapshotEvery = 0
+	cfg.SpikeK = -1
+	p := New(cfg)
+	var final Snapshot
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for snap := range p.Snapshots() {
+			final = snap
+		}
+	}()
+	for _, e := range seeds {
+		p.Seed(*e)
+	}
+	err := source(func(e *event.Event) { p.Ingest(*e) })
+	p.Close()
+	<-done
+	return final, err
+}
+
 // Replay runs a recorded stream through a pipeline and collects every
 // snapshot, the offline form of the engine: identical code path, event
 // time only.

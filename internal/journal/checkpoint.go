@@ -214,6 +214,34 @@ func LoadLatestCheckpoint(dir string) (*Checkpoint, error) {
 	return nil, nil
 }
 
+// LoadCheckpoints returns every checkpoint in dir that decodes cleanly,
+// ascending by NextSeq. Corrupt candidates are counted and skipped, as
+// in LoadLatestCheckpoint. Time-travel replay uses the full list: a
+// historical query needs the newest checkpoint that does NOT already
+// contain state from after the queried instant, which is not always the
+// newest on disk.
+func LoadCheckpoints(dir string) ([]*Checkpoint, error) {
+	names, err := listCheckpoints(dir)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Checkpoint, 0, len(names))
+	for _, name := range names {
+		buf, err := os.ReadFile(name)
+		if err != nil {
+			mCheckpointsCorrupt.Inc()
+			continue
+		}
+		c, err := decodeCheckpoint(buf)
+		if err != nil {
+			mCheckpointsCorrupt.Inc()
+			continue
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
 // PruneCheckpoints keeps the newest keep checkpoint files and removes
 // the rest. Returns how many were removed.
 func PruneCheckpoints(dir string, keep int) (int, error) {

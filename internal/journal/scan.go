@@ -34,6 +34,19 @@ type ScanStats struct {
 // ErrStop lets a scan callback end the scan early without error.
 var ErrStop = fmt.Errorf("journal: scan stopped")
 
+// Floor reports the first sequence the journal still retains — the trim
+// floor: the starting sequence of the oldest segment on disk. ok is
+// false when the directory holds no segments at all. A floor above the
+// journal's original starting sequence means TrimTo has discarded
+// history; replays reaching below it need a checkpoint base.
+func Floor(dir string) (floor uint64, ok bool, err error) {
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) == 0 {
+		return 0, false, err
+	}
+	return segs[0].first, true, nil
+}
+
 // Scan reads every record with sequence >= from, in order, calling fn
 // for each. Damage is skipped and counted, never fatal: a record with a
 // bad CRC or undecodable payload loses only itself; a framing break

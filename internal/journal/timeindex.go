@@ -22,6 +22,7 @@ type TimeIndex struct {
 	samples []timeSample // ascending seq, ascending (non-strict) max
 	low     uint64       // floor returned when nothing qualifies
 	haveLow bool
+	high    uint64 // highest observed sequence (HighWater's ceiling)
 }
 
 type timeSample struct {
@@ -50,6 +51,7 @@ func (ix *TimeIndex) Observe(seq uint64, t time.Time) {
 	if !ix.haveLow {
 		ix.low, ix.haveLow = seq, true
 	}
+	ix.high = seq
 	if t.After(ix.max) {
 		ix.max = t
 	}
@@ -83,4 +85,33 @@ func (ix *TimeIndex) LowWater(cutoff time.Time) uint64 {
 		best = s.seq
 	}
 	return best
+}
+
+// HighWater is LowWater's upper-bound counterpart: a sequence at which a
+// replay reconstructing "state as of cutoff" may stop scanning. At the
+// returned sequence the event-time clock (the running max) has already
+// passed the cutoff — the first event strictly newer than the cutoff
+// lies at or below it — so no record beyond it can matter. It returns
+// the smallest sampled sequence whose running-max time is after the
+// cutoff, or the highest observed sequence when the clock never passed
+// the cutoff (scan to the head). Event times are not monotone, so this
+// bounds where the clock crosses the cutoff, not where individual
+// event times do.
+func (ix *TimeIndex) HighWater(cutoff time.Time) uint64 {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	for _, s := range ix.samples {
+		if s.max.After(cutoff) {
+			return s.seq
+		}
+	}
+	return ix.high
+}
+
+// Span reports the observed sequence range [low, high] and whether any
+// event has been observed at all.
+func (ix *TimeIndex) Span() (low, high uint64, ok bool) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.low, ix.high, ix.haveLow
 }

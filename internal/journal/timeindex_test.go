@@ -45,6 +45,99 @@ func TestTimeIndexNonMonotoneTime(t *testing.T) {
 	}
 }
 
+func TestTimeIndexHighWater(t *testing.T) {
+	t0 := time.Date(2003, 8, 14, 20, 0, 0, 0, time.UTC)
+	ix := NewTimeIndex(4)
+	for i := 0; i < 1000; i++ {
+		ix.Observe(uint64(i), t0.Add(time.Duration(i)*time.Second))
+	}
+	// The invariant: the clock passes the cutoff at seq 501, so the scan
+	// may stop at HighWater and HighWater >= 501; with a 4-stride sample
+	// it must not overshoot by more than one stride.
+	cutoff := t0.Add(500 * time.Second)
+	high := ix.HighWater(cutoff)
+	if high < 501 {
+		t.Fatalf("HighWater %d stops before the clock passed the cutoff (first newer event is seq 501)", high)
+	}
+	if high > 505 {
+		t.Fatalf("HighWater %d is needlessly loose for a 4-stride sample", high)
+	}
+	// A cutoff after everything scans to the head.
+	if got := ix.HighWater(t0.Add(time.Hour)); got != 999 {
+		t.Fatalf("post-history cutoff: HighWater %d, want 999 (highest observed)", got)
+	}
+	// A cutoff before everything stops at the first sample.
+	if got := ix.HighWater(t0.Add(-time.Hour)); got > 3 {
+		t.Fatalf("pre-history cutoff: HighWater %d, want within the first stride", got)
+	}
+}
+
+func TestTimeIndexBoundsEdgeCases(t *testing.T) {
+	t0 := time.Date(2003, 8, 14, 20, 0, 0, 0, time.UTC)
+
+	t.Run("empty", func(t *testing.T) {
+		ix := NewTimeIndex(4)
+		if got := ix.LowWater(t0); got != 0 {
+			t.Fatalf("empty index LowWater = %d, want 0", got)
+		}
+		if got := ix.HighWater(t0); got != 0 {
+			t.Fatalf("empty index HighWater = %d, want 0", got)
+		}
+		if _, _, ok := ix.Span(); ok {
+			t.Fatal("empty index reports an observed span")
+		}
+	})
+
+	t.Run("before-first-event", func(t *testing.T) {
+		ix := NewTimeIndex(1)
+		for i := 10; i < 20; i++ {
+			ix.Observe(uint64(i), t0.Add(time.Duration(i)*time.Second))
+		}
+		// Non-zero starting sequence (a trimmed journal): both bounds
+		// stay within the observed range, never below the floor.
+		if got := ix.LowWater(t0); got != 10 {
+			t.Fatalf("pre-history LowWater = %d, want the observed floor 10", got)
+		}
+		if got := ix.HighWater(t0); got != 10 {
+			t.Fatalf("pre-history HighWater = %d, want the first sample 10", got)
+		}
+		lo, hi, ok := ix.Span()
+		if !ok || lo != 10 || hi != 19 {
+			t.Fatalf("Span = (%d,%d,%t), want (10,19,true)", lo, hi, ok)
+		}
+	})
+
+	t.Run("after-last-event", func(t *testing.T) {
+		ix := NewTimeIndex(4)
+		// 10 events: the last sample lands at seq 7; HighWater past the
+		// max must still reach the true head (9), not the last sample.
+		for i := 0; i < 10; i++ {
+			ix.Observe(uint64(i), t0.Add(time.Duration(i)*time.Second))
+		}
+		if got := ix.HighWater(t0.Add(time.Hour)); got != 9 {
+			t.Fatalf("post-history HighWater = %d, want 9 (head, not last sample)", got)
+		}
+	})
+
+	t.Run("exactly-on-sample-boundary", func(t *testing.T) {
+		ix := NewTimeIndex(1) // sample every event: boundaries are exact
+		for i := 0; i < 10; i++ {
+			ix.Observe(uint64(i), t0.Add(time.Duration(i)*time.Second))
+		}
+		// Cutoff equal to a sample's running max: that sample is at-or-
+		// before the cutoff, so LowWater lands ON it and HighWater moves
+		// strictly past it — "at the cutoff" belongs to history, not to
+		// the future, on both bounds.
+		cutoff := t0.Add(5 * time.Second)
+		if got := ix.LowWater(cutoff); got != 5 {
+			t.Fatalf("boundary LowWater = %d, want 5", got)
+		}
+		if got := ix.HighWater(cutoff); got != 6 {
+			t.Fatalf("boundary HighWater = %d, want 6 (first sample after the cutoff)", got)
+		}
+	})
+}
+
 func TestTimeIndexCompaction(t *testing.T) {
 	t0 := time.Date(2003, 8, 14, 20, 0, 0, 0, time.UTC)
 	ix := NewTimeIndex(1)

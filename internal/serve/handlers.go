@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/netip"
+	"strconv"
 	"strings"
 	"time"
 
@@ -27,6 +28,14 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/api/picture.json", s.admit("picture.json", s.handlePicture("json")))
 	mux.Handle("/api/prefix/", s.admit("prefix", s.handlePrefix))
 	mux.HandleFunc("/api/stream", s.handleStream)
+	// Time-travel endpoints: own admission lane (the replay semaphore,
+	// not MaxInFlight), and independent of the live snapshot — they
+	// answer from the journal even before the first publish.
+	mux.Handle("/api/at", s.atHandler("at", "json"))
+	mux.Handle("/api/at/components", s.atHandler("at.components", "components"))
+	mux.Handle("/api/at/picture.svg", s.atHandler("at.picture.svg", "svg"))
+	mux.Handle("/api/at/picture.dot", s.atHandler("at.picture.dot", "dot"))
+	mux.Handle("/api/at/picture.json", s.atHandler("at.picture.json", "pjson"))
 	return mux
 }
 
@@ -45,15 +54,17 @@ func (s *Server) admit(route string, next dataHandler) http.Handler {
 		case s.sem <- struct{}{}:
 		default:
 			mShed.Inc()
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", s.latLive.retryAfter())
 			httpError(w, http.StatusTooManyRequests, "server at capacity")
 			return
 		}
 		mInFlight.Inc()
 		start := time.Now()
+		id := s.latLive.begin()
 		defer func() {
 			<-s.sem
 			mInFlight.Dec()
+			s.latLive.end(id)
 			mLatency.Observe(time.Since(start).Seconds())
 		}()
 
@@ -73,7 +84,7 @@ func (s *Server) admit(route string, next dataHandler) http.Handler {
 			// snapshot of a fresh deployment (no durable state). This is
 			// the tier's one 503-on-data path; everything after the first
 			// snapshot degrades to a stale read instead.
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", s.latLive.retryAfter())
 			httpError(w, http.StatusServiceUnavailable, "no snapshot yet")
 			return
 		}
@@ -120,7 +131,7 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key renderK
 	}
 	data, ctype, err := s.cache.get(r.Context(), key, render)
 	if err != nil {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.latLive.retryAfter())
 		httpError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	}
@@ -217,7 +228,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	mRequests.With("stream").Inc()
 	select {
 	case <-s.drain:
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.latLive.retryAfter())
 		httpError(w, http.StatusServiceUnavailable, "draining")
 		return
 	default:
@@ -225,7 +236,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	c, ok := s.broker.add()
 	if !ok {
 		mSSERejected.Inc()
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.latLive.retryAfter())
 		httpError(w, http.StatusTooManyRequests, "subscriber limit reached")
 		return
 	}
@@ -272,6 +283,181 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+}
+
+// atHandler serves one time-travel endpoint: parse the queried instant,
+// resolve it through the replayed-instant cache (single-flight replay
+// under the dedicated lane), and render the requested format. Degraded
+// outcomes are explicit status codes with X-Rex-Replay-* headers — a
+// journal that cannot answer is 416/422, never 500; only an I/O failure
+// maps to 503.
+func (s *Server) atHandler(route, format string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mRequests.With(route).Inc()
+		if s.hist == nil {
+			httpError(w, http.StatusNotFound, "time travel disabled: the serving tier has no journal directory")
+			return
+		}
+		t, window, perr := s.parseAtQuery(r)
+		if perr != "" {
+			httpError(w, http.StatusBadRequest, perr)
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		rc := http.NewResponseController(w)
+		rc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+
+		key := atKey{at: t.UTC().Format(time.RFC3339Nano), window: window}
+		// A replayed instant is immutable, so the ETag needs no version:
+		// the key and format identify the bytes forever. Only success
+		// responses emit it (a cached 416 near the live head could heal).
+		etag := fmt.Sprintf("\"at-%s-%s-%s\"", key.at, key.window, format)
+		if match := r.Header.Get("If-None-Match"); match != "" && strings.Contains(match, etag) {
+			mNotModified.Inc()
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+
+		e, admitted := s.histCache.get(ctx, key,
+			func() bool {
+				select {
+				case s.replaySem <- struct{}{}:
+					mReplays.Inc()
+					mReplayInFlight.Inc()
+					return true
+				default:
+					mReplayShed.Inc()
+					return false
+				}
+			},
+			func() {
+				<-s.replaySem
+				mReplayInFlight.Dec()
+			},
+			func() (*atResult, *replayError, error) {
+				id := s.latReplay.begin()
+				res, rerr, err := s.hist.replayAt(t, window)
+				took := s.latReplay.end(id)
+				mReplaySeconds.Observe(took.Seconds())
+				logReplay(key, res, rerr, err, took)
+				return res, rerr, err
+			})
+		if !admitted {
+			w.Header().Set("Retry-After", s.latReplay.retryAfter())
+			httpError(w, http.StatusTooManyRequests, "replay lane at capacity")
+			return
+		}
+		if e == nil {
+			// ctx expired while waiting on someone else's replay.
+			w.Header().Set("Retry-After", s.latReplay.retryAfter())
+			httpError(w, http.StatusServiceUnavailable, "timed out waiting for replay")
+			return
+		}
+		if e.err != nil {
+			w.Header().Set("Retry-After", s.latReplay.retryAfter())
+			httpError(w, http.StatusServiceUnavailable, e.err.Error())
+			return
+		}
+		if e.rerr != nil {
+			mReplayDegraded.With(e.rerr.reason).Inc()
+			hd := w.Header()
+			hd.Set("X-Rex-Replay-Reason", e.rerr.reason)
+			if e.rerr.floor > 0 {
+				hd.Set("X-Rex-Replay-Floor", fmt.Sprintf("%d", e.rerr.floor))
+			}
+			if e.rerr.skipped > 0 {
+				hd.Set("X-Rex-Replay-Skipped", fmt.Sprintf("%d", e.rerr.skipped))
+			}
+			httpError(w, e.rerr.code, e.rerr.msg)
+			return
+		}
+		res := e.res
+		hd := w.Header()
+		hd.Set("ETag", etag)
+		hd.Set("X-Rex-Replay-At", res.snap.At.UTC().Format(time.RFC3339Nano))
+		hd.Set("X-Rex-Replay-Window", window.String())
+		hd.Set("X-Rex-Replay-Records", fmt.Sprintf("%d", res.records))
+		hd.Set("Cache-Control", "no-cache")
+		data, ctype, err := s.histCache.render(ctx, e, format, func() ([]byte, string, error) {
+			return renderAt(res, format)
+		})
+		if err != nil {
+			w.Header().Set("Retry-After", s.latReplay.retryAfter())
+			httpError(w, http.StatusServiceUnavailable, err.Error())
+			return
+		}
+		hd.Set("Content-Type", ctype)
+		w.Write(data)
+	})
+}
+
+// parseAtQuery validates the time-travel query: t is required (RFC3339
+// or integer unix seconds), window is an optional positive Go duration
+// defaulting to the replay pipeline's window and clamped to the
+// configured ceiling.
+func (s *Server) parseAtQuery(r *http.Request) (time.Time, time.Duration, string) {
+	q := r.URL.Query()
+	raw := q.Get("t")
+	if raw == "" {
+		return time.Time{}, 0, "missing t: pass t=<RFC3339 time or unix seconds>, e.g. t=2003-08-14T20:00:00Z"
+	}
+	var t time.Time
+	if n, err := strconv.ParseInt(raw, 10, 64); err == nil {
+		t = time.Unix(n, 0).UTC()
+	} else if ts, terr := time.Parse(time.RFC3339Nano, raw); terr == nil {
+		t = ts
+	} else {
+		return time.Time{}, 0, fmt.Sprintf("bad t %q: want RFC3339 (2003-08-14T20:00:00Z) or unix seconds", raw)
+	}
+	window := s.cfg.Replay.Window
+	if window <= 0 {
+		window = 15 * time.Minute // the pipeline default
+	}
+	if rawW := q.Get("window"); rawW != "" {
+		d, err := time.ParseDuration(rawW)
+		if err != nil || d <= 0 {
+			return time.Time{}, 0, fmt.Sprintf("bad window %q: want a positive Go duration, e.g. window=15m", rawW)
+		}
+		window = d
+	}
+	if window > s.cfg.MaxReplayWindow {
+		window = s.cfg.MaxReplayWindow
+	}
+	return t, window, ""
+}
+
+// renderAt renders one format of a completed replay. The picture
+// formats go through the same viz renderers as the live endpoints — the
+// differential replay suite relies on that to assert byte-identity.
+func renderAt(res *atResult, format string) ([]byte, string, error) {
+	switch format {
+	case "json":
+		v := atViewOf(res)
+		b, err := json.MarshalIndent(&v, "", "  ")
+		if err != nil {
+			return nil, "", err
+		}
+		return append(b, '\n'), "application/json", nil
+	case "components":
+		doc := struct {
+			T          time.Time       `json:"t"`
+			At         time.Time       `json:"at"`
+			Components []ComponentView `json:"components"`
+		}{res.t, res.snap.At, res.comps}
+		b, err := json.MarshalIndent(&doc, "", "  ")
+		if err != nil {
+			return nil, "", err
+		}
+		return append(b, '\n'), "application/json", nil
+	case "svg":
+		return []byte(viz.SVG(res.snap.Picture)), "image/svg+xml", nil
+	case "dot":
+		return []byte(viz.DOT(res.snap.Picture, viz.DOTOptions{})), "text/vnd.graphviz", nil
+	case "pjson":
+		return viz.JSON(res.snap.Picture), "application/json", nil
+	}
+	return nil, "", fmt.Errorf("unknown at format %q", format)
 }
 
 // handleHealthz is pure liveness: the process is up and the mux
@@ -321,12 +507,18 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
   GET /api/picture.json      TAMP picture, JSON graph
   GET /api/prefix/{cidr}     components involving one prefix (e.g. /api/prefix/203.0.113.0/24)
   GET /api/stream            live snapshot stream (SSE)
+  GET /api/at?t=...          time travel: state as of t (RFC3339 or unix), optional window=15m
+  GET /api/at/components     components as of t
+  GET /api/at/picture.{svg,dot,json}?t=...
   GET /healthz               liveness
   GET /readyz                readiness (503 while degraded or draining)
 
 Responses carry X-Rex-Snapshot-Seq / X-Rex-Stale headers; 429 means
 back off (Retry-After is set), X-Rex-Stale: true means the pipeline is
-recovering and you are reading the last durable snapshot.
+recovering and you are reading the last durable snapshot. Time-travel
+answers carry X-Rex-Replay-* headers; 416 means t is outside the
+journal's reconstructible history, 422 means the range crosses CRC
+damage.
 `)
 }
 

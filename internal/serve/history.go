@@ -1,0 +1,432 @@
+package serve
+
+// Time-travel queries: /api/at?t=... replays the durable journal into a
+// one-shot pipeline and serves the analysis state as of the requested
+// instant. The paper's workflow is forensic — "what did the routing
+// picture look like when the anomaly fired?" — so the serving tier can
+// answer for any instant the journal still covers, not just the latest
+// snapshot. See DESIGN.md §15.
+//
+// Resolution uses the checkpoint TimeIndex bounds: LowWater(t-window)
+// is the earliest record the sliding window needs, HighWater(t) bounds
+// where the event-time clock passed t, and the scan stops exactly at
+// the first event newer than t. The replay base is the journal origin
+// when it is still retained (cold replay — provably byte-identical to
+// what the live pipeline emitted, because the engine is deterministic
+// at a fixed shard count), or the newest checkpoint that does not
+// already contain state from after t when the journal has been trimmed.
+//
+// Replays are far more expensive than cache reads, so they get their
+// own admission lane: a small dedicated semaphore (separate from
+// MaxInFlight), shedding with a Retry-After derived from measured
+// replay latency, and a bounded LRU of recently replayed instants with
+// single-flight replay and per-format render de-duplication — a swarm
+// asking for the same instant costs one replay and one render per
+// format. Degraded outcomes are explicit and never 500: 416 when t
+// falls before the journal's reconstructible floor, 422 when the
+// replayed range crosses CRC damage.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net/http"
+	"sync"
+	"time"
+
+	"rex/internal/core/pipeline"
+	"rex/internal/core/tamp"
+	"rex/internal/event"
+	"rex/internal/journal"
+	"rex/internal/obs"
+)
+
+// replayError is a degraded time-travel outcome: an HTTP status (never
+// 5xx for journal-state reasons), a stable machine-readable reason for
+// the X-Rex-Replay-Reason header, and supporting detail.
+type replayError struct {
+	code    int
+	reason  string // before-history | trim-floor | empty-journal | damaged | replay-failed
+	msg     string
+	floor   uint64 // retained floor, meaningful for trim-floor
+	skipped uint64 // CRC-damaged records in the replayed range, for damaged
+}
+
+// historian owns the journal-backed replay source: an incrementally
+// maintained TimeIndex over the retained records plus the resolve +
+// one-shot replay step. It is safe for concurrent use; the index scan
+// is serialized, replays run concurrently under the caller's admission.
+type historian struct {
+	dir string
+	cfg pipeline.Config // analysis semantics; ReplayState strips triggers
+
+	mu    sync.Mutex
+	ix    *journal.TimeIndex
+	next  uint64 // next sequence the index scan resumes from
+	floor uint64 // retained floor at the last refresh
+}
+
+func newHistorian(dir string, cfg pipeline.Config) *historian {
+	return &historian{dir: dir, cfg: cfg}
+}
+
+// refresh brings the TimeIndex up to the journal head: establish the
+// retained floor, reset the index if the journal was replaced under us
+// (the floor moved down — a wipe), and scan the unindexed tail.
+func (h *historian) refresh() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	floor, ok, err := journal.Floor(h.dir)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		h.ix, h.next, h.floor = nil, 0, 0
+		return nil
+	}
+	if h.ix == nil || floor < h.floor {
+		h.ix = journal.NewTimeIndex(64)
+		h.next = floor
+	}
+	h.floor = floor
+	_, err = journal.Scan(h.dir, h.next, func(seq uint64, e *event.Event) error {
+		h.ix.Observe(seq, e.Time)
+		h.next = seq + 1
+		return nil
+	})
+	return err
+}
+
+// atResult is one completed historical replay.
+type atResult struct {
+	snap    pipeline.Snapshot
+	comps   []ComponentView
+	records uint64 // journal records fed through the replay
+	window  time.Duration
+	t       time.Time
+}
+
+// replayAt resolves t against the TimeIndex and runs the one-shot
+// replay. A nil *replayError means res is valid; an I/O failure is
+// returned as err (the caller maps it to 503, never 500).
+func (h *historian) replayAt(t time.Time, window time.Duration) (res *atResult, rerr *replayError, err error) {
+	if err := h.refresh(); err != nil {
+		return nil, nil, err
+	}
+	h.mu.Lock()
+	ix, floor := h.ix, h.floor
+	h.mu.Unlock()
+	if ix == nil {
+		return nil, &replayError{code: http.StatusRequestedRangeNotSatisfiable,
+			reason: "empty-journal", msg: "no journal records to replay"}, nil
+	}
+	if _, _, ok := ix.Span(); !ok {
+		return nil, &replayError{code: http.StatusRequestedRangeNotSatisfiable,
+			reason: "empty-journal", msg: "no journal records to replay"}, nil
+	}
+	low := ix.LowWater(t.Add(-window)) // earliest record the window needs
+	high := ix.HighWater(t)            // the clock passed t at or before this record
+	known := ix.LowWater(t)            // every record at or below this has time <= t
+
+	// Pick the replay base. The journal origin, when retained, is the
+	// exact base: replaying every record reproduces the live pipeline's
+	// lineage byte for byte. Past the trim floor, recovery-grade
+	// exactness comes from a checkpoint — but only one whose tables do
+	// not already contain routing state from after t.
+	var seeds []*event.Event
+	start := uint64(0)
+	cold := floor == 0
+	if !cold {
+		cks, err := journal.LoadCheckpoints(h.dir)
+		if err != nil {
+			return nil, nil, err
+		}
+		var base *journal.Checkpoint
+		for _, ck := range cks {
+			if ck.NextSeq <= known+1 && ck.ReplayLow >= floor {
+				base = ck // ascending order: keep the newest admissible
+			}
+		}
+		if base == nil {
+			return nil, &replayError{code: http.StatusRequestedRangeNotSatisfiable,
+				reason: "trim-floor", floor: floor,
+				msg: fmt.Sprintf("t predates the journal's reconstructible history (trim floor seq %d)", floor)}, nil
+		}
+		seeds = base.SeedEvents()
+		start = base.NextSeq
+		if low < start {
+			start = low
+		}
+	}
+
+	cfg := h.cfg
+	cfg.Window = window
+	var records, skipped uint64
+	snap, serr := pipeline.ReplayState(cfg, seeds, func(ingest func(e *event.Event)) error {
+		stats, scanErr := journal.Scan(h.dir, start, func(seq uint64, e *event.Event) error {
+			if seq > high {
+				return journal.ErrStop
+			}
+			if e.Time.After(t) {
+				return journal.ErrStop
+			}
+			ingest(e)
+			records++
+			return nil
+		})
+		// Abandoned segments (framing breaks) lose every record after the
+		// break — that is damage for a replay just like a CRC mismatch.
+		skipped = stats.Skipped + uint64(stats.Abandoned)
+		return scanErr
+	})
+	if serr != nil {
+		return nil, nil, serr
+	}
+	if skipped > 0 {
+		return nil, &replayError{code: http.StatusUnprocessableEntity,
+			reason: "damaged", skipped: skipped,
+			msg: fmt.Sprintf("replayed range crosses %d CRC-damaged or unrecoverable record(s); the state as of t cannot be reconstructed faithfully", skipped)}, nil
+	}
+	if records == 0 && len(seeds) == 0 {
+		return nil, &replayError{code: http.StatusRequestedRangeNotSatisfiable,
+			reason: "before-history", msg: "t predates the first journaled event"}, nil
+	}
+	mReplayRecords.Add(records)
+	if snap.Picture == nil {
+		snap.Picture = &tamp.Picture{Site: h.cfg.Site}
+	}
+	return &atResult{
+		snap:    snap,
+		comps:   viewComponents(snap.Components),
+		records: records,
+		window:  window,
+		t:       t,
+	}, nil, nil
+}
+
+// atKey identifies one replayed instant: the queried time (exact, as a
+// normalized string — instants are immutable) and the analysis window.
+type atKey struct {
+	at     string // t in UTC RFC3339Nano
+	window time.Duration
+}
+
+// atEntry is one in-flight or finished replay plus its per-format
+// renders. ready is closed once res/rerr/err are final; renders are
+// single-flight per format under the cache lock, exactly the discipline
+// renderCache applies to live snapshots.
+type atEntry struct {
+	ready   chan struct{}
+	res     *atResult
+	rerr    *replayError
+	err     error
+	renders map[string]*renderEntry
+	gen     uint64 // LRU clock: bumped on every touch
+}
+
+// historyCache is the bounded LRU of recently replayed instants with
+// single-flight admission: the first requester of a key runs the replay
+// (if the replay lane admits it), every concurrent requester waits on
+// the same entry, and completed entries are evicted least-recently-used
+// past the cap. Unlike the live renderCache there is no advance() —
+// history never goes stale — so boundedness comes from the LRU.
+type historyCache struct {
+	mu      sync.Mutex
+	max     int
+	gen     uint64
+	entries map[atKey]*atEntry
+}
+
+func newHistoryCache(max int) *historyCache {
+	return &historyCache{max: max, entries: make(map[atKey]*atEntry)}
+}
+
+// get returns the entry for key, running compute at most once across
+// all concurrent callers. When the key is absent, admit is consulted
+// first: a false return sheds the request (the replay lane is full) and
+// no entry is created. Waiters respect ctx. release is called once the
+// compute finishes (on the computing goroutine), never for joiners.
+func (c *historyCache) get(ctx context.Context, key atKey, admit func() bool, release func(), compute func() (*atResult, *replayError, error)) (*atEntry, bool) {
+	c.mu.Lock()
+	c.gen++
+	if e, ok := c.entries[key]; ok {
+		e.gen = c.gen
+		c.mu.Unlock()
+		mReplayCacheHits.Inc()
+		select {
+		case <-e.ready:
+			return e, true
+		case <-ctx.Done():
+			return nil, true
+		}
+	}
+	if !admit() {
+		c.mu.Unlock()
+		return nil, false
+	}
+	e := &atEntry{ready: make(chan struct{}), renders: make(map[string]*renderEntry), gen: c.gen}
+	c.entries[key] = e
+	c.mu.Unlock()
+
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				e.rerr = &replayError{code: http.StatusUnprocessableEntity,
+					reason: "replay-failed", msg: fmt.Sprintf("replay panic: %v", r)}
+			}
+			close(e.ready)
+			release()
+		}()
+		e.res, e.rerr, e.err = compute()
+	}()
+
+	c.mu.Lock()
+	// An empty journal is a transient condition (the first events may
+	// land any moment): serve this answer to current waiters but do not
+	// pin it in the cache. Everything else about a past instant is
+	// immutable and cacheable, errors included.
+	if e.rerr != nil && e.rerr.reason == "empty-journal" {
+		if c.entries[key] == e {
+			delete(c.entries, key)
+		}
+	}
+	c.evictLocked()
+	c.mu.Unlock()
+	return e, true
+}
+
+// evictLocked drops least-recently-used completed entries past the cap.
+// In-flight entries are skipped — they are bounded by the replay lane.
+func (c *historyCache) evictLocked() {
+	for len(c.entries) > c.max {
+		var victim atKey
+		var oldest uint64 = math.MaxUint64
+		found := false
+		for k, e := range c.entries {
+			select {
+			case <-e.ready:
+			default:
+				continue // still computing
+			}
+			if e.gen < oldest {
+				oldest, victim, found = e.gen, k, true
+			}
+		}
+		if !found {
+			return
+		}
+		delete(c.entries, victim)
+		mReplayEvicted.Inc()
+	}
+}
+
+// render returns the rendered bytes for one format of a completed
+// entry, executing render exactly once per (entry, format).
+func (c *historyCache) render(ctx context.Context, e *atEntry, format string, render func() ([]byte, string, error)) ([]byte, string, error) {
+	c.mu.Lock()
+	re, ok := e.renders[format]
+	if !ok {
+		re = &renderEntry{ready: make(chan struct{})}
+		e.renders[format] = re
+		c.mu.Unlock()
+		mReplayRenders.With(format).Inc()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					re.err = fmt.Errorf("render at/%s: panic: %v", format, r)
+				}
+				close(re.ready)
+			}()
+			re.data, re.ctype, re.err = render()
+		}()
+		return re.data, re.ctype, re.err
+	}
+	c.mu.Unlock()
+	select {
+	case <-re.ready:
+		return re.data, re.ctype, re.err
+	case <-ctx.Done():
+		return nil, "", ctx.Err()
+	}
+}
+
+// latencyLane derives Retry-After from what one admission lane has
+// actually measured, replacing the old hardcoded "1": an EWMA of
+// completed request latencies, pushed up by the longest-running
+// in-flight request so a wedged backend is reflected before it ever
+// completes. Sheds tell the client to come back after roughly two
+// smoothed latencies, clamped to [1s, 60s].
+type latencyLane struct {
+	mu       sync.Mutex
+	ewma     float64 // seconds; 0 until the first observation
+	inflight map[uint64]time.Time
+	nextID   uint64
+	now      func() time.Time
+}
+
+func newLatencyLane(now func() time.Time) *latencyLane {
+	return &latencyLane{inflight: make(map[uint64]time.Time), now: now}
+}
+
+func (l *latencyLane) begin() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.nextID++
+	id := l.nextID
+	l.inflight[id] = l.now()
+	return id
+}
+
+func (l *latencyLane) end(id uint64) time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	start, ok := l.inflight[id]
+	if !ok {
+		return 0
+	}
+	delete(l.inflight, id)
+	obs := l.now().Sub(start).Seconds()
+	if obs < 0 {
+		obs = 0
+	}
+	if l.ewma == 0 {
+		l.ewma = obs
+	} else {
+		l.ewma = 0.8*l.ewma + 0.2*obs
+	}
+	return time.Duration(obs * float64(time.Second))
+}
+
+// retryAfter renders the lane's current backoff hint in whole seconds.
+func (l *latencyLane) retryAfter() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	est := l.ewma
+	now := l.now()
+	for _, start := range l.inflight {
+		if e := now.Sub(start).Seconds(); e > est {
+			est = e // a wedged request is evidence too
+		}
+	}
+	secs := math.Ceil(2 * est)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return fmt.Sprintf("%d", int(secs))
+}
+
+// logReplay notes one executed replay so operators can correlate the
+// rex_serve_replay_* metrics with specific instants.
+func logReplay(key atKey, res *atResult, rerr *replayError, err error, took time.Duration) {
+	switch {
+	case err != nil:
+		obs.Logf(obs.Warn, "serve", "replay t=%s window=%s failed: %v", key.at, key.window, err)
+	case rerr != nil:
+		obs.Logf(obs.Info, "serve", "replay t=%s window=%s degraded: %s (%s)", key.at, key.window, rerr.reason, rerr.msg)
+	default:
+		obs.Logf(obs.Debug, "serve", "replay t=%s window=%s: %d records in %s", key.at, key.window, res.records, took.Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,689 @@
+package serve
+
+// The time-travel proof obligations. The centerpiece is the
+// differential replay suite: every snapshot the live pipeline emitted
+// must be reproducible through /api/at byte-for-byte — same SVG, same
+// DOT, same picture JSON, same components document — including when the
+// journal was written across a SIGKILL/restart boundary (two writer
+// incarnations, two pipeline incarnations, output stitched with the
+// overlap-elimination harness from the relay restart differential).
+// Around it: pinned status-code/header semantics for every degraded
+// shape (empty journal, before history, trimmed floor, CRC damage),
+// the latency-derived Retry-After contract, and fuzzing of the query
+// surface.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	neturl "net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+
+	"rex/internal/core/pipeline"
+	"rex/internal/core/tamp"
+	"rex/internal/event"
+	"rex/internal/journal"
+	"rex/internal/sim"
+	"rex/internal/viz"
+)
+
+// ttEvents builds a deterministic ISP-scale scenario with strictly
+// increasing timestamps. Strict monotonicity is what makes "state as of
+// t" exact: a live snapshot emitted at clock T has processed precisely
+// the events with time <= T, so a replay stopping at T reconstructs the
+// identical stream position.
+func ttEvents(t testing.TB, n int, over time.Duration) event.Stream {
+	t.Helper()
+	is := sim.ISPAnon(sim.ISPAnonConfig{PoPs: 2, RRsPerPoP: 2, Tier1Peers: 3,
+		CustomerStubs: 12, InternetStubs: 12, PrefixesPerStub: 2})
+	t0 := time.Date(2003, 8, 14, 20, 0, 0, 0, time.UTC)
+	ev := sim.BenchEvents(is.Site, is.BaselineRoutes(), n, over, t0, 7)
+	if len(ev) == 0 {
+		t.Fatal("simulator produced no events")
+	}
+	for i := 1; i < len(ev); i++ {
+		if !ev[i].Time.After(ev[i-1].Time) {
+			ev[i].Time = ev[i-1].Time.Add(time.Nanosecond)
+		}
+	}
+	return ev
+}
+
+// ttConfig is the analysis configuration both the live pipeline and the
+// replays run. Spikes are off so the lineage is purely tick-driven;
+// Workers differs between live and replay on purpose — snapshots are
+// byte-identical at any worker count.
+func ttConfig() pipeline.Config {
+	return pipeline.Config{
+		Window:        5 * time.Minute,
+		SnapshotEvery: time.Minute,
+		SpikeK:        -1,
+		Site:          "ispanon",
+		Prune:         tamp.PruneOptions{KeepDepth: 3},
+		Workers:       4,
+	}
+}
+
+func writeJournal(t testing.TB, dir string, ev event.Stream, opts journal.Options) {
+	t.Helper()
+	w, err := journal.Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ev {
+		if _, err := w.Append(&ev[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// historyServer builds a serving tier whose time travel replays dir.
+func historyServer(t testing.TB, dir string) (*Server, *httptest.Server) {
+	t.Helper()
+	replay := ttConfig()
+	replay.Workers = 2 // not the live pipeline's 4: results must not care
+	s := New(Config{HistoryDir: dir, Replay: replay})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	return s, ts
+}
+
+func atURL(base, path string, at time.Time) string {
+	return base + path + "?t=" + neturl.QueryEscape(at.UTC().Format(time.RFC3339Nano))
+}
+
+// dropFinalSnaps removes TriggerFinal snapshots: an aborted incarnation
+// (SIGKILL) never emits one, and the serving tier replays to instants,
+// not to shutdowns.
+func dropFinalSnaps(snaps []pipeline.Snapshot) []pipeline.Snapshot {
+	var out []pipeline.Snapshot
+	for _, s := range snaps {
+		if s.Trigger != pipeline.TriggerFinal {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// renderSnaps renders snapshots one by one so renders are comparable
+// across incarnations (RenderSnapshots embeds a running index).
+func renderSnaps(snaps []pipeline.Snapshot) []string {
+	out := make([]string, len(snaps))
+	for i := range snaps {
+		out[i] = pipeline.RenderSnapshots(snaps[i : i+1])
+	}
+	return out
+}
+
+// stitchSnaps joins two incarnations' snapshot sequences, eliminating
+// the largest suffix-of-a / prefix-of-b overlap (the span the second
+// incarnation re-emitted while replaying the journal) — the same
+// discipline as the relay restart differential.
+func stitchSnaps(a, b []pipeline.Snapshot) []pipeline.Snapshot {
+	ra, rb := renderSnaps(a), renderSnaps(b)
+	max := len(a)
+	if len(b) < max {
+		max = len(b)
+	}
+	for k := max; k > 0; k-- {
+		match := true
+		for i := 0; i < k; i++ {
+			if ra[len(ra)-k+i] != rb[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return append(append([]pipeline.Snapshot{}, a[:len(a)-k]...), b...)
+		}
+	}
+	return append(append([]pipeline.Snapshot{}, a...), b...)
+}
+
+// checkInstant asserts /api/at reproduces one live snapshot
+// byte-identically in every format the live endpoints serve.
+func checkInstant(t *testing.T, base string, snap pipeline.Snapshot) {
+	t.Helper()
+	wantAt := snap.At.UTC().Format(time.RFC3339Nano)
+
+	picture := []struct {
+		path  string
+		want  []byte
+		ctype string
+	}{
+		{"/api/at/picture.svg", []byte(viz.SVG(snap.Picture)), "image/svg+xml"},
+		{"/api/at/picture.dot", []byte(viz.DOT(snap.Picture, viz.DOTOptions{})), "text/vnd.graphviz"},
+		{"/api/at/picture.json", viz.JSON(snap.Picture), "application/json"},
+	}
+	for _, c := range picture {
+		resp, body := get(t, atURL(base, c.path, snap.At))
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s?t=%s = %d: %s", c.path, wantAt, resp.StatusCode, body)
+		}
+		if got := resp.Header.Get("X-Rex-Replay-At"); got != wantAt {
+			t.Errorf("%s: X-Rex-Replay-At = %q, want %q", c.path, got, wantAt)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != c.ctype {
+			t.Errorf("%s: content-type = %q, want %q", c.path, ct, c.ctype)
+		}
+		if !bytes.Equal(body, c.want) {
+			t.Errorf("%s?t=%s: body differs from the live render (%d vs %d bytes)",
+				c.path, wantAt, len(body), len(c.want))
+		}
+	}
+
+	// The components document, byte-for-byte.
+	compDoc := struct {
+		T          time.Time       `json:"t"`
+		At         time.Time       `json:"at"`
+		Components []ComponentView `json:"components"`
+	}{snap.At, snap.At, viewComponents(snap.Components)}
+	wantComp, err := json.MarshalIndent(&compDoc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantComp = append(wantComp, '\n')
+	resp, body := get(t, atURL(base, "/api/at/components", snap.At))
+	if resp.StatusCode != 200 {
+		t.Fatalf("components?t=%s = %d: %s", wantAt, resp.StatusCode, body)
+	}
+	if !bytes.Equal(body, wantComp) {
+		t.Errorf("components?t=%s: body differs from the live components\n got: %s\nwant: %s",
+			wantAt, body, wantComp)
+	}
+
+	// The full /api/at document: structural agreement with the snapshot.
+	resp, body = get(t, atURL(base, "/api/at", snap.At))
+	if resp.StatusCode != 200 {
+		t.Fatalf("/api/at?t=%s = %d: %s", wantAt, resp.StatusCode, body)
+	}
+	var v AtView
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatalf("/api/at body: %v", err)
+	}
+	if !v.At.Equal(snap.At) || v.Events != snap.Events ||
+		!v.WindowStart.Equal(snap.WindowStart) || !v.WindowEnd.Equal(snap.WindowEnd) ||
+		len(v.Components) != len(snap.Components) {
+		t.Errorf("/api/at?t=%s: view disagrees with the live snapshot: %+v", wantAt, v)
+	}
+}
+
+// TestTimeTravelDifferential is the core equivalence suite: run the
+// live pipeline over a journaled stream, then ask the serving tier for
+// every instant the live run snapshotted — each answer must be
+// byte-identical to what the live endpoints served at that moment, and
+// a swarm of requests per instant must cost exactly one replay.
+func TestTimeTravelDifferential(t *testing.T) {
+	events := ttEvents(t, 1200, 10*time.Minute)
+	dir := t.TempDir()
+	writeJournal(t, dir, events, journal.Options{})
+
+	live := dropFinalSnaps(pipeline.Replay(events, ttConfig()))
+	if len(live) < 5 {
+		t.Fatalf("only %d live snapshots; the scenario is too thin to prove anything", len(live))
+	}
+
+	_, ts := historyServer(t, dir)
+	replays0 := mReplays.Value()
+	for _, snap := range live {
+		checkInstant(t, ts.URL, snap)
+	}
+	// 5 endpoints hit per instant, one replay per instant: the
+	// (window, format)-keyed single-flight cache absorbed the rest.
+	if got, want := mReplays.Value()-replays0, uint64(len(live)); got != want {
+		t.Errorf("replays executed = %d, want %d (one per distinct instant)", got, want)
+	}
+	// Asking an already-replayed instant again replays nothing.
+	checkInstant(t, ts.URL, live[0])
+	if got := mReplays.Value() - replays0; got != uint64(len(live)) {
+		t.Errorf("re-query replayed again: %d replays total", got)
+	}
+
+	// Conditional requests: a replayed instant is immutable, so its ETag
+	// answers 304 forever.
+	resp, _ := get(t, atURL(ts.URL, "/api/at/picture.svg", live[0].At))
+	etag := resp.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("no ETag on a time-travel success")
+	}
+	req, _ := http.NewRequest("GET", atURL(ts.URL, "/api/at/picture.svg", live[0].At), nil)
+	req.Header.Set("If-None-Match", etag)
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotModified {
+		t.Errorf("conditional at-GET = %d, want 304", resp2.StatusCode)
+	}
+}
+
+// TestTimeTravelAcrossRestart is the SIGKILL differential: the journal
+// is written by two writer incarnations (the first abandoned without
+// Close, as a kill would leave it), the live lineage comes from two
+// pipeline incarnations stitched over their re-emitted overlap, and
+// every stitched snapshot must still come back byte-identical from
+// /api/at over the combined journal.
+func TestTimeTravelAcrossRestart(t *testing.T) {
+	events := ttEvents(t, 1200, 10*time.Minute)
+	k := len(events) * 3 / 5
+	dir := t.TempDir()
+
+	// Incarnation A: journal and analyze events [0, k), then die without
+	// closing anything. Sync stands in for the fsync that made the tail
+	// durable before the kill.
+	wA, err := journal.Open(dir, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pA := pipeline.New(ttConfig())
+	var snapsA []pipeline.Snapshot
+	doneA := make(chan struct{})
+	go func() {
+		defer close(doneA)
+		for s := range pA.Snapshots() {
+			snapsA = append(snapsA, s)
+		}
+	}()
+	for i := 0; i < k; i++ {
+		if _, err := wA.Append(&events[i]); err != nil {
+			t.Fatal(err)
+		}
+		pA.Ingest(events[i])
+	}
+	if err := wA.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	pA.Close() // release the collector goroutine; finals are dropped below
+	<-doneA
+	snapsA = dropFinalSnaps(snapsA)
+
+	// Incarnation B: recover by replaying the journal through a fresh
+	// pipeline (re-emitting A's snapshots — the stitch overlap), then
+	// continue live with events [k, n), journaling them.
+	wB, err := journal.Open(dir, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := wB.NextSeq(); got != uint64(k) {
+		t.Fatalf("restarted journal resumes at seq %d, want %d", got, k)
+	}
+	pB := pipeline.New(ttConfig())
+	var snapsB []pipeline.Snapshot
+	doneB := make(chan struct{})
+	go func() {
+		defer close(doneB)
+		for s := range pB.Snapshots() {
+			snapsB = append(snapsB, s)
+		}
+	}()
+	if _, err := journal.Scan(dir, 0, func(seq uint64, e *event.Event) error {
+		pB.Ingest(*e)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := k; i < len(events); i++ {
+		if _, err := wB.Append(&events[i]); err != nil {
+			t.Fatal(err)
+		}
+		pB.Ingest(events[i])
+	}
+	if err := wB.Close(); err != nil {
+		t.Fatal(err)
+	}
+	pB.Close()
+	<-doneB
+	snapsB = dropFinalSnaps(snapsB)
+
+	// The stitched lineage must equal an uninterrupted run's — the
+	// precondition that makes "byte-identical to live" meaningful.
+	stitched := stitchSnaps(snapsA, snapsB)
+	ref := dropFinalSnaps(pipeline.Replay(events, ttConfig()))
+	sr, rr := renderSnaps(stitched), renderSnaps(ref)
+	if len(sr) != len(rr) {
+		t.Fatalf("stitched lineage has %d snapshots, uninterrupted run has %d", len(sr), len(rr))
+	}
+	for i := range sr {
+		if sr[i] != rr[i] {
+			t.Fatalf("stitched snapshot %d differs from the uninterrupted run:\n%s\nvs\n%s", i, sr[i], rr[i])
+		}
+	}
+
+	_, ts := historyServer(t, dir)
+	for _, snap := range stitched {
+		checkInstant(t, ts.URL, snap)
+	}
+}
+
+// TestTimeTravelEdgeSemantics pins the degraded and boundary semantics
+// of the query surface: explicit 416s with machine-readable reasons,
+// 400s for malformed queries, and the after-the-last-event answer.
+func TestTimeTravelEdgeSemantics(t *testing.T) {
+	events := ttEvents(t, 300, 5*time.Minute)
+	first, last := events[0].Time, events[len(events)-1].Time
+
+	expectDegraded := func(t *testing.T, url string, code int, reason string) {
+		t.Helper()
+		resp, body := get(t, url)
+		if resp.StatusCode != code {
+			t.Fatalf("GET %s = %d (%s), want %d", url, resp.StatusCode, body, code)
+		}
+		if got := resp.Header.Get("X-Rex-Replay-Reason"); got != reason {
+			t.Errorf("GET %s: X-Rex-Replay-Reason = %q, want %q", url, got, reason)
+		}
+	}
+
+	t.Run("empty-journal", func(t *testing.T) {
+		// Both shapes of empty: a directory with no segments at all, and
+		// one holding a header-only segment with zero records.
+		_, ts := historyServer(t, t.TempDir())
+		expectDegraded(t, atURL(ts.URL, "/api/at", first), 416, "empty-journal")
+
+		dir := t.TempDir()
+		writeJournal(t, dir, nil, journal.Options{})
+		_, ts2 := historyServer(t, dir)
+		expectDegraded(t, atURL(ts2.URL, "/api/at", first), 416, "empty-journal")
+	})
+
+	dir := t.TempDir()
+	writeJournal(t, dir, events, journal.Options{})
+	_, ts := historyServer(t, dir)
+
+	t.Run("before-history", func(t *testing.T) {
+		expectDegraded(t, atURL(ts.URL, "/api/at", first.Add(-time.Hour)), 416, "before-history")
+		// Negative unix seconds are a well-formed query for 1969 — long
+		// before history, never a parse error.
+		expectDegraded(t, ts.URL+"/api/at?t=-10000", 416, "before-history")
+	})
+
+	t.Run("after-last-event", func(t *testing.T) {
+		resp, body := get(t, atURL(ts.URL, "/api/at", last.Add(time.Hour)))
+		if resp.StatusCode != 200 {
+			t.Fatalf("after-last = %d: %s", resp.StatusCode, body)
+		}
+		// The clock resolves to the newest event, and the whole journal
+		// was replayed.
+		if got := resp.Header.Get("X-Rex-Replay-At"); got != last.UTC().Format(time.RFC3339Nano) {
+			t.Errorf("X-Rex-Replay-At = %q, want the last event time %q", got, last.UTC().Format(time.RFC3339Nano))
+		}
+		var v AtView
+		if err := json.Unmarshal(body, &v); err != nil {
+			t.Fatal(err)
+		}
+		if v.Records != uint64(len(events)) {
+			t.Errorf("records replayed = %d, want %d", v.Records, len(events))
+		}
+	})
+
+	t.Run("exactly-first-event", func(t *testing.T) {
+		resp, body := get(t, atURL(ts.URL, "/api/at", first))
+		if resp.StatusCode != 200 {
+			t.Fatalf("t = first event = %d: %s", resp.StatusCode, body)
+		}
+		var v AtView
+		if err := json.Unmarshal(body, &v); err != nil {
+			t.Fatal(err)
+		}
+		if v.Records != 1 {
+			t.Errorf("records at the first instant = %d, want exactly 1 (at-the-cutoff belongs to history)", v.Records)
+		}
+	})
+
+	t.Run("bad-queries", func(t *testing.T) {
+		for _, q := range []string{
+			"/api/at",                      // missing t
+			"/api/at?t=",                   // empty t
+			"/api/at?t=yesterday",  // not a time
+			"/api/at?t=2003-08-14", // date without time: not RFC3339
+			"/api/at?t=1060891200&window=junk",
+			"/api/at?t=1060891200&window=-5s",
+			"/api/at?t=1060891200&window=10000000000000000h", // overflows a duration
+		} {
+			resp, _ := get(t, ts.URL+q)
+			if resp.StatusCode != 400 {
+				t.Errorf("GET %s = %d, want 400", q, resp.StatusCode)
+			}
+		}
+	})
+
+	t.Run("empty-window-means-default", func(t *testing.T) {
+		resp, _ := get(t, fmt.Sprintf("%s/api/at?t=%d&window=", ts.URL, last.Unix()+1))
+		if resp.StatusCode != 200 {
+			t.Errorf("empty window = %d, want 200 (treated as absent)", resp.StatusCode)
+		}
+	})
+
+	t.Run("unix-seconds", func(t *testing.T) {
+		// Integer t is unix seconds; pick the last event's second + 1 so
+		// events up to it are covered.
+		resp, _ := get(t, fmt.Sprintf("%s/api/at?t=%d", ts.URL, last.Unix()+1))
+		if resp.StatusCode != 200 {
+			t.Errorf("unix t = %d, want 200", resp.StatusCode)
+		}
+	})
+}
+
+// TestTimeTravelTrimFloor pins the trimmed-journal semantics: instants
+// older than the reconstructible floor are an explicit 416 with the
+// floor in a header, while instants a checkpoint can seed still answer.
+func TestTimeTravelTrimFloor(t *testing.T) {
+	events := ttEvents(t, 1200, 10*time.Minute)
+	dir := t.TempDir()
+	opts := journal.Options{SegmentBytes: 2048}
+	writeJournal(t, dir, events, opts)
+
+	// A checkpoint covering three quarters of the stream, then trim the
+	// journal to its replay floor — the retention cycle's shape.
+	m := uint64(len(events) * 3 / 4)
+	low := m - 50
+	if _, err := journal.WriteCheckpoint(dir, &journal.Checkpoint{
+		NextSeq: m, ReplayLow: low,
+		WindowStart: events[low].Time, TakenAt: events[m].Time,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	w, err := journal.Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed, err := w.TrimTo(low)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 {
+		t.Fatal("trim removed nothing; the scenario never left the first segment")
+	}
+	floor, ok, err := journal.Floor(dir)
+	if err != nil || !ok || floor == 0 || floor > low {
+		t.Fatalf("post-trim floor = (%d, %t, %v), want 0 < floor <= %d", floor, ok, err, low)
+	}
+
+	_, ts := historyServer(t, dir)
+
+	// An instant before the floor is gone, explicitly.
+	resp, body := get(t, atURL(ts.URL, "/api/at", events[2].Time))
+	if resp.StatusCode != 416 {
+		t.Fatalf("pre-floor instant = %d (%s), want 416", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Rex-Replay-Reason"); got != "trim-floor" {
+		t.Errorf("X-Rex-Replay-Reason = %q, want trim-floor", got)
+	}
+	if got := resp.Header.Get("X-Rex-Replay-Floor"); got != fmt.Sprintf("%d", floor) {
+		t.Errorf("X-Rex-Replay-Floor = %q, want %d", got, floor)
+	}
+
+	// An instant the checkpoint covers still answers.
+	resp, body = get(t, atURL(ts.URL, "/api/at", events[len(events)-1].Time))
+	if resp.StatusCode != 200 {
+		t.Fatalf("post-checkpoint instant = %d (%s), want 200", resp.StatusCode, body)
+	}
+}
+
+// TestTimeTravelDamaged pins the CRC-damage semantics: a replay whose
+// range crosses a damaged record is an explicit 422 with the damage
+// count in a header; instants whose range stops short of the damage
+// still answer.
+func TestTimeTravelDamaged(t *testing.T) {
+	events := ttEvents(t, 1200, 10*time.Minute)
+	dir := t.TempDir()
+	writeJournal(t, dir, events, journal.Options{SegmentBytes: 2048})
+
+	// Corrupt the last record of a middle segment: flip a payload byte,
+	// leaving the framing intact — a classic bit-rot shape.
+	segs, err := filepath.Glob(filepath.Join(dir, "journal-*.rexj"))
+	if err != nil || len(segs) < 5 {
+		t.Fatalf("want several segments, got %d (%v)", len(segs), err)
+	}
+	sort.Strings(segs)
+	victim := segs[len(segs)/2]
+	buf, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)-3] ^= 0xFF
+	if err := os.WriteFile(victim, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts := historyServer(t, dir)
+
+	// A query whose replay crosses the damage: explicit 422.
+	resp, body := get(t, atURL(ts.URL, "/api/at", events[len(events)-1].Time))
+	if resp.StatusCode != 422 {
+		t.Fatalf("damaged-range instant = %d (%s), want 422", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Rex-Replay-Reason"); got != "damaged" {
+		t.Errorf("X-Rex-Replay-Reason = %q, want damaged", got)
+	}
+	if got := resp.Header.Get("X-Rex-Replay-Skipped"); got != "1" {
+		t.Errorf("X-Rex-Replay-Skipped = %q, want 1", got)
+	}
+
+	// A query stopping well before the damaged segment still answers.
+	resp, body = get(t, atURL(ts.URL, "/api/at", events[10].Time))
+	if resp.StatusCode != 200 {
+		t.Fatalf("pre-damage instant = %d (%s), want 200", resp.StatusCode, body)
+	}
+}
+
+// TestRetryAfterDerivedFromLatency pins the backoff contract at the
+// lane level: no observations means the old floor of 1s, a wedged
+// in-flight request pushes the hint up before it ever completes, the
+// EWMA keeps it up after, and the hint is clamped to a minute.
+func TestRetryAfterDerivedFromLatency(t *testing.T) {
+	ck := newClock()
+	l := newLatencyLane(ck.now)
+	if got := l.retryAfter(); got != "1" {
+		t.Fatalf("empty lane Retry-After = %q, want 1", got)
+	}
+	id := l.begin()
+	ck.advance(7 * time.Second)
+	if got := l.retryAfter(); got != "14" {
+		t.Errorf("wedged 7s in flight: Retry-After = %q, want 14 (2x observed)", got)
+	}
+	l.end(id)
+	if got := l.retryAfter(); got != "14" {
+		t.Errorf("after completion: Retry-After = %q, want 14 (EWMA seeded at 7s)", got)
+	}
+	id2 := l.begin()
+	ck.advance(10 * time.Minute)
+	if got := l.retryAfter(); got != "60" {
+		t.Errorf("10min wedge: Retry-After = %q, want the 60s clamp", got)
+	}
+	l.end(id2)
+}
+
+// TestWedgedReplayShedsWithDerivedRetryAfter is the integration
+// regression for the hardcoded-"1" bug: requests shed at a full replay
+// lane must carry a Retry-After reflecting how long the wedged replay
+// has actually been running — and the lane recovers once it unwedges.
+func TestWedgedReplayShedsWithDerivedRetryAfter(t *testing.T) {
+	events := ttEvents(t, 200, 2*time.Minute)
+	dir := t.TempDir()
+	writeJournal(t, dir, events, journal.Options{})
+
+	ck := newClock()
+	replay := ttConfig()
+	s := New(Config{HistoryDir: dir, Replay: replay, MaxReplayInFlight: 1, now: ck.now})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Wedge the lane: its only slot is held by a replay that has been
+	// running for 9 seconds and counting.
+	s.replaySem <- struct{}{}
+	id := s.latReplay.begin()
+	ck.advance(9 * time.Second)
+
+	resp, body := get(t, atURL(ts.URL, "/api/at", events[len(events)-1].Time))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("shed under wedged replay = %d (%s), want 429", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "18" {
+		t.Errorf("wedged-replay Retry-After = %q, want 18 (2x the 9s wedge)", got)
+	}
+
+	// Unwedge: the next query replays and answers.
+	s.latReplay.end(id)
+	<-s.replaySem
+	resp, body = get(t, atURL(ts.URL, "/api/at", events[len(events)-1].Time))
+	if resp.StatusCode != 200 {
+		t.Fatalf("after unwedge = %d (%s), want 200", resp.StatusCode, body)
+	}
+}
+
+// FuzzAtQuery throws arbitrary t/window strings at the time-travel
+// surface: never a panic, never a 500-class status other than the
+// deliberate 503.
+func FuzzAtQuery(f *testing.F) {
+	for _, seed := range [][2]string{
+		{"2003-08-14T20:00:00Z", ""},
+		{"2003-08-14T20:00:30.000000001Z", "1ns"},
+		{"junk", "15m"},
+		{"-1", ""},
+		{"-9223372036854775808", "10000000000000h"},
+		{"9223372036854775807", "1h"},
+		{"99999999999999999999", "1h"},
+		{"0", "-5s"},
+		{"1060891500", "abc"},
+		{"", ""},
+		{"2003-08-14T20:00:00+07:00", "24h"},
+		{"1e9", "9999999h"},
+	} {
+		f.Add(seed[0], seed[1])
+	}
+	events := ttEvents(f, 150, time.Minute)
+	dir := f.TempDir()
+	writeJournal(f, dir, events, journal.Options{})
+	replay := ttConfig()
+	s := New(Config{HistoryDir: dir, Replay: replay})
+	defer s.Close()
+	h := s.Handler()
+	f.Fuzz(func(t *testing.T, rawT, rawW string) {
+		path := "/api/at?t=" + neturl.QueryEscape(rawT)
+		if rawW != "" {
+			path += "&window=" + neturl.QueryEscape(rawW)
+		}
+		for _, ep := range []string{"/api/at", "/api/at/picture.svg"} {
+			p := ep + path[len("/api/at"):]
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest("GET", p, nil))
+			if rec.Code >= 500 && rec.Code != http.StatusServiceUnavailable {
+				t.Fatalf("GET %q = %d", p, rec.Code)
+			}
+		}
+	})
+}

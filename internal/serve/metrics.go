@@ -49,4 +49,29 @@ var (
 		"Failures writing the durable last-snapshot file.")
 	mRestored = obs.NewCounter("rex_serve_restored_total",
 		"Startups that restored a durable last-snapshot to serve while degraded.")
+
+	// Time-travel (replay) lane. The story under a historical-query
+	// swarm: rex_serve_replay_cache_hits_total dwarfing
+	// rex_serve_replay_total proves the instant LRU + single-flight is
+	// absorbing the fan-out (one replay per distinct instant), while
+	// rex_serve_replay_shed_total rising means the dedicated replay
+	// semaphore is protecting the live lane from replay cost.
+	mReplays = obs.NewCounter("rex_serve_replay_total",
+		"Historical replays actually executed — /api/at instant-cache misses.")
+	mReplayCacheHits = obs.NewCounter("rex_serve_replay_cache_hits_total",
+		"Time-travel requests answered from the replayed-instant cache without replaying.")
+	mReplayShed = obs.NewCounter("rex_serve_replay_shed_total",
+		"Time-travel requests shed with 429 + Retry-After at the replay lane's capacity.")
+	mReplaySeconds = obs.NewHistogram("rex_serve_replay_seconds",
+		"Wall-clock latency of executed replays (resolve + journal scan + pipeline).", nil)
+	mReplayRecords = obs.NewCounter("rex_serve_replay_records_total",
+		"Journal records fed through historical replays.")
+	mReplayDegraded = obs.NewCounterVec("rex_serve_replay_degraded_total", "reason",
+		"Degraded time-travel outcomes (416/422), by reason.")
+	mReplayEvicted = obs.NewCounter("rex_serve_replay_evictions_total",
+		"Replayed instants evicted from the LRU cache.")
+	mReplayInFlight = obs.NewGauge("rex_serve_replay_inflight",
+		"Replays currently executing in the dedicated lane.")
+	mReplayRenders = obs.NewCounterVec("rex_serve_replay_renders_total", "format",
+		"Historical renders actually executed; at most one per (instant, format).")
 )

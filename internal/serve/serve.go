@@ -84,6 +84,28 @@ type Config struct {
 	// scanner ignores foreign file names).
 	Dir string
 
+	// HistoryDir enables the time-travel endpoints (/api/at...): the
+	// segmented journal directory historical replays reconstruct state
+	// from. Empty disables time travel (the endpoints answer 404).
+	HistoryDir string
+	// Replay is the pipeline configuration historical replays run with.
+	// It must match the live pipeline's analysis parameters (window,
+	// site, stemming, prune policy, shards) for a replayed instant to be
+	// byte-identical with what the live pipeline emitted at that time.
+	Replay pipeline.Config
+	// MaxReplayInFlight bounds concurrently executing replays — the
+	// dedicated admission lane for /api/at cache misses, deliberately
+	// separate from (and much smaller than) MaxInFlight so historical
+	// queries can never starve live reads (default 2).
+	MaxReplayInFlight int
+	// ReplayCacheSize bounds the LRU of recently replayed instants
+	// (default 32).
+	ReplayCacheSize int
+	// MaxReplayWindow caps the window= query parameter on /api/at
+	// (default 24h): a replay's cost scales with the window it must
+	// reconstruct, so the cap is the operator's cost ceiling.
+	MaxReplayWindow time.Duration
+
 	// now is the clock, a test hook.
 	now func() time.Time
 }
@@ -109,6 +131,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.PublishBuffer <= 0 {
 		c.PublishBuffer = 16
+	}
+	if c.MaxReplayInFlight <= 0 {
+		c.MaxReplayInFlight = 2
+	}
+	if c.ReplayCacheSize <= 0 {
+		c.ReplayCacheSize = 32
+	}
+	if c.MaxReplayWindow <= 0 {
+		c.MaxReplayWindow = 24 * time.Hour
 	}
 	if c.now == nil {
 		c.now = time.Now
@@ -142,6 +173,15 @@ type Server struct {
 	broker *broker
 	sem    chan struct{}
 
+	// Time-travel lane (nil hist when HistoryDir is unset): historical
+	// replays run under their own semaphore, land in their own LRU, and
+	// report their own measured latency for Retry-After.
+	hist      *historian
+	histCache *historyCache
+	replaySem chan struct{}
+	latLive   *latencyLane
+	latReplay *latencyLane
+
 	updates  chan update
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -164,14 +204,21 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:      cfg,
-		cache:    newRenderCache(),
-		broker:   newBroker(cfg.SSEQueue, cfg.MaxSSEClients),
-		sem:      make(chan struct{}, cfg.MaxInFlight),
-		updates:  make(chan update, cfg.PublishBuffer),
-		stop:     make(chan struct{}),
-		loopDone: make(chan struct{}),
-		drain:    make(chan struct{}),
+		cfg:       cfg,
+		cache:     newRenderCache(),
+		broker:    newBroker(cfg.SSEQueue, cfg.MaxSSEClients),
+		sem:       make(chan struct{}, cfg.MaxInFlight),
+		histCache: newHistoryCache(cfg.ReplayCacheSize),
+		replaySem: make(chan struct{}, cfg.MaxReplayInFlight),
+		latLive:   newLatencyLane(cfg.now),
+		latReplay: newLatencyLane(cfg.now),
+		updates:   make(chan update, cfg.PublishBuffer),
+		stop:      make(chan struct{}),
+		loopDone:  make(chan struct{}),
+		drain:     make(chan struct{}),
+	}
+	if cfg.HistoryDir != "" {
+		s.hist = newHistorian(cfg.HistoryDir, cfg.Replay)
 	}
 	if cfg.Dir != "" {
 		if p, err := loadLatest(cfg.Dir); err == nil && p != nil {

@@ -618,6 +618,9 @@ func FuzzServePath(f *testing.F) {
 		"/api/prefix/", "/api/prefix/::%2f0", "/healthz", "/readyz",
 		"/api/prefix/999.999.999.999/99", "/api/../etc/passwd", "//api//snapshot",
 		"/api/prefix/20.1.0.0/16?x=1", "/api/snapshot#frag", "/%00", "/api/stream/extra",
+		"/api/at", "/api/at?t=2003-08-14T20:00:00Z", "/api/at?t=-1&window=junk",
+		"/api/at/components?t=1060891200", "/api/at/picture.svg?t=junk",
+		"/api/at/picture.dot?t=", "/api/at/picture.json?t=9999999999999999999",
 	} {
 		f.Add(seed)
 	}

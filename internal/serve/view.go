@@ -68,6 +68,40 @@ type ComponentView struct {
 	Prefixes    []string  `json:"prefixes"`
 }
 
+// AtView is the JSON document /api/at serves — the analysis state
+// reconstructed as of the queried instant. T is the instant the caller
+// asked for; At is where the replayed event-time clock actually stood
+// (the newest event at or before T). There is no Seq and no staleness:
+// a historical instant is immutable, neither versioned nor fresh.
+type AtView struct {
+	T           time.Time       `json:"t"`
+	At          time.Time       `json:"at"`
+	Window      string          `json:"window"`
+	WindowStart time.Time       `json:"windowStart"`
+	WindowEnd   time.Time       `json:"windowEnd"`
+	Events      int             `json:"events"`
+	Records     uint64          `json:"records"` // journal records replayed
+	Components  []ComponentView `json:"components"`
+	Picture     viz.PictureJSON `json:"picture"`
+}
+
+func atViewOf(res *atResult) AtView {
+	v := AtView{
+		T:           res.t,
+		At:          res.snap.At,
+		Window:      res.window.String(),
+		WindowStart: res.snap.WindowStart,
+		WindowEnd:   res.snap.WindowEnd,
+		Events:      res.snap.Events,
+		Records:     res.records,
+		Components:  res.comps,
+	}
+	if res.snap.Picture != nil {
+		v.Picture = viz.ExportPicture(res.snap.Picture)
+	}
+	return v
+}
+
 // PrefixView is the per-prefix drill-down: every component of the
 // current snapshot that involves the prefix.
 type PrefixView struct {
